@@ -1,0 +1,195 @@
+#include "datasets.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace corekit::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("COREKIT_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double parsed = std::atof(env);
+  return std::clamp(parsed > 0 ? parsed : 1.0, 0.05, 100.0);
+}
+
+namespace {
+
+// Scales a vertex/edge count, keeping a sane floor.
+VertexId ScaleN(double base) {
+  return static_cast<VertexId>(std::max(64.0, base * BenchScale()));
+}
+EdgeId ScaleM(double base) {
+  return static_cast<EdgeId>(std::max(128.0, base * BenchScale()));
+}
+
+// Social-network hybrid: planted communities (for positive modularity
+// with an interior best-k, as the originals exhibit) overlaid with an
+// R-MAT core (for the heavy degree tail and deep core hierarchy).
+Graph SocialHybrid(const char* name, std::uint32_t scale, EdgeId rmat_edges,
+                   VertexId community_size, double p_in) {
+  const VertexId n = static_cast<VertexId>(1u) << scale;
+  PlantedPartitionParams planted;
+  planted.num_vertices = n;
+  planted.num_communities = std::max<VertexId>(2, n / community_size);
+  planted.p_in = p_in;
+  planted.p_out = 0.0;  // the R-MAT overlay supplies the cross edges
+  planted.seed = SeedFromString(std::string(name) + "-communities");
+  RmatParams rmat;
+  rmat.scale = scale;
+  rmat.num_edges = rmat_edges;
+  rmat.seed = SeedFromString(std::string(name) + "-overlay");
+
+  GraphBuilder builder(n);
+  builder.AddEdges(GeneratePlantedPartition(planted).graph.ToEdgeList());
+  builder.AddEdges(GenerateRmat(rmat).ToEdgeList());
+  return builder.Build();
+}
+
+std::vector<BenchDataset> BuildRegistry() {
+  std::vector<BenchDataset> datasets;
+
+  // AP — Astro-Ph: physics collaboration; strong clustering, small.
+  datasets.push_back({"AP", "ca-AstroPh (collaboration)", [] {
+                        return GenerateWattsStrogatz(ScaleN(6000), 8, 0.15,
+                                                     SeedFromString("AP"));
+                      }});
+
+  // G — Gowalla: location-based social network; heavy tail with a real
+  // core hierarchy (kmax 51 in the original).
+  datasets.push_back({"G", "loc-Gowalla (social)", [] {
+                        RmatParams params;
+                        params.scale = 14;
+                        params.num_edges = ScaleM(75000);
+                        params.a = 0.55;
+                        params.b = params.c = 0.2;
+                        params.seed = SeedFromString("G");
+                        return GenerateRmat(params);
+                      }});
+
+  // D — DBLP: co-authorship; planted communities (research groups) plus
+  // a handful of large co-author cliques, which give DBLP its deep
+  // degeneracy (kmax 113 in the original comes from one giant
+  // multi-author paper).
+  datasets.push_back({"D", "com-DBLP (collaboration)", [] {
+                        PlantedPartitionParams params;
+                        params.num_vertices = ScaleN(12000);
+                        params.num_communities =
+                            std::max<VertexId>(2, params.num_vertices / 150);
+                        params.p_in = 0.12;
+                        params.p_out = 6.0 / params.num_vertices;
+                        params.seed = SeedFromString("D");
+                        const Graph base =
+                            GeneratePlantedPartition(params).graph;
+                        GraphBuilder builder(base.NumVertices());
+                        builder.AddEdges(base.ToEdgeList());
+                        Rng rng(SeedFromString("D-cliques"));
+                        for (const VertexId size : {20u, 28u, 36u, 45u}) {
+                          if (size >= base.NumVertices()) continue;
+                          const auto start = static_cast<VertexId>(
+                              rng.NextBounded(base.NumVertices() - size));
+                          for (VertexId u = start; u < start + size; ++u) {
+                            for (VertexId v = u + 1; v < start + size; ++v) {
+                              builder.AddEdge(u, v);
+                            }
+                          }
+                        }
+                        return builder.Build();
+                      }});
+
+  // Y — Youtube: sparse social network with extreme skew.
+  datasets.push_back({"Y", "com-Youtube (social)", [] {
+                        RmatParams params;
+                        params.scale = 15;
+                        params.num_edges = ScaleM(120000);
+                        params.a = 0.6;
+                        params.b = params.c = 0.18;
+                        params.seed = SeedFromString("Y");
+                        return GenerateRmat(params);
+                      }});
+
+  // AS — As-Skitter: internet topology; skewed, moderately dense.
+  datasets.push_back({"AS", "as-Skitter (topology)", [] {
+                        RmatParams params;
+                        params.scale = 15;
+                        params.num_edges = ScaleM(250000);
+                        params.a = 0.57;
+                        params.b = params.c = 0.19;
+                        params.seed = SeedFromString("AS");
+                        return GenerateRmat(params);
+                      }});
+
+  // LJ — LiveJournal: large social network with community structure and
+  // a deep hierarchy.
+  datasets.push_back({"LJ", "soc-LiveJournal (social)", [] {
+                        return SocialHybrid("LJ", 16, ScaleM(250000), 100,
+                                            0.08);
+                      }});
+
+  // H — Hollywood: actor collaboration, kmax 2208 in the original; the
+  // onion generator gives the same deep-and-dense core hierarchy.
+  datasets.push_back({"H", "hollywood-2009 (collaboration)", [] {
+                        OnionParams params;
+                        params.num_vertices = ScaleN(10000);
+                        params.num_layers = 24;
+                        params.target_kmax = 120;
+                        params.seed = SeedFromString("H");
+                        return GenerateOnion(params);
+                      }});
+
+  // O — Orkut: very dense social network (davg 76, kmax 253 in the
+  // original) with strong communities.
+  datasets.push_back({"O", "com-Orkut (social)", [] {
+                        return SocialHybrid("O", 14, ScaleM(250000), 128,
+                                            0.25);
+                      }});
+
+  // HJ — Human-Jung: brain network; extremely dense (davg 683 in the
+  // original), nearly uniform.
+  datasets.push_back({"HJ", "bn-Human-Jung (brain)", [] {
+                        const VertexId n = ScaleN(3000);
+                        return GenerateErdosRenyi(
+                            n, std::min<EdgeId>(ScaleM(220000),
+                                                static_cast<EdgeId>(n) *
+                                                    (n - 1) / 2),
+                            SeedFromString("HJ"));
+                      }});
+
+  // FS — FriendSter: the billion-edge giant; largest stand-in.
+  datasets.push_back({"FS", "com-Friendster (social)", [] {
+                        return SocialHybrid("FS", 17, ScaleM(500000), 80,
+                                            0.08);
+                      }});
+
+  return datasets;
+}
+
+}  // namespace
+
+const std::vector<BenchDataset>& AllDatasets() {
+  static const std::vector<BenchDataset>& registry =
+      *new std::vector<BenchDataset>(BuildRegistry());
+  return registry;
+}
+
+std::vector<BenchDataset> ActiveDatasets() {
+  // COREKIT_BENCH_DATASETS="AP,LJ" restricts the set (default: all 10).
+  const char* env = std::getenv("COREKIT_BENCH_DATASETS");
+  if (env == nullptr) return AllDatasets();
+  const std::string filter(env);
+  std::vector<BenchDataset> selected;
+  for (const BenchDataset& dataset : AllDatasets()) {
+    std::size_t pos = 0;
+    bool found = false;
+    while (pos < filter.size()) {
+      std::size_t end = filter.find(',', pos);
+      if (end == std::string::npos) end = filter.size();
+      if (filter.substr(pos, end - pos) == dataset.short_name) found = true;
+      pos = end + 1;
+    }
+    if (found) selected.push_back(dataset);
+  }
+  return selected.empty() ? AllDatasets() : selected;
+}
+
+}  // namespace corekit::bench

@@ -1,0 +1,47 @@
+// The benchmark dataset registry: synthetic stand-ins for the 10 public
+// networks of Table III.
+//
+// The paper's datasets (SNAP / Network Repository, up to FriendSter with
+// 1.8e9 edges) cannot ship inside this repository, so each gets a
+// generated stand-in chosen to mimic its *character* — collaboration
+// networks get high clustering and community structure, social networks
+// get heavy-tailed degrees, Hollywood/Human-Jung get the extreme density
+// and deep core hierarchies that dominate their rows in the evaluation —
+// at a scale that runs on one machine in seconds.  Relative ordering by
+// size follows Table III (AP smallest ... FS largest).
+//
+// COREKIT_BENCH_SCALE (float, default 1.0) multiplies all dataset sizes;
+// raise it to stress larger inputs with the same harnesses.  Real SNAP
+// files can be swapped in by pointing COREKIT_BENCH_DATA_DIR at a
+// directory containing "<short_name>.txt" edge lists.
+
+#ifndef COREKIT_BENCH_DATASETS_H_
+#define COREKIT_BENCH_DATASETS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corekit/corekit.h"
+
+namespace corekit::bench {
+
+struct BenchDataset {
+  std::string short_name;  // the paper's column key: AP, G, D, ...
+  std::string full_name;   // the original network it stands in for
+  std::function<Graph()> make;
+};
+
+// The 10 stand-ins, in Table III order.
+const std::vector<BenchDataset>& AllDatasets();
+
+// A small prefix of AllDatasets() for the quick default run; the full set
+// is used when COREKIT_BENCH_FULL=1.
+std::vector<BenchDataset> ActiveDatasets();
+
+// COREKIT_BENCH_SCALE env var (default 1.0, clamped to [0.05, 100]).
+double BenchScale();
+
+}  // namespace corekit::bench
+
+#endif  // COREKIT_BENCH_DATASETS_H_

@@ -1,0 +1,64 @@
+// Extension bench: the lightweight decomposition applications —
+// smallest-last coloring [42], mirror-pattern anomalies [53], onion
+// depth [30], and community search ([15]/[16]) — one row per dataset.
+//
+// Headlines: coloring lands at ~kmax+1 colors, far below the greedy
+// Δ+1 bound on skewed graphs; the degree/coreness mirror correlation is
+// high on clean networks; community-search queries answer in
+// microseconds after the one-off index build.
+
+#include <iostream>
+
+#include "corekit/corekit.h"
+#include "datasets.h"
+
+int main() {
+  using namespace corekit;
+  using namespace corekit::bench;
+
+  std::cout << "== Extension: coloring [42], anomalies [53], onion [30], "
+               "community search [15,16] ==\n";
+  TablePrinter table({"Dataset", "colors", "kmax+1", "delta+1", "mirror r",
+                      "onion layers", "search build", "search query"});
+  for (const BenchDataset& dataset : ActiveDatasets()) {
+    const Graph graph = dataset.make();
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+
+    const GraphColoring coloring = ColorBySmallestLast(graph, cores);
+    VertexId max_degree = 0;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      max_degree = std::max(max_degree, graph.Degree(v));
+    }
+
+    const MirrorPatternResult mirror = DetectMirrorAnomalies(graph, cores);
+    const OnionDecomposition onion = ComputeOnionDecomposition(graph);
+
+    Timer timer;
+    const CommunitySearcher searcher(graph, Metric::kAverageDegree);
+    const double build_time = timer.ElapsedSeconds();
+    // Average query latency over a spread of query vertices.
+    timer.Reset();
+    int queries = 0;
+    for (VertexId q = 0; q < graph.NumVertices();
+         q += graph.NumVertices() / 64 + 1) {
+      const CommunitySearchResult result = searcher.Search(q);
+      (void)result;
+      ++queries;
+    }
+    const double query_time = timer.ElapsedSeconds() / queries;
+
+    table.AddRow({dataset.short_name, std::to_string(coloring.num_colors),
+                  std::to_string(cores.kmax + 1),
+                  std::to_string(max_degree + 1),
+                  TablePrinter::FormatDouble(mirror.correlation, 3),
+                  std::to_string(onion.num_layers),
+                  TablePrinter::FormatSeconds(build_time),
+                  TablePrinter::FormatSeconds(query_time)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: colors <= kmax+1 << delta+1 on skewed "
+               "graphs; mirror correlation high except on uniform-density "
+               "stand-ins; queries answer in micro-to-milliseconds "
+               "(dominated by materializing the answer).\n";
+  return 0;
+}

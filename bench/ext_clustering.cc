@@ -1,0 +1,64 @@
+// Extension bench: core-guided clustering quality on LFR-like community
+// benchmarks (the CoreCluster use case, [28]).
+//
+// Sweeps the mixing parameter mu; at low mu the planted communities are
+// recoverable and partition modularity is high, degrading as mixing
+// approaches the detectability limit — the standard LFR evaluation curve.
+
+#include <iostream>
+
+#include "corekit/corekit.h"
+#include "datasets.h"
+
+int main() {
+  using namespace corekit;
+  using namespace corekit::bench;
+
+  std::cout << "== Extension: core-guided label propagation on LFR-like "
+               "benchmarks ==\n";
+  TablePrinter table({"mu", "n", "m", "planted Q", "found Q", "clusters",
+                      "planted", "pair agreement", "time"});
+  for (const double mu : {0.05, 0.1, 0.2, 0.3, 0.45}) {
+    LfrLikeParams params;
+    params.num_vertices = static_cast<VertexId>(4000 * BenchScale());
+    params.mu = mu;
+    params.seed = SeedFromString("ext-clustering");
+    const LfrLikeResult lfr = GenerateLfrLike(params);
+
+    const double planted_q = PartitionModularity(
+        lfr.graph, lfr.community, lfr.num_communities);
+
+    Timer timer;
+    const CoreClustering clustering = ClusterByCores(lfr.graph);
+    const double time = timer.ElapsedSeconds();
+
+    EdgeId agree = 0;
+    EdgeId total = 0;
+    for (const auto& [u, v] : lfr.graph.ToEdgeList()) {
+      ++total;
+      const bool same_cluster =
+          clustering.cluster[u] == clustering.cluster[v];
+      const bool same_community = lfr.community[u] == lfr.community[v];
+      agree += same_cluster == same_community ? 1u : 0u;
+    }
+    table.AddRow(
+        {TablePrinter::FormatDouble(mu, 2),
+         std::to_string(lfr.graph.NumVertices()),
+         std::to_string(lfr.graph.NumEdges()),
+         TablePrinter::FormatDouble(planted_q, 3),
+         TablePrinter::FormatDouble(clustering.modularity, 3),
+         std::to_string(clustering.num_clusters),
+         std::to_string(lfr.num_communities),
+         TablePrinter::FormatDouble(
+             100.0 * static_cast<double>(agree) /
+                 static_cast<double>(total),
+             1) +
+             "%",
+         TablePrinter::FormatSeconds(time)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: found modularity tracks the planted one "
+               "and pair agreement stays high at low mu, both degrading as "
+               "mixing grows.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension bench: core resilience under attack ([44] — the k-core as a
+// collapse predictor).
+//
+// For a deep-hierarchy stand-in and a social stand-in, prints the
+// collapse curves of the inner core under random vs coreness-targeted
+// removal.  The [44] signature: the targeted curve guts the inner core at
+// small removal fractions while the giant component barely notices.
+
+#include <iostream>
+
+#include "corekit/corekit.h"
+#include "datasets.h"
+
+int main() {
+  using namespace corekit;
+  using namespace corekit::bench;
+
+  std::cout << "== Extension: core resilience under vertex removal ==\n";
+  for (const BenchDataset& dataset : ActiveDatasets()) {
+    if (dataset.short_name != "H" && dataset.short_name != "LJ") continue;
+    const Graph graph = dataset.make();
+    std::cout << "\n-- " << dataset.short_name << " (" << dataset.full_name
+              << ") --\n";
+    TablePrinter table({"removed", "kmax (rand)", "ref core (rand)",
+                        "giant (rand)", "kmax (targ)", "ref core (targ)",
+                        "giant (targ)"});
+    const ResilienceCurve random = ComputeResilienceCurve(
+        graph, RemovalStrategy::kRandom, 10, 0,
+        SeedFromString(dataset.short_name));
+    const ResilienceCurve targeted = ComputeResilienceCurve(
+        graph, RemovalStrategy::kHighestCorenessFirst, 10, random.reference_k,
+        SeedFromString(dataset.short_name));
+    for (std::size_t i = 0; i < random.points.size(); ++i) {
+      const auto& r = random.points[i];
+      const auto& t = targeted.points[i];
+      table.AddRow(
+          {TablePrinter::FormatDouble(100 * r.removed_fraction, 0) + "%",
+           std::to_string(r.kmax), std::to_string(r.reference_core_size),
+           std::to_string(r.largest_component), std::to_string(t.kmax),
+           std::to_string(t.reference_core_size),
+           std::to_string(t.largest_component)});
+    }
+    table.Print(std::cout);
+    std::cout << "(reference core: k >= " << random.reference_k << ")\n";
+  }
+  std::cout << "\nExpected shape ([44]): targeted removal collapses the "
+               "reference core almost immediately; random removal degrades "
+               "it gradually while the giant component persists in both.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench: the alternative decomposition substrates.
+//
+//   * distributed ([43]): rounds to convergence and messages of the
+//     h-index protocol vs the centralized O(m) peel;
+//   * semi-external ([61]): passes over the on-disk graph, bytes
+//     streamed, and runtime with O(n) memory vs in-memory.
+//
+// Both produce the exact coreness; the table verifies that and reports
+// their costs per dataset.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "corekit/corekit.h"
+#include "datasets.h"
+
+int main() {
+  using namespace corekit;
+  using namespace corekit::bench;
+
+  std::cout << "== Extension: distributed [43] and semi-external [61] core "
+               "decomposition ==\n";
+  TablePrinter table({"Dataset", "in-mem", "dist rounds", "dist msgs",
+                      "dist time", "ext passes", "ext MB read", "ext time",
+                      "exact"});
+  for (const BenchDataset& dataset : ActiveDatasets()) {
+    const Graph graph = dataset.make();
+
+    Timer timer;
+    const CoreDecomposition exact = ComputeCoreDecomposition(graph);
+    const double exact_time = timer.ElapsedSeconds();
+
+    timer.Reset();
+    const DistributedCoreResult distributed =
+        ComputeCoreDecompositionDistributed(graph);
+    const double distributed_time = timer.ElapsedSeconds();
+
+    const std::string path =
+        "/tmp/corekit_bench_" + dataset.short_name + ".bin";
+    const Status write_status = WriteBinaryGraph(graph, path);
+    COREKIT_CHECK(write_status.ok()) << write_status.ToString();
+    timer.Reset();
+    const auto external = SemiExternalCoreDecomposition(path);
+    const double external_time = timer.ElapsedSeconds();
+    COREKIT_CHECK(external.ok()) << external.status().ToString();
+    std::remove(path.c_str());
+
+    const bool all_exact = distributed.converged &&
+                           distributed.coreness == exact.coreness &&
+                           external->coreness == exact.coreness;
+    table.AddRow(
+        {dataset.short_name, TablePrinter::FormatSeconds(exact_time),
+         std::to_string(distributed.rounds),
+         std::to_string(distributed.messages),
+         TablePrinter::FormatSeconds(distributed_time),
+         std::to_string(external->passes),
+         TablePrinter::FormatDouble(
+             static_cast<double>(external->bytes_read) / 1e6, 1),
+         TablePrinter::FormatSeconds(external_time),
+         all_exact ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape ([43], [61]): both reach the exact "
+               "coreness; distributed rounds stay far below n (estimate "
+               "locality); semi-external converges in a handful of "
+               "sequential passes.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension (Section VI-B): best k for *truss* decomposition.
+//
+// Not a table in the paper — Section VI-B sketches how the incremental
+// best-k machinery transfers to the k-truss hierarchy; this harness runs
+// that extension on every dataset: truss decomposition (O(m^1.5)), then
+// O(m) scoring of every k-truss set for the five primary-value metrics.
+
+#include <iostream>
+
+#include "corekit/corekit.h"
+#include "datasets.h"
+
+int main() {
+  using namespace corekit;
+  using namespace corekit::bench;
+
+  constexpr Metric kTrussMetrics[] = {
+      Metric::kAverageDegree, Metric::kInternalDensity, Metric::kCutRatio,
+      Metric::kConductance, Metric::kModularity};
+
+  std::cout << "== Extension (Sec. VI-B): best k for the k-truss set ==\n";
+  TablePrinter table({"Dataset", "tmax", "decomp", "score", "baseline",
+                      "T-ad", "T-den", "T-cr", "T-con", "T-mod"});
+  for (const BenchDataset& dataset : ActiveDatasets()) {
+    const Graph graph = dataset.make();
+    Timer timer;
+    const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+    const double decomp_time = timer.ElapsedSeconds();
+
+    timer.Reset();
+    std::vector<std::string> row{dataset.short_name,
+                                 std::to_string(trusses.tmax), "", "", ""};
+    for (const Metric metric : kTrussMetrics) {
+      const TrussSetProfile profile =
+          FindBestTrussSet(graph, trusses, metric);
+      row.push_back(std::to_string(profile.best_k));
+    }
+    const double score_time = timer.ElapsedSeconds();
+    timer.Reset();
+    for (const Metric metric : kTrussMetrics) {
+      const TrussSetProfile baseline =
+          BaselineFindBestTrussSet(graph, trusses, metric);
+      (void)baseline;
+    }
+    const double baseline_time = timer.ElapsedSeconds();
+    row[2] = TablePrinter::FormatSeconds(decomp_time);
+    row[3] = TablePrinter::FormatSeconds(score_time);
+    row[4] = TablePrinter::FormatSeconds(baseline_time);
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: mirrors Table IV — cohesion metrics pick "
+               "large k, separation metrics pick k near 2, modularity "
+               "moderate; scoring cost is negligible next to the O(m^1.5) "
+               "decomposition.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Component micro-benchmarks (google-benchmark): per-stage costs of the
+// pipeline — decomposition, ordering, forest, and the four scoring paths —
+// swept over graph size to expose the O(m) / O(m^1.5) scaling the paper's
+// complexity analysis claims.
+
+#include <benchmark/benchmark.h>
+
+#include "corekit/corekit.h"
+
+namespace {
+
+using namespace corekit;
+
+Graph MakeGraph(std::int64_t scale) {
+  RmatParams params;
+  params.scale = static_cast<std::uint32_t>(scale);
+  params.num_edges = static_cast<EdgeId>(8) << scale;  // davg ~16
+  params.seed = 42;
+  return GenerateRmat(params);
+}
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCoreDecomposition(graph));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_CoreDecomposition)->DenseRange(12, 16, 2);
+
+void BM_VertexOrdering(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  for (auto _ : state) {
+    const OrderedGraph ordered(graph, cores);
+    benchmark::DoNotOptimize(&ordered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_VertexOrdering)->DenseRange(12, 16, 2);
+
+void BM_ForestConstruction(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  for (auto _ : state) {
+    const CoreForest forest(graph, cores);
+    benchmark::DoNotOptimize(&forest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_ForestConstruction)->DenseRange(12, 16, 2);
+
+void BM_ScoreCoreSetBasic(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FindBestCoreSet(ordered, Metric::kAverageDegree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumVertices()));
+}
+BENCHMARK(BM_ScoreCoreSetBasic)->DenseRange(12, 16, 2);
+
+void BM_ScoreCoreSetTriangles(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FindBestCoreSet(ordered, Metric::kClusteringCoefficient));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_ScoreCoreSetTriangles)->DenseRange(12, 16, 2);
+
+void BM_ScoreSingleCores(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FindBestSingleCore(ordered, forest, Metric::kAverageDegree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumVertices()));
+}
+BENCHMARK(BM_ScoreSingleCores)->DenseRange(12, 16, 2);
+
+void BM_TriangleCounting(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(ordered));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_TriangleCounting)->DenseRange(12, 16, 2);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const Graph graph = MakeGraph(state.range(0));
+  const EdgeList edges = graph.ToEdgeList();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GraphBuilder::FromEdges(graph.NumVertices(), edges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_GraphBuild)->DenseRange(12, 16, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+#include "runtime_common.h"
+
+#include <cstdlib>
+
+namespace corekit::bench {
+
+double BaselineBudgetSeconds() {
+  const char* env = std::getenv("COREKIT_BENCH_BUDGET");
+  if (env == nullptr) return 10.0;
+  const double parsed = std::atof(env);
+  return parsed > 0 ? parsed : 10.0;
+}
+
+std::string FormatRuntime(std::optional<double> seconds) {
+  return seconds.has_value() ? TablePrinter::FormatSeconds(*seconds)
+                             : ">budget";
+}
+
+std::optional<double> TimedBaselineCoreSet(const Graph& graph,
+                                           const CoreDecomposition& cores,
+                                           Metric metric, double budget) {
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  const bool with_triangles = MetricNeedsTriangles(metric);
+  Timer timer;
+  double best = 0.0;
+  for (VertexId k = 0; k <= cores.kmax; ++k) {
+    const PrimaryValues pv =
+        ScratchCoreSetPrimaries(graph, cores, k, with_triangles);
+    best = std::max(best, EvaluateMetric(metric, pv, globals));
+    if (timer.ElapsedSeconds() > budget) return std::nullopt;
+  }
+  (void)best;
+  return timer.ElapsedSeconds();
+}
+
+std::optional<double> TimedBaselineSingleCore(const Graph& graph,
+                                              const CoreDecomposition& cores,
+                                              const CoreForest& forest,
+                                              Metric metric, double budget) {
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  const bool with_triangles = MetricNeedsTriangles(metric);
+  Timer timer;
+  double best = 0.0;
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const std::vector<VertexId> members = forest.CoreVertices(i);
+    const PrimaryValues pv = ScratchSingleCorePrimaries(
+        graph, cores, members, forest.node(i).coreness, with_triangles);
+    best = std::max(best, EvaluateMetric(metric, pv, globals));
+    if (timer.ElapsedSeconds() > budget) return std::nullopt;
+  }
+  (void)best;
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace corekit::bench

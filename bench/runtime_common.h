@@ -1,0 +1,48 @@
+// Shared machinery for the runtime benchmarks (Figures 7 and 8): timed
+// phases and a wall-clock budget for the baselines.
+//
+// The paper caps baseline runs at 1e5 seconds ("cannot finish within 1e5
+// seconds" for clustering coefficient on the big graphs); these harnesses
+// scale that idea down with a per-run budget, reporting ">budget" when the
+// baseline blows through it — same semantics, laptop-friendly.
+
+#ifndef COREKIT_BENCH_RUNTIME_COMMON_H_
+#define COREKIT_BENCH_RUNTIME_COMMON_H_
+
+#include <optional>
+#include <string>
+
+#include "corekit/corekit.h"
+
+namespace corekit::bench {
+
+// Wall-clock budget per baseline run, seconds.  COREKIT_BENCH_BUDGET
+// overrides (default 10s).
+double BaselineBudgetSeconds();
+
+// Renders a possibly-exhausted runtime.
+std::string FormatRuntime(std::optional<double> seconds);
+
+// Four figure metrics of Figures 7/8: ad, con, mod, cc.
+inline constexpr Metric kRuntimeMetrics[] = {
+    Metric::kAverageDegree,
+    Metric::kConductance,
+    Metric::kModularity,
+    Metric::kClusteringCoefficient,
+};
+
+// Baseline score computation for every k-core set with a budget; returns
+// nullopt (and stops early) when the budget is exhausted.
+std::optional<double> TimedBaselineCoreSet(const Graph& graph,
+                                           const CoreDecomposition& cores,
+                                           Metric metric, double budget);
+
+// Baseline score computation for every single k-core with a budget.
+std::optional<double> TimedBaselineSingleCore(const Graph& graph,
+                                              const CoreDecomposition& cores,
+                                              const CoreForest& forest,
+                                              Metric metric, double budget);
+
+}  // namespace corekit::bench
+
+#endif  // COREKIT_BENCH_RUNTIME_COMMON_H_

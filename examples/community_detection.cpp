@@ -1,0 +1,102 @@
+// Community detection with best-k core selection (the Section V-B case
+// study, on a synthetic collaboration network).
+//
+// The paper finds two qualitatively different communities in DBLP by
+// running the best-single-core search under different metrics: cohesion
+// metrics (average degree, density, clustering coefficient) pick a densely
+// collaborating group, while separation metrics (cut ratio, conductance)
+// pick an isolated group.  This example reproduces that workflow on a
+// planted-partition graph whose ground truth is known, and reports how
+// well the selected cores align with the planted communities.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "corekit/corekit.h"
+
+namespace {
+
+// Fraction of `vertices` that lies in its best-covered planted community.
+double Purity(const std::vector<corekit::VertexId>& vertices,
+              const std::vector<corekit::VertexId>& community) {
+  if (vertices.empty()) return 0.0;
+  std::map<corekit::VertexId, int> counts;
+  for (const corekit::VertexId v : vertices) ++counts[community[v]];
+  int best = 0;
+  for (const auto& [label, count] : counts) best = std::max(best, count);
+  return static_cast<double>(best) / static_cast<double>(vertices.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace corekit;
+
+  // A collaboration-network stand-in with *heterogeneous* communities —
+  // the situation of the paper's case study, where one group (community A,
+  // an MIT lab) is far denser than the rest and another (community B) is
+  // unusually isolated.  Communities are ER blocks of increasing density;
+  // the last block gets almost no outside wiring.
+  const VertexId kBlock = 250;
+  const VertexId kBlocks = 8;
+  const VertexId n = kBlock * kBlocks;
+  Rng rng(SeedFromString("community-example"));
+  GraphBuilder builder(n);
+  std::vector<VertexId> community(n);
+  for (VertexId b = 0; b < kBlocks; ++b) {
+    const VertexId offset = b * kBlock;
+    for (VertexId v = offset; v < offset + kBlock; ++v) community[v] = b;
+    // Density ramps from ~6 to ~55 expected neighbors.
+    const double p_in = 0.025 + 0.028 * b;
+    const Graph block =
+        GenerateErdosRenyi(kBlock,
+                           static_cast<EdgeId>(p_in * kBlock * (kBlock - 1) / 2),
+                           rng.NextUint64());
+    for (const auto& [u, v] : block.ToEdgeList()) {
+      builder.AddEdge(offset + u, offset + v);
+    }
+  }
+  // Sparse cross wiring that skips community 5, leaving it nearly
+  // isolated (the analogue of the paper's community B).
+  const VertexId kIsolated = 5;
+  for (int i = 0; i < 2500;) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(n));
+    const auto v = static_cast<VertexId>(rng.NextBounded(n));
+    if (community[u] == kIsolated || community[v] == kIsolated) continue;
+    builder.AddEdge(u, v);
+    ++i;
+  }
+  builder.AddEdge(kIsolated * kBlock, 0);  // one bridge keeps it connected
+  const Graph graph = builder.Build();
+
+  std::printf("collaboration network: n=%u m=%llu\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  std::printf("kmax=%u, %u cores in the hierarchy\n\n", cores.kmax,
+              forest.NumNodes());
+
+  TablePrinter table({"metric", "best k", "|S*|", "score", "purity"});
+  for (const Metric metric : kAllMetrics) {
+    const SingleCoreProfile profile =
+        FindBestSingleCore(ordered, forest, metric);
+    const std::vector<VertexId> members =
+        forest.CoreVertices(profile.best_node);
+    table.AddRow({MetricShortName(metric), std::to_string(profile.best_k),
+                  std::to_string(members.size()),
+                  TablePrinter::FormatDouble(profile.best_score, 4),
+                  TablePrinter::FormatDouble(Purity(members, community), 3)});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nCohesion metrics (ad/den/cc) should select a dense core inside one\n"
+      "planted community (purity near 1); separation metrics (cr/con) favor\n"
+      "weakly attached cores.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Densest-subgraph discovery via best-k core selection (Section V-D,
+// Table VIII workflow).
+//
+// Compares three solvers on a heavy-tailed R-MAT graph:
+//   * Opt-D      — best single k-core under average degree (this paper),
+//   * CoreApp    — kmax-core approximation (Fang et al., the comparator),
+//   * Exact      — Goldberg's max-flow reduction (on a small graph).
+// and checks whether the maximum clique lives inside Opt-D's output, the
+// containment property Table VIII reports.
+
+#include <cstdio>
+#include <iostream>
+
+#include "corekit/corekit.h"
+
+int main() {
+  using namespace corekit;
+
+  // Large-ish skewed graph for the approximation comparison.
+  RmatParams rmat;
+  rmat.scale = 15;
+  rmat.num_edges = 1 << 19;
+  rmat.seed = SeedFromString("densest-example");
+  const Graph graph = GenerateRmat(rmat);
+  std::printf("R-MAT graph: n=%u m=%llu\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  Timer timer;
+  const DensestSubgraphResult opt_d = OptDDensestSubgraph(graph);
+  const double opt_d_time = timer.ElapsedSeconds();
+  timer.Reset();
+  const DensestSubgraphResult core_app = CoreAppDensestSubgraph(graph);
+  const double core_app_time = timer.ElapsedSeconds();
+
+  TablePrinter table({"algorithm", "davg", "|S|", "time"});
+  table.AddRow({"Opt-D", TablePrinter::FormatDouble(opt_d.average_degree, 3),
+                std::to_string(opt_d.vertices.size()),
+                TablePrinter::FormatSeconds(opt_d_time)});
+  table.AddRow({"CoreApp",
+                TablePrinter::FormatDouble(core_app.average_degree, 3),
+                std::to_string(core_app.vertices.size()),
+                TablePrinter::FormatSeconds(core_app_time)});
+  table.Print(std::cout);
+
+  // Maximum clique containment (exact solver).
+  const std::vector<VertexId> clique = FindMaximumClique(graph);
+  std::vector<bool> in_opt_d(graph.NumVertices(), false);
+  for (const VertexId v : opt_d.vertices) in_opt_d[v] = true;
+  bool contained = true;
+  for (const VertexId v : clique) contained = contained && in_opt_d[v];
+  std::printf("\nmaximum clique: %zu vertices; contained in S*: %s\n",
+              clique.size(), contained ? "yes" : "no");
+
+  // Exact optimum on a downsized instance (max-flow is the oracle, not a
+  // production path).
+  rmat.scale = 9;
+  rmat.num_edges = 1 << 12;
+  const Graph small = GenerateRmat(rmat);
+  const DensestSubgraphResult small_opt_d = OptDDensestSubgraph(small);
+  const DensestSubgraphResult exact = ExactDensestSubgraph(small);
+  std::printf(
+      "\nsmall instance (n=%u): exact davg=%.4f, Opt-D davg=%.4f "
+      "(ratio %.3f, guaranteed >= 0.5)\n",
+      small.NumVertices(), exact.average_degree, small_opt_d.average_degree,
+      small_opt_d.average_degree / exact.average_degree);
+  return 0;
+}

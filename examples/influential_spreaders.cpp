@@ -1,0 +1,88 @@
+// Influential-spreader identification: the application that motivates
+// much of the k-core literature the paper builds on (Kitsak et al. [34];
+// also [24], [40], [41]).
+//
+// Claim reproduced: for single-seed epidemics near the epidemic
+// threshold, a vertex's coreness predicts its spreading power better than
+// its degree — the best spreaders sit in the inner core, not on
+// high-degree periphery.  We build a network with deliberate
+// hub-on-the-periphery structure (a dense core plus high-degree stars
+// hanging off it), then compare average outbreak sizes of top-degree vs
+// top-coreness seed pools.
+
+#include <cstdio>
+#include <iostream>
+
+#include "corekit/corekit.h"
+
+int main() {
+  using namespace corekit;
+
+  // Network: an onion-style dense core with star-hubs attached to the
+  // periphery by a single link each — the hubs have the highest degrees
+  // but coreness 1.
+  Rng rng(SeedFromString("spreaders"));
+  OnionParams onion;
+  onion.num_vertices = 3000;
+  onion.num_layers = 10;
+  onion.target_kmax = 24;
+  onion.seed = rng.NextUint64();
+  const Graph core_part = GenerateOnion(onion);
+
+  const VertexId hubs = 12;
+  const VertexId leaves_per_hub = 120;
+  const VertexId n =
+      core_part.NumVertices() + hubs * (1 + leaves_per_hub);
+  GraphBuilder builder(n);
+  builder.AddEdges(core_part.ToEdgeList());
+  VertexId next = core_part.NumVertices();
+  for (VertexId h = 0; h < hubs; ++h) {
+    const VertexId hub = next++;
+    // One link into the sparse outskirts of the core.
+    builder.AddEdge(hub, static_cast<VertexId>(rng.NextBounded(
+                             core_part.NumVertices() / 8)));
+    for (VertexId leaf = 0; leaf < leaves_per_hub; ++leaf) {
+      builder.AddEdge(hub, next++);
+    }
+  }
+  const Graph graph = builder.Build();
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  std::printf("network: n=%u m=%llu kmax=%u\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()),
+              cores.kmax);
+
+  // Seed pools.
+  const VertexId pool = 20;
+  const auto by_degree = TopDegreeVertices(graph, pool);
+  const auto by_coreness = TopCorenessVertices(graph, cores, pool);
+  std::printf("top-degree pool: degree %u..%u, coreness of first: %u\n",
+              graph.Degree(by_degree.front()),
+              graph.Degree(by_degree.back()),
+              cores.coreness[by_degree.front()]);
+  std::printf("top-coreness pool: coreness %u, degree of first: %u\n\n",
+              cores.coreness[by_coreness.front()],
+              graph.Degree(by_coreness.front()));
+
+  // Sweep the transmission probability around the epidemic threshold.
+  TablePrinter table({"beta", "avg outbreak (top degree)",
+                      "avg outbreak (top coreness)", "coreness wins"});
+  SirParams params;
+  params.trials = 60;
+  params.seed = SeedFromString("sir");
+  for (const double beta : {0.02, 0.05, 0.10, 0.20}) {
+    params.infect_prob = beta;
+    const double degree_spread =
+        AverageSingleSeedOutbreak(graph, by_degree, params);
+    const double coreness_spread =
+        AverageSingleSeedOutbreak(graph, by_coreness, params);
+    table.AddRow({TablePrinter::FormatDouble(beta, 2),
+                  TablePrinter::FormatDouble(degree_spread, 1),
+                  TablePrinter::FormatDouble(coreness_spread, 1),
+                  coreness_spread > degree_spread ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected ([34]): inner-core seeds out-spread peripheral hubs "
+      "despite far smaller degree, most clearly at small beta.\n");
+  return 0;
+}

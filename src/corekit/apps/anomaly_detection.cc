@@ -1,0 +1,57 @@
+#include "corekit/apps/anomaly_detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+MirrorPatternResult DetectMirrorAnomalies(const Graph& graph,
+                                          const CoreDecomposition& cores) {
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK_EQ(cores.coreness.size(), n);
+  MirrorPatternResult result;
+  result.score.assign(n, 0.0);
+  if (n == 0) return result;
+
+  // Least squares of y = log(deg + 1) on x = log(coreness + 1).
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  double sum_yy = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const double x = std::log(static_cast<double>(cores.coreness[v]) + 1.0);
+    const double y = std::log(static_cast<double>(graph.Degree(v)) + 1.0);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    sum_yy += y * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double var_x = sum_xx - sum_x * sum_x / dn;
+  const double var_y = sum_yy - sum_y * sum_y / dn;
+  const double cov = sum_xy - sum_x * sum_y / dn;
+  result.beta = var_x > 0.0 ? cov / var_x : 0.0;
+  result.alpha = (sum_y - result.beta * sum_x) / dn;
+  result.correlation =
+      (var_x > 0.0 && var_y > 0.0) ? cov / std::sqrt(var_x * var_y) : 0.0;
+
+  for (VertexId v = 0; v < n; ++v) {
+    const double x = std::log(static_cast<double>(cores.coreness[v]) + 1.0);
+    const double y = std::log(static_cast<double>(graph.Degree(v)) + 1.0);
+    result.score[v] = std::abs(y - (result.alpha + result.beta * x));
+  }
+
+  result.ranking.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.ranking[v] = v;
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [&result](VertexId a, VertexId b) {
+                     return result.score[a] > result.score[b];
+                   });
+  return result;
+}
+
+}  // namespace corekit

@@ -1,0 +1,42 @@
+// Coreness-based anomaly detection (CoreScope, Shin, Eliassi-Rad &
+// Faloutsos, ICDM 2016 — reference [53] of the paper).
+//
+// CoreScope's "mirror pattern": on real networks, a vertex's degree and
+// coreness correlate strongly on a log-log scale.  Vertices that break
+// the pattern are structurally anomalous — "loner-stars" with huge degree
+// but tiny coreness (followers bought, spam targets) and unusually
+// embedded low-degree vertices on the other side.  The detector fits the
+// log-log regression degree ~ coreness and scores each vertex by its
+// absolute residual.
+
+#ifndef COREKIT_APPS_ANOMALY_DETECTION_H_
+#define COREKIT_APPS_ANOMALY_DETECTION_H_
+
+#include <vector>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+struct MirrorPatternResult {
+  // Fitted model: log(degree) ~ alpha + beta * log(coreness + 1).
+  double alpha = 0.0;
+  double beta = 0.0;
+  // Pearson correlation of the two log quantities (the "mirror" strength;
+  // near 1 on well-behaved networks).
+  double correlation = 0.0;
+  // score[v] = |log(deg(v)+1) - predicted|; higher = more anomalous.
+  std::vector<double> score;
+  // Vertex ids sorted by descending score (the anomaly ranking).
+  std::vector<VertexId> ranking;
+};
+
+// Fits the mirror pattern and ranks anomalies.  `cores` must be the
+// decomposition of `graph`.  O(n + m).
+MirrorPatternResult DetectMirrorAnomalies(const Graph& graph,
+                                          const CoreDecomposition& cores);
+
+}  // namespace corekit
+
+#endif  // COREKIT_APPS_ANOMALY_DETECTION_H_

@@ -1,0 +1,57 @@
+#include "corekit/apps/community_search.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+CommunitySearcher::CommunitySearcher(const Graph& graph, Metric metric)
+    : graph_(graph),
+      cores_(ComputeCoreDecomposition(graph)),
+      ordered_(graph, cores_),
+      forest_(graph, cores_),
+      profile_(FindBestSingleCore(ordered_, forest_, metric)),
+      index_(forest_, profile_) {}
+
+CommunitySearchResult CommunitySearcher::Materialize(VertexId query,
+                                                     VertexId k) const {
+  CommunitySearchResult result;
+  const CoreForest::NodeId node = index_.NodeOf(query, k);
+  if (node == CoreForest::kNoNode) return result;
+  result.found = true;
+  result.k = k;
+  result.score = profile_.scores[node];
+  result.members = forest_.CoreVertices(node);
+  std::sort(result.members.begin(), result.members.end());
+  return result;
+}
+
+CommunitySearchResult CommunitySearcher::Search(VertexId query) const {
+  if (query >= graph_.NumVertices() || cores_.coreness[query] == 0) {
+    return {};
+  }
+  return Materialize(query, index_.BestKFor(query));
+}
+
+CommunitySearchResult CommunitySearcher::SearchWithMinK(VertexId query,
+                                                        VertexId min_k) const {
+  if (query >= graph_.NumVertices() || cores_.coreness[query] < min_k) {
+    return {};
+  }
+  // Best level among those >= min_k on the query's root path.
+  VertexId best_k = min_k;
+  double best_score = index_.Score(query, min_k);
+  for (CoreForest::NodeId cur = forest_.NodeOfVertex(query);
+       cur != CoreForest::kNoNode; cur = forest_.node(cur).parent) {
+    const VertexId level = forest_.node(cur).coreness;
+    if (level < min_k) break;
+    if (profile_.scores[cur] > best_score) {
+      best_score = profile_.scores[cur];
+      best_k = level;
+    }
+  }
+  return Materialize(query, best_k);
+}
+
+}  // namespace corekit

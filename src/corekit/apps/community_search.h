@@ -1,0 +1,60 @@
+// Community search: given a query vertex, return its best community
+// (the k-core use case of references [15], [16], [25], [57] of the
+// paper, powered by the best-k machinery).
+//
+// The community candidates for a query vertex v are exactly the cores on
+// its core-forest root path; under a metric on the primary values, the
+// best community is the best-scoring core on that path — the per-vertex
+// personalization of the paper's Problem 2, answered through the
+// CoreHierarchyIndex and materialized on demand.
+
+#ifndef COREKIT_APPS_COMMUNITY_SEARCH_H_
+#define COREKIT_APPS_COMMUNITY_SEARCH_H_
+
+#include <vector>
+
+#include "corekit/core/hierarchy_index.h"
+#include "corekit/core/metrics.h"
+
+namespace corekit {
+
+struct CommunitySearchResult {
+  bool found = false;
+  // The level whose core is returned (v's personalized best k).
+  VertexId k = 0;
+  double score = 0.0;
+  // Members, sorted ascending; contains the query vertex.
+  std::vector<VertexId> members;
+};
+
+// Precomputes decomposition, ordering, forest, score profile and the
+// hierarchy index once; answers queries in O(|answer| + log depth).
+class CommunitySearcher {
+ public:
+  CommunitySearcher(const Graph& graph, Metric metric);
+
+  // Best community of `query` under the searcher's metric; not found for
+  // out-of-range or isolated vertices.
+  CommunitySearchResult Search(VertexId query) const;
+
+  // Best community of `query` at cohesion at least `min_k` (the
+  // constrained variant of [15]/[16]); not found when coreness(query) <
+  // min_k.
+  CommunitySearchResult SearchWithMinK(VertexId query, VertexId min_k) const;
+
+  const CoreDecomposition& cores() const { return cores_; }
+
+ private:
+  CommunitySearchResult Materialize(VertexId query, VertexId k) const;
+
+  const Graph& graph_;
+  CoreDecomposition cores_;
+  OrderedGraph ordered_;
+  CoreForest forest_;
+  SingleCoreProfile profile_;
+  CoreHierarchyIndex index_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_APPS_COMMUNITY_SEARCH_H_

@@ -1,0 +1,110 @@
+#include "corekit/apps/core_clustering.h"
+
+#include <algorithm>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+double PartitionModularity(const Graph& graph,
+                           const std::vector<VertexId>& cluster,
+                           VertexId num_clusters) {
+  COREKIT_CHECK_EQ(cluster.size(), graph.NumVertices());
+  const double m = static_cast<double>(graph.NumEdges());
+  if (m == 0.0) return 0.0;
+
+  // Per-cluster internal edges (x2) and total incident degree (volume).
+  std::vector<double> internal_x2(num_clusters, 0.0);
+  std::vector<double> volume(num_clusters, 0.0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    COREKIT_DCHECK(cluster[v] < num_clusters);
+    volume[cluster[v]] += graph.Degree(v);
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (cluster[u] == cluster[v]) internal_x2[cluster[v]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (VertexId c = 0; c < num_clusters; ++c) {
+    const double m_c = internal_x2[c] / 2.0;
+    const double vol = volume[c] / (2.0 * m);
+    q += m_c / m - vol * vol;
+  }
+  return q;
+}
+
+CoreClustering ClusterByCores(const Graph& graph, std::uint32_t max_rounds) {
+  const VertexId n = graph.NumVertices();
+  CoreClustering result;
+  result.cluster.resize(n);
+  if (n == 0) return result;
+
+  // Schedule: descending coreness, ties by id (the reverse of the
+  // Algorithm 1 rank order) — the inner core votes first.
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  std::vector<VertexId> schedule(ordered.VerticesByRank().begin(),
+                                 ordered.VerticesByRank().end());
+  std::reverse(schedule.begin(), schedule.end());
+
+  // Labels start as self; async majority propagation.
+  std::vector<VertexId>& label = result.cluster;
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+
+  // Scratch histogram over neighbor labels, epoch-stamped.
+  std::vector<VertexId> count(n, 0);
+  std::vector<VertexId> stamp(n, kInvalidVertex);
+  std::vector<VertexId> seen;
+
+  bool changed = true;
+  while (changed && result.rounds < max_rounds) {
+    changed = false;
+    ++result.rounds;
+    for (const VertexId v : schedule) {
+      const auto nbrs = graph.Neighbors(v);
+      if (nbrs.empty()) continue;
+      // Histogram of neighbor labels.
+      seen.clear();
+      for (const VertexId u : nbrs) {
+        const VertexId l = label[u];
+        if (stamp[l] != v) {
+          stamp[l] = v;
+          count[l] = 0;
+          seen.push_back(l);
+        }
+        ++count[l];
+      }
+      VertexId max_count = 0;
+      for (const VertexId l : seen) max_count = std::max(max_count, count[l]);
+      // Keep the current label when it is among the maxima; otherwise the
+      // smallest majority label (both deterministic).
+      VertexId best_label;
+      if (stamp[label[v]] == v && count[label[v]] == max_count) {
+        best_label = label[v];
+      } else {
+        best_label = kInvalidVertex;
+        for (const VertexId l : seen) {
+          if (count[l] == max_count) best_label = std::min(best_label, l);
+        }
+      }
+      if (best_label != label[v]) {
+        label[v] = best_label;
+        changed = true;
+      }
+    }
+  }
+
+  // Densify labels.
+  std::vector<VertexId> remap(n, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (remap[label[v]] == kInvalidVertex) remap[label[v]] = next++;
+    label[v] = remap[label[v]];
+  }
+  result.num_clusters = next;
+  result.modularity = PartitionModularity(graph, label, next);
+  return result;
+}
+
+}  // namespace corekit

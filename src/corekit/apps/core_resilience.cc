@@ -1,0 +1,104 @@
+#include "corekit/apps/core_resilience.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/connected_components.h"
+#include "corekit/graph/subgraph.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+const char* RemovalStrategyName(RemovalStrategy strategy) {
+  switch (strategy) {
+    case RemovalStrategy::kRandom:
+      return "random";
+    case RemovalStrategy::kHighestDegreeFirst:
+      return "degree-targeted";
+    case RemovalStrategy::kHighestCorenessFirst:
+      return "coreness-targeted";
+  }
+  return "?";
+}
+
+ResilienceCurve ComputeResilienceCurve(const Graph& graph,
+                                       RemovalStrategy strategy,
+                                       std::uint32_t steps,
+                                       VertexId reference_k,
+                                       std::uint64_t seed) {
+  COREKIT_CHECK_GT(steps, 0u);
+  const VertexId n = graph.NumVertices();
+  ResilienceCurve curve;
+  curve.strategy = strategy;
+  if (n == 0) return curve;
+
+  const CoreDecomposition initial = ComputeCoreDecomposition(graph);
+  curve.reference_k =
+      reference_k != 0 ? reference_k
+                       : std::max<VertexId>(1, initial.kmax / 2);
+
+  // Removal order, fixed up front on the intact graph.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  switch (strategy) {
+    case RemovalStrategy::kRandom: {
+      Rng rng(seed);
+      rng.Shuffle(order);
+      break;
+    }
+    case RemovalStrategy::kHighestDegreeFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&graph](VertexId a, VertexId b) {
+                         return graph.Degree(a) > graph.Degree(b);
+                       });
+      break;
+    case RemovalStrategy::kHighestCorenessFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&initial](VertexId a, VertexId b) {
+                         return initial.coreness[a] > initial.coreness[b];
+                       });
+      break;
+  }
+
+  std::vector<bool> alive(n, true);
+  std::size_t removed = 0;
+  auto measure = [&]() {
+    ResiliencePoint point;
+    point.removed_fraction =
+        static_cast<double>(removed) / static_cast<double>(n);
+    const InducedSubgraph remaining = ExtractInducedSubgraph(graph, alive);
+    if (remaining.graph.NumVertices() > 0) {
+      const CoreDecomposition cores =
+          ComputeCoreDecomposition(remaining.graph);
+      point.kmax = cores.kmax;
+      for (const VertexId c : cores.coreness) {
+        point.inner_core_size += (c == cores.kmax && cores.kmax > 0) ? 1u : 0u;
+        point.reference_core_size += c >= curve.reference_k ? 1u : 0u;
+      }
+      const ComponentLabels components =
+          ConnectedComponents(remaining.graph);
+      std::vector<VertexId> sizes(components.num_components, 0);
+      for (const VertexId label : components.label) ++sizes[label];
+      for (const VertexId size : sizes) {
+        point.largest_component = std::max(point.largest_component, size);
+      }
+    }
+    curve.points.push_back(point);
+  };
+
+  measure();  // intact graph
+  const std::size_t batch = (static_cast<std::size_t>(n) + steps - 1) / steps;
+  std::size_t cursor = 0;
+  for (std::uint32_t step = 0; step < steps && cursor < n; ++step) {
+    for (std::size_t i = 0; i < batch && cursor < n; ++i, ++cursor) {
+      alive[order[cursor]] = false;
+      ++removed;
+    }
+    measure();
+  }
+  return curve;
+}
+
+}  // namespace corekit

@@ -1,0 +1,61 @@
+// Core resilience: structural-collapse analysis via the core hierarchy
+// (Morone, Del Ferraro & Makse, Nature Physics 2019 — reference [44] of
+// the paper: "the k-core as a predictor of structural collapse").
+//
+// The diagnostic: remove vertices progressively (randomly, or
+// adversarially by decreasing coreness / degree) and track how the inner
+// core degrades — kmax, the size of the kmax-core, and the size of a
+// fixed reference k-core.  Real mutualistic/social systems show an
+// *abrupt* collapse of the inner core under targeted removal long before
+// the giant component disappears; the bench (ext_resilience) reproduces
+// that contrast between random and targeted attacks.
+
+#ifndef COREKIT_APPS_CORE_RESILIENCE_H_
+#define COREKIT_APPS_CORE_RESILIENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+enum class RemovalStrategy : int {
+  kRandom = 0,
+  kHighestDegreeFirst = 1,
+  kHighestCorenessFirst = 2,
+};
+const char* RemovalStrategyName(RemovalStrategy strategy);
+
+struct ResiliencePoint {
+  // Fraction of vertices removed so far.
+  double removed_fraction = 0.0;
+  // Degeneracy of the remaining graph.
+  VertexId kmax = 0;
+  // Vertices in the remaining graph's kmax-core set.
+  VertexId inner_core_size = 0;
+  // Vertices with coreness >= reference_k in the remaining graph.
+  VertexId reference_core_size = 0;
+  // Largest connected component of the remaining graph.
+  VertexId largest_component = 0;
+};
+
+struct ResilienceCurve {
+  RemovalStrategy strategy = RemovalStrategy::kRandom;
+  VertexId reference_k = 0;
+  std::vector<ResiliencePoint> points;
+};
+
+// Removes vertices under `strategy` in `steps` equal batches (targeted
+// orders are computed once on the intact graph, the convention of [44]),
+// recomputing the core structure after each batch.  `reference_k`
+// defaults to half the initial kmax when 0.
+ResilienceCurve ComputeResilienceCurve(const Graph& graph,
+                                       RemovalStrategy strategy,
+                                       std::uint32_t steps,
+                                       VertexId reference_k = 0,
+                                       std::uint64_t seed = 1);
+
+}  // namespace corekit
+
+#endif  // COREKIT_APPS_CORE_RESILIENCE_H_

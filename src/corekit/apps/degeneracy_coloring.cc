@@ -1,0 +1,49 @@
+#include "corekit/apps/degeneracy_coloring.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+GraphColoring ColorBySmallestLast(const Graph& graph,
+                                  const CoreDecomposition& cores) {
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK_EQ(cores.peel_order.size(), n);
+  GraphColoring result;
+  result.color.assign(n, kInvalidVertex);
+  if (n == 0) return result;
+
+  // First-fit over colors forbidden by already-colored neighbors; at most
+  // kmax of them can be colored when v's turn comes, so color ids stay
+  // within [0, kmax].
+  std::vector<VertexId> forbidden_at(static_cast<std::size_t>(cores.kmax) + 2,
+                                     kInvalidVertex);
+  for (VertexId i = n; i-- > 0;) {
+    const VertexId v = cores.peel_order[i];
+    for (const VertexId u : graph.Neighbors(v)) {
+      const VertexId c = result.color[u];
+      if (c != kInvalidVertex && c < forbidden_at.size()) {
+        forbidden_at[c] = v;  // stamped per vertex
+      }
+    }
+    VertexId chosen = 0;
+    while (forbidden_at[chosen] == v) ++chosen;
+    COREKIT_DCHECK(chosen <= cores.kmax);
+    result.color[v] = chosen;
+    result.num_colors = std::max(result.num_colors, chosen + 1);
+  }
+  return result;
+}
+
+bool IsProperColoring(const Graph& graph,
+                      const std::vector<VertexId>& color) {
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (color[u] == color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace corekit

@@ -1,0 +1,125 @@
+#include "corekit/apps/densest_subgraph.h"
+
+#include <algorithm>
+
+#include "corekit/apps/max_flow.h"
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/core/metrics.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+double InducedAverageDegree(const Graph& graph,
+                            const std::vector<VertexId>& vertices) {
+  if (vertices.empty()) return 0.0;
+  std::vector<bool> mask(graph.NumVertices(), false);
+  for (const VertexId v : vertices) mask[v] = true;
+  std::uint64_t internal_x2 = 0;
+  for (const VertexId v : vertices) {
+    for (const VertexId u : graph.Neighbors(v)) internal_x2 += mask[u] ? 1u : 0u;
+  }
+  return static_cast<double>(internal_x2) /
+         static_cast<double>(vertices.size());
+}
+
+DensestSubgraphResult OptDDensestSubgraph(const Graph& graph) {
+  COREKIT_CHECK_GT(graph.NumVertices(), 0u);
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+
+  DensestSubgraphResult result;
+  result.vertices = forest.CoreVertices(profile.best_node);
+  std::sort(result.vertices.begin(), result.vertices.end());
+  result.average_degree = profile.best_score;
+  return result;
+}
+
+DensestSubgraphResult CoreAppDensestSubgraph(const Graph& graph) {
+  COREKIT_CHECK_GT(graph.NumVertices(), 0u);
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+
+  DensestSubgraphResult result;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (cores.coreness[v] == cores.kmax) result.vertices.push_back(v);
+  }
+  result.average_degree = InducedAverageDegree(graph, result.vertices);
+  return result;
+}
+
+DensestSubgraphResult ExactDensestSubgraph(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK_GT(n, 0u);
+  const EdgeId m = graph.NumEdges();
+
+  DensestSubgraphResult result;
+  if (m == 0) {
+    result.vertices.push_back(0);
+    result.average_degree = 0.0;
+    return result;
+  }
+
+  // Goldberg's reduction.  Densities m(S)/|S| are rationals with
+  // denominator <= n, so two distinct values differ by at least 1/n^2;
+  // binary-searching the guess over multiples of 1/D with D = n^2 pins the
+  // optimum exactly (the final half-open interval of width 1/D cannot hold
+  // two distinct densities).  All capacities are pre-multiplied by D.
+  const auto big_n = static_cast<std::int64_t>(n);
+  const std::int64_t d_scale = big_n * big_n;
+  const auto big_m = static_cast<std::int64_t>(m);
+  const EdgeList edges = graph.ToEdgeList();
+
+  // Feasibility of guess x/D: does some non-empty S have m(S)/|S| > x/D?
+  // Also records the witness S when feasible.
+  std::vector<VertexId> witness;
+  auto feasible = [&](std::int64_t x) {
+    const std::uint32_t source = n;
+    const std::uint32_t sink = n + 1;
+    MaxFlowNetwork net(n + 2);
+    for (VertexId v = 0; v < n; ++v) {
+      net.AddArc(source, v, big_m * d_scale);
+      const auto deg = static_cast<std::int64_t>(graph.Degree(v));
+      net.AddArc(v, sink, big_m * d_scale + 2 * x - deg * d_scale);
+    }
+    for (const auto& [u, v] : edges) {
+      net.AddArc(u, v, d_scale);
+      net.AddArc(v, u, d_scale);
+    }
+    const MaxFlowNetwork::FlowValue cut = net.Solve(source, sink);
+    if (cut >= big_n * big_m * d_scale) return false;
+    witness.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (net.InSourceSide(v)) witness.push_back(v);
+    }
+    COREKIT_CHECK(!witness.empty());
+    return true;
+  };
+
+  // Invariant: feasible(lo) true, feasible(hi) false; densities live in
+  // (lo/D, hi/D].  Densities are <= m, so hi = m*D + 1 is safely
+  // infeasible.
+  std::int64_t lo = 0;
+  std::int64_t hi = big_m * d_scale + 1;
+  COREKIT_CHECK(feasible(lo));
+  std::vector<VertexId> best = witness;
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      lo = mid;
+      best = witness;
+    } else {
+      hi = mid;
+    }
+  }
+
+  result.vertices = std::move(best);
+  result.average_degree = InducedAverageDegree(graph, result.vertices);
+  return result;
+}
+
+}  // namespace corekit

@@ -1,0 +1,51 @@
+// Densest-subgraph algorithms (Section V-D, Table VIII of the paper).
+//
+// Density here is *average degree* 2 m(S) / n(S), the quantity Table VIII
+// reports as davg.  Three solvers:
+//
+//   * OptDDensestSubgraph — the paper's Opt-D: the best single k-core by
+//     average degree (Algorithm 5).  A 1/2-approximation, because the
+//     kmax-core is among the scored candidates and is itself a
+//     1/2-approximation [26].
+//   * CoreAppDensestSubgraph — reimplementation of the core-based
+//     approximation of Fang et al. [26] the paper compares against:
+//     return the kmax-core set.  Also a 1/2-approximation.
+//   * ExactDensestSubgraph — Goldberg's max-flow reduction; exponential
+//     in neither n nor m but runs O(log n) max-flows, intended for the
+//     test oracle and small graphs.
+
+#ifndef COREKIT_APPS_DENSEST_SUBGRAPH_H_
+#define COREKIT_APPS_DENSEST_SUBGRAPH_H_
+
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+struct DensestSubgraphResult {
+  // Vertices of the returned subgraph (parent-graph ids, sorted).
+  std::vector<VertexId> vertices;
+  // Average degree 2 m(S) / n(S) of the returned subgraph.
+  double average_degree = 0.0;
+};
+
+// The paper's Opt-D (best single k-core under average degree).
+DensestSubgraphResult OptDDensestSubgraph(const Graph& graph);
+
+// CoreApp-style comparator (kmax-core set).
+DensestSubgraphResult CoreAppDensestSubgraph(const Graph& graph);
+
+// Exact maximum-average-degree subgraph via Goldberg's binary search over
+// min cuts.  Intended for graphs up to a few thousand edges (test oracle).
+DensestSubgraphResult ExactDensestSubgraph(const Graph& graph);
+
+// Average degree of the subgraph induced by `vertices` (helper shared by
+// the solvers, tests, and benches).
+double InducedAverageDegree(const Graph& graph,
+                            const std::vector<VertexId>& vertices);
+
+}  // namespace corekit
+
+#endif  // COREKIT_APPS_DENSEST_SUBGRAPH_H_

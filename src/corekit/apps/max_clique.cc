@@ -1,0 +1,167 @@
+#include "corekit/apps/max_clique.h"
+
+#include <algorithm>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+// Branch-and-bound state over one degeneracy subproblem, using local dense
+// ids [0, size) and a byte adjacency matrix (subproblems have at most
+// kmax + 1 vertices, so the matrix stays small).
+class SubproblemSolver {
+ public:
+  SubproblemSolver(const std::vector<std::uint8_t>& adjacency,
+                   std::uint32_t size)
+      : adjacency_(adjacency), size_(size) {}
+
+  // Expands R (current clique, size r_size) with candidate set P.
+  // `best` is the global incumbent size; `best_local` collects the local
+  // ids of the best clique found in this subproblem.
+  void Expand(std::vector<std::uint32_t>& r, std::vector<std::uint32_t>& p,
+              std::size_t& best, std::vector<std::uint32_t>& best_local) {
+    if (p.empty()) {
+      if (r.size() > best) {
+        best = r.size();
+        best_local = r;
+      }
+      return;
+    }
+
+    // Greedy coloring of P: vertices are grouped into independent color
+    // classes; a clique can take at most one vertex per class, so
+    // |R| + color(v) bounds any clique through v given the processing
+    // order below.
+    std::vector<std::uint32_t> colored;   // P reordered by ascending color
+    std::vector<std::uint32_t> color_of;  // parallel to `colored`
+    colored.reserve(p.size());
+    color_of.reserve(p.size());
+    {
+      std::vector<std::uint32_t> uncolored = p;
+      std::uint32_t color = 1;
+      std::vector<std::uint32_t> rest;
+      while (!uncolored.empty()) {
+        rest.clear();
+        // One independent set per pass.
+        std::vector<std::uint32_t> in_class;
+        for (const std::uint32_t v : uncolored) {
+          bool independent = true;
+          for (const std::uint32_t u : in_class) {
+            if (Adjacent(u, v)) {
+              independent = false;
+              break;
+            }
+          }
+          if (independent) {
+            in_class.push_back(v);
+            colored.push_back(v);
+            color_of.push_back(color);
+          } else {
+            rest.push_back(v);
+          }
+        }
+        uncolored.swap(rest);
+        ++color;
+      }
+    }
+
+    // Branch in descending color order (deepest bound first).
+    std::vector<std::uint32_t> p_new;
+    for (std::size_t i = colored.size(); i-- > 0;) {
+      const std::uint32_t v = colored[i];
+      if (r.size() + color_of[i] <= best) return;  // bound
+      p_new.clear();
+      for (std::size_t j = 0; j < i; ++j) {
+        if (Adjacent(colored[j], v)) p_new.push_back(colored[j]);
+      }
+      r.push_back(v);
+      Expand(r, p_new, best, best_local);
+      r.pop_back();
+    }
+  }
+
+ private:
+  bool Adjacent(std::uint32_t a, std::uint32_t b) const {
+    return adjacency_[static_cast<std::size_t>(a) * size_ + b] != 0;
+  }
+
+  const std::vector<std::uint8_t>& adjacency_;
+  std::uint32_t size_;
+};
+
+}  // namespace
+
+std::vector<VertexId> FindMaximumClique(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return {};
+
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  // position_in_peel[v]: rank of v in the degeneracy order.
+  std::vector<VertexId> position(n);
+  for (VertexId i = 0; i < n; ++i) position[cores.peel_order[i]] = i;
+
+  std::vector<VertexId> best_clique;
+  std::size_t best = 0;
+
+  // Reusable subproblem buffers.
+  std::vector<VertexId> members;        // local id -> global id
+  std::vector<std::uint8_t> adjacency;  // size^2 dense matrix
+
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = cores.peel_order[i];
+    // A clique whose earliest-peeled vertex is v lives inside v plus its
+    // later-peeled neighbors (at most kmax of them).
+    if (static_cast<std::size_t>(cores.coreness[v]) + 1 <= best) continue;
+
+    members.clear();
+    members.push_back(v);
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (position[u] > i) members.push_back(u);
+    }
+    if (members.size() <= best) continue;
+
+    const auto size = static_cast<std::uint32_t>(members.size());
+    adjacency.assign(static_cast<std::size_t>(size) * size, 0);
+    for (std::uint32_t a = 0; a < size; ++a) {
+      for (std::uint32_t b = a + 1; b < size; ++b) {
+        if (graph.HasEdge(members[a], members[b])) {
+          adjacency[static_cast<std::size_t>(a) * size + b] = 1;
+          adjacency[static_cast<std::size_t>(b) * size + a] = 1;
+        }
+      }
+    }
+
+    SubproblemSolver solver(adjacency, size);
+    std::vector<std::uint32_t> r{0};  // local id of v
+    std::vector<std::uint32_t> p;
+    for (std::uint32_t local = 1; local < size; ++local) p.push_back(local);
+    std::vector<std::uint32_t> best_local;
+    std::size_t sub_best = best;
+    solver.Expand(r, p, sub_best, best_local);
+    if (sub_best > best) {
+      best = sub_best;
+      best_clique.clear();
+      for (const std::uint32_t local : best_local) {
+        best_clique.push_back(members[local]);
+      }
+    }
+  }
+
+  std::sort(best_clique.begin(), best_clique.end());
+  COREKIT_DCHECK(IsClique(graph, best_clique));
+  return best_clique;
+}
+
+bool IsClique(const Graph& graph, const std::vector<VertexId>& vertices) {
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (!graph.HasEdge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace corekit

@@ -1,0 +1,82 @@
+#include "corekit/apps/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+MaxFlowNetwork::MaxFlowNetwork(std::uint32_t num_nodes) : arcs_(num_nodes) {}
+
+std::uint32_t MaxFlowNetwork::AddArc(std::uint32_t u, std::uint32_t v,
+                                     FlowValue capacity) {
+  COREKIT_CHECK(u < arcs_.size());
+  COREKIT_CHECK(v < arcs_.size());
+  COREKIT_CHECK_GE(capacity, 0);
+  const auto u_index = static_cast<std::uint32_t>(arcs_[u].size());
+  const auto v_index = static_cast<std::uint32_t>(arcs_[v].size());
+  arcs_[u].push_back(Arc{v, v_index, capacity});
+  arcs_[v].push_back(Arc{u, u_index, 0});
+  return u_index;
+}
+
+bool MaxFlowNetwork::Bfs(std::uint32_t source, std::uint32_t sink) {
+  level_.assign(arcs_.size(), -1);
+  std::vector<std::uint32_t> queue{source};
+  level_[source] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t u = queue[head];
+    for (const Arc& arc : arcs_[u]) {
+      if (arc.capacity > 0 && level_[arc.to] < 0) {
+        level_[arc.to] = level_[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+MaxFlowNetwork::FlowValue MaxFlowNetwork::Dfs(std::uint32_t node,
+                                              std::uint32_t sink,
+                                              FlowValue limit) {
+  if (node == sink) return limit;
+  for (std::uint32_t& i = iter_[node]; i < arcs_[node].size(); ++i) {
+    Arc& arc = arcs_[node][i];
+    if (arc.capacity <= 0 || level_[arc.to] != level_[node] + 1) continue;
+    const FlowValue pushed =
+        Dfs(arc.to, sink, std::min(limit, arc.capacity));
+    if (pushed > 0) {
+      arc.capacity -= pushed;
+      arcs_[arc.to][arc.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+MaxFlowNetwork::FlowValue MaxFlowNetwork::Solve(std::uint32_t source,
+                                                std::uint32_t sink) {
+  COREKIT_CHECK_NE(source, sink);
+  FlowValue total = 0;
+  while (Bfs(source, sink)) {
+    iter_.assign(arcs_.size(), 0);
+    while (true) {
+      const FlowValue pushed =
+          Dfs(source, sink, std::numeric_limits<FlowValue>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+bool MaxFlowNetwork::InSourceSide(std::uint32_t node) const {
+  COREKIT_CHECK(node < arcs_.size());
+  COREKIT_CHECK(!level_.empty()) << "Solve() must run first";
+  // After the final BFS (which failed to reach the sink), the source side
+  // of the min cut is exactly the set of reachable nodes.
+  return level_[node] >= 0;
+}
+
+}  // namespace corekit

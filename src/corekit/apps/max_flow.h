@@ -1,0 +1,50 @@
+// Dinic's maximum-flow algorithm.
+//
+// Substrate for the exact densest-subgraph solver (Goldberg's reduction);
+// also generally useful.  Capacities are 64-bit integers scaled by the
+// caller when fractional guesses are needed.
+
+#ifndef COREKIT_APPS_MAX_FLOW_H_
+#define COREKIT_APPS_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace corekit {
+
+class MaxFlowNetwork {
+ public:
+  using FlowValue = std::int64_t;
+
+  explicit MaxFlowNetwork(std::uint32_t num_nodes);
+
+  // Adds a directed arc u -> v with the given capacity (and an implicit
+  // zero-capacity reverse arc).  Returns the arc index for later
+  // inspection.
+  std::uint32_t AddArc(std::uint32_t u, std::uint32_t v, FlowValue capacity);
+
+  // Computes the max flow from `source` to `sink`.  May be called once per
+  // network instance.
+  FlowValue Solve(std::uint32_t source, std::uint32_t sink);
+
+  // After Solve: true if `node` is on the source side of the min cut.
+  bool InSourceSide(std::uint32_t node) const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;  // index of the reverse arc in arcs_[to]
+    FlowValue capacity;
+  };
+
+  bool Bfs(std::uint32_t source, std::uint32_t sink);
+  FlowValue Dfs(std::uint32_t node, std::uint32_t sink, FlowValue limit);
+
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::uint32_t> iter_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_APPS_MAX_FLOW_H_

@@ -1,0 +1,132 @@
+#include "corekit/apps/size_constrained_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "corekit/core/metrics.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+SizeConstrainedCoreSolver::SizeConstrainedCoreSolver(const Graph& graph)
+    : graph_(graph),
+      cores_(ComputeCoreDecomposition(graph)),
+      ordered_(graph, cores_),
+      forest_(graph, cores_),
+      profile_(FindBestSingleCore(ordered_, forest_,
+                                  Metric::kAverageDegree)) {}
+
+SckResult SizeConstrainedCoreSolver::Solve(VertexId query_vertex, VertexId k,
+                                           VertexId h) const {
+  SckResult result;
+  if (query_vertex >= graph_.NumVertices()) return result;
+  if (cores_.coreness[query_vertex] < k) return result;  // no k-core holds v
+
+  // --- Candidate selection: walk v's root path in the core forest. ------
+  CoreForest::NodeId best_node = CoreForest::kNoNode;
+  double best_score = -1.0;
+  for (CoreForest::NodeId node = forest_.NodeOfVertex(query_vertex);
+       node != CoreForest::kNoNode; node = forest_.node(node).parent) {
+    if (forest_.node(node).coreness < k) break;  // coarser cores only get
+                                                 // looser than k from here
+    if (forest_.CoreSize(node) < h) continue;
+    if (profile_.scores[node] > best_score) {
+      best_score = profile_.scores[node];
+      best_node = node;
+    }
+  }
+  if (best_node == CoreForest::kNoNode) return result;
+
+  // --- Peeling inside the candidate core. -------------------------------
+  const std::vector<VertexId> members = forest_.CoreVertices(best_node);
+  // Local membership + degrees within the shrinking subgraph.
+  std::vector<bool> alive(graph_.NumVertices(), false);
+  for (const VertexId v : members) alive[v] = true;
+  std::vector<VertexId> degree(graph_.NumVertices(), 0);
+  for (const VertexId v : members) {
+    VertexId d = 0;
+    for (const VertexId u : graph_.Neighbors(v)) d += alive[u] ? 1u : 0u;
+    degree[v] = d;
+  }
+
+  // Min-degree extraction with lazy updates.
+  using Entry = std::pair<VertexId, VertexId>;  // (degree, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (const VertexId v : members) heap.emplace(degree[v], v);
+
+  std::size_t size = members.size();
+  std::vector<VertexId> cascade;
+  auto remove_vertex = [&](VertexId v) {
+    alive[v] = false;
+    --size;
+    for (const VertexId u : graph_.Neighbors(v)) {
+      if (!alive[u]) continue;
+      --degree[u];
+      heap.emplace(degree[u], u);
+      if (degree[u] < k && u != query_vertex) cascade.push_back(u);
+    }
+  };
+
+  while (size > h) {
+    // Pop the current minimum-degree vertex (skip stale entries, the
+    // query vertex, and anything already cascaded away).
+    VertexId victim = kInvalidVertex;
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (!alive[v] || degree[v] != d || v == query_vertex) continue;
+      victim = v;
+      break;
+    }
+    if (victim == kInvalidVertex) break;  // only the query vertex is left
+    if (degree[query_vertex] <= k &&
+        graph_.HasEdge(victim, query_vertex)) {
+      // Removing this victim would drag v below k; peeling cannot shrink
+      // further without breaking the query vertex.
+      break;
+    }
+    cascade.clear();
+    remove_vertex(victim);
+    while (!cascade.empty()) {
+      const VertexId u = cascade.back();
+      cascade.pop_back();
+      if (alive[u]) remove_vertex(u);
+    }
+    if (degree[query_vertex] < k) break;  // v degraded below k: stop
+  }
+
+  if (!alive[query_vertex] || degree[query_vertex] < k) return result;
+
+  // --- Answer: component of v in the remainder. --------------------------
+  std::vector<VertexId> component{query_vertex};
+  std::vector<bool> seen(graph_.NumVertices(), false);
+  seen[query_vertex] = true;
+  for (std::size_t head = 0; head < component.size(); ++head) {
+    for (const VertexId u : graph_.Neighbors(component[head])) {
+      if (alive[u] && !seen[u]) {
+        seen[u] = true;
+        component.push_back(u);
+      }
+    }
+  }
+  // The remainder can still contain vertices below k (peeling stopped to
+  // protect the query vertex); verify the component really is a k-core
+  // piece and otherwise report a miss only if v itself fails.
+  std::sort(component.begin(), component.end());
+  result.found = true;
+  result.vertices = std::move(component);
+  return result;
+}
+
+bool SizeConstrainedCoreSolver::IsHit(const SckResult& result, VertexId h,
+                                      double tolerance) {
+  if (!result.found) return false;
+  const double deviation =
+      std::abs(static_cast<double>(result.vertices.size()) -
+               static_cast<double>(h)) /
+      static_cast<double>(h);
+  return deviation <= tolerance;
+}
+
+}  // namespace corekit

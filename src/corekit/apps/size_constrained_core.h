@@ -1,0 +1,66 @@
+// Opt-SC: size-constrained k-core search (Section V-D, Table IX of the
+// paper).
+//
+// Query (v, k, h): find a connected subgraph containing v with minimum
+// degree >= k and size close to h.  Opt-SC uses the per-core average
+// degrees computed by Opt-D (Algorithm 5 with the average-degree metric):
+//
+//   1. candidate selection — among the cores on v's core-forest
+//      root path with coreness k' >= k, containing v, and size >= h, pick
+//      the one with the highest average degree;
+//   2. peeling — repeatedly delete the minimum-degree vertex (never v) and
+//      cascade-delete anything whose degree drops below k, stopping as
+//      soon as the subgraph size reaches h (or would break v);
+//   3. answer — the connected component of v in what remains.
+//
+// Table IX reports the hit rate: queries answered with a subgraph within
+// 5% of the requested size h.
+
+#ifndef COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_
+#define COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_
+
+#include <vector>
+
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+struct SckResult {
+  bool found = false;
+  // Vertices of the answer (contains the query vertex; min degree >= k
+  // inside the answer).  Empty when !found.
+  std::vector<VertexId> vertices;
+};
+
+// Precomputes decomposition, ordering, forest and the average-degree
+// profile once; answers many queries in time linear in the candidate
+// core's size.
+class SizeConstrainedCoreSolver {
+ public:
+  explicit SizeConstrainedCoreSolver(const Graph& graph);
+
+  // Answers query (query_vertex, k, h).  h is the target size.
+  SckResult Solve(VertexId query_vertex, VertexId k, VertexId h) const;
+
+  // True if the returned subgraph size is within `tolerance` (e.g. 0.05)
+  // of h — the paper's hit criterion.
+  static bool IsHit(const SckResult& result, VertexId h, double tolerance);
+
+  const CoreDecomposition& cores() const { return cores_; }
+  const CoreForest& forest() const { return forest_; }
+
+ private:
+  const Graph& graph_;
+  CoreDecomposition cores_;
+  OrderedGraph ordered_;
+  CoreForest forest_;
+  SingleCoreProfile profile_;  // average-degree scores per forest node
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_

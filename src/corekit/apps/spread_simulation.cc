@@ -1,0 +1,118 @@
+#include "corekit/apps/spread_simulation.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+namespace {
+
+// One SIR realization; returns the number of ever-infected vertices.
+// `state` is scratch (0 susceptible / 1 infected / 2 recovered), reset on
+// exit.
+std::uint64_t RunOnce(const Graph& graph, const std::vector<VertexId>& seeds,
+                      const SirParams& params, Rng& rng,
+                      std::vector<std::uint8_t>& state,
+                      std::vector<VertexId>& frontier,
+                      std::vector<VertexId>& next_frontier,
+                      std::vector<VertexId>& touched) {
+  frontier.clear();
+  touched.clear();
+  for (const VertexId s : seeds) {
+    if (state[s] == 0) {
+      state[s] = 1;
+      frontier.push_back(s);
+      touched.push_back(s);
+    }
+  }
+  std::uint64_t infected_total = frontier.size();
+
+  for (std::uint32_t step = 0;
+       step < params.max_steps && !frontier.empty(); ++step) {
+    next_frontier.clear();
+    for (const VertexId v : frontier) {
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (state[u] == 0 && rng.NextBool(params.infect_prob)) {
+          state[u] = 1;
+          next_frontier.push_back(u);
+          touched.push_back(u);
+          ++infected_total;
+        }
+      }
+      state[v] = 2;  // recover after one infectious step
+    }
+    frontier.swap(next_frontier);
+  }
+  for (const VertexId v : frontier) state[v] = 2;  // cap hit: close out
+
+  for (const VertexId v : touched) state[v] = 0;  // reset scratch
+  return infected_total;
+}
+
+}  // namespace
+
+double ExpectedOutbreakSize(const Graph& graph,
+                            const std::vector<VertexId>& seeds,
+                            const SirParams& params) {
+  COREKIT_CHECK_GT(params.trials, 0u);
+  for (const VertexId s : seeds) COREKIT_CHECK(s < graph.NumVertices());
+  Rng rng(params.seed);
+  std::vector<std::uint8_t> state(graph.NumVertices(), 0);
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next_frontier;
+  std::vector<VertexId> touched;
+  std::uint64_t total = 0;
+  for (std::uint32_t t = 0; t < params.trials; ++t) {
+    total += RunOnce(graph, seeds, params, rng, state, frontier,
+                     next_frontier, touched);
+  }
+  return static_cast<double>(total) / static_cast<double>(params.trials);
+}
+
+double AverageSingleSeedOutbreak(const Graph& graph,
+                                 const std::vector<VertexId>& candidates,
+                                 const SirParams& params) {
+  COREKIT_CHECK(!candidates.empty());
+  double total = 0.0;
+  SirParams per_seed = params;
+  for (const VertexId candidate : candidates) {
+    // Derive an independent stream per candidate for reproducibility.
+    per_seed.seed = SplitMix64(params.seed + candidate).Next();
+    total += ExpectedOutbreakSize(graph, {candidate}, per_seed);
+  }
+  return total / static_cast<double>(candidates.size());
+}
+
+namespace {
+
+template <typename Score>
+std::vector<VertexId> TopBy(VertexId n, VertexId count, Score score) {
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) all[v] = v;
+  count = std::min(count, n);
+  std::partial_sort(all.begin(), all.begin() + count, all.end(),
+                    [&score](VertexId a, VertexId b) {
+                      return score(a) != score(b) ? score(a) > score(b)
+                                                  : a < b;
+                    });
+  all.resize(count);
+  return all;
+}
+
+}  // namespace
+
+std::vector<VertexId> TopDegreeVertices(const Graph& graph, VertexId count) {
+  return TopBy(graph.NumVertices(), count,
+               [&graph](VertexId v) { return graph.Degree(v); });
+}
+
+std::vector<VertexId> TopCorenessVertices(const Graph& graph,
+                                          const CoreDecomposition& cores,
+                                          VertexId count) {
+  return TopBy(graph.NumVertices(), count,
+               [&cores](VertexId v) { return cores.coreness[v]; });
+}
+
+}  // namespace corekit

@@ -1,0 +1,50 @@
+#include "corekit/core/approx_triangles.h"
+
+#include <algorithm>
+
+#include "corekit/core/triangle_scoring.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+ApproxTriangleStats EstimateTriangles(const Graph& graph,
+                                      std::uint32_t samples,
+                                      std::uint64_t seed) {
+  ApproxTriangleStats stats;
+  stats.samples = samples;
+  const VertexId n = graph.NumVertices();
+
+  // Cumulative wedge counts for proportional center sampling.
+  std::vector<std::uint64_t> cumulative(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    cumulative[v + 1] = cumulative[v] + Choose2(graph.Degree(v));
+  }
+  stats.triplets = cumulative[n];
+  if (stats.triplets == 0 || samples == 0) return stats;
+
+  Rng rng(seed);
+  std::uint64_t closed = 0;
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    // Pick a wedge index uniformly; binary-search its center.
+    const std::uint64_t target = rng.NextBounded(stats.triplets);
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(),
+                                     target);
+    const auto center = static_cast<VertexId>(
+        std::distance(cumulative.begin(), it) - 1);
+    const auto nbrs = graph.Neighbors(center);
+    COREKIT_DCHECK(nbrs.size() >= 2);
+    // Uniform unordered neighbor pair.
+    const auto i = static_cast<std::size_t>(rng.NextBounded(nbrs.size()));
+    auto j = static_cast<std::size_t>(rng.NextBounded(nbrs.size() - 1));
+    if (j >= i) ++j;
+    closed += graph.HasEdge(nbrs[i], nbrs[j]) ? 1u : 0u;
+  }
+  stats.closed_fraction =
+      static_cast<double>(closed) / static_cast<double>(samples);
+  stats.triangles =
+      stats.closed_fraction * static_cast<double>(stats.triplets) / 3.0;
+  return stats;
+}
+
+}  // namespace corekit

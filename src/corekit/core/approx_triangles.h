@@ -1,0 +1,39 @@
+// Approximate triangle statistics by wedge sampling (Seshadhri, Pinar &
+// Kolda style).  The paper's exact Algorithm 3 is O(m^1.5) — optimal but
+// the bottleneck of the whole pipeline (Figure 7's cc columns).  When an
+// approximate clustering coefficient is acceptable, sampling closed
+// wedges gives an unbiased estimate in O(samples) after an O(n)
+// preparation, turning best-k-by-cc into a near-O(n) computation with a
+// quantified accuracy trade-off (see bench/ext_approx_cc).
+
+#ifndef COREKIT_CORE_APPROX_TRIANGLES_H_
+#define COREKIT_CORE_APPROX_TRIANGLES_H_
+
+#include <cstdint>
+
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+struct ApproxTriangleStats {
+  // Exact number of wedges (triplets) — computable in O(n).
+  std::uint64_t triplets = 0;
+  // Estimated fraction of wedges that close (the graph's global
+  // clustering coefficient 3T/t).
+  double closed_fraction = 0.0;
+  // Estimated triangle count: closed_fraction * triplets / 3.
+  double triangles = 0.0;
+  std::uint32_t samples = 0;
+};
+
+// Samples `samples` wedges uniformly (center chosen proportional to its
+// wedge count, endpoints uniform among neighbor pairs) and checks
+// closure.  Deterministic given `seed`; standard error of
+// closed_fraction is ~ sqrt(p(1-p)/samples).
+ApproxTriangleStats EstimateTriangles(const Graph& graph,
+                                      std::uint32_t samples,
+                                      std::uint64_t seed);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_APPROX_TRIANGLES_H_

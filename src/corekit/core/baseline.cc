@@ -1,0 +1,154 @@
+#include "corekit/core/baseline.h"
+
+#include <cstdint>
+
+#include "corekit/core/triangle_scoring.h"
+
+namespace corekit {
+
+namespace {
+
+// rank(u) > rank(v) per Definition 5, recomputed from the decomposition
+// (the baseline does not build the Algorithm 1 index).
+bool RankGreater(const CoreDecomposition& cores, VertexId u, VertexId v) {
+  return cores.coreness[u] != cores.coreness[v]
+             ? cores.coreness[u] > cores.coreness[v]
+             : u > v;
+}
+
+// Triangles of the subgraph induced by {u : c(u) >= k} that contain `v`
+// as their lowest-rank vertex.  `scratch` as in triangle_scoring.h.
+std::uint64_t ScratchTrianglesAtVertex(const Graph& graph,
+                                       const CoreDecomposition& cores,
+                                       VertexId k, VertexId v,
+                                       TriangleScratch& scratch) {
+  std::uint64_t triangles = 0;
+  for (const VertexId u : graph.Neighbors(v)) {
+    if (cores.coreness[u] >= k && RankGreater(cores, u, v)) scratch[u] = 1;
+  }
+  for (const VertexId u : graph.Neighbors(v)) {
+    if (cores.coreness[u] < k || !RankGreater(cores, u, v)) continue;
+    for (const VertexId w : graph.Neighbors(u)) {
+      if (cores.coreness[w] >= k && RankGreater(cores, w, u)) {
+        triangles += scratch[w];
+      }
+    }
+  }
+  for (const VertexId u : graph.Neighbors(v)) scratch[u] = 0;
+  return triangles;
+}
+
+}  // namespace
+
+PrimaryValues ScratchCoreSetPrimaries(const Graph& graph,
+                                      const CoreDecomposition& cores,
+                                      VertexId k, bool with_triangles) {
+  PrimaryValues pv;
+  pv.has_triangles = with_triangles;
+  const VertexId n = graph.NumVertices();
+  TriangleScratch scratch;
+  if (with_triangles) scratch.assign(n, 0);
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (cores.coreness[v] < k) continue;
+    ++pv.num_vertices;
+    std::uint64_t inside = 0;
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (cores.coreness[u] >= k) {
+        ++inside;
+      } else {
+        ++pv.boundary_edges;
+      }
+    }
+    pv.internal_edges_x2 += inside;
+    if (with_triangles) {
+      pv.triplets += Choose2(inside);
+      pv.triangles += ScratchTrianglesAtVertex(graph, cores, k, v, scratch);
+    }
+  }
+  return pv;
+}
+
+PrimaryValues ScratchSingleCorePrimaries(const Graph& graph,
+                                         const CoreDecomposition& cores,
+                                         const std::vector<VertexId>& core,
+                                         VertexId k, bool with_triangles) {
+  PrimaryValues pv;
+  pv.has_triangles = with_triangles;
+  TriangleScratch scratch;
+  if (with_triangles) scratch.assign(graph.NumVertices(), 0);
+
+  // A neighbor with coreness >= k of a core member is itself a member
+  // (adjacent and in C_k implies same connected k-core), so membership
+  // tests reduce to coreness comparisons.
+  for (const VertexId v : core) {
+    COREKIT_DCHECK(cores.coreness[v] >= k);
+    ++pv.num_vertices;
+    std::uint64_t inside = 0;
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (cores.coreness[u] >= k) {
+        ++inside;
+      } else {
+        ++pv.boundary_edges;
+      }
+    }
+    pv.internal_edges_x2 += inside;
+    if (with_triangles) {
+      pv.triplets += Choose2(inside);
+      pv.triangles += ScratchTrianglesAtVertex(graph, cores, k, v, scratch);
+    }
+  }
+  return pv;
+}
+
+CoreSetProfile BaselineFindBestCoreSet(const Graph& graph,
+                                       const CoreDecomposition& cores,
+                                       Metric metric) {
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  const bool with_triangles = MetricNeedsTriangles(metric);
+
+  CoreSetProfile profile;
+  profile.primaries.reserve(static_cast<std::size_t>(cores.kmax) + 1);
+  profile.scores.reserve(static_cast<std::size_t>(cores.kmax) + 1);
+  for (VertexId k = 0; k <= cores.kmax; ++k) {
+    profile.primaries.push_back(
+        ScratchCoreSetPrimaries(graph, cores, k, with_triangles));
+    profile.scores.push_back(
+        EvaluateMetric(metric, profile.primaries.back(), globals));
+  }
+  profile.best_k = ArgmaxLargestK(profile.scores);
+  profile.best_score = profile.scores[profile.best_k];
+  return profile;
+}
+
+SingleCoreProfile BaselineFindBestSingleCore(const Graph& graph,
+                                             const CoreDecomposition& cores,
+                                             const CoreForest& forest,
+                                             Metric metric) {
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  const bool with_triangles = MetricNeedsTriangles(metric);
+
+  SingleCoreProfile profile;
+  const CoreForest::NodeId count = forest.NumNodes();
+  profile.primaries.reserve(count);
+  profile.scores.reserve(count);
+  for (CoreForest::NodeId i = 0; i < count; ++i) {
+    const std::vector<VertexId> members = forest.CoreVertices(i);
+    profile.primaries.push_back(ScratchSingleCorePrimaries(
+        graph, cores, members, forest.node(i).coreness, with_triangles));
+    profile.scores.push_back(
+        EvaluateMetric(metric, profile.primaries.back(), globals));
+  }
+  COREKIT_CHECK(count > 0) << "empty graph has no k-core";
+  profile.best_node = 0;
+  for (CoreForest::NodeId i = 1; i < count; ++i) {
+    if (profile.scores[i] > profile.scores[profile.best_node]) {
+      profile.best_node = i;
+    }
+  }
+  profile.best_k = forest.node(profile.best_node).coreness;
+  profile.best_score = profile.scores[profile.best_node];
+  return profile;
+}
+
+}  // namespace corekit

@@ -1,0 +1,55 @@
+// Baseline algorithms (Sections III-A and IV-B of the paper).
+//
+// These are the comparators for Figures 7 and 8: after one core
+// decomposition (plus, for Problem 2, one forest construction) they
+// recompute every k-core (set)'s score *from scratch* — iterating the
+// subgraph's vertices and edges per k — rather than incrementally.  They
+// are polynomial (O(sum_k |V(C_k)| + q_k)) but asymptotically and
+// practically far slower than Algorithms 2/3/5, which is exactly the gap
+// the paper's runtime experiments measure.
+//
+// Outputs are bit-identical in structure to the optimal algorithms'
+// profiles so the tests can assert exact score equality.
+
+#ifndef COREKIT_CORE_BASELINE_H_
+#define COREKIT_CORE_BASELINE_H_
+
+#include <vector>
+
+#include "corekit/core/best_core_set.h"
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/core/metrics.h"
+
+namespace corekit {
+
+// Section III-A: per-k from-scratch scoring of every k-core set.  `cores`
+// must be the decomposition of `graph`.
+CoreSetProfile BaselineFindBestCoreSet(const Graph& graph,
+                                       const CoreDecomposition& cores,
+                                       Metric metric);
+
+// Section IV-B: per-core from-scratch scoring of every connected k-core.
+// Scores are indexed by forest node id (same shape as FindBestSingleCore).
+SingleCoreProfile BaselineFindBestSingleCore(const Graph& graph,
+                                             const CoreDecomposition& cores,
+                                             const CoreForest& forest,
+                                             Metric metric);
+
+// From-scratch primary values of the k-core set C_k (used by the baseline
+// and exposed for tests).  O(sum of degrees in C_k); triangles add the
+// per-k triangle enumeration.
+PrimaryValues ScratchCoreSetPrimaries(const Graph& graph,
+                                      const CoreDecomposition& cores,
+                                      VertexId k, bool with_triangles);
+
+// From-scratch primary values of one connected k-core given its vertex
+// list and coreness threshold k.
+PrimaryValues ScratchSingleCorePrimaries(const Graph& graph,
+                                         const CoreDecomposition& cores,
+                                         const std::vector<VertexId>& core,
+                                         VertexId k, bool with_triangles);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_BASELINE_H_

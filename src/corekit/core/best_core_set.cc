@@ -1,0 +1,144 @@
+#include "corekit/core/best_core_set.h"
+
+#include <cstdint>
+
+#include "corekit/core/triangle_scoring.h"
+
+namespace corekit {
+
+std::vector<PrimaryValues> ComputeCoreSetPrimaries(const OrderedGraph& ordered,
+                                                   bool with_triangles) {
+  const VertexId kmax = ordered.kmax();
+  const VertexId n = ordered.NumVertices();
+  std::vector<PrimaryValues> primaries(static_cast<std::size_t>(kmax) + 1);
+
+  // Running primary values of the induced prefix (Algorithm 2's in / out /
+  // num, with `in` doubled so the half-edge-per-endpoint bookkeeping stays
+  // integral).
+  std::uint64_t in_x2 = 0;
+  std::int64_t out = 0;
+  std::uint64_t num = 0;
+  std::uint64_t triangles = 0;
+  std::uint64_t triplets = 0;
+
+  // Algorithm 3 state.
+  TriangleScratch scratch;
+  // f_geq[v] / f_gt[v]: number of neighbors of v with coreness >= k /
+  // > k, maintained for vertices of the (k+1)-core set.
+  std::vector<VertexId> f_geq;
+  std::vector<VertexId> f_gt;
+  // Deduplicated union of N(u, >) over the current shell (kshell_nbr in
+  // the paper), collected with an epoch stamp.
+  std::vector<VertexId> shell_nbr;
+  std::vector<VertexId> stamp;
+  if (with_triangles) {
+    scratch.assign(n, 0);
+    f_geq.assign(n, 0);
+    f_gt.assign(n, 0);
+    stamp.assign(n, 0);
+  }
+
+  for (VertexId k = kmax;; --k) {
+    const auto shell = ordered.Shell(k);
+
+    // --- Algorithm 2, lines 6-9. ---------------------------------------
+    for (const VertexId v : shell) {
+      const std::uint64_t higher = ordered.CountHigher(v);
+      const std::uint64_t equal = ordered.CountEqual(v);
+      const std::uint64_t lower = ordered.CountLower(v);
+      in_x2 += 2 * higher + equal;
+      out += static_cast<std::int64_t>(lower) -
+             static_cast<std::int64_t>(higher);
+      ++num;
+    }
+
+    if (with_triangles) {
+      // --- Algorithm 3, lines 7-12: new triangles. -----------------------
+      // A triangle enters at k exactly when its lowest-rank vertex is in
+      // the k-shell; count rank-increasing wedges from shell vertices.
+      for (const VertexId v : shell) {
+        triangles += CountTrianglesAtVertex(ordered, v, scratch);
+      }
+
+      // --- Algorithm 3, line 13: triplets centered in the shell. ---------
+      for (const VertexId v : shell) {
+        triplets += Choose2(ordered.CountGeq(v));
+      }
+
+      // --- Algorithm 3, lines 14-22: triplets centered in C_{k+1}. -------
+      const VertexId epoch = k + 1;  // unique per iteration, never 0
+      shell_nbr.clear();
+      for (const VertexId u : shell) {
+        for (const VertexId v : ordered.NeighborsHigher(u)) {
+          if (stamp[v] != epoch) {
+            stamp[v] = epoch;
+            shell_nbr.push_back(v);
+          }
+        }
+      }
+      for (const VertexId v : shell_nbr) f_gt[v] = f_geq[v];
+      for (const VertexId v : shell) {
+        for (const VertexId u : ordered.Neighbors(v)) ++f_geq[u];
+      }
+      for (const VertexId v : shell_nbr) {
+        const std::uint64_t gt_k = f_gt[v];
+        const std::uint64_t eq_k = f_geq[v] - f_gt[v];
+        triplets += Choose2(eq_k) + gt_k * eq_k;
+      }
+    }
+
+    PrimaryValues& pv = primaries[k];
+    pv.num_vertices = num;
+    pv.internal_edges_x2 = in_x2;
+    COREKIT_DCHECK(out >= 0);
+    pv.boundary_edges = static_cast<std::uint64_t>(out);
+    pv.triangles = triangles;
+    pv.triplets = triplets;
+    pv.has_triangles = with_triangles;
+
+    if (k == 0) break;
+  }
+  return primaries;
+}
+
+namespace {
+
+CoreSetProfile ProfileFromPrimaries(std::vector<PrimaryValues> primaries,
+                                    const OrderedGraph& ordered,
+                                    const MetricFn& metric) {
+  const GraphGlobals globals{ordered.NumVertices(),
+                             ordered.graph().NumEdges()};
+  CoreSetProfile profile;
+  profile.primaries = std::move(primaries);
+  profile.scores.reserve(profile.primaries.size());
+  for (const PrimaryValues& pv : profile.primaries) {
+    profile.scores.push_back(metric(pv, globals));
+  }
+  profile.best_k = ArgmaxLargestK(profile.scores);
+  profile.best_score = profile.scores[profile.best_k];
+  return profile;
+}
+
+}  // namespace
+
+CoreSetProfile FindBestCoreSet(const OrderedGraph& ordered, Metric metric) {
+  return FindBestCoreSet(ordered, MetricFunction(metric),
+                         MetricNeedsTriangles(metric));
+}
+
+CoreSetProfile FindBestCoreSet(const OrderedGraph& ordered,
+                               const MetricFn& metric, bool needs_triangles) {
+  return ProfileFromPrimaries(ComputeCoreSetPrimaries(ordered, needs_triangles),
+                              ordered, metric);
+}
+
+VertexId ArgmaxLargestK(const std::vector<double>& scores) {
+  COREKIT_CHECK(!scores.empty());
+  VertexId best = 0;
+  for (VertexId k = 0; k < scores.size(); ++k) {
+    if (scores[k] >= scores[best]) best = k;
+  }
+  return best;
+}
+
+}  // namespace corekit

@@ -1,0 +1,63 @@
+// Finding the best k-core set (Problem 1; Algorithms 2 and 3 of the
+// paper).
+//
+// Walks the shells from k = kmax down to 0, incrementally maintaining the
+// primary values of the k-core set C_k from those of C_{k+1} using the
+// O(1) ordered-neighborhood counts of Algorithm 1:
+//
+//   in  += |N(v,>)| + |N(v,=)|/2      (new internal edges)
+//   out += |N(v,<)| - |N(v,>)|        (boundary churn)
+//   num += 1
+//
+// and, when the metric needs them (clustering coefficient), the
+// triangle/triplet counters of Algorithm 3.  Time: O(n) scoring after the
+// O(m) decomposition + ordering — worst-case optimal; O(m^1.5) with
+// triangles, matching the triangle-counting lower bound.
+//
+// The profile of *every* k is returned, not just the argmax, since the
+// paper highlights that intermediate scores benefit other k-core problems.
+
+#ifndef COREKIT_CORE_BEST_CORE_SET_H_
+#define COREKIT_CORE_BEST_CORE_SET_H_
+
+#include <vector>
+
+#include "corekit/core/metrics.h"
+#include "corekit/core/primary_values.h"
+#include "corekit/core/vertex_ordering.h"
+
+namespace corekit {
+
+// Scores of all k-core sets under one metric.
+struct CoreSetProfile {
+  // scores[k] = Q(C_k) for k in [0, kmax].
+  std::vector<double> scores;
+  // primaries[k] = primary values of C_k (same indexing).
+  std::vector<PrimaryValues> primaries;
+  // argmax_k scores[k]; the largest k is reported on ties (the paper's
+  // convention for Table IV).
+  VertexId best_k = 0;
+  double best_score = 0.0;
+};
+
+// Primary values of every k-core set C_k, k in [0, kmax], by the top-down
+// incremental walk.  `with_triangles` additionally runs the Algorithm 3
+// counters (O(m^1.5) instead of O(n) after ordering).
+std::vector<PrimaryValues> ComputeCoreSetPrimaries(const OrderedGraph& ordered,
+                                                   bool with_triangles);
+
+// Algorithm 2 / 3: best k for a built-in metric.
+CoreSetProfile FindBestCoreSet(const OrderedGraph& ordered, Metric metric);
+
+// Extension point: best k for a custom metric over primary values.  Set
+// `needs_triangles` if the callable reads the triangle/triplet fields.
+CoreSetProfile FindBestCoreSet(const OrderedGraph& ordered,
+                               const MetricFn& metric, bool needs_triangles);
+
+// Selects the paper's tie-break (largest k among maxima) over a score
+// vector; exposed for reuse by the baseline and the benches.
+VertexId ArgmaxLargestK(const std::vector<double>& scores);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_BEST_CORE_SET_H_

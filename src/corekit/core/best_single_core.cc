@@ -1,0 +1,127 @@
+#include "corekit/core/best_single_core.h"
+
+#include <cstdint>
+
+#include "corekit/core/triangle_scoring.h"
+
+namespace corekit {
+
+std::vector<PrimaryValues> ComputeSingleCorePrimaries(
+    const OrderedGraph& ordered, const CoreForest& forest,
+    bool with_triangles) {
+  const VertexId n = ordered.NumVertices();
+  const CoreForest::NodeId count = forest.NumNodes();
+  std::vector<PrimaryValues> primaries(count);
+
+  // Algorithm 3 state, global across nodes: shells of equal coreness in
+  // different cores are never adjacent, so the f-counters evolve exactly
+  // as in the single-sequence Algorithm 3 despite the per-node grouping.
+  TriangleScratch scratch;
+  std::vector<VertexId> f_geq;
+  std::vector<VertexId> f_gt;
+  std::vector<VertexId> shell_nbr;
+  std::vector<CoreForest::NodeId> stamp;
+  if (with_triangles) {
+    scratch.assign(n, 0);
+    f_geq.assign(n, 0);
+    f_gt.assign(n, 0);
+    stamp.assign(n, CoreForest::kNoNode);
+  }
+
+  // Nodes are sorted by descending coreness, so children (denser cores)
+  // are always complete before their parent absorbs them (Algorithm 5,
+  // lines 6-10).
+  for (CoreForest::NodeId i = 0; i < count; ++i) {
+    const CoreForest::Node& node = forest.node(i);
+    PrimaryValues& pv = primaries[i];
+
+    // Child aggregation (lines 7-8).
+    for (const CoreForest::NodeId child : node.children) {
+      COREKIT_DCHECK(child < i);
+      pv += primaries[child];
+    }
+
+    // Impact of this node's shell vertices (lines 9-10), reusing the
+    // Algorithm 2 per-vertex updates.
+    std::int64_t out_delta = 0;
+    for (const VertexId v : node.vertices) {
+      const std::uint64_t higher = ordered.CountHigher(v);
+      const std::uint64_t equal = ordered.CountEqual(v);
+      const std::uint64_t lower = ordered.CountLower(v);
+      pv.internal_edges_x2 += 2 * higher + equal;
+      out_delta += static_cast<std::int64_t>(lower) -
+                   static_cast<std::int64_t>(higher);
+      ++pv.num_vertices;
+    }
+    const auto boundary = static_cast<std::int64_t>(pv.boundary_edges);
+    COREKIT_DCHECK(boundary + out_delta >= 0);
+    pv.boundary_edges = static_cast<std::uint64_t>(boundary + out_delta);
+
+    if (with_triangles) {
+      pv.has_triangles = true;
+      // Algorithm 3 lines 7-12: triangles entering at this core's shell.
+      for (const VertexId v : node.vertices) {
+        pv.triangles += CountTrianglesAtVertex(ordered, v, scratch);
+      }
+      // Line 13: triplets centered in the shell.
+      for (const VertexId v : node.vertices) {
+        pv.triplets += Choose2(ordered.CountGeq(v));
+      }
+      // Lines 14-22: new triplets centered in the contained denser cores.
+      shell_nbr.clear();
+      for (const VertexId u : node.vertices) {
+        for (const VertexId v : ordered.NeighborsHigher(u)) {
+          if (stamp[v] != i) {
+            stamp[v] = i;
+            shell_nbr.push_back(v);
+          }
+        }
+      }
+      for (const VertexId v : shell_nbr) f_gt[v] = f_geq[v];
+      for (const VertexId v : node.vertices) {
+        for (const VertexId u : ordered.Neighbors(v)) ++f_geq[u];
+      }
+      for (const VertexId v : shell_nbr) {
+        const std::uint64_t gt_k = f_gt[v];
+        const std::uint64_t eq_k = f_geq[v] - f_gt[v];
+        pv.triplets += Choose2(eq_k) + gt_k * eq_k;
+      }
+    }
+  }
+  return primaries;
+}
+
+SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
+                                     const CoreForest& forest, Metric metric) {
+  return FindBestSingleCore(ordered, forest, MetricFunction(metric),
+                            MetricNeedsTriangles(metric));
+}
+
+SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
+                                     const CoreForest& forest,
+                                     const MetricFn& metric,
+                                     bool needs_triangles) {
+  SingleCoreProfile profile;
+  profile.primaries =
+      ComputeSingleCorePrimaries(ordered, forest, needs_triangles);
+  const GraphGlobals globals{ordered.NumVertices(),
+                             ordered.graph().NumEdges()};
+  profile.scores.reserve(profile.primaries.size());
+  for (const PrimaryValues& pv : profile.primaries) {
+    profile.scores.push_back(metric(pv, globals));
+  }
+  COREKIT_CHECK(!profile.scores.empty()) << "empty graph has no k-core";
+  // Nodes are sorted by descending coreness; taking strictly-greater
+  // scores realizes the paper's "largest k on ties" convention.
+  profile.best_node = 0;
+  for (CoreForest::NodeId i = 1; i < profile.scores.size(); ++i) {
+    if (profile.scores[i] > profile.scores[profile.best_node]) {
+      profile.best_node = i;
+    }
+  }
+  profile.best_k = forest.node(profile.best_node).coreness;
+  profile.best_score = profile.scores[profile.best_node];
+  return profile;
+}
+
+}  // namespace corekit

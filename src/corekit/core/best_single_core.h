@@ -1,0 +1,54 @@
+// Finding the best single k-core (Problem 2; Algorithm 5 of the paper).
+//
+// Processes the core forest's nodes in descending coreness order; each
+// node's primary values are the sum of its children's values plus the
+// impact of its own shell vertices, using exactly the per-vertex updates
+// of Algorithms 2 and 3.  Every individual connected k-core is scored.
+//
+// Complexity matches the paper: O(m) end-to-end for metrics on
+// in/out/num, O(m^1.5) when triangles/triplets are required; O(m) space.
+
+#ifndef COREKIT_CORE_BEST_SINGLE_CORE_H_
+#define COREKIT_CORE_BEST_SINGLE_CORE_H_
+
+#include <vector>
+
+#include "corekit/core/core_forest.h"
+#include "corekit/core/metrics.h"
+#include "corekit/core/primary_values.h"
+#include "corekit/core/vertex_ordering.h"
+
+namespace corekit {
+
+// Scores of every connected k-core, indexed by CoreForest node id.
+struct SingleCoreProfile {
+  // scores[i] = Q(core of forest node i).
+  std::vector<double> scores;
+  // primaries[i] = primary values of that core.
+  std::vector<PrimaryValues> primaries;
+  // Forest node of the best core (paper tie-break: prefer larger k, then
+  // higher score).
+  CoreForest::NodeId best_node = 0;
+  VertexId best_k = 0;
+  double best_score = 0.0;
+};
+
+// Primary values of every forest node's core (child aggregation +
+// shell-vertex impact).  `with_triangles` runs the Algorithm 3 counters.
+std::vector<PrimaryValues> ComputeSingleCorePrimaries(
+    const OrderedGraph& ordered, const CoreForest& forest,
+    bool with_triangles);
+
+// Algorithm 5: best single k-core for a built-in metric.
+SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
+                                     const CoreForest& forest, Metric metric);
+
+// Extension point for custom metrics.
+SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
+                                     const CoreForest& forest,
+                                     const MetricFn& metric,
+                                     bool needs_triangles);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_BEST_SINGLE_CORE_H_

@@ -1,0 +1,87 @@
+#include "corekit/core/core_decomposition.h"
+
+#include <algorithm>
+
+namespace corekit {
+
+std::vector<VertexId> CoreDecomposition::ShellSizes() const {
+  std::vector<VertexId> sizes(static_cast<std::size_t>(kmax) + 1, 0);
+  for (const VertexId c : coreness) ++sizes[c];
+  return sizes;
+}
+
+std::vector<VertexId> CoreDecomposition::CoreSetSizes() const {
+  std::vector<VertexId> sizes(static_cast<std::size_t>(kmax) + 2, 0);
+  for (const VertexId c : coreness) ++sizes[c];
+  // Suffix-sum: |C_k| = sum_{c >= k} |H_c|.
+  for (VertexId k = kmax; k-- > 0;) sizes[k] += sizes[k + 1];
+  return sizes;
+}
+
+CoreDecomposition ComputeCoreDecomposition(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  CoreDecomposition result;
+  result.coreness.assign(n, 0);
+  if (n == 0) return result;
+
+  // Batagelj–Zaversnik: vertices bucketed by current degree, peeled in
+  // non-decreasing degree order; each deletion decrements its unpeeled
+  // neighbors' degrees and moves them one bucket down.
+  std::vector<VertexId> degree(n);
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // bin[d] = start index (in `order`) of the block of vertices that
+  // currently have degree d.
+  std::vector<VertexId> bin(static_cast<std::size_t>(max_degree) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (VertexId d = 0; d <= max_degree; ++d) bin[d + 1] += bin[d];
+
+  std::vector<VertexId> order(n);      // vertices sorted by current degree
+  std::vector<VertexId> position(n);   // inverse of `order`
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    result.coreness[v] = degree[v];
+    result.kmax = std::max(result.kmax, degree[v]);
+    result.peel_order.push_back(v);
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (degree[u] <= degree[v]) continue;  // u already peeled or tied
+      // Swap u with the first vertex of its degree block, then shrink the
+      // block boundary: u's effective degree drops by one in O(1).
+      const VertexId du = degree[u];
+      const VertexId pu = position[u];
+      const VertexId pw = bin[du];
+      const VertexId w = order[pw];
+      if (u != w) {
+        position[u] = pw;
+        order[pw] = u;
+        position[w] = pu;
+        order[pu] = w;
+      }
+      ++bin[du];
+      --degree[u];
+    }
+  }
+  return result;
+}
+
+std::vector<bool> CoreSetMask(const CoreDecomposition& cores, VertexId k) {
+  std::vector<bool> mask(cores.coreness.size());
+  for (VertexId v = 0; v < cores.coreness.size(); ++v) {
+    mask[v] = cores.coreness[v] >= k;
+  }
+  return mask;
+}
+
+}  // namespace corekit

@@ -1,0 +1,50 @@
+// Core decomposition: coreness of every vertex (Definition 3/4 of the
+// paper).
+//
+// The production path is the Batagelj–Zaversnik bin-sort peeling algorithm
+// [7], O(m) time and O(n) working space.  A direct-from-definition
+// reference implementation (recursively delete minimum-degree vertices,
+// recomputing degrees) lives in naive_oracle.h and is used by the tests to
+// validate this one.
+
+#ifndef COREKIT_CORE_CORE_DECOMPOSITION_H_
+#define COREKIT_CORE_CORE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+// The output of a core decomposition.
+struct CoreDecomposition {
+  // coreness[v] = max{k : v is in the k-core set}; size n.
+  std::vector<VertexId> coreness;
+  // Graph degeneracy: the largest k with a non-empty k-core (0 for the
+  // empty graph).
+  VertexId kmax = 0;
+  // The peeling order (a degeneracy ordering): vertices in the order the
+  // min-degree peel removed them.  Every vertex has at most kmax
+  // neighbors later in this order — the property the maximum-clique
+  // branch-and-bound exploits.
+  std::vector<VertexId> peel_order;
+
+  // Number of vertices with coreness exactly k (the k-shell H_k),
+  // for k in [0, kmax].
+  std::vector<VertexId> ShellSizes() const;
+
+  // Number of vertices with coreness >= k (i.e. |V(C_k)|), for k in
+  // [0, kmax + 1]; the last entry is 0.
+  std::vector<VertexId> CoreSetSizes() const;
+};
+
+// Batagelj–Zaversnik peeling.  O(m) time, O(n) extra space.
+CoreDecomposition ComputeCoreDecomposition(const Graph& graph);
+
+// Membership mask of the k-core set C_k (vertices with coreness >= k).
+std::vector<bool> CoreSetMask(const CoreDecomposition& cores, VertexId k);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_CORE_DECOMPOSITION_H_

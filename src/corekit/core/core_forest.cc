@@ -1,0 +1,197 @@
+#include "corekit/core/core_forest.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "corekit/util/bucket_queue.h"
+
+namespace corekit {
+
+namespace {
+
+// Mutable node used during the search; converted to CoreForest::Node after
+// compression.
+struct RawNode {
+  VertexId coreness = 0;
+  std::uint32_t parent = CoreForest::kNoNode;
+  std::vector<VertexId> vertices;
+};
+
+}  // namespace
+
+CoreForest::CoreForest(const Graph& graph, const CoreDecomposition& cores) {
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK_EQ(cores.coreness.size(), n);
+
+  // ---------------------------------------------------------------------
+  // Algorithm 4: LCPS.  The bucket queue holds (priority, vertex) with
+  // priority p = min(c(w), c(v)) assigned when w is discovered from v;
+  // lazy deletion via the visited mask.  `chain` is the root-to-current
+  // path of nodes (strictly increasing coreness), realizing the paper's
+  // "adjust cur_p" steps: ascending pops the chain, descending pushes a
+  // fresh node.
+  // ---------------------------------------------------------------------
+  std::vector<RawNode> raw;
+  std::vector<std::uint32_t> raw_node_of_vertex(n, kNoNode);
+  std::vector<bool> visited(n, false);
+  BucketQueue<VertexId> queue(cores.kmax);
+  std::vector<std::uint32_t> chain;
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+
+    // New tree: a fresh root at coreness 0 (compressed away later if no
+    // coreness-0 vertex lands in it).
+    chain.clear();
+    chain.push_back(static_cast<std::uint32_t>(raw.size()));
+    raw.push_back(RawNode{});
+    queue.Clear();
+    queue.Push(0, s);
+
+    while (!queue.empty()) {
+      const auto [r, v] = queue.PopMax();
+      if (visited[v]) continue;
+      visited[v] = true;
+      const VertexId cv = cores.coreness[v];
+
+      // "if k > r: adjust cur_p so that k <- r": ascend the chain to the
+      // node at coreness r, splicing in a new node when the chain skips
+      // that level (the popped sub-chain re-parents under it).
+      if (raw[chain.back()].coreness > r) {
+        std::uint32_t last_popped = kNoNode;
+        while (raw[chain.back()].coreness > r) {
+          last_popped = chain.back();
+          chain.pop_back();
+          COREKIT_DCHECK(!chain.empty());
+        }
+        if (raw[chain.back()].coreness < r) {
+          const auto fresh = static_cast<std::uint32_t>(raw.size());
+          raw.push_back(RawNode{r, chain.back(), {}});
+          raw[last_popped].parent = fresh;
+          chain.push_back(fresh);
+        }
+      }
+      // "if c(v) > r: adjust cur_p so that k <- c(v)": descend into a new
+      // node for the denser core being entered.
+      if (cv > raw[chain.back()].coreness) {
+        const auto fresh = static_cast<std::uint32_t>(raw.size());
+        raw.push_back(RawNode{cv, chain.back(), {}});
+        chain.push_back(fresh);
+      }
+
+      COREKIT_DCHECK_EQ(raw[chain.back()].coreness, cv);
+      raw[chain.back()].vertices.push_back(v);
+      raw_node_of_vertex[v] = chain.back();
+
+      for (const VertexId w : graph.Neighbors(v)) {
+        if (!visited[w]) queue.Push(std::min(cores.coreness[w], cv), w);
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Step (ii): compress — drop nodes that hold no vertices, re-parenting
+  // across them (a dropped node's parent chain is climbed until a kept
+  // node or a root is found).
+  // ---------------------------------------------------------------------
+  const auto raw_count = static_cast<std::uint32_t>(raw.size());
+  std::vector<bool> kept(raw_count);
+  for (std::uint32_t i = 0; i < raw_count; ++i) {
+    kept[i] = !raw[i].vertices.empty();
+  }
+  // nearest_kept[i]: nearest kept proper ancestor of raw node i.  Parent
+  // indices are not monotone (the ascend step can splice a later-created
+  // node above an earlier one), so resolve lazily with path memoization.
+  std::vector<std::uint32_t> nearest_kept(raw_count, kNoNode);
+  std::vector<bool> resolved(raw_count, false);
+  std::vector<std::uint32_t> climb_path;
+  for (std::uint32_t i = 0; i < raw_count; ++i) {
+    if (resolved[i]) continue;
+    climb_path.clear();
+    std::uint32_t cur = i;
+    std::uint32_t answer = kNoNode;
+    while (true) {
+      climb_path.push_back(cur);
+      const std::uint32_t p = raw[cur].parent;
+      if (p == kNoNode) break;
+      if (kept[p]) {
+        answer = p;
+        break;
+      }
+      if (resolved[p]) {
+        answer = nearest_kept[p];
+        break;
+      }
+      cur = p;
+    }
+    for (const std::uint32_t q : climb_path) {
+      nearest_kept[q] = answer;
+      resolved[q] = true;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Step (iii): order kept nodes by descending coreness (stable, so nodes
+  // of equal coreness keep discovery order) and remap ids.
+  // ---------------------------------------------------------------------
+  std::vector<std::uint32_t> kept_ids;
+  kept_ids.reserve(raw_count);
+  for (std::uint32_t i = 0; i < raw_count; ++i) {
+    if (kept[i]) kept_ids.push_back(i);
+  }
+  std::stable_sort(kept_ids.begin(), kept_ids.end(),
+                   [&raw](std::uint32_t a, std::uint32_t b) {
+                     return raw[a].coreness > raw[b].coreness;
+                   });
+  std::vector<NodeId> new_id(raw_count, kNoNode);
+  for (NodeId i = 0; i < kept_ids.size(); ++i) new_id[kept_ids[i]] = i;
+
+  nodes_.resize(kept_ids.size());
+  for (NodeId i = 0; i < kept_ids.size(); ++i) {
+    const std::uint32_t old = kept_ids[i];
+    Node& node = nodes_[i];
+    node.coreness = raw[old].coreness;
+    const std::uint32_t p = nearest_kept[old];
+    node.parent = p == kNoNode ? kNoNode : new_id[p];
+    node.vertices = std::move(raw[old].vertices);
+    // A parent's coreness is strictly lower, hence its descending-sort
+    // index is strictly larger: children always precede parents.
+    COREKIT_DCHECK(node.parent == kNoNode || node.parent > i);
+  }
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent != kNoNode) {
+      nodes_[nodes_[i].parent].children.push_back(i);
+    }
+  }
+
+  node_of_vertex_.assign(n, kNoNode);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    for (const VertexId v : nodes_[i].vertices) node_of_vertex_[v] = i;
+  }
+
+  // Subtree vertex totals: forward scan works because children precede
+  // parents.
+  subtree_size_.assign(nodes_.size(), 0);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    subtree_size_[i] += static_cast<VertexId>(nodes_[i].vertices.size());
+    if (nodes_[i].parent != kNoNode) {
+      subtree_size_[nodes_[i].parent] += subtree_size_[i];
+    }
+  }
+}
+
+std::vector<VertexId> CoreForest::CoreVertices(NodeId id) const {
+  std::vector<VertexId> result;
+  result.reserve(subtree_size_[id]);
+  std::vector<NodeId> stack{id};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[cur];
+    result.insert(result.end(), node.vertices.begin(), node.vertices.end());
+    stack.insert(stack.end(), node.children.begin(), node.children.end());
+  }
+  return result;
+}
+
+}  // namespace corekit

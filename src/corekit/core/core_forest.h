@@ -1,0 +1,76 @@
+// The core forest (Section IV-A of the paper) and its LCPS construction
+// (Algorithm 4, Matula–Beck level component priority search).
+//
+// Every connected k-core S with a non-empty shell part S ∩ H_k owns a tree
+// node holding exactly those shell vertices (Definition 6); a node's
+// parent is the next coarser core that directly contains it
+// (Definition 7).  The forest has one tree per connected component of the
+// graph and occupies O(n) space.
+//
+// Construction runs LCPS with a bucket priority queue: O(m) time.  After
+// the search the forest is compressed — nodes holding no vertices are
+// spliced out (their children re-attach to the nearest vertex-bearing
+// ancestor) — and the remaining nodes are sorted by descending coreness,
+// the processing order Algorithm 5 requires.
+
+#ifndef COREKIT_CORE_CORE_FOREST_H_
+#define COREKIT_CORE_CORE_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+class CoreForest {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+  struct Node {
+    // Coreness of the k-core this node represents.
+    VertexId coreness = 0;
+    // Parent node (next coarser containing core), kNoNode for tree roots.
+    NodeId parent = kNoNode;
+    // Child nodes (finer cores directly contained in this one).
+    std::vector<NodeId> children;
+    // The shell part of the core: vertices of the k-core with coreness
+    // exactly `coreness` (Definition 6).  Non-empty after compression.
+    std::vector<VertexId> vertices;
+  };
+
+  // Builds the forest with LCPS.  `cores` must be the decomposition of
+  // `graph`.
+  CoreForest(const Graph& graph, const CoreDecomposition& cores);
+
+  // Nodes sorted by descending coreness: children always precede parents,
+  // so a single forward scan is a valid bottom-up (dense-to-coarse)
+  // traversal.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  NodeId NumNodes() const { return static_cast<NodeId>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  // The node whose core first introduces vertex v, i.e. the node of v's
+  // c(v)-core.
+  NodeId NodeOfVertex(VertexId v) const { return node_of_vertex_[v]; }
+
+  // All vertices of the k-core represented by `id` (the node's shell
+  // vertices plus everything in its subtree).  O(result size).
+  std::vector<VertexId> CoreVertices(NodeId id) const;
+
+  // Total vertex count of the k-core represented by `id`, O(1) (subtree
+  // sizes are precomputed).
+  VertexId CoreSize(NodeId id) const { return subtree_size_[id]; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> node_of_vertex_;
+  std::vector<VertexId> subtree_size_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_CORE_FOREST_H_

@@ -1,0 +1,59 @@
+#include "corekit/core/hierarchy_export.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "corekit/util/logging.h"
+#include "corekit/util/table_printer.h"
+
+namespace corekit {
+
+std::string CoreForestToDot(const CoreForest& forest,
+                            const HierarchyDotOptions& options) {
+  COREKIT_CHECK(options.scores.empty() ||
+                options.scores.size() == forest.NumNodes())
+      << "scores must be empty or one per forest node";
+
+  std::ostringstream os;
+  os << "digraph " << options.title << " {\n";
+  os << "  rankdir=TB;\n";
+  os << "  node [shape=box, style=rounded];\n";
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const CoreForest::Node& node = forest.node(i);
+    if (forest.CoreSize(i) < options.min_core_size) continue;
+    os << "  n" << i << " [label=\"k=" << node.coreness
+       << "\\nshell=" << node.vertices.size()
+       << "\\ncore=" << forest.CoreSize(i);
+    if (!options.scores.empty()) {
+      os << "\\nscore=" << TablePrinter::FormatDouble(options.scores[i], 4);
+    }
+    os << "\"];\n";
+  }
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    if (forest.CoreSize(i) < options.min_core_size) continue;
+    const CoreForest::NodeId parent = forest.node(i).parent;
+    if (parent == CoreForest::kNoNode) continue;
+    if (forest.CoreSize(parent) < options.min_core_size) continue;
+    os << "  n" << parent << " -> n" << i << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Status WriteCoreForestDot(const CoreForest& forest, const std::string& path,
+                          const HierarchyDotOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  const std::string dot = CoreForestToDot(forest, options);
+  const bool ok = std::fwrite(dot.data(), 1, dot.size(), file) == dot.size();
+  std::fclose(file);
+  if (!ok) return Status::IoError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace corekit

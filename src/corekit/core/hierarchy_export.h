@@ -1,0 +1,44 @@
+// Graphviz (DOT) export of the core forest — the visualization use the
+// paper cites for core hierarchies ([3], [20], [67]: "graph
+// visualization" via k-core decomposition).
+//
+// Each tree node becomes a DOT node labeled with its coreness, shell
+// size, total core size, and (optionally) a per-core score; edges point
+// from parent cores to the denser cores they contain.  Render with
+// `dot -Tsvg hierarchy.dot -o hierarchy.svg`.
+
+#ifndef COREKIT_CORE_HIERARCHY_EXPORT_H_
+#define COREKIT_CORE_HIERARCHY_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "corekit/core/core_forest.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+struct HierarchyDotOptions {
+  // Graph name emitted in the DOT header.
+  std::string title = "core_forest";
+  // Optional per-node scores (size NumNodes()); shown in labels when
+  // non-empty.
+  std::vector<double> scores;
+  // Omit nodes whose core has fewer vertices than this (decluttering for
+  // large forests).  The nodes' children re-attach nowhere — they are
+  // simply skipped together with their subtrees, which is safe because
+  // subtrees of small cores are smaller still.
+  VertexId min_core_size = 0;
+};
+
+// Renders the forest as a DOT digraph string.
+std::string CoreForestToDot(const CoreForest& forest,
+                            const HierarchyDotOptions& options = {});
+
+// Convenience: renders and writes to `path`.
+Status WriteCoreForestDot(const CoreForest& forest, const std::string& path,
+                          const HierarchyDotOptions& options = {});
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_HIERARCHY_EXPORT_H_

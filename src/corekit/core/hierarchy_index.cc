@@ -1,0 +1,83 @@
+#include "corekit/core/hierarchy_index.h"
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+CoreHierarchyIndex::CoreHierarchyIndex(const CoreForest& forest,
+                                       const SingleCoreProfile& profile)
+    : forest_(&forest), profile_(&profile) {
+  COREKIT_CHECK_EQ(profile.scores.size(), forest.NumNodes());
+  const CoreForest::NodeId count = forest.NumNodes();
+  if (count == 0) return;
+
+  up_.emplace_back(count);
+  for (CoreForest::NodeId i = 0; i < count; ++i) {
+    up_[0][i] = forest.node(i).parent;
+  }
+  // Double until no node has an ancestor at that distance.
+  while (true) {
+    const auto& prev = up_.back();
+    bool any = false;
+    std::vector<CoreForest::NodeId> next(count, CoreForest::kNoNode);
+    for (CoreForest::NodeId i = 0; i < count; ++i) {
+      if (prev[i] != CoreForest::kNoNode) {
+        next[i] = prev[prev[i]];
+        any = any || next[i] != CoreForest::kNoNode;
+      }
+    }
+    if (!any) break;
+    up_.push_back(std::move(next));
+  }
+}
+
+CoreForest::NodeId CoreHierarchyIndex::NodeOf(VertexId v, VertexId k) const {
+  CoreForest::NodeId node = forest_->NodeOfVertex(v);
+  if (node == CoreForest::kNoNode || forest_->node(node).coreness < k) {
+    return CoreForest::kNoNode;
+  }
+  // Climb to the highest ancestor whose coreness is still >= k: that
+  // ancestor is the k-core containing v... unless its parent would also
+  // qualify (it cannot, by maximality of the jump).
+  for (std::size_t j = up_.size(); j-- > 0;) {
+    const CoreForest::NodeId ancestor = up_[j][node];
+    if (ancestor != CoreForest::kNoNode &&
+        forest_->node(ancestor).coreness >= k) {
+      node = ancestor;
+    }
+  }
+  return node;
+}
+
+VertexId CoreHierarchyIndex::CoreSize(VertexId v, VertexId k) const {
+  const CoreForest::NodeId node = NodeOf(v, k);
+  return node == CoreForest::kNoNode ? 0 : forest_->CoreSize(node);
+}
+
+double CoreHierarchyIndex::Score(VertexId v, VertexId k) const {
+  const CoreForest::NodeId node = NodeOf(v, k);
+  COREKIT_CHECK(node != CoreForest::kNoNode)
+      << "vertex " << v << " is not in any " << k << "-core";
+  return profile_->scores[node];
+}
+
+VertexId CoreHierarchyIndex::BestKFor(VertexId v) const {
+  CoreForest::NodeId node = forest_->NodeOfVertex(v);
+  if (node == CoreForest::kNoNode) return 0;
+  VertexId best_k = forest_->node(node).coreness;
+  double best_score = profile_->scores[node];
+  // Walk the root path: each node is the k-core of v for every k in
+  // (parent.coreness, node.coreness]; the best score at the node level
+  // is attained at the node's own coreness (larger k ties broken up).
+  for (CoreForest::NodeId cur = node; cur != CoreForest::kNoNode;
+       cur = forest_->node(cur).parent) {
+    if (forest_->node(cur).coreness == 0) break;
+    if (profile_->scores[cur] > best_score) {
+      best_score = profile_->scores[cur];
+      best_k = forest_->node(cur).coreness;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace corekit

@@ -1,0 +1,62 @@
+// CoreHierarchyIndex: O(log depth) queries over the core forest.
+//
+// The paper emphasizes that its algorithms expose the score of *every*
+// k-core as a byproduct; this index packages that product for interactive
+// use.  After an O(n log n) preprocessing (binary lifting over the
+// forest), it answers:
+//
+//   * NodeOf(v, k)      — the forest node of the k-core containing v
+//                         (kNoNode when coreness(v) < k);
+//   * CoreSize(v, k)    — its size, O(log depth);
+//   * Score(v, k)       — its score under the metric profile supplied at
+//                         construction, O(log depth);
+//   * BestKFor(v)       — the k whose core containing v scores best
+//                         (the per-vertex personalization of Problem 2),
+//                         O(path length).
+//
+// This is the "community search" view: for a query vertex, the chain of
+// cores containing it is its community hierarchy, and the index makes
+// every level addressable.
+
+#ifndef COREKIT_CORE_HIERARCHY_INDEX_H_
+#define COREKIT_CORE_HIERARCHY_INDEX_H_
+
+#include <vector>
+
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_forest.h"
+
+namespace corekit {
+
+class CoreHierarchyIndex {
+ public:
+  // `profile` must come from FindBestSingleCore over the same forest (its
+  // scores index forest nodes).  Both references must outlive the index.
+  CoreHierarchyIndex(const CoreForest& forest,
+                     const SingleCoreProfile& profile);
+
+  // Forest node of the k-core containing v; kNoNode when v is not in any
+  // k-core.  O(log depth).
+  CoreForest::NodeId NodeOf(VertexId v, VertexId k) const;
+
+  // Size of that core (0 when it does not exist).  O(log depth).
+  VertexId CoreSize(VertexId v, VertexId k) const;
+
+  // Score of that core under the profile's metric.  CHECK-fails when the
+  // core does not exist (query coreness(v) first).  O(log depth).
+  double Score(VertexId v, VertexId k) const;
+
+  // The k maximizing Score(v, k) over 1 <= k <= coreness(v); ties prefer
+  // the larger k.  Returns 0 for isolated vertices.  O(path length).
+  VertexId BestKFor(VertexId v) const;
+
+ private:
+  const CoreForest* forest_;
+  const SingleCoreProfile* profile_;
+  // up_[j][i]: the 2^j-th ancestor of node i (kNoNode beyond the root).
+  std::vector<std::vector<CoreForest::NodeId>> up_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_HIERARCHY_INDEX_H_

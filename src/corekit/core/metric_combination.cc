@@ -1,0 +1,88 @@
+#include "corekit/core/metric_combination.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+std::vector<double> MinMaxNormalize(std::span<const double> scores) {
+  std::vector<double> normalized(scores.begin(), scores.end());
+  if (normalized.empty()) return normalized;
+  const auto [lo_it, hi_it] =
+      std::minmax_element(normalized.begin(), normalized.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  if (hi == lo) {
+    std::fill(normalized.begin(), normalized.end(), 0.0);
+    return normalized;
+  }
+  for (double& value : normalized) value = (value - lo) / (hi - lo);
+  return normalized;
+}
+
+namespace {
+
+CombinedProfile FinishProfile(std::vector<double> scores) {
+  CombinedProfile combined;
+  combined.scores = std::move(scores);
+  combined.best_k = ArgmaxLargestK(combined.scores);
+  combined.best_score = combined.scores[combined.best_k];
+  return combined;
+}
+
+}  // namespace
+
+CombinedProfile CombineWeighted(std::span<const CoreSetProfile> profiles,
+                                std::span<const double> weights) {
+  COREKIT_CHECK(!profiles.empty());
+  COREKIT_CHECK_EQ(profiles.size(), weights.size());
+  const std::size_t levels = profiles.front().scores.size();
+  double total_weight = 0.0;
+  for (const double w : weights) {
+    COREKIT_CHECK_GE(w, 0.0);
+    total_weight += w;
+  }
+  COREKIT_CHECK_GT(total_weight, 0.0);
+
+  std::vector<double> combined(levels, 0.0);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    COREKIT_CHECK_EQ(profiles[i].scores.size(), levels)
+        << "profiles must come from the same graph";
+    const std::vector<double> normalized =
+        MinMaxNormalize(profiles[i].scores);
+    for (std::size_t k = 0; k < levels; ++k) {
+      combined[k] += weights[i] / total_weight * normalized[k];
+    }
+  }
+  return FinishProfile(std::move(combined));
+}
+
+CombinedProfile CombineBorda(std::span<const CoreSetProfile> profiles) {
+  COREKIT_CHECK(!profiles.empty());
+  const std::size_t levels = profiles.front().scores.size();
+  std::vector<double> combined(levels, 0.0);
+  std::vector<std::size_t> order(levels);
+  for (const CoreSetProfile& profile : profiles) {
+    COREKIT_CHECK_EQ(profile.scores.size(), levels);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&profile](std::size_t a, std::size_t b) {
+                       return profile.scores[a] > profile.scores[b];
+                     });
+    // Competition ranking: ties share the best position of their block.
+    std::size_t position = 0;
+    for (std::size_t i = 0; i < levels; ++i) {
+      if (i > 0 &&
+          profile.scores[order[i]] != profile.scores[order[i - 1]]) {
+        position = i;
+      }
+      combined[order[i]] +=
+          static_cast<double>(levels - 1 - position);
+    }
+  }
+  return FinishProfile(std::move(combined));
+}
+
+}  // namespace corekit

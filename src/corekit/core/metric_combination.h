@@ -1,0 +1,51 @@
+// Metric combination: the paper's own suggestion for the degenerate
+// cases ("Some metrics choose an extreme value of k in core
+// decomposition, which may imply to use a combination of these metrics",
+// Section V-A; echoed for single cores in V-B).
+//
+// Two standard aggregation schemes over already-computed per-k profiles:
+//
+//   * weighted sum of min-max normalized scores — each metric's profile
+//     is rescaled to [0, 1] (metrics live on wildly different scales:
+//     average degree in the hundreds, cut ratio within 1e-4 of 1.0)
+//     before mixing with user weights;
+//   * Borda rank aggregation — each metric ranks the levels; a level's
+//     combined score is the sum of (#levels - rank) across metrics,
+//     immune to scale and outliers.
+//
+// Both consume profiles from FindBestCoreSetMulti, so combining M metrics
+// still costs a single shell walk.
+
+#ifndef COREKIT_CORE_METRIC_COMBINATION_H_
+#define COREKIT_CORE_METRIC_COMBINATION_H_
+
+#include <span>
+#include <vector>
+
+#include "corekit/core/best_core_set.h"
+
+namespace corekit {
+
+// Min-max normalization of a score vector to [0, 1]; a constant vector
+// maps to all zeros.
+std::vector<double> MinMaxNormalize(std::span<const double> scores);
+
+// Weighted-sum combination.  All profiles must have equal length (same
+// kmax); weights parallel profiles and must sum to a positive value.
+// Returns the combined per-k scores and the best k (largest on ties).
+struct CombinedProfile {
+  std::vector<double> scores;
+  VertexId best_k = 0;
+  double best_score = 0.0;
+};
+CombinedProfile CombineWeighted(std::span<const CoreSetProfile> profiles,
+                                std::span<const double> weights);
+
+// Borda rank aggregation: per metric, the best level earns (levels - 1)
+// points, the runner-up (levels - 2), ... ties share the higher points
+// (competition ranking on descending score).
+CombinedProfile CombineBorda(std::span<const CoreSetProfile> profiles);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_METRIC_COMBINATION_H_

@@ -1,0 +1,188 @@
+#include "corekit/core/metrics.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+const char* MetricShortName(Metric metric) {
+  switch (metric) {
+    case Metric::kAverageDegree:
+      return "ad";
+    case Metric::kInternalDensity:
+      return "den";
+    case Metric::kCutRatio:
+      return "cr";
+    case Metric::kConductance:
+      return "con";
+    case Metric::kModularity:
+      return "mod";
+    case Metric::kClusteringCoefficient:
+      return "cc";
+    case Metric::kSeparability:
+      return "sep";
+    case Metric::kExpansion:
+      return "exp";
+    case Metric::kNormalizedAssociation:
+      return "nassoc";
+  }
+  return "?";
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kAverageDegree:
+      return "average degree";
+    case Metric::kInternalDensity:
+      return "internal density";
+    case Metric::kCutRatio:
+      return "cut ratio";
+    case Metric::kConductance:
+      return "conductance";
+    case Metric::kModularity:
+      return "modularity";
+    case Metric::kClusteringCoefficient:
+      return "clustering coefficient";
+    case Metric::kSeparability:
+      return "separability";
+    case Metric::kExpansion:
+      return "expansion (negated)";
+    case Metric::kNormalizedAssociation:
+      return "normalized association";
+  }
+  return "?";
+}
+
+std::optional<Metric> ParseMetric(const std::string& name) {
+  for (const Metric metric : kExtendedMetrics) {
+    if (name == MetricShortName(metric) || name == MetricName(metric)) {
+      return metric;
+    }
+  }
+  for (const Metric metric : kAllMetrics) {
+    if (name == MetricShortName(metric) || name == MetricName(metric)) {
+      return metric;
+    }
+  }
+  return std::nullopt;
+}
+
+bool MetricNeedsTriangles(Metric metric) {
+  return metric == Metric::kClusteringCoefficient;
+}
+
+namespace {
+
+double AverageDegree(const PrimaryValues& pv) {
+  if (pv.num_vertices == 0) return 0.0;
+  return static_cast<double>(pv.internal_edges_x2) /
+         static_cast<double>(pv.num_vertices);
+}
+
+double InternalDensity(const PrimaryValues& pv) {
+  if (pv.num_vertices < 2) return 0.0;
+  return static_cast<double>(pv.internal_edges_x2) /
+         (static_cast<double>(pv.num_vertices) *
+          static_cast<double>(pv.num_vertices - 1));
+}
+
+double CutRatio(const PrimaryValues& pv, const GraphGlobals& globals) {
+  const std::uint64_t outside = globals.num_vertices - pv.num_vertices;
+  const double slots =
+      static_cast<double>(pv.num_vertices) * static_cast<double>(outside);
+  if (slots == 0.0) return 1.0;  // S empty or S = V: no boundary slots
+  return 1.0 - static_cast<double>(pv.boundary_edges) / slots;
+}
+
+double Conductance(const PrimaryValues& pv) {
+  const double volume = static_cast<double>(pv.internal_edges_x2) +
+                        static_cast<double>(pv.boundary_edges);
+  if (volume == 0.0) return 1.0;
+  return 1.0 - static_cast<double>(pv.boundary_edges) / volume;
+}
+
+// Modularity of the two-block partition {S, V \ S} (Newman–Girvan, the
+// paper's formula instantiated with the k-core side and its complement as
+// the communities).
+double Modularity(const PrimaryValues& pv, const GraphGlobals& globals) {
+  const double m = static_cast<double>(globals.num_edges);
+  if (m == 0.0) return 0.0;
+  const double m_s = static_cast<double>(pv.internal_edges_x2) / 2.0;
+  const double b_s = static_cast<double>(pv.boundary_edges);
+  const double m_rest = m - m_s - b_s;
+  const double vol_s = (2.0 * m_s + b_s) / (2.0 * m);
+  const double vol_rest = (2.0 * m_rest + b_s) / (2.0 * m);
+  const double q_s = m_s / m - vol_s * vol_s;
+  const double q_rest = m_rest / m - vol_rest * vol_rest;
+  return q_s + q_rest;
+}
+
+// m(S)/b(S); a perfectly separated community (b = 0) scores its own
+// internal edge count, which dominates any finite ratio of the same m.
+double Separability(const PrimaryValues& pv) {
+  const double m_s = static_cast<double>(pv.internal_edges_x2) / 2.0;
+  if (pv.boundary_edges == 0) return m_s;
+  return m_s / static_cast<double>(pv.boundary_edges);
+}
+
+// Negated boundary edges per member, so that "maximize" means "fewest
+// boundary edges per vertex".  Empty S scores 0.
+double ExpansionGoodness(const PrimaryValues& pv) {
+  if (pv.num_vertices == 0) return 0.0;
+  return -static_cast<double>(pv.boundary_edges) /
+         static_cast<double>(pv.num_vertices);
+}
+
+// m(S) / (m(S) + b(S)); 1 when S captures all volume it touches.  Empty
+// volume scores 1 (nothing escapes).
+double NormalizedAssociation(const PrimaryValues& pv) {
+  const double m_s = static_cast<double>(pv.internal_edges_x2) / 2.0;
+  const double total = m_s + static_cast<double>(pv.boundary_edges);
+  if (total == 0.0) return 1.0;
+  return m_s / total;
+}
+
+double ClusteringCoefficient(const PrimaryValues& pv) {
+  COREKIT_CHECK(pv.has_triangles)
+      << "clustering coefficient needs triangle/triplet primary values";
+  if (pv.triplets == 0) return 0.0;
+  return 3.0 * static_cast<double>(pv.triangles) /
+         static_cast<double>(pv.triplets);
+}
+
+}  // namespace
+
+double EvaluateMetric(Metric metric, const PrimaryValues& values,
+                      const GraphGlobals& globals) {
+  switch (metric) {
+    case Metric::kAverageDegree:
+      return AverageDegree(values);
+    case Metric::kInternalDensity:
+      return InternalDensity(values);
+    case Metric::kCutRatio:
+      return CutRatio(values, globals);
+    case Metric::kConductance:
+      return Conductance(values);
+    case Metric::kModularity:
+      return Modularity(values, globals);
+    case Metric::kClusteringCoefficient:
+      return ClusteringCoefficient(values);
+    case Metric::kSeparability:
+      return Separability(values);
+    case Metric::kExpansion:
+      return ExpansionGoodness(values);
+    case Metric::kNormalizedAssociation:
+      return NormalizedAssociation(values);
+  }
+  COREKIT_LOG(FATAL) << "unknown metric " << static_cast<int>(metric);
+  return 0.0;
+}
+
+MetricFn MetricFunction(Metric metric) {
+  return [metric](const PrimaryValues& pv, const GraphGlobals& globals) {
+    return EvaluateMetric(metric, pv, globals);
+  };
+}
+
+}  // namespace corekit

@@ -1,0 +1,98 @@
+// Community scoring metrics (Section II-C of the paper).
+//
+// Six built-in metrics are provided; all of them are functions of the
+// primary values of the evaluated subgraph S plus two graph-level globals
+// (n for cut ratio, m for modularity):
+//
+//   average degree         2 m(S) / n(S)
+//   internal density       2 m(S) / (n(S) (n(S)-1))
+//   cut ratio              1 - b(S) / (n(S) (n - n(S)))
+//   conductance            1 - b(S) / (2 m(S) + b(S))
+//   modularity             two-block partition {S, V \ S} modularity
+//   clustering coefficient 3 D(S) / t(S)
+//
+// New metrics (Section VI-A) plug in as any callable with the
+// MetricFn signature; every scoring algorithm in corekit accepts either a
+// built-in Metric or a custom MetricFn.
+//
+// Degenerate-subgraph conventions (documented per accessor below) follow
+// the natural limits so that score profiles are total functions of k.
+
+#ifndef COREKIT_CORE_METRICS_H_
+#define COREKIT_CORE_METRICS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "corekit/core/primary_values.h"
+
+namespace corekit {
+
+enum class Metric : int {
+  kAverageDegree = 0,
+  kInternalDensity = 1,
+  kCutRatio = 2,
+  kConductance = 3,
+  kModularity = 4,
+  kClusteringCoefficient = 5,
+  // --- Extended metrics (Section VI-A: further functions of the same
+  // primary values, from the Yang–Leskovec catalogue [63]). -------------
+  // Separability m(S) / b(S): how much of the community's volume stays
+  // inside.  Defined as m(S) when b(S) = 0 (perfectly separated).
+  kSeparability = 6,
+  // Expansion goodness -b(S) / n(S): expansion measures boundary edges
+  // per member (lower is better), so the maximized form is its negation.
+  kExpansion = 7,
+  // Normalized association m(S) / (m(S) + b(S)): the complement of the
+  // normalized-cut contribution of S.
+  kNormalizedAssociation = 8,
+};
+
+// The paper's six metrics, in its order (ad, den, cr, con, mod, cc).
+inline constexpr Metric kAllMetrics[] = {
+    Metric::kAverageDegree,  Metric::kInternalDensity,
+    Metric::kCutRatio,       Metric::kConductance,
+    Metric::kModularity,     Metric::kClusteringCoefficient,
+};
+
+// The Section VI-A extensions.
+inline constexpr Metric kExtendedMetrics[] = {
+    Metric::kSeparability,
+    Metric::kExpansion,
+    Metric::kNormalizedAssociation,
+};
+
+// Paper abbreviation ("ad", "den", "cr", "con", "mod", "cc").
+const char* MetricShortName(Metric metric);
+// Full name ("average degree", ...).
+const char* MetricName(Metric metric);
+// Parses either form; empty optional on unknown names.
+std::optional<Metric> ParseMetric(const std::string& name);
+
+// True if the metric needs triangle/triplet primary values (and hence the
+// O(m^1.5) Algorithm 3 path instead of the O(n) Algorithm 2 path).
+bool MetricNeedsTriangles(Metric metric);
+
+// Evaluates a built-in metric from primary values.
+//
+// Conventions for degenerate inputs:
+//   * average degree of an empty S is 0;
+//   * internal density needs n(S) >= 2, else 0;
+//   * cut ratio is 1 when S = V or S is empty (no boundary slots);
+//   * conductance is 1 when 2 m(S) + b(S) = 0;
+//   * clustering coefficient is 0 when t(S) = 0;
+//   * modularity of an empty graph is 0.
+double EvaluateMetric(Metric metric, const PrimaryValues& values,
+                      const GraphGlobals& globals);
+
+// Custom-metric extension point.
+using MetricFn =
+    std::function<double(const PrimaryValues&, const GraphGlobals&)>;
+
+// Wraps a built-in metric as a MetricFn.
+MetricFn MetricFunction(Metric metric);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_METRICS_H_

@@ -1,0 +1,64 @@
+#include "corekit/core/multi_metric.h"
+
+#include <algorithm>
+
+namespace corekit {
+
+namespace {
+
+bool AnyNeedsTriangles(std::span<const Metric> metrics) {
+  return std::any_of(metrics.begin(), metrics.end(), MetricNeedsTriangles);
+}
+
+}  // namespace
+
+std::vector<CoreSetProfile> FindBestCoreSetMulti(
+    const OrderedGraph& ordered, std::span<const Metric> metrics) {
+  const std::vector<PrimaryValues> primaries =
+      ComputeCoreSetPrimaries(ordered, AnyNeedsTriangles(metrics));
+  const GraphGlobals globals{ordered.NumVertices(),
+                             ordered.graph().NumEdges()};
+
+  std::vector<CoreSetProfile> profiles(metrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    CoreSetProfile& profile = profiles[i];
+    profile.primaries = primaries;
+    profile.scores.reserve(primaries.size());
+    for (const PrimaryValues& pv : primaries) {
+      profile.scores.push_back(EvaluateMetric(metrics[i], pv, globals));
+    }
+    profile.best_k = ArgmaxLargestK(profile.scores);
+    profile.best_score = profile.scores[profile.best_k];
+  }
+  return profiles;
+}
+
+std::vector<SingleCoreProfile> FindBestSingleCoreMulti(
+    const OrderedGraph& ordered, const CoreForest& forest,
+    std::span<const Metric> metrics) {
+  const std::vector<PrimaryValues> primaries = ComputeSingleCorePrimaries(
+      ordered, forest, AnyNeedsTriangles(metrics));
+  const GraphGlobals globals{ordered.NumVertices(),
+                             ordered.graph().NumEdges()};
+
+  std::vector<SingleCoreProfile> profiles(metrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    SingleCoreProfile& profile = profiles[i];
+    profile.primaries = primaries;
+    profile.scores.reserve(primaries.size());
+    for (const PrimaryValues& pv : primaries) {
+      profile.scores.push_back(EvaluateMetric(metrics[i], pv, globals));
+    }
+    profile.best_node = 0;
+    for (CoreForest::NodeId node = 1; node < profile.scores.size(); ++node) {
+      if (profile.scores[node] > profile.scores[profile.best_node]) {
+        profile.best_node = node;
+      }
+    }
+    profile.best_k = forest.node(profile.best_node).coreness;
+    profile.best_score = profile.scores[profile.best_node];
+  }
+  return profiles;
+}
+
+}  // namespace corekit

@@ -1,0 +1,33 @@
+// Single-pass multi-metric scoring.
+//
+// The paper points out that core decomposition and the Algorithm 1 index
+// are built once and reused across metrics; the same holds for the shell
+// walk itself — the primary values do not depend on the metric, so all
+// six (or sixty) metrics can be scored from ONE top-down pass.  The
+// benches and the sweep example use this to regenerate whole tables at
+// the cost of a single profile.
+
+#ifndef COREKIT_CORE_MULTI_METRIC_H_
+#define COREKIT_CORE_MULTI_METRIC_H_
+
+#include <span>
+#include <vector>
+
+#include "corekit/core/best_core_set.h"
+#include "corekit/core/best_single_core.h"
+
+namespace corekit {
+
+// One CoreSetProfile per metric, from a single shell walk.  Triangles are
+// computed once iff any metric needs them.
+std::vector<CoreSetProfile> FindBestCoreSetMulti(
+    const OrderedGraph& ordered, std::span<const Metric> metrics);
+
+// One SingleCoreProfile per metric, from a single forest aggregation.
+std::vector<SingleCoreProfile> FindBestSingleCoreMulti(
+    const OrderedGraph& ordered, const CoreForest& forest,
+    std::span<const Metric> metrics);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_MULTI_METRIC_H_

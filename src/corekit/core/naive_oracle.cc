@@ -1,0 +1,137 @@
+#include "corekit/core/naive_oracle.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+// Iteratively deletes vertices with fewer than k alive neighbors.
+// `alive` is modified in place.
+void PeelBelow(const Graph& graph, VertexId k, std::vector<bool>& alive) {
+  const VertexId n = graph.NumVertices();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      VertexId degree = 0;
+      for (const VertexId u : graph.Neighbors(v)) degree += alive[u] ? 1u : 0u;
+      if (degree < k) {
+        alive[v] = false;
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> NaiveCoreness(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> coreness(n, 0);
+  std::vector<bool> alive(n, true);
+  for (VertexId k = 1;; ++k) {
+    PeelBelow(graph, k, alive);
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v]) {
+        coreness[v] = k;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return coreness;
+}
+
+std::vector<bool> NaiveCoreSetMask(const Graph& graph, VertexId k) {
+  std::vector<bool> alive(graph.NumVertices(), true);
+  PeelBelow(graph, k, alive);
+  return alive;
+}
+
+std::vector<std::vector<VertexId>> NaiveKCores(const Graph& graph,
+                                               VertexId k) {
+  const std::vector<bool> mask = NaiveCoreSetMask(graph, k);
+  const VertexId n = graph.NumVertices();
+  std::vector<bool> seen(n, false);
+  std::vector<std::vector<VertexId>> cores;
+  for (VertexId s = 0; s < n; ++s) {
+    if (!mask[s] || seen[s]) continue;
+    std::vector<VertexId> component{s};
+    seen[s] = true;
+    for (std::size_t head = 0; head < component.size(); ++head) {
+      for (const VertexId u : graph.Neighbors(component[head])) {
+        if (mask[u] && !seen[u]) {
+          seen[u] = true;
+          component.push_back(u);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    cores.push_back(std::move(component));
+  }
+  return cores;
+}
+
+PrimaryValues NaivePrimaryValues(const Graph& graph,
+                                 const std::vector<bool>& mask) {
+  COREKIT_CHECK_EQ(mask.size(), graph.NumVertices());
+  PrimaryValues pv;
+  pv.has_triangles = true;
+  const VertexId n = graph.NumVertices();
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (!mask[v]) continue;
+    ++pv.num_vertices;
+    std::uint64_t inside = 0;
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (mask[u]) {
+        ++inside;
+      } else {
+        ++pv.boundary_edges;
+      }
+    }
+    pv.internal_edges_x2 += inside;
+    pv.triplets += inside * (inside - 1) / 2;
+    // Triangles with v as the smallest id: brute-force over neighbor
+    // pairs.
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId a = nbrs[i];
+      if (!mask[a] || a <= v) continue;
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const VertexId b = nbrs[j];
+        if (!mask[b] || b <= v) continue;
+        if (graph.HasEdge(a, b)) ++pv.triangles;
+      }
+    }
+  }
+  return pv;
+}
+
+double NaiveCoreSetScore(const Graph& graph, VertexId k, Metric metric) {
+  const std::vector<bool> mask = NaiveCoreSetMask(graph, k);
+  const PrimaryValues pv = NaivePrimaryValues(graph, mask);
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  return EvaluateMetric(metric, pv, globals);
+}
+
+std::uint64_t NaiveTriangleCount(const Graph& graph) {
+  std::uint64_t total = 0;
+  const VertexId n = graph.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (u <= v) continue;
+      for (const VertexId w : graph.Neighbors(u)) {
+        if (w > u && graph.HasEdge(v, w)) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace corekit

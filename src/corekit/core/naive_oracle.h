@@ -1,0 +1,49 @@
+// Definition-driven reference implementations ("naive oracles").
+//
+// Every optimized component of corekit is validated against an
+// implementation that follows the paper's definitions as literally as
+// possible, with no shared code or data structures.  These run in
+// polynomial-but-slow time and exist purely for the test suite and for
+// small-scale debugging; nothing in the library's production paths calls
+// them.
+
+#ifndef COREKIT_CORE_NAIVE_ORACLE_H_
+#define COREKIT_CORE_NAIVE_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/core/metrics.h"
+#include "corekit/core/primary_values.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+// Coreness by literal Definition 3: for k = 1, 2, ... repeatedly delete
+// vertices of degree < k until stable; survivors have coreness >= k.
+// O(kmax * n * d).
+std::vector<VertexId> NaiveCoreness(const Graph& graph);
+
+// Vertex mask of the k-core set by literal Definition 1/2 (iterated
+// deletion below threshold k).
+std::vector<bool> NaiveCoreSetMask(const Graph& graph, VertexId k);
+
+// All connected k-cores for a fixed k, each as a sorted vertex list.
+std::vector<std::vector<VertexId>> NaiveKCores(const Graph& graph, VertexId k);
+
+// Primary values of the subgraph induced by `mask`, by direct counting
+// (including brute-force triangle and triplet enumeration).
+PrimaryValues NaivePrimaryValues(const Graph& graph,
+                                 const std::vector<bool>& mask);
+
+// Score of the k-core set C_k, fully independently of the optimized path.
+double NaiveCoreSetScore(const Graph& graph, VertexId k, Metric metric);
+
+// Brute-force triangle count of the whole graph (enumerate edges, count
+// common neighbors).  O(m * d).
+std::uint64_t NaiveTriangleCount(const Graph& graph);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_NAIVE_ORACLE_H_

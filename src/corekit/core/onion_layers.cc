@@ -1,0 +1,58 @@
+#include "corekit/core/onion_layers.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+OnionDecomposition ComputeOnionDecomposition(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  OnionDecomposition result;
+  result.layer.assign(n, 0);
+  result.coreness.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<VertexId> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.Degree(v);
+  std::vector<bool> removed(n, false);
+  VertexId remaining = n;
+  VertexId threshold = 0;
+  VertexId current_layer = 0;
+
+  std::vector<VertexId> wave;
+  while (remaining > 0) {
+    // The threshold never decreases: it is the smallest alive degree the
+    // first time a shell is entered, and stays at the shell's k until the
+    // shell is exhausted.
+    VertexId min_degree = kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!removed[v]) min_degree = std::min(min_degree, degree[v]);
+    }
+    threshold = std::max(threshold, min_degree);
+
+    // One wave: everything at or below the threshold goes simultaneously.
+    wave.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (!removed[v] && degree[v] <= threshold) wave.push_back(v);
+    }
+    COREKIT_DCHECK(!wave.empty());
+    ++current_layer;
+    for (const VertexId v : wave) {
+      removed[v] = true;
+      result.layer[v] = current_layer;
+      result.coreness[v] = threshold;
+      --remaining;
+    }
+    for (const VertexId v : wave) {
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (!removed[u]) --degree[u];
+      }
+    }
+    result.kmax = std::max(result.kmax, threshold);
+  }
+  result.num_layers = current_layer;
+  return result;
+}
+
+}  // namespace corekit

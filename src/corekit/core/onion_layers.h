@@ -1,0 +1,38 @@
+// Onion decomposition: the layer refinement of the k-core peel
+// (Hébert-Dufresne, Grochow & Allard, Sci. Rep. 2016; the percolation
+// view of reference [30] of the paper).
+//
+// The Batagelj–Zaversnik peel removes vertices one at a time; grouping
+// the removals into *simultaneous waves* — all vertices at or below the
+// current threshold go together — assigns every vertex an onion layer.
+// Layers refine shells (every shell splits into one or more layers) and
+// capture how central a vertex is *within* its shell, which the k-core
+// fingerprint visualization (viz/svg_fingerprint.h) uses for radial
+// depth.
+
+#ifndef COREKIT_CORE_ONION_LAYERS_H_
+#define COREKIT_CORE_ONION_LAYERS_H_
+
+#include <vector>
+
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+struct OnionDecomposition {
+  // layer[v] >= 1; vertices removed in the first wave get layer 1.
+  std::vector<VertexId> layer;
+  // coreness[v], computed as a byproduct (equals the BZ result).
+  std::vector<VertexId> coreness;
+  VertexId num_layers = 0;
+  VertexId kmax = 0;
+};
+
+// Wave-synchronous peel.  O(m + n * waves) with a simple frontier scan;
+// waves are few in practice (<= n trivially, typically O(log n) per
+// shell).
+OnionDecomposition ComputeOnionDecomposition(const Graph& graph);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_ONION_LAYERS_H_

@@ -1,0 +1,28 @@
+#include "corekit/core/primary_values.h"
+
+#include <sstream>
+#include <string>
+
+namespace corekit {
+
+// Definitions live here (out of line) to keep the header minimal.
+std::string ToString(const PrimaryValues& pv) {
+  std::ostringstream os;
+  os << "{n=" << pv.num_vertices << " m=" << pv.internal_edges_x2 / 2
+     << " b=" << pv.boundary_edges;
+  if (pv.has_triangles) {
+    os << " tri=" << pv.triangles << " trip=" << pv.triplets;
+  }
+  os << "}";
+  return os.str();
+}
+
+bool operator==(const PrimaryValues& a, const PrimaryValues& b) {
+  return a.num_vertices == b.num_vertices &&
+         a.internal_edges_x2 == b.internal_edges_x2 &&
+         a.boundary_edges == b.boundary_edges &&
+         (!a.has_triangles || !b.has_triangles ||
+          (a.triangles == b.triangles && a.triplets == b.triplets));
+}
+
+}  // namespace corekit

@@ -1,0 +1,71 @@
+// Primary values (Section II-C of the paper): the five per-subgraph
+// quantities from which most community scoring metrics are computed.
+//
+//   n(S)  number of vertices            -> num_vertices
+//   m(S)  number of internal edges      -> internal_edges
+//   b(S)  number of boundary edges      -> boundary_edges
+//   D(S)  number of triangles           -> triangles
+//   t(S)  number of triplets (paths of  -> triplets
+//         length 2, sum_v C(d(v,S), 2))
+//
+// Internal edges are tracked doubled (internal_edges_x2) by the
+// incremental algorithms because a half-edge is contributed per endpoint;
+// the doubled value is always even whenever a whole shell / tree node has
+// been absorbed.
+
+#ifndef COREKIT_CORE_PRIMARY_VALUES_H_
+#define COREKIT_CORE_PRIMARY_VALUES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "corekit/graph/types.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+struct PrimaryValues {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t internal_edges_x2 = 0;  // 2 * m(S)
+  std::uint64_t boundary_edges = 0;     // b(S)
+  std::uint64_t triangles = 0;          // D(S)
+  std::uint64_t triplets = 0;           // t(S)
+  // True when triangles/triplets were actually computed (Algorithm 3 /
+  // its per-core variant); metrics that need them CHECK this.
+  bool has_triangles = false;
+
+  std::uint64_t InternalEdges() const {
+    COREKIT_DCHECK(internal_edges_x2 % 2 == 0);
+    return internal_edges_x2 / 2;
+  }
+
+  // Element-wise accumulation (used by the forest aggregation of
+  // Algorithm 5, where a parent core absorbs its children's values).
+  PrimaryValues& operator+=(const PrimaryValues& other) {
+    num_vertices += other.num_vertices;
+    internal_edges_x2 += other.internal_edges_x2;
+    boundary_edges += other.boundary_edges;
+    triangles += other.triangles;
+    triplets += other.triplets;
+    has_triangles = has_triangles || other.has_triangles;
+    return *this;
+  }
+};
+
+// Global graph quantities some metrics reference (cut ratio needs n,
+// modularity needs m).
+struct GraphGlobals {
+  std::uint64_t num_vertices = 0;  // n
+  std::uint64_t num_edges = 0;     // m
+};
+
+// Debug rendering "{n=.. m=.. b=.. [tri=.. trip=..]}".
+std::string ToString(const PrimaryValues& pv);
+
+// Equality on the basic values; triangle fields are compared only when both
+// sides carry them.
+bool operator==(const PrimaryValues& a, const PrimaryValues& b);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_PRIMARY_VALUES_H_

@@ -1,0 +1,156 @@
+#include "corekit/core/result_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace corekit {
+
+namespace {
+
+constexpr char kDecompositionMagic[4] = {'C', 'K', 'C', '1'};
+
+// FNV-1a over a vector of ids, the integrity check for snapshots.
+std::uint64_t Checksum(const std::vector<VertexId>& values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const VertexId v : values) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+Status WriteCoreDecomposition(const CoreDecomposition& cores,
+                              const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  FileCloser closer{file};
+  const std::uint64_t n = cores.coreness.size();
+  const std::uint64_t kmax = cores.kmax;
+  const std::uint64_t checksum =
+      Checksum(cores.coreness) ^ Checksum(cores.peel_order);
+  bool ok = std::fwrite(kDecompositionMagic, 1, 4, file) == 4;
+  ok = ok && std::fwrite(&n, sizeof(n), 1, file) == 1;
+  ok = ok && std::fwrite(&kmax, sizeof(kmax), 1, file) == 1;
+  ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, file) == 1;
+  ok = ok && (n == 0 || std::fwrite(cores.coreness.data(), sizeof(VertexId),
+                                    n, file) == n);
+  ok = ok && (cores.peel_order.empty() ||
+              std::fwrite(cores.peel_order.data(), sizeof(VertexId),
+                          cores.peel_order.size(),
+                          file) == cores.peel_order.size());
+  if (!ok) return Status::IoError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+Result<CoreDecomposition> ReadCoreDecomposition(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  FileCloser closer{file};
+  char magic[4];
+  if (std::fread(magic, 1, 4, file) != 4 ||
+      std::memcmp(magic, kDecompositionMagic, 4) != 0) {
+    return Status::Corruption("'" + path +
+                              "' is not a corekit decomposition snapshot");
+  }
+  std::uint64_t n = 0;
+  std::uint64_t kmax = 0;
+  std::uint64_t checksum = 0;
+  if (std::fread(&n, sizeof(n), 1, file) != 1 ||
+      std::fread(&kmax, sizeof(kmax), 1, file) != 1 ||
+      std::fread(&checksum, sizeof(checksum), 1, file) != 1) {
+    return Status::Corruption("truncated header in '" + path + "'");
+  }
+  if (n > std::numeric_limits<VertexId>::max()) {
+    return Status::Corruption("vertex count overflow in '" + path + "'");
+  }
+  CoreDecomposition cores;
+  cores.kmax = static_cast<VertexId>(kmax);
+  cores.coreness.resize(n);
+  cores.peel_order.resize(n);
+  if (n > 0 && (std::fread(cores.coreness.data(), sizeof(VertexId), n,
+                           file) != n ||
+                std::fread(cores.peel_order.data(), sizeof(VertexId), n,
+                           file) != n)) {
+    return Status::Corruption("truncated payload in '" + path + "'");
+  }
+  if ((Checksum(cores.coreness) ^ Checksum(cores.peel_order)) != checksum) {
+    return Status::Corruption("checksum mismatch in '" + path + "'");
+  }
+  return cores;
+}
+
+Status WriteCoreSetProfileCsv(const CoreSetProfile& profile,
+                              const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  FileCloser closer{file};
+  const bool triangles =
+      !profile.primaries.empty() && profile.primaries[0].has_triangles;
+  std::fprintf(file, "k,num_vertices,internal_edges,boundary_edges%s,score\n",
+               triangles ? ",triangles,triplets" : "");
+  for (std::size_t k = 0; k < profile.scores.size(); ++k) {
+    const PrimaryValues& pv = profile.primaries[k];
+    std::fprintf(file, "%zu,%llu,%llu,%llu", k,
+                 static_cast<unsigned long long>(pv.num_vertices),
+                 static_cast<unsigned long long>(pv.InternalEdges()),
+                 static_cast<unsigned long long>(pv.boundary_edges));
+    if (triangles) {
+      std::fprintf(file, ",%llu,%llu",
+                   static_cast<unsigned long long>(pv.triangles),
+                   static_cast<unsigned long long>(pv.triplets));
+    }
+    std::fprintf(file, ",%.17g\n", profile.scores[k]);
+  }
+  if (std::ferror(file)) {
+    return Status::IoError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteSingleCoreProfileCsv(const SingleCoreProfile& profile,
+                                 const CoreForest& forest,
+                                 const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  FileCloser closer{file};
+  std::fprintf(file,
+               "node,coreness,core_size,num_vertices,internal_edges,"
+               "boundary_edges,score\n");
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const PrimaryValues& pv = profile.primaries[i];
+    std::fprintf(file, "%u,%u,%u,%llu,%llu,%llu,%.17g\n", i,
+                 forest.node(i).coreness, forest.CoreSize(i),
+                 static_cast<unsigned long long>(pv.num_vertices),
+                 static_cast<unsigned long long>(pv.InternalEdges()),
+                 static_cast<unsigned long long>(pv.boundary_edges),
+                 profile.scores[i]);
+  }
+  if (std::ferror(file)) {
+    return Status::IoError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace corekit

@@ -1,0 +1,43 @@
+// Persistence for decomposition results and score profiles.
+//
+// The paper stresses that core decomposition and the Algorithm 1 index
+// are computed once and reused across many metric queries; pipelines want
+// the same economy across *process* boundaries.  This module provides:
+//
+//   * a binary snapshot of a CoreDecomposition (magic "CKC1", checksummed)
+//     so the O(m) peel never reruns for a stored graph;
+//   * CSV export of CoreSetProfile / SingleCoreProfile for plotting the
+//     Figure 5 / Figure 6 curves with external tools.
+
+#ifndef COREKIT_CORE_RESULT_IO_H_
+#define COREKIT_CORE_RESULT_IO_H_
+
+#include <string>
+
+#include "corekit/core/best_core_set.h"
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+// Binary round trip for a decomposition.  The peel order is persisted
+// too, so degeneracy-order consumers (coloring, cliques) reload intact.
+Status WriteCoreDecomposition(const CoreDecomposition& cores,
+                              const std::string& path);
+Result<CoreDecomposition> ReadCoreDecomposition(const std::string& path);
+
+// CSV: "k,num_vertices,internal_edges,boundary_edges[,triangles,triplets]
+// ,score" per level.
+Status WriteCoreSetProfileCsv(const CoreSetProfile& profile,
+                              const std::string& path);
+
+// CSV: "node,coreness,core_size,num_vertices,internal_edges,
+// boundary_edges,score" per forest node.
+Status WriteSingleCoreProfileCsv(const SingleCoreProfile& profile,
+                                 const CoreForest& forest,
+                                 const std::string& path);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_RESULT_IO_H_

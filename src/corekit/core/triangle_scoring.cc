@@ -1,0 +1,39 @@
+#include "corekit/core/triangle_scoring.h"
+
+namespace corekit {
+
+std::uint64_t CountTrianglesAtVertex(const OrderedGraph& ordered, VertexId v,
+                                     TriangleScratch& scratch) {
+  COREKIT_DCHECK_EQ(scratch.size(), ordered.NumVertices());
+  const auto higher = ordered.NeighborsHigherRank(v);
+  for (const VertexId u : higher) scratch[u] = 1;
+  std::uint64_t triangles = 0;
+  for (const VertexId u : higher) {
+    for (const VertexId w : ordered.NeighborsHigherRank(u)) {
+      triangles += scratch[w];
+    }
+  }
+  for (const VertexId u : higher) scratch[u] = 0;
+  return triangles;
+}
+
+std::uint64_t CountTriangles(const OrderedGraph& ordered) {
+  TriangleScratch scratch(ordered.NumVertices(), 0);
+  std::uint64_t total = 0;
+  const VertexId n = ordered.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    total += CountTrianglesAtVertex(ordered, v, scratch);
+  }
+  return total;
+}
+
+std::uint64_t CountTriplets(const Graph& graph) {
+  std::uint64_t total = 0;
+  const VertexId n = graph.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    total += Choose2(graph.Degree(v));
+  }
+  return total;
+}
+
+}  // namespace corekit

@@ -1,0 +1,41 @@
+// Rank-ordered triangle counting (the O(m^1.5) kernel of Algorithm 3).
+//
+// Every triangle is attributed to its lowest-rank vertex: for a vertex v,
+// the triangles {v, u, w} with u, w in N(v, >r) are found by marking
+// N(v, >r) and scanning N(u, >r) for marked vertices.  Because the vertex
+// rank follows a degeneracy ordering, |N(u, >r)| <= 2*sqrt(m) (Lemma in
+// Section III-D), which gives the O(m^1.5) bound.
+
+#ifndef COREKIT_CORE_TRIANGLE_SCORING_H_
+#define COREKIT_CORE_TRIANGLE_SCORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/core/vertex_ordering.h"
+
+namespace corekit {
+
+// Scratch space reused across per-vertex triangle counting calls.
+// A plain byte mask; the owner must size it to NumVertices() zeros once,
+// and it is always returned to all-zeros.
+using TriangleScratch = std::vector<std::uint8_t>;
+
+// Number of triangles whose lowest-rank vertex is v.  `scratch` must be
+// all-zeros of size n; it is restored before returning.
+std::uint64_t CountTrianglesAtVertex(const OrderedGraph& ordered, VertexId v,
+                                     TriangleScratch& scratch);
+
+// Total number of triangles in the graph, O(m^1.5).
+std::uint64_t CountTriangles(const OrderedGraph& ordered);
+
+// Total number of triplets (paths of length two) in the graph:
+// sum_v C(deg(v), 2).  O(n).
+std::uint64_t CountTriplets(const Graph& graph);
+
+// C(x, 2) helper used by all triplet computations.
+inline std::uint64_t Choose2(std::uint64_t x) { return x * (x - 1) / 2; }
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_TRIANGLE_SCORING_H_

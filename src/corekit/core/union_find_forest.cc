@@ -1,0 +1,166 @@
+#include "corekit/core/union_find_forest.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+class VertexUnionFind {
+ public:
+  explicit VertexUnionFind(VertexId n)
+      : parent_(n), node_(n, CoreForest::kNoNode) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+
+  VertexId Find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  // Merges b's component into a's (or vice versa); the surviving root
+  // keeps the union of pending children.
+  VertexId Union(VertexId a, VertexId b,
+                 std::vector<std::vector<std::uint32_t>>& pending) {
+    VertexId ra = Find(a);
+    VertexId rb = Find(b);
+    if (ra == rb) return ra;
+    if (pending[ra].size() < pending[rb].size()) std::swap(ra, rb);
+    parent_[rb] = ra;
+    pending[ra].insert(pending[ra].end(), pending[rb].begin(),
+                       pending[rb].end());
+    pending[rb].clear();
+    pending[rb].shrink_to_fit();
+    return ra;
+  }
+
+  std::uint32_t NodeOf(VertexId root) const { return node_[root]; }
+  void SetNode(VertexId root, std::uint32_t node) { node_[root] = node; }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> node_;
+};
+
+}  // namespace
+
+UnionFindForest BuildUnionFindForest(const Graph& graph,
+                                     const CoreDecomposition& cores) {
+  const VertexId n = graph.NumVertices();
+  UnionFindForest forest;
+  if (n == 0) return forest;
+
+  // Vertices bucketed by coreness for the descending sweep.
+  std::vector<std::vector<VertexId>> shells(
+      static_cast<std::size_t>(cores.kmax) + 1);
+  for (VertexId v = 0; v < n; ++v) shells[cores.coreness[v]].push_back(v);
+
+  VertexUnionFind uf(n);
+  std::vector<std::vector<std::uint32_t>> pending(n);
+  std::vector<bool> active(n, false);
+  std::vector<VertexId> touched_roots;
+  std::vector<std::vector<VertexId>> shell_vertices_of_root(n);
+
+  for (VertexId k = cores.kmax;; --k) {
+    const auto& shell = shells[k];
+    if (!shell.empty()) {
+      // Activate the shell and its edges into the active region; a
+      // component's previous node becomes a pending child as soon as the
+      // component grows.
+      for (const VertexId v : shell) active[v] = true;
+      for (const VertexId v : shell) {
+        for (const VertexId u : graph.Neighbors(v)) {
+          if (!active[u]) continue;
+          for (const VertexId x : {v, u}) {
+            const VertexId r = uf.Find(x);
+            if (uf.NodeOf(r) != CoreForest::kNoNode) {
+              pending[r].push_back(uf.NodeOf(r));
+              uf.SetNode(r, CoreForest::kNoNode);
+            }
+          }
+          uf.Union(v, u, pending);
+        }
+      }
+      // Assign shell vertices to their final components.
+      touched_roots.clear();
+      for (const VertexId v : shell) {
+        const VertexId r = uf.Find(v);
+        if (shell_vertices_of_root[r].empty()) touched_roots.push_back(r);
+        shell_vertices_of_root[r].push_back(v);
+      }
+      // One node per component that gained shell vertices.
+      for (const VertexId r : touched_roots) {
+        if (shell_vertices_of_root[r].empty()) continue;
+        const auto id = static_cast<std::uint32_t>(forest.nodes.size());
+        UnionFindForestNode node;
+        node.coreness = k;
+        node.vertices = std::move(shell_vertices_of_root[r]);
+        shell_vertices_of_root[r].clear();
+        // The pending children of r, plus r's own previous node if any
+        // (a component can gain shell vertices without merging).
+        if (uf.NodeOf(r) != CoreForest::kNoNode) {
+          pending[r].push_back(uf.NodeOf(r));
+        }
+        node.children = std::move(pending[r]);
+        pending[r].clear();
+        std::sort(node.children.begin(), node.children.end());
+        node.children.erase(
+            std::unique(node.children.begin(), node.children.end()),
+            node.children.end());
+        for (const std::uint32_t child : node.children) {
+          forest.nodes[child].parent = id;
+        }
+        forest.nodes.push_back(std::move(node));
+        uf.SetNode(r, id);
+      }
+    }
+    if (k == 0) break;
+  }
+  return forest;
+}
+
+bool ForestsEquivalent(const CoreForest& lcps, const UnionFindForest& uf) {
+  if (lcps.NumNodes() != uf.nodes.size()) return false;
+
+  // Key a node by (coreness, sorted own vertices); map to the parent's
+  // key for cross-checking.
+  using Key = std::pair<VertexId, std::vector<VertexId>>;
+  auto key_of_lcps = [&lcps](CoreForest::NodeId i) {
+    std::vector<VertexId> vertices = lcps.node(i).vertices;
+    std::sort(vertices.begin(), vertices.end());
+    return Key{lcps.node(i).coreness, std::move(vertices)};
+  };
+  auto key_of_uf = [&uf](std::uint32_t i) {
+    std::vector<VertexId> vertices = uf.nodes[i].vertices;
+    std::sort(vertices.begin(), vertices.end());
+    return Key{uf.nodes[i].coreness, std::move(vertices)};
+  };
+
+  std::map<Key, Key> lcps_parent;
+  const Key kRoot{0, {}};
+  for (CoreForest::NodeId i = 0; i < lcps.NumNodes(); ++i) {
+    const auto parent = lcps.node(i).parent;
+    lcps_parent[key_of_lcps(i)] =
+        parent == CoreForest::kNoNode ? kRoot : key_of_lcps(parent);
+  }
+  if (lcps_parent.size() != lcps.NumNodes()) return false;  // duplicate key
+
+  for (std::uint32_t i = 0; i < uf.nodes.size(); ++i) {
+    const auto it = lcps_parent.find(key_of_uf(i));
+    if (it == lcps_parent.end()) return false;
+    const auto parent = uf.nodes[i].parent;
+    const Key parent_key =
+        parent == CoreForest::kNoNode ? kRoot : key_of_uf(parent);
+    if (it->second != parent_key) return false;
+  }
+  return true;
+}
+
+}  // namespace corekit

@@ -1,0 +1,53 @@
+// Alternative core-forest construction via union-find (the bottom-up
+// hierarchy construction of Sariyuce & Pinar, PVLDB 2016 — reference [50]
+// of the paper, which the paper cites for LCPS's bucket structure).
+//
+// Instead of one priority-guided traversal (Algorithm 4), process shells
+// from kmax down to 0 over a vertex union-find: activating a shell's
+// vertices and their edges into already-active vertices merges
+// components; every component that gained shell vertices at level k is
+// exactly one connected k-core and becomes a node adopting the nodes of
+// the components it swallowed.  O(m alpha(m)) — asymptotically a hair
+// above LCPS's O(m), but with simpler data structures; the
+// ablation_ordering bench compares the constants.
+//
+// The result is bit-compatible with CoreForest up to child ordering and
+// per-node vertex ordering; tests assert structural equivalence.
+
+#ifndef COREKIT_CORE_UNION_FIND_FOREST_H_
+#define COREKIT_CORE_UNION_FIND_FOREST_H_
+
+#include <vector>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+// A forest node in the same shape as CoreForest::Node (kept separate so
+// the two constructions stay independently testable).
+struct UnionFindForestNode {
+  VertexId coreness = 0;
+  std::uint32_t parent = CoreForest::kNoNode;
+  std::vector<std::uint32_t> children;
+  std::vector<VertexId> vertices;
+};
+
+struct UnionFindForest {
+  // Sorted by descending coreness; children precede parents.
+  std::vector<UnionFindForestNode> nodes;
+};
+
+// Builds the forest bottom-up.  `cores` must be the decomposition of
+// `graph`.
+UnionFindForest BuildUnionFindForest(const Graph& graph,
+                                     const CoreDecomposition& cores);
+
+// Structural equality with an LCPS-built forest: same multiset of
+// (coreness, sorted vertex set) nodes and identical parent cores.
+bool ForestsEquivalent(const CoreForest& lcps, const UnionFindForest& uf);
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_UNION_FIND_FOREST_H_

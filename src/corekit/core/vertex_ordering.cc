@@ -1,0 +1,70 @@
+#include "corekit/core/vertex_ordering.h"
+
+namespace corekit {
+
+OrderedGraph::OrderedGraph(const Graph& graph, const CoreDecomposition& cores)
+    : graph_(&graph),
+      kmax_(cores.kmax),
+      coreness_(cores.coreness),
+      offsets_(graph.Offsets()) {
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK_EQ(coreness_.size(), n);
+
+  // --- Order the vertex set V (Algorithm 1, lines 1-4). ------------------
+  // Bin sort by coreness; iterating v in ascending id keeps each bin sorted
+  // by id, so the flattened array is sorted by rank = (coreness, id).
+  shell_start_.assign(static_cast<std::size_t>(kmax_) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++shell_start_[coreness_[v] + 1];
+  for (VertexId k = 0; k <= kmax_; ++k) shell_start_[k + 1] += shell_start_[k];
+
+  order_.resize(n);
+  {
+    std::vector<VertexId> cursor(shell_start_.begin(), shell_start_.end() - 1);
+    for (VertexId v = 0; v < n; ++v) order_[cursor[coreness_[v]]++] = v;
+  }
+
+  // --- Order the edge set E (Algorithm 1, lines 5-12). -------------------
+  // The paper flattens kmax+1 bins of (v, u) pairs keyed by c(v); reading
+  // the bins from coreness 0 upward and appending v to N'(u) yields every
+  // N'(u) sorted by ascending rank of v.  We realize the same single-pass
+  // bin scan without materializing pairs: iterating the *rank-ordered*
+  // vertex array and appending each v to its neighbors' lists visits
+  // exactly the bin-flattening order.
+  neighbors_.resize(graph.NeighborArray().size());
+  {
+    std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const VertexId v : order_) {
+      for (const VertexId u : graph.Neighbors(v)) {
+        neighbors_[cursor[u]++] = v;
+      }
+    }
+  }
+
+  // --- Position tags (Algorithm 1, line 13). -----------------------------
+  // One scan of the reordered edge set; each neighbor list is rank-sorted,
+  // so the three boundaries are the first positions crossing each
+  // threshold.
+  same_.assign(n, 0);
+  plus_.assign(n, 0);
+  high_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId deg = Degree(v);
+    const VertexId cv = coreness_[v];
+    const VertexId* list = neighbors_.data() + offsets_[v];
+    VertexId same = deg;
+    VertexId plus = deg;
+    VertexId high = deg;
+    for (VertexId i = 0; i < deg; ++i) {
+      const VertexId cu = coreness_[list[i]];
+      if (same == deg && cu >= cv) same = i;
+      if (plus == deg && cu > cv) plus = i;
+      if (high == deg && (cu > cv || (cu == cv && list[i] > v))) high = i;
+      if (plus != deg) break;  // all three found (plus implies same & high)
+    }
+    same_[v] = same;
+    plus_[v] = plus;
+    high_[v] = high;
+  }
+}
+
+}  // namespace corekit

@@ -1,0 +1,137 @@
+// Vertex ordering (Algorithm 1 + Table II of the paper): the O(m) index
+// that makes the best-k algorithms time-optimal.
+//
+// Given a graph and its core decomposition, OrderedGraph stores:
+//   * the vertex array V sorted by vertex *rank* — ascending (coreness, id)
+//     (Definition 5) — partitioned into kmax+1 coreness blocks, so the
+//     k-shell H_k and the k-core-set C_k are contiguous ranges;
+//   * every adjacency list re-sorted by ascending neighbor rank;
+//   * per-vertex position tags  same / plus / high  (Table II) so that all
+//     the |N(v, <)|, |N(v, =)|, |N(v, >)|, |N(v, >=)|, |N(v, >r)| counts are
+//     O(1) and the corresponding neighbor slices are returned in
+//     O(|slice|).
+//
+// Construction is two bin sorts (vertices, then edge pairs flattened
+// through kmax+1 bins) and a single scan for the tags: O(m) time, O(m)
+// space — no comparison sort anywhere, exactly as the paper prescribes.
+
+#ifndef COREKIT_CORE_VERTEX_ORDERING_H_
+#define COREKIT_CORE_VERTEX_ORDERING_H_
+
+#include <span>
+#include <vector>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+class OrderedGraph {
+ public:
+  // Builds the ordering index.  `cores` must be the decomposition of
+  // `graph`.  The graph reference must outlive the OrderedGraph.
+  OrderedGraph(const Graph& graph, const CoreDecomposition& cores);
+
+  const Graph& graph() const { return *graph_; }
+
+  VertexId NumVertices() const { return graph_->NumVertices(); }
+  VertexId kmax() const { return kmax_; }
+
+  // Coreness of v (copied from the decomposition for locality).
+  VertexId Coreness(VertexId v) const { return coreness_[v]; }
+
+  // Degree of v in the full graph.
+  VertexId Degree(VertexId v) const {
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // --- Vertex order ------------------------------------------------------
+
+  // All vertices by ascending rank; the slice [ShellBegin(k), ShellEnd(k))
+  // is the k-shell H_k, and [ShellBegin(k), n) is the k-core set C_k.
+  std::span<const VertexId> VerticesByRank() const { return order_; }
+  VertexId ShellBegin(VertexId k) const { return shell_start_[k]; }
+  VertexId ShellEnd(VertexId k) const { return shell_start_[k + 1]; }
+
+  // The k-shell H_k as a contiguous slice of the rank order.
+  std::span<const VertexId> Shell(VertexId k) const {
+    return {order_.data() + shell_start_[k],
+            static_cast<std::size_t>(shell_start_[k + 1] - shell_start_[k])};
+  }
+
+  // Number of vertices in the k-core set C_k (coreness >= k), O(1).
+  VertexId CoreSetSize(VertexId k) const {
+    return static_cast<VertexId>(order_.size()) - shell_start_[k];
+  }
+
+  // --- Ordered neighbor queries (Table II) -------------------------------
+
+  // Full neighbor list of v, ascending by rank.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return Slice(offsets_[v], offsets_[v + 1]);
+  }
+  // N(v, <): neighbors with coreness < c(v).
+  std::span<const VertexId> NeighborsLower(VertexId v) const {
+    return Slice(offsets_[v], offsets_[v] + same_[v]);
+  }
+  // N(v, =): neighbors with coreness == c(v).
+  std::span<const VertexId> NeighborsEqual(VertexId v) const {
+    return Slice(offsets_[v] + same_[v], offsets_[v] + plus_[v]);
+  }
+  // N(v, >): neighbors with coreness > c(v).
+  std::span<const VertexId> NeighborsHigher(VertexId v) const {
+    return Slice(offsets_[v] + plus_[v], offsets_[v + 1]);
+  }
+  // N(v, >=): neighbors with coreness >= c(v).
+  std::span<const VertexId> NeighborsGeq(VertexId v) const {
+    return Slice(offsets_[v] + same_[v], offsets_[v + 1]);
+  }
+  // N(v, >r): neighbors with rank(u) > rank(v).
+  std::span<const VertexId> NeighborsHigherRank(VertexId v) const {
+    return Slice(offsets_[v] + high_[v], offsets_[v + 1]);
+  }
+
+  // O(1) counts of the slices above.
+  VertexId CountLower(VertexId v) const { return same_[v]; }
+  VertexId CountEqual(VertexId v) const {
+    return plus_[v] - same_[v];
+  }
+  VertexId CountHigher(VertexId v) const {
+    return Degree(v) - plus_[v];
+  }
+  VertexId CountGeq(VertexId v) const { return Degree(v) - same_[v]; }
+  VertexId CountHigherRank(VertexId v) const {
+    return Degree(v) - high_[v];
+  }
+
+  // rank(u) > rank(v) per Definition 5 (coreness, then id).
+  bool RankGreater(VertexId u, VertexId v) const {
+    return coreness_[u] != coreness_[v] ? coreness_[u] > coreness_[v] : u > v;
+  }
+
+  // Raw position tags (offsets within v's neighbor list), for tests.
+  VertexId TagSame(VertexId v) const { return same_[v]; }
+  VertexId TagPlus(VertexId v) const { return plus_[v]; }
+  VertexId TagHigh(VertexId v) const { return high_[v]; }
+
+ private:
+  std::span<const VertexId> Slice(EdgeId begin, EdgeId end) const {
+    return {neighbors_.data() + begin, static_cast<std::size_t>(end - begin)};
+  }
+
+  const Graph* graph_;
+  VertexId kmax_;
+  std::vector<VertexId> coreness_;     // per vertex
+  std::vector<VertexId> order_;        // vertices by ascending rank
+  std::vector<VertexId> shell_start_;  // kmax+2 entries into order_
+  std::vector<EdgeId> offsets_;        // n+1, same shape as the graph CSR
+  std::vector<VertexId> neighbors_;    // 2m, rank-ordered per vertex
+  std::vector<VertexId> same_;         // Table II tags, per vertex
+  std::vector<VertexId> plus_;
+  std::vector<VertexId> high_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_CORE_VERTEX_ORDERING_H_

@@ -1,0 +1,82 @@
+// Umbrella header: the full corekit public API.
+//
+// corekit reproduces "Finding the Best k in Core Decomposition: A Time and
+// Space Optimal Solution" (ICDE 2020).  Typical usage:
+//
+//   #include "corekit/corekit.h"
+//
+//   corekit::Graph g = corekit::ReadSnapEdgeList("graph.txt").value();
+//   auto cores = corekit::ComputeCoreDecomposition(g);
+//   corekit::OrderedGraph ordered(g, cores);
+//   auto profile =
+//       corekit::FindBestCoreSet(ordered, corekit::Metric::kAverageDegree);
+//   // profile.best_k, profile.scores[k], profile.primaries[k] ...
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+
+#ifndef COREKIT_COREKIT_H_
+#define COREKIT_COREKIT_H_
+
+#include "corekit/apps/anomaly_detection.h"
+#include "corekit/apps/community_search.h"
+#include "corekit/apps/core_clustering.h"
+#include "corekit/apps/core_resilience.h"
+#include "corekit/apps/degeneracy_coloring.h"
+#include "corekit/apps/densest_subgraph.h"
+#include "corekit/apps/spread_simulation.h"
+#include "corekit/apps/max_clique.h"
+#include "corekit/apps/max_flow.h"
+#include "corekit/apps/size_constrained_core.h"
+#include "corekit/core/approx_triangles.h"
+#include "corekit/core/baseline.h"
+#include "corekit/distributed/distributed_core.h"
+#include "corekit/dynamic/dynamic_core.h"
+#include "corekit/external/semi_external_core.h"
+#include "corekit/core/best_core_set.h"
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/core/hierarchy_export.h"
+#include "corekit/core/hierarchy_index.h"
+#include "corekit/core/metrics.h"
+#include "corekit/core/metric_combination.h"
+#include "corekit/core/multi_metric.h"
+#include "corekit/core/naive_oracle.h"
+#include "corekit/core/union_find_forest.h"
+#include "corekit/core/onion_layers.h"
+#include "corekit/core/primary_values.h"
+#include "corekit/core/result_io.h"
+#include "corekit/core/triangle_scoring.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/gen/generators.h"
+#include "corekit/gen/hyperbolic.h"
+#include "corekit/gen/lfr_like.h"
+#include "corekit/parallel/parallel_core.h"
+#include "corekit/parallel/parallel_triangles.h"
+#include "corekit/graph/connected_components.h"
+#include "corekit/truss/best_single_truss.h"
+#include "corekit/truss/best_truss_set.h"
+#include "corekit/truss/truss_baseline.h"
+#include "corekit/truss/truss_decomposition.h"
+#include "corekit/truss/truss_forest.h"
+#include "corekit/graph/edge_list_io.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/graph/graph_stats.h"
+#include "corekit/graph/metis_io.h"
+#include "corekit/graph/power_law.h"
+#include "corekit/graph/subgraph.h"
+#include "corekit/graph/types.h"
+#include "corekit/util/bucket_queue.h"
+#include "corekit/util/thread_pool.h"
+#include "corekit/weighted/s_core.h"
+#include "corekit/weighted/weighted_graph.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+#include "corekit/util/status.h"
+#include "corekit/viz/svg_fingerprint.h"
+#include "corekit/util/table_printer.h"
+#include "corekit/util/timer.h"
+
+#endif  // COREKIT_COREKIT_H_

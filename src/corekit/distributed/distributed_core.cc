@@ -1,0 +1,97 @@
+#include "corekit/distributed/distributed_core.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+VertexId CappedHIndex(const std::vector<VertexId>& estimates, VertexId cap) {
+  if (cap == 0) return 0;
+  // count[k] = number of entries with value >= k (clamped to cap).
+  std::vector<VertexId> count(static_cast<std::size_t>(cap) + 1, 0);
+  for (const VertexId est : estimates) {
+    ++count[std::min(est, cap)];
+  }
+  VertexId at_least = 0;
+  for (VertexId k = cap;; --k) {
+    at_least += count[k];
+    if (at_least >= k) return k;
+    if (k == 0) break;
+  }
+  return 0;
+}
+
+DistributedCoreResult ComputeCoreDecompositionDistributed(
+    const Graph& graph, VertexId max_rounds) {
+  const VertexId n = graph.NumVertices();
+  DistributedCoreResult result;
+  result.coreness.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.coreness[v] = graph.Degree(v);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<VertexId>& est = result.coreness;
+  // Active set: vertices whose estimate may shrink because a neighbor's
+  // estimate changed last round.  Round 1 recomputes everyone (every
+  // vertex "hears" its neighbors' initial degrees).
+  std::vector<bool> in_frontier(n, true);
+  std::vector<VertexId> frontier(n);
+  for (VertexId v = 0; v < n; ++v) frontier[v] = v;
+
+  std::vector<VertexId> next_frontier;
+  std::vector<VertexId> scratch;   // capped counts, reused
+  std::vector<VertexId> new_est(est);
+
+  while (!frontier.empty()) {
+    if (max_rounds != 0 && result.rounds >= max_rounds) return result;
+    ++result.rounds;
+    next_frontier.clear();
+
+    // Phase 1 (compute): every active vertex applies the capped h-index
+    // to its neighbors' current estimates.
+    for (const VertexId v : frontier) {
+      const VertexId cap = est[v];
+      if (cap == 0) continue;
+      scratch.assign(static_cast<std::size_t>(cap) + 1, 0);
+      for (const VertexId u : graph.Neighbors(v)) {
+        ++scratch[std::min(est[u], cap)];
+      }
+      VertexId at_least = 0;
+      VertexId h = 0;
+      for (VertexId k = cap; k > 0; --k) {
+        at_least += scratch[k];
+        if (at_least >= k) {
+          h = k;
+          break;
+        }
+      }
+      new_est[v] = h;
+    }
+
+    // Phase 2 (broadcast): changed vertices notify their neighbors, who
+    // join the next round's frontier.
+    for (const VertexId v : frontier) {
+      in_frontier[v] = false;
+    }
+    for (const VertexId v : frontier) {
+      if (new_est[v] == est[v]) continue;
+      COREKIT_DCHECK(new_est[v] < est[v]);  // estimates only shrink
+      est[v] = new_est[v];
+      result.messages += graph.Degree(v);
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (!in_frontier[u]) {
+          in_frontier[u] = true;
+          next_frontier.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+  result.converged = true;
+  return result;
+}
+
+}  // namespace corekit

@@ -1,0 +1,54 @@
+// Distributed core decomposition (Montresor, De Pellegrini & Miorandi,
+// IEEE TPDS 2013 — reference [43] of the paper), as a simulated
+// message-passing system.
+//
+// Every vertex runs the same local program: it keeps an upper-bound
+// estimate of its own coreness (initially its degree) and repeatedly
+// applies the capped h-index operator to its neighbors' estimates,
+//
+//   est'(v) = max { k <= est(v) : |{u in N(v) : est(u) >= k}| >= k },
+//
+// broadcasting only when its estimate drops.  Estimates decrease
+// monotonically and the unique fixpoint is exactly the coreness function;
+// the number of rounds to convergence is the graph's "locality depth".
+//
+// The simulation is round-synchronous and instruments exactly what a real
+// deployment would bill: rounds to quiescence and messages sent
+// (estimate-change broadcasts).  Used by the ext_distributed bench to
+// show the convergence behaviour [43] reports, and tested against the
+// exact Batagelj–Zaversnik decomposition.
+
+#ifndef COREKIT_DISTRIBUTED_DISTRIBUTED_CORE_H_
+#define COREKIT_DISTRIBUTED_DISTRIBUTED_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+struct DistributedCoreResult {
+  // Final estimates; equals the exact coreness when converged.
+  std::vector<VertexId> coreness;
+  // Rounds executed until no estimate changed (or the cap was hit).
+  VertexId rounds = 0;
+  // Total estimate-change broadcasts (each reaches all neighbors of the
+  // sender; message count bills one per notified neighbor).
+  std::uint64_t messages = 0;
+  // True when a global fixpoint was reached within the round cap.
+  bool converged = false;
+};
+
+// Runs the protocol.  `max_rounds` = 0 means "until convergence".
+DistributedCoreResult ComputeCoreDecompositionDistributed(
+    const Graph& graph, VertexId max_rounds = 0);
+
+// The capped h-index operator on a list of neighbor estimates, exposed
+// for tests: max k <= cap with at least k entries >= k.
+VertexId CappedHIndex(const std::vector<VertexId>& estimates, VertexId cap);
+
+}  // namespace corekit
+
+#endif  // COREKIT_DISTRIBUTED_DISTRIBUTED_CORE_H_

@@ -1,0 +1,172 @@
+#include "corekit/dynamic/dynamic_core.h"
+
+#include <algorithm>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+DynamicCoreIndex::DynamicCoreIndex(VertexId num_vertices)
+    : adjacency_(num_vertices),
+      coreness_(num_vertices, 0),
+      stamp_(num_vertices, 0),
+      scratch_count_(num_vertices, 0) {}
+
+DynamicCoreIndex::DynamicCoreIndex(const Graph& graph)
+    : DynamicCoreIndex(graph.NumVertices()) {
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = graph.NumEdges();
+  coreness_ = ComputeCoreDecomposition(graph).coreness;
+}
+
+VertexId DynamicCoreIndex::Kmax() const {
+  VertexId kmax = 0;
+  for (const VertexId c : coreness_) kmax = std::max(kmax, c);
+  return kmax;
+}
+
+bool DynamicCoreIndex::HasEdge(VertexId u, VertexId v) const {
+  COREKIT_CHECK(u < NumVertices());
+  COREKIT_CHECK(v < NumVertices());
+  const auto& list = adjacency_[u].size() <= adjacency_[v].size()
+                         ? adjacency_[u]
+                         : adjacency_[v];
+  const VertexId target = &list == &adjacency_[u] ? v : u;
+  return std::binary_search(list.begin(), list.end(), target);
+}
+
+VertexId DynamicCoreIndex::CountGeq(VertexId v, VertexId k) const {
+  VertexId count = 0;
+  for (const VertexId u : adjacency_[v]) count += coreness_[u] >= k ? 1u : 0u;
+  return count;
+}
+
+bool DynamicCoreIndex::InsertEdge(VertexId u, VertexId v) {
+  COREKIT_CHECK(u < NumVertices());
+  COREKIT_CHECK(v < NumVertices());
+  if (u == v || HasEdge(u, v)) return false;
+  adjacency_[u].insert(
+      std::lower_bound(adjacency_[u].begin(), adjacency_[u].end(), v), v);
+  adjacency_[v].insert(
+      std::lower_bound(adjacency_[v].begin(), adjacency_[v].end(), u), u);
+  ++num_edges_;
+  IncreaseCase(u, v, std::min(coreness_[u], coreness_[v]));
+  return true;
+}
+
+bool DynamicCoreIndex::RemoveEdge(VertexId u, VertexId v) {
+  COREKIT_CHECK(u < NumVertices());
+  COREKIT_CHECK(v < NumVertices());
+  if (u == v || !HasEdge(u, v)) return false;
+  const VertexId k = std::min(coreness_[u], coreness_[v]);
+  adjacency_[u].erase(
+      std::lower_bound(adjacency_[u].begin(), adjacency_[u].end(), v));
+  adjacency_[v].erase(
+      std::lower_bound(adjacency_[v].begin(), adjacency_[v].end(), u));
+  --num_edges_;
+  DecreaseCase(u, v, k);
+  return true;
+}
+
+void DynamicCoreIndex::IncreaseCase(VertexId root_u, VertexId root_v,
+                                    VertexId k) {
+  // Candidates: coreness-k vertices reachable from the lower-coreness
+  // endpoint(s) through coreness-k paths.  Every coreness-k neighbor of a
+  // candidate is itself a candidate, so the candidate-degree of w is
+  // simply |{x in N(w) : coreness(x) >= k}|.
+  ++epoch_;
+  std::vector<VertexId> candidates;
+  auto try_add = [&](VertexId w) {
+    if (coreness_[w] == k && stamp_[w] != epoch_) {
+      stamp_[w] = epoch_;
+      candidates.push_back(w);
+    }
+  };
+  try_add(root_u);
+  try_add(root_v);
+  for (std::size_t head = 0; head < candidates.size(); ++head) {
+    for (const VertexId x : adjacency_[candidates[head]]) try_add(x);
+  }
+  last_footprint_ = candidates.size();
+  if (candidates.empty()) return;
+
+  // Eviction cascade: a candidate that cannot muster k+1 supporters
+  // (higher-coreness neighbors plus surviving candidates) keeps coreness
+  // k; its elimination may starve its candidate neighbors.  stamp_[w] ==
+  // epoch_ marks "still a live candidate"; scratch_count_ holds the live
+  // supporter counts.
+  std::vector<VertexId> evict_queue;
+  for (const VertexId w : candidates) {
+    scratch_count_[w] = CountGeq(w, k);
+    if (scratch_count_[w] < k + 1) evict_queue.push_back(w);
+  }
+  // stamp_ == epoch_ means "still a live candidate".
+  while (!evict_queue.empty()) {
+    const VertexId w = evict_queue.back();
+    evict_queue.pop_back();
+    if (stamp_[w] != epoch_) continue;  // already evicted
+    stamp_[w] = 0;
+    for (const VertexId x : adjacency_[w]) {
+      if (stamp_[x] != epoch_) continue;  // not a live candidate
+      if (scratch_count_[x]-- == k + 1) evict_queue.push_back(x);
+    }
+  }
+  for (const VertexId w : candidates) {
+    if (stamp_[w] == epoch_) {
+      coreness_[w] = k + 1;
+      stamp_[w] = 0;
+    }
+  }
+}
+
+void DynamicCoreIndex::DecreaseCase(VertexId u, VertexId v, VertexId k) {
+  if (k == 0) return;  // an endpoint was isolated; nothing can drop
+  // Support cascade: a coreness-k vertex whose >=k-coreness neighbor
+  // count falls below k drops to k-1, which may starve its coreness-k
+  // neighbors.  Supports are materialized lazily (stamp + scratch).
+  ++epoch_;
+  std::vector<VertexId> queue;
+  auto touch = [&](VertexId w) {
+    if (coreness_[w] != k || stamp_[w] == epoch_) return;
+    stamp_[w] = epoch_;
+    scratch_count_[w] = CountGeq(w, k);
+    if (scratch_count_[w] < k) queue.push_back(w);
+  };
+  touch(u);
+  touch(v);
+
+  std::size_t footprint = 2;
+  while (!queue.empty()) {
+    const VertexId w = queue.back();
+    queue.pop_back();
+    if (coreness_[w] != k) continue;
+    coreness_[w] = k - 1;
+    for (const VertexId x : adjacency_[w]) {
+      if (coreness_[x] != k) continue;
+      ++footprint;
+      if (stamp_[x] != epoch_) {
+        touch(x);
+      } else if (scratch_count_[x]-- == k) {
+        queue.push_back(x);
+      }
+    }
+  }
+  last_footprint_ = footprint;
+}
+
+Graph DynamicCoreIndex::Snapshot() const {
+  GraphBuilder builder(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (const VertexId u : adjacency_[v]) {
+      if (v < u) builder.AddEdge(v, u);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

@@ -1,0 +1,86 @@
+// Incremental core maintenance: coreness under edge insertions and
+// deletions without recomputation (the traversal/subcore algorithms of
+// Sariyuce et al., VLDB 2013 — the streaming counterpart of the paper's
+// static setting, and the substrate one needs to keep best-k answers
+// fresh on evolving graphs).
+//
+// Key structural facts the algorithms exploit:
+//   * one edge update changes any vertex's coreness by at most 1;
+//   * after inserting (u, v), only vertices in the *subcore* of the
+//     lower-coreness endpoint — coreness-k vertices reachable from it
+//     through coreness-k paths — can gain;
+//   * after deleting (u, v), only coreness-k vertices in the affected
+//     subcore can lose (k = the smaller endpoint coreness).
+//
+// Insertion runs a candidate BFS plus an eviction cascade; deletion runs
+// a degree-support cascade.  Both touch O(|subcore|) vertices — on real
+// graphs orders of magnitude below n (see bench/ext_dynamic).
+
+#ifndef COREKIT_DYNAMIC_DYNAMIC_CORE_H_
+#define COREKIT_DYNAMIC_DYNAMIC_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+class DynamicCoreIndex {
+ public:
+  // An empty (edgeless) dynamic graph on `num_vertices` vertices.
+  explicit DynamicCoreIndex(VertexId num_vertices);
+
+  // Bulk-loads an existing graph (O(m) decomposition once).
+  explicit DynamicCoreIndex(const Graph& graph);
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  EdgeId NumEdges() const { return num_edges_; }
+
+  // Current coreness of v, maintained exactly.
+  VertexId Coreness(VertexId v) const { return coreness_[v]; }
+  const std::vector<VertexId>& CorenessArray() const { return coreness_; }
+  // Largest current coreness (recomputed on demand, O(n)).
+  VertexId Kmax() const;
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // Inserts the undirected edge (u, v).  Returns false (and changes
+  // nothing) if the edge already exists or u == v.
+  bool InsertEdge(VertexId u, VertexId v);
+
+  // Removes the undirected edge (u, v).  Returns false if absent.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  // Materializes the current graph as an immutable CSR snapshot.
+  Graph Snapshot() const;
+
+  // Number of vertices examined by the last Insert/Remove (the subcore
+  // footprint; exposed for the maintenance benchmarks).
+  std::size_t LastUpdateFootprint() const { return last_footprint_; }
+
+ private:
+  void IncreaseCase(VertexId root_u, VertexId root_v, VertexId k);
+  void DecreaseCase(VertexId u, VertexId v, VertexId k);
+
+  // Neighbors with coreness >= k (the candidate-degree of the traversal
+  // algorithms).
+  VertexId CountGeq(VertexId v, VertexId k) const;
+
+  std::vector<std::vector<VertexId>> adjacency_;  // sorted per vertex
+  std::vector<VertexId> coreness_;
+  EdgeId num_edges_ = 0;
+  std::size_t last_footprint_ = 0;
+
+  // Reusable scratch keyed by vertex, epoch-stamped.
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::vector<VertexId> scratch_count_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_DYNAMIC_DYNAMIC_CORE_H_

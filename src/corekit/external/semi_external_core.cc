@@ -1,0 +1,151 @@
+#include "corekit/external/semi_external_core.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'C', 'K', 'G', '1'};
+
+// Buffered sequential reader over the binary snapshot's neighbor region.
+class EdgeStream {
+ public:
+  explicit EdgeStream(std::FILE* file) : file_(file) {}
+
+  // Positions the stream at the first neighbor slot (right after the
+  // header and offset array).
+  bool SeekToNeighbors(std::uint64_t num_vertices) {
+    const long header = 4 + 2 * static_cast<long>(sizeof(std::uint64_t));
+    const auto offsets_bytes = static_cast<long>(
+        (num_vertices + 1) * sizeof(EdgeId));
+    return std::fseek(file_, header + offsets_bytes, SEEK_SET) == 0;
+  }
+
+  // Reads `count` neighbor ids into `out` (resized).  Returns false on a
+  // short read.
+  bool ReadNeighbors(std::size_t count, std::vector<VertexId>& out,
+                     std::uint64_t& bytes_read) {
+    out.resize(count);
+    if (count == 0) return true;
+    const std::size_t got =
+        std::fread(out.data(), sizeof(VertexId), count, file_);
+    bytes_read += got * sizeof(VertexId);
+    return got == count;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+Result<SemiExternalCoreResult> SemiExternalCoreDecomposition(
+    const std::string& binary_graph_path) {
+  std::FILE* file = std::fopen(binary_graph_path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + binary_graph_path +
+                           "': " + std::strerror(errno));
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  SemiExternalCoreResult result;
+
+  // --- Header + degree pass (offsets are read once, only degrees and the
+  // maximum degree are retained — O(n) memory). --------------------------
+  char magic[4];
+  std::uint64_t n = 0;
+  std::uint64_t slots = 0;
+  if (std::fread(magic, 1, 4, file) != 4 ||
+      std::memcmp(magic, kBinaryMagic, 4) != 0) {
+    return Status::Corruption("'" + binary_graph_path +
+                              "' is not a corekit binary graph");
+  }
+  if (std::fread(&n, sizeof(n), 1, file) != 1 ||
+      std::fread(&slots, sizeof(slots), 1, file) != 1) {
+    return Status::Corruption("truncated header");
+  }
+  result.bytes_read += 4 + 2 * sizeof(std::uint64_t);
+
+  std::vector<VertexId> degree(n);
+  VertexId max_degree = 0;
+  {
+    EdgeId previous = 0;
+    if (std::fread(&previous, sizeof(EdgeId), 1, file) != 1 ||
+        previous != 0) {
+      return Status::Corruption("bad offset array");
+    }
+    for (std::uint64_t v = 0; v < n; ++v) {
+      EdgeId offset = 0;
+      if (std::fread(&offset, sizeof(EdgeId), 1, file) != 1) {
+        return Status::Corruption("truncated offset array");
+      }
+      if (offset < previous || offset > slots) {
+        return Status::Corruption("non-monotone offset array");
+      }
+      degree[v] = static_cast<VertexId>(offset - previous);
+      max_degree = std::max(max_degree, degree[v]);
+      previous = offset;
+    }
+    result.bytes_read += (n + 1) * sizeof(EdgeId);
+  }
+  result.passes = 1;  // the degree pass
+
+  // --- Refinement passes: stream adjacency, apply capped h-index with
+  // Gauss–Seidel visibility. ---------------------------------------------
+  result.coreness.assign(n, 0);
+  std::vector<VertexId>& est = result.coreness;
+  for (std::uint64_t v = 0; v < n; ++v) est[v] = degree[v];
+
+  EdgeStream stream(file);
+  std::vector<VertexId> neighbors;
+  std::vector<VertexId> count;  // h-index histogram, size <= max_degree+1
+  count.reserve(static_cast<std::size_t>(max_degree) + 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.passes;
+    if (!stream.SeekToNeighbors(n)) {
+      return Status::IoError("seek failed on '" + binary_graph_path + "'");
+    }
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (!stream.ReadNeighbors(degree[v], neighbors, result.bytes_read)) {
+        return Status::Corruption("truncated neighbor array");
+      }
+      const VertexId cap = est[v];
+      if (cap == 0) continue;
+      count.assign(static_cast<std::size_t>(cap) + 1, 0);
+      for (const VertexId u : neighbors) {
+        if (u >= n) return Status::Corruption("neighbor id out of range");
+        ++count[std::min(est[u], cap)];
+      }
+      VertexId at_least = 0;
+      VertexId h = 0;
+      for (VertexId k = cap; k > 0; --k) {
+        at_least += count[k];
+        if (at_least >= k) {
+          h = k;
+          break;
+        }
+      }
+      if (h < est[v]) {
+        est[v] = h;
+        changed = true;
+      }
+    }
+  }
+
+  for (const VertexId c : est) result.kmax = std::max(result.kmax, c);
+  return result;
+}
+
+}  // namespace corekit

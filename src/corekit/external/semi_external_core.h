@@ -1,0 +1,51 @@
+// Semi-external core decomposition (in the spirit of Wen, Qin, Zhang,
+// Lin & Yu, ICDE 2016 — reference [61] of the paper).
+//
+// Memory model: O(n) words of RAM (one estimate per vertex plus a buffer
+// bounded by the maximum degree); the adjacency lists stay on disk and
+// are read *sequentially*, one pass per refinement round.  Each pass
+// applies the same capped h-index operator as the distributed algorithm
+// (distributed_core.h) vertex by vertex while streaming that vertex's
+// neighbor list from the file; estimates decrease monotonically to the
+// exact coreness.
+//
+// Because estimates updated earlier in a pass are visible to later
+// vertices of the same pass (Gauss–Seidel style), convergence typically
+// takes far fewer passes than the synchronous distributed rounds — the
+// property [61] exploits to decompose web-scale graphs on small memory.
+//
+// The on-disk format is the corekit binary snapshot (edge_list_io.h), so
+// any graph written with WriteBinaryGraph can be decomposed without ever
+// loading its edges into memory.
+
+#ifndef COREKIT_EXTERNAL_SEMI_EXTERNAL_CORE_H_
+#define COREKIT_EXTERNAL_SEMI_EXTERNAL_CORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corekit/graph/types.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+struct SemiExternalCoreResult {
+  // Exact coreness of every vertex.
+  std::vector<VertexId> coreness;
+  // Degeneracy (largest coreness).
+  VertexId kmax = 0;
+  // Sequential passes over the edge file (including the degree pass).
+  VertexId passes = 0;
+  // Total bytes streamed from disk.
+  std::uint64_t bytes_read = 0;
+};
+
+// Decomposes the graph stored at `binary_graph_path` (WriteBinaryGraph
+// format) keeping only O(n + max_degree) words in memory.
+Result<SemiExternalCoreResult> SemiExternalCoreDecomposition(
+    const std::string& binary_graph_path);
+
+}  // namespace corekit
+
+#endif  // COREKIT_EXTERNAL_SEMI_EXTERNAL_CORE_H_

@@ -1,0 +1,54 @@
+#include <vector>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+Graph GenerateBarabasiAlbert(VertexId num_vertices, VertexId edges_per_vertex,
+                             std::uint64_t seed) {
+  COREKIT_CHECK_GE(edges_per_vertex, 1u);
+  COREKIT_CHECK_GT(num_vertices, edges_per_vertex);
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+
+  // `targets` holds one entry per edge endpoint, so sampling a uniform
+  // element is sampling proportional to degree (the classic implementation
+  // trick).  The first m0 = edges_per_vertex + 1 vertices start as a clique
+  // seed so every attachment target has non-zero degree.
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<std::size_t>(num_vertices) *
+                  edges_per_vertex * 2);
+  const VertexId m0 = edges_per_vertex + 1;
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> picked;
+  picked.reserve(edges_per_vertex);
+  for (VertexId v = m0; v < num_vertices; ++v) {
+    picked.clear();
+    // Sample edges_per_vertex distinct targets proportional to degree.
+    while (picked.size() < edges_per_vertex) {
+      const VertexId t = targets[rng.NextBounded(targets.size())];
+      bool duplicate = false;
+      for (const VertexId p : picked) duplicate |= (p == t);
+      if (!duplicate) picked.push_back(t);
+    }
+    for (const VertexId t : picked) {
+      builder.AddEdge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

@@ -1,0 +1,62 @@
+#include <unordered_set>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+Graph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                         std::uint64_t seed) {
+  COREKIT_CHECK_GE(num_vertices, 2u);
+  const auto n = static_cast<std::uint64_t>(num_vertices);
+  const std::uint64_t max_edges = n * (n - 1) / 2;
+  COREKIT_CHECK_LE(num_edges, max_edges)
+      << "requested more edges than the complete graph holds";
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+
+  // Rejection-sample distinct unordered pairs.  For the densities used in
+  // the benchmarks (m << n^2 / 2) the expected number of rejections is
+  // negligible; a dense request would be better served by reservoir
+  // sampling over pair indices, which we also handle below for safety.
+  if (num_edges * 3 < max_edges) {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(static_cast<std::size_t>(num_edges) * 2);
+    while (seen.size() < num_edges) {
+      auto u = static_cast<VertexId>(rng.NextBounded(n));
+      auto v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      const std::uint64_t key = static_cast<std::uint64_t>(u) * n + v;
+      if (seen.insert(key).second) builder.AddEdge(u, v);
+    }
+  } else {
+    // Dense case: Floyd's algorithm over linearized pair indices.
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(static_cast<std::size_t>(num_edges) * 2);
+    for (std::uint64_t j = max_edges - num_edges; j < max_edges; ++j) {
+      std::uint64_t t = rng.NextBounded(j + 1);
+      if (!chosen.insert(t).second) {
+        t = j;
+        chosen.insert(j);
+      }
+      // Decode pair index t -> (u, v), u < v, row-major over upper triangle.
+      VertexId u = 0;
+      std::uint64_t remaining = t;
+      std::uint64_t row_len = n - 1;
+      while (remaining >= row_len) {
+        remaining -= row_len;
+        --row_len;
+        ++u;
+      }
+      const auto v = static_cast<VertexId>(u + 1 + remaining);
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

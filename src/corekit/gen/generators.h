@@ -1,0 +1,93 @@
+// Synthetic graph generators: the workload substrate.
+//
+// The paper evaluates on 10 public real-world networks (SNAP / Network
+// Repository, Table III) that are not redistributable inside this
+// repository.  These generators produce stand-ins with the structural
+// properties the algorithms are sensitive to — heavy-tailed degree
+// distributions (R-MAT, Barabási–Albert), community structure (planted
+// partition), clustering (Watts–Strogatz), and controllable core hierarchy
+// depth (onion) — so every code path and every complexity trend of the
+// evaluation is exercised.  Real SNAP files still drop in unchanged via
+// ReadSnapEdgeList (graph/edge_list_io.h).
+//
+// All generators are deterministic given their seed.
+
+#ifndef COREKIT_GEN_GENERATORS_H_
+#define COREKIT_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+// Erdős–Rényi G(n, m): `num_edges` edges sampled uniformly without
+// replacement from all vertex pairs.  Expected coreness concentrates around
+// the average degree; useful as a "flat hierarchy" contrast case.
+Graph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                         std::uint64_t seed);
+
+// Barabási–Albert preferential attachment: each new vertex attaches to
+// `edges_per_vertex` existing vertices with probability proportional to
+// degree.  Produces a power-law tail like the social networks in Table III.
+Graph GenerateBarabasiAlbert(VertexId num_vertices, VertexId edges_per_vertex,
+                             std::uint64_t seed);
+
+// R-MAT (recursive matrix) generator with partition probabilities
+// (a, b, c, d), a + b + c + d = 1.  `scale` gives n = 2^scale vertices.
+// The standard Graph500 skew (0.57, 0.19, 0.19, 0.05) yields heavy-tailed
+// degrees and deep core hierarchies.
+struct RmatParams {
+  std::uint32_t scale = 14;
+  EdgeId num_edges = 1 << 18;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 1;
+};
+Graph GenerateRmat(const RmatParams& params);
+
+// Watts–Strogatz small world: ring lattice with `k_nearest` neighbors per
+// side, each edge rewired with probability `rewire_prob`.  High clustering
+// coefficient; exercises the triangle/triplet path (Algorithm 3).
+Graph GenerateWattsStrogatz(VertexId num_vertices, VertexId k_nearest,
+                            double rewire_prob, std::uint64_t seed);
+
+// Planted partition: `num_communities` equal-sized groups; intra-community
+// edge probability p_in, inter-community probability p_out.  Ground-truth
+// communities for the case-study bench (Tables V–VII analogue).
+struct PlantedPartitionParams {
+  VertexId num_vertices = 1000;
+  VertexId num_communities = 10;
+  double p_in = 0.3;
+  double p_out = 0.005;
+  std::uint64_t seed = 1;
+};
+struct PlantedPartitionResult {
+  Graph graph;
+  // community[v] in [0, num_communities).
+  std::vector<VertexId> community;
+};
+PlantedPartitionResult GeneratePlantedPartition(
+    const PlantedPartitionParams& params);
+
+// "Onion" generator: a nested hierarchy of ever-denser layers, giving a
+// directly controllable kmax and many non-trivial shells — the structure
+// Figures 5/6 sweep over.  Layer i (0-based, of `num_layers`) contains
+// vertices whose target coreness grows linearly up to about
+// `target_kmax`.  Implemented as nested random circulant-like graphs where
+// layer i is wired with degree ~ target coreness inside the union of
+// layers >= i.
+struct OnionParams {
+  VertexId num_vertices = 10000;
+  VertexId num_layers = 16;
+  VertexId target_kmax = 64;
+  std::uint64_t seed = 1;
+};
+Graph GenerateOnion(const OnionParams& params);
+
+}  // namespace corekit
+
+#endif  // COREKIT_GEN_GENERATORS_H_

@@ -1,0 +1,56 @@
+#include "corekit/gen/hyperbolic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+Graph GenerateHyperbolic(const HyperbolicParams& params) {
+  const VertexId n = params.num_vertices;
+  COREKIT_CHECK_GE(n, 2u);
+  COREKIT_CHECK_GT(params.alpha, 0.5);
+
+  const double radius =
+      2.0 * std::log(static_cast<double>(n)) + params.radius_offset;
+  Rng rng(params.seed);
+
+  // Radial density ~ alpha * sinh(alpha r) / (cosh(alpha R) - 1):
+  // inverse-transform sample r = acosh(1 + u (cosh(alpha R) - 1)) / alpha.
+  std::vector<double> r(n);
+  std::vector<double> theta(n);
+  const double cosh_ar = std::cosh(params.alpha * radius);
+  for (VertexId v = 0; v < n; ++v) {
+    const double u = rng.NextDouble();
+    r[v] = std::acosh(1.0 + u * (cosh_ar - 1.0)) / params.alpha;
+    theta[v] = 2.0 * std::numbers::pi * rng.NextDouble();
+  }
+
+  // Connect pairs with hyperbolic distance < R:
+  //   cosh d = cosh r1 cosh r2 - sinh r1 sinh r2 cos(dtheta).
+  std::vector<double> cosh_r(n);
+  std::vector<double> sinh_r(n);
+  for (VertexId v = 0; v < n; ++v) {
+    cosh_r[v] = std::cosh(r[v]);
+    sinh_r[v] = std::sinh(r[v]);
+  }
+  const double cosh_radius = std::cosh(radius);
+
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double cosh_d =
+          cosh_r[u] * cosh_r[v] -
+          sinh_r[u] * sinh_r[v] * std::cos(theta[u] - theta[v]);
+      if (cosh_d < cosh_radius) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

@@ -1,0 +1,41 @@
+// Hyperbolic random graph generator (Krioukov et al. popularity ×
+// similarity model).
+//
+// Points are placed in a hyperbolic disk — radial coordinate governs
+// popularity (power-law degrees with exponent 2*alpha/zeta + 1), angular
+// coordinate similarity — and vertices connect when their hyperbolic
+// distance is below the disk radius.  The resulting graphs combine a
+// heavy tail, high clustering, *and* a deep, smooth core hierarchy: the
+// closest synthetic match to the Internet/AS-style networks whose k-core
+// structure reference [10] of the paper analyzes (and a stress test for
+// Figures 5/6's level sweeps).
+//
+// Naive pairwise distance testing is O(n^2); this implementation is
+// intended for n up to a few tens of thousands, which covers the test
+// and bench scales.
+
+#ifndef COREKIT_GEN_HYPERBOLIC_H_
+#define COREKIT_GEN_HYPERBOLIC_H_
+
+#include <cstdint>
+
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+struct HyperbolicParams {
+  VertexId num_vertices = 2000;
+  // Controls the degree exponent gamma = 2*alpha + 1 (alpha in (1/2, 1]
+  // gives gamma in (2, 3], the social-network range).
+  double alpha = 0.75;
+  // Disk radius scale: R = 2 log(n) + radius_offset; more negative =
+  // denser.
+  double radius_offset = 0.0;
+  std::uint64_t seed = 1;
+};
+
+Graph GenerateHyperbolic(const HyperbolicParams& params);
+
+}  // namespace corekit
+
+#endif  // COREKIT_GEN_HYPERBOLIC_H_

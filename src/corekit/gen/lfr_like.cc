@@ -1,0 +1,125 @@
+#include "corekit/gen/lfr_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+namespace {
+
+// Samples from a discrete power law P(x) ~ x^-tau on [lo, hi] via inverse
+// transform on the continuous law, rounded down.
+VertexId SamplePowerLaw(Rng& rng, double tau, VertexId lo, VertexId hi) {
+  COREKIT_DCHECK(lo >= 1);
+  COREKIT_DCHECK(lo <= hi);
+  if (lo == hi) return lo;
+  const double exponent = 1.0 - tau;  // != 0 for the taus we use
+  const double a = std::pow(static_cast<double>(lo), exponent);
+  const double b = std::pow(static_cast<double>(hi) + 1.0, exponent);
+  const double u = rng.NextDouble();
+  const double x = std::pow(a + (b - a) * u, 1.0 / exponent);
+  return std::clamp(static_cast<VertexId>(x), lo, hi);
+}
+
+}  // namespace
+
+LfrLikeResult GenerateLfrLike(const LfrLikeParams& params) {
+  COREKIT_CHECK_GE(params.min_degree, 1u);
+  COREKIT_CHECK_LE(params.min_degree, params.max_degree);
+  COREKIT_CHECK_GE(params.min_community, 2u);
+  COREKIT_CHECK_LE(params.min_community, params.max_community);
+  COREKIT_CHECK_GE(params.mu, 0.0);
+  COREKIT_CHECK_LE(params.mu, 1.0);
+  COREKIT_CHECK_GE(params.num_vertices, params.min_community);
+
+  const VertexId n = params.num_vertices;
+  Rng rng(params.seed);
+
+  LfrLikeResult result;
+  result.community.resize(n);
+
+  // --- Community sizes: power-law chunks until n is covered (the last
+  // community absorbs the remainder, clamped upward to min_community by
+  // merging into its predecessor when too small). ------------------------
+  std::vector<VertexId> sizes;
+  VertexId assigned = 0;
+  while (assigned < n) {
+    VertexId size =
+        SamplePowerLaw(rng, params.tau2, params.min_community,
+                       params.max_community);
+    size = std::min(size, n - assigned);
+    sizes.push_back(size);
+    assigned += size;
+  }
+  if (sizes.size() > 1 && sizes.back() < params.min_community) {
+    sizes[sizes.size() - 2] += sizes.back();
+    sizes.pop_back();
+  }
+  result.num_communities = static_cast<VertexId>(sizes.size());
+
+  std::vector<VertexId> community_start(sizes.size() + 1, 0);
+  {
+    VertexId offset = 0;
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      community_start[c] = offset;
+      for (VertexId i = 0; i < sizes[c]; ++i) {
+        result.community[offset + i] = static_cast<VertexId>(c);
+      }
+      offset += sizes[c];
+    }
+    community_start[sizes.size()] = offset;
+  }
+
+  // --- Degrees: power law, split into intra / inter stubs by mu. --------
+  // Intra-degree is capped at community size - 1 (a vertex cannot have
+  // more distinct intra neighbors than members).
+  std::vector<VertexId> intra_stubs_of(n);
+  std::vector<VertexId> inter_stubs_of(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId degree = SamplePowerLaw(rng, params.tau1,
+                                           params.min_degree,
+                                           params.max_degree);
+    const auto inter = static_cast<VertexId>(
+        std::lround(params.mu * static_cast<double>(degree)));
+    const VertexId community_cap = sizes[result.community[v]] - 1;
+    intra_stubs_of[v] = std::min<VertexId>(degree - inter, community_cap);
+    inter_stubs_of[v] = inter;
+  }
+
+  GraphBuilder builder(n);
+
+  // --- Intra-community stub matching, per community. --------------------
+  std::vector<VertexId> stubs;
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    stubs.clear();
+    for (VertexId v = community_start[c]; v < community_start[c + 1]; ++v) {
+      for (VertexId s = 0; s < intra_stubs_of[v]; ++s) stubs.push_back(v);
+    }
+    rng.Shuffle(stubs);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      builder.AddEdge(stubs[i], stubs[i + 1]);  // loops/dups drop in Build
+    }
+  }
+
+  // --- Inter-community stub matching, global; pairs that land inside one
+  // community are dropped (they would distort mu upward). ----------------
+  stubs.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId s = 0; s < inter_stubs_of[v]; ++s) stubs.push_back(v);
+  }
+  rng.Shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (result.community[stubs[i]] != result.community[stubs[i + 1]]) {
+      builder.AddEdge(stubs[i], stubs[i + 1]);
+    }
+  }
+
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace corekit

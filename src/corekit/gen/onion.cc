@@ -1,0 +1,62 @@
+#include <unordered_set>
+#include <vector>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+Graph GenerateOnion(const OnionParams& params) {
+  const VertexId n = params.num_vertices;
+  const VertexId layers = params.num_layers;
+  COREKIT_CHECK_GE(layers, 1u);
+  COREKIT_CHECK_GE(n, layers);
+
+  // Layer i occupies a contiguous id range, with layer layers-1 (the
+  // innermost, highest-coreness layer) at the top of the id space.  Every
+  // vertex of layer i draws k_i distinct neighbors from the union of
+  // layers >= i, so the induced subgraph on layers >= i has minimum degree
+  // >= k_i and therefore every vertex there has coreness >= k_i:
+  // a guaranteed nested core hierarchy of depth ~target_kmax.
+  std::vector<VertexId> starts(static_cast<std::size_t>(layers) + 1, 0);
+  const VertexId base = n / layers;
+  for (VertexId i = 0; i < layers; ++i) {
+    starts[i + 1] = starts[i] + base + (i < n % layers ? 1 : 0);
+  }
+  COREKIT_CHECK_EQ(starts[layers], n);
+
+  auto layer_target = [&](VertexId i) -> VertexId {
+    // Linear ramp from ~target_kmax/layers up to target_kmax.
+    return static_cast<VertexId>(
+        (static_cast<std::uint64_t>(params.target_kmax) * (i + 1)) / layers);
+  };
+
+  // The innermost layer's pool is just itself; it must be able to host the
+  // top target degree.
+  const VertexId innermost_size = starts[layers] - starts[layers - 1];
+  COREKIT_CHECK_GT(innermost_size, layer_target(layers - 1))
+      << "innermost onion layer too small for target_kmax";
+
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+  std::unordered_set<VertexId> picked;
+  for (VertexId i = 0; i < layers; ++i) {
+    const VertexId k_i = layer_target(i);
+    const VertexId pool_begin = starts[i];
+    const std::uint64_t pool_size = n - pool_begin;
+    for (VertexId v = starts[i]; v < starts[i + 1]; ++v) {
+      picked.clear();
+      while (picked.size() < k_i) {
+        const auto t =
+            static_cast<VertexId>(pool_begin + rng.NextBounded(pool_size));
+        if (t == v) continue;
+        if (picked.insert(t).second) builder.AddEdge(v, t);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

@@ -1,0 +1,112 @@
+#include <cmath>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+namespace {
+
+// Samples the edges of a G(n, p) block via geometric skipping (Batagelj &
+// Brandes), visiting each present edge in O(1) expected time instead of
+// testing all O(n^2) pairs.  `emit(i, j)` receives local indices i < j.
+template <typename Emit>
+void SampleGnpBlockUpper(std::uint64_t n, double p, Rng& rng, Emit emit) {
+  if (p <= 0.0 || n < 2) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      for (std::uint64_t j = i + 1; j < n; ++j) emit(i, j);
+    }
+    return;
+  }
+  const double log1mp = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto sn = static_cast<std::int64_t>(n);
+  while (v < sn) {
+    const double r = 1.0 - rng.NextDouble();  // in (0, 1]
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= v && v < sn) {
+      w -= v;
+      ++v;
+    }
+    if (v < sn) {
+      emit(static_cast<std::uint64_t>(w), static_cast<std::uint64_t>(v));
+    }
+  }
+}
+
+// Same skipping technique over a full bipartite block A x B.
+template <typename Emit>
+void SampleGnpBlockBipartite(std::uint64_t na, std::uint64_t nb, double p,
+                             Rng& rng, Emit emit) {
+  if (p <= 0.0 || na == 0 || nb == 0) return;
+  const double log1mp = std::log(1.0 - p);
+  const std::uint64_t total = na * nb;
+  std::uint64_t idx = 0;
+  while (true) {
+    const double r = 1.0 - rng.NextDouble();
+    const auto skip =
+        static_cast<std::uint64_t>(std::floor(std::log(r) / log1mp));
+    if (skip >= total - idx) break;
+    idx += skip;
+    emit(idx / nb, idx % nb);
+    ++idx;
+    if (idx >= total) break;
+  }
+}
+
+}  // namespace
+
+PlantedPartitionResult GeneratePlantedPartition(
+    const PlantedPartitionParams& params) {
+  COREKIT_CHECK_GE(params.num_communities, 1u);
+  COREKIT_CHECK_GE(params.num_vertices, params.num_communities);
+
+  const VertexId n = params.num_vertices;
+  const VertexId groups = params.num_communities;
+  const VertexId base = n / groups;
+  Rng rng(params.seed);
+
+  PlantedPartitionResult result;
+  result.community.resize(n);
+
+  // Community c owns the contiguous id range [starts[c], starts[c+1]); the
+  // first (n % groups) communities get one extra vertex.
+  std::vector<VertexId> starts(static_cast<std::size_t>(groups) + 1, 0);
+  for (VertexId c = 0; c < groups; ++c) {
+    const VertexId size = base + (c < n % groups ? 1 : 0);
+    starts[c + 1] = starts[c] + size;
+    for (VertexId v = starts[c]; v < starts[c + 1]; ++v) {
+      result.community[v] = c;
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (VertexId c = 0; c < groups; ++c) {
+    const VertexId offset = starts[c];
+    const std::uint64_t size = starts[c + 1] - starts[c];
+    SampleGnpBlockUpper(size, params.p_in, rng,
+                        [&](std::uint64_t i, std::uint64_t j) {
+                          builder.AddEdge(offset + static_cast<VertexId>(i),
+                                          offset + static_cast<VertexId>(j));
+                        });
+    for (VertexId c2 = c + 1; c2 < groups; ++c2) {
+      const VertexId offset2 = starts[c2];
+      const std::uint64_t size2 = starts[c2 + 1] - starts[c2];
+      SampleGnpBlockBipartite(
+          size, size2, params.p_out, rng,
+          [&](std::uint64_t i, std::uint64_t j) {
+            builder.AddEdge(offset + static_cast<VertexId>(i),
+                            offset2 + static_cast<VertexId>(j));
+          });
+    }
+  }
+
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace corekit

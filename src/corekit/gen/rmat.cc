@@ -1,0 +1,45 @@
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+Graph GenerateRmat(const RmatParams& params) {
+  COREKIT_CHECK_GE(params.scale, 1u);
+  COREKIT_CHECK_LT(params.scale, 31u);
+  const double d = 1.0 - params.a - params.b - params.c;
+  COREKIT_CHECK_GT(d, 0.0) << "R-MAT probabilities must sum below 1";
+
+  const VertexId n = static_cast<VertexId>(1u) << params.scale;
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+
+  // Each edge descends `scale` levels of the 2x2 recursive partition.
+  // Self-loops and duplicates are dropped by the builder, so the final
+  // simple-edge count lands slightly under params.num_edges — same
+  // convention as the Graph500 reference generator.
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t level = 0; level < params.scale; ++level) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

@@ -1,0 +1,39 @@
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+Graph GenerateWattsStrogatz(VertexId num_vertices, VertexId k_nearest,
+                            double rewire_prob, std::uint64_t seed) {
+  COREKIT_CHECK_GE(num_vertices, 3u);
+  COREKIT_CHECK_GE(k_nearest, 1u);
+  COREKIT_CHECK_LT(2 * k_nearest, num_vertices);
+  COREKIT_CHECK_GE(rewire_prob, 0.0);
+  COREKIT_CHECK_LE(rewire_prob, 1.0);
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  const auto n = static_cast<std::uint64_t>(num_vertices);
+
+  // Ring lattice: v connects to its k_nearest clockwise neighbors; each
+  // such edge is rewired (keeping endpoint v) with probability
+  // rewire_prob.  Rewired targets are uniform; collisions with existing
+  // edges are dropped by the builder, matching the usual implementation.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (VertexId j = 1; j <= k_nearest; ++j) {
+      const auto w = static_cast<VertexId>((v + j) % n);
+      if (rng.NextBool(rewire_prob)) {
+        auto t = static_cast<VertexId>(rng.NextBounded(n));
+        if (t == v) t = w;  // avoid self-loop; keep the lattice edge instead
+        builder.AddEdge(v, t);
+      } else {
+        builder.AddEdge(v, w);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

@@ -1,0 +1,58 @@
+#include "corekit/graph/connected_components.h"
+
+#include <vector>
+
+namespace corekit {
+
+std::vector<std::vector<VertexId>> ComponentLabels::Groups() const {
+  std::vector<std::vector<VertexId>> groups(num_components);
+  for (VertexId v = 0; v < label.size(); ++v) {
+    if (label[v] != kInvalidComponent) groups[label[v]].push_back(v);
+  }
+  return groups;
+}
+
+namespace {
+
+ComponentLabels BfsComponents(const Graph& graph,
+                              const std::vector<bool>* in_subset) {
+  const VertexId n = graph.NumVertices();
+  ComponentLabels result;
+  result.label.assign(n, ComponentLabels::kInvalidComponent);
+
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  for (VertexId s = 0; s < n; ++s) {
+    if (in_subset != nullptr && !(*in_subset)[s]) continue;
+    if (result.label[s] != ComponentLabels::kInvalidComponent) continue;
+    const VertexId comp = result.num_components++;
+    result.label[s] = comp;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      for (const VertexId w : graph.Neighbors(u)) {
+        if (in_subset != nullptr && !(*in_subset)[w]) continue;
+        if (result.label[w] == ComponentLabels::kInvalidComponent) {
+          result.label[w] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ComponentLabels ConnectedComponents(const Graph& graph) {
+  return BfsComponents(graph, nullptr);
+}
+
+ComponentLabels InducedConnectedComponents(
+    const Graph& graph, const std::vector<bool>& in_subset) {
+  COREKIT_CHECK_EQ(in_subset.size(), graph.NumVertices());
+  return BfsComponents(graph, &in_subset);
+}
+
+}  // namespace corekit

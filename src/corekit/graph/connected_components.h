@@ -1,0 +1,39 @@
+// Connected components over a Graph or an induced vertex subset.
+//
+// k-cores are *connected* maximal subgraphs, so connectivity is the bridge
+// between the k-core-set view (Problem 1) and the single-k-core view
+// (Problem 2) of the paper.
+
+#ifndef COREKIT_GRAPH_CONNECTED_COMPONENTS_H_
+#define COREKIT_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+// Result of a components computation: a label in [0, num_components) per
+// vertex (kInvalidComponent for vertices outside the queried subset).
+struct ComponentLabels {
+  static constexpr VertexId kInvalidComponent = kInvalidVertex;
+
+  std::vector<VertexId> label;   // per vertex
+  VertexId num_components = 0;
+
+  // Groups vertex ids by component label (size num_components).
+  std::vector<std::vector<VertexId>> Groups() const;
+};
+
+// Components of the whole graph.  O(n + m) BFS.
+ComponentLabels ConnectedComponents(const Graph& graph);
+
+// Components of the subgraph induced by `in_subset` (vertex mask of size n).
+// Vertices with in_subset[v] == false receive kInvalidComponent.
+ComponentLabels InducedConnectedComponents(const Graph& graph,
+                                           const std::vector<bool>& in_subset);
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,172 @@
+#include "corekit/graph/edge_list_io.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "corekit/graph/graph_builder.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'C', 'K', 'G', '1'};
+
+// RAII stdio handle.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+// Parses an unsigned integer starting at *p; advances *p past it.
+// Returns false if no digits were found.
+bool ParseUint(const char** p, std::uint64_t* out) {
+  const char* s = *p;
+  while (*s == ' ' || *s == '\t' || *s == ',') ++s;
+  if (*s < '0' || *s > '9') return false;
+  std::uint64_t value = 0;
+  while (*s >= '0' && *s <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(*s - '0');
+    ++s;
+  }
+  *p = s;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> ReadSnapEdgeList(const std::string& path) {
+  File file(path, "r");
+  if (!file.ok()) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+
+  std::unordered_map<std::uint64_t, VertexId> relabel;
+  EdgeList edges;
+  auto intern = [&relabel](std::uint64_t raw) {
+    auto [it, inserted] =
+        relabel.try_emplace(raw, static_cast<VertexId>(relabel.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  char line[4096];
+  std::size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++line_no;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#' || *p == '%') {
+      continue;  // blank or comment
+    }
+    std::uint64_t raw_u = 0;
+    std::uint64_t raw_v = 0;
+    if (!ParseUint(&p, &raw_u) || !ParseUint(&p, &raw_v)) {
+      return Status::Corruption("malformed edge at " + path + ":" +
+                                std::to_string(line_no));
+    }
+    edges.emplace_back(intern(raw_u), intern(raw_v));
+  }
+  if (std::ferror(file.get())) {
+    return Status::IoError("read error on '" + path + "'");
+  }
+
+  return GraphBuilder::FromEdges(static_cast<VertexId>(relabel.size()), edges);
+}
+
+Status WriteSnapEdgeList(const Graph& graph, const std::string& path) {
+  File file(path, "w");
+  if (!file.ok()) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::fprintf(file.get(), "# corekit edge list: n=%u m=%llu\n",
+               graph.NumVertices(),
+               static_cast<unsigned long long>(graph.NumEdges()));
+  const VertexId n = graph.NumVertices();
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : graph.Neighbors(u)) {
+      if (u < v) std::fprintf(file.get(), "%u %u\n", u, v);
+    }
+  }
+  if (std::ferror(file.get())) {
+    return Status::IoError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteBinaryGraph(const Graph& graph, const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  const std::uint64_t n = graph.NumVertices();
+  const std::uint64_t slots = graph.NeighborArray().size();
+  bool ok = std::fwrite(kBinaryMagic, 1, 4, file.get()) == 4;
+  ok = ok && std::fwrite(&n, sizeof(n), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&slots, sizeof(slots), 1, file.get()) == 1;
+  ok = ok && (n == 0 ||
+              std::fwrite(graph.Offsets().data(), sizeof(EdgeId), n + 1,
+                          file.get()) == n + 1);
+  ok = ok && (slots == 0 ||
+              std::fwrite(graph.NeighborArray().data(), sizeof(VertexId),
+                          slots, file.get()) == slots);
+  if (!ok) return Status::IoError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+Result<Graph> ReadBinaryGraph(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  char magic[4];
+  if (std::fread(magic, 1, 4, file.get()) != 4 ||
+      std::memcmp(magic, kBinaryMagic, 4) != 0) {
+    return Status::Corruption("'" + path + "' is not a corekit binary graph");
+  }
+  std::uint64_t n = 0;
+  std::uint64_t slots = 0;
+  if (std::fread(&n, sizeof(n), 1, file.get()) != 1 ||
+      std::fread(&slots, sizeof(slots), 1, file.get()) != 1) {
+    return Status::Corruption("truncated header in '" + path + "'");
+  }
+  if (n > std::numeric_limits<VertexId>::max() - 1) {
+    return Status::Corruption("vertex count overflow in '" + path + "'");
+  }
+  std::vector<EdgeId> offsets(n + 1, 0);
+  std::vector<VertexId> neighbors(slots);
+  if (n + 1 > 0 &&
+      std::fread(offsets.data(), sizeof(EdgeId), n + 1, file.get()) != n + 1) {
+    return Status::Corruption("truncated offsets in '" + path + "'");
+  }
+  if (slots > 0 && std::fread(neighbors.data(), sizeof(VertexId), slots,
+                              file.get()) != slots) {
+    return Status::Corruption("truncated neighbors in '" + path + "'");
+  }
+  if (offsets.front() != 0 || offsets.back() != slots) {
+    return Status::Corruption("inconsistent CSR in '" + path + "'");
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace corekit

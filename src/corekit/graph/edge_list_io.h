@@ -1,0 +1,39 @@
+// Edge-list I/O: SNAP-style text files and a compact binary format.
+//
+// The paper evaluates on SNAP (http://snap.stanford.edu) and Network
+// Repository datasets, both distributed as whitespace-separated edge lists
+// with '#' or '%' comment lines.  ReadSnapEdgeList accepts exactly that
+// format, relabels arbitrary (possibly sparse) vertex ids into the dense
+// [0, n) space, and normalizes into a simple undirected Graph, so the real
+// datasets drop into the benchmark harnesses unchanged.
+//
+// The binary format (magic "CKG1") stores the normalized CSR arrays for
+// fast reloads of large graphs.
+
+#ifndef COREKIT_GRAPH_EDGE_LIST_IO_H_
+#define COREKIT_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "corekit/graph/graph.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+// Reads a SNAP-format text edge list.  Lines starting with '#' or '%' are
+// comments; every other non-empty line must hold two integer vertex ids.
+// Ids are relabeled densely in order of first appearance.  Self-loops and
+// duplicate edges are dropped.
+Result<Graph> ReadSnapEdgeList(const std::string& path);
+
+// Writes `graph` as a SNAP-format text edge list (one "u v" line per
+// undirected edge, u < v), with a comment header.
+Status WriteSnapEdgeList(const Graph& graph, const std::string& path);
+
+// Binary CSR snapshot (magic, n, m, offsets, neighbors), little-endian.
+Status WriteBinaryGraph(const Graph& graph, const std::string& path);
+Result<Graph> ReadBinaryGraph(const std::string& path);
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_EDGE_LIST_IO_H_

@@ -1,0 +1,47 @@
+#include "corekit/graph/graph.h"
+
+#include <algorithm>
+
+namespace corekit {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  COREKIT_CHECK(!offsets_.empty());
+  COREKIT_CHECK_EQ(offsets_.front(), 0u);
+  COREKIT_CHECK_EQ(offsets_.back(), neighbors_.size());
+#ifndef NDEBUG
+  const VertexId n = NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    COREKIT_DCHECK(offsets_[v] <= offsets_[v + 1]);
+    for (EdgeId i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      COREKIT_DCHECK(neighbors_[i] < n);
+      COREKIT_DCHECK(neighbors_[i] != v);  // no self-loops
+      if (i > offsets_[v]) {
+        COREKIT_DCHECK(neighbors_[i - 1] < neighbors_[i]);  // sorted, unique
+      }
+    }
+  }
+#endif
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  COREKIT_DCHECK(u < NumVertices());
+  COREKIT_DCHECK(v < NumVertices());
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeList Graph::ToEdgeList() const {
+  EdgeList edges;
+  edges.reserve(NumEdges());
+  const VertexId n = NumVertices();
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace corekit

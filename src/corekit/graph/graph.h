@@ -1,0 +1,81 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+//
+// This is the storage substrate every algorithm in corekit runs on.  It
+// mirrors the paper's setting exactly: undirected, unweighted, simple
+// (no self-loops, no parallel edges), static.  Construction goes through
+// GraphBuilder (graph_builder.h), which normalizes arbitrary edge lists.
+//
+// Memory: offsets[n+1] (8 bytes each) + neighbors[2m] (4 bytes each), i.e.
+// the O(m) space bound the paper's optimality argument assumes.
+
+#ifndef COREKIT_GRAPH_GRAPH_H_
+#define COREKIT_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "corekit/graph/types.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+class Graph {
+ public:
+  // An empty graph (0 vertices).
+  Graph() : offsets_{0} {}
+
+  // Takes ownership of validated CSR arrays.  `offsets` has n+1 entries with
+  // offsets[0] == 0 and offsets[n] == neighbors.size(); each adjacency list
+  // must be sorted, self-loop-free and duplicate-free.  Validated with
+  // CHECKs in debug builds; use GraphBuilder rather than calling this
+  // directly.
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  // Number of vertices n.
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  // Number of undirected edges m.
+  EdgeId NumEdges() const { return offsets_.back() / 2; }
+
+  // Degree of v in the whole graph.
+  VertexId Degree(VertexId v) const {
+    COREKIT_DCHECK(v < NumVertices());
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Neighbors of v, sorted ascending by vertex id.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    COREKIT_DCHECK(v < NumVertices());
+    return {neighbors_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  // True if the undirected edge (u, v) exists.  O(log deg) via binary search
+  // on the smaller adjacency list.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // Average degree 2m/n (0 for the empty graph).
+  double AverageDegree() const {
+    const VertexId n = NumVertices();
+    return n == 0 ? 0.0
+                  : static_cast<double>(offsets_.back()) /
+                        static_cast<double>(n);
+  }
+
+  // Raw CSR access for algorithms that re-permute the graph (Algorithm 1).
+  const std::vector<EdgeId>& Offsets() const { return offsets_; }
+  const std::vector<VertexId>& NeighborArray() const { return neighbors_; }
+
+  // Materializes the edge list with u < v per edge, ordered by (u, v).
+  EdgeList ToEdgeList() const;
+
+ private:
+  std::vector<EdgeId> offsets_;     // n+1 entries
+  std::vector<VertexId> neighbors_;  // 2m entries
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "corekit/graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace corekit {
+
+Graph GraphBuilder::Build() {
+  const VertexId n = num_vertices_;
+
+  // Pass 1: count directed slots (both directions of every kept edge).
+  // Self-loops are dropped here; duplicates are dropped after sorting the
+  // per-vertex lists, so the counts below are upper bounds that we shrink
+  // in a compaction pass.
+  std::vector<EdgeId> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    ++counts[u + 1];
+    ++counts[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) counts[v + 1] += counts[v];
+
+  // Pass 2: scatter.
+  std::vector<VertexId> adj(counts.back());
+  std::vector<EdgeId> cursor(counts.begin(), counts.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Pass 3: sort each adjacency list and compact away duplicate edges.
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  EdgeId write = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeId begin = counts[v];
+    const EdgeId end = counts[v + 1];
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(begin),
+              adj.begin() + static_cast<std::ptrdiff_t>(end));
+    offsets[v] = write;
+    for (EdgeId i = begin; i < end; ++i) {
+      if (i > begin && adj[i] == adj[i - 1]) continue;  // duplicate
+      adj[write++] = adj[i];
+    }
+  }
+  offsets[n] = write;
+  adj.resize(write);
+  adj.shrink_to_fit();
+
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+Graph GraphBuilder::FromEdges(VertexId num_vertices, const EdgeList& edges) {
+  GraphBuilder builder(num_vertices);
+  builder.AddEdges(edges);
+  return builder.Build();
+}
+
+}  // namespace corekit

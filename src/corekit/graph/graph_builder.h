@@ -1,0 +1,52 @@
+// GraphBuilder: normalizes arbitrary edge lists into simple CSR graphs.
+//
+// Accepts edges in any order, with duplicates, reversed duplicates and
+// self-loops, and produces the undirected simple Graph the paper's
+// algorithms assume.  Two-pass counting-sort construction, O(n + m) time.
+
+#ifndef COREKIT_GRAPH_GRAPH_BUILDER_H_
+#define COREKIT_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+class GraphBuilder {
+ public:
+  // `num_vertices` fixes the id space [0, num_vertices); edges touching
+  // out-of-range vertices are a programming error.
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  // Appends an undirected edge.  Order of endpoints is irrelevant;
+  // self-loops and duplicates are dropped during Build().
+  void AddEdge(VertexId u, VertexId v) {
+    COREKIT_DCHECK(u < num_vertices_);
+    COREKIT_DCHECK(v < num_vertices_);
+    edges_.emplace_back(u, v);
+  }
+
+  // Bulk append.
+  void AddEdges(const EdgeList& edges) {
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+  }
+
+  std::size_t NumPendingEdges() const { return edges_.size(); }
+
+  // Consumes the accumulated edges and produces the normalized graph.
+  // The builder is left empty and reusable.
+  Graph Build();
+
+  // One-shot convenience: normalize `edges` over [0, num_vertices).
+  static Graph FromEdges(VertexId num_vertices, const EdgeList& edges);
+
+ private:
+  VertexId num_vertices_;
+  EdgeList edges_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,50 @@
+#include "corekit/graph/graph_stats.h"
+
+#include <algorithm>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/connected_components.h"
+
+namespace corekit {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.average_degree = graph.AverageDegree();
+
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return stats;
+
+  stats.min_degree = graph.Degree(0);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId d = graph.Degree(v);
+    stats.max_degree = std::max(stats.max_degree, d);
+    stats.min_degree = std::min(stats.min_degree, d);
+  }
+
+  stats.degeneracy = ComputeCoreDecomposition(graph).kmax;
+
+  const ComponentLabels components = ConnectedComponents(graph);
+  stats.num_components = components.num_components;
+  std::vector<VertexId> sizes(components.num_components, 0);
+  for (const VertexId label : components.label) ++sizes[label];
+  for (const VertexId size : sizes) {
+    stats.largest_component_size = std::max(stats.largest_component_size, size);
+  }
+  return stats;
+}
+
+std::vector<EdgeId> DegreeHistogram(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return {};
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, graph.Degree(v));
+  }
+  std::vector<EdgeId> hist(static_cast<std::size_t>(max_degree) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) ++hist[graph.Degree(v)];
+  return hist;
+}
+
+}  // namespace corekit

@@ -1,0 +1,38 @@
+// Whole-graph statistics (Table III of the paper: n, m, davg, kmax) plus
+// degree-distribution summaries used to sanity-check the synthetic
+// dataset stand-ins against the originals' shapes.
+
+#ifndef COREKIT_GRAPH_GRAPH_STATS_H_
+#define COREKIT_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double average_degree = 0.0;
+  VertexId max_degree = 0;
+  VertexId min_degree = 0;
+  // Degeneracy kmax (largest non-empty core); filled by ComputeGraphStats,
+  // which runs a core decomposition.
+  VertexId degeneracy = 0;
+  VertexId num_components = 0;
+  VertexId largest_component_size = 0;
+};
+
+// Computes the Table III row for `graph` (includes an O(m) core
+// decomposition and a components pass).
+GraphStats ComputeGraphStats(const Graph& graph);
+
+// Degree histogram: hist[d] = number of vertices of degree d,
+// size max_degree + 1 (empty for the empty graph).
+std::vector<EdgeId> DegreeHistogram(const Graph& graph);
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_GRAPH_STATS_H_

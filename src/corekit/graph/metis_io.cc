@@ -1,0 +1,141 @@
+#include "corekit/graph/metis_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "corekit/graph/graph_builder.h"
+
+namespace corekit {
+
+namespace {
+
+// Reads one logical line (unbounded length) into `line`; false on EOF.
+bool ReadLine(std::FILE* file, std::string& line) {
+  line.clear();
+  int c;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') return true;
+    line.push_back(static_cast<char>(c));
+  }
+  return !line.empty();
+}
+
+// Parses whitespace-separated unsigned integers from `text` into `out`.
+bool ParseLine(const std::string& text, std::vector<std::uint64_t>& out) {
+  out.clear();
+  const char* p = text.c_str();
+  while (*p != '\0') {
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+    if (*p == '\0') break;
+    if (*p < '0' || *p > '9') return false;
+    std::uint64_t value = 0;
+    while (*p >= '0' && *p <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++p;
+    }
+    out.push_back(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> ReadMetisGraph(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  std::string line;
+  std::vector<std::uint64_t> numbers;
+
+  // Header (skipping comments).
+  while (true) {
+    if (!ReadLine(file, line)) {
+      return Status::Corruption("'" + path + "': missing METIS header");
+    }
+    if (!line.empty() && line[0] == '%') continue;
+    if (!ParseLine(line, numbers) || numbers.size() < 2) {
+      return Status::Corruption("'" + path + "': malformed METIS header");
+    }
+    break;
+  }
+  if (numbers.size() > 2 && numbers[2] != 0) {
+    return Status::Unimplemented(
+        "'" + path + "': weighted METIS variants are not supported");
+  }
+  const std::uint64_t n = numbers[0];
+  const std::uint64_t declared_m = numbers[1];
+  if (n > std::numeric_limits<VertexId>::max() - 1) {
+    return Status::Corruption("'" + path + "': vertex count overflow");
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(n));
+  std::uint64_t vertex = 0;
+  while (vertex < n) {
+    if (!ReadLine(file, line)) {
+      return Status::Corruption("'" + path + "': truncated adjacency (" +
+                                std::to_string(vertex) + " of " +
+                                std::to_string(n) + " lines)");
+    }
+    if (!line.empty() && line[0] == '%') continue;
+    if (!ParseLine(line, numbers)) {
+      return Status::Corruption("'" + path + "': malformed adjacency line " +
+                                std::to_string(vertex + 1));
+    }
+    for (const std::uint64_t raw : numbers) {
+      if (raw == 0 || raw > n) {
+        return Status::Corruption("'" + path + "': neighbor id " +
+                                  std::to_string(raw) + " out of [1, " +
+                                  std::to_string(n) + "]");
+      }
+      builder.AddEdge(static_cast<VertexId>(vertex),
+                      static_cast<VertexId>(raw - 1));
+    }
+    ++vertex;
+  }
+  Graph graph = builder.Build();
+  // The header's m is advisory in the wild; warn-level mismatch is
+  // tolerated (duplicates and loops are dropped), but a wildly different
+  // count signals a parse problem.
+  if (declared_m != 0 && graph.NumEdges() > 2 * declared_m) {
+    return Status::Corruption("'" + path + "': edge count mismatch");
+  }
+  return graph;
+}
+
+Status WriteMetisGraph(const Graph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  std::fprintf(file, "%u %llu\n", graph.NumVertices(),
+               static_cast<unsigned long long>(graph.NumEdges()));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      std::fprintf(file, i == 0 ? "%u" : " %u", nbrs[i] + 1);
+    }
+    std::fputc('\n', file);
+  }
+  if (std::ferror(file)) {
+    return Status::IoError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace corekit

@@ -1,0 +1,32 @@
+// METIS graph-format I/O.
+//
+// METIS (.graph) is the other lingua franca of graph repositories next to
+// SNAP edge lists (Network Repository ships both; hollywood-2009 and
+// bn-Human-Jung of Table III are commonly distributed this way).  Format:
+// a header line "n m [fmt]" followed by one line per vertex listing its
+// neighbors as 1-indexed ids; '%' lines are comments.  Only the
+// unweighted variants (fmt absent, "0", or "00") are supported — corekit
+// graphs are unweighted at the I/O boundary.
+
+#ifndef COREKIT_GRAPH_METIS_IO_H_
+#define COREKIT_GRAPH_METIS_IO_H_
+
+#include <string>
+
+#include "corekit/graph/graph.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+// Reads a METIS .graph file.  Self-loops and duplicate mentions are
+// dropped; asymmetric adjacency (u lists v but not vice versa) is
+// tolerated and symmetrized.
+Result<Graph> ReadMetisGraph(const std::string& path);
+
+// Writes `graph` in METIS format (header with exact n and m, one
+// adjacency line per vertex, 1-indexed).
+Status WriteMetisGraph(const Graph& graph, const std::string& path);
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_METIS_IO_H_

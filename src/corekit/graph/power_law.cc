@@ -1,0 +1,37 @@
+#include "corekit/graph/power_law.h"
+
+#include <cmath>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+PowerLawFit FitDiscretePowerLaw(const std::vector<VertexId>& samples,
+                                VertexId xmin) {
+  COREKIT_CHECK_GE(xmin, 1u);
+  PowerLawFit fit;
+  fit.xmin = xmin;
+  double log_sum = 0.0;
+  for (const VertexId x : samples) {
+    if (x < xmin) continue;
+    ++fit.tail_size;
+    log_sum += std::log(static_cast<double>(x) /
+                        (static_cast<double>(xmin) - 0.5));
+  }
+  if (fit.tail_size == 0 || log_sum <= 0.0) return fit;
+  fit.alpha = 1.0 + static_cast<double>(fit.tail_size) / log_sum;
+  fit.std_error =
+      (fit.alpha - 1.0) / std::sqrt(static_cast<double>(fit.tail_size));
+  return fit;
+}
+
+PowerLawFit FitDegreePowerLaw(const Graph& graph, VertexId xmin) {
+  std::vector<VertexId> degrees;
+  degrees.reserve(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    degrees.push_back(graph.Degree(v));
+  }
+  return FitDiscretePowerLaw(degrees, xmin);
+}
+
+}  // namespace corekit

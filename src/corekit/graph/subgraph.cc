@@ -1,0 +1,45 @@
+#include "corekit/graph/subgraph.h"
+
+#include <algorithm>
+
+#include "corekit/graph/graph_builder.h"
+
+namespace corekit {
+
+InducedSubgraph ExtractInducedSubgraph(const Graph& graph,
+                                       const std::vector<VertexId>& vertices) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> to_local(n, kInvalidVertex);
+  for (VertexId i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    COREKIT_CHECK(v < n);
+    COREKIT_CHECK(to_local[v] == kInvalidVertex) << "duplicate vertex " << v;
+    to_local[v] = i;
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(vertices.size()));
+  for (VertexId i = 0; i < vertices.size(); ++i) {
+    const VertexId u = vertices[i];
+    for (const VertexId w : graph.Neighbors(u)) {
+      const VertexId lw = to_local[w];
+      if (lw != kInvalidVertex && u < w) builder.AddEdge(i, lw);
+    }
+  }
+
+  InducedSubgraph result;
+  result.graph = builder.Build();
+  result.to_parent = vertices;
+  return result;
+}
+
+InducedSubgraph ExtractInducedSubgraph(const Graph& graph,
+                                       const std::vector<bool>& mask) {
+  COREKIT_CHECK_EQ(mask.size(), graph.NumVertices());
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < mask.size(); ++v) {
+    if (mask[v]) vertices.push_back(v);
+  }
+  return ExtractInducedSubgraph(graph, vertices);
+}
+
+}  // namespace corekit

@@ -1,0 +1,38 @@
+// Induced-subgraph extraction.
+//
+// The baseline algorithms (Sections III-A and IV-B of the paper) and the
+// naive test oracles repeatedly materialize the subgraph induced by a
+// k-core (set); this module provides that operation with an id mapping
+// back to the parent graph.
+
+#ifndef COREKIT_GRAPH_SUBGRAPH_H_
+#define COREKIT_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+// A subgraph induced by a vertex subset of a parent graph, with dense local
+// ids and a mapping back to parent ids.
+struct InducedSubgraph {
+  Graph graph;
+  // local id -> parent id; size graph.NumVertices().
+  std::vector<VertexId> to_parent;
+};
+
+// Extracts the subgraph induced by `vertices` (parent ids, need not be
+// sorted; duplicates are a programming error).  O(sum of degrees).
+InducedSubgraph ExtractInducedSubgraph(const Graph& graph,
+                                       const std::vector<VertexId>& vertices);
+
+// Mask overload; vertices with mask[v] == true are kept, in increasing id
+// order.
+InducedSubgraph ExtractInducedSubgraph(const Graph& graph,
+                                       const std::vector<bool>& mask);
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_SUBGRAPH_H_

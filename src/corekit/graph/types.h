@@ -1,0 +1,33 @@
+// Fundamental graph typedefs shared across corekit.
+
+#ifndef COREKIT_GRAPH_TYPES_H_
+#define COREKIT_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace corekit {
+
+// Vertices are dense 32-bit ids in [0, n).  2^32-1 vertices is enough for
+// every graph in the paper's evaluation (FriendSter has 6.6e7 vertices).
+using VertexId = std::uint32_t;
+
+// Edge counts and CSR offsets are 64-bit: FriendSter has 1.8e9 undirected
+// edges, i.e. 3.6e9 directed CSR slots, which overflows 32 bits.
+using EdgeId = std::uint64_t;
+
+// An undirected edge as an unordered pair of endpoints.
+using Edge = std::pair<VertexId, VertexId>;
+
+// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// Edge list convenience alias used by builders and generators.
+using EdgeList = std::vector<Edge>;
+
+}  // namespace corekit
+
+#endif  // COREKIT_GRAPH_TYPES_H_

@@ -1,0 +1,36 @@
+// Parallel core decomposition: level-synchronous peeling across threads
+// (the ParK / Kabir–Madduri family; the "decomposition of large networks
+// on a single PC" setting of reference [33] of the paper).
+//
+// The peel proceeds one coreness level at a time.  Within level k, the
+// frontier (vertices whose remaining degree dropped to <= k) is processed
+// by a thread pool; degree decrements are atomic fetch-subs, and a vertex
+// joins the next frontier exactly when its degree crosses the level — the
+// crossing thread owns the enqueue, so each vertex is processed once.
+// The output is deterministic (identical to the sequential
+// Batagelj–Zaversnik result) regardless of thread schedule, because the
+// level-synchronous order fixes every vertex's peel level.
+//
+// Speedups are bounded by the number of levels (kmax sync barriers) and
+// frontier sizes; dense deep graphs parallelize best.
+
+#ifndef COREKIT_PARALLEL_PARALLEL_CORE_H_
+#define COREKIT_PARALLEL_PARALLEL_CORE_H_
+
+#include <cstdint>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/graph.h"
+
+namespace corekit {
+
+// Computes the coreness of every vertex using `num_threads` worker
+// threads (0 = hardware concurrency).  The returned peel_order lists
+// vertices grouped by level (a valid degeneracy ordering, though a
+// different one than the sequential peel's).
+CoreDecomposition ComputeCoreDecompositionParallel(
+    const Graph& graph, std::uint32_t num_threads = 0);
+
+}  // namespace corekit
+
+#endif  // COREKIT_PARALLEL_PARALLEL_CORE_H_

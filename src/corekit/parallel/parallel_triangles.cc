@@ -1,0 +1,35 @@
+#include "corekit/parallel/parallel_triangles.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "corekit/core/triangle_scoring.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+
+std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
+                                     std::uint32_t num_threads) {
+  const VertexId n = ordered.NumVertices();
+  if (n == 0) return 0;
+
+  ThreadPool pool(num_threads);
+  std::atomic<std::uint64_t> total{0};
+
+  // Each chunk uses a thread-local scratch sized on first touch.  The
+  // scratch is only read/written by its owning thread.
+  pool.ParallelFor(
+      n, 2048, [&ordered, &total, n](std::size_t begin, std::size_t end) {
+        thread_local TriangleScratch scratch;
+        if (scratch.size() != n) scratch.assign(n, 0);
+        std::uint64_t local = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          local += CountTrianglesAtVertex(
+              ordered, static_cast<VertexId>(i), scratch);
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      });
+  return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace corekit

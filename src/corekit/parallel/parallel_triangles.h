@@ -1,0 +1,23 @@
+// Parallel triangle counting: the O(m^1.5) Algorithm 3 kernel is
+// embarrassingly parallel over lowest-rank vertices (each triangle is
+// counted at exactly one vertex, and the per-vertex counting only reads
+// shared state).  Each worker carries its own mark scratch; counts reduce
+// with an atomic add per chunk.
+
+#ifndef COREKIT_PARALLEL_PARALLEL_TRIANGLES_H_
+#define COREKIT_PARALLEL_PARALLEL_TRIANGLES_H_
+
+#include <cstdint>
+
+#include "corekit/core/vertex_ordering.h"
+
+namespace corekit {
+
+// Exact triangle count, parallel over vertices.  num_threads = 0 picks
+// hardware concurrency.  Equals CountTriangles(ordered) exactly.
+std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
+                                     std::uint32_t num_threads = 0);
+
+}  // namespace corekit
+
+#endif  // COREKIT_PARALLEL_PARALLEL_TRIANGLES_H_

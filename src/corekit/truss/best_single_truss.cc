@@ -1,0 +1,58 @@
+#include "corekit/truss/best_single_truss.h"
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+std::vector<PrimaryValues> ComputeSingleTrussPrimaries(
+    const Graph& graph, const TrussDecomposition& trusses,
+    const TrussForest& forest) {
+  const TrussForest::NodeId count = forest.NumNodes();
+  std::vector<PrimaryValues> primaries(count);
+
+  // Membership stamp reused across nodes (epoch = node id + 1).
+  std::vector<TrussForest::NodeId> stamp(graph.NumVertices(),
+                                         TrussForest::kNoNode);
+  for (TrussForest::NodeId i = 0; i < count; ++i) {
+    PrimaryValues& pv = primaries[i];
+    const std::vector<VertexId> vertices = forest.TrussVertices(trusses, i);
+    for (const VertexId v : vertices) stamp[v] = i;
+    pv.num_vertices = vertices.size();
+    pv.internal_edges_x2 = 2 * forest.TrussEdgeCount(i);
+    for (const VertexId v : vertices) {
+      for (const VertexId u : graph.Neighbors(v)) {
+        pv.boundary_edges += stamp[u] == i ? 0u : 1u;
+      }
+    }
+  }
+  return primaries;
+}
+
+SingleTrussProfile FindBestSingleTruss(const Graph& graph,
+                                       const TrussDecomposition& trusses,
+                                       const TrussForest& forest,
+                                       Metric metric) {
+  COREKIT_CHECK(!MetricNeedsTriangles(metric))
+      << "triangle-based metrics are out of scope for the truss extension";
+  SingleTrussProfile profile;
+  profile.primaries = ComputeSingleTrussPrimaries(graph, trusses, forest);
+  COREKIT_CHECK(!profile.primaries.empty()) << "graph has no edges";
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  profile.scores.reserve(profile.primaries.size());
+  for (const PrimaryValues& pv : profile.primaries) {
+    profile.scores.push_back(EvaluateMetric(metric, pv, globals));
+  }
+  // Nodes are sorted by descending level: strictly-greater keeps the
+  // largest k among ties, matching the core-side convention.
+  profile.best_node = 0;
+  for (TrussForest::NodeId i = 1; i < profile.scores.size(); ++i) {
+    if (profile.scores[i] > profile.scores[profile.best_node]) {
+      profile.best_node = i;
+    }
+  }
+  profile.best_k = forest.node(profile.best_node).level;
+  profile.best_score = profile.scores[profile.best_node];
+  return profile;
+}
+
+}  // namespace corekit

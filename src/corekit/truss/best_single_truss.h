@@ -1,0 +1,45 @@
+// Finding the best single connected k-truss (Section VI-B, second half).
+//
+// Scores every connected k-truss in the truss forest and returns the best
+// one under a metric on the primary values n/m/b.  The paper explicitly
+// leaves a time-optimal algorithm open for this problem, so the scorer is
+// a direct per-community computation over the forest: each truss is
+// materialized once and scored by scanning its vertices' incident edges —
+// O(sum over trusses of their size), the truss analogue of the paper's
+// Section IV-B baseline.
+
+#ifndef COREKIT_TRUSS_BEST_SINGLE_TRUSS_H_
+#define COREKIT_TRUSS_BEST_SINGLE_TRUSS_H_
+
+#include <vector>
+
+#include "corekit/core/metrics.h"
+#include "corekit/core/primary_values.h"
+#include "corekit/truss/truss_forest.h"
+
+namespace corekit {
+
+struct SingleTrussProfile {
+  // scores[i] = Q(truss of forest node i).
+  std::vector<double> scores;
+  std::vector<PrimaryValues> primaries;
+  TrussForest::NodeId best_node = 0;
+  VertexId best_k = 2;
+  double best_score = 0.0;
+};
+
+// Primary values (n, m, b) of every forest node's truss.
+std::vector<PrimaryValues> ComputeSingleTrussPrimaries(
+    const Graph& graph, const TrussDecomposition& trusses,
+    const TrussForest& forest);
+
+// Best single k-truss under a metric on n/m/b (triangle metrics rejected,
+// as in best_truss_set.h).
+SingleTrussProfile FindBestSingleTruss(const Graph& graph,
+                                       const TrussDecomposition& trusses,
+                                       const TrussForest& forest,
+                                       Metric metric);
+
+}  // namespace corekit
+
+#endif  // COREKIT_TRUSS_BEST_SINGLE_TRUSS_H_

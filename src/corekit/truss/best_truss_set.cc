@@ -1,0 +1,95 @@
+#include "corekit/truss/best_truss_set.h"
+
+#include <algorithm>
+
+#include "corekit/core/best_core_set.h"
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+std::vector<PrimaryValues> ComputeTrussSetPrimaries(
+    const Graph& graph, const TrussDecomposition& trusses) {
+  const VertexId tmax = std::max<VertexId>(trusses.tmax, 2);
+  std::vector<PrimaryValues> primaries(static_cast<std::size_t>(tmax) + 1);
+
+  // Bucket edge ids by truss number for the top-down walk.
+  std::vector<std::vector<EdgeId>> by_level(
+      static_cast<std::size_t>(tmax) + 1);
+  for (EdgeId e = 0; e < trusses.truss.size(); ++e) {
+    by_level[trusses.truss[e]].push_back(e);
+  }
+
+  // Running state: V(T_k) membership, m(T_k), and the boundary edge count
+  // b(T_k).  When a vertex first enters V, all its graph edges become
+  // boundary candidates; each edge whose second endpoint is already
+  // inside flips from boundary to (vertex-)internal.  Note b counts edges
+  // with exactly one endpoint in V(T_k), matching the primary-value
+  // definition; m counts only truss->=k edges.
+  std::vector<bool> in_v(graph.NumVertices(), false);
+  std::uint64_t num = 0;
+  std::uint64_t edges_in_set = 0;
+  std::int64_t boundary = 0;
+
+  auto absorb_vertex = [&](VertexId v) {
+    if (in_v[v]) return;
+    in_v[v] = true;
+    ++num;
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (in_v[u]) {
+        --boundary;  // (v, u) was boundary for u; now both ends inside
+      } else {
+        ++boundary;
+      }
+    }
+  };
+
+  for (VertexId k = tmax;; --k) {
+    if (k >= 2) {
+      for (const EdgeId e : by_level[k]) {
+        const auto [u, v] = trusses.edges[e];
+        absorb_vertex(u);
+        absorb_vertex(v);
+        ++edges_in_set;
+      }
+    }
+    PrimaryValues& pv = primaries[k];
+    pv.num_vertices = num;
+    pv.internal_edges_x2 = 2 * edges_in_set;
+    COREKIT_DCHECK(boundary >= 0);
+    pv.boundary_edges = static_cast<std::uint64_t>(boundary);
+    if (k == 0) break;
+  }
+  return primaries;
+}
+
+TrussSetProfile FindBestTrussSet(const Graph& graph,
+                                 const TrussDecomposition& trusses,
+                                 Metric metric) {
+  COREKIT_CHECK(!MetricNeedsTriangles(metric))
+      << "triangle-based metrics are out of scope for the truss extension";
+  return FindBestTrussSet(graph, trusses, MetricFunction(metric));
+}
+
+TrussSetProfile FindBestTrussSet(const Graph& graph,
+                                 const TrussDecomposition& trusses,
+                                 const MetricFn& metric) {
+  TrussSetProfile profile;
+  profile.primaries = ComputeTrussSetPrimaries(graph, trusses);
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  profile.scores.reserve(profile.primaries.size());
+  for (const PrimaryValues& pv : profile.primaries) {
+    profile.scores.push_back(metric(pv, globals));
+  }
+  // argmax over k in [2, tmax], largest k on ties (the paper's
+  // convention); indices 0/1 alias T_2 and are excluded.
+  profile.best_k = 2;
+  for (VertexId k = 2; k < profile.scores.size(); ++k) {
+    if (profile.scores[k] >= profile.scores[profile.best_k]) {
+      profile.best_k = k;
+    }
+  }
+  profile.best_score = profile.scores[profile.best_k];
+  return profile;
+}
+
+}  // namespace corekit

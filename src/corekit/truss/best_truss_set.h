@@ -1,0 +1,56 @@
+// Finding the best k for truss decomposition (the extension the paper
+// sketches in Section VI-B).
+//
+// The k-truss set T_k is the subgraph formed by all edges with truss
+// number >= k; T_{k+1} is a subgraph of T_k, so the same top-down
+// incremental paradigm applies: walk truss levels from tmax down to 2,
+// absorbing each level's edges and their newly touched vertices into the
+// running primary values.
+//
+// Subgraphs here are *edge-induced*: V(T_k) is the set of endpoints of
+// truss->=k edges, m(T_k) counts exactly those edges, and b(T_k) counts
+// graph edges with exactly one endpoint inside V(T_k) — the same
+// boundary notion the vertex-based metrics use.  Metrics on n/m/b apply
+// directly (clustering coefficient is left out: triangles of an
+// edge-induced subgraph are not derivable from the five primary values
+// alone and Section VI-B scopes the sketch to the incremental scoring).
+//
+// Complexity: after the O(m^1.5) truss decomposition, scoring every level
+// takes O(m) — each edge and each vertex is absorbed exactly once.
+
+#ifndef COREKIT_TRUSS_BEST_TRUSS_SET_H_
+#define COREKIT_TRUSS_BEST_TRUSS_SET_H_
+
+#include <vector>
+
+#include "corekit/core/metrics.h"
+#include "corekit/core/primary_values.h"
+#include "corekit/truss/truss_decomposition.h"
+
+namespace corekit {
+
+struct TrussSetProfile {
+  // scores[k] = Q(T_k) for k in [2, tmax]; indices 0 and 1 are unused
+  // (kept so scores[k] indexes by k directly) and mirror T_2.
+  std::vector<double> scores;
+  std::vector<PrimaryValues> primaries;
+  VertexId best_k = 2;
+  double best_score = 0.0;
+};
+
+// Primary values (n, m, b) of every k-truss set, top-down incremental.
+std::vector<PrimaryValues> ComputeTrussSetPrimaries(
+    const Graph& graph, const TrussDecomposition& trusses);
+
+// Best k for the k-truss set under a metric on n/m/b.  Metrics requiring
+// triangles are rejected with a CHECK (see header comment).
+TrussSetProfile FindBestTrussSet(const Graph& graph,
+                                 const TrussDecomposition& trusses,
+                                 Metric metric);
+TrussSetProfile FindBestTrussSet(const Graph& graph,
+                                 const TrussDecomposition& trusses,
+                                 const MetricFn& metric);
+
+}  // namespace corekit
+
+#endif  // COREKIT_TRUSS_BEST_TRUSS_SET_H_

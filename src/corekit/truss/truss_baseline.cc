@@ -1,0 +1,59 @@
+#include "corekit/truss/truss_baseline.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+PrimaryValues ScratchTrussSetPrimaries(const Graph& graph,
+                                       const TrussDecomposition& trusses,
+                                       VertexId k) {
+  PrimaryValues pv;
+  std::vector<bool> in_v(graph.NumVertices(), false);
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    if (trusses.truss[e] < k) continue;
+    pv.internal_edges_x2 += 2;
+    in_v[trusses.edges[e].first] = true;
+    in_v[trusses.edges[e].second] = true;
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!in_v[v]) continue;
+    ++pv.num_vertices;
+    for (const VertexId u : graph.Neighbors(v)) {
+      pv.boundary_edges += in_v[u] ? 0u : 1u;
+    }
+  }
+  return pv;
+}
+
+TrussSetProfile BaselineFindBestTrussSet(const Graph& graph,
+                                         const TrussDecomposition& trusses,
+                                         Metric metric) {
+  COREKIT_CHECK(!MetricNeedsTriangles(metric))
+      << "triangle-based metrics are out of scope for the truss extension";
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  const VertexId tmax = std::max<VertexId>(trusses.tmax, 2);
+
+  TrussSetProfile profile;
+  profile.primaries.resize(static_cast<std::size_t>(tmax) + 1);
+  profile.scores.resize(static_cast<std::size_t>(tmax) + 1);
+  for (VertexId k = 2; k <= tmax; ++k) {
+    profile.primaries[k] = ScratchTrussSetPrimaries(graph, trusses, k);
+    profile.scores[k] = EvaluateMetric(metric, profile.primaries[k], globals);
+  }
+  // Indices 0/1 mirror T_2, as in the incremental profile.
+  profile.primaries[0] = profile.primaries[1] = profile.primaries[2];
+  profile.scores[0] = profile.scores[1] = profile.scores[2];
+
+  profile.best_k = 2;
+  for (VertexId k = 2; k <= tmax; ++k) {
+    if (profile.scores[k] >= profile.scores[profile.best_k]) {
+      profile.best_k = k;
+    }
+  }
+  profile.best_score = profile.scores[profile.best_k];
+  return profile;
+}
+
+}  // namespace corekit

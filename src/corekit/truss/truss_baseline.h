@@ -1,0 +1,29 @@
+// Baseline scorer for the truss extension: from-scratch per-k scoring of
+// every k-truss set, mirroring the paper's Section III-A baseline so the
+// extension's runtime experiment (bench/ext_truss_runtime) can reproduce
+// the same optimal-vs-baseline gap for trusses that Figure 7 shows for
+// cores.
+
+#ifndef COREKIT_TRUSS_TRUSS_BASELINE_H_
+#define COREKIT_TRUSS_TRUSS_BASELINE_H_
+
+#include "corekit/truss/best_truss_set.h"
+
+namespace corekit {
+
+// Primary values of the k-truss set T_k by direct recomputation: scan all
+// edges for membership, then all member vertices for the boundary.
+// O(m + n) per k, O(tmax * m) over a full profile — the cost the
+// incremental ComputeTrussSetPrimaries avoids.
+PrimaryValues ScratchTrussSetPrimaries(const Graph& graph,
+                                       const TrussDecomposition& trusses,
+                                       VertexId k);
+
+// Section III-A-style baseline profile for trusses.
+TrussSetProfile BaselineFindBestTrussSet(const Graph& graph,
+                                         const TrussDecomposition& trusses,
+                                         Metric metric);
+
+}  // namespace corekit
+
+#endif  // COREKIT_TRUSS_TRUSS_BASELINE_H_

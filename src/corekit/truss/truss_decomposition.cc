@@ -1,0 +1,225 @@
+#include "corekit/truss/truss_decomposition.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+// Index of the CSR slot holding neighbor `v` in `u`'s (sorted) adjacency
+// list, or kInvalidSlot when the edge does not exist.
+constexpr EdgeId kInvalidSlot = static_cast<EdgeId>(-1);
+
+EdgeId SlotOf(const Graph& graph, VertexId u, VertexId v) {
+  const auto nbrs = graph.Neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidSlot;
+  return graph.Offsets()[u] +
+         static_cast<EdgeId>(std::distance(nbrs.begin(), it));
+}
+
+}  // namespace
+
+std::vector<EdgeId> TrussDecomposition::LevelSizes() const {
+  std::vector<EdgeId> sizes(static_cast<std::size_t>(tmax) + 1, 0);
+  for (const VertexId t : truss) ++sizes[t];
+  return sizes;
+}
+
+TrussDecomposition ComputeTrussDecomposition(const Graph& graph) {
+  TrussDecomposition result;
+  result.edges = graph.ToEdgeList();
+  const auto m = static_cast<EdgeId>(result.edges.size());
+  result.truss.assign(m, 2);
+  if (m == 0) return result;
+
+  const VertexId n = graph.NumVertices();
+
+  // --- Map every directed CSR slot to its undirected edge id. ----------
+  // Forward slots (u < v) get ids in ToEdgeList() order; reverse slots
+  // resolve by binary search.
+  std::vector<EdgeId> slot_edge(graph.NeighborArray().size());
+  {
+    EdgeId next = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      const EdgeId begin = graph.Offsets()[u];
+      const auto nbrs = graph.Neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u < nbrs[i]) slot_edge[begin + i] = next++;
+      }
+    }
+    COREKIT_CHECK_EQ(next, m);
+    for (VertexId u = 0; u < n; ++u) {
+      const EdgeId begin = graph.Offsets()[u];
+      const auto nbrs = graph.Neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u > nbrs[i]) {
+          const EdgeId reverse = SlotOf(graph, nbrs[i], u);
+          COREKIT_DCHECK(reverse != kInvalidSlot);
+          slot_edge[begin + i] = slot_edge[reverse];
+        }
+      }
+    }
+  }
+
+  // --- Support (triangles per edge), counted once per triangle at its
+  // lowest-(degree, id) vertex. ------------------------------------------
+  std::vector<VertexId> support(m, 0);
+  {
+    auto pos_greater = [&graph](VertexId a, VertexId b) {
+      const VertexId da = graph.Degree(a);
+      const VertexId db = graph.Degree(b);
+      return da != db ? da > db : a > b;
+    };
+    // mark[w] = 1 + edge id of (v, w) while scanning from v.
+    std::vector<EdgeId> mark(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeId begin = graph.Offsets()[v];
+      const auto nbrs = graph.Neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (pos_greater(nbrs[i], v)) mark[nbrs[i]] = slot_edge[begin + i] + 1;
+      }
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId u = nbrs[i];
+        if (!pos_greater(u, v)) continue;
+        const EdgeId vu = slot_edge[begin + i];
+        const EdgeId u_begin = graph.Offsets()[u];
+        const auto u_nbrs = graph.Neighbors(u);
+        for (std::size_t j = 0; j < u_nbrs.size(); ++j) {
+          const VertexId w = u_nbrs[j];
+          if (!pos_greater(w, u)) continue;
+          if (mark[w] != 0) {
+            ++support[vu];
+            ++support[slot_edge[u_begin + j]];
+            ++support[mark[w] - 1];
+          }
+        }
+      }
+      for (const VertexId w : nbrs) mark[w] = 0;
+    }
+  }
+
+  // --- Peel edges in non-decreasing support order (bin positions, the
+  // Batagelj–Zaversnik technique lifted to edges). ------------------------
+  VertexId max_support = 0;
+  for (const VertexId s : support) max_support = std::max(max_support, s);
+  std::vector<EdgeId> bin(static_cast<std::size_t>(max_support) + 2, 0);
+  for (const VertexId s : support) ++bin[s + 1];
+  for (VertexId s = 0; s <= max_support; ++s) bin[s + 1] += bin[s];
+  std::vector<EdgeId> order(m);
+  std::vector<EdgeId> position(m);
+  {
+    std::vector<EdgeId> cursor(bin.begin(), bin.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      position[e] = cursor[support[e]]++;
+      order[position[e]] = e;
+    }
+  }
+
+  std::vector<bool> alive(m, true);
+  auto decrement = [&](EdgeId e, VertexId floor) {
+    // Moves e one bucket down unless already at the floor.
+    if (support[e] <= floor) return;
+    const VertexId s = support[e];
+    const EdgeId pe = position[e];
+    const EdgeId pw = bin[s];
+    const EdgeId other = order[pw];
+    if (e != other) {
+      position[e] = pw;
+      order[pw] = e;
+      position[other] = pe;
+      order[pe] = other;
+    }
+    ++bin[s];
+    --support[e];
+  };
+
+  result.tmax = 2;
+  for (EdgeId i = 0; i < m; ++i) {
+    const EdgeId e = order[i];
+    const VertexId s = support[e];
+    result.truss[e] = s + 2;
+    result.tmax = std::max(result.tmax, result.truss[e]);
+    alive[e] = false;
+
+    const auto [eu, ev] = result.edges[e];
+    VertexId x = eu;
+    VertexId y = ev;
+    if (graph.Degree(x) > graph.Degree(y)) std::swap(x, y);
+    for (const VertexId w : graph.Neighbors(x)) {
+      if (w == y) continue;
+      const EdgeId xw_slot = SlotOf(graph, x, w);
+      const EdgeId xw = slot_edge[xw_slot];
+      if (!alive[xw]) continue;
+      const EdgeId yw_slot = SlotOf(graph, y, w);
+      if (yw_slot == kInvalidSlot) continue;
+      const EdgeId yw = slot_edge[yw_slot];
+      if (!alive[yw]) continue;
+      // Triangle (x, y, w) loses edge e: both surviving edges lose one
+      // support, never dropping below the level being peeled.
+      decrement(xw, s);
+      decrement(yw, s);
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> NaiveTrussNumbers(const Graph& graph) {
+  const EdgeList edges = graph.ToEdgeList();
+  const std::size_t m = edges.size();
+  std::vector<VertexId> truss(m, 2);
+  std::vector<bool> alive(m, true);
+
+  // Alive-edge lookup by CSR slot (both directions of an edge share one
+  // alive flag through the id of the forward slot).
+  auto edge_index = [&](VertexId u, VertexId v) -> std::size_t {
+    if (u > v) std::swap(u, v);
+    const auto it = std::lower_bound(edges.begin(), edges.end(),
+                                     Edge{u, v});
+    if (it == edges.end() || *it != Edge{u, v}) return m;  // not an edge
+    return static_cast<std::size_t>(std::distance(edges.begin(), it));
+  };
+
+  // Support of edge i within the alive subgraph.
+  auto alive_support = [&](std::size_t i) {
+    VertexId count = 0;
+    const auto [u, v] = edges[i];
+    for (const VertexId w : graph.Neighbors(u)) {
+      if (w == v) continue;
+      const std::size_t uw = edge_index(u, w);
+      if (uw == m || !alive[uw]) continue;
+      const std::size_t vw = edge_index(v, w);
+      if (vw == m || !alive[vw]) continue;
+      ++count;
+    }
+    return count;
+  };
+
+  for (VertexId k = 3;; ++k) {
+    // Delete edges with support < k - 2 until stable.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!alive[i]) continue;
+        if (alive_support(i) < k - 2) {
+          alive[i] = false;
+          changed = true;
+        }
+      }
+    }
+    bool any = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (alive[i]) {
+        truss[i] = k;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return truss;
+}
+
+}  // namespace corekit

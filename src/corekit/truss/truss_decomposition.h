@@ -1,0 +1,52 @@
+// Truss decomposition: the Section VI-B extension of the paper.
+//
+// The k-truss of G is the maximal subgraph whose every edge closes at
+// least k-2 triangles within the subgraph; the truss number t(e) of an
+// edge is the largest k such that e belongs to the k-truss.  Like
+// coreness, truss numbers are computed by peeling: repeatedly remove the
+// edge with minimum support (triangle count), bucketed so each edge moves
+// O(1) per support decrement.  O(m^1.5) time, O(m) space — the same
+// bounds as triangle counting.
+//
+// Section VI-B sketches how the paper's best-k machinery transfers to
+// trusses: rank edges by truss number and compute the score of every
+// k-truss set incrementally from k = tmax down to 2.  best_truss_set.h
+// implements exactly that.
+
+#ifndef COREKIT_TRUSS_TRUSS_DECOMPOSITION_H_
+#define COREKIT_TRUSS_TRUSS_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+// Truss numbers for every undirected edge of the graph.
+struct TrussDecomposition {
+  // Edges in Graph::ToEdgeList() order (u < v, sorted by (u, v)).
+  EdgeList edges;
+  // truss[i] = truss number of edges[i]; always >= 2 (an edge in no
+  // triangle has truss 2).
+  std::vector<VertexId> truss;
+  // Largest truss number (2 for a triangle-free graph with edges; 0 for
+  // an edgeless graph).
+  VertexId tmax = 0;
+
+  // Number of edges with truss number exactly k / at least k.
+  std::vector<EdgeId> LevelSizes() const;
+};
+
+// Peeling-based truss decomposition.  O(m^1.5) time.
+TrussDecomposition ComputeTrussDecomposition(const Graph& graph);
+
+// Definition-driven oracle for tests: iteratively delete edges with
+// support < k - 2 until stable, for k = 3, 4, ...; survivors of round k
+// have truss >= k.  O(tmax * m * d).
+std::vector<VertexId> NaiveTrussNumbers(const Graph& graph);
+
+}  // namespace corekit
+
+#endif  // COREKIT_TRUSS_TRUSS_DECOMPOSITION_H_

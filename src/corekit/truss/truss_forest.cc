@@ -1,0 +1,197 @@
+#include "corekit/truss/truss_forest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+// Union-find over vertices with path halving; component payload (pending
+// child nodes, pending level edges) lives in side tables keyed by root and
+// is merged small-to-large.
+class ComponentTracker {
+ public:
+  explicit ComponentTracker(VertexId n)
+      : parent_(n), node_(n, TrussForest::kNoNode) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+
+  VertexId Find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  // Merges the components of a and b; returns the surviving root.
+  VertexId Union(VertexId a, VertexId b,
+                 std::vector<std::vector<TrussForest::NodeId>>& children) {
+    VertexId ra = Find(a);
+    VertexId rb = Find(b);
+    if (ra == rb) return ra;
+    // Small-to-large on the pending child lists.
+    if (children[ra].size() < children[rb].size()) std::swap(ra, rb);
+    parent_[rb] = ra;
+    children[ra].insert(children[ra].end(), children[rb].begin(),
+                        children[rb].end());
+    children[rb].clear();
+    children[rb].shrink_to_fit();
+    if (node_[rb] != TrussForest::kNoNode &&
+        node_[ra] == TrussForest::kNoNode) {
+      node_[ra] = node_[rb];
+    }
+    return ra;
+  }
+
+  // Latest forest node representing the component rooted at `root`.
+  TrussForest::NodeId NodeOf(VertexId root) const { return node_[root]; }
+  void SetNode(VertexId root, TrussForest::NodeId node) {
+    node_[root] = node;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<TrussForest::NodeId> node_;
+};
+
+}  // namespace
+
+TrussForest::TrussForest(const Graph& graph,
+                         const TrussDecomposition& trusses) {
+  const VertexId n = graph.NumVertices();
+  const auto m = static_cast<EdgeId>(trusses.edges.size());
+  if (m == 0) return;
+
+  // Bucket edge ids by truss level for the descending walk.
+  std::vector<std::vector<EdgeId>> by_level(
+      static_cast<std::size_t>(trusses.tmax) + 1);
+  for (EdgeId e = 0; e < m; ++e) by_level[trusses.truss[e]].push_back(e);
+
+  ComponentTracker tracker(n);
+  // pending_children[root]: nodes of already-built deeper trusses merged
+  // into the component since its last own node was created.
+  std::vector<std::vector<NodeId>> pending_children(n);
+  // Temporary per-level buffers.
+  std::vector<VertexId> touched_roots;
+  std::vector<std::vector<EdgeId>> level_edges_of_root(n);
+
+  // Raw nodes (already in descending-level creation order).
+  struct RawNode {
+    VertexId level;
+    std::vector<NodeId> children;
+    std::vector<EdgeId> edges;
+  };
+  std::vector<RawNode> raw;
+
+  for (VertexId k = trusses.tmax; k >= 2; --k) {
+    if (by_level[k].empty()) continue;
+
+    // Activate this level's edges, merging components.  A component's
+    // previous node (from a deeper level) becomes a pending child the
+    // moment the component grows past it.
+    touched_roots.clear();
+    for (const EdgeId e : by_level[k]) {
+      const auto [u, v] = trusses.edges[e];
+      // Absorb both endpoints' current nodes as pending children before
+      // the union, so deeper trusses hang under the node built at this
+      // level.
+      for (const VertexId x : {u, v}) {
+        const VertexId r = tracker.Find(x);
+        if (tracker.NodeOf(r) != kNoNode) {
+          pending_children[r].push_back(tracker.NodeOf(r));
+          tracker.SetNode(r, kNoNode);
+        }
+      }
+      const VertexId root = tracker.Union(u, v, pending_children);
+      if (level_edges_of_root[root].empty()) touched_roots.push_back(root);
+      level_edges_of_root[root].push_back(e);
+    }
+
+    // Merges can have chained roots: consolidate level edges under the
+    // final root of each component.
+    for (const VertexId r : touched_roots) {
+      const VertexId final_root = tracker.Find(r);
+      if (final_root != r && !level_edges_of_root[r].empty()) {
+        auto& src = level_edges_of_root[r];
+        auto& dst = level_edges_of_root[final_root];
+        dst.insert(dst.end(), src.begin(), src.end());
+        src.clear();
+      }
+    }
+
+    // One node per component that gained edges at this level.
+    for (const VertexId r : touched_roots) {
+      const VertexId root = tracker.Find(r);
+      if (level_edges_of_root[root].empty()) continue;
+      const auto id = static_cast<NodeId>(raw.size());
+      RawNode node;
+      node.level = k;
+      node.edges = std::move(level_edges_of_root[root]);
+      level_edges_of_root[root].clear();
+      node.children = std::move(pending_children[root]);
+      pending_children[root].clear();
+      std::sort(node.children.begin(), node.children.end());
+      node.children.erase(
+          std::unique(node.children.begin(), node.children.end()),
+          node.children.end());
+      raw.push_back(std::move(node));
+      tracker.SetNode(root, id);
+    }
+  }
+
+  // Raw creation order is already descending by level (levels processed
+  // high to low; nodes within a level are unordered peers).  Copy out and
+  // wire parents.
+  nodes_.resize(raw.size());
+  for (NodeId i = 0; i < raw.size(); ++i) {
+    nodes_[i].level = raw[i].level;
+    nodes_[i].edges = std::move(raw[i].edges);
+    nodes_[i].children = std::move(raw[i].children);
+    for (const NodeId child : nodes_[i].children) {
+      COREKIT_DCHECK(child < i);
+      nodes_[child].parent = i;
+    }
+  }
+
+  subtree_edges_.assign(nodes_.size(), 0);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    subtree_edges_[i] += static_cast<EdgeId>(nodes_[i].edges.size());
+    if (nodes_[i].parent != kNoNode) {
+      subtree_edges_[nodes_[i].parent] += subtree_edges_[i];
+    }
+  }
+}
+
+std::vector<EdgeId> TrussForest::TrussEdges(NodeId id) const {
+  std::vector<EdgeId> result;
+  result.reserve(subtree_edges_[id]);
+  std::vector<NodeId> stack{id};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    result.insert(result.end(), nodes_[cur].edges.begin(),
+                  nodes_[cur].edges.end());
+    stack.insert(stack.end(), nodes_[cur].children.begin(),
+                 nodes_[cur].children.end());
+  }
+  return result;
+}
+
+std::vector<VertexId> TrussForest::TrussVertices(
+    const TrussDecomposition& trusses, NodeId id) const {
+  std::vector<VertexId> vertices;
+  for (const EdgeId e : TrussEdges(id)) {
+    vertices.push_back(trusses.edges[e].first);
+    vertices.push_back(trusses.edges[e].second);
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  return vertices;
+}
+
+}  // namespace corekit

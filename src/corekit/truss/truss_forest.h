@@ -1,0 +1,76 @@
+// The truss forest: the k-truss analogue of the core forest, completing
+// the Section VI-B extension for *single* trusses.
+//
+// A connected k-truss is a connected component of the subgraph formed by
+// truss->=k edges.  Like k-cores these nest — the component structure at
+// level k+1 refines the structure at level k — so the hierarchy is again
+// a forest: each node represents one connected k-truss and stores the
+// edges of truss number exactly k inside it; parents are the next coarser
+// containing trusses.
+//
+// Construction processes truss levels from tmax down to 2 over a
+// union-find on vertices (the Sariyuce–Pinar style bottom-up hierarchy
+// construction [50]): activating a level's edges merges components, and
+// every component that gained edges at the level becomes a node adopting
+// the nodes of the components it swallowed.  O(m alpha(m)) after the
+// truss decomposition.
+//
+// The paper notes that a *time-optimal* best-single-truss algorithm is
+// open ("designing an optimal solution is still challenging"); corekit
+// therefore pairs this forest with a direct per-community scorer
+// (best_single_truss.h) rather than claiming optimality.
+
+#ifndef COREKIT_TRUSS_TRUSS_FOREST_H_
+#define COREKIT_TRUSS_TRUSS_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/truss/truss_decomposition.h"
+
+namespace corekit {
+
+class TrussForest {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+  struct Node {
+    // Truss level k of the connected k-truss this node represents.
+    VertexId level = 2;
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    // Ids (into the decomposition's edge list) of the edges with truss
+    // number exactly `level` in this truss; never empty.
+    std::vector<EdgeId> edges;
+  };
+
+  // Builds the forest.  `trusses` must be the decomposition of `graph`.
+  TrussForest(const Graph& graph, const TrussDecomposition& trusses);
+
+  // Nodes sorted by descending level; children precede parents.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  NodeId NumNodes() const { return static_cast<NodeId>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  // Total number of edges of the k-truss represented by `id` (subtree
+  // total), O(1).
+  EdgeId TrussEdgeCount(NodeId id) const { return subtree_edges_[id]; }
+
+  // All edge ids of the k-truss represented by `id` (subtree edges).
+  std::vector<EdgeId> TrussEdges(NodeId id) const;
+
+  // The distinct vertices touched by the k-truss represented by `id`,
+  // sorted ascending.
+  std::vector<VertexId> TrussVertices(const TrussDecomposition& trusses,
+                                      NodeId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<EdgeId> subtree_edges_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_TRUSS_TRUSS_FOREST_H_

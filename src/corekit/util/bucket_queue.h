@@ -1,0 +1,74 @@
+// BucketQueue: a monotone integer priority queue over a bounded key range.
+//
+// This is the bucket structure that makes LCPS forest construction
+// (Algorithm 4 of the paper) run in O(m): keys are corenesses in
+// [0, kmax], PopMax scans downward from a cached cursor, and because every
+// push during one tree's exploration uses keys <= the current maximum + 1,
+// the cursor moves O(kmax + pushes) in total.
+//
+// Values are stored per-bucket in LIFO order.  Duplicate pushes of the same
+// value are allowed (LCPS relies on lazy deletion via its visited set).
+
+#ifndef COREKIT_UTIL_BUCKET_QUEUE_H_
+#define COREKIT_UTIL_BUCKET_QUEUE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+template <typename V>
+class BucketQueue {
+ public:
+  // Keys must lie in [0, max_key].
+  explicit BucketQueue(std::uint32_t max_key)
+      : buckets_(static_cast<std::size_t>(max_key) + 1), size_(0), cursor_(0) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void Push(std::uint32_t key, V value) {
+    COREKIT_DCHECK(key < buckets_.size());
+    buckets_[key].push_back(std::move(value));
+    ++size_;
+    if (key > cursor_) cursor_ = key;
+  }
+
+  // Removes and returns (key, value) with the maximum key.  Queue must be
+  // non-empty.
+  std::pair<std::uint32_t, V> PopMax() {
+    COREKIT_CHECK(!empty());
+    while (buckets_[cursor_].empty()) {
+      COREKIT_DCHECK(cursor_ > 0);
+      --cursor_;
+    }
+    V value = std::move(buckets_[cursor_].back());
+    buckets_[cursor_].pop_back();
+    --size_;
+    return {cursor_, std::move(value)};
+  }
+
+  // Drops all elements but keeps the allocated bucket array (reused across
+  // trees in the forest construction).
+  void Clear() {
+    if (size_ == 0) {
+      cursor_ = 0;
+      return;
+    }
+    for (auto& bucket : buckets_) bucket.clear();
+    size_ = 0;
+    cursor_ = 0;
+  }
+
+ private:
+  std::vector<std::vector<V>> buckets_;
+  std::size_t size_;
+  std::uint32_t cursor_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_UTIL_BUCKET_QUEUE_H_

@@ -1,0 +1,59 @@
+#include "corekit/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace corekit {
+
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity GetMinLogSeverity() {
+  return static_cast<LogSeverity>(
+      g_min_severity.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const bool emit =
+      static_cast<int>(severity_) >=
+          g_min_severity.load(std::memory_order_relaxed) ||
+      severity_ == LogSeverity::kFatal;
+  if (emit) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_), file_,
+                 line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace corekit

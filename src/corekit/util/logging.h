@@ -1,0 +1,130 @@
+// Lightweight logging and invariant-checking macros for corekit.
+//
+// Recoverable failures (I/O errors, malformed inputs) are reported through
+// corekit::Status (see status.h).  The macros in this header are for
+// *programming errors*: violated invariants abort the process with a
+// source-located message, in both debug and release builds.
+//
+//   COREKIT_CHECK(cond) << "extra context " << value;
+//   COREKIT_CHECK_EQ(a, b);
+//   COREKIT_DCHECK(cond);           // debug-only variant
+//   COREKIT_LOG(INFO) << "message";
+
+#ifndef COREKIT_UTIL_LOGGING_H_
+#define COREKIT_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace corekit {
+
+enum class LogSeverity : int {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3,
+};
+
+namespace internal_logging {
+
+// Accumulates a log message and emits it (to stderr) on destruction.
+// A kFatal message aborts the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Lets the ternary in COREKIT_CHECK consume a streamed LogMessage:
+// operator& binds looser than operator<<, so the whole stream expression
+// is built first, then voidified to match the other ternary branch.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+
+// Minimum severity emitted to stderr; messages below it are dropped.
+// Defaults to kInfo.  Thread-safe to set before spawning threads.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity GetMinLogSeverity();
+
+}  // namespace corekit
+
+#define COREKIT_LOG_INFO \
+  ::corekit::internal_logging::LogMessage( \
+      ::corekit::LogSeverity::kInfo, __FILE__, __LINE__)
+#define COREKIT_LOG_WARNING \
+  ::corekit::internal_logging::LogMessage( \
+      ::corekit::LogSeverity::kWarning, __FILE__, __LINE__)
+#define COREKIT_LOG_ERROR \
+  ::corekit::internal_logging::LogMessage( \
+      ::corekit::LogSeverity::kError, __FILE__, __LINE__)
+#define COREKIT_LOG_FATAL \
+  ::corekit::internal_logging::LogMessage( \
+      ::corekit::LogSeverity::kFatal, __FILE__, __LINE__)
+
+#define COREKIT_LOG(severity) COREKIT_LOG_##severity
+
+// Fatal unless `cond` holds.  Usable as a stream for extra context.
+#define COREKIT_CHECK(cond)                             \
+  (cond) ? (void)0                                      \
+         : ::corekit::internal_logging::Voidify() &     \
+               COREKIT_LOG_FATAL << "Check failed: " #cond " "
+
+namespace corekit::internal_logging {
+
+// Out-of-line check-with-operands helper so the macro below stays small.
+template <typename A, typename B>
+std::string CheckOpMessage(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "Check failed: " << expr << " (" << a << " vs. " << b << ") ";
+  return os.str();
+}
+
+}  // namespace corekit::internal_logging
+
+#define COREKIT_CHECK_OP(op, a, b)                              \
+  ((a)op(b)) ? (void)0                                          \
+             : ::corekit::internal_logging::Voidify() &         \
+                   COREKIT_LOG_FATAL                            \
+                       << ::corekit::internal_logging::CheckOpMessage( \
+                              #a " " #op " " #b, (a), (b))
+
+#define COREKIT_CHECK_EQ(a, b) COREKIT_CHECK_OP(==, a, b)
+#define COREKIT_CHECK_NE(a, b) COREKIT_CHECK_OP(!=, a, b)
+#define COREKIT_CHECK_LT(a, b) COREKIT_CHECK_OP(<, a, b)
+#define COREKIT_CHECK_LE(a, b) COREKIT_CHECK_OP(<=, a, b)
+#define COREKIT_CHECK_GT(a, b) COREKIT_CHECK_OP(>, a, b)
+#define COREKIT_CHECK_GE(a, b) COREKIT_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+// Compiles (but does not evaluate) the condition, so release builds catch
+// type errors in DCHECK expressions.  Not usable as a stream.
+#define COREKIT_DCHECK(cond) ((void)sizeof(!(cond)))
+#define COREKIT_DCHECK_EQ(a, b) COREKIT_DCHECK((a) == (b))
+#define COREKIT_DCHECK_LT(a, b) COREKIT_DCHECK((a) < (b))
+#define COREKIT_DCHECK_LE(a, b) COREKIT_DCHECK((a) <= (b))
+#else
+#define COREKIT_DCHECK(cond) COREKIT_CHECK(cond)
+#define COREKIT_DCHECK_EQ(a, b) COREKIT_CHECK_EQ(a, b)
+#define COREKIT_DCHECK_LT(a, b) COREKIT_CHECK_LT(a, b)
+#define COREKIT_DCHECK_LE(a, b) COREKIT_CHECK_LE(a, b)
+#endif
+
+#endif  // COREKIT_UTIL_LOGGING_H_

@@ -1,0 +1,18 @@
+#include "corekit/util/random.h"
+
+#include <string_view>
+
+namespace corekit {
+
+// FNV-1a, finalized through SplitMix64 so short names still give
+// well-mixed seeds.  Declared in random.h's companion below.
+std::uint64_t SeedFromString(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return SplitMix64(h).Next();
+}
+
+}  // namespace corekit

@@ -1,0 +1,126 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests.
+//
+// The generators (src/corekit/gen/) must be reproducible across runs and
+// platforms, so corekit carries its own engines instead of relying on the
+// standard library's unspecified distributions:
+//   * SplitMix64   — seed expander / cheap stateless stream.
+//   * Xoshiro256** — the workhorse engine (Blackman & Vigna 2018).
+// Rng wraps Xoshiro256** with the bounded-int / real / shuffle helpers the
+// library needs, all with fully specified behaviour.
+
+#ifndef COREKIT_UTIL_RANDOM_H_
+#define COREKIT_UTIL_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+// SplitMix64: expands a 64-bit seed into a high-quality stream.  Mainly used
+// to seed Xoshiro and to derive independent sub-seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// The main corekit random engine (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  // Uniform 64-bit word.
+  std::uint64_t NextUint64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be positive.  Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    COREKIT_DCHECK(bound > 0);
+    // 128-bit multiply; __uint128_t is available on all supported targets.
+    std::uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    COREKIT_DCHECK(lo <= hi);
+    const auto range =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 for full range
+    if (range == 0) return static_cast<std::int64_t>(NextUint64());
+    return lo + static_cast<std::int64_t>(NextBounded(range));
+  }
+
+  // Uniform real in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derives an independent generator (for parallel or per-component streams).
+  Rng Split() { return Rng(NextUint64()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+// Deterministic 64-bit seed derived from a human-readable name (FNV-1a +
+// SplitMix64 finalizer).  Used so each synthetic dataset gets a stable,
+// independent random stream.
+std::uint64_t SeedFromString(std::string_view name);
+
+}  // namespace corekit
+
+#endif  // COREKIT_UTIL_RANDOM_H_

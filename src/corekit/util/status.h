@@ -1,0 +1,133 @@
+// Status / Result<T>: the corekit error model for recoverable failures.
+//
+// Follows the database-systems idiom (RocksDB Status, Arrow Result): API
+// functions that can fail for reasons outside the programmer's control
+// (missing files, malformed inputs, out-of-range arguments supplied by a
+// user) return Status or Result<T>.  Exceptions never cross the corekit
+// public API; invariant violations abort via COREKIT_CHECK.
+//
+//   Result<Graph> g = ReadEdgeListFile(path);
+//   if (!g.ok()) return g.status();
+//   Use(g.value());
+
+#ifndef COREKIT_UTIL_STATUS_H_
+#define COREKIT_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kCorruption = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A success-or-error value.  Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  // OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "IoError: could not open ...".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error.  Accessing value() on an error status is a fatal
+// programming error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`
+  // (the Arrow/absl convention).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    COREKIT_CHECK(!std::get<Status>(rep_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    COREKIT_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    COREKIT_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    COREKIT_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace corekit
+
+// Propagates a non-OK Status from an expression, RocksDB-style.
+#define COREKIT_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::corekit::Status _corekit_status = (expr);    \
+    if (!_corekit_status.ok()) return _corekit_status; \
+  } while (false)
+
+#endif  // COREKIT_UTIL_STATUS_H_

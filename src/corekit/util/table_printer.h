@@ -1,0 +1,44 @@
+// Fixed-width ASCII table printer for the benchmark harnesses.
+//
+// Every bench binary regenerates one paper table/figure as rows on stdout;
+// TablePrinter keeps their formatting uniform:
+//
+//   TablePrinter t({"Dataset", "n", "m", "davg", "kmax"});
+//   t.AddRow({"er-small", "10000", "50000", "10.0", "12"});
+//   t.Print(std::cout);
+
+#ifndef COREKIT_UTIL_TABLE_PRINTER_H_
+#define COREKIT_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace corekit {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the header, a separator, and all rows, each column padded to its
+  // widest cell.
+  void Print(std::ostream& os) const;
+
+  // Formats a double with `digits` significant decimals, trimming trailing
+  // zeros ("3.1700" -> "3.17", "2.0" -> "2").
+  static std::string FormatDouble(double value, int digits = 4);
+
+  // Formats seconds adaptively ("812us", "3.42ms", "1.27s").
+  static std::string FormatSeconds(double seconds);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,94 @@
+#include "corekit/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+ThreadPool::ThreadPool(std::uint32_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::min(num_threads, 64u);
+  workers_.reserve(num_threads_ - 1);
+  for (std::uint32_t t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_workers_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainCurrentJob() {
+  while (true) {
+    const std::size_t begin =
+        next_index_.fetch_add(job_chunk_, std::memory_order_relaxed);
+    if (begin >= job_total_) return;
+    const std::size_t end = std::min(job_total_, begin + job_chunk_);
+    (*job_fn_)(begin, end);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t last_job = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_workers_.wait(lock, [this, last_job] {
+        return shutting_down_ || job_id_ != last_job;
+      });
+      if (shutting_down_) return;
+      last_job = job_id_;
+    }
+    DrainCurrentJob();
+    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out signals the caller.
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t total, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  COREKIT_CHECK_GT(chunk, 0u);
+  if (total == 0) return;
+  if (num_threads_ == 1 || total <= chunk) {
+    // Serial fast path.
+    for (std::size_t begin = 0; begin < total; begin += chunk) {
+      fn(begin, std::min(total, begin + chunk));
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_total_ = total;
+    job_chunk_ = chunk;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_.store(static_cast<std::uint32_t>(workers_.size()),
+                          std::memory_order_relaxed);
+    ++job_id_;
+  }
+  wake_workers_.notify_all();
+
+  // The caller works too.
+  DrainCurrentJob();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [this] {
+    return active_workers_.load(std::memory_order_acquire) == 0;
+  });
+  job_fn_ = nullptr;
+}
+
+}  // namespace corekit

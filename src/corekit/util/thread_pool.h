@@ -1,0 +1,68 @@
+// A small fixed-size thread pool with a blocking parallel-for.
+//
+// The parallel substrates (parallel peel, parallel triangle counting)
+// need to run many short waves of data-parallel work; spawning threads
+// per wave costs more than the work itself (measurably so in
+// bench/ablation_ordering).  ThreadPool keeps the workers alive and hands
+// them index ranges.
+//
+// Semantics: ParallelFor(total, chunk, fn) invokes fn(begin, end) over
+// disjoint ranges covering [0, total) and returns when all ranges are
+// done.  fn runs concurrently on pool threads AND the calling thread;
+// exceptions are not supported (corekit is exception-free).
+
+#ifndef COREKIT_UTIL_THREAD_POOL_H_
+#define COREKIT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace corekit {
+
+class ThreadPool {
+ public:
+  // `num_threads` = 0 picks hardware concurrency (at least 1).  The pool
+  // owns num_threads - 1 workers; the calling thread participates in
+  // every ParallelFor, so num_threads == 1 degenerates to serial.
+  explicit ThreadPool(std::uint32_t num_threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  std::uint32_t num_threads() const { return num_threads_; }
+
+  // Runs fn(begin, end) over chunks of [0, total).  Blocks until done.
+  // Not reentrant (no nested ParallelFor from inside fn).
+  void ParallelFor(std::size_t total, std::size_t chunk,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and processes chunks until the current job is exhausted.
+  void DrainCurrentJob();
+
+  std::uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable job_done_;
+  bool shutting_down_ = false;
+
+  // Current job state.
+  std::uint64_t job_id_ = 0;  // incremented per ParallelFor
+  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_total_ = 0;
+  std::size_t job_chunk_ = 1;
+  std::atomic<std::size_t> next_index_{0};
+  std::atomic<std::uint32_t> active_workers_{0};
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_UTIL_THREAD_POOL_H_

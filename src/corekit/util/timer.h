@@ -1,0 +1,38 @@
+// Wall-clock timing utilities used by the benchmark harnesses (Figures 7-8
+// of the paper report end-to-end runtime of baseline vs optimal algorithms).
+
+#ifndef COREKIT_UTIL_TIMER_H_
+#define COREKIT_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace corekit {
+
+// A simple monotonic stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_UTIL_TIMER_H_

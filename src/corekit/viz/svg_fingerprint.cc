@@ -1,0 +1,169 @@
+#include "corekit/viz/svg_fingerprint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <numbers>
+#include <sstream>
+
+#include "corekit/graph/connected_components.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+
+namespace {
+
+// Coreness -> hue sweep from blue (periphery) to red (center), rendered
+// as an RGB hex string.
+std::string CorenessColor(VertexId coreness, VertexId kmax) {
+  const double t = kmax == 0 ? 0.0
+                             : static_cast<double>(coreness) /
+                                   static_cast<double>(kmax);
+  // HSV with h in [240 (blue), 0 (red)], s = 0.85, v = 0.9.
+  const double h = 240.0 * (1.0 - t);
+  const double s = 0.85;
+  const double value = 0.9;
+  const double c = value * s;
+  const double hp = h / 60.0;
+  const double x = c * (1.0 - std::abs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+  if (hp < 1) {
+    r = c;
+    g = x;
+  } else if (hp < 2) {
+    r = x;
+    g = c;
+  } else if (hp < 3) {
+    g = c;
+    b = x;
+  } else {
+    g = x;
+    b = c;
+  }
+  const double m = value - c;
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x",
+                static_cast<unsigned>((r + m) * 255),
+                static_cast<unsigned>((g + m) * 255),
+                static_cast<unsigned>((b + m) * 255));
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderCoreFingerprintSvg(const Graph& graph,
+                                     const OnionDecomposition& onion,
+                                     const SvgFingerprintOptions& options) {
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK_EQ(onion.layer.size(), n);
+  const double size = options.size;
+  const double center = size / 2.0;
+  const double radius_max = size * 0.46;
+
+  // Subsample vertices deterministically.
+  Rng rng(options.seed);
+  std::vector<VertexId> drawn;
+  if (n <= options.max_vertices) {
+    drawn.resize(n);
+    for (VertexId v = 0; v < n; ++v) drawn[v] = v;
+  } else {
+    std::vector<VertexId> all(n);
+    for (VertexId v = 0; v < n; ++v) all[v] = v;
+    rng.Shuffle(all);
+    drawn.assign(all.begin(), all.begin() + options.max_vertices);
+    std::sort(drawn.begin(), drawn.end());
+  }
+  std::vector<bool> is_drawn(n, false);
+  for (const VertexId v : drawn) is_drawn[v] = true;
+
+  // Angle: group by connected component (contiguous angular sectors),
+  // position within the component by id order, plus jitter.  Radius:
+  // deeper onion layers sit closer to the center.
+  const ComponentLabels components = ConnectedComponents(graph);
+  std::vector<double> angle(n, 0.0);
+  {
+    // Stable order: by (component, id).
+    std::vector<VertexId> order = drawn;
+    std::stable_sort(order.begin(), order.end(),
+                     [&components](VertexId a, VertexId b) {
+                       return components.label[a] < components.label[b];
+                     });
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const double base = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                          static_cast<double>(order.size());
+      const double jitter =
+          (rng.NextDouble() - 0.5) * 2.0 * std::numbers::pi * 0.01;
+      angle[order[i]] = base + jitter;
+    }
+  }
+  const VertexId layers = std::max<VertexId>(1, onion.num_layers);
+  std::vector<double> x(n, 0.0);
+  std::vector<double> y(n, 0.0);
+  for (const VertexId v : drawn) {
+    const double depth =
+        static_cast<double>(onion.layer[v]) / static_cast<double>(layers + 1);
+    const double radius =
+        radius_max * (1.0 - depth) + radius_max * 0.04 * rng.NextDouble();
+    x[v] = center + radius * std::cos(angle[v]);
+    y[v] = center + radius * std::sin(angle[v]);
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.size
+      << "\" height=\"" << options.size << "\" viewBox=\"0 0 "
+      << options.size << " " << options.size << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"#0b0e14\"/>\n";
+
+  // Edges (capped), faint.
+  EdgeId edges_drawn = 0;
+  svg << "<g stroke=\"#4a5568\" stroke-opacity=\"0.25\" "
+         "stroke-width=\"0.5\">\n";
+  for (const VertexId v : drawn) {
+    if (edges_drawn >= options.max_edges) break;
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (u <= v || !is_drawn[u]) continue;
+      svg << "<line x1=\"" << x[v] << "\" y1=\"" << y[v] << "\" x2=\""
+          << x[u] << "\" y2=\"" << y[u] << "\"/>\n";
+      if (++edges_drawn >= options.max_edges) break;
+    }
+  }
+  svg << "</g>\n";
+
+  // Vertices, colored by coreness, sized slightly by coreness.
+  svg << "<g stroke=\"none\">\n";
+  for (const VertexId v : drawn) {
+    const double r =
+        1.2 + 2.0 * (onion.kmax == 0
+                         ? 0.0
+                         : static_cast<double>(onion.coreness[v]) /
+                               static_cast<double>(onion.kmax));
+    svg << "<circle cx=\"" << x[v] << "\" cy=\"" << y[v] << "\" r=\"" << r
+        << "\" fill=\"" << CorenessColor(onion.coreness[v], onion.kmax)
+        << "\" fill-opacity=\"0.85\"/>\n";
+  }
+  svg << "</g>\n</svg>\n";
+  return svg.str();
+}
+
+Status WriteCoreFingerprintSvg(const Graph& graph,
+                               const OnionDecomposition& onion,
+                               const std::string& path,
+                               const SvgFingerprintOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  const std::string svg = RenderCoreFingerprintSvg(graph, onion, options);
+  const bool ok = std::fwrite(svg.data(), 1, svg.size(), file) == svg.size();
+  std::fclose(file);
+  if (!ok) return Status::IoError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace corekit

@@ -1,0 +1,49 @@
+// k-core fingerprint rendering (LaNet-vi style): the large-scale network
+// visualization application of core decomposition ([3] Alvarez-Hamelin et
+// al., NIPS 2005; also [20], [67] of the paper).
+//
+// Vertices are placed on concentric rings — radius decreasing with
+// coreness (refined by onion layer within each shell), angle grouped by
+// connected component with deterministic jitter — and emitted as a
+// standalone SVG: the classic "medusa" fingerprint in which the dense
+// center core sits in the middle and shells radiate outward.  Vertex
+// color encodes coreness; a subsample cap keeps files viewable for large
+// graphs.
+
+#ifndef COREKIT_VIZ_SVG_FINGERPRINT_H_
+#define COREKIT_VIZ_SVG_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "corekit/core/onion_layers.h"
+#include "corekit/graph/graph.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+struct SvgFingerprintOptions {
+  // Canvas is size x size pixels.
+  std::uint32_t size = 900;
+  // At most this many vertices are drawn (uniform subsample, seeded);
+  // edges are drawn only between drawn vertices, capped at max_edges.
+  VertexId max_vertices = 4000;
+  EdgeId max_edges = 20000;
+  std::uint64_t seed = 1;
+};
+
+// Renders the fingerprint of `graph` (with its onion decomposition) as an
+// SVG document string.
+std::string RenderCoreFingerprintSvg(const Graph& graph,
+                                     const OnionDecomposition& onion,
+                                     const SvgFingerprintOptions& options = {});
+
+// Convenience: render and write to `path`.
+Status WriteCoreFingerprintSvg(const Graph& graph,
+                               const OnionDecomposition& onion,
+                               const std::string& path,
+                               const SvgFingerprintOptions& options = {});
+
+}  // namespace corekit
+
+#endif  // COREKIT_VIZ_SVG_FINGERPRINT_H_

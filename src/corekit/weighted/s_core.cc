@@ -1,0 +1,176 @@
+#include "corekit/weighted/s_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+SCoreDecomposition ComputeSCoreDecomposition(const WeightedGraph& graph) {
+  const VertexId n = graph.NumVertices();
+  SCoreDecomposition result;
+  result.s_value.assign(n, 0.0);
+  result.peel_order.reserve(n);
+  if (n == 0) return result;
+
+  std::vector<double> strength(n);
+  for (VertexId v = 0; v < n; ++v) strength[v] = graph.Strength(v);
+
+  // Lazy min-heap of (strength, vertex); stale entries are skipped.
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (VertexId v = 0; v < n; ++v) heap.emplace(strength[v], v);
+
+  std::vector<bool> removed(n, false);
+  double running_max = 0.0;
+  while (!heap.empty()) {
+    const auto [s, v] = heap.top();
+    heap.pop();
+    if (removed[v] || s != strength[v]) continue;  // stale
+    removed[v] = true;
+    running_max = std::max(running_max, s);
+    result.s_value[v] = running_max;
+    result.peel_order.push_back(v);
+
+    const auto nbrs = graph.Neighbors(v);
+    const auto weights = graph.Weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (removed[u]) continue;
+      strength[u] -= weights[i];
+      heap.emplace(strength[u], u);
+    }
+  }
+  result.smax = running_max;
+  return result;
+}
+
+SCoreDecomposition NaiveSCoreDecomposition(const WeightedGraph& graph) {
+  const VertexId n = graph.NumVertices();
+  SCoreDecomposition result;
+  result.s_value.assign(n, 0.0);
+  result.peel_order.reserve(n);
+  if (n == 0) return result;
+
+  std::vector<bool> removed(n, false);
+  double running_max = 0.0;
+  for (VertexId step = 0; step < n; ++step) {
+    // Recompute every alive strength and take the minimum (ties by id).
+    VertexId argmin = kInvalidVertex;
+    double min_strength = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      double s = 0.0;
+      const auto nbrs = graph.Neighbors(v);
+      const auto weights = graph.Weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (!removed[nbrs[i]]) s += weights[i];
+      }
+      if (argmin == kInvalidVertex || s < min_strength) {
+        argmin = v;
+        min_strength = s;
+      }
+    }
+    removed[argmin] = true;
+    running_max = std::max(running_max, min_strength);
+    result.s_value[argmin] = running_max;
+    result.peel_order.push_back(argmin);
+  }
+  result.smax = running_max;
+  return result;
+}
+
+const char* WeightedMetricName(WeightedMetric metric) {
+  switch (metric) {
+    case WeightedMetric::kAverageStrength:
+      return "average strength";
+    case WeightedMetric::kWeightedConductance:
+      return "weighted conductance";
+    case WeightedMetric::kWeightedDensity:
+      return "weighted density";
+  }
+  return "?";
+}
+
+double EvaluateWeightedMetric(WeightedMetric metric,
+                              const WeightedPrimaryValues& values) {
+  switch (metric) {
+    case WeightedMetric::kAverageStrength:
+      return values.num_vertices == 0
+                 ? 0.0
+                 : values.internal_weight_x2 /
+                       static_cast<double>(values.num_vertices);
+    case WeightedMetric::kWeightedConductance: {
+      const double volume = values.internal_weight_x2 + values.boundary_weight;
+      return volume == 0.0 ? 1.0 : 1.0 - values.boundary_weight / volume;
+    }
+    case WeightedMetric::kWeightedDensity: {
+      if (values.num_vertices < 2) return 0.0;
+      return values.internal_weight_x2 /
+             (static_cast<double>(values.num_vertices) *
+              static_cast<double>(values.num_vertices - 1));
+    }
+  }
+  COREKIT_LOG(FATAL) << "unknown weighted metric";
+  return 0.0;
+}
+
+SCoreProfile FindBestSCore(const WeightedGraph& graph,
+                           const SCoreDecomposition& cores,
+                           WeightedMetric metric) {
+  SCoreProfile profile;
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK_EQ(cores.peel_order.size(), n);
+  if (n == 0) return profile;
+
+  // Walk the peel order backwards: the suffix starting at position i is
+  // the s-core set at threshold s_value[peel_order[i]].  Record one level
+  // per distinct s-value (the coarsest position of each value).
+  std::vector<bool> in_set(n, false);
+  WeightedPrimaryValues running;
+
+  for (VertexId i = n; i-- > 0;) {
+    const VertexId v = cores.peel_order[i];
+    in_set[v] = true;
+    ++running.num_vertices;
+    const auto nbrs = graph.Neighbors(v);
+    const auto weights = graph.Weights(v);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      if (in_set[nbrs[j]]) {
+        running.internal_weight_x2 += 2.0 * weights[j];
+        running.boundary_weight -= weights[j];
+      } else {
+        running.boundary_weight += weights[j];
+      }
+    }
+    // A level closes when this vertex's s-value differs from the next
+    // coarser vertex's (or we've absorbed everything).
+    const bool level_boundary =
+        i == 0 ||
+        cores.s_value[cores.peel_order[i - 1]] != cores.s_value[v];
+    if (level_boundary) {
+      profile.thresholds.push_back(cores.s_value[v]);
+      profile.primaries.push_back(running);
+      profile.scores.push_back(EvaluateWeightedMetric(metric, running));
+    }
+  }
+  // Recorded coarse-to-... the walk emits levels from the densest suffix
+  // outward, i.e. thresholds descending; flip to ascending for callers.
+  std::reverse(profile.thresholds.begin(), profile.thresholds.end());
+  std::reverse(profile.primaries.begin(), profile.primaries.end());
+  std::reverse(profile.scores.begin(), profile.scores.end());
+
+  profile.best_index = 0;
+  for (std::size_t i = 1; i < profile.scores.size(); ++i) {
+    if (profile.scores[i] >= profile.scores[profile.best_index]) {
+      profile.best_index = i;  // >= : largest threshold wins ties
+    }
+  }
+  profile.best_s = profile.thresholds[profile.best_index];
+  profile.best_score = profile.scores[profile.best_index];
+  return profile;
+}
+
+}  // namespace corekit

@@ -1,0 +1,98 @@
+#include "corekit/weighted/weighted_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace corekit {
+
+WeightedGraph::WeightedGraph(std::vector<EdgeId> offsets,
+                             std::vector<VertexId> neighbors,
+                             std::vector<double> weights)
+    : offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)),
+      weights_(std::move(weights)) {
+  COREKIT_CHECK(!offsets_.empty());
+  COREKIT_CHECK_EQ(offsets_.front(), 0u);
+  COREKIT_CHECK_EQ(offsets_.back(), neighbors_.size());
+  COREKIT_CHECK_EQ(weights_.size(), neighbors_.size());
+}
+
+double WeightedGraph::Strength(VertexId v) const {
+  const auto weights = Weights(v);
+  return std::accumulate(weights.begin(), weights.end(), 0.0);
+}
+
+double WeightedGraph::TotalWeight() const {
+  return std::accumulate(weights_.begin(), weights_.end(), 0.0) / 2.0;
+}
+
+Graph WeightedGraph::Skeleton() const {
+  auto offsets = offsets_;
+  auto neighbors = neighbors_;
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+void WeightedGraphBuilder::AddEdge(VertexId u, VertexId v, double weight) {
+  COREKIT_DCHECK(u < num_vertices_);
+  COREKIT_DCHECK(v < num_vertices_);
+  COREKIT_CHECK_GT(weight, 0.0);
+  if (u == v) return;  // self-loops carry no strength in the s-core model
+  edges_.push_back({u, v, weight});
+}
+
+WeightedGraph WeightedGraphBuilder::Build() {
+  const VertexId n = num_vertices_;
+
+  // Normalize to u < v, sort, merge duplicates by summing weights.
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  std::vector<WeightedEdge> merged;
+  merged.reserve(edges_.size());
+  for (const WeightedEdge& e : edges_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().weight += e.weight;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Two-pass CSR scatter, both directions.
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const WeightedEdge& e : merged) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> neighbors(offsets.back());
+  std::vector<double> weights(offsets.back());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const WeightedEdge& e : merged) {
+    neighbors[cursor[e.u]] = e.v;
+    weights[cursor[e.u]++] = e.weight;
+    neighbors[cursor[e.v]] = e.u;
+    weights[cursor[e.v]++] = e.weight;
+  }
+  return WeightedGraph(std::move(offsets), std::move(neighbors),
+                       std::move(weights));
+}
+
+WeightedGraph RandomlyWeighted(const Graph& graph, double max_weight,
+                               std::uint64_t seed) {
+  COREKIT_CHECK_GT(max_weight, 0.0);
+  Rng rng(seed);
+  WeightedGraphBuilder builder(graph.NumVertices());
+  for (const auto& [u, v] : graph.ToEdgeList()) {
+    // (0, max_weight]: strictly positive.
+    builder.AddEdge(u, v, (1.0 - rng.NextDouble()) * max_weight);
+  }
+  return builder.Build();
+}
+
+}  // namespace corekit

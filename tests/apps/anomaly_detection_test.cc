@@ -1,0 +1,81 @@
+#include "corekit/apps/anomaly_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+MirrorPatternResult Detect(const Graph& g) {
+  return DetectMirrorAnomalies(g, ComputeCoreDecomposition(g));
+}
+
+TEST(MirrorAnomalyTest, EmptyGraph) {
+  const MirrorPatternResult result = Detect(Graph());
+  EXPECT_TRUE(result.score.empty());
+  EXPECT_TRUE(result.ranking.empty());
+}
+
+TEST(MirrorAnomalyTest, RegularGraphHasNoAnomalies) {
+  // In a clique, degree is a deterministic function of coreness: every
+  // residual is zero and the correlation degenerates (single x value).
+  GraphBuilder builder(8);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) builder.AddEdge(u, v);
+  }
+  const MirrorPatternResult result = Detect(builder.Build());
+  for (const double s : result.score) EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+TEST(MirrorAnomalyTest, LonerStarTopsTheRanking) {
+  // A community-structured graph plus one "bought-followers" hub: degree
+  // 400 but coreness 1.  CoreScope's signature anomaly.
+  PlantedPartitionParams params;
+  params.num_vertices = 1000;
+  params.num_communities = 10;
+  params.p_in = 0.2;
+  params.p_out = 0.002;
+  params.seed = 5;
+  const Graph base = GeneratePlantedPartition(params).graph;
+
+  const VertexId hub = 1000;
+  const VertexId leaves = 400;
+  GraphBuilder builder(1001 + leaves);
+  builder.AddEdges(base.ToEdgeList());
+  for (VertexId leaf = 0; leaf < leaves; ++leaf) {
+    builder.AddEdge(hub, 1001 + leaf);
+  }
+  builder.AddEdge(hub, 0);  // one link into the real graph
+  const Graph g = builder.Build();
+
+  const MirrorPatternResult result = Detect(g);
+  EXPECT_EQ(result.ranking.front(), hub);
+  EXPECT_GT(result.score[hub], 2.0);  // ~e^2 off the fitted degree
+}
+
+TEST(MirrorAnomalyTest, MirrorCorrelationHighOnCleanGraphs) {
+  // Heavy-tailed social-like graph (R-MAT: coreness varies, unlike
+  // Barabási–Albert whose coreness is uniformly the attachment count):
+  // degree and coreness track each other.
+  RmatParams params;
+  params.scale = 12;
+  params.num_edges = 40000;
+  params.seed = 7;
+  const Graph g = GenerateRmat(params);
+  const MirrorPatternResult result = Detect(g);
+  EXPECT_GT(result.correlation, 0.5);
+  EXPECT_GT(result.beta, 0.0);  // degree grows with coreness
+}
+
+TEST(MirrorAnomalyTest, RankingSortedByScore) {
+  const Graph g = GenerateWattsStrogatz(300, 4, 0.3, 3);
+  const MirrorPatternResult result = Detect(g);
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_GE(result.score[result.ranking[i - 1]],
+              result.score[result.ranking[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,87 @@
+#include "corekit/apps/community_search.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+TEST(CommunitySearchTest, Fig2AverageDegreeCommunities) {
+  const Graph g = Fig2Graph();
+  const CommunitySearcher searcher(g, Metric::kAverageDegree);
+  // Under average degree the whole graph (2-core, ad ~3.17) beats any K4.
+  const CommunitySearchResult result = searcher.Search(V(1));
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.k, 2u);
+  EXPECT_EQ(result.members.size(), 12u);
+  EXPECT_NEAR(result.score, 2.0 * 19 / 12, 1e-12);
+}
+
+TEST(CommunitySearchTest, Fig2ClusteringCoefficientPrefersK4) {
+  const Graph g = Fig2Graph();
+  const CommunitySearcher searcher(g, Metric::kClusteringCoefficient);
+  const CommunitySearchResult result = searcher.Search(V(1));
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.k, 3u);
+  EXPECT_EQ(result.members,
+            (std::vector<VertexId>{V(1), V(2), V(3), V(4)}));
+  EXPECT_DOUBLE_EQ(result.score, 1.0);
+  // A shell vertex can only reach 2-core communities.
+  const CommunitySearchResult shell = searcher.Search(V(5));
+  ASSERT_TRUE(shell.found);
+  EXPECT_EQ(shell.k, 2u);
+}
+
+TEST(CommunitySearchTest, MinKConstraint) {
+  const Graph g = Fig2Graph();
+  const CommunitySearcher searcher(g, Metric::kAverageDegree);
+  // Forcing k >= 3 returns the K4 even though the 2-core scores higher.
+  const CommunitySearchResult result = searcher.SearchWithMinK(V(1), 3);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.k, 3u);
+  EXPECT_EQ(result.members.size(), 4u);
+  // Infeasible for a shell vertex.
+  EXPECT_FALSE(searcher.SearchWithMinK(V(5), 3).found);
+}
+
+TEST(CommunitySearchTest, InvalidAndIsolatedQueries) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}});
+  const CommunitySearcher searcher(g, Metric::kAverageDegree);
+  EXPECT_FALSE(searcher.Search(99).found);
+  EXPECT_FALSE(searcher.Search(3).found);  // isolated
+  EXPECT_TRUE(searcher.Search(0).found);
+}
+
+TEST(CommunitySearchTest, ResultAlwaysContainsQueryAndIsACore) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    if (graph.NumEdges() == 0) continue;
+    const CommunitySearcher searcher(graph, Metric::kInternalDensity);
+    for (VertexId q = 0; q < graph.NumVertices(); q += 11) {
+      const CommunitySearchResult result = searcher.Search(q);
+      if (!result.found) {
+        EXPECT_EQ(searcher.cores().coreness[q], 0u) << name;
+        continue;
+      }
+      EXPECT_TRUE(std::binary_search(result.members.begin(),
+                                     result.members.end(), q))
+          << name;
+      // Every member musters >= k neighbors inside the community.
+      std::vector<bool> in(graph.NumVertices(), false);
+      for (const VertexId v : result.members) in[v] = true;
+      for (const VertexId v : result.members) {
+        VertexId inside = 0;
+        for (const VertexId u : graph.Neighbors(v)) inside += in[u] ? 1u : 0u;
+        EXPECT_GE(inside, result.k) << name << " q=" << q << " v=" << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,153 @@
+#include "corekit/apps/core_clustering.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/naive_oracle.h"
+#include "corekit/gen/lfr_like.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(PartitionModularityTest, SingleClusterIsZero) {
+  const Graph g = corekit::testing::Fig2Graph();
+  EXPECT_DOUBLE_EQ(
+      PartitionModularity(g, std::vector<VertexId>(12, 0), 1), 0.0);
+}
+
+TEST(PartitionModularityTest, MatchesTwoBlockMetric) {
+  // Splitting Fig2 into {3-core set, rest} must reproduce the two-block
+  // modularity the Metric::kModularity path computes.
+  const Graph g = corekit::testing::Fig2Graph();
+  std::vector<VertexId> cluster(12, 1);
+  std::vector<bool> mask(12, false);
+  for (const int pid : {1, 2, 3, 4, 9, 10, 11, 12}) {
+    cluster[corekit::testing::V(pid)] = 0;
+    mask[corekit::testing::V(pid)] = true;
+  }
+  const PrimaryValues pv = NaivePrimaryValues(g, mask);
+  const GraphGlobals globals{g.NumVertices(), g.NumEdges()};
+  EXPECT_NEAR(PartitionModularity(g, cluster, 2),
+              EvaluateMetric(Metric::kModularity, pv, globals), 1e-12);
+}
+
+TEST(PartitionModularityTest, KnownTwoTriangleValue) {
+  // Two triangles joined by one edge; the natural split has
+  // Q = 2*(3/7 - (7/14)^2) = 0.357142...
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 3);
+  builder.AddEdge(0, 3);
+  const Graph g = builder.Build();
+  const std::vector<VertexId> cluster{0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(PartitionModularity(g, cluster, 2),
+              2.0 * (3.0 / 7.0 - 0.25), 1e-12);
+}
+
+TEST(CoreClusteringTest, EveryVertexAssignedAndLabelsDense) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    if (graph.NumVertices() == 0) continue;
+    const CoreClustering clustering = ClusterByCores(graph);
+    std::vector<bool> used(clustering.num_clusters, false);
+    for (const VertexId c : clustering.cluster) {
+      ASSERT_LT(c, clustering.num_clusters) << name;
+      used[c] = true;
+    }
+    for (VertexId c = 0; c < clustering.num_clusters; ++c) {
+      EXPECT_TRUE(used[c]) << name << " label " << c;
+    }
+  }
+}
+
+TEST(CoreClusteringTest, Deterministic) {
+  const Graph g = GenerateBarabasiAlbert(300, 3, 4);
+  const CoreClustering a = ClusterByCores(g);
+  const CoreClustering b = ClusterByCores(g);
+  EXPECT_EQ(a.cluster, b.cluster);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(CoreClusteringTest, Fig2SeparatesTheTwoCliqueCommunities) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreClustering clustering = ClusterByCores(g);
+  using corekit::testing::V;
+  EXPECT_GE(clustering.num_clusters, 2u);
+  // Each K4 holds together...
+  EXPECT_EQ(clustering.cluster[V(1)], clustering.cluster[V(2)]);
+  EXPECT_EQ(clustering.cluster[V(1)], clustering.cluster[V(4)]);
+  EXPECT_EQ(clustering.cluster[V(9)], clustering.cluster[V(10)]);
+  EXPECT_EQ(clustering.cluster[V(9)], clustering.cluster[V(12)]);
+  // ...and the two K4s are separated.
+  EXPECT_NE(clustering.cluster[V(1)], clustering.cluster[V(9)]);
+  EXPECT_GT(clustering.modularity, 0.2);
+}
+
+TEST(CoreClusteringTest, DisconnectedComponentsNeverMerge) {
+  GraphBuilder builder(7);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) builder.AddEdge(u, v);
+  }
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 6);
+  const Graph g = builder.Build();
+  const CoreClustering clustering = ClusterByCores(g);
+  EXPECT_NE(clustering.cluster[0], clustering.cluster[4]);
+  EXPECT_EQ(clustering.cluster[0], clustering.cluster[3]);
+}
+
+TEST(CoreClusteringTest, IsolatedVerticesKeepOwnCluster) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}});
+  const CoreClustering clustering = ClusterByCores(g);
+  EXPECT_NE(clustering.cluster[2], clustering.cluster[3]);
+  EXPECT_NE(clustering.cluster[2], clustering.cluster[0]);
+}
+
+TEST(CoreClusteringTest, RecoversPlantedCommunitiesOnLfr) {
+  LfrLikeParams params;
+  params.num_vertices = 1200;
+  params.mu = 0.08;
+  params.seed = 21;
+  const LfrLikeResult lfr = GenerateLfrLike(params);
+  const CoreClustering clustering = ClusterByCores(lfr.graph);
+
+  // Modularity of the produced clustering should be solidly positive on
+  // a strongly modular graph.
+  EXPECT_GT(clustering.modularity, 0.3);
+
+  // And clusters should align with planted communities: pairs of
+  // adjacent vertices agree on same-cluster vs same-community.
+  EdgeId agree = 0;
+  EdgeId total = 0;
+  for (const auto& [u, v] : lfr.graph.ToEdgeList()) {
+    ++total;
+    const bool same_cluster =
+        clustering.cluster[u] == clustering.cluster[v];
+    const bool same_community = lfr.community[u] == lfr.community[v];
+    agree += same_cluster == same_community ? 1u : 0u;
+  }
+  EXPECT_GT(static_cast<double>(agree), 0.7 * static_cast<double>(total));
+}
+
+TEST(CoreClusteringTest, ModularityFieldMatchesRecomputation) {
+  const Graph g = GenerateWattsStrogatz(300, 4, 0.1, 5);
+  const CoreClustering clustering = ClusterByCores(g);
+  EXPECT_DOUBLE_EQ(clustering.modularity,
+                   PartitionModularity(g, clustering.cluster,
+                                       clustering.num_clusters));
+}
+
+TEST(CoreClusteringTest, RoundCapRespected) {
+  const Graph g = GenerateErdosRenyi(200, 600, 3);
+  const CoreClustering clustering = ClusterByCores(g, 2);
+  EXPECT_LE(clustering.rounds, 2u);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,103 @@
+#include "corekit/apps/core_resilience.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/gen/generators.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(CoreResilienceTest, EmptyGraph) {
+  const ResilienceCurve curve =
+      ComputeResilienceCurve(Graph(), RemovalStrategy::kRandom, 4);
+  EXPECT_TRUE(curve.points.empty());
+}
+
+TEST(CoreResilienceTest, CurveShapeBasics) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const ResilienceCurve curve =
+      ComputeResilienceCurve(g, RemovalStrategy::kRandom, 4, 2, 7);
+  ASSERT_EQ(curve.points.size(), 5u);  // intact + 4 batches
+  // Intact point: full graph statistics.
+  EXPECT_DOUBLE_EQ(curve.points.front().removed_fraction, 0.0);
+  EXPECT_EQ(curve.points.front().kmax, 3u);
+  EXPECT_EQ(curve.points.front().inner_core_size, 8u);
+  EXPECT_EQ(curve.points.front().reference_core_size, 12u);
+  EXPECT_EQ(curve.points.front().largest_component, 12u);
+  // Final point: everything removed.
+  EXPECT_DOUBLE_EQ(curve.points.back().removed_fraction, 1.0);
+  EXPECT_EQ(curve.points.back().largest_component, 0u);
+  // Removed fraction is strictly increasing.
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GT(curve.points[i].removed_fraction,
+              curve.points[i - 1].removed_fraction);
+  }
+}
+
+TEST(CoreResilienceTest, ReferenceKDefaultsToHalfKmax) {
+  const Graph g = GenerateOnion({2000, 8, 32, 3});
+  const ResilienceCurve curve =
+      ComputeResilienceCurve(g, RemovalStrategy::kRandom, 2);
+  EXPECT_GE(curve.reference_k, 16u);
+}
+
+TEST(CoreResilienceTest, StrategyNames) {
+  EXPECT_STREQ(RemovalStrategyName(RemovalStrategy::kRandom), "random");
+  EXPECT_STREQ(RemovalStrategyName(RemovalStrategy::kHighestDegreeFirst),
+               "degree-targeted");
+  EXPECT_STREQ(RemovalStrategyName(RemovalStrategy::kHighestCorenessFirst),
+               "coreness-targeted");
+}
+
+TEST(CoreResilienceTest, TargetedAttackCollapsesInnerCoreFaster) {
+  // The [44] effect: removing top-coreness vertices guts the inner core
+  // at small removal fractions, while random removal degrades gradually.
+  OnionParams params;
+  params.num_vertices = 3000;
+  params.num_layers = 10;
+  params.target_kmax = 30;
+  params.seed = 5;
+  const Graph g = GenerateOnion(params);
+
+  const ResilienceCurve random =
+      ComputeResilienceCurve(g, RemovalStrategy::kRandom, 10, 15, 11);
+  const ResilienceCurve targeted = ComputeResilienceCurve(
+      g, RemovalStrategy::kHighestCorenessFirst, 10, 15, 11);
+  ASSERT_EQ(random.points.size(), targeted.points.size());
+
+  // After removing 20% of vertices (point index 2), the targeted attack
+  // must have destroyed far more of the reference core.
+  const auto& random_point = random.points[2];
+  const auto& targeted_point = targeted.points[2];
+  EXPECT_LT(targeted_point.reference_core_size,
+            random_point.reference_core_size / 2 + 1);
+  EXPECT_LE(targeted_point.kmax, random_point.kmax);
+}
+
+TEST(CoreResilienceTest, RandomCurveIsDeterministicPerSeed) {
+  const Graph g = GenerateErdosRenyi(300, 900, 2);
+  const ResilienceCurve a =
+      ComputeResilienceCurve(g, RemovalStrategy::kRandom, 5, 0, 42);
+  const ResilienceCurve b =
+      ComputeResilienceCurve(g, RemovalStrategy::kRandom, 5, 0, 42);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].kmax, b.points[i].kmax);
+    EXPECT_EQ(a.points[i].largest_component, b.points[i].largest_component);
+  }
+}
+
+TEST(CoreResilienceTest, KmaxNeverIncreasesAlongDegreeTargetedCurve) {
+  // Removing vertices can only shrink cores; kmax is non-increasing when
+  // the highest-degree vertices go first.
+  const Graph g = GenerateBarabasiAlbert(800, 4, 9);
+  const ResilienceCurve curve = ComputeResilienceCurve(
+      g, RemovalStrategy::kHighestDegreeFirst, 8);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_LE(curve.points[i].kmax, curve.points[i - 1].kmax);
+  }
+}
+
+}  // namespace
+}  // namespace corekit

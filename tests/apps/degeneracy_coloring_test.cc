@@ -1,0 +1,81 @@
+#include "corekit/apps/degeneracy_coloring.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+GraphColoring ColorOf(const Graph& g) {
+  return ColorBySmallestLast(g, ComputeCoreDecomposition(g));
+}
+
+TEST(DegeneracyColoringTest, EmptyAndEdgeless) {
+  EXPECT_EQ(ColorOf(Graph()).num_colors, 0u);
+  const GraphColoring coloring = ColorOf(GraphBuilder::FromEdges(4, {}));
+  EXPECT_EQ(coloring.num_colors, 1u);
+  for (const VertexId c : coloring.color) EXPECT_EQ(c, 0u);
+}
+
+TEST(DegeneracyColoringTest, CliqueNeedsSizeColors) {
+  GraphBuilder builder(6);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) builder.AddEdge(u, v);
+  }
+  const Graph g = builder.Build();
+  const GraphColoring coloring = ColorOf(g);
+  EXPECT_EQ(coloring.num_colors, 6u);
+  EXPECT_TRUE(IsProperColoring(g, coloring.color));
+}
+
+TEST(DegeneracyColoringTest, BipartiteGetsTwoColors) {
+  // Even cycle: degeneracy 2 bounds colors at 3, but smallest-last on a
+  // cycle achieves the optimum 2... or 3 depending on order; assert the
+  // guarantee, not the optimum.
+  const Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  const GraphColoring coloring = ColorOf(g);
+  EXPECT_TRUE(IsProperColoring(g, coloring.color));
+  EXPECT_LE(coloring.num_colors, 3u);  // kmax + 1
+}
+
+TEST(DegeneracyColoringTest, StarBeatsDeltaPlusOne) {
+  // A star has Δ = n-1 but degeneracy 1: smallest-last uses 2 colors.
+  GraphBuilder builder(50);
+  for (VertexId leaf = 1; leaf < 50; ++leaf) builder.AddEdge(0, leaf);
+  const Graph g = builder.Build();
+  const GraphColoring coloring = ColorOf(g);
+  EXPECT_EQ(coloring.num_colors, 2u);
+  EXPECT_TRUE(IsProperColoring(g, coloring.color));
+}
+
+TEST(DegeneracyColoringTest, Fig2UsesAtMostFourColors) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const GraphColoring coloring = ColorOf(g);
+  EXPECT_TRUE(IsProperColoring(g, coloring.color));
+  EXPECT_LE(coloring.num_colors, 4u);  // kmax = 3
+  EXPECT_GE(coloring.num_colors, 4u);  // contains K4
+}
+
+TEST(DegeneracyColoringTest, ZooSatisfiesDegeneracyBound) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    const GraphColoring coloring = ColorBySmallestLast(graph, cores);
+    EXPECT_TRUE(IsProperColoring(graph, coloring.color)) << name;
+    if (graph.NumVertices() > 0) {
+      EXPECT_LE(coloring.num_colors, cores.kmax + 1) << name;
+    }
+  }
+}
+
+TEST(IsProperColoringTest, DetectsMonochromaticEdge) {
+  const Graph g = GraphBuilder::FromEdges(2, {{0, 1}});
+  EXPECT_FALSE(IsProperColoring(g, {0, 0}));
+  EXPECT_TRUE(IsProperColoring(g, {0, 1}));
+}
+
+}  // namespace
+}  // namespace corekit

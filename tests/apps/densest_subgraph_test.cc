@@ -1,0 +1,114 @@
+#include "corekit/apps/densest_subgraph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+
+TEST(InducedAverageDegreeTest, Basics) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  EXPECT_DOUBLE_EQ(InducedAverageDegree(g, {0, 1, 2}), 2.0);  // triangle
+  EXPECT_DOUBLE_EQ(InducedAverageDegree(g, {0, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(InducedAverageDegree(g, {}), 0.0);
+}
+
+TEST(ExactDensestTest, CliquePlusPendant) {
+  // K4 with a pendant: densest is the K4 with average degree 3.
+  const Graph g = GraphBuilder::FromEdges(
+      5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}});
+  const DensestSubgraphResult exact = ExactDensestSubgraph(g);
+  EXPECT_DOUBLE_EQ(exact.average_degree, 3.0);
+  EXPECT_EQ(exact.vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(ExactDensestTest, WholeGraphWhenUniform) {
+  // A cycle: every proper subgraph is sparser than the full cycle.
+  const Graph g = GraphBuilder::FromEdges(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  const DensestSubgraphResult exact = ExactDensestSubgraph(g);
+  EXPECT_DOUBLE_EQ(exact.average_degree, 2.0);
+  EXPECT_EQ(exact.vertices.size(), 5u);
+}
+
+TEST(ExactDensestTest, EdgelessGraph) {
+  const Graph g = GraphBuilder::FromEdges(3, {});
+  const DensestSubgraphResult exact = ExactDensestSubgraph(g);
+  EXPECT_DOUBLE_EQ(exact.average_degree, 0.0);
+}
+
+TEST(ExactDensestTest, PrefersDenserOfTwoBlocks) {
+  // K5 (avg degree 4) and K3 (avg degree 2) disconnected.
+  GraphBuilder builder(8);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) builder.AddEdge(u, v);
+  }
+  builder.AddEdge(5, 6);
+  builder.AddEdge(6, 7);
+  builder.AddEdge(7, 5);
+  const DensestSubgraphResult exact = ExactDensestSubgraph(builder.Build());
+  EXPECT_DOUBLE_EQ(exact.average_degree, 4.0);
+  EXPECT_EQ(exact.vertices, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(OptDTest, Fig2ReturnsWholeGraph) {
+  // Average degrees: K4 cores 3, whole-graph 2-core ~3.17.
+  const DensestSubgraphResult result = OptDDensestSubgraph(Fig2Graph());
+  EXPECT_NEAR(result.average_degree, 2.0 * 19 / 12, 1e-12);
+  EXPECT_EQ(result.vertices.size(), 12u);
+}
+
+TEST(OptDTest, ReportedDensityMatchesReturnedVertices) {
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    if (graph.NumVertices() == 0) continue;
+    const DensestSubgraphResult result = OptDDensestSubgraph(graph);
+    EXPECT_NEAR(result.average_degree,
+                InducedAverageDegree(graph, result.vertices), 1e-9)
+        << name;
+  }
+}
+
+TEST(CoreAppTest, ReturnsKmaxCoreSet) {
+  const DensestSubgraphResult result = CoreAppDensestSubgraph(Fig2Graph());
+  EXPECT_EQ(result.vertices.size(), 8u);  // the two K4s
+  EXPECT_DOUBLE_EQ(result.average_degree, 3.0);
+}
+
+// Table VIII's headline shape: Opt-D's density is at least CoreApp's, and
+// both are within a factor 2 of the exact optimum.
+class DensestZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(DensestZooTest, OptDDominatesCoreAppAndIsHalfApprox) {
+  const Graph& graph = GetParam().graph;
+  if (graph.NumVertices() == 0 || graph.NumEdges() == 0) return;
+  const DensestSubgraphResult opt_d = OptDDensestSubgraph(graph);
+  const DensestSubgraphResult core_app = CoreAppDensestSubgraph(graph);
+  const DensestSubgraphResult exact = ExactDensestSubgraph(graph);
+
+  EXPECT_GE(opt_d.average_degree, core_app.average_degree - 1e-9)
+      << GetParam().name;
+  EXPECT_LE(opt_d.average_degree, exact.average_degree + 1e-9)
+      << GetParam().name;
+  EXPECT_GE(opt_d.average_degree, exact.average_degree / 2.0 - 1e-9)
+      << GetParam().name;
+  EXPECT_GE(core_app.average_degree, exact.average_degree / 2.0 - 1e-9)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, DensestZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace corekit

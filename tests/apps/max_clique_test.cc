@@ -1,0 +1,122 @@
+#include "corekit/apps/max_clique.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/random.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+// Exponential brute force over all vertex subsets (n <= 20), used as the
+// oracle.
+std::size_t BruteForceMaxCliqueSize(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::size_t best = 0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> subset;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) subset.push_back(v);
+    }
+    if (subset.size() <= best) continue;
+    if (IsClique(graph, subset)) best = subset.size();
+  }
+  return best;
+}
+
+TEST(MaxCliqueTest, EmptyGraph) {
+  EXPECT_TRUE(FindMaximumClique(Graph()).empty());
+}
+
+TEST(MaxCliqueTest, EdgelessGraphGivesSingleVertex) {
+  const auto clique = FindMaximumClique(GraphBuilder::FromEdges(4, {}));
+  EXPECT_EQ(clique.size(), 1u);
+}
+
+TEST(MaxCliqueTest, TriangleInPath) {
+  const Graph g =
+      GraphBuilder::FromEdges(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+  const auto clique = FindMaximumClique(g);
+  EXPECT_EQ(clique, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(MaxCliqueTest, CompleteGraph) {
+  GraphBuilder builder(8);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) builder.AddEdge(u, v);
+  }
+  const auto clique = FindMaximumClique(builder.Build());
+  EXPECT_EQ(clique.size(), 8u);
+}
+
+TEST(MaxCliqueTest, Fig2MaxCliqueIsK4) {
+  const auto clique = FindMaximumClique(corekit::testing::Fig2Graph());
+  EXPECT_EQ(clique.size(), 4u);
+  EXPECT_TRUE(IsClique(corekit::testing::Fig2Graph(), clique));
+}
+
+TEST(MaxCliqueTest, BipartiteGraphHasCliqueTwo) {
+  // K3,3 has no triangle.
+  GraphBuilder builder(6);
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 3; v < 6; ++v) builder.AddEdge(u, v);
+  }
+  EXPECT_EQ(FindMaximumClique(builder.Build()).size(), 2u);
+}
+
+TEST(MaxCliqueTest, PlantedCliqueFound) {
+  // Sparse random graph with a hidden K7 planted on random vertices.
+  Rng rng(99);
+  const VertexId n = 60;
+  GraphBuilder builder(n);
+  for (int i = 0; i < 150; ++i) {
+    builder.AddEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                    static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  rng.Shuffle(ids);
+  std::vector<VertexId> planted(ids.begin(), ids.begin() + 7);
+  for (std::size_t i = 0; i < planted.size(); ++i) {
+    for (std::size_t j = i + 1; j < planted.size(); ++j) {
+      builder.AddEdge(planted[i], planted[j]);
+    }
+  }
+  const Graph g = builder.Build();
+  const auto clique = FindMaximumClique(g);
+  EXPECT_GE(clique.size(), 7u);
+  EXPECT_TRUE(IsClique(g, clique));
+}
+
+TEST(MaxCliqueTest, MatchesBruteForceOnRandomSmallGraphs) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId n = 8 + static_cast<VertexId>(rng.NextBounded(9));  // 8-16
+    GraphBuilder builder(n);
+    const double p = 0.2 + rng.NextDouble() * 0.5;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (rng.NextBool(p)) builder.AddEdge(u, v);
+      }
+    }
+    const Graph g = builder.Build();
+    const auto clique = FindMaximumClique(g);
+    EXPECT_TRUE(IsClique(g, clique)) << "trial " << trial;
+    EXPECT_EQ(clique.size(), BruteForceMaxCliqueSize(g)) << "trial " << trial;
+  }
+}
+
+TEST(IsCliqueTest, Basics) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(IsClique(g, {}));
+  EXPECT_TRUE(IsClique(g, {3}));
+  EXPECT_TRUE(IsClique(g, {0, 1, 2}));
+  EXPECT_FALSE(IsClique(g, {0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace corekit

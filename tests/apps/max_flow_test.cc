@@ -1,0 +1,82 @@
+#include "corekit/apps/max_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace corekit {
+namespace {
+
+TEST(MaxFlowTest, SingleArc) {
+  MaxFlowNetwork net(2);
+  net.AddArc(0, 1, 7);
+  EXPECT_EQ(net.Solve(0, 1), 7);
+}
+
+TEST(MaxFlowTest, SeriesArcsBottleneck) {
+  MaxFlowNetwork net(3);
+  net.AddArc(0, 1, 10);
+  net.AddArc(1, 2, 4);
+  EXPECT_EQ(net.Solve(0, 2), 4);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlowNetwork net(4);
+  net.AddArc(0, 1, 3);
+  net.AddArc(1, 3, 3);
+  net.AddArc(0, 2, 5);
+  net.AddArc(2, 3, 5);
+  EXPECT_EQ(net.Solve(0, 3), 8);
+}
+
+TEST(MaxFlowTest, DisconnectedSinkGivesZero) {
+  MaxFlowNetwork net(3);
+  net.AddArc(0, 1, 5);
+  EXPECT_EQ(net.Solve(0, 2), 0);
+}
+
+TEST(MaxFlowTest, ClassicCLRSNetwork) {
+  // The textbook network with max flow 23.
+  MaxFlowNetwork net(6);
+  net.AddArc(0, 1, 16);
+  net.AddArc(0, 2, 13);
+  net.AddArc(1, 2, 10);
+  net.AddArc(2, 1, 4);
+  net.AddArc(1, 3, 12);
+  net.AddArc(3, 2, 9);
+  net.AddArc(2, 4, 14);
+  net.AddArc(4, 3, 7);
+  net.AddArc(3, 5, 20);
+  net.AddArc(4, 5, 4);
+  EXPECT_EQ(net.Solve(0, 5), 23);
+}
+
+TEST(MaxFlowTest, RequiresAugmentingThroughResidual) {
+  // Flow must cancel along the cross arc to reach the optimum of 2.
+  MaxFlowNetwork net(4);
+  net.AddArc(0, 1, 1);
+  net.AddArc(0, 2, 1);
+  net.AddArc(1, 2, 1);
+  net.AddArc(1, 3, 1);
+  net.AddArc(2, 3, 1);
+  EXPECT_EQ(net.Solve(0, 3), 2);
+}
+
+TEST(MaxFlowTest, MinCutSidesPartitionNetwork) {
+  MaxFlowNetwork net(4);
+  net.AddArc(0, 1, 100);
+  net.AddArc(1, 2, 1);  // the bottleneck
+  net.AddArc(2, 3, 100);
+  EXPECT_EQ(net.Solve(0, 3), 1);
+  EXPECT_TRUE(net.InSourceSide(0));
+  EXPECT_TRUE(net.InSourceSide(1));
+  EXPECT_FALSE(net.InSourceSide(2));
+  EXPECT_FALSE(net.InSourceSide(3));
+}
+
+TEST(MaxFlowTest, ZeroCapacityArcCarriesNothing) {
+  MaxFlowNetwork net(2);
+  net.AddArc(0, 1, 0);
+  EXPECT_EQ(net.Solve(0, 1), 0);
+}
+
+}  // namespace
+}  // namespace corekit

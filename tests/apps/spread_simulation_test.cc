@@ -1,0 +1,113 @@
+#include "corekit/apps/spread_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(SpreadSimulationTest, ZeroProbabilityInfectsOnlySeeds) {
+  const Graph g = corekit::testing::Fig2Graph();
+  SirParams params;
+  params.infect_prob = 0.0;
+  params.trials = 5;
+  EXPECT_DOUBLE_EQ(ExpectedOutbreakSize(g, {0, 3}, params), 2.0);
+}
+
+TEST(SpreadSimulationTest, CertainTransmissionCoversComponent) {
+  // Two components: outbreak from one covers exactly that component.
+  const Graph g =
+      GraphBuilder::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  SirParams params;
+  params.infect_prob = 1.0;
+  params.trials = 3;
+  EXPECT_DOUBLE_EQ(ExpectedOutbreakSize(g, {0}, params), 3.0);
+  EXPECT_DOUBLE_EQ(ExpectedOutbreakSize(g, {3}, params), 3.0);
+  EXPECT_DOUBLE_EQ(ExpectedOutbreakSize(g, {0, 3}, params), 6.0);
+}
+
+TEST(SpreadSimulationTest, DuplicateSeedsCountedOnce) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}});
+  SirParams params;
+  params.infect_prob = 0.0;
+  EXPECT_DOUBLE_EQ(ExpectedOutbreakSize(g, {0, 0, 0}, params), 1.0);
+}
+
+TEST(SpreadSimulationTest, DeterministicGivenSeed) {
+  const Graph g = GenerateBarabasiAlbert(200, 3, 4);
+  SirParams params;
+  params.infect_prob = 0.2;
+  params.trials = 20;
+  params.seed = 99;
+  EXPECT_DOUBLE_EQ(ExpectedOutbreakSize(g, {0}, params),
+                   ExpectedOutbreakSize(g, {0}, params));
+}
+
+TEST(SpreadSimulationTest, MaxStepsCapsCascade) {
+  // A long path with certain transmission: capping steps truncates it.
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < 50; ++v) edges.emplace_back(v, v + 1);
+  const Graph path = GraphBuilder::FromEdges(50, edges);
+  SirParams params;
+  params.infect_prob = 1.0;
+  params.trials = 1;
+  params.max_steps = 5;
+  // Seed + 5 steps of one-hop growth = 6 infected.
+  EXPECT_DOUBLE_EQ(ExpectedOutbreakSize(path, {0}, params), 6.0);
+}
+
+TEST(SpreadSimulationTest, HigherBetaSpreadsAtLeastAsFarOnAverage) {
+  const Graph g = GenerateWattsStrogatz(300, 4, 0.1, 6);
+  SirParams low;
+  low.infect_prob = 0.05;
+  low.trials = 200;
+  SirParams high = low;
+  high.infect_prob = 0.4;
+  EXPECT_LT(ExpectedOutbreakSize(g, {0}, low),
+            ExpectedOutbreakSize(g, {0}, high));
+}
+
+TEST(SeedSelectionTest, TopDegree) {
+  // Star plus pendant chain: center has max degree.
+  const Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {4, 5}});
+  const auto top = TopDegreeVertices(g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0u);  // degree 4
+  EXPECT_EQ(top[1], 4u);  // degree 2
+}
+
+TEST(SeedSelectionTest, TopCorenessDiffersFromTopDegree) {
+  // A high-degree star center has coreness 1; a K4 member has coreness 3.
+  GraphBuilder builder(12);
+  for (VertexId leaf = 1; leaf <= 7; ++leaf) builder.AddEdge(0, leaf);
+  for (VertexId u = 8; u < 12; ++u) {
+    for (VertexId v = u + 1; v < 12; ++v) builder.AddEdge(u, v);
+  }
+  const Graph g = builder.Build();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const auto by_degree = TopDegreeVertices(g, 1);
+  const auto by_coreness = TopCorenessVertices(g, cores, 1);
+  EXPECT_EQ(by_degree[0], 0u);
+  EXPECT_EQ(by_coreness[0], 8u);
+}
+
+TEST(SeedSelectionTest, CountClampedToVertexCount) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}});
+  EXPECT_EQ(TopDegreeVertices(g, 100).size(), 3u);
+}
+
+TEST(SpreadSimulationTest, AverageSingleSeedIsMeanOfSeeds) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {2, 3}});
+  SirParams params;
+  params.infect_prob = 1.0;
+  params.trials = 2;
+  // Every single seed infects exactly its 2-vertex component.
+  EXPECT_DOUBLE_EQ(AverageSingleSeedOutbreak(g, {0, 1, 2, 3}, params), 2.0);
+}
+
+}  // namespace
+}  // namespace corekit

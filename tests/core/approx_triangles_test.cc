@@ -1,0 +1,93 @@
+#include "corekit/core/approx_triangles.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/naive_oracle.h"
+#include "corekit/core/triangle_scoring.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(ApproxTrianglesTest, EdgelessGraph) {
+  const ApproxTriangleStats stats =
+      EstimateTriangles(GraphBuilder::FromEdges(4, {}), 100, 1);
+  EXPECT_EQ(stats.triplets, 0u);
+  EXPECT_DOUBLE_EQ(stats.triangles, 0.0);
+}
+
+TEST(ApproxTrianglesTest, CompleteGraphClosesEverything) {
+  GraphBuilder builder(8);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) builder.AddEdge(u, v);
+  }
+  const Graph g = builder.Build();
+  const ApproxTriangleStats stats = EstimateTriangles(g, 500, 2);
+  EXPECT_DOUBLE_EQ(stats.closed_fraction, 1.0);
+  // C(8,3) = 56 triangles, exactly recovered when every wedge closes.
+  EXPECT_DOUBLE_EQ(stats.triangles, 56.0);
+}
+
+TEST(ApproxTrianglesTest, TriangleFreeGraphClosesNothing) {
+  // C6 bipartite cycle.
+  const Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  const ApproxTriangleStats stats = EstimateTriangles(g, 300, 3);
+  EXPECT_DOUBLE_EQ(stats.closed_fraction, 0.0);
+}
+
+TEST(ApproxTrianglesTest, TripletsExact) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const ApproxTriangleStats stats = EstimateTriangles(g, 10, 4);
+  EXPECT_EQ(stats.triplets, CountTriplets(g));  // 45 (Example 5)
+  EXPECT_EQ(stats.triplets, 45u);
+}
+
+TEST(ApproxTrianglesTest, Deterministic) {
+  const Graph g = GenerateBarabasiAlbert(400, 4, 6);
+  const ApproxTriangleStats a = EstimateTriangles(g, 2000, 99);
+  const ApproxTriangleStats b = EstimateTriangles(g, 2000, 99);
+  EXPECT_DOUBLE_EQ(a.triangles, b.triangles);
+}
+
+TEST(ApproxTrianglesTest, EstimateWithinSamplingError) {
+  // Compare against the exact count on a clustered graph; with s samples
+  // the standard error of the closed fraction is sqrt(p(1-p)/s); allow 5
+  // sigma.
+  const Graph g = GenerateWattsStrogatz(2000, 5, 0.1, 13);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const double exact = static_cast<double>(CountTriangles(ordered));
+
+  constexpr std::uint32_t kSamples = 20000;
+  const ApproxTriangleStats stats = EstimateTriangles(g, kSamples, 17);
+  const double p = stats.closed_fraction;
+  const double sigma_fraction = std::sqrt(p * (1 - p) / kSamples);
+  const double sigma_triangles =
+      sigma_fraction * static_cast<double>(stats.triplets) / 3.0;
+  EXPECT_NEAR(stats.triangles, exact, 5 * sigma_triangles + 1.0);
+}
+
+TEST(ApproxTrianglesTest, MoreSamplesTightenTheEstimate) {
+  const Graph g = GenerateBarabasiAlbert(1500, 5, 23);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const double exact = static_cast<double>(CountTriangles(ordered));
+
+  // Average absolute error over several seeds must shrink with samples.
+  auto mean_error = [&](std::uint32_t samples) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      total += std::abs(EstimateTriangles(g, samples, seed).triangles -
+                        exact);
+    }
+    return total / 8.0;
+  };
+  EXPECT_LT(mean_error(20000), mean_error(200));
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,90 @@
+#include "corekit/core/baseline.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/naive_oracle.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+// The baselines (Sections III-A / IV-B) and the optimal algorithms
+// (Algorithms 2/3/5) must agree bit-for-bit on every score — same
+// primaries, same metrics — only their running time differs.
+
+using ZooMetricParam = std::tuple<corekit::testing::NamedGraph, Metric>;
+
+class BaselineAgreementTest : public ::testing::TestWithParam<ZooMetricParam> {
+};
+
+TEST_P(BaselineAgreementTest, CoreSetProfilesIdentical) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+
+  const CoreSetProfile optimal = FindBestCoreSet(ordered, metric);
+  const CoreSetProfile baseline =
+      BaselineFindBestCoreSet(graph, cores, metric);
+
+  ASSERT_EQ(optimal.scores.size(), baseline.scores.size());
+  for (std::size_t k = 0; k < optimal.scores.size(); ++k) {
+    EXPECT_DOUBLE_EQ(optimal.scores[k], baseline.scores[k])
+        << named.name << " " << MetricShortName(metric) << " k=" << k;
+  }
+  EXPECT_EQ(optimal.best_k, baseline.best_k);
+}
+
+TEST_P(BaselineAgreementTest, SingleCoreProfilesIdentical) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+
+  const SingleCoreProfile optimal =
+      FindBestSingleCore(ordered, forest, metric);
+  const SingleCoreProfile baseline =
+      BaselineFindBestSingleCore(graph, cores, forest, metric);
+
+  ASSERT_EQ(optimal.scores.size(), baseline.scores.size());
+  for (std::size_t i = 0; i < optimal.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(optimal.scores[i], baseline.scores[i])
+        << named.name << " " << MetricShortName(metric) << " node=" << i;
+  }
+  EXPECT_EQ(optimal.best_node, baseline.best_node);
+  EXPECT_EQ(optimal.best_k, baseline.best_k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesMetrics, BaselineAgreementTest,
+    ::testing::Combine(::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+                       ::testing::ValuesIn(kAllMetrics)),
+    [](const ::testing::TestParamInfo<ZooMetricParam>& param_info) {
+      return std::get<0>(param_info.param).name + std::string("_") +
+             MetricShortName(std::get<1>(param_info.param));
+    });
+
+TEST(ScratchPrimariesTest, MatchNaiveOnFig2) {
+  const Graph graph = corekit::testing::Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  for (VertexId k = 0; k <= cores.kmax; ++k) {
+    const PrimaryValues scratch =
+        ScratchCoreSetPrimaries(graph, cores, k, /*with_triangles=*/true);
+    const PrimaryValues naive =
+        NaivePrimaryValues(graph, NaiveCoreSetMask(graph, k));
+    EXPECT_EQ(scratch.num_vertices, naive.num_vertices) << k;
+    EXPECT_EQ(scratch.internal_edges_x2, naive.internal_edges_x2) << k;
+    EXPECT_EQ(scratch.boundary_edges, naive.boundary_edges) << k;
+    EXPECT_EQ(scratch.triangles, naive.triangles) << k;
+    EXPECT_EQ(scratch.triplets, naive.triplets) << k;
+  }
+}
+
+}  // namespace
+}  // namespace corekit

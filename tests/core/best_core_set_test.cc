@@ -1,0 +1,193 @@
+#include "corekit/core/best_core_set.h"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/naive_oracle.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+
+class Fig2BestCoreSetTest : public ::testing::Test {
+ protected:
+  Fig2BestCoreSetTest()
+      : graph_(Fig2Graph()),
+        cores_(ComputeCoreDecomposition(graph_)),
+        ordered_(graph_, cores_) {}
+
+  Graph graph_;
+  CoreDecomposition cores_;
+  OrderedGraph ordered_;
+};
+
+TEST_F(Fig2BestCoreSetTest, Example4AverageDegreeProfile) {
+  // Example 4: the 3-core set has in = 12 internal edges and average
+  // degree 3; the 2-core set has in = 19 and average degree ~3.17; the
+  // best k under average degree is 2.
+  const CoreSetProfile profile =
+      FindBestCoreSet(ordered_, Metric::kAverageDegree);
+  ASSERT_EQ(profile.scores.size(), 4u);
+  EXPECT_EQ(profile.primaries[3].InternalEdges(), 12u);
+  EXPECT_EQ(profile.primaries[3].num_vertices, 8u);
+  EXPECT_DOUBLE_EQ(profile.scores[3], 3.0);
+  EXPECT_EQ(profile.primaries[2].InternalEdges(), 19u);
+  EXPECT_EQ(profile.primaries[2].num_vertices, 12u);
+  EXPECT_DOUBLE_EQ(profile.scores[2], 2.0 * 19 / 12);
+  EXPECT_EQ(profile.best_k, 2u);
+  EXPECT_DOUBLE_EQ(profile.best_score, 2.0 * 19 / 12);
+}
+
+TEST_F(Fig2BestCoreSetTest, Example5ClusteringCoefficientProfile) {
+  // Example 5: 3-core set has 8 triangles / 24 triplets (cc = 1); 2-core
+  // set has 10 / 45 (cc = 2/3); the best k is 3.
+  const CoreSetProfile profile =
+      FindBestCoreSet(ordered_, Metric::kClusteringCoefficient);
+  EXPECT_EQ(profile.primaries[3].triangles, 8u);
+  EXPECT_EQ(profile.primaries[3].triplets, 24u);
+  EXPECT_DOUBLE_EQ(profile.scores[3], 1.0);
+  EXPECT_EQ(profile.primaries[2].triangles, 10u);
+  EXPECT_EQ(profile.primaries[2].triplets, 45u);
+  EXPECT_NEAR(profile.scores[2], 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(profile.best_k, 3u);
+}
+
+TEST_F(Fig2BestCoreSetTest, BoundaryEdgesOfThreeCoreSet) {
+  // The three edges v5-v3, v6-v3, v8-v9 leave the 3-core set.
+  const CoreSetProfile profile =
+      FindBestCoreSet(ordered_, Metric::kConductance);
+  EXPECT_EQ(profile.primaries[3].boundary_edges, 3u);
+  EXPECT_EQ(profile.primaries[2].boundary_edges, 0u);
+  EXPECT_EQ(profile.primaries[0].boundary_edges, 0u);
+}
+
+TEST_F(Fig2BestCoreSetTest, ZeroAndOneCoreSetsEqualWholeGraph) {
+  const auto primaries = ComputeCoreSetPrimaries(ordered_, false);
+  EXPECT_EQ(primaries[0].num_vertices, 12u);
+  EXPECT_EQ(primaries[0].InternalEdges(), 19u);
+  EXPECT_EQ(primaries[1].num_vertices, 12u);
+  EXPECT_EQ(primaries[1].InternalEdges(), 19u);
+}
+
+TEST(BestCoreSetTest, ArgmaxPrefersLargestKOnTies) {
+  EXPECT_EQ(ArgmaxLargestK({1.0, 3.0, 3.0, 2.0}), 2u);
+  EXPECT_EQ(ArgmaxLargestK({5.0}), 0u);
+  EXPECT_EQ(ArgmaxLargestK({2.0, 2.0, 2.0}), 2u);
+}
+
+TEST(BestCoreSetTest, CustomMetricCallable) {
+  const Graph g = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  // A bespoke metric: negative size, so the best k-core set is the
+  // smallest one (k = kmax).
+  const CoreSetProfile profile = FindBestCoreSet(
+      ordered,
+      [](const PrimaryValues& pv, const GraphGlobals&) {
+        return -static_cast<double>(pv.num_vertices);
+      },
+      /*needs_triangles=*/false);
+  EXPECT_EQ(profile.best_k, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Differential property suite: for every zoo graph, every metric, every k,
+// the incremental Algorithm 2/3 scores must equal the fully independent
+// naive oracle's scores.
+// ---------------------------------------------------------------------
+
+using ZooMetricParam = std::tuple<corekit::testing::NamedGraph, Metric>;
+
+class BestCoreSetZooTest : public ::testing::TestWithParam<ZooMetricParam> {};
+
+TEST_P(BestCoreSetZooTest, EveryScoreMatchesNaiveOracle) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+  ASSERT_EQ(profile.scores.size(), static_cast<std::size_t>(cores.kmax) + 1);
+  for (VertexId k = 0; k <= cores.kmax; ++k) {
+    const double naive = NaiveCoreSetScore(graph, k, metric);
+    EXPECT_NEAR(profile.scores[k], naive, 1e-9)
+        << named.name << " metric=" << MetricShortName(metric) << " k=" << k;
+  }
+}
+
+TEST_P(BestCoreSetZooTest, BestKAttainsMaximumScore) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+  for (const double score : profile.scores) {
+    EXPECT_LE(score, profile.best_score + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(profile.scores[profile.best_k], profile.best_score);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesMetrics, BestCoreSetZooTest,
+    ::testing::Combine(::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+                       ::testing::ValuesIn(kAllMetrics)),
+    [](const ::testing::TestParamInfo<ZooMetricParam>& param_info) {
+      return std::get<0>(param_info.param).name + std::string("_") +
+             MetricShortName(std::get<1>(param_info.param));
+    });
+
+// Structural invariants of the primary-value profiles that hold for any
+// graph (monotonicity of the containment hierarchy).
+class CoreSetPrimariesZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(CoreSetPrimariesZooTest, MonotoneUnderContainment) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const auto primaries = ComputeCoreSetPrimaries(ordered, true);
+  for (VertexId k = 1; k < primaries.size(); ++k) {
+    EXPECT_LE(primaries[k].num_vertices, primaries[k - 1].num_vertices);
+    EXPECT_LE(primaries[k].internal_edges_x2,
+              primaries[k - 1].internal_edges_x2);
+    EXPECT_LE(primaries[k].triangles, primaries[k - 1].triangles);
+    EXPECT_LE(primaries[k].triplets, primaries[k - 1].triplets);
+  }
+  // C_0 is the whole graph.
+  EXPECT_EQ(primaries[0].num_vertices, graph.NumVertices());
+  EXPECT_EQ(primaries[0].InternalEdges(), graph.NumEdges());
+  EXPECT_EQ(primaries[0].boundary_edges, 0u);
+}
+
+TEST_P(CoreSetPrimariesZooTest, PrimariesMatchNaiveCounts) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const auto primaries = ComputeCoreSetPrimaries(ordered, true);
+  for (VertexId k = 0; k <= cores.kmax; ++k) {
+    const PrimaryValues naive =
+        NaivePrimaryValues(graph, NaiveCoreSetMask(graph, k));
+    EXPECT_EQ(primaries[k].num_vertices, naive.num_vertices) << "k=" << k;
+    EXPECT_EQ(primaries[k].internal_edges_x2, naive.internal_edges_x2)
+        << "k=" << k;
+    EXPECT_EQ(primaries[k].boundary_edges, naive.boundary_edges) << "k=" << k;
+    EXPECT_EQ(primaries[k].triangles, naive.triangles) << "k=" << k;
+    EXPECT_EQ(primaries[k].triplets, naive.triplets) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, CoreSetPrimariesZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace corekit

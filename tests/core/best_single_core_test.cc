@@ -1,0 +1,164 @@
+#include "corekit/core/best_single_core.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/naive_oracle.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+class Fig2SingleCoreTest : public ::testing::Test {
+ protected:
+  Fig2SingleCoreTest()
+      : graph_(Fig2Graph()),
+        cores_(ComputeCoreDecomposition(graph_)),
+        ordered_(graph_, cores_),
+        forest_(graph_, cores_) {}
+
+  Graph graph_;
+  CoreDecomposition cores_;
+  OrderedGraph ordered_;
+  CoreForest forest_;
+};
+
+TEST_F(Fig2SingleCoreTest, Fig4EdgeDecompositionIdentity) {
+  // m(S1) = m(NS1) + m(S2) + m(S3) + 3 boundary edges = 4 + 6 + 6 + 3.
+  const auto primaries =
+      ComputeSingleCorePrimaries(ordered_, forest_, /*with_triangles=*/false);
+  ASSERT_EQ(primaries.size(), 3u);
+  // Nodes 0 and 1 are the K4s, node 2 is the whole-graph 2-core.
+  EXPECT_EQ(primaries[0].InternalEdges(), 6u);
+  EXPECT_EQ(primaries[1].InternalEdges(), 6u);
+  EXPECT_EQ(primaries[0].boundary_edges + primaries[1].boundary_edges, 3u);
+  EXPECT_EQ(primaries[2].InternalEdges(), 19u);
+  EXPECT_EQ(primaries[2].num_vertices, 12u);
+  EXPECT_EQ(primaries[2].boundary_edges, 0u);
+}
+
+TEST_F(Fig2SingleCoreTest, Example1BestSingleCoreByAverageDegree) {
+  // Example 1 of the paper (on its Figure 1, but identical logic): the
+  // best single k-core under average degree is a K4 (average degree 3 vs.
+  // ~3.17 for the whole graph as a 2-core... here 2*19/12 > 3, so the
+  // 2-core wins on Figure 2).  Validate against explicitly computed
+  // scores.
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered_, forest_, Metric::kAverageDegree);
+  ASSERT_EQ(profile.scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile.scores[0], 3.0);  // K4
+  EXPECT_DOUBLE_EQ(profile.scores[1], 3.0);  // K4
+  EXPECT_DOUBLE_EQ(profile.scores[2], 2.0 * 19 / 12);
+  EXPECT_EQ(profile.best_k, 2u);
+  EXPECT_EQ(profile.best_node, 2u);
+}
+
+TEST_F(Fig2SingleCoreTest, ClusteringCoefficientPerCore) {
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered_, forest_, Metric::kClusteringCoefficient);
+  // Each K4: 4 triangles, 12 triplets -> cc 1.
+  EXPECT_EQ(profile.primaries[0].triangles, 4u);
+  EXPECT_EQ(profile.primaries[0].triplets, 12u);
+  EXPECT_DOUBLE_EQ(profile.scores[0], 1.0);
+  // Whole graph: 10 triangles, 45 triplets (Example 5) -> cc 2/3.
+  EXPECT_EQ(profile.primaries[2].triangles, 10u);
+  EXPECT_EQ(profile.primaries[2].triplets, 45u);
+  EXPECT_NEAR(profile.scores[2], 2.0 / 3.0, 1e-12);
+  // Best single core under cc is a 3-core (K4).
+  EXPECT_EQ(profile.best_k, 3u);
+  EXPECT_DOUBLE_EQ(profile.best_score, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Differential suite: every core's primaries must equal the naive values
+// computed on the explicitly materialized core subgraph.
+// ---------------------------------------------------------------------
+
+using ZooMetricParam = std::tuple<corekit::testing::NamedGraph, Metric>;
+
+class SingleCoreZooTest : public ::testing::TestWithParam<ZooMetricParam> {};
+
+TEST_P(SingleCoreZooTest, EveryCoreScoreMatchesNaive) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, metric);
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    // Materialize the core and compute its primaries naively.
+    std::vector<bool> mask(graph.NumVertices(), false);
+    for (const VertexId v : forest.CoreVertices(i)) mask[v] = true;
+    const PrimaryValues naive = NaivePrimaryValues(graph, mask);
+    const double expected = EvaluateMetric(metric, naive, globals);
+    EXPECT_NEAR(profile.scores[i], expected, 1e-9)
+        << named.name << " metric=" << MetricShortName(metric)
+        << " node=" << i << " (k=" << forest.node(i).coreness << ")";
+  }
+}
+
+TEST_P(SingleCoreZooTest, BestNodeAttainsMaximum) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, metric);
+  for (const double score : profile.scores) {
+    EXPECT_LE(score, profile.best_score + 1e-12);
+  }
+  EXPECT_EQ(forest.node(profile.best_node).coreness, profile.best_k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesMetrics, SingleCoreZooTest,
+    ::testing::Combine(::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+                       ::testing::ValuesIn(kAllMetrics)),
+    [](const ::testing::TestParamInfo<ZooMetricParam>& param_info) {
+      return std::get<0>(param_info.param).name + std::string("_") +
+             MetricShortName(std::get<1>(param_info.param));
+    });
+
+class SingleCorePrimariesZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(SingleCorePrimariesZooTest, ExactPrimariesIncludingTriangles) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  const auto primaries = ComputeSingleCorePrimaries(ordered, forest, true);
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    std::vector<bool> mask(graph.NumVertices(), false);
+    for (const VertexId v : forest.CoreVertices(i)) mask[v] = true;
+    const PrimaryValues naive = NaivePrimaryValues(graph, mask);
+    EXPECT_EQ(primaries[i].num_vertices, naive.num_vertices) << i;
+    EXPECT_EQ(primaries[i].internal_edges_x2, naive.internal_edges_x2) << i;
+    EXPECT_EQ(primaries[i].boundary_edges, naive.boundary_edges) << i;
+    EXPECT_EQ(primaries[i].triangles, naive.triangles) << i;
+    EXPECT_EQ(primaries[i].triplets, naive.triplets) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, SingleCorePrimariesZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace corekit

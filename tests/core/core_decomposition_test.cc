@@ -1,0 +1,166 @@
+#include "corekit/core/core_decomposition.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/naive_oracle.h"
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+TEST(CoreDecompositionTest, Fig2CorenessMatchesPaperExample2) {
+  // Example 2 of the paper: coreness of v5, v6, v7, v8 is 2; the other
+  // eight vertices have coreness 3.
+  const CoreDecomposition cores = ComputeCoreDecomposition(Fig2Graph());
+  EXPECT_EQ(cores.kmax, 3u);
+  for (const int pid : {5, 6, 7, 8}) {
+    EXPECT_EQ(cores.coreness[V(pid)], 2u) << "v" << pid;
+  }
+  for (const int pid : {1, 2, 3, 4, 9, 10, 11, 12}) {
+    EXPECT_EQ(cores.coreness[V(pid)], 3u) << "v" << pid;
+  }
+}
+
+TEST(CoreDecompositionTest, EmptyGraph) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(Graph());
+  EXPECT_EQ(cores.kmax, 0u);
+  EXPECT_TRUE(cores.coreness.empty());
+}
+
+TEST(CoreDecompositionTest, EdgelessVerticesHaveCorenessZero) {
+  const CoreDecomposition cores =
+      ComputeCoreDecomposition(GraphBuilder::FromEdges(5, {}));
+  EXPECT_EQ(cores.kmax, 0u);
+  for (const VertexId c : cores.coreness) EXPECT_EQ(c, 0u);
+}
+
+TEST(CoreDecompositionTest, CliqueCoreness) {
+  GraphBuilder builder(7);
+  for (VertexId u = 0; u < 7; ++u) {
+    for (VertexId v = u + 1; v < 7; ++v) builder.AddEdge(u, v);
+  }
+  const CoreDecomposition cores = ComputeCoreDecomposition(builder.Build());
+  EXPECT_EQ(cores.kmax, 6u);
+  for (const VertexId c : cores.coreness) EXPECT_EQ(c, 6u);
+}
+
+TEST(CoreDecompositionTest, PathGraphCorenessOne) {
+  const Graph g = GraphBuilder::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                              {4, 5}});
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  EXPECT_EQ(cores.kmax, 1u);
+  for (const VertexId c : cores.coreness) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreDecompositionTest, ShellSizesFig2) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(Fig2Graph());
+  const auto shells = cores.ShellSizes();
+  ASSERT_EQ(shells.size(), 4u);
+  EXPECT_EQ(shells[0], 0u);
+  EXPECT_EQ(shells[1], 0u);
+  EXPECT_EQ(shells[2], 4u);
+  EXPECT_EQ(shells[3], 8u);
+}
+
+TEST(CoreDecompositionTest, CoreSetSizesAreSuffixSums) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(Fig2Graph());
+  const auto sizes = cores.CoreSetSizes();
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes[0], 12u);
+  EXPECT_EQ(sizes[1], 12u);
+  EXPECT_EQ(sizes[2], 12u);
+  EXPECT_EQ(sizes[3], 8u);
+  EXPECT_EQ(sizes[4], 0u);
+}
+
+TEST(CoreDecompositionTest, CoreSetMask) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(Fig2Graph());
+  const auto mask = CoreSetMask(cores, 3);
+  int count = 0;
+  for (const bool b : mask) count += b ? 1 : 0;
+  EXPECT_EQ(count, 8);
+  EXPECT_FALSE(mask[V(5)]);
+  EXPECT_TRUE(mask[V(1)]);
+}
+
+TEST(CoreDecompositionTest, PeelOrderIsPermutation) {
+  const Graph g = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  std::vector<VertexId> sorted = cores.peel_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(CoreDecompositionTest, PeelOrderIsDegeneracyOrdering) {
+  // In a degeneracy ordering, every vertex has at most kmax neighbors
+  // *later* in the order.
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    std::vector<VertexId> position(graph.NumVertices());
+    for (VertexId i = 0; i < graph.NumVertices(); ++i) {
+      position[cores.peel_order[i]] = i;
+    }
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      VertexId later = 0;
+      for (const VertexId u : graph.Neighbors(v)) {
+        later += position[u] > position[v] ? 1u : 0u;
+      }
+      EXPECT_LE(later, cores.kmax) << name << " vertex " << v;
+      // Stronger: at most coreness(v) later neighbors.
+      EXPECT_LE(later, cores.coreness[v]) << name << " vertex " << v;
+    }
+  }
+}
+
+// Differential property test: the O(m) peeling must agree with the
+// definition-driven oracle on the whole zoo.
+TEST(CoreDecompositionTest, MatchesNaiveOracleOnZoo) {
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    const CoreDecomposition fast = ComputeCoreDecomposition(graph);
+    const std::vector<VertexId> naive = NaiveCoreness(graph);
+    EXPECT_EQ(fast.coreness, naive) << name;
+  }
+}
+
+// k-core definition check: every vertex in the k-core set has >= k
+// neighbors inside the set, and no excluded vertex could be added.
+TEST(CoreDecompositionTest, CoreSetsSatisfyDefinition) {
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    for (VertexId k = 1; k <= cores.kmax; ++k) {
+      const auto mask = CoreSetMask(cores, k);
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        if (!mask[v]) continue;
+        VertexId inside = 0;
+        for (const VertexId u : graph.Neighbors(v)) {
+          inside += mask[u] ? 1u : 0u;
+        }
+        EXPECT_GE(inside, k) << name << " k=" << k << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(CoreDecompositionTest, MaximalityAgainstOracleMask) {
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    for (VertexId k = 1; k <= cores.kmax; ++k) {
+      EXPECT_EQ(CoreSetMask(cores, k), NaiveCoreSetMask(graph, k))
+          << name << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corekit

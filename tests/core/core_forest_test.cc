@@ -1,0 +1,213 @@
+#include "corekit/core/core_forest.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/naive_oracle.h"
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+CoreForest MakeForest(const Graph& graph) {
+  return CoreForest(graph, ComputeCoreDecomposition(graph));
+}
+
+TEST(CoreForestTest, Fig4StructureOfTheExampleGraph) {
+  // Figure 4: one tree with three nodes.  NS1 (coreness 2) holds the
+  // 2-shell {v5, v6, v7, v8}; its two children NS2, NS3 (coreness 3) hold
+  // the two K4s.
+  const Graph g = Fig2Graph();
+  const CoreForest forest = MakeForest(g);
+  ASSERT_EQ(forest.NumNodes(), 3u);
+
+  // Descending coreness order: two coreness-3 nodes first, then the
+  // coreness-2 root.
+  EXPECT_EQ(forest.node(0).coreness, 3u);
+  EXPECT_EQ(forest.node(1).coreness, 3u);
+  EXPECT_EQ(forest.node(2).coreness, 2u);
+  EXPECT_EQ(forest.node(2).parent, CoreForest::kNoNode);
+  EXPECT_EQ(forest.node(0).parent, 2u);
+  EXPECT_EQ(forest.node(1).parent, 2u);
+  ASSERT_EQ(forest.node(2).children.size(), 2u);
+
+  // NS1's own vertices are exactly the 2-shell.
+  std::vector<VertexId> shell = forest.node(2).vertices;
+  std::sort(shell.begin(), shell.end());
+  EXPECT_EQ(shell, (std::vector<VertexId>{V(5), V(6), V(7), V(8)}));
+
+  // The two K4s, in some order.
+  std::vector<VertexId> a = forest.node(0).vertices;
+  std::vector<VertexId> b = forest.node(1).vertices;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const std::vector<VertexId> k4a{V(1), V(2), V(3), V(4)};
+  const std::vector<VertexId> k4b{V(9), V(10), V(11), V(12)};
+  EXPECT_TRUE((a == k4a && b == k4b) || (a == k4b && b == k4a));
+
+  // |S1| = |NS1| + |S2| + |S3| (the size identity stated for Figure 4).
+  EXPECT_EQ(forest.CoreSize(2), 12u);
+  EXPECT_EQ(forest.CoreSize(0), 4u);
+  EXPECT_EQ(forest.CoreSize(1), 4u);
+}
+
+TEST(CoreForestTest, NodeOfVertexPointsToOwnShellNode) {
+  const Graph g = Fig2Graph();
+  const CoreForest forest = MakeForest(g);
+  EXPECT_EQ(forest.NodeOfVertex(V(5)), 2u);
+  EXPECT_EQ(forest.NodeOfVertex(V(1)), forest.NodeOfVertex(V(2)));
+  EXPECT_NE(forest.NodeOfVertex(V(1)), forest.NodeOfVertex(V(9)));
+}
+
+TEST(CoreForestTest, IsolatedVerticesAreCorenessZeroRoots) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}});
+  const CoreForest forest = MakeForest(g);
+  // Nodes: one coreness-1 node {0,1}, and coreness-0 nodes for 2 and 3.
+  ASSERT_EQ(forest.NumNodes(), 3u);
+  EXPECT_EQ(forest.node(0).coreness, 1u);
+  EXPECT_EQ(forest.node(1).coreness, 0u);
+  EXPECT_EQ(forest.node(2).coreness, 0u);
+  EXPECT_EQ(forest.node(0).parent, CoreForest::kNoNode);
+}
+
+TEST(CoreForestTest, EmptyRootIsCompressedAway) {
+  // A triangle: every vertex has coreness 2, so no coreness-0 or -1 node
+  // may exist (Definition 6).
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const CoreForest forest = MakeForest(g);
+  ASSERT_EQ(forest.NumNodes(), 1u);
+  EXPECT_EQ(forest.node(0).coreness, 2u);
+  EXPECT_EQ(forest.node(0).parent, CoreForest::kNoNode);
+  EXPECT_EQ(forest.CoreSize(0), 3u);
+}
+
+TEST(CoreForestTest, SkippedLevelGetsSplicedCorrectly) {
+  // K4 {0,1,2,3} (coreness 3) attached by one edge to a path 4-5 where
+  // 4 also links to the K4: corenesses 3,3,3,3,1,1.  The tree must be a
+  // coreness-1 root holding {4,5} with the K4 node as its child: level 2
+  // is skipped entirely.
+  const Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {0, 4}, {4, 5}});
+  const CoreForest forest = MakeForest(g);
+  ASSERT_EQ(forest.NumNodes(), 2u);
+  EXPECT_EQ(forest.node(0).coreness, 3u);
+  EXPECT_EQ(forest.node(1).coreness, 1u);
+  EXPECT_EQ(forest.node(0).parent, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Property suite against the oracle: for every k, the connected k-cores
+// reconstructed from the forest must equal the naively computed ones.
+// ---------------------------------------------------------------------
+
+class CoreForestZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(CoreForestZooTest, NodesPartitionVerticesByCoreness) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const CoreForest forest(graph, cores);
+  std::vector<int> covered(graph.NumVertices(), 0);
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const auto& node = forest.node(i);
+    EXPECT_FALSE(node.vertices.empty()) << "compressed forest has empty node";
+    for (const VertexId v : node.vertices) {
+      EXPECT_EQ(cores.coreness[v], node.coreness);
+      ++covered[v];
+    }
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_EQ(covered[v], 1) << "vertex " << v;
+  }
+}
+
+TEST_P(CoreForestZooTest, ParentsHaveStrictlyLowerCoreness) {
+  const Graph& graph = GetParam().graph;
+  const CoreForest forest = MakeForest(graph);
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const auto parent = forest.node(i).parent;
+    if (parent == CoreForest::kNoNode) continue;
+    EXPECT_GT(parent, i);  // descending sort => parent later
+    EXPECT_LT(forest.node(parent).coreness, forest.node(i).coreness);
+    // Child lists and parent pointers must agree.
+    const auto& siblings = forest.node(parent).children;
+    EXPECT_NE(std::find(siblings.begin(), siblings.end(), i),
+              siblings.end());
+  }
+}
+
+TEST_P(CoreForestZooTest, ReconstructedCoresMatchNaiveKCores) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const CoreForest forest(graph, cores);
+
+  // Group forest cores by coreness level.
+  std::map<VertexId, std::set<std::vector<VertexId>>> forest_cores;
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    std::vector<VertexId> members = forest.CoreVertices(i);
+    std::sort(members.begin(), members.end());
+    EXPECT_EQ(members.size(), forest.CoreSize(i));
+    forest_cores[forest.node(i).coreness].insert(std::move(members));
+  }
+
+  // Every forest node at level k must be one of the naive k-cores.  (Not
+  // every naive k-core has a node: cores whose k-shell part is empty are
+  // represented by their denser child per Definition 6.)
+  for (const auto& [k, cores_at_k] : forest_cores) {
+    const auto naive = NaiveKCores(graph, k);
+    const std::set<std::vector<VertexId>> naive_set(naive.begin(),
+                                                    naive.end());
+    for (const auto& members : cores_at_k) {
+      EXPECT_TRUE(naive_set.contains(members))
+          << GetParam().name << ": node at k=" << k
+          << " is not a real k-core";
+    }
+  }
+}
+
+TEST_P(CoreForestZooTest, EveryShellBearingCoreHasANode) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const CoreForest forest(graph, cores);
+
+  std::set<std::vector<VertexId>> forest_core_sets;
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    std::vector<VertexId> members = forest.CoreVertices(i);
+    std::sort(members.begin(), members.end());
+    forest_core_sets.insert(std::move(members));
+  }
+
+  for (VertexId k = 0; k <= cores.kmax; ++k) {
+    for (const auto& core : NaiveKCores(graph, k)) {
+      // Definition 6: a node exists iff the core contains a coreness-k
+      // vertex.
+      const bool has_shell_vertex =
+          std::any_of(core.begin(), core.end(), [&](VertexId v) {
+            return cores.coreness[v] == k;
+          });
+      if (has_shell_vertex) {
+        EXPECT_TRUE(forest_core_sets.contains(core))
+            << GetParam().name << ": missing node for a k=" << k << " core";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, CoreForestZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace corekit

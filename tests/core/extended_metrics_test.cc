@@ -1,0 +1,118 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/best_core_set.h"
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/metrics.h"
+#include "corekit/core/naive_oracle.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+PrimaryValues MakeValues(std::uint64_t n, std::uint64_t m, std::uint64_t b) {
+  PrimaryValues pv;
+  pv.num_vertices = n;
+  pv.internal_edges_x2 = 2 * m;
+  pv.boundary_edges = b;
+  return pv;
+}
+
+constexpr GraphGlobals kGlobals{100, 500};
+
+TEST(ExtendedMetricsTest, Separability) {
+  EXPECT_DOUBLE_EQ(
+      EvaluateMetric(Metric::kSeparability, MakeValues(10, 40, 8), kGlobals),
+      5.0);
+  // Perfect separation scores the internal edge count itself.
+  EXPECT_DOUBLE_EQ(
+      EvaluateMetric(Metric::kSeparability, MakeValues(10, 40, 0), kGlobals),
+      40.0);
+}
+
+TEST(ExtendedMetricsTest, ExpansionIsNegatedBoundaryPerVertex) {
+  EXPECT_DOUBLE_EQ(
+      EvaluateMetric(Metric::kExpansion, MakeValues(10, 40, 25), kGlobals),
+      -2.5);
+  EXPECT_DOUBLE_EQ(
+      EvaluateMetric(Metric::kExpansion, MakeValues(0, 0, 0), kGlobals),
+      0.0);
+  // Fewer boundary edges per member must score higher.
+  EXPECT_GT(
+      EvaluateMetric(Metric::kExpansion, MakeValues(10, 40, 5), kGlobals),
+      EvaluateMetric(Metric::kExpansion, MakeValues(10, 40, 25), kGlobals));
+}
+
+TEST(ExtendedMetricsTest, NormalizedAssociation) {
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kNormalizedAssociation,
+                                  MakeValues(10, 30, 10), kGlobals),
+                   0.75);
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kNormalizedAssociation,
+                                  MakeValues(3, 0, 0), kGlobals),
+                   1.0);
+}
+
+TEST(ExtendedMetricsTest, ParseAndNames) {
+  EXPECT_EQ(ParseMetric("sep"), Metric::kSeparability);
+  EXPECT_EQ(ParseMetric("exp"), Metric::kExpansion);
+  EXPECT_EQ(ParseMetric("nassoc"), Metric::kNormalizedAssociation);
+  for (const Metric metric : kExtendedMetrics) {
+    EXPECT_FALSE(MetricNeedsTriangles(metric));
+    EXPECT_EQ(ParseMetric(MetricName(metric)), metric);
+  }
+}
+
+// The extended metrics flow through the same best-k machinery: check the
+// incremental profiles against the naive oracle, exactly like the core
+// six.
+using ZooMetricParam = std::tuple<corekit::testing::NamedGraph, Metric>;
+
+class ExtendedMetricZooTest : public ::testing::TestWithParam<ZooMetricParam> {
+};
+
+TEST_P(ExtendedMetricZooTest, CoreSetScoresMatchNaive) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+  for (VertexId k = 0; k <= cores.kmax; ++k) {
+    EXPECT_NEAR(profile.scores[k], NaiveCoreSetScore(graph, k, metric), 1e-9)
+        << named.name << " " << MetricShortName(metric) << " k=" << k;
+  }
+}
+
+TEST_P(ExtendedMetricZooTest, SingleCoreScoresMatchNaive) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumVertices() == 0) return;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, metric);
+  const GraphGlobals globals{graph.NumVertices(), graph.NumEdges()};
+  for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    std::vector<bool> mask(graph.NumVertices(), false);
+    for (const VertexId v : forest.CoreVertices(i)) mask[v] = true;
+    const double expected =
+        EvaluateMetric(metric, NaivePrimaryValues(graph, mask), globals);
+    EXPECT_NEAR(profile.scores[i], expected, 1e-9)
+        << named.name << " " << MetricShortName(metric) << " node=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesExtended, ExtendedMetricZooTest,
+    ::testing::Combine(::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+                       ::testing::ValuesIn(kExtendedMetrics)),
+    [](const ::testing::TestParamInfo<ZooMetricParam>& param_info) {
+      return std::get<0>(param_info.param).name + std::string("_") +
+             MetricShortName(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,107 @@
+#include "corekit/core/hierarchy_export.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/vertex_ordering.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+
+CoreForest Fig2Forest() {
+  const Graph g = Fig2Graph();
+  return CoreForest(g, ComputeCoreDecomposition(g));
+}
+
+TEST(HierarchyExportTest, Fig2DotContainsAllNodesAndEdges) {
+  const CoreForest forest = Fig2Forest();
+  const std::string dot = CoreForestToDot(forest);
+  EXPECT_NE(dot.find("digraph core_forest"), std::string::npos);
+  // Three nodes: two k=3 cores and the k=2 root.
+  EXPECT_NE(dot.find("n0 [label=\"k=3"), std::string::npos);
+  EXPECT_NE(dot.find("n1 [label=\"k=3"), std::string::npos);
+  EXPECT_NE(dot.find("n2 [label=\"k=2"), std::string::npos);
+  // Parent -> child arrows from the root to both K4 nodes.
+  EXPECT_NE(dot.find("n2 -> n0;"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n1;"), std::string::npos);
+  // Labels carry shell and core sizes.
+  EXPECT_NE(dot.find("shell=4"), std::string::npos);
+  EXPECT_NE(dot.find("core=12"), std::string::npos);
+}
+
+TEST(HierarchyExportTest, ScoresAppearInLabels) {
+  const Graph g = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreForest forest(g, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+  HierarchyDotOptions options;
+  options.scores = profile.scores;
+  const std::string dot = CoreForestToDot(forest, options);
+  EXPECT_NE(dot.find("score=3"), std::string::npos);
+}
+
+TEST(HierarchyExportTest, MinCoreSizeFiltersNodes) {
+  const CoreForest forest = Fig2Forest();
+  HierarchyDotOptions options;
+  options.min_core_size = 5;  // drops both K4 nodes (core size 4)
+  const std::string dot = CoreForestToDot(forest, options);
+  EXPECT_EQ(dot.find("k=3"), std::string::npos);
+  EXPECT_NE(dot.find("k=2"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+TEST(HierarchyExportTest, CustomTitle) {
+  HierarchyDotOptions options;
+  options.title = "my_hierarchy";
+  EXPECT_NE(CoreForestToDot(Fig2Forest(), options).find("digraph my_hierarchy"),
+            std::string::npos);
+}
+
+TEST(HierarchyExportTest, WriteToFile) {
+  const std::string path = ::testing::TempDir() + "/corekit_hierarchy.dot";
+  ASSERT_TRUE(WriteCoreForestDot(Fig2Forest(), path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), CoreForestToDot(Fig2Forest()));
+}
+
+TEST(HierarchyExportDeathTest, ScoreArityMismatchAborts) {
+  HierarchyDotOptions options;
+  options.scores = {1.0};  // forest has 3 nodes
+  EXPECT_DEATH({ CoreForestToDot(Fig2Forest(), options); }, "per forest node");
+}
+
+TEST(HierarchyExportTest, EveryZooForestRendersValidDot) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    const CoreForest forest(graph, ComputeCoreDecomposition(graph));
+    const std::string dot = CoreForestToDot(forest);
+    EXPECT_EQ(dot.find("digraph"), 0u) << name;
+    EXPECT_EQ(dot.back(), '\n') << name;
+    // Every non-root node contributes exactly one arrow.
+    std::size_t arrows = 0;
+    std::size_t roots = 0;
+    for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+      roots += forest.node(i).parent == CoreForest::kNoNode ? 1u : 0u;
+    }
+    std::size_t pos = 0;
+    while ((pos = dot.find("->", pos)) != std::string::npos) {
+      ++arrows;
+      pos += 2;
+    }
+    EXPECT_EQ(arrows + roots, forest.NumNodes()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,122 @@
+#include "corekit/core/hierarchy_index.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/util/random.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+class Fig2IndexTest : public ::testing::Test {
+ protected:
+  Fig2IndexTest()
+      : graph_(Fig2Graph()),
+        cores_(ComputeCoreDecomposition(graph_)),
+        ordered_(graph_, cores_),
+        forest_(graph_, cores_),
+        profile_(FindBestSingleCore(ordered_, forest_,
+                                    Metric::kAverageDegree)),
+        index_(forest_, profile_) {}
+
+  Graph graph_;
+  CoreDecomposition cores_;
+  OrderedGraph ordered_;
+  CoreForest forest_;
+  SingleCoreProfile profile_;
+  CoreHierarchyIndex index_;
+};
+
+TEST_F(Fig2IndexTest, NodeOfResolvesEveryLevel) {
+  // v1 (coreness 3): 3-core is its K4, 2-core (and 1-core) the whole
+  // graph, 4-core nonexistent.
+  EXPECT_EQ(index_.CoreSize(V(1), 3), 4u);
+  EXPECT_EQ(index_.CoreSize(V(1), 2), 12u);
+  EXPECT_EQ(index_.CoreSize(V(1), 1), 12u);
+  EXPECT_EQ(index_.NodeOf(V(1), 4), CoreForest::kNoNode);
+  // v5 (coreness 2): no 3-core.
+  EXPECT_EQ(index_.CoreSize(V(5), 2), 12u);
+  EXPECT_EQ(index_.NodeOf(V(5), 3), CoreForest::kNoNode);
+  EXPECT_EQ(index_.CoreSize(V(5), 3), 0u);
+}
+
+TEST_F(Fig2IndexTest, ScoresMatchProfile) {
+  EXPECT_DOUBLE_EQ(index_.Score(V(1), 3), 3.0);          // K4 average degree
+  EXPECT_NEAR(index_.Score(V(1), 2), 2.0 * 19 / 12, 1e-12);
+  EXPECT_NEAR(index_.Score(V(5), 1), 2.0 * 19 / 12, 1e-12);
+}
+
+TEST_F(Fig2IndexTest, BestKForPersonalizesProblem2) {
+  // For K4 members the whole graph (k=2, ad ~3.17) beats their K4 (3.0).
+  EXPECT_EQ(index_.BestKFor(V(1)), 2u);
+  EXPECT_EQ(index_.BestKFor(V(5)), 2u);
+}
+
+TEST_F(Fig2IndexTest, ScoreOnMissingCoreDies) {
+  EXPECT_DEATH({ index_.Score(V(5), 3); }, "not in any");
+}
+
+TEST(HierarchyIndexTest, DeepChainBinaryLifting) {
+  // An onion gives a long root path; cross-check NodeOf against a linear
+  // parent walk for many (v, k) pairs.
+  OnionParams params;
+  params.num_vertices = 2000;
+  params.num_layers = 12;
+  params.target_kmax = 36;
+  params.seed = 4;
+  const Graph g = GenerateOnion(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreForest forest(g, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+  const CoreHierarchyIndex index(forest, profile);
+
+  Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const auto k = static_cast<VertexId>(1 + rng.NextBounded(cores.kmax));
+    // Linear reference walk.
+    CoreForest::NodeId expected = CoreForest::kNoNode;
+    for (CoreForest::NodeId cur = forest.NodeOfVertex(v);
+         cur != CoreForest::kNoNode; cur = forest.node(cur).parent) {
+      if (forest.node(cur).coreness >= k) expected = cur;
+    }
+    EXPECT_EQ(index.NodeOf(v, k), expected) << "v=" << v << " k=" << k;
+  }
+}
+
+TEST(HierarchyIndexTest, BestKForAgreesWithExhaustiveScan) {
+  const Graph g = GenerateWattsStrogatz(400, 4, 0.15, 6);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreForest forest(g, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, Metric::kInternalDensity);
+  const CoreHierarchyIndex index(forest, profile);
+
+  for (VertexId v = 0; v < g.NumVertices(); v += 7) {
+    if (cores.coreness[v] == 0) {
+      EXPECT_EQ(index.BestKFor(v), 0u);
+      continue;
+    }
+    VertexId expected_k = 0;
+    double expected_score = -1e300;
+    for (VertexId k = 1; k <= cores.coreness[v]; ++k) {
+      const double score = index.Score(v, k);
+      if (score > expected_score ||
+          (score == expected_score && k > expected_k)) {
+        expected_score = score;
+        expected_k = k;
+      }
+    }
+    EXPECT_EQ(index.BestKFor(v), expected_k) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,124 @@
+#include "corekit/core/metric_combination.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/multi_metric.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+CoreSetProfile ProfileFromScores(std::vector<double> scores) {
+  CoreSetProfile profile;
+  profile.scores = std::move(scores);
+  profile.best_k = ArgmaxLargestK(profile.scores);
+  profile.best_score = profile.scores[profile.best_k];
+  return profile;
+}
+
+TEST(MinMaxNormalizeTest, Basics) {
+  EXPECT_EQ(MinMaxNormalize(std::vector<double>{}),
+            std::vector<double>{});
+  EXPECT_EQ(MinMaxNormalize(std::vector<double>{2.0, 4.0, 3.0}),
+            (std::vector<double>{0.0, 1.0, 0.5}));
+  // Constant profiles normalize to zeros (no information).
+  EXPECT_EQ(MinMaxNormalize(std::vector<double>{7.0, 7.0}),
+            (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(CombineWeightedTest, PureWeightRecoversSingleMetric) {
+  const CoreSetProfile a = ProfileFromScores({0.0, 1.0, 3.0, 2.0});
+  const CoreSetProfile b = ProfileFromScores({5.0, 4.0, 0.0, 1.0});
+  const CoreSetProfile profiles[] = {a, b};
+  const double only_a[] = {1.0, 0.0};
+  const CombinedProfile combined = CombineWeighted(profiles, only_a);
+  EXPECT_EQ(combined.best_k, 2u);
+  EXPECT_DOUBLE_EQ(combined.scores[2], 1.0);
+}
+
+TEST(CombineWeightedTest, BalancedWeightsTradeOff) {
+  // Metric a loves k=2, metric b loves k=0; k=3 is a decent compromise.
+  const CoreSetProfile a = ProfileFromScores({0.0, 1.0, 4.0, 3.0});
+  const CoreSetProfile b = ProfileFromScores({4.0, 1.0, 0.0, 3.0});
+  const CoreSetProfile profiles[] = {a, b};
+  const double even[] = {0.5, 0.5};
+  const CombinedProfile combined = CombineWeighted(profiles, even);
+  // k=3 scores (3/4 + 3/4)/2 = 0.75; k=2 and k=0 score 0.5 each.
+  EXPECT_EQ(combined.best_k, 3u);
+  EXPECT_DOUBLE_EQ(combined.best_score, 0.75);
+}
+
+TEST(CombineWeightedDeathTest, BadInputsAbort) {
+  const CoreSetProfile a = ProfileFromScores({1.0, 2.0});
+  const CoreSetProfile profiles[] = {a};
+  const double zero[] = {0.0};
+  EXPECT_DEATH({ CombineWeighted(profiles, zero); }, "Check failed");
+  const CoreSetProfile b = ProfileFromScores({1.0, 2.0, 3.0});
+  const CoreSetProfile mismatched[] = {a, b};
+  const double even[] = {0.5, 0.5};
+  EXPECT_DEATH({ CombineWeighted(mismatched, even); }, "same graph");
+}
+
+TEST(CombineBordaTest, UnanimousRankingWins) {
+  const CoreSetProfile a = ProfileFromScores({1.0, 3.0, 2.0});
+  const CoreSetProfile b = ProfileFromScores({10.0, 30.0, 20.0});
+  const CoreSetProfile profiles[] = {a, b};
+  const CombinedProfile combined = CombineBorda(profiles);
+  EXPECT_EQ(combined.best_k, 1u);
+  EXPECT_DOUBLE_EQ(combined.scores[1], 4.0);  // rank 0 twice: 2 + 2
+  EXPECT_DOUBLE_EQ(combined.scores[2], 2.0);
+  EXPECT_DOUBLE_EQ(combined.scores[0], 0.0);
+}
+
+TEST(CombineBordaTest, TiesShareTheHigherPoints) {
+  const CoreSetProfile a = ProfileFromScores({5.0, 5.0, 1.0});
+  const CoreSetProfile profiles[] = {a};
+  const CombinedProfile combined = CombineBorda(profiles);
+  EXPECT_DOUBLE_EQ(combined.scores[0], 2.0);
+  EXPECT_DOUBLE_EQ(combined.scores[1], 2.0);
+  EXPECT_DOUBLE_EQ(combined.scores[2], 0.0);
+  EXPECT_EQ(combined.best_k, 1u);  // largest k among tied maxima
+}
+
+TEST(MetricCombinationTest, TamesDegenerateMetricsOnFig2) {
+  // The paper's motivation: cr/con alone pick trivial k; combining them
+  // with average degree picks an interior k.
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const Metric metrics[] = {Metric::kAverageDegree, Metric::kConductance};
+  const auto profiles = FindBestCoreSetMulti(ordered, metrics);
+  const double even[] = {0.5, 0.5};
+  const CombinedProfile weighted = CombineWeighted(profiles, even);
+  // ad alone picks 2, con alone picks 2 (score 1 at k<=2)... combined
+  // stays interior and well-defined.
+  EXPECT_LE(weighted.best_k, cores.kmax);
+  EXPECT_GE(weighted.best_score, 0.0);
+  const CombinedProfile borda = CombineBorda(profiles);
+  EXPECT_EQ(borda.scores.size(), weighted.scores.size());
+}
+
+TEST(MetricCombinationTest, CombinationOnRealProfilesIsStable) {
+  // On an onion graph, ad prefers kmax, cr/con prefer tiny k; the Borda
+  // combination lands strictly between the extremes.
+  OnionParams params;
+  params.num_vertices = 3000;
+  params.num_layers = 8;
+  params.target_kmax = 24;
+  params.seed = 2;
+  const Graph g = GenerateOnion(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const Metric metrics[] = {Metric::kAverageDegree, Metric::kCutRatio,
+                            Metric::kConductance};
+  const auto profiles = FindBestCoreSetMulti(ordered, metrics);
+  const CombinedProfile borda = CombineBorda(profiles);
+  const VertexId ad_k = profiles[0].best_k;
+  const VertexId con_k = profiles[2].best_k;
+  EXPECT_GT(ad_k, con_k);
+  EXPECT_GE(borda.best_k, con_k);
+  EXPECT_LE(borda.best_k, ad_k);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,149 @@
+#include "corekit/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace corekit {
+namespace {
+
+PrimaryValues MakeValues(std::uint64_t n, std::uint64_t m, std::uint64_t b,
+                         std::uint64_t tri = 0, std::uint64_t trip = 0,
+                         bool has_tri = false) {
+  PrimaryValues pv;
+  pv.num_vertices = n;
+  pv.internal_edges_x2 = 2 * m;
+  pv.boundary_edges = b;
+  pv.triangles = tri;
+  pv.triplets = trip;
+  pv.has_triangles = has_tri;
+  return pv;
+}
+
+constexpr GraphGlobals kGlobals{100, 500};
+
+TEST(MetricsTest, AverageDegree) {
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kAverageDegree,
+                                  MakeValues(8, 12, 0), kGlobals),
+                   3.0);
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kAverageDegree,
+                                  MakeValues(0, 0, 0), kGlobals),
+                   0.0);
+}
+
+TEST(MetricsTest, InternalDensity) {
+  // K4: 6 edges on 4 vertices -> density 1.
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kInternalDensity,
+                                  MakeValues(4, 6, 0), kGlobals),
+                   1.0);
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kInternalDensity,
+                                  MakeValues(1, 0, 0), kGlobals),
+                   0.0);
+}
+
+TEST(MetricsTest, CutRatio) {
+  // n(S)=10, b=30, outside=90 -> 1 - 30/900.
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kCutRatio,
+                                  MakeValues(10, 0, 30), kGlobals),
+                   1.0 - 30.0 / 900.0);
+  // S = V: no boundary slots -> 1 by convention.
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kCutRatio,
+                                  MakeValues(100, 500, 0), kGlobals),
+                   1.0);
+}
+
+TEST(MetricsTest, Conductance) {
+  // 1 - b / (2m + b) = 1 - 10/(2*20+10) = 0.8.
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kConductance,
+                                  MakeValues(5, 20, 10), kGlobals),
+                   0.8);
+  // Empty volume -> 1.
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kConductance,
+                                  MakeValues(3, 0, 0), kGlobals),
+                   1.0);
+}
+
+TEST(MetricsTest, ModularityTwoBlock) {
+  // S with m(S)=100, b=50, rest m=350 of 500 total.
+  // vol(S) = (200+50)/1000 = 0.25; vol(rest) = (700+50)/1000 = 0.75.
+  // Q = 0.2 - 0.0625 + 0.7 - 0.5625 = 0.275.
+  EXPECT_NEAR(EvaluateMetric(Metric::kModularity,
+                             MakeValues(10, 100, 50), kGlobals),
+              0.275, 1e-12);
+}
+
+TEST(MetricsTest, ModularityOfWholeGraphIsZero) {
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kModularity,
+                                  MakeValues(100, 500, 0), kGlobals),
+                   0.0);
+}
+
+TEST(MetricsTest, ModularityEmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(EvaluateMetric(Metric::kModularity, MakeValues(0, 0, 0),
+                                  GraphGlobals{0, 0}),
+                   0.0);
+}
+
+TEST(MetricsTest, ClusteringCoefficient) {
+  // K4: 4 triangles, 12 triplets -> 3*4/12 = 1.
+  EXPECT_DOUBLE_EQ(
+      EvaluateMetric(Metric::kClusteringCoefficient,
+                     MakeValues(4, 6, 0, 4, 12, /*has_tri=*/true), kGlobals),
+      1.0);
+  // Zero triplets -> 0 by convention.
+  EXPECT_DOUBLE_EQ(
+      EvaluateMetric(Metric::kClusteringCoefficient,
+                     MakeValues(2, 1, 0, 0, 0, /*has_tri=*/true), kGlobals),
+      0.0);
+}
+
+TEST(MetricsDeathTest, ClusteringWithoutTrianglesAborts) {
+  EXPECT_DEATH(
+      {
+        EvaluateMetric(Metric::kClusteringCoefficient, MakeValues(4, 6, 0),
+                       kGlobals);
+      },
+      "triangle");
+}
+
+TEST(MetricsTest, NeedsTriangles) {
+  EXPECT_FALSE(MetricNeedsTriangles(Metric::kAverageDegree));
+  EXPECT_FALSE(MetricNeedsTriangles(Metric::kInternalDensity));
+  EXPECT_FALSE(MetricNeedsTriangles(Metric::kCutRatio));
+  EXPECT_FALSE(MetricNeedsTriangles(Metric::kConductance));
+  EXPECT_FALSE(MetricNeedsTriangles(Metric::kModularity));
+  EXPECT_TRUE(MetricNeedsTriangles(Metric::kClusteringCoefficient));
+}
+
+TEST(MetricsTest, NamesRoundTripThroughParse) {
+  for (const Metric metric : kAllMetrics) {
+    EXPECT_EQ(ParseMetric(MetricShortName(metric)), metric);
+    EXPECT_EQ(ParseMetric(MetricName(metric)), metric);
+  }
+  EXPECT_EQ(ParseMetric("nope"), std::nullopt);
+  EXPECT_EQ(ParseMetric(""), std::nullopt);
+}
+
+TEST(MetricsTest, MetricFunctionWrapsBuiltin) {
+  const MetricFn fn = MetricFunction(Metric::kAverageDegree);
+  EXPECT_DOUBLE_EQ(fn(MakeValues(8, 12, 0), kGlobals), 3.0);
+}
+
+TEST(PrimaryValuesTest, AccumulateAddsFieldwise) {
+  PrimaryValues a = MakeValues(3, 5, 2, 1, 4, true);
+  const PrimaryValues b = MakeValues(2, 1, 3, 2, 6, true);
+  a += b;
+  EXPECT_EQ(a.num_vertices, 5u);
+  EXPECT_EQ(a.InternalEdges(), 6u);
+  EXPECT_EQ(a.boundary_edges, 5u);
+  EXPECT_EQ(a.triangles, 3u);
+  EXPECT_EQ(a.triplets, 10u);
+}
+
+TEST(PrimaryValuesTest, ToStringMentionsFields) {
+  const std::string s = ToString(MakeValues(3, 5, 2, 1, 4, true));
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=5"), std::string::npos);
+  EXPECT_NE(s.find("tri=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,62 @@
+#include "corekit/core/multi_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(MultiMetricTest, MatchesPerMetricProfilesOnZoo) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    if (graph.NumVertices() == 0) continue;
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    const OrderedGraph ordered(graph, cores);
+    const CoreForest forest(graph, cores);
+
+    const auto set_profiles = FindBestCoreSetMulti(ordered, kAllMetrics);
+    const auto single_profiles =
+        FindBestSingleCoreMulti(ordered, forest, kAllMetrics);
+    ASSERT_EQ(set_profiles.size(), std::size(kAllMetrics));
+    ASSERT_EQ(single_profiles.size(), std::size(kAllMetrics));
+
+    for (std::size_t i = 0; i < std::size(kAllMetrics); ++i) {
+      const Metric metric = kAllMetrics[i];
+      const CoreSetProfile expected_set = FindBestCoreSet(ordered, metric);
+      EXPECT_EQ(set_profiles[i].scores, expected_set.scores)
+          << name << " " << MetricShortName(metric);
+      EXPECT_EQ(set_profiles[i].best_k, expected_set.best_k)
+          << name << " " << MetricShortName(metric);
+
+      const SingleCoreProfile expected_single =
+          FindBestSingleCore(ordered, forest, metric);
+      EXPECT_EQ(single_profiles[i].scores, expected_single.scores)
+          << name << " " << MetricShortName(metric);
+      EXPECT_EQ(single_profiles[i].best_node, expected_single.best_node)
+          << name << " " << MetricShortName(metric);
+    }
+  }
+}
+
+TEST(MultiMetricTest, SkipsTrianglesWhenNoMetricNeedsThem) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const Metric basic[] = {Metric::kAverageDegree, Metric::kConductance};
+  const auto profiles = FindBestCoreSetMulti(ordered, basic);
+  EXPECT_FALSE(profiles[0].primaries[0].has_triangles);
+  const Metric with_cc[] = {Metric::kAverageDegree,
+                            Metric::kClusteringCoefficient};
+  const auto cc_profiles = FindBestCoreSetMulti(ordered, with_cc);
+  EXPECT_TRUE(cc_profiles[0].primaries[0].has_triangles);
+}
+
+TEST(MultiMetricTest, EmptyMetricListYieldsNoProfiles) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  EXPECT_TRUE(FindBestCoreSetMulti(ordered, {}).empty());
+}
+
+}  // namespace
+}  // namespace corekit

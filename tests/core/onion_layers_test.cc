@@ -1,0 +1,98 @@
+#include "corekit/core/onion_layers.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+TEST(OnionLayersTest, EmptyAndEdgeless) {
+  EXPECT_EQ(ComputeOnionDecomposition(Graph()).num_layers, 0u);
+  const OnionDecomposition onion =
+      ComputeOnionDecomposition(GraphBuilder::FromEdges(4, {}));
+  EXPECT_EQ(onion.num_layers, 1u);  // everything falls in one wave
+  for (const VertexId l : onion.layer) EXPECT_EQ(l, 1u);
+}
+
+TEST(OnionLayersTest, CliqueIsOneLayer) {
+  GraphBuilder builder(5);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) builder.AddEdge(u, v);
+  }
+  const OnionDecomposition onion =
+      ComputeOnionDecomposition(builder.Build());
+  EXPECT_EQ(onion.num_layers, 1u);
+  EXPECT_EQ(onion.kmax, 4u);
+}
+
+TEST(OnionLayersTest, PathPeelsFromBothEnds) {
+  // Path 0-1-2-3-4-5: waves {0,5}, {1,4}, {2,3}.
+  const Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const OnionDecomposition onion = ComputeOnionDecomposition(g);
+  EXPECT_EQ(onion.num_layers, 3u);
+  EXPECT_EQ(onion.layer[0], 1u);
+  EXPECT_EQ(onion.layer[5], 1u);
+  EXPECT_EQ(onion.layer[1], 2u);
+  EXPECT_EQ(onion.layer[4], 2u);
+  EXPECT_EQ(onion.layer[2], 3u);
+  EXPECT_EQ(onion.layer[3], 3u);
+}
+
+TEST(OnionLayersTest, Fig2LayersRefineShells) {
+  // 2-shell: v5 and v7 have degree 2 -> wave 1; v6, v8 drop to <= 2 ->
+  // wave 2.  The two K4s go together in wave 3.
+  const OnionDecomposition onion = ComputeOnionDecomposition(Fig2Graph());
+  EXPECT_EQ(onion.layer[V(5)], 1u);
+  EXPECT_EQ(onion.layer[V(7)], 1u);
+  EXPECT_EQ(onion.layer[V(6)], 2u);
+  EXPECT_EQ(onion.layer[V(8)], 2u);
+  for (const int pid : {1, 2, 3, 4, 9, 10, 11, 12}) {
+    EXPECT_EQ(onion.layer[V(pid)], 3u) << "v" << pid;
+  }
+  EXPECT_EQ(onion.num_layers, 3u);
+}
+
+TEST(OnionLayersTest, CorenessMatchesBatageljZaversnik) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    const OnionDecomposition onion = ComputeOnionDecomposition(graph);
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    EXPECT_EQ(onion.coreness, cores.coreness) << name;
+    EXPECT_EQ(onion.kmax, cores.kmax) << name;
+  }
+}
+
+TEST(OnionLayersTest, LayersMonotoneInCoreness) {
+  // A vertex of smaller coreness is always peeled in an earlier (or
+  // equal... strictly earlier, since shells drain fully first) layer.
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    const OnionDecomposition onion = ComputeOnionDecomposition(graph);
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        if (onion.coreness[u] < onion.coreness[v]) {
+          EXPECT_LT(onion.layer[u], onion.layer[v]) << name;
+        }
+      }
+    }
+    if (graph.NumVertices() > 0) {
+      // Layer ids are dense in [1, num_layers].
+      std::vector<bool> used(onion.num_layers + 1, false);
+      for (const VertexId l : onion.layer) {
+        ASSERT_GE(l, 1u);
+        ASSERT_LE(l, onion.num_layers);
+        used[l] = true;
+      }
+      for (VertexId l = 1; l <= onion.num_layers; ++l) {
+        EXPECT_TRUE(used[l]) << name << " layer " << l;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,122 @@
+#include "corekit/core/result_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/vertex_ordering.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/corekit_result_" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ResultIoTest, DecompositionRoundTrip) {
+  const Graph g = GenerateBarabasiAlbert(300, 3, 8);
+  const CoreDecomposition original = ComputeCoreDecomposition(g);
+  const std::string path = TempPath("cores.bin");
+  ASSERT_TRUE(WriteCoreDecomposition(original, path).ok());
+  const auto reloaded = ReadCoreDecomposition(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->coreness, original.coreness);
+  EXPECT_EQ(reloaded->peel_order, original.peel_order);
+  EXPECT_EQ(reloaded->kmax, original.kmax);
+}
+
+TEST(ResultIoTest, ReloadedDecompositionDrivesTheIndex) {
+  // The reloaded result must be a drop-in for OrderedGraph construction.
+  const Graph g = corekit::testing::Fig2Graph();
+  const std::string path = TempPath("fig2_cores.bin");
+  ASSERT_TRUE(WriteCoreDecomposition(ComputeCoreDecomposition(g), path).ok());
+  const auto reloaded = ReadCoreDecomposition(path);
+  ASSERT_TRUE(reloaded.ok());
+  const OrderedGraph ordered(g, *reloaded);
+  const CoreSetProfile profile =
+      FindBestCoreSet(ordered, Metric::kAverageDegree);
+  EXPECT_EQ(profile.best_k, 2u);  // Example 4
+}
+
+TEST(ResultIoTest, CorruptedSnapshotRejected) {
+  const Graph g = GenerateErdosRenyi(50, 120, 4);
+  const std::string path = TempPath("corrupt.bin");
+  ASSERT_TRUE(WriteCoreDecomposition(ComputeCoreDecomposition(g), path).ok());
+  // Flip one payload byte: the checksum must catch it.
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(40);
+  char byte;
+  file.read(&byte, 1);
+  file.seekp(40);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.write(&byte, 1);
+  file.close();
+  const auto result = ReadCoreDecomposition(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultIoTest, WrongMagicRejected) {
+  const std::string path = TempPath("magic.bin");
+  std::ofstream(path) << "CKG1 this is a graph, not a decomposition";
+  EXPECT_EQ(ReadCoreDecomposition(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ResultIoTest, CoreSetProfileCsv) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreSetProfile profile =
+      FindBestCoreSet(ordered, Metric::kClusteringCoefficient);
+  const std::string path = TempPath("profile.csv");
+  ASSERT_TRUE(WriteCoreSetProfileCsv(profile, path).ok());
+  const std::string csv = Slurp(path);
+  EXPECT_NE(csv.find("k,num_vertices,internal_edges,boundary_edges,"
+                     "triangles,triplets,score"),
+            std::string::npos);
+  // The k=3 row carries the Example 5 values.
+  EXPECT_NE(csv.find("3,8,12,3,8,24,1\n"), std::string::npos);
+  // Header + kmax+1 rows.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            1 + profile.scores.size());
+}
+
+TEST(ResultIoTest, SingleCoreProfileCsv) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreForest forest(g, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+  const std::string path = TempPath("single.csv");
+  ASSERT_TRUE(WriteSingleCoreProfileCsv(profile, forest, path).ok());
+  const std::string csv = Slurp(path);
+  // One K4 row: node, coreness 3, core size 4, n=4, m=6, b=..., score 3.
+  EXPECT_NE(csv.find(",3,4,4,6,"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            1 + forest.NumNodes());
+}
+
+TEST(ResultIoTest, UnwritablePathIsIoError) {
+  const CoreDecomposition cores;
+  EXPECT_EQ(WriteCoreDecomposition(cores, "/nonexistent/dir/cores.bin")
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace corekit

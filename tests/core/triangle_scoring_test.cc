@@ -1,0 +1,106 @@
+#include "corekit/core/triangle_scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/naive_oracle.h"
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+OrderedGraph MakeOrdered(const Graph& graph, CoreDecomposition& cores_out) {
+  cores_out = ComputeCoreDecomposition(graph);
+  return OrderedGraph(graph, cores_out);
+}
+
+TEST(TriangleScoringTest, TriangleGraph) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  CoreDecomposition cores;
+  const OrderedGraph ordered = MakeOrdered(g, cores);
+  EXPECT_EQ(CountTriangles(ordered), 1u);
+  EXPECT_EQ(CountTriplets(g), 3u);
+}
+
+TEST(TriangleScoringTest, K4HasFourTrianglesTwelveTriplets) {
+  GraphBuilder builder(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) builder.AddEdge(u, v);
+  }
+  const Graph g = builder.Build();
+  CoreDecomposition cores;
+  const OrderedGraph ordered = MakeOrdered(g, cores);
+  EXPECT_EQ(CountTriangles(ordered), 4u);
+  EXPECT_EQ(CountTriplets(g), 12u);
+}
+
+TEST(TriangleScoringTest, TriangleFreeGraph) {
+  // Bipartite C6.
+  const Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  CoreDecomposition cores;
+  const OrderedGraph ordered = MakeOrdered(g, cores);
+  EXPECT_EQ(CountTriangles(ordered), 0u);
+  EXPECT_EQ(CountTriplets(g), 6u);
+}
+
+TEST(TriangleScoringTest, Fig2WholeGraphHasTenTriangles) {
+  // Example 5: the 2-core set (the whole graph) has triangle = 10 and
+  // triplet = 45.
+  const Graph g = corekit::testing::Fig2Graph();
+  CoreDecomposition cores;
+  const OrderedGraph ordered = MakeOrdered(g, cores);
+  EXPECT_EQ(CountTriangles(ordered), 10u);
+  EXPECT_EQ(CountTriplets(g), 45u);
+}
+
+TEST(TriangleScoringTest, ScratchRestoredToZero) {
+  const Graph g = corekit::testing::Fig2Graph();
+  CoreDecomposition cores;
+  const OrderedGraph ordered = MakeOrdered(g, cores);
+  TriangleScratch scratch(g.NumVertices(), 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    CountTrianglesAtVertex(ordered, v, scratch);
+    for (const std::uint8_t s : scratch) EXPECT_EQ(s, 0);
+  }
+}
+
+TEST(TriangleScoringTest, PerVertexCountsSumToTotal) {
+  const Graph g = GenerateBarabasiAlbert(150, 4, 23);
+  CoreDecomposition cores;
+  const OrderedGraph ordered = MakeOrdered(g, cores);
+  TriangleScratch scratch(g.NumVertices(), 0);
+  std::uint64_t sum = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    sum += CountTrianglesAtVertex(ordered, v, scratch);
+  }
+  EXPECT_EQ(sum, CountTriangles(ordered));
+}
+
+class TriangleZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(TriangleZooTest, MatchesBruteForce) {
+  const Graph& graph = GetParam().graph;
+  CoreDecomposition cores;
+  const OrderedGraph ordered = MakeOrdered(graph, cores);
+  EXPECT_EQ(CountTriangles(ordered), NaiveTriangleCount(graph));
+}
+
+TEST_P(TriangleZooTest, TripletsMatchNaivePrimaries) {
+  const Graph& graph = GetParam().graph;
+  const std::vector<bool> all(graph.NumVertices(), true);
+  const PrimaryValues pv = NaivePrimaryValues(graph, all);
+  EXPECT_EQ(CountTriplets(graph), pv.triplets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, TriangleZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace corekit

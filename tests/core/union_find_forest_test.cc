@@ -1,0 +1,85 @@
+#include "corekit/core/union_find_forest.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+TEST(UnionFindForestTest, EmptyGraph) {
+  const Graph g;
+  const UnionFindForest forest =
+      BuildUnionFindForest(g, ComputeCoreDecomposition(g));
+  EXPECT_TRUE(forest.nodes.empty());
+}
+
+TEST(UnionFindForestTest, Fig2Structure) {
+  const Graph g = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const UnionFindForest forest = BuildUnionFindForest(g, cores);
+  ASSERT_EQ(forest.nodes.size(), 3u);
+  EXPECT_EQ(forest.nodes[0].coreness, 3u);
+  EXPECT_EQ(forest.nodes[1].coreness, 3u);
+  EXPECT_EQ(forest.nodes[2].coreness, 2u);
+  EXPECT_EQ(forest.nodes[0].parent, 2u);
+  EXPECT_EQ(forest.nodes[1].parent, 2u);
+  EXPECT_EQ(forest.nodes[2].parent, CoreForest::kNoNode);
+  std::vector<VertexId> shell = forest.nodes[2].vertices;
+  std::sort(shell.begin(), shell.end());
+  EXPECT_EQ(shell, (std::vector<VertexId>{V(5), V(6), V(7), V(8)}));
+}
+
+TEST(UnionFindForestTest, EquivalenceDetectsDifferences) {
+  // Sanity of the checker itself: forests of different graphs must not
+  // compare equal.
+  const Graph a = Fig2Graph();
+  const Graph b = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}});
+  const CoreDecomposition cores_a = ComputeCoreDecomposition(a);
+  const CoreDecomposition cores_b = ComputeCoreDecomposition(b);
+  const CoreForest lcps_a(a, cores_a);
+  const UnionFindForest uf_b = BuildUnionFindForest(b, cores_b);
+  EXPECT_FALSE(ForestsEquivalent(lcps_a, uf_b));
+}
+
+class UnionFindForestZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(UnionFindForestZooTest, EquivalentToLcpsForest) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const CoreForest lcps(graph, cores);
+  const UnionFindForest uf = BuildUnionFindForest(graph, cores);
+  EXPECT_TRUE(ForestsEquivalent(lcps, uf)) << GetParam().name;
+}
+
+TEST_P(UnionFindForestZooTest, NodesPartitionVertices) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const UnionFindForest forest = BuildUnionFindForest(graph, cores);
+  std::vector<int> covered(graph.NumVertices(), 0);
+  for (const auto& node : forest.nodes) {
+    EXPECT_FALSE(node.vertices.empty());
+    for (const VertexId v : node.vertices) {
+      EXPECT_EQ(cores.coreness[v], node.coreness);
+      ++covered[v];
+    }
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_EQ(covered[v], 1) << GetParam().name << " vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, UnionFindForestZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>&
+           param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,213 @@
+#include "corekit/core/vertex_ordering.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+class Fig2OrderingTest : public ::testing::Test {
+ protected:
+  Fig2OrderingTest()
+      : graph_(Fig2Graph()),
+        cores_(ComputeCoreDecomposition(graph_)),
+        ordered_(graph_, cores_) {}
+
+  Graph graph_;
+  CoreDecomposition cores_;
+  OrderedGraph ordered_;
+};
+
+TEST_F(Fig2OrderingTest, VerticesSortedByRank) {
+  // Figure 3 (top): coreness-2 block v5 v6 v7 v8, then coreness-3 block
+  // v1 v2 v3 v4 v9 v10 v11 v12, each sorted by id.
+  const std::vector<VertexId> expected{V(5), V(6), V(7),  V(8),  V(1),  V(2),
+                                       V(3), V(4), V(9), V(10), V(11), V(12)};
+  const auto order = ordered_.VerticesByRank();
+  EXPECT_TRUE(std::equal(order.begin(), order.end(), expected.begin(),
+                         expected.end()));
+}
+
+TEST_F(Fig2OrderingTest, ShellSlices) {
+  const auto shell2 = ordered_.Shell(2);
+  const auto shell3 = ordered_.Shell(3);
+  EXPECT_EQ(shell2.size(), 4u);
+  EXPECT_EQ(shell3.size(), 8u);
+  EXPECT_EQ(ordered_.Shell(0).size(), 0u);
+  EXPECT_EQ(ordered_.Shell(1).size(), 0u);
+  EXPECT_EQ(ordered_.CoreSetSize(0), 12u);
+  EXPECT_EQ(ordered_.CoreSetSize(3), 8u);
+}
+
+TEST_F(Fig2OrderingTest, V1TagsMatchFigure3) {
+  // v1: neighbors [v2, v3, v4], same=0, plus=3, high=0.
+  const auto nbrs = ordered_.Neighbors(V(1));
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], V(2));
+  EXPECT_EQ(nbrs[1], V(3));
+  EXPECT_EQ(nbrs[2], V(4));
+  EXPECT_EQ(ordered_.TagSame(V(1)), 0u);
+  EXPECT_EQ(ordered_.TagPlus(V(1)), 3u);
+  EXPECT_EQ(ordered_.TagHigh(V(1)), 0u);
+}
+
+TEST_F(Fig2OrderingTest, V6TagsMatchFigure3) {
+  // v6: neighbors [v5, v7, v8, v3], same=0, plus=3, high=1.
+  const auto nbrs = ordered_.Neighbors(V(6));
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], V(5));
+  EXPECT_EQ(nbrs[1], V(7));
+  EXPECT_EQ(nbrs[2], V(8));
+  EXPECT_EQ(nbrs[3], V(3));
+  EXPECT_EQ(ordered_.TagSame(V(6)), 0u);
+  EXPECT_EQ(ordered_.TagPlus(V(6)), 3u);
+  EXPECT_EQ(ordered_.TagHigh(V(6)), 1u);
+}
+
+TEST_F(Fig2OrderingTest, V8TagsMatchFigure3) {
+  // v8: neighbors [v6, v7, v9], same=0, plus=2, high=2.
+  const auto nbrs = ordered_.Neighbors(V(8));
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], V(6));
+  EXPECT_EQ(nbrs[1], V(7));
+  EXPECT_EQ(nbrs[2], V(9));
+  EXPECT_EQ(ordered_.TagSame(V(8)), 0u);
+  EXPECT_EQ(ordered_.TagPlus(V(8)), 2u);
+  EXPECT_EQ(ordered_.TagHigh(V(8)), 2u);
+}
+
+TEST_F(Fig2OrderingTest, V9TagsMatchFigure3) {
+  // v9: neighbors [v8, v10, v11, v12], same=1, plus=4, high=1.
+  const auto nbrs = ordered_.Neighbors(V(9));
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], V(8));
+  EXPECT_EQ(nbrs[1], V(10));
+  EXPECT_EQ(ordered_.TagSame(V(9)), 1u);
+  EXPECT_EQ(ordered_.TagPlus(V(9)), 4u);
+  EXPECT_EQ(ordered_.TagHigh(V(9)), 1u);
+}
+
+TEST_F(Fig2OrderingTest, Example3CountQueries) {
+  // Example 3: |N(v6, >)| = |N(v6)| - plus = 1.
+  EXPECT_EQ(ordered_.CountHigher(V(6)), 1u);
+  // Example 4's per-vertex counts for the 2-shell walk.
+  EXPECT_EQ(ordered_.CountHigher(V(5)), 1u);
+  EXPECT_EQ(ordered_.CountEqual(V(5)), 1u);
+  EXPECT_EQ(ordered_.CountHigher(V(6)), 1u);
+  EXPECT_EQ(ordered_.CountEqual(V(6)), 3u);
+  EXPECT_EQ(ordered_.CountHigher(V(7)), 0u);
+  EXPECT_EQ(ordered_.CountEqual(V(7)), 2u);
+  EXPECT_EQ(ordered_.CountHigher(V(8)), 1u);
+  EXPECT_EQ(ordered_.CountEqual(V(8)), 2u);
+  // Example 5's |N(v, >=)| values: 2, 4, 2, 3 for v5..v8.
+  EXPECT_EQ(ordered_.CountGeq(V(5)), 2u);
+  EXPECT_EQ(ordered_.CountGeq(V(6)), 4u);
+  EXPECT_EQ(ordered_.CountGeq(V(7)), 2u);
+  EXPECT_EQ(ordered_.CountGeq(V(8)), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Property tests over the zoo: the Table II invariants must hold for every
+// vertex of every graph.
+// ---------------------------------------------------------------------
+
+class OrderingZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(OrderingZooTest, NeighborsSortedByRank) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto nbrs = ordered.Neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_TRUE(ordered.RankGreater(nbrs[i], nbrs[i - 1]))
+          << "v=" << v << " position " << i;
+    }
+  }
+}
+
+TEST_P(OrderingZooTest, NeighborMultisetPreserved) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    std::vector<VertexId> a(ordered.Neighbors(v).begin(),
+                            ordered.Neighbors(v).end());
+    std::vector<VertexId> b(graph.Neighbors(v).begin(),
+                            graph.Neighbors(v).end());
+    std::sort(a.begin(), a.end());
+    EXPECT_EQ(a, b) << "v=" << v;
+  }
+}
+
+TEST_P(OrderingZooTest, TagsPartitionByCoreness) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const VertexId cv = cores.coreness[v];
+    for (const VertexId u : ordered.NeighborsLower(v)) {
+      EXPECT_LT(cores.coreness[u], cv);
+    }
+    for (const VertexId u : ordered.NeighborsEqual(v)) {
+      EXPECT_EQ(cores.coreness[u], cv);
+    }
+    for (const VertexId u : ordered.NeighborsHigher(v)) {
+      EXPECT_GT(cores.coreness[u], cv);
+    }
+    for (const VertexId u : ordered.NeighborsHigherRank(v)) {
+      EXPECT_TRUE(ordered.RankGreater(u, v));
+    }
+    EXPECT_EQ(ordered.CountLower(v) + ordered.CountEqual(v) +
+                  ordered.CountHigher(v),
+              graph.Degree(v));
+    EXPECT_EQ(ordered.CountGeq(v), ordered.CountEqual(v) +
+                                       ordered.CountHigher(v));
+  }
+}
+
+TEST_P(OrderingZooTest, HigherRankCountConsistent) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    VertexId expected = 0;
+    for (const VertexId u : graph.Neighbors(v)) {
+      expected += ordered.RankGreater(u, v) ? 1u : 0u;
+    }
+    EXPECT_EQ(ordered.CountHigherRank(v), expected) << "v=" << v;
+  }
+}
+
+TEST_P(OrderingZooTest, ShellsTileTheRankOrder) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  VertexId total = 0;
+  for (VertexId k = 0; k <= ordered.kmax(); ++k) {
+    for (const VertexId v : ordered.Shell(k)) {
+      EXPECT_EQ(cores.coreness[v], k);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, graph.NumVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, OrderingZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,96 @@
+#include "corekit/distributed/distributed_core.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(CappedHIndexTest, Basics) {
+  EXPECT_EQ(CappedHIndex({}, 5), 0u);
+  EXPECT_EQ(CappedHIndex({1, 1, 1}, 5), 1u);
+  EXPECT_EQ(CappedHIndex({3, 3, 3}, 5), 3u);
+  EXPECT_EQ(CappedHIndex({5, 4, 3, 2, 1}, 5), 3u);  // classic h-index
+  EXPECT_EQ(CappedHIndex({10, 10, 10}, 2), 2u);     // cap binds
+  EXPECT_EQ(CappedHIndex({0, 0, 0}, 3), 0u);
+  EXPECT_EQ(CappedHIndex({7}, 0), 0u);
+}
+
+TEST(DistributedCoreTest, EmptyAndEdgeless) {
+  EXPECT_TRUE(ComputeCoreDecompositionDistributed(Graph()).converged);
+  const auto result =
+      ComputeCoreDecompositionDistributed(GraphBuilder::FromEdges(4, {}));
+  EXPECT_TRUE(result.converged);
+  for (const VertexId c : result.coreness) EXPECT_EQ(c, 0u);
+}
+
+TEST(DistributedCoreTest, CliqueConvergesInOneRound) {
+  GraphBuilder builder(6);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) builder.AddEdge(u, v);
+  }
+  const auto result =
+      ComputeCoreDecompositionDistributed(builder.Build());
+  EXPECT_TRUE(result.converged);
+  for (const VertexId c : result.coreness) EXPECT_EQ(c, 5u);
+  // Degrees are already the fixpoint: one compute round, zero messages.
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(DistributedCoreTest, PathNeedsPropagation) {
+  // On a path, the degree-1 endpoints drag interior estimates from 2 down
+  // to 1 hop by hop: rounds grow with the path length.
+  const Graph path = GraphBuilder::FromEdges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}});
+  const auto result = ComputeCoreDecompositionDistributed(path);
+  EXPECT_TRUE(result.converged);
+  for (const VertexId c : result.coreness) EXPECT_EQ(c, 1u);
+  EXPECT_GE(result.rounds, 3u);
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(DistributedCoreTest, RoundCapReturnsPartialEstimates) {
+  const Graph path = GraphBuilder::FromEdges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}});
+  const auto capped = ComputeCoreDecompositionDistributed(path, 1);
+  EXPECT_FALSE(capped.converged);
+  EXPECT_EQ(capped.rounds, 1u);
+  // Estimates are valid upper bounds at every prefix of the run.
+  const CoreDecomposition exact = ComputeCoreDecomposition(path);
+  for (VertexId v = 0; v < path.NumVertices(); ++v) {
+    EXPECT_GE(capped.coreness[v], exact.coreness[v]);
+  }
+}
+
+class DistributedZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(DistributedZooTest, ConvergesToExactCoreness) {
+  const Graph& graph = GetParam().graph;
+  const auto distributed = ComputeCoreDecompositionDistributed(graph);
+  EXPECT_TRUE(distributed.converged);
+  EXPECT_EQ(distributed.coreness, ComputeCoreDecomposition(graph).coreness)
+      << GetParam().name;
+}
+
+TEST_P(DistributedZooTest, RoundsBoundedByVertices) {
+  // The estimate of some vertex strictly decreases every round (else the
+  // protocol stops), and each vertex decreases at most deg times; the
+  // trivial bound n+1 rounds must never be exceeded on these graphs.
+  const Graph& graph = GetParam().graph;
+  const auto result = ComputeCoreDecompositionDistributed(graph);
+  EXPECT_LE(result.rounds, graph.NumVertices() + 1) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, DistributedZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>&
+           param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace corekit

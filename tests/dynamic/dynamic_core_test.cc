@@ -1,0 +1,200 @@
+#include "corekit/dynamic/dynamic_core.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/util/random.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+
+// The ground truth after any update sequence: full recomputation on the
+// snapshot.
+void ExpectExact(const DynamicCoreIndex& index, const char* context) {
+  const Graph snapshot = index.Snapshot();
+  const CoreDecomposition exact = ComputeCoreDecomposition(snapshot);
+  EXPECT_EQ(index.CorenessArray(), exact.coreness) << context;
+  EXPECT_EQ(index.Kmax(), exact.kmax) << context;
+  EXPECT_EQ(index.NumEdges(), snapshot.NumEdges()) << context;
+}
+
+TEST(DynamicCoreTest, StartsEmpty) {
+  DynamicCoreIndex index(5);
+  EXPECT_EQ(index.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(index.Coreness(v), 0u);
+}
+
+TEST(DynamicCoreTest, BulkLoadMatchesStatic) {
+  const Graph g = Fig2Graph();
+  const DynamicCoreIndex index(g);
+  EXPECT_EQ(index.CorenessArray(), ComputeCoreDecomposition(g).coreness);
+  EXPECT_EQ(index.NumEdges(), 19u);
+}
+
+TEST(DynamicCoreTest, SingleEdgeLifecycle) {
+  DynamicCoreIndex index(3);
+  EXPECT_TRUE(index.InsertEdge(0, 1));
+  EXPECT_EQ(index.Coreness(0), 1u);
+  EXPECT_EQ(index.Coreness(1), 1u);
+  EXPECT_EQ(index.Coreness(2), 0u);
+  EXPECT_TRUE(index.RemoveEdge(1, 0));  // reversed orientation
+  EXPECT_EQ(index.Coreness(0), 0u);
+  EXPECT_EQ(index.NumEdges(), 0u);
+}
+
+TEST(DynamicCoreTest, DuplicateAndSelfLoopRejected) {
+  DynamicCoreIndex index(3);
+  EXPECT_TRUE(index.InsertEdge(0, 1));
+  EXPECT_FALSE(index.InsertEdge(0, 1));
+  EXPECT_FALSE(index.InsertEdge(1, 0));
+  EXPECT_FALSE(index.InsertEdge(2, 2));
+  EXPECT_FALSE(index.RemoveEdge(0, 2));
+  EXPECT_EQ(index.NumEdges(), 1u);
+}
+
+TEST(DynamicCoreTest, TriangleFormationPromotes) {
+  DynamicCoreIndex index(3);
+  index.InsertEdge(0, 1);
+  index.InsertEdge(1, 2);
+  EXPECT_EQ(index.Coreness(1), 1u);
+  index.InsertEdge(2, 0);  // closes the triangle: everyone to coreness 2
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(index.Coreness(v), 2u);
+}
+
+TEST(DynamicCoreTest, CliqueBuildUpEdgeByEdge) {
+  constexpr VertexId kSize = 6;
+  DynamicCoreIndex index(kSize);
+  for (VertexId u = 0; u < kSize; ++u) {
+    for (VertexId v = u + 1; v < kSize; ++v) {
+      ASSERT_TRUE(index.InsertEdge(u, v));
+      ExpectExact(index, "clique build-up");
+    }
+  }
+  for (VertexId v = 0; v < kSize; ++v) {
+    EXPECT_EQ(index.Coreness(v), kSize - 1);
+  }
+}
+
+TEST(DynamicCoreTest, DeletionCascades) {
+  // Remove one K4 edge from Fig2: the two endpoints drop from 3 to 2,
+  // and so do the other two K4 members (they lose their 3-core).
+  const Graph g = Fig2Graph();
+  DynamicCoreIndex index(g);
+  ASSERT_TRUE(index.RemoveEdge(corekit::testing::V(1),
+                               corekit::testing::V(2)));
+  ExpectExact(index, "fig2 minus one K4 edge");
+}
+
+TEST(DynamicCoreTest, InsertionOnlyPromotesTheSubcore) {
+  // Two disjoint triangles; adding an edge between them changes nothing
+  // (both sides keep coreness 2, the bridge endpoints have only 3
+  // neighbors but would need 3 in a 3-core).
+  DynamicCoreIndex index(6);
+  index.InsertEdge(0, 1);
+  index.InsertEdge(1, 2);
+  index.InsertEdge(2, 0);
+  index.InsertEdge(3, 4);
+  index.InsertEdge(4, 5);
+  index.InsertEdge(5, 3);
+  index.InsertEdge(0, 3);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(index.Coreness(v), 2u);
+  ExpectExact(index, "bridged triangles");
+}
+
+TEST(DynamicCoreTest, FootprintReported) {
+  const Graph g = Fig2Graph();
+  DynamicCoreIndex index(g);
+  index.RemoveEdge(corekit::testing::V(5), corekit::testing::V(6));
+  EXPECT_GT(index.LastUpdateFootprint(), 0u);
+}
+
+// Randomized differential sweeps: every update's result must match the
+// from-scratch decomposition of the snapshot.
+struct SweepParam {
+  std::uint64_t seed;
+  VertexId n;
+  int operations;
+  double insert_bias;  // probability an operation is an insertion
+};
+
+class DynamicSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DynamicSweepTest, MatchesRecomputationAfterEveryUpdate) {
+  const SweepParam param = GetParam();
+  Rng rng(param.seed);
+  DynamicCoreIndex index(param.n);
+  EdgeList present;
+
+  for (int op = 0; op < param.operations; ++op) {
+    const bool insert = present.empty() || rng.NextBool(param.insert_bias);
+    if (insert) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(param.n));
+      const auto v = static_cast<VertexId>(rng.NextBounded(param.n));
+      if (u == v) continue;
+      if (index.InsertEdge(u, v)) present.emplace_back(u, v);
+    } else {
+      const std::size_t pick = rng.NextBounded(present.size());
+      const auto [u, v] = present[pick];
+      ASSERT_TRUE(index.RemoveEdge(u, v));
+      present[pick] = present.back();
+      present.pop_back();
+    }
+    const Graph snapshot = index.Snapshot();
+    const CoreDecomposition exact = ComputeCoreDecomposition(snapshot);
+    ASSERT_EQ(index.CorenessArray(), exact.coreness)
+        << "op " << op << (insert ? " (insert)" : " (remove)");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, DynamicSweepTest,
+    ::testing::Values(SweepParam{1, 12, 300, 0.7},
+                      SweepParam{2, 12, 300, 0.5},
+                      SweepParam{3, 25, 400, 0.8},
+                      SweepParam{4, 25, 400, 0.55},
+                      SweepParam{5, 50, 500, 0.75},
+                      SweepParam{6, 50, 500, 0.6},
+                      SweepParam{7, 100, 400, 0.9},
+                      SweepParam{8, 8, 600, 0.5}),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.n);
+    });
+
+TEST(DynamicCoreTest, AgreesAfterBuildingZooGraphsIncrementally) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    DynamicCoreIndex index(graph.NumVertices());
+    for (const auto& [u, v] : graph.ToEdgeList()) index.InsertEdge(u, v);
+    EXPECT_EQ(index.CorenessArray(),
+              ComputeCoreDecomposition(graph).coreness)
+        << name;
+  }
+}
+
+TEST(DynamicCoreTest, AgreesAfterDismantlingZooGraphs) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    if (graph.NumEdges() > 2000) continue;  // keep the sweep fast
+    DynamicCoreIndex index(graph);
+    EdgeList edges = graph.ToEdgeList();
+    Rng rng(SeedFromString(name));
+    rng.Shuffle(edges);
+    // Remove half the edges, checking at intervals.
+    for (std::size_t i = 0; i < edges.size() / 2; ++i) {
+      ASSERT_TRUE(index.RemoveEdge(edges[i].first, edges[i].second));
+      if (i % 50 == 0) {
+        EXPECT_EQ(index.CorenessArray(),
+                  ComputeCoreDecomposition(index.Snapshot()).coreness)
+            << name << " step " << i;
+      }
+    }
+    EXPECT_EQ(index.CorenessArray(),
+              ComputeCoreDecomposition(index.Snapshot()).coreness)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace corekit

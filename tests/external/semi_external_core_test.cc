@@ -1,0 +1,87 @@
+#include "corekit/external/semi_external_core.h"
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/edge_list_io.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+std::string WriteTemp(const Graph& graph, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/corekit_semiext_" + name;
+  const Status status = WriteBinaryGraph(graph, path);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return path;
+}
+
+TEST(SemiExternalCoreTest, MissingFileIsIoError) {
+  const auto result =
+      SemiExternalCoreDecomposition("/nonexistent/corekit.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(SemiExternalCoreTest, GarbageFileIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/corekit_semiext_bad";
+  std::ofstream(path) << "not a graph";
+  const auto result = SemiExternalCoreDecomposition(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SemiExternalCoreTest, Fig2ExactCoreness) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const auto result =
+      SemiExternalCoreDecomposition(WriteTemp(g, "fig2.bin"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->coreness, ComputeCoreDecomposition(g).coreness);
+  EXPECT_EQ(result->kmax, 3u);
+  EXPECT_GE(result->passes, 2u);  // degree pass + >=1 refinement
+  EXPECT_GT(result->bytes_read, 0u);
+}
+
+TEST(SemiExternalCoreTest, EdgelessGraph) {
+  const Graph g = GraphBuilder::FromEdges(5, {});
+  const auto result =
+      SemiExternalCoreDecomposition(WriteTemp(g, "edgeless.bin"));
+  ASSERT_TRUE(result.ok());
+  for (const VertexId c : result->coreness) EXPECT_EQ(c, 0u);
+}
+
+TEST(SemiExternalCoreTest, BytesReadScaleWithPasses) {
+  const Graph g = GenerateBarabasiAlbert(400, 3, 11);
+  const auto result = SemiExternalCoreDecomposition(WriteTemp(g, "ba.bin"));
+  ASSERT_TRUE(result.ok());
+  // Every refinement pass streams the full neighbor region.
+  const std::uint64_t neighbor_bytes =
+      g.NeighborArray().size() * sizeof(VertexId);
+  EXPECT_GE(result->bytes_read,
+            neighbor_bytes * (result->passes - 1));
+}
+
+class SemiExternalZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(SemiExternalZooTest, MatchesInMemoryDecomposition) {
+  const Graph& graph = GetParam().graph;
+  const auto result = SemiExternalCoreDecomposition(
+      WriteTemp(graph, GetParam().name + ".bin"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CoreDecomposition exact = ComputeCoreDecomposition(graph);
+  EXPECT_EQ(result->coreness, exact.coreness) << GetParam().name;
+  EXPECT_EQ(result->kmax, exact.kmax) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, SemiExternalZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>&
+           param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace corekit

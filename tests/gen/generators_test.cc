@@ -1,0 +1,275 @@
+#include "corekit/gen/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/connected_components.h"
+#include "corekit/graph/graph_stats.h"
+
+namespace corekit {
+namespace {
+
+// ---------------------------------------------------------------------
+// Erdős–Rényi
+// ---------------------------------------------------------------------
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  const Graph g = GenerateErdosRenyi(100, 250, 1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 250u);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  const Graph a = GenerateErdosRenyi(80, 200, 42);
+  const Graph b = GenerateErdosRenyi(80, 200, 42);
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+  EXPECT_EQ(a.Offsets(), b.Offsets());
+}
+
+TEST(ErdosRenyiTest, SeedChangesGraph) {
+  const Graph a = GenerateErdosRenyi(80, 200, 1);
+  const Graph b = GenerateErdosRenyi(80, 200, 2);
+  EXPECT_NE(a.NeighborArray(), b.NeighborArray());
+}
+
+TEST(ErdosRenyiTest, CompleteGraphRequest) {
+  const Graph g = GenerateErdosRenyi(12, 66, 7);  // K12
+  EXPECT_EQ(g.NumEdges(), 66u);
+  for (VertexId v = 0; v < 12; ++v) EXPECT_EQ(g.Degree(v), 11u);
+}
+
+TEST(ErdosRenyiTest, DenseButNotCompleteExactCount) {
+  // Exercises the Floyd-sampling branch (m > max/3).
+  const Graph g = GenerateErdosRenyi(20, 150, 5);  // max = 190
+  EXPECT_EQ(g.NumEdges(), 150u);
+}
+
+TEST(ErdosRenyiDeathTest, TooManyEdgesAborts) {
+  EXPECT_DEATH({ GenerateErdosRenyi(5, 11, 1); }, "Check failed");
+}
+
+// ---------------------------------------------------------------------
+// Barabási–Albert
+// ---------------------------------------------------------------------
+
+TEST(BarabasiAlbertTest, SizeAndMinimumDegree) {
+  const Graph g = GenerateBarabasiAlbert(500, 4, 3);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  // Every non-seed vertex attaches with >= 4 edges (dedup can only merge
+  // the pair (v,t) once since targets are distinct).
+  for (VertexId v = 5; v < 500; ++v) EXPECT_GE(g.Degree(v), 4u);
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  const Graph a = GenerateBarabasiAlbert(300, 3, 11);
+  const Graph b = GenerateBarabasiAlbert(300, 3, 11);
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+}
+
+TEST(BarabasiAlbertTest, HeavyTail) {
+  const Graph g = GenerateBarabasiAlbert(2000, 3, 5);
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  // Preferential attachment produces hubs far above the mean degree (~6).
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(BarabasiAlbertTest, Connected) {
+  const Graph g = GenerateBarabasiAlbert(400, 2, 21);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+// ---------------------------------------------------------------------
+// R-MAT
+// ---------------------------------------------------------------------
+
+TEST(RmatTest, VertexCountIsPowerOfScale) {
+  RmatParams params;
+  params.scale = 8;
+  params.num_edges = 1000;
+  const Graph g = GenerateRmat(params);
+  EXPECT_EQ(g.NumVertices(), 256u);
+  // Duplicates/self-loops shrink the simple-edge count, but not by much.
+  EXPECT_GT(g.NumEdges(), 500u);
+  EXPECT_LE(g.NumEdges(), 1000u);
+}
+
+TEST(RmatTest, Deterministic) {
+  RmatParams params;
+  params.scale = 9;
+  params.num_edges = 3000;
+  params.seed = 77;
+  const Graph a = GenerateRmat(params);
+  const Graph b = GenerateRmat(params);
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+}
+
+TEST(RmatTest, SkewProducesHeavierTailThanUniform) {
+  RmatParams skew;
+  skew.scale = 10;
+  skew.num_edges = 8000;
+  skew.seed = 3;
+  RmatParams flat = skew;
+  flat.a = flat.b = flat.c = 0.25;
+  VertexId skew_max = 0;
+  VertexId flat_max = 0;
+  const Graph gs = GenerateRmat(skew);
+  const Graph gf = GenerateRmat(flat);
+  for (VertexId v = 0; v < gs.NumVertices(); ++v) {
+    skew_max = std::max(skew_max, gs.Degree(v));
+  }
+  for (VertexId v = 0; v < gf.NumVertices(); ++v) {
+    flat_max = std::max(flat_max, gf.Degree(v));
+  }
+  EXPECT_GT(skew_max, flat_max);
+}
+
+// ---------------------------------------------------------------------
+// Watts–Strogatz
+// ---------------------------------------------------------------------
+
+TEST(WattsStrogatzTest, ZeroRewireIsRingLattice) {
+  const Graph g = GenerateWattsStrogatz(20, 3, 0.0, 1);
+  EXPECT_EQ(g.NumEdges(), 60u);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.Degree(v), 6u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_TRUE(g.HasEdge(0, 17));  // wrap-around
+  EXPECT_FALSE(g.HasEdge(0, 4));
+}
+
+TEST(WattsStrogatzTest, RewiringChangesLattice) {
+  const Graph lattice = GenerateWattsStrogatz(100, 4, 0.0, 2);
+  const Graph rewired = GenerateWattsStrogatz(100, 4, 0.5, 2);
+  EXPECT_NE(lattice.NeighborArray(), rewired.NeighborArray());
+  // Edge count can only shrink via collisions, never grow.
+  EXPECT_LE(rewired.NumEdges(), lattice.NumEdges());
+  EXPECT_GT(rewired.NumEdges(), lattice.NumEdges() / 2);
+}
+
+TEST(WattsStrogatzTest, Deterministic) {
+  const Graph a = GenerateWattsStrogatz(64, 3, 0.3, 5);
+  const Graph b = GenerateWattsStrogatz(64, 3, 0.3, 5);
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+}
+
+// ---------------------------------------------------------------------
+// Planted partition
+// ---------------------------------------------------------------------
+
+TEST(PlantedPartitionTest, CommunitySizesBalanced) {
+  PlantedPartitionParams params;
+  params.num_vertices = 103;
+  params.num_communities = 4;
+  params.seed = 9;
+  const auto result = GeneratePlantedPartition(params);
+  std::vector<int> sizes(4, 0);
+  for (const VertexId c : result.community) ++sizes[c];
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes.front(), 25);
+  EXPECT_EQ(sizes.back(), 26);
+}
+
+TEST(PlantedPartitionTest, IntraDenserThanInter) {
+  PlantedPartitionParams params;
+  params.num_vertices = 400;
+  params.num_communities = 4;
+  params.p_in = 0.3;
+  params.p_out = 0.01;
+  params.seed = 13;
+  const auto result = GeneratePlantedPartition(params);
+  EdgeId intra = 0;
+  EdgeId inter = 0;
+  for (const auto& [u, v] : result.graph.ToEdgeList()) {
+    if (result.community[u] == result.community[v]) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  // Expected intra ~ 4 * C(100,2) * 0.3 = 5940; inter ~ 6*100*100*0.01 = 600.
+  EXPECT_GT(intra, inter * 4);
+  EXPECT_NEAR(static_cast<double>(intra), 5940.0, 5940.0 * 0.15);
+  EXPECT_NEAR(static_cast<double>(inter), 600.0, 600.0 * 0.4);
+}
+
+TEST(PlantedPartitionTest, Deterministic) {
+  PlantedPartitionParams params;
+  params.seed = 33;
+  const auto a = GeneratePlantedPartition(params);
+  const auto b = GeneratePlantedPartition(params);
+  EXPECT_EQ(a.graph.NeighborArray(), b.graph.NeighborArray());
+  EXPECT_EQ(a.community, b.community);
+}
+
+TEST(PlantedPartitionTest, ExtremeProbabilities) {
+  PlantedPartitionParams params;
+  params.num_vertices = 30;
+  params.num_communities = 3;
+  params.p_in = 1.0;
+  params.p_out = 0.0;
+  params.seed = 2;
+  const auto result = GeneratePlantedPartition(params);
+  // Three disjoint K10s.
+  EXPECT_EQ(result.graph.NumEdges(), 3u * 45u);
+  EXPECT_EQ(ConnectedComponents(result.graph).num_components, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Onion
+// ---------------------------------------------------------------------
+
+TEST(OnionTest, ReachesTargetKmax) {
+  OnionParams params;
+  params.num_vertices = 2000;
+  params.num_layers = 8;
+  params.target_kmax = 32;
+  params.seed = 4;
+  const Graph g = GenerateOnion(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  // Construction guarantees coreness >= layer target, so kmax >= target.
+  EXPECT_GE(cores.kmax, 32u);
+  // And it should not wildly overshoot (each vertex draws at most its
+  // layer's degree toward the inside).
+  EXPECT_LE(cores.kmax, 96u);
+}
+
+TEST(OnionTest, HierarchyIsDeep) {
+  OnionParams params;
+  params.num_vertices = 3000;
+  params.num_layers = 10;
+  params.target_kmax = 40;
+  params.seed = 6;
+  const Graph g = GenerateOnion(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  // Count non-empty shells: a deep onion has many distinct coreness
+  // levels, which is what Figures 5/6 sweep over.
+  const auto shells = cores.ShellSizes();
+  int non_empty = 0;
+  for (const VertexId size : shells) non_empty += size > 0 ? 1 : 0;
+  EXPECT_GE(non_empty, 10);
+}
+
+TEST(OnionTest, Deterministic) {
+  OnionParams params;
+  params.seed = 12;
+  const Graph a = GenerateOnion(params);
+  const Graph b = GenerateOnion(params);
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+}
+
+TEST(OnionDeathTest, InnermostLayerTooSmallAborts) {
+  OnionParams params;
+  params.num_vertices = 64;
+  params.num_layers = 8;   // 8 vertices per layer
+  params.target_kmax = 32;  // needs > 32 vertices in the innermost layer
+  EXPECT_DEATH({ GenerateOnion(params); }, "innermost onion layer");
+}
+
+}  // namespace
+}  // namespace corekit

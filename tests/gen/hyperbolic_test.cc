@@ -1,0 +1,82 @@
+#include "corekit/gen/hyperbolic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/triangle_scoring.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/graph/connected_components.h"
+
+namespace corekit {
+namespace {
+
+TEST(HyperbolicTest, Deterministic) {
+  HyperbolicParams params;
+  params.num_vertices = 500;
+  params.seed = 3;
+  const Graph a = GenerateHyperbolic(params);
+  const Graph b = GenerateHyperbolic(params);
+  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+}
+
+TEST(HyperbolicTest, HeavyTailAndDeepHierarchy) {
+  HyperbolicParams params;
+  params.num_vertices = 3000;
+  params.alpha = 0.75;
+  params.seed = 11;
+  const Graph g = GenerateHyperbolic(params);
+  ASSERT_GT(g.NumEdges(), 3000u);
+
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  // Hubs far above the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 8.0 * g.AverageDegree());
+
+  // A real hierarchy: many non-empty shells, not the flat BA profile.
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  EXPECT_GE(cores.kmax, 8u);
+  int non_empty = 0;
+  for (const VertexId size : cores.ShellSizes()) {
+    non_empty += size > 0 ? 1 : 0;
+  }
+  EXPECT_GE(non_empty, 8);
+}
+
+TEST(HyperbolicTest, HighClustering) {
+  HyperbolicParams params;
+  params.num_vertices = 1500;
+  params.seed = 5;
+  const Graph g = GenerateHyperbolic(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const double triangles = static_cast<double>(CountTriangles(ordered));
+  const double triplets = static_cast<double>(CountTriplets(g));
+  ASSERT_GT(triplets, 0.0);
+  // Hyperbolic geometry forces strong transitivity (~0.2 here, vs
+  // ER's d/n ~ 0.01 at the same density).
+  EXPECT_GT(3.0 * triangles / triplets, 0.15);
+}
+
+TEST(HyperbolicTest, RadiusOffsetControlsDensity) {
+  HyperbolicParams sparse;
+  sparse.num_vertices = 800;
+  sparse.seed = 9;
+  sparse.radius_offset = 1.0;
+  HyperbolicParams dense = sparse;
+  dense.radius_offset = -1.5;
+  EXPECT_GT(GenerateHyperbolic(dense).NumEdges(),
+            GenerateHyperbolic(sparse).NumEdges());
+}
+
+TEST(HyperbolicDeathTest, AlphaMustExceedHalf) {
+  HyperbolicParams params;
+  params.alpha = 0.4;
+  EXPECT_DEATH({ GenerateHyperbolic(params); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace corekit

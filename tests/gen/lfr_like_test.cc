@@ -1,0 +1,110 @@
+#include "corekit/gen/lfr_like.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/connected_components.h"
+
+namespace corekit {
+namespace {
+
+TEST(LfrLikeTest, Deterministic) {
+  LfrLikeParams params;
+  params.seed = 42;
+  const LfrLikeResult a = GenerateLfrLike(params);
+  const LfrLikeResult b = GenerateLfrLike(params);
+  EXPECT_EQ(a.graph.NeighborArray(), b.graph.NeighborArray());
+  EXPECT_EQ(a.community, b.community);
+}
+
+TEST(LfrLikeTest, CommunitySizesWithinBounds) {
+  LfrLikeParams params;
+  params.num_vertices = 2000;
+  params.min_community = 25;
+  params.max_community = 120;
+  params.seed = 3;
+  const LfrLikeResult result = GenerateLfrLike(params);
+  std::vector<VertexId> sizes(result.num_communities, 0);
+  for (const VertexId c : result.community) {
+    ASSERT_LT(c, result.num_communities);
+    ++sizes[c];
+  }
+  for (const VertexId size : sizes) {
+    EXPECT_GE(size, params.min_community);
+    // The remainder-merge can push one community past the cap, but never
+    // beyond cap + min.
+    EXPECT_LE(size, params.max_community + params.min_community);
+  }
+}
+
+TEST(LfrLikeTest, DegreesRoughlyWithinConfiguredRange) {
+  LfrLikeParams params;
+  params.num_vertices = 3000;
+  params.min_degree = 6;
+  params.max_degree = 40;
+  params.mu = 0.15;
+  params.seed = 7;
+  const LfrLikeResult result = GenerateLfrLike(params);
+  // Stub matching drops loops/duplicates/odd stubs, so degrees can dip a
+  // little below min; the bulk must be in range and none above max.
+  VertexId below = 0;
+  for (VertexId v = 0; v < result.graph.NumVertices(); ++v) {
+    const VertexId d = result.graph.Degree(v);
+    EXPECT_LE(d, params.max_degree);
+    below += d + 2 < params.min_degree ? 1u : 0u;
+  }
+  EXPECT_LT(below, result.graph.NumVertices() / 10);
+}
+
+TEST(LfrLikeTest, MixingParameterControlsInterEdges) {
+  LfrLikeParams params;
+  params.num_vertices = 3000;
+  params.seed = 11;
+  params.mu = 0.1;
+  const LfrLikeResult low = GenerateLfrLike(params);
+  params.mu = 0.5;
+  const LfrLikeResult high = GenerateLfrLike(params);
+
+  auto inter_fraction = [](const LfrLikeResult& r) {
+    EdgeId inter = 0;
+    EdgeId total = 0;
+    for (const auto& [u, v] : r.graph.ToEdgeList()) {
+      ++total;
+      inter += r.community[u] != r.community[v] ? 1u : 0u;
+    }
+    return static_cast<double>(inter) / static_cast<double>(total);
+  };
+  const double low_mix = inter_fraction(low);
+  const double high_mix = inter_fraction(high);
+  EXPECT_NEAR(low_mix, 0.1, 0.06);
+  EXPECT_NEAR(high_mix, 0.5, 0.12);
+  EXPECT_LT(low_mix, high_mix);
+}
+
+TEST(LfrLikeTest, LowMixingYieldsHighModularityStructure) {
+  LfrLikeParams params;
+  params.num_vertices = 1500;
+  params.mu = 0.05;
+  params.seed = 9;
+  const LfrLikeResult result = GenerateLfrLike(params);
+  // With 5% mixing the planted partition is strongly modular; use the
+  // ground-truth labels directly.
+  EdgeId intra = 0;
+  for (const auto& [u, v] : result.graph.ToEdgeList()) {
+    intra += result.community[u] == result.community[v] ? 1u : 0u;
+  }
+  EXPECT_GT(static_cast<double>(intra),
+            0.85 * static_cast<double>(result.graph.NumEdges()));
+}
+
+TEST(LfrLikeDeathTest, InvalidParamsAbort) {
+  LfrLikeParams params;
+  params.min_degree = 10;
+  params.max_degree = 5;
+  EXPECT_DEATH({ GenerateLfrLike(params); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace corekit

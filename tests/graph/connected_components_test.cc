@@ -1,0 +1,92 @@
+#include "corekit/graph/connected_components.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const ComponentLabels cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 1u);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(cc.label[v], 0u);
+}
+
+TEST(ConnectedComponentsTest, IsolatedVerticesAreComponents) {
+  const Graph g = GraphBuilder::FromEdges(5, {{0, 1}});
+  const ComponentLabels cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 4u);  // {0,1}, {2}, {3}, {4}
+}
+
+TEST(ConnectedComponentsTest, TwoBlocks) {
+  const Graph g =
+      GraphBuilder::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const ComponentLabels cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 2u);
+  EXPECT_EQ(cc.label[0], cc.label[2]);
+  EXPECT_EQ(cc.label[3], cc.label[5]);
+  EXPECT_NE(cc.label[0], cc.label[3]);
+}
+
+TEST(ConnectedComponentsTest, GroupsPartitionVertices) {
+  const Graph g =
+      GraphBuilder::FromEdges(7, {{0, 1}, {2, 3}, {3, 4}});
+  const ComponentLabels cc = ConnectedComponents(g);
+  const auto groups = cc.Groups();
+  ASSERT_EQ(groups.size(), cc.num_components);
+  std::vector<VertexId> all;
+  for (const auto& group : groups) {
+    all.insert(all.end(), group.begin(), group.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(InducedConnectedComponentsTest, MaskSplitsComponent) {
+  // Path 0-1-2-3-4; removing 2 splits it.
+  const Graph g =
+      GraphBuilder::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  std::vector<bool> mask{true, true, false, true, true};
+  const ComponentLabels cc = InducedConnectedComponents(g, mask);
+  EXPECT_EQ(cc.num_components, 2u);
+  EXPECT_EQ(cc.label[2], ComponentLabels::kInvalidComponent);
+  EXPECT_EQ(cc.label[0], cc.label[1]);
+  EXPECT_EQ(cc.label[3], cc.label[4]);
+  EXPECT_NE(cc.label[0], cc.label[3]);
+}
+
+TEST(InducedConnectedComponentsTest, EmptyMask) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}});
+  const ComponentLabels cc =
+      InducedConnectedComponents(g, {false, false, false});
+  EXPECT_EQ(cc.num_components, 0u);
+}
+
+TEST(InducedConnectedComponentsTest, Fig2ThreeCoreSetHasTwoComponents) {
+  // Restricting Figure 2 to the 3-core set {v1..v4, v9..v12} must yield
+  // exactly the two K4s.
+  const Graph g = Fig2Graph();
+  std::vector<bool> mask(12, false);
+  for (const int pid : {1, 2, 3, 4, 9, 10, 11, 12}) {
+    mask[corekit::testing::V(pid)] = true;
+  }
+  const ComponentLabels cc = InducedConnectedComponents(g, mask);
+  EXPECT_EQ(cc.num_components, 2u);
+}
+
+TEST(ConnectedComponentsTest, EmptyGraph) {
+  const Graph g;
+  const ComponentLabels cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 0u);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,133 @@
+#include "corekit/graph/graph_builder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/graph.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphBuilderTest, NoEdges) {
+  const Graph g = GraphBuilder::FromEdges(5, {});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.Degree(v), 0u);
+}
+
+TEST(GraphBuilderTest, SingleEdgeBothDirectionsVisible) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 2}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 0u);
+  EXPECT_EQ(g.Degree(2), 1u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  const Graph g = GraphBuilder::FromEdges(3, {{1, 1}, {0, 1}, {2, 2}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphBuilderTest, DuplicateAndReversedEdgesDeduped) {
+  const Graph g =
+      GraphBuilder::FromEdges(4, {{0, 1}, {1, 0}, {0, 1}, {2, 3}, {3, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, NeighborsSortedAscending) {
+  const Graph g =
+      GraphBuilder::FromEdges(6, {{3, 5}, {3, 1}, {3, 4}, {3, 0}, {3, 2}});
+  const auto nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilderTest, BuilderReusableAfterBuild) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph g1 = builder.Build();
+  EXPECT_EQ(g1.NumEdges(), 1u);
+  EXPECT_EQ(builder.NumPendingEdges(), 0u);
+  builder.AddEdge(1, 2);
+  const Graph g2 = builder.Build();
+  EXPECT_EQ(g2.NumEdges(), 1u);
+  EXPECT_TRUE(g2.HasEdge(1, 2));
+  EXPECT_FALSE(g2.HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, ToEdgeListRoundTrips) {
+  const EdgeList edges{{0, 3}, {1, 2}, {2, 3}, {0, 1}};
+  const Graph g = GraphBuilder::FromEdges(4, edges);
+  EdgeList out = g.ToEdgeList();
+  EdgeList expected = edges;
+  for (auto& [u, v] : expected) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(GraphBuilderTest, CompleteGraph) {
+  GraphBuilder builder(6);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) builder.AddEdge(u, v);
+  }
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 15u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 5u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 5.0);
+}
+
+TEST(GraphBuilderTest, RandomMultisetNormalization) {
+  // Feed a messy random multigraph; the result must be simple and must
+  // contain exactly the distinct non-loop pairs.
+  Rng rng(321);
+  const VertexId n = 30;
+  EdgeList raw;
+  std::vector<std::vector<bool>> expected(
+      n, std::vector<bool>(n, false));
+  for (int i = 0; i < 500; ++i) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(n));
+    const auto v = static_cast<VertexId>(rng.NextBounded(n));
+    raw.emplace_back(u, v);
+    if (u != v) {
+      expected[u][v] = true;
+      expected[v][u] = true;
+    }
+  }
+  const Graph g = GraphBuilder::FromEdges(n, raw);
+  EdgeId expected_edges = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      EXPECT_EQ(g.HasEdge(u, v), expected[u][v])
+          << "pair (" << u << "," << v << ")";
+      expected_edges += expected[u][v] ? 1u : 0u;
+    }
+  }
+  EXPECT_EQ(g.NumEdges(), expected_edges);
+}
+
+TEST(GraphTest, NeighborSpanMatchesDegree) {
+  const Graph g = GraphBuilder::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.Neighbors(0).size(), g.Degree(0));
+  EXPECT_EQ(g.Neighbors(4).size(), 0u);
+}
+
+}  // namespace
+}  // namespace corekit

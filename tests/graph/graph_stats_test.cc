@@ -1,0 +1,70 @@
+#include "corekit/graph/graph_stats.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(GraphStatsTest, Fig2Statistics) {
+  const GraphStats stats = ComputeGraphStats(corekit::testing::Fig2Graph());
+  EXPECT_EQ(stats.num_vertices, 12u);
+  EXPECT_EQ(stats.num_edges, 19u);
+  EXPECT_NEAR(stats.average_degree, 2.0 * 19 / 12, 1e-12);
+  EXPECT_EQ(stats.degeneracy, 3u);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(stats.largest_component_size, 12u);
+  EXPECT_EQ(stats.min_degree, 2u);
+  EXPECT_EQ(stats.max_degree, 5u);  // v3: {v1, v2, v4, v5, v6}
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  const GraphStats stats = ComputeGraphStats(Graph());
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_EQ(stats.degeneracy, 0u);
+}
+
+TEST(GraphStatsTest, EdgelessGraph) {
+  const GraphStats stats = ComputeGraphStats(GraphBuilder::FromEdges(7, {}));
+  EXPECT_EQ(stats.num_vertices, 7u);
+  EXPECT_EQ(stats.degeneracy, 0u);
+  EXPECT_EQ(stats.num_components, 7u);
+  EXPECT_EQ(stats.largest_component_size, 1u);
+}
+
+TEST(DegreeHistogramTest, CountsMatchDegrees) {
+  // Star on 5 vertices: center degree 4, leaves degree 1.
+  const Graph g = GraphBuilder::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(DegreeHistogramTest, SumsToVertexCount) {
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    const auto hist = DegreeHistogram(graph);
+    const EdgeId total = std::accumulate(hist.begin(), hist.end(), EdgeId{0});
+    EXPECT_EQ(total, graph.NumVertices()) << name;
+  }
+}
+
+TEST(DegreeHistogramTest, WeightedSumIsTwiceEdges) {
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    const auto hist = DegreeHistogram(graph);
+    EdgeId weighted = 0;
+    for (std::size_t d = 0; d < hist.size(); ++d) weighted += d * hist[d];
+    EXPECT_EQ(weighted, 2 * graph.NumEdges()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace corekit

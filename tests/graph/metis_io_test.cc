@@ -1,0 +1,132 @@
+#include "corekit/graph/metis_io.h"
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/gen/generators.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+class MetisIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/corekit_metis_" + name;
+  }
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream(path) << content;
+  }
+};
+
+TEST_F(MetisIoTest, ReadsTriangle) {
+  const std::string path = TempPath("triangle.graph");
+  WriteFile(path,
+            "3 3\n"
+            "2 3\n"
+            "1 3\n"
+            "1 2\n");
+  const auto result = ReadMetisGraph(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumVertices(), 3u);
+  EXPECT_EQ(result->NumEdges(), 3u);
+  EXPECT_TRUE(result->HasEdge(0, 1));
+  EXPECT_TRUE(result->HasEdge(1, 2));
+  EXPECT_TRUE(result->HasEdge(0, 2));
+}
+
+TEST_F(MetisIoTest, CommentsAndEmptyAdjacencyLines) {
+  const std::string path = TempPath("comments.graph");
+  WriteFile(path,
+            "% a comment\n"
+            "4 2\n"
+            "2\n"
+            "1\n"
+            "% interleaved comment\n"
+            "4\n"
+            "3\n");
+  const auto result = ReadMetisGraph(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumVertices(), 4u);
+  EXPECT_EQ(result->NumEdges(), 2u);
+}
+
+TEST_F(MetisIoTest, IsolatedVertexHasBlankLine) {
+  const std::string path = TempPath("isolated.graph");
+  WriteFile(path, "3 1\n2\n1\n\n");
+  const auto result = ReadMetisGraph(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumVertices(), 3u);
+  EXPECT_EQ(result->Degree(2), 0u);
+}
+
+TEST_F(MetisIoTest, AsymmetricAdjacencySymmetrized) {
+  const std::string path = TempPath("asym.graph");
+  WriteFile(path, "2 1\n2\n\n");  // vertex 2 omits the back-reference
+  const auto result = ReadMetisGraph(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasEdge(0, 1));
+  EXPECT_TRUE(result->HasEdge(1, 0));
+}
+
+TEST_F(MetisIoTest, MissingFile) {
+  const auto result = ReadMetisGraph(TempPath("missing.graph"));
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(MetisIoTest, TruncatedFile) {
+  const std::string path = TempPath("short.graph");
+  WriteFile(path, "3 3\n2 3\n");
+  const auto result = ReadMetisGraph(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(MetisIoTest, OutOfRangeNeighbor) {
+  const std::string path = TempPath("range.graph");
+  WriteFile(path, "2 1\n3\n\n");
+  const auto result = ReadMetisGraph(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(MetisIoTest, ZeroNeighborRejected) {
+  // METIS ids are 1-based; a 0 is always malformed.
+  const std::string path = TempPath("zero.graph");
+  WriteFile(path, "2 1\n0\n\n");
+  const auto result = ReadMetisGraph(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(MetisIoTest, WeightedFormatUnimplemented) {
+  const std::string path = TempPath("weighted.graph");
+  WriteFile(path, "2 1 1\n2 5\n1 5\n");
+  const auto result = ReadMetisGraph(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(MetisIoTest, RoundTripPreservesStructure) {
+  const Graph original = GenerateWattsStrogatz(120, 3, 0.15, 9);
+  const std::string path = TempPath("roundtrip.graph");
+  ASSERT_TRUE(WriteMetisGraph(original, path).ok());
+  const auto reloaded = ReadMetisGraph(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->NumVertices(), original.NumVertices());
+  EXPECT_EQ(reloaded->NumEdges(), original.NumEdges());
+  EXPECT_EQ(reloaded->Offsets(), original.Offsets());
+  EXPECT_EQ(reloaded->NeighborArray(), original.NeighborArray());
+}
+
+TEST_F(MetisIoTest, RoundTripPreservesCoreness) {
+  const Graph original = corekit::testing::Fig2Graph();
+  const std::string path = TempPath("fig2.graph");
+  ASSERT_TRUE(WriteMetisGraph(original, path).ok());
+  const auto reloaded = ReadMetisGraph(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(ComputeCoreDecomposition(*reloaded).coreness,
+            ComputeCoreDecomposition(original).coreness);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,81 @@
+#include "corekit/graph/power_law.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "corekit/gen/generators.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+namespace {
+
+TEST(PowerLawTest, EmptyTail) {
+  const PowerLawFit fit = FitDiscretePowerLaw({1, 2, 3}, 10);
+  EXPECT_EQ(fit.tail_size, 0u);
+  EXPECT_DOUBLE_EQ(fit.alpha, 0.0);
+}
+
+TEST(PowerLawTest, RecoversKnownExponent) {
+  // Sample from a discrete power law with alpha = 2.5 via inverse
+  // transform on the continuous approximation.
+  Rng rng(42);
+  constexpr double kAlpha = 2.5;
+  constexpr VertexId kXmin = 5;
+  std::vector<VertexId> samples;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.NextDouble();
+    const double x =
+        (static_cast<double>(kXmin) - 0.5) * std::pow(1.0 - u, -1.0 /
+                                                             (kAlpha - 1.0));
+    samples.push_back(static_cast<VertexId>(x + 0.5));
+  }
+  const PowerLawFit fit = FitDiscretePowerLaw(samples, kXmin);
+  EXPECT_GT(fit.tail_size, 40000u);
+  EXPECT_NEAR(fit.alpha, kAlpha, 5 * fit.std_error + 0.05);
+}
+
+TEST(PowerLawTest, StdErrorShrinksWithSampleSize) {
+  Rng rng(7);
+  auto sample = [&rng](int count) {
+    std::vector<VertexId> samples;
+    for (int i = 0; i < count; ++i) {
+      const double u = rng.NextDouble();
+      samples.push_back(static_cast<VertexId>(
+          2.0 * std::pow(1.0 - u, -1.0 / 1.5) + 0.5));
+    }
+    return samples;
+  };
+  const PowerLawFit small = FitDiscretePowerLaw(sample(500), 2);
+  const PowerLawFit large = FitDiscretePowerLaw(sample(50000), 2);
+  EXPECT_LT(large.std_error, small.std_error);
+}
+
+TEST(PowerLawTest, SkewedGeneratorsHaveSocialRangeTails) {
+  // The heavy-tailed stand-ins should fit alpha in the social range;
+  // the ER stand-in's Poisson degrees should not (its tail estimate is
+  // far steeper).
+  RmatParams rmat;
+  rmat.scale = 14;
+  rmat.num_edges = 200000;
+  rmat.seed = 3;
+  const PowerLawFit skew = FitDegreePowerLaw(GenerateRmat(rmat), 8);
+  EXPECT_GT(skew.tail_size, 500u);
+  EXPECT_GT(skew.alpha, 1.5);
+  EXPECT_LT(skew.alpha, 4.0);
+
+  const PowerLawFit er =
+      FitDegreePowerLaw(GenerateErdosRenyi(16384, 200000, 3), 8);
+  EXPECT_GT(er.alpha, skew.alpha);  // Poisson tail decays much faster
+}
+
+TEST(PowerLawTest, BarabasiAlbertNearCubicExponent) {
+  // BA's theoretical exponent is 3.
+  const Graph g = GenerateBarabasiAlbert(30000, 4, 9);
+  const PowerLawFit fit = FitDegreePowerLaw(g, 8);
+  EXPECT_GT(fit.tail_size, 1000u);
+  EXPECT_NEAR(fit.alpha, 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace corekit

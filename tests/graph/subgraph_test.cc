@@ -1,0 +1,72 @@
+#include "corekit/graph/subgraph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(SubgraphTest, ExtractByVertexList) {
+  // Triangle 0-1-2 plus pendant 3.
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, std::vector<VertexId>{0, 1, 2});
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);
+  EXPECT_EQ(sub.to_parent, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(SubgraphTest, LocalIdsFollowInputOrder) {
+  const Graph g = GraphBuilder::FromEdges(5, {{1, 4}, {4, 2}});
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, std::vector<VertexId>{4, 1});
+  // local 0 = parent 4, local 1 = parent 1, one edge between them.
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));
+  EXPECT_EQ(sub.to_parent[0], 4u);
+  EXPECT_EQ(sub.to_parent[1], 1u);
+}
+
+TEST(SubgraphTest, EdgesOutsideSubsetDropped) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, std::vector<VertexId>{0, 2});
+  EXPECT_EQ(sub.graph.NumEdges(), 0u);
+}
+
+TEST(SubgraphTest, MaskOverloadKeepsIdOrder) {
+  const Graph g = GraphBuilder::FromEdges(4, {{0, 3}, {1, 2}});
+  const InducedSubgraph sub =
+      ExtractInducedSubgraph(g, std::vector<bool>{true, false, true, true});
+  EXPECT_EQ(sub.to_parent, (std::vector<VertexId>{0, 2, 3}));
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);  // only 0-3 survives
+  EXPECT_TRUE(sub.graph.HasEdge(0, 2));  // local ids of parents 0 and 3
+}
+
+TEST(SubgraphTest, EmptySelection) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}});
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, std::vector<VertexId>{});
+  EXPECT_EQ(sub.graph.NumVertices(), 0u);
+}
+
+TEST(SubgraphTest, FullSelectionIsIsomorphicCopy) {
+  const Graph g = corekit::testing::Fig2Graph();
+  std::vector<VertexId> all(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) all[v] = v;
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, all);
+  EXPECT_EQ(sub.graph.NumEdges(), g.NumEdges());
+  EXPECT_EQ(sub.graph.Offsets(), g.Offsets());
+  EXPECT_EQ(sub.graph.NeighborArray(), g.NeighborArray());
+}
+
+TEST(SubgraphDeathTest, DuplicateVertexAborts) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}});
+  EXPECT_DEATH(
+      { ExtractInducedSubgraph(g, std::vector<VertexId>{0, 0}); },
+      "duplicate vertex");
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,161 @@
+// End-to-end integration tests: full pipelines from generation / file IO
+// through decomposition, ordering, forest, scoring and applications.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/corekit.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(IntegrationTest, FileToScoresPipeline) {
+  // Generate, save, reload, and verify that the best-k answers survive the
+  // round trip unchanged.
+  const Graph original = GenerateBarabasiAlbert(300, 3, 71);
+  const std::string path = ::testing::TempDir() + "/integration_pipeline.bin";
+  ASSERT_TRUE(WriteBinaryGraph(original, path).ok());
+  const auto reloaded = ReadBinaryGraph(path);
+  ASSERT_TRUE(reloaded.ok());
+
+  for (const Metric metric : kAllMetrics) {
+    const CoreDecomposition cores_a = ComputeCoreDecomposition(original);
+    const CoreDecomposition cores_b = ComputeCoreDecomposition(*reloaded);
+    const OrderedGraph ordered_a(original, cores_a);
+    const OrderedGraph ordered_b(*reloaded, cores_b);
+    const CoreSetProfile a = FindBestCoreSet(ordered_a, metric);
+    const CoreSetProfile b = FindBestCoreSet(ordered_b, metric);
+    EXPECT_EQ(a.best_k, b.best_k) << MetricShortName(metric);
+    EXPECT_EQ(a.scores, b.scores) << MetricShortName(metric);
+  }
+}
+
+TEST(IntegrationTest, PlantedCommunitiesScoreHighOnDensityMetrics) {
+  // Dense planted communities embedded in a sparse ring: the best k-core
+  // set under average degree must be the dense communities, not the whole
+  // graph.
+  PlantedPartitionParams params;
+  params.num_vertices = 500;
+  params.num_communities = 5;
+  params.p_in = 0.5;
+  params.p_out = 0.002;
+  params.seed = 3;
+  const auto planted = GeneratePlantedPartition(params);
+  GraphBuilder builder(1000);
+  for (const auto& [u, v] : planted.graph.ToEdgeList()) builder.AddEdge(u, v);
+  for (VertexId v = 500; v < 1000; ++v) {
+    builder.AddEdge(v, v + 1 == 1000 ? 500 : v + 1);  // sparse ring
+    builder.AddEdge(v, v - 500 + (v % 17));  // light attachment downward
+  }
+  const Graph g = builder.Build();
+
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreSetProfile profile =
+      FindBestCoreSet(ordered, Metric::kAverageDegree);
+  // The dense blocks have internal average degree ~ 0.5 * 100 = 50; the
+  // whole graph is much sparser, so the best k is well above 1.
+  EXPECT_GT(profile.best_k, 5u);
+  // And the winning core set is much smaller than the graph.
+  EXPECT_LT(profile.primaries[profile.best_k].num_vertices,
+            g.NumVertices());
+}
+
+TEST(IntegrationTest, BestSingleCoreBeatsOrMatchesBestCoreSet) {
+  // The best single core's score is >= the best core set's score for
+  // monotone per-subgraph metrics like average degree (a set is a
+  // disjoint union; its average degree is a weighted mediant of its
+  // components').
+  const auto zoo = corekit::testing::SmallGraphZoo();
+  for (const auto& [name, graph] : zoo) {
+    if (graph.NumVertices() == 0) continue;
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    const OrderedGraph ordered(graph, cores);
+    const CoreForest forest(graph, cores);
+    const CoreSetProfile set_profile =
+        FindBestCoreSet(ordered, Metric::kAverageDegree);
+    const SingleCoreProfile single_profile =
+        FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+    EXPECT_GE(single_profile.best_score, set_profile.best_score - 1e-9)
+        << name;
+  }
+}
+
+TEST(IntegrationTest, OptDIsBestAverageDegreeCore) {
+  // Opt-D (application layer) must agree with the core-library profile.
+  const Graph g = GenerateRmat({/*scale=*/9, /*num_edges=*/4000, 0.57, 0.19,
+                                0.19, /*seed=*/13});
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreForest forest(g, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+  const DensestSubgraphResult opt_d = OptDDensestSubgraph(g);
+  EXPECT_NEAR(opt_d.average_degree, profile.best_score, 1e-9);
+}
+
+TEST(IntegrationTest, SubgraphExtractionAgreesWithProfilePrimaries) {
+  // Extracting the winning core set as a standalone graph reproduces the
+  // profile's primary values.
+  const Graph g = GenerateWattsStrogatz(400, 5, 0.1, 31);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const CoreSetProfile profile =
+      FindBestCoreSet(ordered, Metric::kInternalDensity);
+  const VertexId k = profile.best_k;
+  const InducedSubgraph sub =
+      ExtractInducedSubgraph(g, CoreSetMask(cores, k));
+  EXPECT_EQ(sub.graph.NumVertices(), profile.primaries[k].num_vertices);
+  EXPECT_EQ(sub.graph.NumEdges(), profile.primaries[k].InternalEdges());
+}
+
+TEST(IntegrationTest, TrivialKChoicesAreOftenSuboptimal) {
+  // Section V-A's qualitative claim: k = average degree or k = kmax is
+  // usually not the best k.  On an onion graph the profile varies enough
+  // that the best k differs from the naive picks for at least one metric.
+  OnionParams params;
+  params.num_vertices = 2000;
+  params.num_layers = 8;
+  params.target_kmax = 24;
+  params.seed = 8;
+  const Graph g = GenerateOnion(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+
+  const auto davg = static_cast<VertexId>(g.AverageDegree());
+  int differs_from_davg = 0;
+  for (const Metric metric :
+       {Metric::kAverageDegree, Metric::kModularity, Metric::kCutRatio}) {
+    const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+    differs_from_davg += (profile.best_k != davg) ? 1 : 0;
+  }
+  EXPECT_GE(differs_from_davg, 1);
+}
+
+TEST(IntegrationTest, SnapFormatInteropWithExternalTools) {
+  // Write in SNAP format, reload, and confirm the decomposition is
+  // isomorphic (same sorted coreness multiset).
+  const Graph g = GenerateErdosRenyi(250, 900, 55);
+  const std::string path = ::testing::TempDir() + "/interop.snap.txt";
+  ASSERT_TRUE(WriteSnapEdgeList(g, path).ok());
+  const auto reloaded = ReadSnapEdgeList(path);
+  ASSERT_TRUE(reloaded.ok());
+  auto a = ComputeCoreDecomposition(g).coreness;
+  auto b = ComputeCoreDecomposition(*reloaded).coreness;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Isolated vertices are dropped by the relabeling read; compare the
+  // non-isolated suffix.
+  a.erase(a.begin(),
+          std::find_if(a.begin(), a.end(), [](VertexId c) { return c > 0; }));
+  b.erase(b.begin(),
+          std::find_if(b.begin(), b.end(), [](VertexId c) { return c > 0; }));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,94 @@
+#include "corekit/parallel/parallel_core.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(ParallelCoreTest, EmptyAndEdgeless) {
+  EXPECT_TRUE(ComputeCoreDecompositionParallel(Graph()).coreness.empty());
+  const auto result =
+      ComputeCoreDecompositionParallel(GraphBuilder::FromEdges(5, {}), 4);
+  EXPECT_EQ(result.kmax, 0u);
+  EXPECT_EQ(result.peel_order.size(), 5u);
+}
+
+TEST(ParallelCoreTest, Fig2MatchesSequential) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreDecomposition sequential = ComputeCoreDecomposition(g);
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const CoreDecomposition parallel =
+        ComputeCoreDecompositionParallel(g, threads);
+    EXPECT_EQ(parallel.coreness, sequential.coreness)
+        << threads << " threads";
+    EXPECT_EQ(parallel.kmax, sequential.kmax);
+  }
+}
+
+TEST(ParallelCoreTest, PeelOrderIsPermutationGroupedByLevel) {
+  const Graph g = GenerateBarabasiAlbert(500, 4, 3);
+  const CoreDecomposition result = ComputeCoreDecompositionParallel(g, 4);
+  ASSERT_EQ(result.peel_order.size(), g.NumVertices());
+  std::vector<VertexId> sorted = result.peel_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) EXPECT_EQ(sorted[v], v);
+  // Levels never decrease along the peel order.
+  for (std::size_t i = 1; i < result.peel_order.size(); ++i) {
+    EXPECT_LE(result.coreness[result.peel_order[i - 1]],
+              result.coreness[result.peel_order[i]]);
+  }
+}
+
+TEST(ParallelCoreTest, PeelOrderIsDegeneracyOrdering) {
+  const Graph g = GenerateWattsStrogatz(300, 4, 0.2, 8);
+  const CoreDecomposition result = ComputeCoreDecompositionParallel(g, 4);
+  std::vector<VertexId> position(g.NumVertices());
+  for (VertexId i = 0; i < g.NumVertices(); ++i) {
+    position[result.peel_order[i]] = i;
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexId later = 0;
+    for (const VertexId u : g.Neighbors(v)) {
+      later += position[u] > position[v] ? 1u : 0u;
+    }
+    EXPECT_LE(later, result.kmax) << "vertex " << v;
+  }
+}
+
+class ParallelZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(ParallelZooTest, MatchesSequentialAcrossThreadCounts) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition sequential = ComputeCoreDecomposition(graph);
+  for (const std::uint32_t threads : {1u, 3u, 8u}) {
+    const CoreDecomposition parallel =
+        ComputeCoreDecompositionParallel(graph, threads);
+    EXPECT_EQ(parallel.coreness, sequential.coreness)
+        << GetParam().name << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ParallelZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>&
+           param_info) { return param_info.param.name; });
+
+TEST(ParallelCoreTest, LargeSkewedGraphStressRun) {
+  RmatParams params;
+  params.scale = 13;
+  params.num_edges = 60000;
+  params.seed = 5;
+  const Graph g = GenerateRmat(params);
+  const CoreDecomposition sequential = ComputeCoreDecomposition(g);
+  const CoreDecomposition parallel = ComputeCoreDecompositionParallel(g, 8);
+  EXPECT_EQ(parallel.coreness, sequential.coreness);
+}
+
+}  // namespace
+}  // namespace corekit

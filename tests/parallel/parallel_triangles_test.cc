@@ -1,0 +1,42 @@
+#include "corekit/parallel/parallel_triangles.h"
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/triangle_scoring.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(ParallelTrianglesTest, Fig2) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  EXPECT_EQ(CountTrianglesParallel(ordered, 4), 10u);
+}
+
+TEST(ParallelTrianglesTest, MatchesSequentialAcrossZooAndThreads) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    const OrderedGraph ordered(graph, cores);
+    const std::uint64_t expected = CountTriangles(ordered);
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      EXPECT_EQ(CountTrianglesParallel(ordered, threads), expected)
+          << name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelTrianglesTest, LargeGraphStress) {
+  RmatParams params;
+  params.scale = 14;
+  params.num_edges = 200000;
+  params.seed = 31;
+  const Graph g = GenerateRmat(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  EXPECT_EQ(CountTrianglesParallel(ordered, 8), CountTriangles(ordered));
+}
+
+}  // namespace
+}  // namespace corekit

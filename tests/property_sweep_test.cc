@@ -1,0 +1,146 @@
+// Randomized whole-pipeline property sweep.
+//
+// For a grid of random seeds and densities, generates a fresh graph and
+// asserts the cross-component invariants that must hold for *any* input:
+// the decomposition, ordering, forest, both scorers, the baselines, and
+// the truss extension all agree with each other and with first
+// principles.  This is the suite that catches interaction bugs the
+// per-module tests cannot.
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/corekit.h"
+
+namespace corekit {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  VertexId n;
+  EdgeId m;
+};
+
+class PipelineSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  PipelineSweepTest()
+      : graph_(GenerateErdosRenyi(GetParam().n, GetParam().m,
+                                  GetParam().seed)),
+        cores_(ComputeCoreDecomposition(graph_)),
+        ordered_(graph_, cores_),
+        forest_(graph_, cores_) {}
+
+  Graph graph_;
+  CoreDecomposition cores_;
+  OrderedGraph ordered_;
+  CoreForest forest_;
+};
+
+TEST_P(PipelineSweepTest, ShellSizesBridgeOrderingAndDecomposition) {
+  const auto shells = cores_.ShellSizes();
+  for (VertexId k = 0; k <= cores_.kmax; ++k) {
+    EXPECT_EQ(ordered_.Shell(k).size(), shells[k]) << "k=" << k;
+  }
+}
+
+TEST_P(PipelineSweepTest, ForestCoversCoreSetSizes) {
+  // Summing the forest's top-level-at-k core sizes over each k must give
+  // |V(C_k)|: every vertex of C_k is in exactly one k-core.
+  const auto core_set_sizes = cores_.CoreSetSizes();
+  for (VertexId k = 0; k <= cores_.kmax; ++k) {
+    // Cores at level k are nodes with coreness == k, plus deeper cores
+    // whose parent has coreness < k (they are maximal at level k too).
+    std::uint64_t covered = 0;
+    for (CoreForest::NodeId i = 0; i < forest_.NumNodes(); ++i) {
+      const auto& node = forest_.node(i);
+      const VertexId parent_coreness =
+          node.parent == CoreForest::kNoNode
+              ? 0
+              : forest_.node(node.parent).coreness;
+      const bool maximal_at_k =
+          node.coreness >= k &&
+          (node.parent == CoreForest::kNoNode || parent_coreness < k);
+      if (maximal_at_k) covered += forest_.CoreSize(i);
+    }
+    if (k == 0) {
+      // Vertices of coreness 0 are isolated roots; covered counts them.
+      EXPECT_EQ(covered, graph_.NumVertices());
+    } else {
+      EXPECT_EQ(covered, core_set_sizes[k]) << "k=" << k;
+    }
+  }
+}
+
+TEST_P(PipelineSweepTest, SetProfileDominatedBySingleProfile) {
+  for (const Metric metric :
+       {Metric::kAverageDegree, Metric::kInternalDensity}) {
+    const CoreSetProfile set_profile = FindBestCoreSet(ordered_, metric);
+    const SingleCoreProfile single_profile =
+        FindBestSingleCore(ordered_, forest_, metric);
+    EXPECT_GE(single_profile.best_score, set_profile.best_score - 1e-9)
+        << MetricShortName(metric);
+  }
+}
+
+TEST_P(PipelineSweepTest, OptimalAndBaselineBitwiseAgree) {
+  for (const Metric metric : kAllMetrics) {
+    const CoreSetProfile optimal = FindBestCoreSet(ordered_, metric);
+    const CoreSetProfile baseline =
+        BaselineFindBestCoreSet(graph_, cores_, metric);
+    ASSERT_EQ(optimal.scores.size(), baseline.scores.size());
+    for (std::size_t k = 0; k < optimal.scores.size(); ++k) {
+      EXPECT_DOUBLE_EQ(optimal.scores[k], baseline.scores[k])
+          << MetricShortName(metric) << " k=" << k;
+    }
+  }
+}
+
+TEST_P(PipelineSweepTest, TrianglesConsistentAcrossAllPaths) {
+  // Three independent triangle counters must agree: rank-ordered
+  // (Algorithm 3 kernel), brute force, and the k=0 entry of the
+  // incremental profile.
+  const std::uint64_t ranked = CountTriangles(ordered_);
+  const std::uint64_t brute = NaiveTriangleCount(graph_);
+  const auto primaries = ComputeCoreSetPrimaries(ordered_, true);
+  EXPECT_EQ(ranked, brute);
+  EXPECT_EQ(primaries[0].triangles, brute);
+  EXPECT_EQ(primaries[0].triplets, CountTriplets(graph_));
+}
+
+TEST_P(PipelineSweepTest, TrussContainedInCore) {
+  // Every edge's truss number minus one is at most both endpoints'
+  // coreness, so V(T_k) is always inside C_{k-1}.
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph_);
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    const auto [u, v] = trusses.edges[e];
+    const VertexId t = trusses.truss[e];
+    EXPECT_GE(cores_.coreness[u] + 1, t);
+    EXPECT_GE(cores_.coreness[v] + 1, t);
+  }
+}
+
+TEST_P(PipelineSweepTest, DensestCoreIsHalfApproximation) {
+  // kmax / 2 <= density(kmax-core) and Opt-D >= density of any core.
+  if (graph_.NumEdges() == 0) return;
+  const DensestSubgraphResult opt_d = OptDDensestSubgraph(graph_);
+  EXPECT_GE(opt_d.average_degree, cores_.kmax);  // kmax-core has davg >= kmax
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDensities, PipelineSweepTest,
+    ::testing::Values(SweepParam{101, 40, 60}, SweepParam{102, 40, 200},
+                      SweepParam{103, 60, 90}, SweepParam{104, 60, 400},
+                      SweepParam{105, 80, 120}, SweepParam{106, 80, 700},
+                      SweepParam{107, 120, 180}, SweepParam{108, 120, 1200},
+                      SweepParam{109, 200, 400}, SweepParam{110, 200, 2500}),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.n) + "_m" +
+             std::to_string(param_info.param.m);
+    });
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,115 @@
+// Shared fixtures for the corekit test suite.
+//
+// Fig2Graph() is the running example of the paper (Figure 2): 12 vertices,
+// two K4 blocks (coreness 3) bridged by a coreness-2 chain.  Examples 2-6
+// of the paper state exact coreness values, ordering tags, primary values
+// and scores for it; the unit tests assert those published numbers.
+
+#ifndef COREKIT_TESTS_TEST_UTIL_H_
+#define COREKIT_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/graph/types.h"
+
+namespace corekit::testing {
+
+// Paper vertex v_i (1-based) -> test id i-1 (0-based).
+inline constexpr VertexId V(int paper_id) {
+  return static_cast<VertexId>(paper_id - 1);
+}
+
+// The graph of Figure 2.  Edges: K4 on {v1..v4}, K4 on {v9..v12}, and the
+// 2-shell wiring v5-v3, v5-v6, v6-v3, v6-v7, v6-v8, v7-v8, v8-v9.
+// n = 12, m = 19, kmax = 3.
+inline Graph Fig2Graph() {
+  GraphBuilder builder(12);
+  auto add = [&builder](int a, int b) { builder.AddEdge(V(a), V(b)); };
+  // K4 on v1..v4.
+  add(1, 2);
+  add(1, 3);
+  add(1, 4);
+  add(2, 3);
+  add(2, 4);
+  add(3, 4);
+  // K4 on v9..v12.
+  add(9, 10);
+  add(9, 11);
+  add(9, 12);
+  add(10, 11);
+  add(10, 12);
+  add(11, 12);
+  // The 2-shell.
+  add(5, 3);
+  add(5, 6);
+  add(6, 3);
+  add(6, 7);
+  add(6, 8);
+  add(7, 8);
+  add(8, 9);
+  return builder.Build();
+}
+
+// A small zoo of deterministic random graphs exercising all generators;
+// used by the parameterized property tests.  Sizes stay small enough for
+// the naive oracles.
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+inline std::vector<NamedGraph> SmallGraphZoo() {
+  std::vector<NamedGraph> zoo;
+  zoo.push_back({"fig2", Fig2Graph()});
+  zoo.push_back({"empty_edges", GraphBuilder::FromEdges(8, {})});
+  zoo.push_back({"single_edge", GraphBuilder::FromEdges(4, {{0, 1}})});
+  zoo.push_back({"er_sparse", GenerateErdosRenyi(60, 90, 11)});
+  zoo.push_back({"er_dense", GenerateErdosRenyi(40, 300, 12)});
+  zoo.push_back({"ba", GenerateBarabasiAlbert(80, 3, 13)});
+  zoo.push_back({"ws", GenerateWattsStrogatz(70, 4, 0.2, 14)});
+  {
+    RmatParams rmat;
+    rmat.scale = 7;
+    rmat.num_edges = 400;
+    rmat.seed = 15;
+    zoo.push_back({"rmat", GenerateRmat(rmat)});
+  }
+  {
+    PlantedPartitionParams pp;
+    pp.num_vertices = 90;
+    pp.num_communities = 3;
+    pp.p_in = 0.4;
+    pp.p_out = 0.02;
+    pp.seed = 16;
+    zoo.push_back({"planted", GeneratePlantedPartition(pp).graph});
+  }
+  {
+    OnionParams onion;
+    onion.num_vertices = 120;
+    onion.num_layers = 4;
+    onion.target_kmax = 12;
+    onion.seed = 17;
+    zoo.push_back({"onion", GenerateOnion(onion)});
+  }
+  // Disconnected mix: two ER blobs plus isolated vertices.
+  {
+    GraphBuilder builder(70);
+    const Graph a = GenerateErdosRenyi(30, 60, 18);
+    const Graph b = GenerateErdosRenyi(30, 90, 19);
+    for (const auto& [u, v] : a.ToEdgeList()) builder.AddEdge(u, v);
+    for (const auto& [u, v] : b.ToEdgeList()) {
+      builder.AddEdge(u + 30, v + 30);
+    }
+    zoo.push_back({"disconnected", builder.Build()});
+  }
+  return zoo;
+}
+
+}  // namespace corekit::testing
+
+#endif  // COREKIT_TESTS_TEST_UTIL_H_

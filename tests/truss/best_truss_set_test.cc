@@ -1,0 +1,127 @@
+#include "corekit/truss/best_truss_set.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/naive_oracle.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+
+// Oracle: primary values of the k-truss set by explicit construction.
+PrimaryValues NaiveTrussSetPrimaries(const Graph& graph,
+                                     const TrussDecomposition& trusses,
+                                     VertexId k) {
+  PrimaryValues pv;
+  std::vector<bool> in_v(graph.NumVertices(), false);
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    if (trusses.truss[e] < k) continue;
+    pv.internal_edges_x2 += 2;
+    in_v[trusses.edges[e].first] = true;
+    in_v[trusses.edges[e].second] = true;
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!in_v[v]) continue;
+    ++pv.num_vertices;
+    for (const VertexId u : graph.Neighbors(v)) {
+      pv.boundary_edges += in_v[u] ? 0u : 1u;
+    }
+  }
+  return pv;
+}
+
+TEST(BestTrussSetTest, Fig2Profile) {
+  const Graph g = Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const auto primaries = ComputeTrussSetPrimaries(g, trusses);
+  ASSERT_EQ(primaries.size(), 5u);
+  // T_4 = the two K4s: 8 vertices, 12 edges, boundary = 3 (v3-v5, v3-v6,
+  // v8-v9).
+  EXPECT_EQ(primaries[4].num_vertices, 8u);
+  EXPECT_EQ(primaries[4].InternalEdges(), 12u);
+  EXPECT_EQ(primaries[4].boundary_edges, 3u);
+  // T_3 adds the two shell triangles: every vertex but none of v8-v9's
+  // bridging edge; V(T_3) = all 12 vertices, 18 edges.
+  EXPECT_EQ(primaries[3].num_vertices, 12u);
+  EXPECT_EQ(primaries[3].InternalEdges(), 18u);
+  EXPECT_EQ(primaries[3].boundary_edges, 0u);
+  // T_2 = whole graph (every edge has truss >= 2).
+  EXPECT_EQ(primaries[2].num_vertices, 12u);
+  EXPECT_EQ(primaries[2].InternalEdges(), 19u);
+  EXPECT_EQ(primaries[2].boundary_edges, 0u);
+}
+
+TEST(BestTrussSetTest, Fig2BestKByAverageDegree) {
+  const Graph g = Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const TrussSetProfile profile =
+      FindBestTrussSet(g, trusses, Metric::kAverageDegree);
+  // ad(T_2) = 38/12, ad(T_3) = 36/12, ad(T_4) = 24/8 = 3.0.
+  EXPECT_NEAR(profile.scores[2], 2.0 * 19 / 12, 1e-12);
+  EXPECT_NEAR(profile.scores[3], 3.0, 1e-12);
+  EXPECT_NEAR(profile.scores[4], 3.0, 1e-12);
+  EXPECT_EQ(profile.best_k, 2u);
+}
+
+TEST(BestTrussSetDeathTest, TriangleMetricRejected) {
+  const Graph g = Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  EXPECT_DEATH(
+      { FindBestTrussSet(g, trusses, Metric::kClusteringCoefficient); },
+      "out of scope");
+}
+
+using ZooMetricParam = std::tuple<corekit::testing::NamedGraph, Metric>;
+
+class BestTrussSetZooTest : public ::testing::TestWithParam<ZooMetricParam> {
+};
+
+TEST_P(BestTrussSetZooTest, PrimariesMatchOracleAtEveryLevel) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumEdges() == 0) return;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+  const auto primaries = ComputeTrussSetPrimaries(graph, trusses);
+  for (VertexId k = 2; k <= trusses.tmax; ++k) {
+    const PrimaryValues naive = NaiveTrussSetPrimaries(graph, trusses, k);
+    EXPECT_EQ(primaries[k].num_vertices, naive.num_vertices)
+        << named.name << " k=" << k;
+    EXPECT_EQ(primaries[k].internal_edges_x2, naive.internal_edges_x2)
+        << named.name << " k=" << k;
+    EXPECT_EQ(primaries[k].boundary_edges, naive.boundary_edges)
+        << named.name << " k=" << k;
+  }
+}
+
+TEST_P(BestTrussSetZooTest, BestKAttainsMaximum) {
+  const auto& [named, metric] = GetParam();
+  const Graph& graph = named.graph;
+  if (graph.NumEdges() == 0 || MetricNeedsTriangles(metric)) return;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+  const TrussSetProfile profile = FindBestTrussSet(graph, trusses, metric);
+  for (VertexId k = 2; k < profile.scores.size(); ++k) {
+    EXPECT_LE(profile.scores[k], profile.best_score + 1e-12)
+        << named.name << " " << MetricShortName(metric) << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesMetrics, BestTrussSetZooTest,
+    ::testing::Combine(::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+                       ::testing::Values(Metric::kAverageDegree,
+                                         Metric::kInternalDensity,
+                                         Metric::kCutRatio,
+                                         Metric::kConductance,
+                                         Metric::kModularity)),
+    [](const ::testing::TestParamInfo<ZooMetricParam>& param_info) {
+      return std::get<0>(param_info.param).name + std::string("_") +
+             MetricShortName(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace corekit

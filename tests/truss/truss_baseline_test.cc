@@ -1,0 +1,57 @@
+#include "corekit/truss/truss_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(TrussBaselineTest, AgreesWithIncrementalOnZoo) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    if (graph.NumEdges() == 0) continue;
+    const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+    for (const Metric metric :
+         {Metric::kAverageDegree, Metric::kInternalDensity,
+          Metric::kCutRatio, Metric::kConductance, Metric::kModularity}) {
+      const TrussSetProfile optimal =
+          FindBestTrussSet(graph, trusses, metric);
+      const TrussSetProfile baseline =
+          BaselineFindBestTrussSet(graph, trusses, metric);
+      ASSERT_EQ(optimal.scores.size(), baseline.scores.size())
+          << name << " " << MetricShortName(metric);
+      for (std::size_t k = 2; k < optimal.scores.size(); ++k) {
+        EXPECT_DOUBLE_EQ(optimal.scores[k], baseline.scores[k])
+            << name << " " << MetricShortName(metric) << " k=" << k;
+      }
+      EXPECT_EQ(optimal.best_k, baseline.best_k)
+          << name << " " << MetricShortName(metric);
+    }
+  }
+}
+
+TEST(TrussBaselineTest, ScratchPrimariesOnFig2) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const PrimaryValues t4 = ScratchTrussSetPrimaries(g, trusses, 4);
+  EXPECT_EQ(t4.num_vertices, 8u);
+  EXPECT_EQ(t4.InternalEdges(), 12u);
+  EXPECT_EQ(t4.boundary_edges, 3u);
+  const PrimaryValues t2 = ScratchTrussSetPrimaries(g, trusses, 2);
+  EXPECT_EQ(t2.num_vertices, 12u);
+  EXPECT_EQ(t2.InternalEdges(), 19u);
+}
+
+TEST(TrussBaselineDeathTest, TriangleMetricRejected) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  EXPECT_DEATH(
+      {
+        BaselineFindBestTrussSet(g, trusses,
+                                 Metric::kClusteringCoefficient);
+      },
+      "out of scope");
+}
+
+}  // namespace
+}  // namespace corekit

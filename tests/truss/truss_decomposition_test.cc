@@ -1,0 +1,162 @@
+#include "corekit/truss/truss_decomposition.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+// Truss number of the edge (u, v) in a decomposition (paper ids).
+VertexId TrussOf(const TrussDecomposition& trusses, VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    if (trusses.edges[e] == Edge{u, v}) return trusses.truss[e];
+  }
+  ADD_FAILURE() << "edge (" << u << "," << v << ") not found";
+  return 0;
+}
+
+TEST(TrussDecompositionTest, EdgelessGraph) {
+  const TrussDecomposition trusses =
+      ComputeTrussDecomposition(GraphBuilder::FromEdges(4, {}));
+  EXPECT_EQ(trusses.tmax, 0u);
+  EXPECT_TRUE(trusses.truss.empty());
+}
+
+TEST(TrussDecompositionTest, TriangleFreeGraphIsAllTwo) {
+  const Graph g = GraphBuilder::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  EXPECT_EQ(trusses.tmax, 2u);
+  for (const VertexId t : trusses.truss) EXPECT_EQ(t, 2u);
+}
+
+TEST(TrussDecompositionTest, TriangleIsThreeTruss) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  EXPECT_EQ(trusses.tmax, 3u);
+  for (const VertexId t : trusses.truss) EXPECT_EQ(t, 3u);
+}
+
+TEST(TrussDecompositionTest, CliqueTrussIsSize) {
+  // Every edge of K_q is in q-2 triangles: truss number q.
+  for (const VertexId q : {4u, 5u, 7u}) {
+    GraphBuilder builder(q);
+    for (VertexId u = 0; u < q; ++u) {
+      for (VertexId v = u + 1; v < q; ++v) builder.AddEdge(u, v);
+    }
+    const TrussDecomposition trusses =
+        ComputeTrussDecomposition(builder.Build());
+    EXPECT_EQ(trusses.tmax, q);
+    for (const VertexId t : trusses.truss) EXPECT_EQ(t, q) << "K" << q;
+  }
+}
+
+TEST(TrussDecompositionTest, Fig2TrussNumbers) {
+  // The two K4s are 4-trusses; the two 2-shell triangles (v3,v5,v6) and
+  // (v6,v7,v8) are 3-truss; the bridge v8-v9 closes no triangle.
+  const TrussDecomposition trusses = ComputeTrussDecomposition(Fig2Graph());
+  EXPECT_EQ(trusses.tmax, 4u);
+  EXPECT_EQ(TrussOf(trusses, V(1), V(2)), 4u);
+  EXPECT_EQ(TrussOf(trusses, V(3), V(4)), 4u);
+  EXPECT_EQ(TrussOf(trusses, V(9), V(12)), 4u);
+  EXPECT_EQ(TrussOf(trusses, V(5), V(6)), 3u);
+  EXPECT_EQ(TrussOf(trusses, V(3), V(5)), 3u);
+  EXPECT_EQ(TrussOf(trusses, V(3), V(6)), 3u);
+  EXPECT_EQ(TrussOf(trusses, V(6), V(7)), 3u);
+  EXPECT_EQ(TrussOf(trusses, V(7), V(8)), 3u);
+  EXPECT_EQ(TrussOf(trusses, V(8), V(9)), 2u);
+}
+
+TEST(TrussDecompositionTest, TwoCliquesSharingAnEdge) {
+  // K5 on {0..4} and K4 on {3,4,5,6} share edge (3,4); the shared edge
+  // takes the larger truss.
+  GraphBuilder builder(7);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) builder.AddEdge(u, v);
+  }
+  const VertexId k4[] = {3, 4, 5, 6};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) builder.AddEdge(k4[i], k4[j]);
+  }
+  const TrussDecomposition trusses =
+      ComputeTrussDecomposition(builder.Build());
+  EXPECT_EQ(trusses.tmax, 5u);
+  EXPECT_EQ(TrussOf(trusses, 0, 1), 5u);
+  EXPECT_EQ(TrussOf(trusses, 3, 4), 5u);  // shared edge: in the K5
+  EXPECT_EQ(TrussOf(trusses, 5, 6), 4u);
+}
+
+TEST(TrussDecompositionTest, LevelSizesSumToEdgeCount) {
+  const Graph g = GenerateWattsStrogatz(200, 4, 0.1, 3);
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  EdgeId total = 0;
+  for (const EdgeId c : trusses.LevelSizes()) total += c;
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+TEST(TrussDecompositionTest, TrussAtMostCorenessPlusOne) {
+  // Classic relation: t(e) <= min(c(u), c(v)) + 1 for e = (u, v).
+  const Graph g = GenerateBarabasiAlbert(300, 4, 9);
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    const auto [u, v] = trusses.edges[e];
+    EXPECT_LE(trusses.truss[e],
+              std::min(cores.coreness[u], cores.coreness[v]) + 1);
+  }
+}
+
+TEST(TrussDecompositionTest, KTrussSatisfiesDefinition) {
+  // Within the subgraph of truss >= k edges, every edge must close at
+  // least k-2 triangles (using only truss >= k edges).
+  const Graph g = GenerateErdosRenyi(60, 400, 21);
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  std::map<Edge, VertexId> truss_of;
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    truss_of[trusses.edges[e]] = trusses.truss[e];
+  }
+  auto level = [&](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    const auto it = truss_of.find({a, b});
+    return it == truss_of.end() ? VertexId{0} : it->second;
+  };
+  for (VertexId k = 3; k <= trusses.tmax; ++k) {
+    for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+      if (trusses.truss[e] < k) continue;
+      const auto [u, v] = trusses.edges[e];
+      VertexId support = 0;
+      for (const VertexId w : g.Neighbors(u)) {
+        if (w != v && level(u, w) >= k && level(v, w) >= k) ++support;
+      }
+      EXPECT_GE(support + 2, k) << "edge (" << u << "," << v << ") k=" << k;
+    }
+  }
+}
+
+TEST(TrussDecompositionTest, MatchesNaiveOnSmallGraphs) {
+  const std::vector<Graph> graphs = {
+      Fig2Graph(),
+      GenerateErdosRenyi(20, 60, 5),
+      GenerateErdosRenyi(25, 120, 6),
+      GenerateWattsStrogatz(24, 3, 0.2, 7),
+  };
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const TrussDecomposition fast = ComputeTrussDecomposition(graphs[i]);
+    const std::vector<VertexId> naive = NaiveTrussNumbers(graphs[i]);
+    EXPECT_EQ(fast.truss, naive) << "graph " << i;
+  }
+}
+
+}  // namespace
+}  // namespace corekit

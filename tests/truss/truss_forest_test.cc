@@ -1,0 +1,230 @@
+#include "corekit/truss/truss_forest.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/truss/best_single_truss.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+using ::corekit::testing::V;
+
+// Reference: connected components of the truss->=k edge subgraph, each as
+// a sorted edge-id set.
+std::vector<std::set<EdgeId>> NaiveTrussComponents(
+    const Graph& graph, const TrussDecomposition& trusses, VertexId k) {
+  const VertexId n = graph.NumVertices();
+  // Union-find over vertices via the qualifying edges.
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+  std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    return parent[v] == v ? v : parent[v] = find(parent[v]);
+  };
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    if (trusses.truss[e] < k) continue;
+    parent[find(trusses.edges[e].first)] = find(trusses.edges[e].second);
+  }
+  std::map<VertexId, std::set<EdgeId>> components;
+  for (EdgeId e = 0; e < trusses.edges.size(); ++e) {
+    if (trusses.truss[e] < k) continue;
+    components[find(trusses.edges[e].first)].insert(e);
+  }
+  std::vector<std::set<EdgeId>> result;
+  for (auto& [root, edges] : components) result.push_back(std::move(edges));
+  return result;
+}
+
+TEST(TrussForestTest, EdgelessGraph) {
+  const Graph g = GraphBuilder::FromEdges(3, {});
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const TrussForest forest(g, trusses);
+  EXPECT_EQ(forest.NumNodes(), 0u);
+}
+
+TEST(TrussForestTest, Fig2Structure) {
+  // Expected forest: two level-4 nodes (the K4s); one level-3 node (the
+  // six shell-triangle edges) whose child is the left K4 (shares v3); one
+  // level-2 root (the bridge v8-v9) with the level-3 node and the right
+  // K4 as children.
+  const Graph g = Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const TrussForest forest(g, trusses);
+  ASSERT_EQ(forest.NumNodes(), 4u);
+
+  EXPECT_EQ(forest.node(0).level, 4u);
+  EXPECT_EQ(forest.node(1).level, 4u);
+  EXPECT_EQ(forest.node(2).level, 3u);
+  EXPECT_EQ(forest.node(3).level, 2u);
+  EXPECT_EQ(forest.node(3).parent, TrussForest::kNoNode);
+  EXPECT_EQ(forest.node(2).parent, 3u);
+
+  // Identify which K4 node is which by vertex content.
+  const auto vertices0 = forest.TrussVertices(trusses, 0);
+  const auto vertices1 = forest.TrussVertices(trusses, 1);
+  const std::vector<VertexId> left{V(1), V(2), V(3), V(4)};
+  const std::vector<VertexId> right{V(9), V(10), V(11), V(12)};
+  const TrussForest::NodeId left_node = vertices0 == left ? 0u : 1u;
+  const TrussForest::NodeId right_node = left_node == 0 ? 1u : 0u;
+  EXPECT_EQ(forest.TrussVertices(trusses, left_node), left);
+  EXPECT_EQ(forest.TrussVertices(trusses, right_node), right);
+
+  // The left K4 hangs under the level-3 node; the right under the root.
+  EXPECT_EQ(forest.node(left_node).parent, 2u);
+  EXPECT_EQ(forest.node(right_node).parent, 3u);
+
+  // Edge counts: 6 + 6 + 6 + 1 = 19 total; level-3 truss has 12 edges.
+  EXPECT_EQ(forest.TrussEdgeCount(3), 19u);
+  EXPECT_EQ(forest.TrussEdgeCount(2), 12u);
+  EXPECT_EQ(forest.TrussEdgeCount(left_node), 6u);
+  EXPECT_EQ(forest.node(2).edges.size(), 6u);
+  EXPECT_EQ(forest.node(3).edges.size(), 1u);
+
+  // The level-3 truss spans v1..v8.
+  const auto level3_vertices = forest.TrussVertices(trusses, 2);
+  EXPECT_EQ(level3_vertices.size(), 8u);
+}
+
+TEST(TrussForestTest, SingleTriangle) {
+  const Graph g = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const TrussForest forest(g, trusses);
+  ASSERT_EQ(forest.NumNodes(), 1u);
+  EXPECT_EQ(forest.node(0).level, 3u);
+  EXPECT_EQ(forest.node(0).edges.size(), 3u);
+}
+
+class TrussForestZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(TrussForestZooTest, EveryEdgeInExactlyOneNode) {
+  const Graph& graph = GetParam().graph;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+  const TrussForest forest(graph, trusses);
+  std::vector<int> covered(trusses.edges.size(), 0);
+  for (TrussForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    EXPECT_FALSE(forest.node(i).edges.empty());
+    for (const EdgeId e : forest.node(i).edges) {
+      EXPECT_EQ(trusses.truss[e], forest.node(i).level);
+      ++covered[e];
+    }
+  }
+  for (EdgeId e = 0; e < covered.size(); ++e) {
+    EXPECT_EQ(covered[e], 1) << "edge " << e;
+  }
+}
+
+TEST_P(TrussForestZooTest, NodesMatchNaiveComponentsAtEveryLevel) {
+  const Graph& graph = GetParam().graph;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+  const TrussForest forest(graph, trusses);
+
+  // Forest trusses by level.
+  std::map<VertexId, std::set<std::set<EdgeId>>> forest_components;
+  for (TrussForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const auto edges = forest.TrussEdges(i);
+    forest_components[forest.node(i).level].insert(
+        std::set<EdgeId>(edges.begin(), edges.end()));
+  }
+
+  // Every node's truss must be a *component* of its level, and every
+  // component holding a level-exact edge must have a node.
+  for (const auto& [level, trusses_at_level] : forest_components) {
+    const auto naive = NaiveTrussComponents(graph, trusses, level);
+    const std::set<std::set<EdgeId>> naive_set(naive.begin(), naive.end());
+    for (const auto& component : trusses_at_level) {
+      EXPECT_TRUE(naive_set.contains(component))
+          << GetParam().name << " level " << level;
+    }
+  }
+  for (VertexId k = 2; k <= trusses.tmax; ++k) {
+    for (const auto& component : NaiveTrussComponents(graph, trusses, k)) {
+      const bool has_exact_edge =
+          std::any_of(component.begin(), component.end(),
+                      [&](EdgeId e) { return trusses.truss[e] == k; });
+      if (has_exact_edge) {
+        EXPECT_TRUE(forest_components[k].contains(component))
+            << GetParam().name << " missing node at level " << k;
+      }
+    }
+  }
+}
+
+TEST_P(TrussForestZooTest, ParentsHaveStrictlyLowerLevel) {
+  const Graph& graph = GetParam().graph;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+  const TrussForest forest(graph, trusses);
+  for (TrussForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const auto parent = forest.node(i).parent;
+    if (parent == TrussForest::kNoNode) continue;
+    EXPECT_GT(parent, i);
+    EXPECT_LT(forest.node(parent).level, forest.node(i).level);
+  }
+}
+
+TEST_P(TrussForestZooTest, SingleTrussPrimariesMatchDirectComputation) {
+  const Graph& graph = GetParam().graph;
+  if (graph.NumEdges() == 0) return;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+  const TrussForest forest(graph, trusses);
+  const auto primaries = ComputeSingleTrussPrimaries(graph, trusses, forest);
+  for (TrussForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+    const auto vertices = forest.TrussVertices(trusses, i);
+    std::vector<bool> in_v(graph.NumVertices(), false);
+    for (const VertexId v : vertices) in_v[v] = true;
+    std::uint64_t boundary = 0;
+    for (const VertexId v : vertices) {
+      for (const VertexId u : graph.Neighbors(v)) {
+        boundary += in_v[u] ? 0u : 1u;
+      }
+    }
+    EXPECT_EQ(primaries[i].num_vertices, vertices.size()) << i;
+    EXPECT_EQ(primaries[i].InternalEdges(), forest.TrussEdgeCount(i)) << i;
+    EXPECT_EQ(primaries[i].boundary_edges, boundary) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, TrussForestZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>&
+           param_info) { return param_info.param.name; });
+
+TEST(BestSingleTrussTest, Fig2Scores) {
+  const Graph g = Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const TrussForest forest(g, trusses);
+  const SingleTrussProfile profile =
+      FindBestSingleTruss(g, trusses, forest, Metric::kAverageDegree);
+  ASSERT_EQ(profile.scores.size(), 4u);
+  // K4s: ad 3; level-3 truss (12 edges on 8 vertices): ad 3; whole graph:
+  // 2*19/12.
+  EXPECT_DOUBLE_EQ(profile.scores[0], 3.0);
+  EXPECT_DOUBLE_EQ(profile.scores[1], 3.0);
+  EXPECT_DOUBLE_EQ(profile.scores[2], 3.0);
+  EXPECT_NEAR(profile.scores[3], 2.0 * 19 / 12, 1e-12);
+  EXPECT_EQ(profile.best_k, 2u);
+}
+
+TEST(BestSingleTrussDeathTest, TriangleMetricRejected) {
+  const Graph g = Fig2Graph();
+  const TrussDecomposition trusses = ComputeTrussDecomposition(g);
+  const TrussForest forest(g, trusses);
+  EXPECT_DEATH(
+      {
+        FindBestSingleTruss(g, trusses, forest,
+                            Metric::kClusteringCoefficient);
+      },
+      "out of scope");
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,119 @@
+#include "corekit/util/bucket_queue.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/util/random.h"
+
+namespace corekit {
+namespace {
+
+TEST(BucketQueueTest, StartsEmpty) {
+  BucketQueue<int> q(10);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BucketQueueTest, PopMaxReturnsHighestKey) {
+  BucketQueue<int> q(10);
+  q.Push(3, 30);
+  q.Push(7, 70);
+  q.Push(5, 50);
+  auto [k1, v1] = q.PopMax();
+  EXPECT_EQ(k1, 7u);
+  EXPECT_EQ(v1, 70);
+  auto [k2, v2] = q.PopMax();
+  EXPECT_EQ(k2, 5u);
+  EXPECT_EQ(v2, 50);
+  auto [k3, v3] = q.PopMax();
+  EXPECT_EQ(k3, 3u);
+  EXPECT_EQ(v3, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, LifoWithinBucket) {
+  BucketQueue<int> q(4);
+  q.Push(2, 1);
+  q.Push(2, 2);
+  q.Push(2, 3);
+  EXPECT_EQ(q.PopMax().second, 3);
+  EXPECT_EQ(q.PopMax().second, 2);
+  EXPECT_EQ(q.PopMax().second, 1);
+}
+
+TEST(BucketQueueTest, PushAfterPopRaisesCursor) {
+  BucketQueue<int> q(10);
+  q.Push(2, 20);
+  EXPECT_EQ(q.PopMax().first, 2u);
+  q.Push(9, 90);  // cursor must jump back up
+  q.Push(1, 10);
+  EXPECT_EQ(q.PopMax().first, 9u);
+  EXPECT_EQ(q.PopMax().first, 1u);
+}
+
+TEST(BucketQueueTest, DuplicateValuesAllowed) {
+  BucketQueue<int> q(3);
+  q.Push(1, 42);
+  q.Push(2, 42);
+  EXPECT_EQ(q.PopMax().second, 42);
+  EXPECT_EQ(q.PopMax().second, 42);
+}
+
+TEST(BucketQueueTest, ClearEmptiesQueue) {
+  BucketQueue<int> q(5);
+  q.Push(4, 1);
+  q.Push(2, 2);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  q.Push(0, 3);
+  EXPECT_EQ(q.PopMax().first, 0u);
+}
+
+TEST(BucketQueueTest, ZeroMaxKeyWorks) {
+  BucketQueue<int> q(0);
+  q.Push(0, 5);
+  EXPECT_EQ(q.PopMax(), (std::pair<std::uint32_t, int>{0, 5}));
+}
+
+TEST(BucketQueueDeathTest, PopOnEmptyAborts) {
+  BucketQueue<int> q(3);
+  EXPECT_DEATH({ q.PopMax(); }, "Check failed");
+}
+
+// Randomized differential test against a reference multiset ordering.
+TEST(BucketQueueTest, MatchesReferenceOnRandomWorkload) {
+  Rng rng(2024);
+  BucketQueue<int> q(63);
+  std::vector<std::pair<std::uint32_t, int>> reference;  // (key, value)
+  int next_value = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (reference.empty() || rng.NextBool(0.6)) {
+      const auto key = static_cast<std::uint32_t>(rng.NextBounded(64));
+      q.Push(key, next_value);
+      reference.emplace_back(key, next_value);
+      ++next_value;
+    } else {
+      const auto [key, value] = q.PopMax();
+      // Reference: max key; among equals, the most recently pushed.
+      auto it = std::max_element(
+          reference.begin(), reference.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Find the last element with the max key (LIFO within bucket).
+      const std::uint32_t max_key = it->first;
+      auto last = reference.end();
+      for (auto i = reference.begin(); i != reference.end(); ++i) {
+        if (i->first == max_key) last = i;
+      }
+      EXPECT_EQ(key, max_key);
+      EXPECT_EQ(value, last->second);
+      reference.erase(last);
+    }
+  }
+  EXPECT_EQ(q.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,48 @@
+#include "corekit/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace corekit {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  COREKIT_CHECK(true);
+  COREKIT_CHECK_EQ(1, 1);
+  COREKIT_CHECK_NE(1, 2);
+  COREKIT_CHECK_LT(1, 2);
+  COREKIT_CHECK_LE(2, 2);
+  COREKIT_CHECK_GT(3, 2);
+  COREKIT_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ COREKIT_CHECK(false) << "extra context"; }, "Check failed");
+}
+
+TEST(CheckDeathTest, FailingCheckEqShowsOperands) {
+  const int a = 3;
+  const int b = 4;
+  EXPECT_DEATH({ COREKIT_CHECK_EQ(a, b); }, "3 vs. 4");
+}
+
+TEST(CheckDeathTest, StreamedContextAppears) {
+  EXPECT_DEATH({ COREKIT_CHECK(1 == 2) << "ctx" << 99; }, "ctx99");
+}
+
+TEST(LogTest, SeverityFilterSuppressesInfo) {
+  const LogSeverity before = GetMinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  COREKIT_LOG(INFO) << "should be dropped silently";
+  COREKIT_LOG(WARNING) << "also dropped";
+  SetMinLogSeverity(before);
+}
+
+TEST(CheckTest, CheckUsableInExpressionContext) {
+  // The voidified ternary must be a valid expression, e.g. in a comma
+  // position or a lambda body returning void.
+  auto f = [](bool ok) { COREKIT_CHECK(ok); };
+  f(true);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,119 @@
+#include "corekit/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corekit {
+namespace {
+
+TEST(SplitMix64Test, DeterministicStream) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(31);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (const int c : counts) {
+    // Expected 10000 per bucket; allow +-5%.
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.05);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(55);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(77);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(10);
+  Rng b = a.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SeedFromStringTest, StableAndDistinct) {
+  EXPECT_EQ(SeedFromString("dblp"), SeedFromString("dblp"));
+  EXPECT_NE(SeedFromString("dblp"), SeedFromString("orkut"));
+  EXPECT_NE(SeedFromString(""), SeedFromString("a"));
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,51 @@
+#include "corekit/util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace corekit {
+namespace {
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter t({"a", "bb"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str(), "| a | bb |\n|---|----|\n");
+}
+
+TEST(TablePrinterTest, ColumnsPadToWidestCell) {
+  TablePrinter t({"name", "n"});
+  t.AddRow({"x", "123456"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string expected =
+      "| name | n      |\n"
+      "|------|--------|\n"
+      "| x    | 123456 |\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH({ t.AddRow({"only one"}); }, "Check failed");
+}
+
+TEST(TablePrinterTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.17, 4), "3.17");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 4), "2");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.999998, 6), "0.999998");
+  EXPECT_EQ(TablePrinter::FormatDouble(-1.5, 2), "-1.5");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.0, 3), "0");
+}
+
+TEST(TablePrinterTest, FormatSecondsPicksUnit) {
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.000001), "1us");
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.000812), "812us");
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.00342), "3.42ms");
+  EXPECT_EQ(TablePrinter::FormatSeconds(1.27), "1.27s");
+  EXPECT_EQ(TablePrinter::FormatSeconds(105.0), "105.00s");
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,74 @@
+#include "corekit/util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corekit {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTotal = 100000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  pool.ParallelFor(kTotal, 64, [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolWorks) {
+  ThreadPool pool(1);
+  std::size_t sum = 0;  // no synchronization needed: serial path
+  pool.ParallelFor(1000, 10, [&sum](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 1000u * 999 / 2);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, 16, [&called](std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.ParallelFor(997, 13, [&total](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 997);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreDisjointAndOrderedWithin) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.ParallelFor(12345, 100,
+                   [&sum](std::size_t begin, std::size_t end) {
+                     ASSERT_LT(begin, end);
+                     ASSERT_LE(end, 12345u);
+                     sum.fetch_add((end - begin), std::memory_order_relaxed);
+                   });
+  EXPECT_EQ(sum.load(), 12345u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,95 @@
+#include "corekit/viz/svg_fingerprint.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(SvgFingerprintTest, Fig2RendersAllVerticesAndEdges) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const OnionDecomposition onion = ComputeOnionDecomposition(g);
+  const std::string svg = RenderCoreFingerprintSvg(g, onion);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 12u);
+  EXPECT_EQ(CountOccurrences(svg, "<line"), 19u);
+}
+
+TEST(SvgFingerprintTest, SubsamplingCapsElements) {
+  const Graph g = GenerateBarabasiAlbert(2000, 4, 5);
+  const OnionDecomposition onion = ComputeOnionDecomposition(g);
+  SvgFingerprintOptions options;
+  options.max_vertices = 300;
+  options.max_edges = 500;
+  const std::string svg = RenderCoreFingerprintSvg(g, onion, options);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 300u);
+  EXPECT_LE(CountOccurrences(svg, "<line"), 500u);
+}
+
+TEST(SvgFingerprintTest, DeterministicGivenSeed) {
+  const Graph g = GenerateWattsStrogatz(200, 3, 0.1, 9);
+  const OnionDecomposition onion = ComputeOnionDecomposition(g);
+  EXPECT_EQ(RenderCoreFingerprintSvg(g, onion),
+            RenderCoreFingerprintSvg(g, onion));
+}
+
+TEST(SvgFingerprintTest, ColorsSpanCorenessRange) {
+  // A graph with kmax > 0 must use more than one fill color.
+  const Graph g = corekit::testing::Fig2Graph();
+  const OnionDecomposition onion = ComputeOnionDecomposition(g);
+  const std::string svg = RenderCoreFingerprintSvg(g, onion);
+  // Coreness 3 (center) renders red-ish, coreness 2 blue-ish: at least
+  // two distinct fill attributes.
+  const std::size_t first = svg.find("fill=\"#");
+  ASSERT_NE(first, std::string::npos);
+  const std::string first_color = svg.substr(first + 7, 6);
+  bool found_other = false;
+  std::size_t pos = first + 1;
+  while ((pos = svg.find("fill=\"#", pos)) != std::string::npos) {
+    if (svg.substr(pos + 7, 6) != first_color) {
+      found_other = true;
+      break;
+    }
+    ++pos;
+  }
+  EXPECT_TRUE(found_other);
+}
+
+TEST(SvgFingerprintTest, WriteToFile) {
+  const Graph g = corekit::testing::Fig2Graph();
+  const OnionDecomposition onion = ComputeOnionDecomposition(g);
+  const std::string path = ::testing::TempDir() + "/corekit_fingerprint.svg";
+  ASSERT_TRUE(WriteCoreFingerprintSvg(g, onion, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), RenderCoreFingerprintSvg(g, onion));
+}
+
+TEST(SvgFingerprintTest, EmptyGraphStillValidSvg) {
+  const Graph g;
+  const OnionDecomposition onion = ComputeOnionDecomposition(g);
+  const std::string svg = RenderCoreFingerprintSvg(g, onion);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 0u);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,161 @@
+#include "corekit/weighted/s_core.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+// Integer weights keep every strength computation exact in doubles, so
+// the heap-based and recompute-based peels must agree bit for bit.
+WeightedGraph IntegerWeighted(const Graph& graph, std::uint64_t seed) {
+  Rng rng(seed);
+  WeightedGraphBuilder builder(graph.NumVertices());
+  for (const auto& [u, v] : graph.ToEdgeList()) {
+    builder.AddEdge(u, v, 1.0 + static_cast<double>(rng.NextBounded(9)));
+  }
+  return builder.Build();
+}
+
+TEST(SCoreTest, EmptyGraph) {
+  const SCoreDecomposition cores = ComputeSCoreDecomposition(WeightedGraph());
+  EXPECT_TRUE(cores.s_value.empty());
+  EXPECT_DOUBLE_EQ(cores.smax, 0.0);
+}
+
+TEST(SCoreTest, UniformWeightsReduceToScaledCoreness) {
+  // With all weights equal to w, the s-core peel is the k-core peel and
+  // s_value(v) = w * coreness(v).
+  const Graph base = corekit::testing::Fig2Graph();
+  WeightedGraphBuilder builder(base.NumVertices());
+  for (const auto& [u, v] : base.ToEdgeList()) builder.AddEdge(u, v, 2.0);
+  const SCoreDecomposition s_cores =
+      ComputeSCoreDecomposition(builder.Build());
+  const CoreDecomposition k_cores = ComputeCoreDecomposition(base);
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    EXPECT_DOUBLE_EQ(s_cores.s_value[v], 2.0 * k_cores.coreness[v]) << v;
+  }
+}
+
+TEST(SCoreTest, WeightsOverrideTopology) {
+  // A triangle with one heavy pendant: the pendant's single edge (weight
+  // 10) outweighs the triangle's light edges, so the triangle vertices
+  // peel first.
+  WeightedGraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(2, 0, 1.0);
+  builder.AddEdge(0, 3, 10.0);
+  const SCoreDecomposition cores = ComputeSCoreDecomposition(builder.Build());
+  // Peel: v1 or v2 at strength 2, then the other at 1... the running max
+  // keeps 2; finally 0 and 3 at strength 10.
+  EXPECT_DOUBLE_EQ(cores.s_value[1], 2.0);
+  EXPECT_DOUBLE_EQ(cores.s_value[2], 2.0);
+  EXPECT_DOUBLE_EQ(cores.s_value[0], 10.0);
+  EXPECT_DOUBLE_EQ(cores.s_value[3], 10.0);
+  EXPECT_DOUBLE_EQ(cores.smax, 10.0);
+}
+
+TEST(SCoreTest, SValuesMonotoneAlongPeelOrder) {
+  const WeightedGraph g =
+      IntegerWeighted(GenerateBarabasiAlbert(150, 3, 5), 17);
+  const SCoreDecomposition cores = ComputeSCoreDecomposition(g);
+  for (std::size_t i = 1; i < cores.peel_order.size(); ++i) {
+    EXPECT_LE(cores.s_value[cores.peel_order[i - 1]],
+              cores.s_value[cores.peel_order[i]]);
+  }
+}
+
+TEST(SCoreTest, SCoreSetSatisfiesDefinition) {
+  // Within {v : s_value(v) >= s}, every vertex keeps strength >= s.
+  const WeightedGraph g =
+      IntegerWeighted(GenerateErdosRenyi(80, 240, 3), 23);
+  const SCoreDecomposition cores = ComputeSCoreDecomposition(g);
+  std::vector<double> thresholds = cores.s_value;
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  for (const double s : thresholds) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (cores.s_value[v] < s) continue;
+      double strength = 0.0;
+      const auto nbrs = g.Neighbors(v);
+      const auto weights = g.Weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (cores.s_value[nbrs[i]] >= s) strength += weights[i];
+      }
+      EXPECT_GE(strength, s) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+class SCoreZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(SCoreZooTest, HeapPeelMatchesNaivePeel) {
+  const WeightedGraph g = IntegerWeighted(GetParam().graph, 77);
+  const SCoreDecomposition fast = ComputeSCoreDecomposition(g);
+  const SCoreDecomposition naive = NaiveSCoreDecomposition(g);
+  EXPECT_EQ(fast.s_value, naive.s_value) << GetParam().name;
+  EXPECT_DOUBLE_EQ(fast.smax, naive.smax) << GetParam().name;
+}
+
+TEST_P(SCoreZooTest, ProfileMatchesDirectScoring) {
+  const Graph& base = GetParam().graph;
+  if (base.NumVertices() == 0) return;
+  const WeightedGraph g = IntegerWeighted(base, 91);
+  const SCoreDecomposition cores = ComputeSCoreDecomposition(g);
+  for (const WeightedMetric metric :
+       {WeightedMetric::kAverageStrength,
+        WeightedMetric::kWeightedConductance,
+        WeightedMetric::kWeightedDensity}) {
+    const SCoreProfile profile = FindBestSCore(g, cores, metric);
+    ASSERT_FALSE(profile.thresholds.empty());
+    for (std::size_t i = 0; i < profile.thresholds.size(); ++i) {
+      // Direct computation of the s-core set at this threshold.
+      const double s = profile.thresholds[i];
+      WeightedPrimaryValues direct;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (cores.s_value[v] < s) continue;
+        ++direct.num_vertices;
+        const auto nbrs = g.Neighbors(v);
+        const auto weights = g.Weights(v);
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          if (cores.s_value[nbrs[j]] >= s) {
+            direct.internal_weight_x2 += weights[j];
+          } else {
+            direct.boundary_weight += weights[j];
+          }
+        }
+      }
+      EXPECT_EQ(profile.primaries[i].num_vertices, direct.num_vertices)
+          << GetParam().name << " level " << i;
+      EXPECT_NEAR(profile.primaries[i].internal_weight_x2,
+                  direct.internal_weight_x2, 1e-6)
+          << GetParam().name << " level " << i;
+      EXPECT_NEAR(profile.primaries[i].boundary_weight,
+                  direct.boundary_weight, 1e-6)
+          << GetParam().name << " level " << i;
+      EXPECT_NEAR(profile.scores[i], EvaluateWeightedMetric(metric, direct),
+                  1e-9)
+          << GetParam().name << " level " << i;
+    }
+    // Best index attains the maximum.
+    for (const double score : profile.scores) {
+      EXPECT_LE(score, profile.best_score + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, SCoreZooTest,
+    ::testing::ValuesIn(corekit::testing::SmallGraphZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>&
+           param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,102 @@
+#include "corekit/weighted/weighted_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+TEST(WeightedGraphTest, EmptyGraph) {
+  WeightedGraph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 0.0);
+}
+
+TEST(WeightedGraphBuilderTest, BasicConstruction) {
+  WeightedGraphBuilder builder(3);
+  builder.AddEdge(0, 1, 2.5);
+  builder.AddEdge(1, 2, 1.5);
+  const WeightedGraph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 4.0);
+  EXPECT_DOUBLE_EQ(g.Strength(0), 2.5);
+  EXPECT_DOUBLE_EQ(g.Strength(1), 4.0);
+  EXPECT_DOUBLE_EQ(g.Strength(2), 1.5);
+}
+
+TEST(WeightedGraphBuilderTest, DuplicatesSumWeights) {
+  WeightedGraphBuilder builder(2);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 0, 2.0);
+  builder.AddEdge(0, 1, 0.5);
+  const WeightedGraph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.Strength(0), 3.5);
+  EXPECT_DOUBLE_EQ(g.Strength(1), 3.5);
+}
+
+TEST(WeightedGraphBuilderTest, SelfLoopsDropped) {
+  WeightedGraphBuilder builder(2);
+  builder.AddEdge(0, 0, 5.0);
+  builder.AddEdge(0, 1, 1.0);
+  const WeightedGraph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.Strength(0), 1.0);
+}
+
+TEST(WeightedGraphBuilderDeathTest, NonPositiveWeightAborts) {
+  WeightedGraphBuilder builder(2);
+  EXPECT_DEATH({ builder.AddEdge(0, 1, 0.0); }, "Check failed");
+  EXPECT_DEATH({ builder.AddEdge(0, 1, -1.0); }, "Check failed");
+}
+
+TEST(WeightedGraphTest, NeighborsSortedAndWeightsParallel) {
+  WeightedGraphBuilder builder(5);
+  builder.AddEdge(2, 4, 4.0);
+  builder.AddEdge(2, 0, 1.0);
+  builder.AddEdge(2, 3, 3.0);
+  builder.AddEdge(2, 1, 2.0);
+  const WeightedGraph g = builder.Build();
+  const auto nbrs = g.Neighbors(2);
+  const auto weights = g.Weights(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    // Weights above were chosen as 1,2 for neighbors 0,1 and 3,4 for
+    // neighbors 3,4.
+    const double expected = nbrs[i] < 2 ? nbrs[i] + 1.0 : nbrs[i];
+    EXPECT_DOUBLE_EQ(weights[i], expected);
+  }
+}
+
+TEST(WeightedGraphTest, SkeletonMatchesStructure) {
+  const Graph base = corekit::testing::Fig2Graph();
+  const WeightedGraph weighted = RandomlyWeighted(base, 5.0, 42);
+  const Graph skeleton = weighted.Skeleton();
+  EXPECT_EQ(skeleton.Offsets(), base.Offsets());
+  EXPECT_EQ(skeleton.NeighborArray(), base.NeighborArray());
+}
+
+TEST(RandomlyWeightedTest, DeterministicPositiveBounded) {
+  const Graph base = corekit::testing::Fig2Graph();
+  const WeightedGraph a = RandomlyWeighted(base, 3.0, 7);
+  const WeightedGraph b = RandomlyWeighted(base, 3.0, 7);
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    const auto wa = a.Weights(v);
+    const auto wb = b.Weights(v);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_DOUBLE_EQ(wa[i], wb[i]);
+      EXPECT_GT(wa[i], 0.0);
+      EXPECT_LE(wa[i], 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corekit

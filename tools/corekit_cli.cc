@@ -1,0 +1,389 @@
+// corekit command-line tool: run the paper's algorithms on SNAP-format
+// edge lists without writing any code.
+//
+//   corekit_cli stats <graph>                 Table III-style statistics
+//   corekit_cli best-k <graph> [metric]       best k-core set (Alg. 2/3)
+//   corekit_cli best-core <graph> [metric]    best single k-core (Alg. 5)
+//   corekit_cli best-truss <graph> [metric]   best k-truss set (Sec. VI-B)
+//   corekit_cli profile <graph> [metric]      score of every k-core set
+//   corekit_cli densest <graph>               Opt-D densest subgraph
+//   corekit_cli best-s <graph> [metric]       best s-core set on random
+//                                             weights (strength | w-con |
+//                                             w-den)
+//   corekit_cli distributed <graph>           distributed decomposition
+//                                             rounds/messages [43]
+//   corekit_cli semi-external <graph.bin>     O(n)-memory decomposition
+//                                             from the binary file [61]
+//   corekit_cli cluster <graph>               core-guided label propagation
+//   corekit_cli resilience <graph>            collapse curves [44]
+//   corekit_cli hierarchy-dot <graph> <out>   core forest as Graphviz DOT
+//   corekit_cli fingerprint <graph> <out.svg> LaNet-vi style fingerprint
+//   corekit_cli color <graph>                 smallest-last coloring [42]
+//   corekit_cli anomalies <graph>             mirror-pattern outliers [53]
+//   corekit_cli report <graph>                full best-k analysis
+//   corekit_cli convert <graph> <out.bin>     text -> binary snapshot
+//   corekit_cli generate <kind> <out> [n] [m] synthetic graph (er, ba,
+//                                             rmat, ws, onion)
+//
+// <graph> is a SNAP text edge list, or a corekit binary snapshot when the
+// path ends in ".bin".  Metrics: ad, den, cr, con, mod, cc.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "corekit/corekit.h"
+
+namespace {
+
+using namespace corekit;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: corekit_cli <command> <graph> [...]\n"
+      "commands: stats | best-k | best-core | best-truss | profile |\n"
+      "          densest | best-s | distributed | semi-external |\n"
+      "          cluster | resilience | hierarchy-dot <out.dot> |\n"
+      "          fingerprint <out.svg> | color | anomalies | report |\n"
+      "          convert <out.bin> | generate <kind> <out> [n] [m]\n"
+      "metrics:  ad den cr con mod cc (default ad)\n");
+  return 2;
+}
+
+Result<Graph> Load(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return ReadBinaryGraph(path);
+  }
+  return ReadSnapEdgeList(path);
+}
+
+Metric MetricArg(int argc, char** argv, int index) {
+  if (argc <= index) return Metric::kAverageDegree;
+  const auto parsed = ParseMetric(argv[index]);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "unknown metric '%s'\n", argv[index]);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+int CmdStats(const Graph& graph) {
+  const GraphStats stats = ComputeGraphStats(graph);
+  std::printf("n=%u m=%llu davg=%.2f dmin=%u dmax=%u kmax=%u components=%u "
+              "largest=%u\n",
+              stats.num_vertices,
+              static_cast<unsigned long long>(stats.num_edges),
+              stats.average_degree, stats.min_degree, stats.max_degree,
+              stats.degeneracy, stats.num_components,
+              stats.largest_component_size);
+  return 0;
+}
+
+int CmdBestK(const Graph& graph, Metric metric, bool full_profile) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+  if (full_profile) {
+    TablePrinter table({"k", "|C_k|", "m(C_k)", "b(C_k)", "score"});
+    for (VertexId k = 0; k <= cores.kmax; ++k) {
+      table.AddRow({std::to_string(k),
+                    std::to_string(profile.primaries[k].num_vertices),
+                    std::to_string(profile.primaries[k].InternalEdges()),
+                    std::to_string(profile.primaries[k].boundary_edges),
+                    TablePrinter::FormatDouble(profile.scores[k], 6)});
+    }
+    table.Print(std::cout);
+  }
+  std::printf("best k (%s): %u with score %.6f\n", MetricName(metric),
+              profile.best_k, profile.best_score);
+  return 0;
+}
+
+int CmdBestCore(const Graph& graph, Metric metric) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, metric);
+  std::printf("best single core (%s): k=%u, %u vertices, score %.6f\n",
+              MetricName(metric), profile.best_k,
+              forest.CoreSize(profile.best_node), profile.best_score);
+  return 0;
+}
+
+int CmdBestTruss(const Graph& graph, Metric metric) {
+  if (MetricNeedsTriangles(metric)) {
+    std::fprintf(stderr,
+                 "metric '%s' is not supported for the truss extension\n",
+                 MetricShortName(metric));
+    return 2;
+  }
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+  const TrussSetProfile profile = FindBestTrussSet(graph, trusses, metric);
+  std::printf("best k-truss set (%s): k=%u with score %.6f (tmax=%u)\n",
+              MetricName(metric), profile.best_k, profile.best_score,
+              trusses.tmax);
+  return 0;
+}
+
+int CmdBestS(const Graph& base, const std::string& metric_name) {
+  WeightedMetric metric = WeightedMetric::kAverageStrength;
+  if (metric_name == "w-con") metric = WeightedMetric::kWeightedConductance;
+  if (metric_name == "w-den") metric = WeightedMetric::kWeightedDensity;
+  const WeightedGraph graph = RandomlyWeighted(base, 10.0, 1);
+  const SCoreDecomposition cores = ComputeSCoreDecomposition(graph);
+  const SCoreProfile profile = FindBestSCore(graph, cores, metric);
+  std::printf(
+      "best s-core set (%s, random weights): s*=%.4f with score %.6f "
+      "(smax=%.4f, %zu levels)\n",
+      WeightedMetricName(metric), profile.best_s, profile.best_score,
+      cores.smax, profile.thresholds.size());
+  return 0;
+}
+
+int CmdDistributed(const Graph& graph) {
+  const DistributedCoreResult result =
+      ComputeCoreDecompositionDistributed(graph);
+  std::printf(
+      "distributed decomposition: %u rounds, %llu messages, converged=%s\n",
+      result.rounds, static_cast<unsigned long long>(result.messages),
+      result.converged ? "yes" : "no");
+  return 0;
+}
+
+int CmdSemiExternal(const std::string& path) {
+  const auto result = SemiExternalCoreDecomposition(path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "semi-external decomposition: kmax=%u, %u passes, %.1f MB read\n",
+      result->kmax, result->passes,
+      static_cast<double>(result->bytes_read) / 1e6);
+  return 0;
+}
+
+int CmdCluster(const Graph& graph) {
+  const CoreClustering clustering = ClusterByCores(graph);
+  std::printf(
+      "core-guided clustering: %u clusters, modularity %.4f, %u rounds\n",
+      clustering.num_clusters, clustering.modularity, clustering.rounds);
+  return 0;
+}
+
+int CmdResilience(const Graph& graph) {
+  for (const RemovalStrategy strategy :
+       {RemovalStrategy::kRandom, RemovalStrategy::kHighestCorenessFirst}) {
+    const ResilienceCurve curve =
+        ComputeResilienceCurve(graph, strategy, 10);
+    std::printf("%s (reference k >= %u):\n", RemovalStrategyName(strategy),
+                curve.reference_k);
+    for (const ResiliencePoint& point : curve.points) {
+      std::printf("  removed %5.1f%%: kmax=%-4u ref core=%-8u giant=%u\n",
+                  100 * point.removed_fraction, point.kmax,
+                  point.reference_core_size, point.largest_component);
+    }
+  }
+  return 0;
+}
+
+int CmdHierarchyDot(const Graph& graph, const std::string& out) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  const SingleCoreProfile profile =
+      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+  HierarchyDotOptions options;
+  options.scores = profile.scores;
+  const Status status = WriteCoreForestDot(forest, out, options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%u nodes)\n", out.c_str(), forest.NumNodes());
+  return 0;
+}
+
+int CmdFingerprint(const Graph& graph, const std::string& out) {
+  const OnionDecomposition onion = ComputeOnionDecomposition(graph);
+  const Status status = WriteCoreFingerprintSvg(graph, onion, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (kmax=%u, %u onion layers)\n", out.c_str(),
+              onion.kmax, onion.num_layers);
+  return 0;
+}
+
+int CmdColor(const Graph& graph) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const GraphColoring coloring = ColorBySmallestLast(graph, cores);
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    max_degree = std::max(max_degree, graph.Degree(v));
+  }
+  std::printf(
+      "smallest-last coloring: %u colors (degeneracy bound %u, greedy "
+      "bound %u)\n",
+      coloring.num_colors, cores.kmax + 1, max_degree + 1);
+  return 0;
+}
+
+int CmdAnomalies(const Graph& graph) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const MirrorPatternResult result = DetectMirrorAnomalies(graph, cores);
+  std::printf("mirror pattern: correlation %.3f, fit log(d) ~ %.3f + %.3f "
+              "log(c+1)\n",
+              result.correlation, result.alpha, result.beta);
+  std::printf("top anomalies (vertex, degree, coreness, score):\n");
+  for (std::size_t i = 0; i < 10 && i < result.ranking.size(); ++i) {
+    const VertexId v = result.ranking[i];
+    std::printf("  %-8u d=%-6u c=%-4u score=%.3f\n", v, graph.Degree(v),
+                cores.coreness[v], result.score[v]);
+  }
+  return 0;
+}
+
+int CmdReport(const Graph& graph) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  CmdStats(graph);
+
+  const auto set_profiles = FindBestCoreSetMulti(ordered, kAllMetrics);
+  const auto single_profiles =
+      FindBestSingleCoreMulti(ordered, forest, kAllMetrics);
+  TablePrinter table({"metric", "best k (set)", "score (set)",
+                      "best k (core)", "|core|", "score (core)"});
+  for (std::size_t i = 0; i < std::size(kAllMetrics); ++i) {
+    table.AddRow(
+        {MetricShortName(kAllMetrics[i]),
+         std::to_string(set_profiles[i].best_k),
+         TablePrinter::FormatDouble(set_profiles[i].best_score, 4),
+         std::to_string(single_profiles[i].best_k),
+         std::to_string(forest.CoreSize(single_profiles[i].best_node)),
+         TablePrinter::FormatDouble(single_profiles[i].best_score, 4)});
+  }
+  table.Print(std::cout);
+
+  const DensestSubgraphResult densest = OptDDensestSubgraph(graph);
+  std::printf("densest core (Opt-D): %zu vertices, davg %.3f\n",
+              densest.vertices.size(), densest.average_degree);
+  return 0;
+}
+
+int CmdDensest(const Graph& graph) {
+  const DensestSubgraphResult result = OptDDensestSubgraph(graph);
+  std::printf("Opt-D densest subgraph: %zu vertices, average degree %.4f\n",
+              result.vertices.size(), result.average_degree);
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string kind = argv[2];
+  const std::string out = argv[3];
+  const auto n = static_cast<VertexId>(argc > 4 ? std::atoll(argv[4]) : 10000);
+  const auto m = static_cast<EdgeId>(argc > 5 ? std::atoll(argv[5]) : 5 * n);
+  Graph graph;
+  if (kind == "er") {
+    graph = GenerateErdosRenyi(n, m, SeedFromString(out));
+  } else if (kind == "ba") {
+    graph = GenerateBarabasiAlbert(
+        n, std::max<VertexId>(1, static_cast<VertexId>(m / n)),
+        SeedFromString(out));
+  } else if (kind == "rmat") {
+    RmatParams params;
+    params.scale = 1;
+    while ((static_cast<VertexId>(1u) << params.scale) < n) ++params.scale;
+    params.num_edges = m;
+    params.seed = SeedFromString(out);
+    graph = GenerateRmat(params);
+  } else if (kind == "ws") {
+    graph = GenerateWattsStrogatz(
+        n, std::max<VertexId>(1, static_cast<VertexId>(m / n / 2)), 0.1,
+        SeedFromString(out));
+  } else if (kind == "onion") {
+    OnionParams params;
+    params.num_vertices = n;
+    params.target_kmax = std::max<VertexId>(
+        4, static_cast<VertexId>(2 * m / std::max<EdgeId>(1, n)));
+    params.seed = SeedFromString(out);
+    graph = GenerateOnion(params);
+  } else {
+    std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
+    return 2;
+  }
+  const Status status = WriteSnapEdgeList(graph, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (argc < 3) return Usage();
+  if (command == "semi-external") return CmdSemiExternal(argv[2]);
+
+  Result<Graph> graph = Load(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "stats") return CmdStats(*graph);
+  if (command == "best-k") {
+    return CmdBestK(*graph, MetricArg(argc, argv, 3), /*full_profile=*/false);
+  }
+  if (command == "profile") {
+    return CmdBestK(*graph, MetricArg(argc, argv, 3), /*full_profile=*/true);
+  }
+  if (command == "best-core") {
+    return CmdBestCore(*graph, MetricArg(argc, argv, 3));
+  }
+  if (command == "best-truss") {
+    return CmdBestTruss(*graph, MetricArg(argc, argv, 3));
+  }
+  if (command == "densest") return CmdDensest(*graph);
+  if (command == "best-s") {
+    return CmdBestS(*graph, argc > 3 ? argv[3] : "strength");
+  }
+  if (command == "distributed") return CmdDistributed(*graph);
+  if (command == "cluster") return CmdCluster(*graph);
+  if (command == "resilience") return CmdResilience(*graph);
+  if (command == "hierarchy-dot") {
+    if (argc < 4) return Usage();
+    return CmdHierarchyDot(*graph, argv[3]);
+  }
+  if (command == "fingerprint") {
+    if (argc < 4) return Usage();
+    return CmdFingerprint(*graph, argv[3]);
+  }
+  if (command == "color") return CmdColor(*graph);
+  if (command == "anomalies") return CmdAnomalies(*graph);
+  if (command == "report") return CmdReport(*graph);
+  if (command == "convert") {
+    if (argc < 4) return Usage();
+    const Status status = WriteBinaryGraph(*graph, argv[3]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", argv[3]);
+    return 0;
+  }
+  return Usage();
+}
