@@ -3,6 +3,11 @@
 // with the Algorithm 1 index) — on every dataset, for average degree,
 // conductance, modularity, and clustering coefficient.
 //
+// One CoreEngine per dataset: the decomposition and the ordering are
+// built once and amortized across all four metrics (the engine's cache
+// counters prove it), exactly the posture the paper's analysis assumes.
+// Per-stage timings come from the engine's StageStats, not ad-hoc timers.
+//
 // Paper reference: Optimal beats Baseline by 1-4 orders of magnitude;
 // the gap is largest on deep-hierarchy graphs (Hollywood) and for
 // clustering coefficient, where the baseline exceeds its time budget on
@@ -13,8 +18,11 @@
 //   base     Baseline score computation (from scratch per k)
 //   speedup  base / opt (scores only, as in the paper's discussion)
 
+#include <cstddef>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "corekit/corekit.h"
 #include "datasets.h"
@@ -29,42 +37,53 @@ int main() {
                "(baseline budget "
             << budget << "s) ==\n";
 
+  struct Row {
+    std::string dataset;
+    double core_time = 0.0;
+    double index_time = 0.0;
+    double opt_time = 0.0;
+    std::optional<double> base_time;
+  };
+  std::map<int, std::vector<Row>> rows;  // keyed by metric
+
+  for (const BenchDataset& dataset : ActiveDatasets()) {
+    const Graph graph = dataset.make();
+    CoreEngine engine(graph);
+    for (const Metric metric : kRuntimeMetrics) {
+      (void)engine.BestCoreSet(metric);
+
+      Row row;
+      row.dataset = dataset.short_name;
+      // The fixed stages built exactly once (first metric); later metrics
+      // see them as cache hits, so the recorded seconds are the one build.
+      row.core_time = EngineStageSeconds(engine, "decompose");
+      row.index_time = EngineStageSeconds(engine, "order");
+      row.opt_time =
+          EngineStageSeconds(engine, CoreEngine::CoreSetStageName(metric));
+      row.base_time = TimedBaselineCoreSet(graph, engine.Cores(), metric,
+                                           budget);
+      rows[static_cast<int>(metric)].push_back(row);
+    }
+  }
+
   for (const Metric metric : kRuntimeMetrics) {
     std::cout << "\n-- metric: " << MetricName(metric) << " --\n";
     TablePrinter table(
         {"Dataset", "core", "index", "opt", "base", "speedup"});
-    for (const BenchDataset& dataset : ActiveDatasets()) {
-      const Graph graph = dataset.make();
-
-      Timer timer;
-      const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-      const double core_time = timer.ElapsedSeconds();
-
-      timer.Reset();
-      const OrderedGraph ordered(graph, cores);
-      const double index_time = timer.ElapsedSeconds();
-
-      timer.Reset();
-      const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
-      const double opt_time = timer.ElapsedSeconds();
-      (void)profile;
-
-      const std::optional<double> base_time =
-          TimedBaselineCoreSet(graph, cores, metric, budget);
-
+    for (const Row& row : rows[static_cast<int>(metric)]) {
       std::string speedup = "-";
-      if (base_time.has_value() && opt_time > 0) {
+      if (row.base_time.has_value() && row.opt_time > 0) {
         speedup =
-            TablePrinter::FormatDouble(*base_time / opt_time, 1) + "x";
-      } else if (!base_time.has_value() && opt_time > 0) {
+            TablePrinter::FormatDouble(*row.base_time / row.opt_time, 1) +
+            "x";
+      } else if (!row.base_time.has_value() && row.opt_time > 0) {
         speedup =
-            ">" + TablePrinter::FormatDouble(budget / opt_time, 0) + "x";
+            ">" + TablePrinter::FormatDouble(budget / row.opt_time, 0) + "x";
       }
-      table.AddRow({dataset.short_name,
-                    TablePrinter::FormatSeconds(core_time),
-                    TablePrinter::FormatSeconds(index_time),
-                    TablePrinter::FormatSeconds(opt_time),
-                    FormatRuntime(base_time), speedup});
+      table.AddRow({row.dataset, TablePrinter::FormatSeconds(row.core_time),
+                    TablePrinter::FormatSeconds(row.index_time),
+                    TablePrinter::FormatSeconds(row.opt_time),
+                    FormatRuntime(row.base_time), speedup});
     }
     table.Print(std::cout);
   }

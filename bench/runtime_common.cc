@@ -16,6 +16,11 @@ std::string FormatRuntime(std::optional<double> seconds) {
                              : ">budget";
 }
 
+double EngineStageSeconds(const CoreEngine& engine, std::string_view stage) {
+  const StageRecord* record = engine.stats().Find(stage);
+  return record != nullptr ? record->seconds : 0.0;
+}
+
 std::optional<double> TimedBaselineCoreSet(const Graph& graph,
                                            const CoreDecomposition& cores,
                                            Metric metric, double budget) {

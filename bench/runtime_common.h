@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "corekit/corekit.h"
 
@@ -30,6 +31,12 @@ inline constexpr Metric kRuntimeMetrics[] = {
     Metric::kModularity,
     Metric::kClusteringCoefficient,
 };
+
+// Wall seconds the engine recorded for `stage` ("decompose", "order",
+// "forest", CoreEngine::CoreSetStageName(m), ...); 0 when the stage never
+// ran.  The harnesses report per-stage timings from the engine's
+// StageStats instead of wrapping each stage in an ad-hoc timer.
+double EngineStageSeconds(const CoreEngine& engine, std::string_view stage);
 
 // Baseline score computation for every k-core set with a budget; returns
 // nullopt (and stops early) when the budget is exhausted.

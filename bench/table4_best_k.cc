@@ -31,17 +31,14 @@ int main() {
   }
 
   for (const BenchDataset& dataset : datasets) {
-    const Graph graph = dataset.make();
-    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-    const OrderedGraph ordered(graph, cores);
-    const CoreForest forest(graph, cores);
+    // One engine per dataset: all twelve queries share one decomposition,
+    // ordering and forest build.
+    CoreEngine engine(dataset.make());
     for (std::size_t i = 0; i < std::size(kAllMetrics); ++i) {
       const Metric metric = kAllMetrics[i];
-      const CoreSetProfile set_profile = FindBestCoreSet(ordered, metric);
-      cs_rows[i].push_back(std::to_string(set_profile.best_k));
-      const SingleCoreProfile single_profile =
-          FindBestSingleCore(ordered, forest, metric);
-      c_rows[i].push_back(std::to_string(single_profile.best_k));
+      cs_rows[i].push_back(std::to_string(engine.BestCoreSet(metric).best_k));
+      c_rows[i].push_back(
+          std::to_string(engine.BestSingleCore(metric).best_k));
     }
   }
 

@@ -22,25 +22,28 @@ int main() {
   params.seed = SeedFromString("sweep-example");
   const Graph graph = GenerateOnion(params);
 
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
+  // One engine for the whole sweep: the decomposition and ordering are
+  // built once and shared by all six metrics, the forest once for the
+  // per-core pass, and the solver below reuses the same cache.
+  CoreEngine engine(graph);
+  const CoreDecomposition& cores = engine.Cores();
+  const CoreForest& forest = engine.Forest();
   std::printf("onion graph: n=%u m=%llu kmax=%u\n\n", graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()), cores.kmax);
 
   // Figure 5 analogue: score of every k-core set, all metrics.
-  std::vector<CoreSetProfile> profiles;
+  std::vector<const CoreSetProfile*> profiles;
   profiles.reserve(std::size(kAllMetrics));
   for (const Metric metric : kAllMetrics) {
-    profiles.push_back(FindBestCoreSet(ordered, metric));
+    profiles.push_back(&engine.BestCoreSet(metric));
   }
   TablePrinter sets({"k", "|C_k|", "ad", "den", "cr", "con", "mod", "cc"});
   for (VertexId k = 0; k <= cores.kmax; k += 4) {
     std::vector<std::string> row{
         std::to_string(k),
-        std::to_string(profiles[0].primaries[k].num_vertices)};
-    for (const CoreSetProfile& profile : profiles) {
-      row.push_back(TablePrinter::FormatDouble(profile.scores[k], 4));
+        std::to_string(profiles[0]->primaries[k].num_vertices)};
+    for (const CoreSetProfile* profile : profiles) {
+      row.push_back(TablePrinter::FormatDouble(profile->scores[k], 4));
     }
     sets.AddRow(std::move(row));
   }
@@ -49,13 +52,13 @@ int main() {
   std::printf("\nbest k per metric:");
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     std::printf(" %s=%u", MetricShortName(kAllMetrics[i]),
-                profiles[i].best_k);
+                profiles[i]->best_k);
   }
   std::printf("\n");
 
   // Figure 6 analogue: per-core scores under average degree.
-  const SingleCoreProfile single =
-      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+  const SingleCoreProfile& single =
+      engine.BestSingleCore(Metric::kAverageDegree);
   std::printf("\n%u individual cores; top-scoring cores by average degree:\n",
               forest.NumNodes());
   std::vector<CoreForest::NodeId> by_score(forest.NumNodes());
@@ -72,7 +75,7 @@ int main() {
   }
 
   // Table IX workflow: size-constrained queries.
-  const SizeConstrainedCoreSolver solver(graph);
+  const SizeConstrainedCoreSolver solver(engine);
   std::printf("\nsize-constrained queries (k=8):\n");
   for (const VertexId h : {100u, 500u, 2000u}) {
     const VertexId query = graph.NumVertices() - 1;  // an inner-layer vertex

@@ -75,16 +75,17 @@ int main() {
   std::printf("collaboration network: n=%u m=%llu\n", graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()));
 
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
+  // One engine: the six per-metric searches share one decomposition,
+  // ordering, and forest build.
+  CoreEngine engine(graph);
+  const CoreDecomposition& cores = engine.Cores();
+  const CoreForest& forest = engine.Forest();
   std::printf("kmax=%u, %u cores in the hierarchy\n\n", cores.kmax,
               forest.NumNodes());
 
   TablePrinter table({"metric", "best k", "|S*|", "score", "purity"});
   for (const Metric metric : kAllMetrics) {
-    const SingleCoreProfile profile =
-        FindBestSingleCore(ordered, forest, metric);
+    const SingleCoreProfile& profile = engine.BestSingleCore(metric);
     const std::vector<VertexId> members =
         forest.CoreVertices(profile.best_node);
     table.AddRow({MetricShortName(metric), std::to_string(profile.best_k),

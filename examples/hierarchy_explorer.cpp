@@ -22,11 +22,11 @@ int main() {
   params.seed = SeedFromString("hierarchy-explorer");
   const Graph graph = GenerateOnion(params);
 
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
-  const SingleCoreProfile profile =
-      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+  CoreEngine engine(graph);
+  const CoreDecomposition& cores = engine.Cores();
+  const CoreForest& forest = engine.Forest();
+  const SingleCoreProfile& profile =
+      engine.BestSingleCore(Metric::kAverageDegree);
   const CoreHierarchyIndex index(forest, profile);
 
   std::printf("graph: n=%u m=%llu kmax=%u, %u cores in the forest\n\n",

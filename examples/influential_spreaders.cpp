@@ -46,7 +46,8 @@ int main() {
     }
   }
   const Graph graph = builder.Build();
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  CoreEngine engine(graph);
+  const CoreDecomposition& cores = engine.Cores();
   std::printf("network: n=%u m=%llu kmax=%u\n", graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()),
               cores.kmax);

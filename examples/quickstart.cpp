@@ -38,13 +38,14 @@ int main(int argc, char** argv) {
   std::printf("graph: n=%u m=%llu\n", graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()));
 
-  // 2. Decompose and build the Algorithm 1 ordering index (both O(m)).
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
+  // 2. The engine builds and caches the O(m) substrate (decomposition,
+  // Algorithm 1 ordering index) on first use.
+  CoreEngine engine(graph);
+  const CoreDecomposition& cores = engine.Cores();
   std::printf("kmax (degeneracy): %u\n", cores.kmax);
 
   // 3. Score every k-core set and pick the best k (Algorithm 2/3).
-  const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+  const CoreSetProfile& profile = engine.BestCoreSet(metric);
   std::printf("best k under %s: k*=%u with score %.4f\n", MetricName(metric),
               profile.best_k, profile.best_score);
 
@@ -56,11 +57,16 @@ int main(int argc, char** argv) {
                 profile.scores[k]);
   }
 
-  // 4. And the best single connected k-core (Algorithm 5).
-  const CoreForest forest(graph, cores);
-  const SingleCoreProfile single = FindBestSingleCore(ordered, forest, metric);
+  // 4. And the best single connected k-core (Algorithm 5).  The engine
+  // reuses the cached decomposition and ordering; only the core forest is
+  // built on top.
+  const SingleCoreProfile& single = engine.BestSingleCore(metric);
   std::printf("best single core: k*=%u, %u vertices, score %.4f\n",
-              single.best_k, forest.CoreSize(single.best_node),
+              single.best_k, engine.Forest().CoreSize(single.best_node),
               single.best_score);
+
+  // 5. Per-stage instrumentation: what was built, how long it took, what
+  // was served from the cache.
+  std::printf("\nengine stats: %s\n", engine.StatsJson().c_str());
   return 0;
 }

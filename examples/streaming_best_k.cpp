@@ -76,9 +76,10 @@ int main() {
     report("  state:");
   }
 
-  // Sanity: the maintained coreness is exact.
-  const CoreDecomposition exact = ComputeCoreDecomposition(index.Snapshot());
+  // Sanity: the maintained coreness is exact.  The engine takes ownership
+  // of the snapshot (Graph&& constructor) and peels it from scratch.
+  CoreEngine verify(index.Snapshot());
   std::printf("\nmaintained coreness exact: %s\n",
-              index.CorenessArray() == exact.coreness ? "yes" : "NO");
+              index.CorenessArray() == verify.Cores().coreness ? "yes" : "NO");
   return 0;
 }

@@ -54,4 +54,8 @@ MirrorPatternResult DetectMirrorAnomalies(const Graph& graph,
   return result;
 }
 
+MirrorPatternResult DetectMirrorAnomalies(CoreEngine& engine) {
+  return DetectMirrorAnomalies(engine.graph(), engine.Cores());
+}
+
 }  // namespace corekit

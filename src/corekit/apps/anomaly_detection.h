@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "corekit/core/core_decomposition.h"
+#include "corekit/engine/core_engine.h"
 #include "corekit/graph/graph.h"
 
 namespace corekit {
@@ -36,6 +37,9 @@ struct MirrorPatternResult {
 // decomposition of `graph`.  O(n + m).
 MirrorPatternResult DetectMirrorAnomalies(const Graph& graph,
                                           const CoreDecomposition& cores);
+
+// Same detector over the engine's graph and cached decomposition.
+MirrorPatternResult DetectMirrorAnomalies(CoreEngine& engine);
 
 }  // namespace corekit
 

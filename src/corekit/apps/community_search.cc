@@ -6,13 +6,21 @@
 
 namespace corekit {
 
+CommunitySearcher::CommunitySearcher(std::unique_ptr<CoreEngine> owned,
+                                     CoreEngine* shared, Metric metric)
+    : owned_engine_(std::move(owned)),
+      engine_(shared != nullptr ? shared : owned_engine_.get()),
+      graph_(&engine_->graph()),
+      cores_(&engine_->Cores()),
+      forest_(&engine_->Forest()),
+      profile_(&engine_->BestSingleCore(metric)),
+      index_(*forest_, *profile_) {}
+
 CommunitySearcher::CommunitySearcher(const Graph& graph, Metric metric)
-    : graph_(graph),
-      cores_(ComputeCoreDecomposition(graph)),
-      ordered_(graph, cores_),
-      forest_(graph, cores_),
-      profile_(FindBestSingleCore(ordered_, forest_, metric)),
-      index_(forest_, profile_) {}
+    : CommunitySearcher(std::make_unique<CoreEngine>(graph), nullptr, metric) {}
+
+CommunitySearcher::CommunitySearcher(CoreEngine& engine, Metric metric)
+    : CommunitySearcher(nullptr, &engine, metric) {}
 
 CommunitySearchResult CommunitySearcher::Materialize(VertexId query,
                                                      VertexId k) const {
@@ -21,14 +29,14 @@ CommunitySearchResult CommunitySearcher::Materialize(VertexId query,
   if (node == CoreForest::kNoNode) return result;
   result.found = true;
   result.k = k;
-  result.score = profile_.scores[node];
-  result.members = forest_.CoreVertices(node);
+  result.score = profile_->scores[node];
+  result.members = forest_->CoreVertices(node);
   std::sort(result.members.begin(), result.members.end());
   return result;
 }
 
 CommunitySearchResult CommunitySearcher::Search(VertexId query) const {
-  if (query >= graph_.NumVertices() || cores_.coreness[query] == 0) {
+  if (query >= graph_->NumVertices() || cores_->coreness[query] == 0) {
     return {};
   }
   return Materialize(query, index_.BestKFor(query));
@@ -36,18 +44,18 @@ CommunitySearchResult CommunitySearcher::Search(VertexId query) const {
 
 CommunitySearchResult CommunitySearcher::SearchWithMinK(VertexId query,
                                                         VertexId min_k) const {
-  if (query >= graph_.NumVertices() || cores_.coreness[query] < min_k) {
+  if (query >= graph_->NumVertices() || cores_->coreness[query] < min_k) {
     return {};
   }
   // Best level among those >= min_k on the query's root path.
   VertexId best_k = min_k;
   double best_score = index_.Score(query, min_k);
-  for (CoreForest::NodeId cur = forest_.NodeOfVertex(query);
-       cur != CoreForest::kNoNode; cur = forest_.node(cur).parent) {
-    const VertexId level = forest_.node(cur).coreness;
+  for (CoreForest::NodeId cur = forest_->NodeOfVertex(query);
+       cur != CoreForest::kNoNode; cur = forest_->node(cur).parent) {
+    const VertexId level = forest_->node(cur).coreness;
     if (level < min_k) break;
-    if (profile_.scores[cur] > best_score) {
-      best_score = profile_.scores[cur];
+    if (profile_->scores[cur] > best_score) {
+      best_score = profile_->scores[cur];
       best_k = level;
     }
   }

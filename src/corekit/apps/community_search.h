@@ -11,10 +11,12 @@
 #ifndef COREKIT_APPS_COMMUNITY_SEARCH_H_
 #define COREKIT_APPS_COMMUNITY_SEARCH_H_
 
+#include <memory>
 #include <vector>
 
 #include "corekit/core/hierarchy_index.h"
 #include "corekit/core/metrics.h"
+#include "corekit/engine/core_engine.h"
 
 namespace corekit {
 
@@ -27,11 +29,17 @@ struct CommunitySearchResult {
   std::vector<VertexId> members;
 };
 
-// Precomputes decomposition, ordering, forest, score profile and the
-// hierarchy index once; answers queries in O(|answer| + log depth).
+// Answers queries in O(|answer| + log depth) against a CoreEngine's
+// cached substrate (decomposition, ordering, forest, score profile) plus
+// its own hierarchy index.
 class CommunitySearcher {
  public:
+  // Convenience: builds a private engine over `graph` (which must outlive
+  // the searcher).
   CommunitySearcher(const Graph& graph, Metric metric);
+  // Shares `engine`'s cached artifacts (and must not outlive it); other
+  // consumers of the same engine hit the same cache.
+  CommunitySearcher(CoreEngine& engine, Metric metric);
 
   // Best community of `query` under the searcher's metric; not found for
   // out-of-range or isolated vertices.
@@ -42,16 +50,20 @@ class CommunitySearcher {
   // min_k.
   CommunitySearchResult SearchWithMinK(VertexId query, VertexId min_k) const;
 
-  const CoreDecomposition& cores() const { return cores_; }
+  const CoreDecomposition& cores() const { return *cores_; }
 
  private:
+  CommunitySearcher(std::unique_ptr<CoreEngine> owned, CoreEngine* shared,
+                    Metric metric);
+
   CommunitySearchResult Materialize(VertexId query, VertexId k) const;
 
-  const Graph& graph_;
-  CoreDecomposition cores_;
-  OrderedGraph ordered_;
-  CoreForest forest_;
-  SingleCoreProfile profile_;
+  std::unique_ptr<CoreEngine> owned_engine_;
+  CoreEngine* engine_;
+  const Graph* graph_;
+  const CoreDecomposition* cores_;
+  const CoreForest* forest_;
+  const SingleCoreProfile* profile_;
   CoreHierarchyIndex index_;
 };
 

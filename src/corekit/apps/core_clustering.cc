@@ -35,6 +35,12 @@ double PartitionModularity(const Graph& graph,
 }
 
 CoreClustering ClusterByCores(const Graph& graph, std::uint32_t max_rounds) {
+  CoreEngine engine(graph);
+  return ClusterByCores(engine, max_rounds);
+}
+
+CoreClustering ClusterByCores(CoreEngine& engine, std::uint32_t max_rounds) {
+  const Graph& graph = engine.graph();
   const VertexId n = graph.NumVertices();
   CoreClustering result;
   result.cluster.resize(n);
@@ -42,8 +48,7 @@ CoreClustering ClusterByCores(const Graph& graph, std::uint32_t max_rounds) {
 
   // Schedule: descending coreness, ties by id (the reverse of the
   // Algorithm 1 rank order) — the inner core votes first.
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
+  const OrderedGraph& ordered = engine.Ordered();
   std::vector<VertexId> schedule(ordered.VerticesByRank().begin(),
                                  ordered.VerticesByRank().end());
   std::reverse(schedule.begin(), schedule.end());

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "corekit/core/metrics.h"
+#include "corekit/engine/core_engine.h"
 #include "corekit/graph/graph.h"
 
 namespace corekit {
@@ -37,8 +38,12 @@ struct CoreClustering {
   double modularity = 0.0;
 };
 
-// Clusters `graph` by coreness-guided label propagation.  `max_rounds`
+// Clusters the engine's graph by coreness-guided label propagation,
+// taking the schedule from the engine's cached ordering.  `max_rounds`
 // caps the sweeps (propagation almost always stabilizes in a handful).
+CoreClustering ClusterByCores(CoreEngine& engine,
+                              std::uint32_t max_rounds = 30);
+// Convenience overload: builds a throwaway engine over `graph`.
 CoreClustering ClusterByCores(const Graph& graph,
                               std::uint32_t max_rounds = 30);
 

@@ -28,13 +28,23 @@ ResilienceCurve ComputeResilienceCurve(const Graph& graph,
                                        std::uint32_t steps,
                                        VertexId reference_k,
                                        std::uint64_t seed) {
+  CoreEngine engine(graph);
+  return ComputeResilienceCurve(engine, strategy, steps, reference_k, seed);
+}
+
+ResilienceCurve ComputeResilienceCurve(CoreEngine& engine,
+                                       RemovalStrategy strategy,
+                                       std::uint32_t steps,
+                                       VertexId reference_k,
+                                       std::uint64_t seed) {
   COREKIT_CHECK_GT(steps, 0u);
+  const Graph& graph = engine.graph();
   const VertexId n = graph.NumVertices();
   ResilienceCurve curve;
   curve.strategy = strategy;
   if (n == 0) return curve;
 
-  const CoreDecomposition initial = ComputeCoreDecomposition(graph);
+  const CoreDecomposition& initial = engine.Cores();
   curve.reference_k =
       reference_k != 0 ? reference_k
                        : std::max<VertexId>(1, initial.kmax / 2);

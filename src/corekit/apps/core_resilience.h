@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "corekit/engine/core_engine.h"
 #include "corekit/graph/graph.h"
 
 namespace corekit {
@@ -50,6 +51,16 @@ struct ResilienceCurve {
 // orders are computed once on the intact graph, the convention of [44]),
 // recomputing the core structure after each batch.  `reference_k`
 // defaults to half the initial kmax when 0.
+//
+// The engine overload reads the *intact* graph's decomposition from the
+// engine's cache; the per-batch decompositions of the mutilated subgraphs
+// are outside the engine's cached universe and are computed directly.
+ResilienceCurve ComputeResilienceCurve(CoreEngine& engine,
+                                       RemovalStrategy strategy,
+                                       std::uint32_t steps,
+                                       VertexId reference_k = 0,
+                                       std::uint64_t seed = 1);
+// Convenience overload: builds a throwaway engine over `graph`.
 ResilienceCurve ComputeResilienceCurve(const Graph& graph,
                                        RemovalStrategy strategy,
                                        std::uint32_t steps,

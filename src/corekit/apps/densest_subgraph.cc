@@ -25,13 +25,11 @@ double InducedAverageDegree(const Graph& graph,
          static_cast<double>(vertices.size());
 }
 
-DensestSubgraphResult OptDDensestSubgraph(const Graph& graph) {
-  COREKIT_CHECK_GT(graph.NumVertices(), 0u);
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
-  const SingleCoreProfile profile =
-      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+DensestSubgraphResult OptDDensestSubgraph(CoreEngine& engine) {
+  COREKIT_CHECK_GT(engine.graph().NumVertices(), 0u);
+  const CoreForest& forest = engine.Forest();
+  const SingleCoreProfile& profile =
+      engine.BestSingleCore(Metric::kAverageDegree);
 
   DensestSubgraphResult result;
   result.vertices = forest.CoreVertices(profile.best_node);
@@ -40,9 +38,15 @@ DensestSubgraphResult OptDDensestSubgraph(const Graph& graph) {
   return result;
 }
 
-DensestSubgraphResult CoreAppDensestSubgraph(const Graph& graph) {
+DensestSubgraphResult OptDDensestSubgraph(const Graph& graph) {
+  CoreEngine engine(graph);
+  return OptDDensestSubgraph(engine);
+}
+
+DensestSubgraphResult CoreAppDensestSubgraph(CoreEngine& engine) {
+  const Graph& graph = engine.graph();
   COREKIT_CHECK_GT(graph.NumVertices(), 0u);
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const CoreDecomposition& cores = engine.Cores();
 
   DensestSubgraphResult result;
   for (VertexId v = 0; v < graph.NumVertices(); ++v) {
@@ -50,6 +54,11 @@ DensestSubgraphResult CoreAppDensestSubgraph(const Graph& graph) {
   }
   result.average_degree = InducedAverageDegree(graph, result.vertices);
   return result;
+}
+
+DensestSubgraphResult CoreAppDensestSubgraph(const Graph& graph) {
+  CoreEngine engine(graph);
+  return CoreAppDensestSubgraph(engine);
 }
 
 DensestSubgraphResult ExactDensestSubgraph(const Graph& graph) {

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "corekit/engine/core_engine.h"
 #include "corekit/graph/graph.h"
 #include "corekit/graph/types.h"
 
@@ -31,10 +32,14 @@ struct DensestSubgraphResult {
   double average_degree = 0.0;
 };
 
-// The paper's Opt-D (best single k-core under average degree).
+// The paper's Opt-D (best single k-core under average degree), over the
+// engine's cached substrate.
+DensestSubgraphResult OptDDensestSubgraph(CoreEngine& engine);
+// Convenience overload: builds a throwaway engine over `graph`.
 DensestSubgraphResult OptDDensestSubgraph(const Graph& graph);
 
 // CoreApp-style comparator (kmax-core set).
+DensestSubgraphResult CoreAppDensestSubgraph(CoreEngine& engine);
 DensestSubgraphResult CoreAppDensestSubgraph(const Graph& graph);
 
 // Exact maximum-average-degree subgraph via Goldberg's binary search over

@@ -9,44 +9,51 @@
 
 namespace corekit {
 
+SizeConstrainedCoreSolver::SizeConstrainedCoreSolver(
+    std::unique_ptr<CoreEngine> owned, CoreEngine* shared)
+    : owned_engine_(std::move(owned)),
+      engine_(shared != nullptr ? shared : owned_engine_.get()),
+      graph_(&engine_->graph()),
+      cores_(&engine_->Cores()),
+      forest_(&engine_->Forest()),
+      profile_(&engine_->BestSingleCore(Metric::kAverageDegree)) {}
+
 SizeConstrainedCoreSolver::SizeConstrainedCoreSolver(const Graph& graph)
-    : graph_(graph),
-      cores_(ComputeCoreDecomposition(graph)),
-      ordered_(graph, cores_),
-      forest_(graph, cores_),
-      profile_(FindBestSingleCore(ordered_, forest_,
-                                  Metric::kAverageDegree)) {}
+    : SizeConstrainedCoreSolver(std::make_unique<CoreEngine>(graph), nullptr) {}
+
+SizeConstrainedCoreSolver::SizeConstrainedCoreSolver(CoreEngine& engine)
+    : SizeConstrainedCoreSolver(nullptr, &engine) {}
 
 SckResult SizeConstrainedCoreSolver::Solve(VertexId query_vertex, VertexId k,
                                            VertexId h) const {
   SckResult result;
-  if (query_vertex >= graph_.NumVertices()) return result;
-  if (cores_.coreness[query_vertex] < k) return result;  // no k-core holds v
+  if (query_vertex >= graph_->NumVertices()) return result;
+  if (cores_->coreness[query_vertex] < k) return result;  // no k-core holds v
 
   // --- Candidate selection: walk v's root path in the core forest. ------
   CoreForest::NodeId best_node = CoreForest::kNoNode;
   double best_score = -1.0;
-  for (CoreForest::NodeId node = forest_.NodeOfVertex(query_vertex);
-       node != CoreForest::kNoNode; node = forest_.node(node).parent) {
-    if (forest_.node(node).coreness < k) break;  // coarser cores only get
+  for (CoreForest::NodeId node = forest_->NodeOfVertex(query_vertex);
+       node != CoreForest::kNoNode; node = forest_->node(node).parent) {
+    if (forest_->node(node).coreness < k) break;  // coarser cores only get
                                                  // looser than k from here
-    if (forest_.CoreSize(node) < h) continue;
-    if (profile_.scores[node] > best_score) {
-      best_score = profile_.scores[node];
+    if (forest_->CoreSize(node) < h) continue;
+    if (profile_->scores[node] > best_score) {
+      best_score = profile_->scores[node];
       best_node = node;
     }
   }
   if (best_node == CoreForest::kNoNode) return result;
 
   // --- Peeling inside the candidate core. -------------------------------
-  const std::vector<VertexId> members = forest_.CoreVertices(best_node);
+  const std::vector<VertexId> members = forest_->CoreVertices(best_node);
   // Local membership + degrees within the shrinking subgraph.
-  std::vector<bool> alive(graph_.NumVertices(), false);
+  std::vector<bool> alive(graph_->NumVertices(), false);
   for (const VertexId v : members) alive[v] = true;
-  std::vector<VertexId> degree(graph_.NumVertices(), 0);
+  std::vector<VertexId> degree(graph_->NumVertices(), 0);
   for (const VertexId v : members) {
     VertexId d = 0;
-    for (const VertexId u : graph_.Neighbors(v)) d += alive[u] ? 1u : 0u;
+    for (const VertexId u : graph_->Neighbors(v)) d += alive[u] ? 1u : 0u;
     degree[v] = d;
   }
 
@@ -60,7 +67,7 @@ SckResult SizeConstrainedCoreSolver::Solve(VertexId query_vertex, VertexId k,
   auto remove_vertex = [&](VertexId v) {
     alive[v] = false;
     --size;
-    for (const VertexId u : graph_.Neighbors(v)) {
+    for (const VertexId u : graph_->Neighbors(v)) {
       if (!alive[u]) continue;
       --degree[u];
       heap.emplace(degree[u], u);
@@ -81,7 +88,7 @@ SckResult SizeConstrainedCoreSolver::Solve(VertexId query_vertex, VertexId k,
     }
     if (victim == kInvalidVertex) break;  // only the query vertex is left
     if (degree[query_vertex] <= k &&
-        graph_.HasEdge(victim, query_vertex)) {
+        graph_->HasEdge(victim, query_vertex)) {
       // Removing this victim would drag v below k; peeling cannot shrink
       // further without breaking the query vertex.
       break;
@@ -100,10 +107,10 @@ SckResult SizeConstrainedCoreSolver::Solve(VertexId query_vertex, VertexId k,
 
   // --- Answer: component of v in the remainder. --------------------------
   std::vector<VertexId> component{query_vertex};
-  std::vector<bool> seen(graph_.NumVertices(), false);
+  std::vector<bool> seen(graph_->NumVertices(), false);
   seen[query_vertex] = true;
   for (std::size_t head = 0; head < component.size(); ++head) {
-    for (const VertexId u : graph_.Neighbors(component[head])) {
+    for (const VertexId u : graph_->Neighbors(component[head])) {
       if (alive[u] && !seen[u]) {
         seen[u] = true;
         component.push_back(u);

@@ -19,12 +19,13 @@
 #ifndef COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_
 #define COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_
 
+#include <memory>
 #include <vector>
 
 #include "corekit/core/best_single_core.h"
 #include "corekit/core/core_decomposition.h"
 #include "corekit/core/core_forest.h"
-#include "corekit/core/vertex_ordering.h"
+#include "corekit/engine/core_engine.h"
 #include "corekit/graph/graph.h"
 
 namespace corekit {
@@ -36,12 +37,16 @@ struct SckResult {
   std::vector<VertexId> vertices;
 };
 
-// Precomputes decomposition, ordering, forest and the average-degree
-// profile once; answers many queries in time linear in the candidate
-// core's size.
+// Answers many queries in time linear in the candidate core's size,
+// against a CoreEngine's cached decomposition, ordering, forest and
+// average-degree profile.
 class SizeConstrainedCoreSolver {
  public:
+  // Convenience: builds a private engine over `graph` (which must outlive
+  // the solver).
   explicit SizeConstrainedCoreSolver(const Graph& graph);
+  // Shares `engine`'s cached artifacts (and must not outlive it).
+  explicit SizeConstrainedCoreSolver(CoreEngine& engine);
 
   // Answers query (query_vertex, k, h).  h is the target size.
   SckResult Solve(VertexId query_vertex, VertexId k, VertexId h) const;
@@ -50,15 +55,19 @@ class SizeConstrainedCoreSolver {
   // of h — the paper's hit criterion.
   static bool IsHit(const SckResult& result, VertexId h, double tolerance);
 
-  const CoreDecomposition& cores() const { return cores_; }
-  const CoreForest& forest() const { return forest_; }
+  const CoreDecomposition& cores() const { return *cores_; }
+  const CoreForest& forest() const { return *forest_; }
 
  private:
-  const Graph& graph_;
-  CoreDecomposition cores_;
-  OrderedGraph ordered_;
-  CoreForest forest_;
-  SingleCoreProfile profile_;  // average-degree scores per forest node
+  SizeConstrainedCoreSolver(std::unique_ptr<CoreEngine> owned,
+                            CoreEngine* shared);
+
+  std::unique_ptr<CoreEngine> owned_engine_;
+  CoreEngine* engine_;
+  const Graph* graph_;
+  const CoreDecomposition* cores_;
+  const CoreForest* forest_;
+  const SingleCoreProfile* profile_;  // average-degree scores per node
 };
 
 }  // namespace corekit

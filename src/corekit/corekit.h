@@ -49,6 +49,8 @@
 #include "corekit/core/result_io.h"
 #include "corekit/core/triangle_scoring.h"
 #include "corekit/core/vertex_ordering.h"
+#include "corekit/engine/core_engine.h"
+#include "corekit/engine/stage_stats.h"
 #include "corekit/gen/generators.h"
 #include "corekit/gen/hyperbolic.h"
 #include "corekit/gen/lfr_like.h"

@@ -1,0 +1,262 @@
+#include "corekit/engine/core_engine.h"
+
+#include <string>
+#include <utility>
+
+#include "corekit/core/triangle_scoring.h"
+#include "corekit/parallel/parallel_core.h"
+#include "corekit/parallel/parallel_triangles.h"
+#include "corekit/util/timer.h"
+
+namespace corekit {
+
+namespace {
+
+// Stage names.  The per-metric stages append the paper abbreviation:
+// "coreset[ad]", "singlecore[mod]", ...
+constexpr char kStageDecompose[] = "decompose";
+constexpr char kStageOrder[] = "order";
+constexpr char kStageForest[] = "forest";
+constexpr char kStageComponents[] = "components";
+constexpr char kStageTriangles[] = "triangles";
+constexpr char kStageTriplets[] = "triplets";
+
+// --- Byte estimates ------------------------------------------------------
+//
+// The artifacts are vectors of POD; sizing them from n/m/kmax (or their
+// own element counts) is exact up to allocator slack.  These feed the
+// StageRecord::bytes field, which is observability, not accounting.
+
+template <typename T>
+std::uint64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<std::uint64_t>(v.capacity()) * sizeof(T);
+}
+
+std::uint64_t DecompositionBytes(const CoreDecomposition& cores) {
+  return VectorBytes(cores.coreness) + VectorBytes(cores.peel_order);
+}
+
+std::uint64_t OrderedBytes(const Graph& graph, VertexId kmax) {
+  const std::uint64_t n = graph.NumVertices();
+  const std::uint64_t m = graph.NumEdges();
+  // coreness + order + same/plus/high tags: 5 per-vertex VertexId arrays;
+  // shell_start: kmax+2; offsets: n+1 EdgeIds; neighbors: 2m VertexIds.
+  return 5 * n * sizeof(VertexId) +
+         (static_cast<std::uint64_t>(kmax) + 2) * sizeof(VertexId) +
+         (n + 1) * sizeof(EdgeId) + 2 * m * sizeof(VertexId);
+}
+
+std::uint64_t ForestBytes(const CoreForest& forest) {
+  std::uint64_t bytes = 0;
+  for (const CoreForest::Node& node : forest.nodes()) {
+    bytes += sizeof(CoreForest::Node) + VectorBytes(node.children) +
+             VectorBytes(node.vertices);
+  }
+  return bytes;
+}
+
+std::uint64_t ComponentBytes(const ComponentLabels& components) {
+  return VectorBytes(components.label);
+}
+
+std::uint64_t CoreSetProfileBytes(const CoreSetProfile& profile) {
+  return VectorBytes(profile.scores) + VectorBytes(profile.primaries);
+}
+
+std::uint64_t SingleCoreProfileBytes(const SingleCoreProfile& profile) {
+  return VectorBytes(profile.scores) + VectorBytes(profile.primaries);
+}
+
+}  // namespace
+
+std::string CoreEngine::CoreSetStageName(Metric metric) {
+  return std::string("coreset[") + MetricShortName(metric) + "]";
+}
+
+std::string CoreEngine::SingleCoreStageName(Metric metric) {
+  return std::string("singlecore[") + MetricShortName(metric) + "]";
+}
+
+CoreEngine::CoreEngine(const Graph& graph, CoreEngineOptions options)
+    : graph_(&graph), options_(options) {
+  if (options_.eager_ordering) WarmUp();
+}
+
+CoreEngine::CoreEngine(Graph&& graph, CoreEngineOptions options)
+    : owned_graph_(std::move(graph)),
+      graph_(&*owned_graph_),
+      options_(options) {
+  if (options_.eager_ordering) WarmUp();
+}
+
+void CoreEngine::WarmUp() {
+  Cores();
+  Ordered();
+}
+
+ThreadPool& CoreEngine::Pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  return *pool_;
+}
+
+const CoreDecomposition& CoreEngine::Cores() {
+  if (cores_.has_value()) {
+    ++stats_.Get(kStageDecompose).hits;
+    return *cores_;
+  }
+  std::uint32_t threads = 1;
+  Timer timer;
+  if (options_.parallel_peel) {
+    ThreadPool& pool = Pool();
+    threads = pool.num_threads();
+    timer.Reset();  // exclude lazy pool construction from the stage time
+    cores_ = ComputeCoreDecompositionParallel(*graph_, pool);
+  } else {
+    cores_ = ComputeCoreDecomposition(*graph_);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  StageRecord& record = stats_.Get(kStageDecompose);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes = DecompositionBytes(*cores_);
+  record.threads = threads;
+  return *cores_;
+}
+
+const OrderedGraph& CoreEngine::Ordered() {
+  if (ordered_) {
+    ++stats_.Get(kStageOrder).hits;
+    return *ordered_;
+  }
+  const CoreDecomposition& cores = Cores();  // accrues to "decompose"
+  Timer timer;
+  ordered_ = std::make_unique<OrderedGraph>(*graph_, cores);
+  const double seconds = timer.ElapsedSeconds();
+  StageRecord& record = stats_.Get(kStageOrder);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes = OrderedBytes(*graph_, ordered_->kmax());
+  return *ordered_;
+}
+
+const CoreForest& CoreEngine::Forest() {
+  if (forest_) {
+    ++stats_.Get(kStageForest).hits;
+    return *forest_;
+  }
+  const CoreDecomposition& cores = Cores();
+  Timer timer;
+  forest_ = std::make_unique<CoreForest>(*graph_, cores);
+  const double seconds = timer.ElapsedSeconds();
+  StageRecord& record = stats_.Get(kStageForest);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes =
+      ForestBytes(*forest_) +
+      // node_of_vertex_ + subtree_size_: one VertexId-sized entry each per
+      // vertex / node, dominated by the per-vertex array.
+      2 * static_cast<std::uint64_t>(graph_->NumVertices()) * sizeof(VertexId);
+  return *forest_;
+}
+
+const ComponentLabels& CoreEngine::Components() {
+  if (components_.has_value()) {
+    ++stats_.Get(kStageComponents).hits;
+    return *components_;
+  }
+  Timer timer;
+  components_ = ConnectedComponents(*graph_);
+  const double seconds = timer.ElapsedSeconds();
+  StageRecord& record = stats_.Get(kStageComponents);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes = ComponentBytes(*components_);
+  return *components_;
+}
+
+std::uint64_t CoreEngine::Triangles() {
+  if (triangles_.has_value()) {
+    ++stats_.Get(kStageTriangles).hits;
+    return *triangles_;
+  }
+  const OrderedGraph& ordered = Ordered();  // accrues to its own stages
+  std::uint32_t threads = 1;
+  Timer timer;
+  if (options_.parallel_triangles) {
+    ThreadPool& pool = Pool();
+    threads = pool.num_threads();
+    timer.Reset();
+    triangles_ = CountTrianglesParallel(ordered, pool);
+  } else {
+    triangles_ = CountTriangles(ordered);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  StageRecord& record = stats_.Get(kStageTriangles);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes = sizeof(std::uint64_t);
+  record.threads = threads;
+  return *triangles_;
+}
+
+std::uint64_t CoreEngine::Triplets() {
+  if (triplets_.has_value()) {
+    ++stats_.Get(kStageTriplets).hits;
+    return *triplets_;
+  }
+  Timer timer;
+  triplets_ = CountTriplets(*graph_);
+  const double seconds = timer.ElapsedSeconds();
+  StageRecord& record = stats_.Get(kStageTriplets);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes = sizeof(std::uint64_t);
+  return *triplets_;
+}
+
+const CoreSetProfile& CoreEngine::BestCoreSet(Metric metric) {
+  const std::string stage = CoreSetStageName(metric);
+  auto it = core_set_profiles_.find(metric);
+  if (it != core_set_profiles_.end()) {
+    ++stats_.Get(stage).hits;
+    return it->second;
+  }
+  const OrderedGraph& ordered = Ordered();
+  Timer timer;
+  CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+  const double seconds = timer.ElapsedSeconds();
+  auto inserted = core_set_profiles_.emplace(metric, std::move(profile));
+  StageRecord& record = stats_.Get(stage);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes = CoreSetProfileBytes(inserted.first->second);
+  return inserted.first->second;
+}
+
+const SingleCoreProfile& CoreEngine::BestSingleCore(Metric metric) {
+  const std::string stage = SingleCoreStageName(metric);
+  auto it = single_core_profiles_.find(metric);
+  if (it != single_core_profiles_.end()) {
+    ++stats_.Get(stage).hits;
+    return it->second;
+  }
+  const OrderedGraph& ordered = Ordered();
+  const CoreForest& forest = Forest();
+  Timer timer;
+  // FindBestSingleCore requires a non-empty forest ("empty graph has no
+  // k-core").  The engine stays total: the empty graph yields an empty
+  // profile (no scores, best_k = 0) instead of tripping the CHECK.
+  SingleCoreProfile profile;
+  if (forest.NumNodes() > 0) {
+    profile = FindBestSingleCore(ordered, forest, metric);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  auto inserted = single_core_profiles_.emplace(metric, std::move(profile));
+  StageRecord& record = stats_.Get(stage);
+  ++record.builds;
+  record.seconds += seconds;
+  record.bytes = SingleCoreProfileBytes(inserted.first->second);
+  return inserted.first->second;
+}
+
+}  // namespace corekit

@@ -1,0 +1,148 @@
+// CoreEngine: the cached, instrumented pipeline over one graph.
+//
+// The paper's optimality argument assumes the O(m) substrate — the core
+// decomposition and the rank-ordered index of Algorithm 1 — is built
+// *once* and amortized across every best-k query.  CoreEngine is that
+// posture as a component: it owns (or borrows) a Graph, lazily builds and
+// caches the derived artifacts
+//
+//   decompose   CoreDecomposition   (sequential BZ peel or the parallel
+//                                    level-synchronous peel, by option)
+//   order       OrderedGraph        (Algorithm 1)
+//   forest      CoreForest          (Algorithm 4, LCPS)
+//   components  ComponentLabels     (BFS connected components)
+//   triangles   global triangle / triplet counts
+//   coreset[q]  CoreSetProfile      (Algorithm 2/3, cached per metric)
+//   singlecore[q] SingleCoreProfile (Algorithm 5, cached per metric)
+//
+// shares one ThreadPool across every parallel stage, and records per-stage
+// wall time, bytes, thread counts and cache hit/miss counters in a
+// StageStats structure (stats(), dumpable as JSON).
+//
+// Repeated queries — FindBestCoreSet over several metrics, community
+// search, Opt-D, Opt-SC — hit the cached substrate instead of rebuilding
+// it; the apps layer and the bench harnesses all route through here.
+//
+// Thread-safety: none.  An engine serves one request thread; shard engines
+// per thread for concurrent serving (the cached artifacts are immutable
+// once built, so read-only sharing after warmup is safe).
+
+#ifndef COREKIT_ENGINE_CORE_ENGINE_H_
+#define COREKIT_ENGINE_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "corekit/core/best_core_set.h"
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/core/metrics.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/engine/stage_stats.h"
+#include "corekit/graph/connected_components.h"
+#include "corekit/graph/graph.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+
+struct CoreEngineOptions {
+  // Peeling substrate: false = sequential Batagelj–Zaversnik (O(m)),
+  // true = the level-synchronous ComputeCoreDecompositionParallel over the
+  // engine's shared pool.
+  bool parallel_peel = false;
+  // Count global triangles with the parallel kernel over the shared pool.
+  bool parallel_triangles = false;
+  // Threads for the shared pool (0 = hardware concurrency).  The pool is
+  // created lazily, on the first stage that wants it.
+  std::uint32_t num_threads = 0;
+  // true: build decomposition + ordering eagerly in the constructor (warm
+  // the cache up front, e.g. before accepting traffic).  false (default):
+  // build on first request.
+  bool eager_ordering = false;
+};
+
+class CoreEngine {
+ public:
+  // Borrowing constructor: `graph` must outlive the engine (the same
+  // contract OrderedGraph already has).
+  explicit CoreEngine(const Graph& graph, CoreEngineOptions options = {});
+  // Owning constructor: the engine keeps the graph alive itself.
+  explicit CoreEngine(Graph&& graph, CoreEngineOptions options = {});
+
+  // Cached artifacts hold pointers into the engine; it is pinned.
+  CoreEngine(const CoreEngine&) = delete;
+  CoreEngine& operator=(const CoreEngine&) = delete;
+
+  const Graph& graph() const { return *graph_; }
+  const CoreEngineOptions& options() const { return options_; }
+
+  // --- Cached artifacts (built on first request) -------------------------
+
+  const CoreDecomposition& Cores();
+  const OrderedGraph& Ordered();
+  const CoreForest& Forest();
+  const ComponentLabels& Components();
+
+  // Global triangle / triplet counts of the whole graph.
+  std::uint64_t Triangles();
+  std::uint64_t Triplets();
+
+  // --- Cached query layers (one profile per metric) ----------------------
+
+  // Algorithm 2/3 over the cached substrate.  The reference stays valid
+  // for the engine's lifetime.
+  const CoreSetProfile& BestCoreSet(Metric metric);
+  // Algorithm 5 over the cached substrate.  Unlike the free function, the
+  // engine is total on the empty graph: it returns an empty profile
+  // (scores empty, best_k = 0) rather than CHECK-failing.
+  const SingleCoreProfile& BestSingleCore(Metric metric);
+
+  // --- Shared execution resources ----------------------------------------
+
+  // The pool every parallel stage runs on; created on first use with
+  // options().num_threads workers.
+  ThreadPool& Pool();
+
+  // --- Instrumentation ----------------------------------------------------
+
+  // Names of the per-metric stages in stats(): "coreset[ad]",
+  // "singlecore[mod]", ... (the fixed stages are "decompose", "order",
+  // "forest", "components", "triangles", "triplets").
+  static std::string CoreSetStageName(Metric metric);
+  static std::string SingleCoreStageName(Metric metric);
+
+  const StageStats& stats() const { return stats_; }
+  // Serialized stats() for the bench harness / log shipping.
+  std::string StatsJson() const { return stats_.ToJson(); }
+  // Zeroes every counter; cached artifacts stay cached (subsequent
+  // requests count as hits).
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  void WarmUp();
+
+  // Owned storage for the Graph&& constructor; unused when borrowing.
+  std::optional<Graph> owned_graph_;
+  const Graph* graph_;
+  CoreEngineOptions options_;
+  StageStats stats_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::optional<CoreDecomposition> cores_;
+  std::unique_ptr<OrderedGraph> ordered_;
+  std::unique_ptr<CoreForest> forest_;
+  std::optional<ComponentLabels> components_;
+  std::optional<std::uint64_t> triangles_;
+  std::optional<std::uint64_t> triplets_;
+  // std::map: references to mapped profiles stay valid across inserts.
+  std::map<Metric, CoreSetProfile> core_set_profiles_;
+  std::map<Metric, SingleCoreProfile> single_core_profiles_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_ENGINE_CORE_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "corekit/engine/stage_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace corekit {
+
+namespace {
+
+void AppendCounters(std::string& out, std::uint64_t builds, std::uint64_t hits,
+                    double seconds, std::uint64_t bytes) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"builds\":%" PRIu64 ",\"hits\":%" PRIu64
+                ",\"seconds\":%.6f,\"bytes\":%" PRIu64,
+                builds, hits, seconds, bytes);
+  out += buffer;
+}
+
+}  // namespace
+
+StageRecord& StageStats::Get(std::string_view name) {
+  for (StageRecord& record : records_) {
+    if (record.name == name) return record;
+  }
+  records_.emplace_back();
+  records_.back().name = std::string(name);
+  return records_.back();
+}
+
+const StageRecord* StageStats::Find(std::string_view name) const {
+  for (const StageRecord& record : records_) {
+    if (record.name == name) return &record;
+  }
+  return nullptr;
+}
+
+std::uint64_t StageStats::TotalBuilds() const {
+  std::uint64_t total = 0;
+  for (const StageRecord& record : records_) total += record.builds;
+  return total;
+}
+
+std::uint64_t StageStats::TotalHits() const {
+  std::uint64_t total = 0;
+  for (const StageRecord& record : records_) total += record.hits;
+  return total;
+}
+
+double StageStats::TotalSeconds() const {
+  double total = 0.0;
+  for (const StageRecord& record : records_) total += record.seconds;
+  return total;
+}
+
+std::uint64_t StageStats::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const StageRecord& record : records_) total += record.bytes;
+  return total;
+}
+
+std::string StageStats::ToJson() const {
+  std::string out = "{\"stages\":[";
+  bool first = true;
+  for (const StageRecord& record : records_) {
+    if (!first) out += ',';
+    first = false;
+    // Stage names are fixed identifiers ("decompose", "coreset[ad]", ...);
+    // no JSON escaping is required.
+    out += "{\"name\":\"" + record.name + "\",";
+    AppendCounters(out, record.builds, record.hits, record.seconds,
+                   record.bytes);
+    out += ",\"threads\":" + std::to_string(record.threads) + "}";
+  }
+  out += "],\"totals\":{";
+  AppendCounters(out, TotalBuilds(), TotalHits(), TotalSeconds(),
+                 TotalBytes());
+  out += "}}";
+  return out;
+}
+
+}  // namespace corekit

@@ -1,0 +1,70 @@
+// Per-stage instrumentation for the CoreEngine pipeline.
+//
+// Every derived artifact the engine can build (decomposition, ordering,
+// forest, components, triangle counts, per-metric score profiles) is a
+// *stage*.  A StageRecord accumulates, per stage: how often the stage was
+// rebuilt (cache misses), how often a request was served from the cache
+// (hits), the wall time spent building, an estimate of the bytes the
+// artifact occupies, and the number of threads the last build used.
+//
+// The bench harnesses read individual records (per-stage timing columns of
+// Figures 7/8) and the serving layer dumps the whole structure as JSON.
+
+#ifndef COREKIT_ENGINE_STAGE_STATS_H_
+#define COREKIT_ENGINE_STAGE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corekit {
+
+struct StageRecord {
+  std::string name;
+  // Times the stage actually ran (== cache misses for lazy artifacts).
+  std::uint64_t builds = 0;
+  // Requests served from the cached artifact without rebuilding.
+  std::uint64_t hits = 0;
+  // Total wall seconds across all builds of this stage.
+  double seconds = 0.0;
+  // Estimated bytes held by the artifact after the last build.
+  std::uint64_t bytes = 0;
+  // Threads used by the last build (1 for sequential stages).
+  std::uint32_t threads = 1;
+};
+
+class StageStats {
+ public:
+  // The record for `name`, created zeroed on first use.  The reference is
+  // invalidated by the next Get() of a new name.
+  StageRecord& Get(std::string_view name);
+
+  // The record for `name`, or nullptr if the stage never appeared.
+  const StageRecord* Find(std::string_view name) const;
+
+  // Records in first-touch order.
+  const std::vector<StageRecord>& records() const { return records_; }
+
+  // Aggregates across all stages.
+  std::uint64_t TotalBuilds() const;
+  std::uint64_t TotalHits() const;
+  double TotalSeconds() const;
+  std::uint64_t TotalBytes() const;
+
+  // Drops every record (counters restart from zero).
+  void Reset() { records_.clear(); }
+
+  // Machine-readable dump for the bench harness / serving layer:
+  //   {"stages":[{"name":...,"builds":...,"hits":...,"seconds":...,
+  //               "bytes":...,"threads":...},...],
+  //    "totals":{"builds":...,"hits":...,"seconds":...,"bytes":...}}
+  std::string ToJson() const;
+
+ private:
+  std::vector<StageRecord> records_;
+};
+
+}  // namespace corekit
+
+#endif  // COREKIT_ENGINE_STAGE_STATS_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -33,20 +34,29 @@ class File {
   std::FILE* f_;
 };
 
+enum class ParseResult {
+  kOk,
+  kNoDigits,
+  kOverflow,  // the literal does not fit in 64 bits
+};
+
 // Parses an unsigned integer starting at *p; advances *p past it.
-// Returns false if no digits were found.
-bool ParseUint(const char** p, std::uint64_t* out) {
+ParseResult ParseUint(const char** p, std::uint64_t* out) {
   const char* s = *p;
   while (*s == ' ' || *s == '\t' || *s == ',') ++s;
-  if (*s < '0' || *s > '9') return false;
+  if (*s < '0' || *s > '9') return ParseResult::kNoDigits;
   std::uint64_t value = 0;
   while (*s >= '0' && *s <= '9') {
-    value = value * 10 + static_cast<std::uint64_t>(*s - '0');
+    const std::uint64_t digit = static_cast<std::uint64_t>(*s - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return ParseResult::kOverflow;  // would wrap silently otherwise
+    }
+    value = value * 10 + digit;
     ++s;
   }
   *p = s;
   *out = value;
-  return true;
+  return ParseResult::kOk;
 }
 
 }  // namespace
@@ -71,6 +81,18 @@ Result<Graph> ReadSnapEdgeList(const std::string& path) {
   std::size_t line_no = 0;
   while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
     ++line_no;
+    if (std::strchr(line, '\n') == nullptr) {
+      // fgets filled the buffer without reaching a newline.  Unless this
+      // is the final line of a file with no trailing newline, the line is
+      // longer than the buffer and would silently split into bogus edges.
+      const int next = std::fgetc(file.get());
+      if (next != EOF) {
+        return Status::Corruption("line exceeds " +
+                                  std::to_string(sizeof(line) - 1) +
+                                  " bytes at " + path + ":" +
+                                  std::to_string(line_no));
+      }
+    }
     const char* p = line;
     while (*p == ' ' || *p == '\t') ++p;
     if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#' || *p == '%') {
@@ -78,9 +100,17 @@ Result<Graph> ReadSnapEdgeList(const std::string& path) {
     }
     std::uint64_t raw_u = 0;
     std::uint64_t raw_v = 0;
-    if (!ParseUint(&p, &raw_u) || !ParseUint(&p, &raw_v)) {
-      return Status::Corruption("malformed edge at " + path + ":" +
-                                std::to_string(line_no));
+    for (std::uint64_t* out : {&raw_u, &raw_v}) {
+      switch (ParseUint(&p, out)) {
+        case ParseResult::kOk:
+          break;
+        case ParseResult::kNoDigits:
+          return Status::Corruption("malformed edge at " + path + ":" +
+                                    std::to_string(line_no));
+        case ParseResult::kOverflow:
+          return Status::Corruption("vertex id overflows 64 bits at " + path +
+                                    ":" + std::to_string(line_no));
+      }
     }
     edges.emplace_back(intern(raw_u), intern(raw_v));
   }
@@ -165,6 +195,20 @@ Result<Graph> ReadBinaryGraph(const std::string& path) {
   }
   if (offsets.front() != 0 || offsets.back() != slots) {
     return Status::Corruption("inconsistent CSR in '" + path + "'");
+  }
+  // Validate the full CSR invariant (monotone offsets; in-range, sorted,
+  // self-loop-free adjacency) so a corrupted payload comes back as a
+  // Status instead of tripping Graph's internal checks.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1] || offsets[v + 1] > slots) {
+      return Status::Corruption("non-monotone offsets in '" + path + "'");
+    }
+    for (EdgeId i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (neighbors[i] >= n || neighbors[i] == v ||
+          (i > offsets[v] && neighbors[i - 1] >= neighbors[i])) {
+        return Status::Corruption("invalid adjacency in '" + path + "'");
+      }
+    }
   }
   return Graph(std::move(offsets), std::move(neighbors));
 }

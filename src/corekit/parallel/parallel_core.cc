@@ -13,16 +13,17 @@ namespace corekit {
 
 CoreDecomposition ComputeCoreDecompositionParallel(
     const Graph& graph, std::uint32_t num_threads) {
+  ThreadPool pool(num_threads);
+  return ComputeCoreDecompositionParallel(graph, pool);
+}
+
+CoreDecomposition ComputeCoreDecompositionParallel(const Graph& graph,
+                                                   ThreadPool& pool) {
   const VertexId n = graph.NumVertices();
   CoreDecomposition result;
   result.coreness.assign(n, 0);
   result.peel_order.reserve(n);
   if (n == 0) return result;
-
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min<std::uint32_t>(num_threads, 64);
 
   // Remaining degrees, decremented atomically as neighbors peel.
   std::vector<std::atomic<VertexId>> degree(n);
@@ -39,10 +40,9 @@ CoreDecomposition ComputeCoreDecompositionParallel(
     peeled[v].store(0, std::memory_order_relaxed);
   }
 
-  // Persistent worker pool.  Crossings found by a chunk are buffered
-  // locally and merged into the shared next frontier under a mutex (the
-  // merge is tiny next to the scan).
-  ThreadPool pool(num_threads);
+  // Crossings found by a chunk are buffered locally and merged into the
+  // shared next frontier under a mutex (the merge is tiny next to the
+  // scan).
   std::mutex next_mutex;
 
   std::vector<VertexId> frontier;

@@ -21,6 +21,7 @@
 
 #include "corekit/core/core_decomposition.h"
 #include "corekit/graph/graph.h"
+#include "corekit/util/thread_pool.h"
 
 namespace corekit {
 
@@ -30,6 +31,11 @@ namespace corekit {
 // different one than the sequential peel's).
 CoreDecomposition ComputeCoreDecompositionParallel(
     const Graph& graph, std::uint32_t num_threads = 0);
+
+// Same peel over a caller-provided pool (the CoreEngine path: one pool
+// shared across every parallel stage instead of one per call).
+CoreDecomposition ComputeCoreDecompositionParallel(const Graph& graph,
+                                                   ThreadPool& pool);
 
 }  // namespace corekit
 

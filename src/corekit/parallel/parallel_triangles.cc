@@ -10,10 +10,15 @@ namespace corekit {
 
 std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
                                      std::uint32_t num_threads) {
+  ThreadPool pool(num_threads);
+  return CountTrianglesParallel(ordered, pool);
+}
+
+std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
+                                     ThreadPool& pool) {
   const VertexId n = ordered.NumVertices();
   if (n == 0) return 0;
 
-  ThreadPool pool(num_threads);
   std::atomic<std::uint64_t> total{0};
 
   // Each chunk uses a thread-local scratch sized on first touch.  The

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "corekit/core/vertex_ordering.h"
+#include "corekit/util/thread_pool.h"
 
 namespace corekit {
 
@@ -17,6 +18,11 @@ namespace corekit {
 // hardware concurrency.  Equals CountTriangles(ordered) exactly.
 std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
                                      std::uint32_t num_threads = 0);
+
+// Same count over a caller-provided pool (the CoreEngine path: one pool
+// shared across every parallel stage instead of one per call).
+std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
+                                     ThreadPool& pool);
 
 }  // namespace corekit
 

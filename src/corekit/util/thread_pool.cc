@@ -61,11 +61,18 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   COREKIT_CHECK_GT(chunk, 0u);
   if (total == 0) return;
+  // Nested calls (from fn, on any thread) would deadlock on the shared job
+  // state; fail loudly instead.  The flag is enforced on the serial fast
+  // path too: whether a nested call deadlocks depends on the thread count,
+  // so a debug run must trip even where release would happen to survive.
+  // Under NDEBUG the exchange is not evaluated (zero release overhead).
+  COREKIT_DCHECK(!in_flight_.exchange(true, std::memory_order_acq_rel));
   if (num_threads_ == 1 || total <= chunk) {
     // Serial fast path.
     for (std::size_t begin = 0; begin < total; begin += chunk) {
       fn(begin, std::min(total, begin + chunk));
     }
+    in_flight_.store(false, std::memory_order_release);
     return;
   }
 
@@ -89,6 +96,7 @@ void ThreadPool::ParallelFor(
     return active_workers_.load(std::memory_order_acquire) == 0;
   });
   job_fn_ = nullptr;
+  in_flight_.store(false, std::memory_order_release);
 }
 
 }  // namespace corekit

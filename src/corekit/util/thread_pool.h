@@ -37,7 +37,9 @@ class ThreadPool {
   std::uint32_t num_threads() const { return num_threads_; }
 
   // Runs fn(begin, end) over chunks of [0, total).  Blocks until done.
-  // Not reentrant (no nested ParallelFor from inside fn).
+  // Not reentrant (no nested ParallelFor from inside fn, on any thread):
+  // a nested call would deadlock on the shared job state.  Debug builds
+  // enforce this with a COREKIT_DCHECK on an in-flight flag.
   void ParallelFor(std::size_t total, std::size_t chunk,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -61,6 +63,8 @@ class ThreadPool {
   std::size_t job_chunk_ = 1;
   std::atomic<std::size_t> next_index_{0};
   std::atomic<std::uint32_t> active_workers_{0};
+  // Set for the duration of a ParallelFor; nested calls trip the DCHECK.
+  std::atomic<bool> in_flight_{false};
 };
 
 }  // namespace corekit

@@ -1,0 +1,227 @@
+// CoreEngine caching semantics: every derived artifact is built exactly
+// once per engine no matter how many consumers ask for it, cache hits and
+// build counters are observable through StageStats, and the pipeline is
+// total on degenerate inputs.
+
+#include "corekit/engine/core_engine.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/engine/stage_stats.h"
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using testing::Fig2Graph;
+
+TEST(CoreEngineTest, CoresMatchesFreeFunction) {
+  const Graph graph = Fig2Graph();
+  CoreEngine engine(graph);
+  const CoreDecomposition expected = ComputeCoreDecomposition(graph);
+  EXPECT_EQ(engine.Cores().coreness, expected.coreness);
+  EXPECT_EQ(engine.Cores().kmax, expected.kmax);
+}
+
+TEST(CoreEngineTest, SecondRequestIsACacheHit) {
+  const Graph graph = Fig2Graph();
+  CoreEngine engine(graph);
+  (void)engine.Ordered();
+  const StageRecord* order = engine.stats().Find("order");
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(order->builds, 1u);
+  EXPECT_EQ(order->hits, 0u);
+
+  (void)engine.Ordered();
+  EXPECT_EQ(order->builds, 1u);
+  EXPECT_EQ(order->hits, 1u);
+  EXPECT_GE(order->bytes, 1u);
+}
+
+// The acceptance criterion of the engine layer: a sweep over several
+// metrics performs exactly one decomposition and one ordering build.
+TEST(CoreEngineTest, TwoMetricSweepBuildsEachArtifactOnce) {
+  const Graph graph = GenerateErdosRenyi(200, 800, 7);
+  CoreEngine engine(graph);
+  (void)engine.BestCoreSet(Metric::kAverageDegree);
+  (void)engine.BestCoreSet(Metric::kModularity);
+  (void)engine.BestSingleCore(Metric::kAverageDegree);
+  (void)engine.BestSingleCore(Metric::kModularity);
+
+  const StageRecord* decompose = engine.stats().Find("decompose");
+  const StageRecord* order = engine.stats().Find("order");
+  const StageRecord* forest = engine.stats().Find("forest");
+  ASSERT_NE(decompose, nullptr);
+  ASSERT_NE(order, nullptr);
+  ASSERT_NE(forest, nullptr);
+  EXPECT_EQ(decompose->builds, 1u);
+  EXPECT_EQ(order->builds, 1u);
+  EXPECT_EQ(forest->builds, 1u);
+  // The later stages found their dependencies in the cache.
+  EXPECT_GE(decompose->hits + order->hits + forest->hits, 1u);
+
+  // Each profile was built once; asking again only bumps hits.
+  (void)engine.BestCoreSet(Metric::kModularity);
+  const StageRecord* coreset =
+      engine.stats().Find(CoreEngine::CoreSetStageName(Metric::kModularity));
+  ASSERT_NE(coreset, nullptr);
+  EXPECT_EQ(coreset->builds, 1u);
+  EXPECT_EQ(coreset->hits, 1u);
+}
+
+TEST(CoreEngineTest, ProfilesMatchFreeFunctions) {
+  const Graph graph = GenerateErdosRenyi(150, 600, 21);
+  CoreEngine engine(graph);
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  for (const Metric metric : kAllMetrics) {
+    const CoreSetProfile expected_set = FindBestCoreSet(ordered, metric);
+    const CoreSetProfile& got_set = engine.BestCoreSet(metric);
+    EXPECT_EQ(got_set.best_k, expected_set.best_k) << MetricShortName(metric);
+    EXPECT_DOUBLE_EQ(got_set.best_score, expected_set.best_score)
+        << MetricShortName(metric);
+
+    const SingleCoreProfile expected_single =
+        FindBestSingleCore(ordered, forest, metric);
+    const SingleCoreProfile& got_single = engine.BestSingleCore(metric);
+    EXPECT_EQ(got_single.best_k, expected_single.best_k)
+        << MetricShortName(metric);
+    EXPECT_DOUBLE_EQ(got_single.best_score, expected_single.best_score)
+        << MetricShortName(metric);
+  }
+}
+
+TEST(CoreEngineTest, ProfileReferencesStayValidAcrossInserts) {
+  const Graph graph = Fig2Graph();
+  CoreEngine engine(graph);
+  const CoreSetProfile& first = engine.BestCoreSet(Metric::kAverageDegree);
+  const VertexId first_best_k = first.best_k;
+  // Filling the cache with the other metrics must not move `first`.
+  for (const Metric metric : kAllMetrics) {
+    (void)engine.BestCoreSet(metric);
+    (void)engine.BestSingleCore(metric);
+  }
+  EXPECT_EQ(&first, &engine.BestCoreSet(Metric::kAverageDegree));
+  EXPECT_EQ(first.best_k, first_best_k);
+}
+
+TEST(CoreEngineTest, TriangleAndComponentStagesAreCached) {
+  const Graph graph = Fig2Graph();
+  CoreEngine engine(graph);
+  EXPECT_EQ(engine.Triangles(), engine.Triangles());
+  EXPECT_EQ(engine.Triplets(), engine.Triplets());
+  EXPECT_EQ(engine.Components().num_components,
+            engine.Components().num_components);
+  for (const char* name : {"triangles", "triplets", "components"}) {
+    const StageRecord* record = engine.stats().Find(name);
+    ASSERT_NE(record, nullptr) << name;
+    EXPECT_EQ(record->builds, 1u) << name;
+    EXPECT_EQ(record->hits, 1u) << name;
+  }
+  // Fig2: two K4 blocks contribute 4 triangles each; the 2-shell wiring
+  // v5-v6-v3 and v6-v7-v8 adds two more.
+  EXPECT_EQ(engine.Triangles(), 10u);
+  EXPECT_EQ(engine.Components().num_components, 1u);
+}
+
+TEST(CoreEngineTest, OwningConstructorKeepsGraphAlive) {
+  CoreEngine engine(Fig2Graph());
+  EXPECT_EQ(engine.graph().NumVertices(), 12u);
+  EXPECT_EQ(engine.Cores().kmax, 3u);
+  EXPECT_EQ(engine.Ordered().NumVertices(), 12u);
+}
+
+TEST(CoreEngineTest, EagerOrderingBuildsUpFront) {
+  CoreEngineOptions options;
+  options.eager_ordering = true;
+  CoreEngine engine(Fig2Graph(), options);
+  const StageRecord* decompose = engine.stats().Find("decompose");
+  const StageRecord* order = engine.stats().Find("order");
+  ASSERT_NE(decompose, nullptr);
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(decompose->builds, 1u);
+  EXPECT_EQ(order->builds, 1u);
+  // Later requests are pure hits.
+  (void)engine.Ordered();
+  EXPECT_EQ(order->builds, 1u);
+  EXPECT_EQ(order->hits, 1u);
+}
+
+TEST(CoreEngineTest, ParallelOptionsMatchSequential) {
+  const Graph graph = GenerateErdosRenyi(300, 1500, 33);
+  CoreEngineOptions options;
+  options.parallel_peel = true;
+  options.parallel_triangles = true;
+  options.num_threads = 4;
+  CoreEngine parallel_engine(graph, options);
+  CoreEngine serial_engine(graph);
+  EXPECT_EQ(parallel_engine.Cores().coreness, serial_engine.Cores().coreness);
+  EXPECT_EQ(parallel_engine.Triangles(), serial_engine.Triangles());
+  const StageRecord* decompose = parallel_engine.stats().Find("decompose");
+  ASSERT_NE(decompose, nullptr);
+  EXPECT_GE(decompose->threads, 1u);
+}
+
+TEST(CoreEngineTest, StatsJsonMentionsEveryStage) {
+  CoreEngine engine(Fig2Graph());
+  (void)engine.BestCoreSet(Metric::kAverageDegree);
+  const std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"decompose\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"order\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"coreset[ad]\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"totals\""), std::string::npos) << json;
+}
+
+TEST(CoreEngineTest, ResetStatsClearsCountersButKeepsArtifacts) {
+  CoreEngine engine(Fig2Graph());
+  (void)engine.Ordered();
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().TotalBuilds(), 0u);
+  // The artifact itself survives: the next request is a pure hit.
+  (void)engine.Ordered();
+  const StageRecord* order = engine.stats().Find("order");
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(order->builds, 0u);
+  EXPECT_EQ(order->hits, 1u);
+}
+
+// Degenerate inputs must flow through the whole pipeline without tripping
+// any internal CHECK.
+TEST(CoreEngineTest, DegenerateGraphsRunFullPipeline) {
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  GraphBuilder star(6);
+  for (VertexId leaf = 1; leaf < 6; ++leaf) star.AddEdge(0, leaf);
+  Case cases[] = {
+      {"empty", GraphBuilder::FromEdges(0, {})},
+      {"isolated", GraphBuilder::FromEdges(5, {})},
+      {"single_edge", GraphBuilder::FromEdges(2, {{0, 1}})},
+      {"star", star.Build()},
+  };
+  for (Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    CoreEngine engine(std::move(c.graph));
+    (void)engine.Components();
+    (void)engine.Triangles();
+    (void)engine.Triplets();
+    for (const Metric metric : kAllMetrics) {
+      (void)engine.BestCoreSet(metric);
+      (void)engine.BestSingleCore(metric);
+    }
+    EXPECT_FALSE(engine.StatsJson().empty());
+    const StageRecord* decompose = engine.stats().Find("decompose");
+    ASSERT_NE(decompose, nullptr);
+    EXPECT_EQ(decompose->builds, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace corekit

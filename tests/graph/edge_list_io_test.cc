@@ -156,5 +156,53 @@ TEST_F(EdgeListIoTest, BinaryEmptyGraphRoundTrip) {
   EXPECT_EQ(reloaded->NumEdges(), 0u);
 }
 
+TEST_F(EdgeListIoTest, OverflowingVertexIdIsCorruption) {
+  const std::string path = TempPath("overflow.txt");
+  // 2^64 = 18446744073709551616 does not fit in uint64_t.
+  WriteFile(path, "18446744073709551616 1\n");
+  const auto result = ReadSnapEdgeList(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().ToString().find("overflows"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find(":1"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(EdgeListIoTest, MaxUint64VertexIdStillParses) {
+  const std::string path = TempPath("max_u64.txt");
+  // 2^64 - 1 is the largest parsable token; dense relabeling then maps it
+  // to a small VertexId, so the read succeeds.
+  WriteFile(path, "18446744073709551615 1\n");
+  const auto result = ReadSnapEdgeList(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumVertices(), 2u);
+  EXPECT_EQ(result->NumEdges(), 1u);
+}
+
+TEST_F(EdgeListIoTest, OverlongLineIsCorruptionWithLineNumber) {
+  const std::string path = TempPath("long_line.txt");
+  // A single line far beyond the 4096-byte read buffer.
+  std::string line = "0 1 ";
+  line.append(8000, 'x');
+  line += "\n2 3\n";
+  WriteFile(path, "5 6\n" + line);
+  const auto result = ReadSnapEdgeList(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().ToString().find("exceeds"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find(":2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(EdgeListIoTest, FinalLineWithoutNewlineIsAccepted) {
+  const std::string path = TempPath("no_final_newline.txt");
+  WriteFile(path, "0 1\n1 2");
+  const auto result = ReadSnapEdgeList(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumEdges(), 2u);
+}
+
 }  // namespace
 }  // namespace corekit

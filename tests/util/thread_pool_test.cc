@@ -70,5 +70,38 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+#ifndef NDEBUG
+// ParallelFor is not reentrant: a nested call from inside a job would
+// deadlock (the outer call holds the pool).  Debug builds trip a DCHECK
+// instead of hanging; NDEBUG builds compile the check out, so the death
+// test only exists in debug.
+TEST(ThreadPoolDeathTest, NestedParallelForTripsDcheck) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(4, 1, [&pool](std::size_t, std::size_t) {
+          pool.ParallelFor(2, 1, [](std::size_t, std::size_t) {});
+        });
+      },
+      "in_flight_");
+}
+
+// The serial path (single-threaded pool) must enforce the same contract:
+// whether nesting deadlocks depends on the thread count, so debug builds
+// reject it everywhere.
+TEST(ThreadPoolDeathTest, NestedSerialParallelForTripsDcheck) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.ParallelFor(4, 1, [&pool](std::size_t, std::size_t) {
+          pool.ParallelFor(2, 1, [](std::size_t, std::size_t) {});
+        });
+      },
+      "in_flight_");
+}
+#endif  // NDEBUG
+
 }  // namespace
 }  // namespace corekit

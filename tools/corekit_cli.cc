@@ -21,6 +21,7 @@
 //   corekit_cli color <graph>                 smallest-last coloring [42]
 //   corekit_cli anomalies <graph>             mirror-pattern outliers [53]
 //   corekit_cli report <graph>                full best-k analysis
+//   corekit_cli engine-stats <graph> [metric] pipeline StageStats as JSON
 //   corekit_cli convert <graph> <out.bin>     text -> binary snapshot
 //   corekit_cli generate <kind> <out> [n] [m] synthetic graph (er, ba,
 //                                             rmat, ws, onion)
@@ -48,7 +49,8 @@ int Usage() {
       "          densest | best-s | distributed | semi-external |\n"
       "          cluster | resilience | hierarchy-dot <out.dot> |\n"
       "          fingerprint <out.svg> | color | anomalies | report |\n"
-      "          convert <out.bin> | generate <kind> <out> [n] [m]\n"
+      "          engine-stats | convert <out.bin> |\n"
+      "          generate <kind> <out> [n] [m]\n"
       "metrics:  ad den cr con mod cc (default ad)\n");
   return 2;
 }
@@ -82,13 +84,11 @@ int CmdStats(const Graph& graph) {
   return 0;
 }
 
-int CmdBestK(const Graph& graph, Metric metric, bool full_profile) {
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreSetProfile profile = FindBestCoreSet(ordered, metric);
+int CmdBestK(CoreEngine& engine, Metric metric, bool full_profile) {
+  const CoreSetProfile& profile = engine.BestCoreSet(metric);
   if (full_profile) {
     TablePrinter table({"k", "|C_k|", "m(C_k)", "b(C_k)", "score"});
-    for (VertexId k = 0; k <= cores.kmax; ++k) {
+    for (VertexId k = 0; k <= engine.Cores().kmax; ++k) {
       table.AddRow({std::to_string(k),
                     std::to_string(profile.primaries[k].num_vertices),
                     std::to_string(profile.primaries[k].InternalEdges()),
@@ -102,15 +102,15 @@ int CmdBestK(const Graph& graph, Metric metric, bool full_profile) {
   return 0;
 }
 
-int CmdBestCore(const Graph& graph, Metric metric) {
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
-  const SingleCoreProfile profile =
-      FindBestSingleCore(ordered, forest, metric);
+int CmdBestCore(CoreEngine& engine, Metric metric) {
+  if (engine.Forest().NumNodes() == 0) {
+    std::fprintf(stderr, "graph is empty: no k-core to select\n");
+    return 1;
+  }
+  const SingleCoreProfile& profile = engine.BestSingleCore(metric);
   std::printf("best single core (%s): k=%u, %u vertices, score %.6f\n",
               MetricName(metric), profile.best_k,
-              forest.CoreSize(profile.best_node), profile.best_score);
+              engine.Forest().CoreSize(profile.best_node), profile.best_score);
   return 0;
 }
 
@@ -167,19 +167,19 @@ int CmdSemiExternal(const std::string& path) {
   return 0;
 }
 
-int CmdCluster(const Graph& graph) {
-  const CoreClustering clustering = ClusterByCores(graph);
+int CmdCluster(CoreEngine& engine) {
+  const CoreClustering clustering = ClusterByCores(engine);
   std::printf(
       "core-guided clustering: %u clusters, modularity %.4f, %u rounds\n",
       clustering.num_clusters, clustering.modularity, clustering.rounds);
   return 0;
 }
 
-int CmdResilience(const Graph& graph) {
+int CmdResilience(CoreEngine& engine) {
   for (const RemovalStrategy strategy :
        {RemovalStrategy::kRandom, RemovalStrategy::kHighestCorenessFirst}) {
     const ResilienceCurve curve =
-        ComputeResilienceCurve(graph, strategy, 10);
+        ComputeResilienceCurve(engine, strategy, 10);
     std::printf("%s (reference k >= %u):\n", RemovalStrategyName(strategy),
                 curve.reference_k);
     for (const ResiliencePoint& point : curve.points) {
@@ -191,20 +191,18 @@ int CmdResilience(const Graph& graph) {
   return 0;
 }
 
-int CmdHierarchyDot(const Graph& graph, const std::string& out) {
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
-  const SingleCoreProfile profile =
-      FindBestSingleCore(ordered, forest, Metric::kAverageDegree);
+int CmdHierarchyDot(CoreEngine& engine, const std::string& out) {
+  const SingleCoreProfile& profile =
+      engine.BestSingleCore(Metric::kAverageDegree);
   HierarchyDotOptions options;
   options.scores = profile.scores;
-  const Status status = WriteCoreForestDot(forest, out, options);
+  const Status status = WriteCoreForestDot(engine.Forest(), out, options);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s (%u nodes)\n", out.c_str(), forest.NumNodes());
+  std::printf("wrote %s (%u nodes)\n", out.c_str(),
+              engine.Forest().NumNodes());
   return 0;
 }
 
@@ -220,9 +218,9 @@ int CmdFingerprint(const Graph& graph, const std::string& out) {
   return 0;
 }
 
-int CmdColor(const Graph& graph) {
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const GraphColoring coloring = ColorBySmallestLast(graph, cores);
+int CmdColor(CoreEngine& engine) {
+  const Graph& graph = engine.graph();
+  const GraphColoring coloring = ColorBySmallestLast(graph, engine.Cores());
   VertexId max_degree = 0;
   for (VertexId v = 0; v < graph.NumVertices(); ++v) {
     max_degree = std::max(max_degree, graph.Degree(v));
@@ -230,13 +228,14 @@ int CmdColor(const Graph& graph) {
   std::printf(
       "smallest-last coloring: %u colors (degeneracy bound %u, greedy "
       "bound %u)\n",
-      coloring.num_colors, cores.kmax + 1, max_degree + 1);
+      coloring.num_colors, engine.Cores().kmax + 1, max_degree + 1);
   return 0;
 }
 
-int CmdAnomalies(const Graph& graph) {
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const MirrorPatternResult result = DetectMirrorAnomalies(graph, cores);
+int CmdAnomalies(CoreEngine& engine) {
+  const Graph& graph = engine.graph();
+  const CoreDecomposition& cores = engine.Cores();
+  const MirrorPatternResult result = DetectMirrorAnomalies(engine);
   std::printf("mirror pattern: correlation %.3f, fit log(d) ~ %.3f + %.3f "
               "log(c+1)\n",
               result.correlation, result.alpha, result.beta);
@@ -249,38 +248,54 @@ int CmdAnomalies(const Graph& graph) {
   return 0;
 }
 
-int CmdReport(const Graph& graph) {
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
-  CmdStats(graph);
+int CmdReport(CoreEngine& engine) {
+  CmdStats(engine.graph());
 
-  const auto set_profiles = FindBestCoreSetMulti(ordered, kAllMetrics);
-  const auto single_profiles =
-      FindBestSingleCoreMulti(ordered, forest, kAllMetrics);
+  // All twelve searches share the engine's one decomposition, ordering,
+  // and forest; the per-metric profiles stay cached for CmdEngineStats.
+  const CoreForest& forest = engine.Forest();
+  if (forest.NumNodes() == 0) {
+    std::printf("graph is empty: no k-cores to score\n");
+    return 0;
+  }
   TablePrinter table({"metric", "best k (set)", "score (set)",
                       "best k (core)", "|core|", "score (core)"});
-  for (std::size_t i = 0; i < std::size(kAllMetrics); ++i) {
+  for (const Metric metric : kAllMetrics) {
+    const CoreSetProfile& set_profile = engine.BestCoreSet(metric);
+    const SingleCoreProfile& single_profile = engine.BestSingleCore(metric);
     table.AddRow(
-        {MetricShortName(kAllMetrics[i]),
-         std::to_string(set_profiles[i].best_k),
-         TablePrinter::FormatDouble(set_profiles[i].best_score, 4),
-         std::to_string(single_profiles[i].best_k),
-         std::to_string(forest.CoreSize(single_profiles[i].best_node)),
-         TablePrinter::FormatDouble(single_profiles[i].best_score, 4)});
+        {MetricShortName(metric), std::to_string(set_profile.best_k),
+         TablePrinter::FormatDouble(set_profile.best_score, 4),
+         std::to_string(single_profile.best_k),
+         std::to_string(forest.CoreSize(single_profile.best_node)),
+         TablePrinter::FormatDouble(single_profile.best_score, 4)});
   }
   table.Print(std::cout);
 
-  const DensestSubgraphResult densest = OptDDensestSubgraph(graph);
+  const DensestSubgraphResult densest = OptDDensestSubgraph(engine);
   std::printf("densest core (Opt-D): %zu vertices, davg %.3f\n",
               densest.vertices.size(), densest.average_degree);
   return 0;
 }
 
-int CmdDensest(const Graph& graph) {
-  const DensestSubgraphResult result = OptDDensestSubgraph(graph);
+int CmdDensest(CoreEngine& engine) {
+  const DensestSubgraphResult result = OptDDensestSubgraph(engine);
   std::printf("Opt-D densest subgraph: %zu vertices, average degree %.4f\n",
               result.vertices.size(), result.average_degree);
+  return 0;
+}
+
+int CmdEngineStats(CoreEngine& engine, Metric metric) {
+  // Drive the full pipeline once, then dump the per-stage instrumentation.
+  // The second BestCoreSet call below is a deliberate cache hit so the
+  // JSON demonstrates non-zero hit counters.
+  (void)engine.Components();
+  (void)engine.Triangles();
+  (void)engine.Triplets();
+  (void)engine.BestCoreSet(metric);
+  (void)engine.BestSingleCore(metric);
+  (void)engine.BestCoreSet(metric);
+  std::printf("%s\n", engine.StatsJson().c_str());
   return 0;
 }
 
@@ -344,37 +359,45 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One engine per invocation: every command that derives artifacts from
+  // the graph (decomposition, ordering, forest, profiles) goes through it,
+  // so multi-stage commands never rebuild a shared artifact.
+  CoreEngine engine(*graph);
+
   if (command == "stats") return CmdStats(*graph);
   if (command == "best-k") {
-    return CmdBestK(*graph, MetricArg(argc, argv, 3), /*full_profile=*/false);
+    return CmdBestK(engine, MetricArg(argc, argv, 3), /*full_profile=*/false);
   }
   if (command == "profile") {
-    return CmdBestK(*graph, MetricArg(argc, argv, 3), /*full_profile=*/true);
+    return CmdBestK(engine, MetricArg(argc, argv, 3), /*full_profile=*/true);
   }
   if (command == "best-core") {
-    return CmdBestCore(*graph, MetricArg(argc, argv, 3));
+    return CmdBestCore(engine, MetricArg(argc, argv, 3));
   }
   if (command == "best-truss") {
     return CmdBestTruss(*graph, MetricArg(argc, argv, 3));
   }
-  if (command == "densest") return CmdDensest(*graph);
+  if (command == "densest") return CmdDensest(engine);
   if (command == "best-s") {
     return CmdBestS(*graph, argc > 3 ? argv[3] : "strength");
   }
   if (command == "distributed") return CmdDistributed(*graph);
-  if (command == "cluster") return CmdCluster(*graph);
-  if (command == "resilience") return CmdResilience(*graph);
+  if (command == "cluster") return CmdCluster(engine);
+  if (command == "resilience") return CmdResilience(engine);
   if (command == "hierarchy-dot") {
     if (argc < 4) return Usage();
-    return CmdHierarchyDot(*graph, argv[3]);
+    return CmdHierarchyDot(engine, argv[3]);
   }
   if (command == "fingerprint") {
     if (argc < 4) return Usage();
     return CmdFingerprint(*graph, argv[3]);
   }
-  if (command == "color") return CmdColor(*graph);
-  if (command == "anomalies") return CmdAnomalies(*graph);
-  if (command == "report") return CmdReport(*graph);
+  if (command == "color") return CmdColor(engine);
+  if (command == "anomalies") return CmdAnomalies(engine);
+  if (command == "report") return CmdReport(engine);
+  if (command == "engine-stats") {
+    return CmdEngineStats(engine, MetricArg(argc, argv, 3));
+  }
   if (command == "convert") {
     if (argc < 4) return Usage();
     const Status status = WriteBinaryGraph(*graph, argv[3]);
