@@ -132,7 +132,12 @@ std::vector<BenchDataset> BuildRegistry() {
                         OnionParams params;
                         params.num_vertices = ScaleN(10000);
                         params.num_layers = 24;
-                        params.target_kmax = 120;
+                        // The innermost layer (~n / layers vertices) must
+                        // host the top target degree, so cap the hierarchy
+                        // depth at small COREKIT_BENCH_SCALE.
+                        params.target_kmax = std::min<VertexId>(
+                            120,
+                            params.num_vertices / params.num_layers - 1);
                         params.seed = SeedFromString("H");
                         return GenerateOnion(params);
                       }});

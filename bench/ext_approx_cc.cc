@@ -10,56 +10,77 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunExtApproxCc(BenchRunner& run) {
   std::cout << "== Extension: wedge-sampling approximation of the "
                "clustering coefficient ==\n";
   TablePrinter table({"Dataset", "exact cc", "exact time", "cc@10k",
                       "err@10k", "cc@100k", "err@100k", "approx time"});
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph graph = dataset.make();
-    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-    const OrderedGraph ordered(graph, cores);
+    std::vector<std::string> printed;
+    const CaseResult* result = run.Case(
+        {"ext_approx_cc/" + dataset.short_name, {"ext"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+          const OrderedGraph ordered(graph, cores);
 
-    Timer timer;
-    const auto triangles = static_cast<double>(CountTriangles(ordered));
-    const auto triplets = static_cast<double>(CountTriplets(graph));
-    const double exact_time = timer.ElapsedSeconds();
-    const double exact_cc = triplets == 0 ? 0.0 : 3.0 * triangles / triplets;
+          Timer timer;
+          const auto triangles = static_cast<double>(CountTriangles(ordered));
+          const auto triplets = static_cast<double>(CountTriplets(graph));
+          const double exact_time = timer.ElapsedSeconds();
+          const double exact_cc =
+              triplets == 0 ? 0.0 : 3.0 * triangles / triplets;
 
-    timer.Reset();
-    const ApproxTriangleStats coarse =
-        EstimateTriangles(graph, 10000, SeedFromString(dataset.short_name));
-    const ApproxTriangleStats fine = EstimateTriangles(
-        graph, 100000, SeedFromString(dataset.short_name) + 1);
-    const double approx_time = timer.ElapsedSeconds();
+          timer.Reset();
+          const ApproxTriangleStats coarse = EstimateTriangles(
+              graph, 10000, SeedFromString(dataset.short_name));
+          const ApproxTriangleStats fine = EstimateTriangles(
+              graph, 100000, SeedFromString(dataset.short_name) + 1);
+          const double approx_time = timer.ElapsedSeconds();
 
-    auto cc_of = [&](const ApproxTriangleStats& stats) {
-      return stats.triplets == 0
-                 ? 0.0
-                 : 3.0 * stats.triangles /
-                       static_cast<double>(stats.triplets);
-    };
-    auto rel_err = [&](double estimate) {
-      return exact_cc == 0.0 ? 0.0
-                             : std::abs(estimate - exact_cc) / exact_cc;
-    };
-    table.AddRow({dataset.short_name,
-                  TablePrinter::FormatDouble(exact_cc, 5),
-                  TablePrinter::FormatSeconds(exact_time),
-                  TablePrinter::FormatDouble(cc_of(coarse), 5),
-                  TablePrinter::FormatDouble(100 * rel_err(cc_of(coarse)), 2) +
-                      "%",
-                  TablePrinter::FormatDouble(cc_of(fine), 5),
-                  TablePrinter::FormatDouble(100 * rel_err(cc_of(fine)), 2) +
-                      "%",
-                  TablePrinter::FormatSeconds(approx_time)});
+          auto cc_of = [&](const ApproxTriangleStats& stats) {
+            return stats.triplets == 0
+                       ? 0.0
+                       : 3.0 * stats.triangles /
+                             static_cast<double>(stats.triplets);
+          };
+          auto rel_err = [&](double estimate) {
+            return exact_cc == 0.0 ? 0.0
+                                   : std::abs(estimate - exact_cc) / exact_cc;
+          };
+
+          rec.SetSeconds(exact_time);
+          rec.Counter("exact_cc", exact_cc);
+          rec.Counter("approx_seconds", approx_time);
+          rec.Counter("rel_err_10k", rel_err(cc_of(coarse)));
+          rec.Counter("rel_err_100k", rel_err(cc_of(fine)));
+
+          printed = {
+              dataset.short_name,
+              TablePrinter::FormatDouble(exact_cc, 5),
+              TablePrinter::FormatSeconds(exact_time),
+              TablePrinter::FormatDouble(cc_of(coarse), 5),
+              TablePrinter::FormatDouble(100 * rel_err(cc_of(coarse)), 2) +
+                  "%",
+              TablePrinter::FormatDouble(cc_of(fine), 5),
+              TablePrinter::FormatDouble(100 * rel_err(cc_of(fine)), 2) + "%",
+              TablePrinter::FormatSeconds(approx_time)};
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: ~1% error at 100k samples at a fraction "
                "of the exact cost; error shrinks ~1/sqrt(samples).\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_approx_cc, corekit::bench::RunExtApproxCc);
+COREKIT_BENCH_MAIN()

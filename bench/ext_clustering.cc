@@ -9,56 +9,77 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunExtClustering(BenchRunner& run) {
   std::cout << "== Extension: core-guided label propagation on LFR-like "
                "benchmarks ==\n";
   TablePrinter table({"mu", "n", "m", "planted Q", "found Q", "clusters",
                       "planted", "pair agreement", "time"});
   for (const double mu : {0.05, 0.1, 0.2, 0.3, 0.45}) {
-    LfrLikeParams params;
-    params.num_vertices = static_cast<VertexId>(4000 * BenchScale());
-    params.mu = mu;
-    params.seed = SeedFromString("ext-clustering");
-    const LfrLikeResult lfr = GenerateLfrLike(params);
+    std::vector<std::string> printed;
+    const int mu_pct = static_cast<int>(mu * 100 + 0.5);
+    const CaseResult* result = run.Case(
+        {"ext_clustering/mu" + std::to_string(mu_pct), {"ext"}},
+        [&](CaseRecorder& rec) {
+          LfrLikeParams params;
+          params.num_vertices = static_cast<VertexId>(4000 * BenchScale());
+          params.mu = mu;
+          params.seed = SeedFromString("ext-clustering");
+          const LfrLikeResult lfr = GenerateLfrLike(params);
 
-    const double planted_q = PartitionModularity(
-        lfr.graph, lfr.community, lfr.num_communities);
+          const double planted_q = PartitionModularity(
+              lfr.graph, lfr.community, lfr.num_communities);
 
-    Timer timer;
-    const CoreClustering clustering = ClusterByCores(lfr.graph);
-    const double time = timer.ElapsedSeconds();
+          Timer timer;
+          const CoreClustering clustering = ClusterByCores(lfr.graph);
+          const double time = timer.ElapsedSeconds();
 
-    EdgeId agree = 0;
-    EdgeId total = 0;
-    for (const auto& [u, v] : lfr.graph.ToEdgeList()) {
-      ++total;
-      const bool same_cluster =
-          clustering.cluster[u] == clustering.cluster[v];
-      const bool same_community = lfr.community[u] == lfr.community[v];
-      agree += same_cluster == same_community ? 1u : 0u;
-    }
-    table.AddRow(
-        {TablePrinter::FormatDouble(mu, 2),
-         std::to_string(lfr.graph.NumVertices()),
-         std::to_string(lfr.graph.NumEdges()),
-         TablePrinter::FormatDouble(planted_q, 3),
-         TablePrinter::FormatDouble(clustering.modularity, 3),
-         std::to_string(clustering.num_clusters),
-         std::to_string(lfr.num_communities),
-         TablePrinter::FormatDouble(
-             100.0 * static_cast<double>(agree) /
-                 static_cast<double>(total),
-             1) +
-             "%",
-         TablePrinter::FormatSeconds(time)});
+          EdgeId agree = 0;
+          EdgeId total = 0;
+          for (const auto& [u, v] : lfr.graph.ToEdgeList()) {
+            ++total;
+            const bool same_cluster =
+                clustering.cluster[u] == clustering.cluster[v];
+            const bool same_community = lfr.community[u] == lfr.community[v];
+            agree += same_cluster == same_community ? 1u : 0u;
+          }
+          const double agreement =
+              100.0 * static_cast<double>(agree) / static_cast<double>(total);
+
+          rec.SetSeconds(time);
+          rec.Counter("n", static_cast<double>(lfr.graph.NumVertices()));
+          rec.Counter("m", static_cast<double>(lfr.graph.NumEdges()));
+          rec.Counter("planted_modularity", planted_q);
+          rec.Counter("found_modularity", clustering.modularity);
+          rec.Counter("clusters",
+                      static_cast<double>(clustering.num_clusters));
+          rec.Counter("pair_agreement_pct", agreement);
+
+          printed = {TablePrinter::FormatDouble(mu, 2),
+                     std::to_string(lfr.graph.NumVertices()),
+                     std::to_string(lfr.graph.NumEdges()),
+                     TablePrinter::FormatDouble(planted_q, 3),
+                     TablePrinter::FormatDouble(clustering.modularity, 3),
+                     std::to_string(clustering.num_clusters),
+                     std::to_string(lfr.num_communities),
+                     TablePrinter::FormatDouble(agreement, 1) + "%",
+                     TablePrinter::FormatSeconds(time)};
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: found modularity tracks the planted one "
                "and pair agreement stays high at low mu, both degrading as "
                "mixing grows.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_clustering, corekit::bench::RunExtClustering);
+COREKIT_BENCH_MAIN()

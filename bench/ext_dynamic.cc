@@ -12,11 +12,12 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunExtDynamic(BenchRunner& run) {
   constexpr int kUpdates = 2000;
 
   std::cout << "== Extension: incremental core maintenance (" << kUpdates
@@ -24,62 +25,85 @@ int main() {
   TablePrinter table({"Dataset", "updates/s", "avg footprint",
                       "recompute/s", "speedup", "exact"});
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph graph = dataset.make();
-    DynamicCoreIndex index(graph);
-    EdgeList removable = graph.ToEdgeList();
-    Rng rng(SeedFromString(dataset.short_name + "-dyn"));
-    rng.Shuffle(removable);
+    std::vector<std::string> printed;
+    const CaseResult* result = run.Case(
+        {"ext_dynamic/" + dataset.short_name, {"ext"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          DynamicCoreIndex index(graph);
+          EdgeList removable = graph.ToEdgeList();
+          Rng rng(SeedFromString(dataset.short_name + "-dyn"));
+          rng.Shuffle(removable);
 
-    // Update stream: alternate deletions of existing edges and
-    // re-insertions of previously removed ones.
-    Timer timer;
-    std::uint64_t footprint_total = 0;
-    std::size_t next_remove = 0;
-    EdgeList removed;
-    for (int op = 0; op < kUpdates; ++op) {
-      if (removed.empty() || (op % 2 == 0 && next_remove < removable.size())) {
-        const auto [u, v] = removable[next_remove++];
-        index.RemoveEdge(u, v);
-        removed.emplace_back(u, v);
-      } else {
-        const auto [u, v] = removed.back();
-        removed.pop_back();
-        index.InsertEdge(u, v);
-      }
-      footprint_total += index.LastUpdateFootprint();
-    }
-    const double dynamic_time = timer.ElapsedSeconds();
+          // Update stream: alternate deletions of existing edges and
+          // re-insertions of previously removed ones.
+          Timer timer;
+          std::uint64_t footprint_total = 0;
+          std::size_t next_remove = 0;
+          EdgeList removed;
+          for (int op = 0; op < kUpdates; ++op) {
+            if (removed.empty() ||
+                (op % 2 == 0 && next_remove < removable.size())) {
+              const auto [u, v] = removable[next_remove++];
+              index.RemoveEdge(u, v);
+              removed.emplace_back(u, v);
+            } else {
+              const auto [u, v] = removed.back();
+              removed.pop_back();
+              index.InsertEdge(u, v);
+            }
+            footprint_total += index.LastUpdateFootprint();
+          }
+          const double dynamic_time = timer.ElapsedSeconds();
 
-    // Recompute baseline: a full decomposition per update, measured on a
-    // small sample and extrapolated.
-    constexpr int kSample = 5;
-    timer.Reset();
-    for (int i = 0; i < kSample; ++i) {
-      const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-      (void)cores;
-    }
-    const double recompute_per_update = timer.ElapsedSeconds() / kSample;
+          // Recompute baseline: a full decomposition per update, measured
+          // on a small sample and extrapolated.
+          constexpr int kSample = 5;
+          timer.Reset();
+          for (int i = 0; i < kSample; ++i) {
+            const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+            (void)cores;
+          }
+          const double recompute_per_update =
+              timer.ElapsedSeconds() / kSample;
 
-    // Exactness check at the end of the stream.
-    const bool exact = index.CorenessArray() ==
-                       ComputeCoreDecomposition(index.Snapshot()).coreness;
+          // Exactness check at the end of the stream.
+          const bool exact =
+              index.CorenessArray() ==
+              ComputeCoreDecomposition(index.Snapshot()).coreness;
 
-    const double updates_per_second = kUpdates / dynamic_time;
-    const double recompute_per_second = 1.0 / recompute_per_update;
-    table.AddRow(
-        {dataset.short_name,
-         TablePrinter::FormatDouble(updates_per_second, 0),
-         TablePrinter::FormatDouble(
-             static_cast<double>(footprint_total) / kUpdates, 1),
-         TablePrinter::FormatDouble(recompute_per_second, 1),
-         TablePrinter::FormatDouble(
-             updates_per_second / recompute_per_second, 0) +
-             "x",
-         exact ? "yes" : "NO"});
+          const double updates_per_second = kUpdates / dynamic_time;
+          const double recompute_per_second = 1.0 / recompute_per_update;
+
+          rec.SetSeconds(dynamic_time);
+          rec.Counter("updates", kUpdates);
+          rec.Counter("updates_per_second", updates_per_second);
+          rec.Counter("avg_footprint",
+                      static_cast<double>(footprint_total) / kUpdates);
+          rec.Counter("recompute_per_second", recompute_per_second);
+          rec.Counter("exact", exact ? 1.0 : 0.0);
+
+          printed = {dataset.short_name,
+                     TablePrinter::FormatDouble(updates_per_second, 0),
+                     TablePrinter::FormatDouble(
+                         static_cast<double>(footprint_total) / kUpdates, 1),
+                     TablePrinter::FormatDouble(recompute_per_second, 1),
+                     TablePrinter::FormatDouble(
+                         updates_per_second / recompute_per_second, 0) +
+                         "x",
+                     exact ? "yes" : "NO"};
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: thousands-to-millions of updates per "
                "second vs a handful of recomputes; footprints are tiny "
                "relative to n.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_dynamic, corekit::bench::RunExtDynamic);
+COREKIT_BENCH_MAIN()

@@ -10,41 +10,65 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunExtResilience(BenchRunner& run) {
   std::cout << "== Extension: core resilience under vertex removal ==\n";
   for (const BenchDataset& dataset : ActiveDatasets()) {
     if (dataset.short_name != "H" && dataset.short_name != "LJ") continue;
-    const Graph graph = dataset.make();
+    std::vector<std::vector<std::string>> printed;
+    VertexId reference_k = 0;
+    const CaseResult* result = run.Case(
+        {"ext_resilience/" + dataset.short_name, {"ext"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          Timer timer;
+          const ResilienceCurve random = ComputeResilienceCurve(
+              graph, RemovalStrategy::kRandom, 10, 0,
+              SeedFromString(dataset.short_name));
+          const ResilienceCurve targeted = ComputeResilienceCurve(
+              graph, RemovalStrategy::kHighestCorenessFirst, 10,
+              random.reference_k, SeedFromString(dataset.short_name));
+          rec.SetSeconds(timer.ElapsedSeconds());
+          reference_k = random.reference_k;
+          rec.Counter("reference_k", static_cast<double>(reference_k));
+          rec.Counter("points", static_cast<double>(random.points.size()));
+
+          printed.clear();
+          for (std::size_t i = 0; i < random.points.size(); ++i) {
+            const auto& r = random.points[i];
+            const auto& t = targeted.points[i];
+            printed.push_back(
+                {TablePrinter::FormatDouble(100 * r.removed_fraction, 0) +
+                     "%",
+                 std::to_string(r.kmax),
+                 std::to_string(r.reference_core_size),
+                 std::to_string(r.largest_component), std::to_string(t.kmax),
+                 std::to_string(t.reference_core_size),
+                 std::to_string(t.largest_component)});
+          }
+        });
+    if (result == nullptr) continue;
+
     std::cout << "\n-- " << dataset.short_name << " (" << dataset.full_name
               << ") --\n";
     TablePrinter table({"removed", "kmax (rand)", "ref core (rand)",
                         "giant (rand)", "kmax (targ)", "ref core (targ)",
                         "giant (targ)"});
-    const ResilienceCurve random = ComputeResilienceCurve(
-        graph, RemovalStrategy::kRandom, 10, 0,
-        SeedFromString(dataset.short_name));
-    const ResilienceCurve targeted = ComputeResilienceCurve(
-        graph, RemovalStrategy::kHighestCorenessFirst, 10, random.reference_k,
-        SeedFromString(dataset.short_name));
-    for (std::size_t i = 0; i < random.points.size(); ++i) {
-      const auto& r = random.points[i];
-      const auto& t = targeted.points[i];
-      table.AddRow(
-          {TablePrinter::FormatDouble(100 * r.removed_fraction, 0) + "%",
-           std::to_string(r.kmax), std::to_string(r.reference_core_size),
-           std::to_string(r.largest_component), std::to_string(t.kmax),
-           std::to_string(t.reference_core_size),
-           std::to_string(t.largest_component)});
-    }
+    for (auto& row : printed) table.AddRow(std::move(row));
     table.Print(std::cout);
-    std::cout << "(reference core: k >= " << random.reference_k << ")\n";
+    std::cout << "(reference core: k >= " << reference_k << ")\n";
   }
   std::cout << "\nExpected shape ([44]): targeted removal collapses the "
                "reference core almost immediately; random removal degrades "
                "it gradually while the giant component persists in both.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_resilience, corekit::bench::RunExtResilience);
+COREKIT_BENCH_MAIN()

@@ -14,56 +14,83 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunExtSubstrates(BenchRunner& run) {
   std::cout << "== Extension: distributed [43] and semi-external [61] core "
                "decomposition ==\n";
   TablePrinter table({"Dataset", "in-mem", "dist rounds", "dist msgs",
                       "dist time", "ext passes", "ext MB read", "ext time",
                       "exact"});
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph graph = dataset.make();
+    std::vector<std::string> printed;
+    const CaseResult* result = run.Case(
+        {"ext_substrates/" + dataset.short_name, {"ext"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
 
-    Timer timer;
-    const CoreDecomposition exact = ComputeCoreDecomposition(graph);
-    const double exact_time = timer.ElapsedSeconds();
+          Timer timer;
+          const CoreDecomposition exact = ComputeCoreDecomposition(graph);
+          const double exact_time = timer.ElapsedSeconds();
 
-    timer.Reset();
-    const DistributedCoreResult distributed =
-        ComputeCoreDecompositionDistributed(graph);
-    const double distributed_time = timer.ElapsedSeconds();
+          timer.Reset();
+          const DistributedCoreResult distributed =
+              ComputeCoreDecompositionDistributed(graph);
+          const double distributed_time = timer.ElapsedSeconds();
 
-    const std::string path =
-        "/tmp/corekit_bench_" + dataset.short_name + ".bin";
-    const Status write_status = WriteBinaryGraph(graph, path);
-    COREKIT_CHECK(write_status.ok()) << write_status.ToString();
-    timer.Reset();
-    const auto external = SemiExternalCoreDecomposition(path);
-    const double external_time = timer.ElapsedSeconds();
-    COREKIT_CHECK(external.ok()) << external.status().ToString();
-    std::remove(path.c_str());
+          const std::string path =
+              "/tmp/corekit_bench_" + dataset.short_name + ".bin";
+          const Status write_status = WriteBinaryGraph(graph, path);
+          COREKIT_CHECK(write_status.ok()) << write_status.ToString();
+          timer.Reset();
+          const auto external = SemiExternalCoreDecomposition(path);
+          const double external_time = timer.ElapsedSeconds();
+          COREKIT_CHECK(external.ok()) << external.status().ToString();
+          std::remove(path.c_str());
 
-    const bool all_exact = distributed.converged &&
-                           distributed.coreness == exact.coreness &&
-                           external->coreness == exact.coreness;
-    table.AddRow(
-        {dataset.short_name, TablePrinter::FormatSeconds(exact_time),
-         std::to_string(distributed.rounds),
-         std::to_string(distributed.messages),
-         TablePrinter::FormatSeconds(distributed_time),
-         std::to_string(external->passes),
-         TablePrinter::FormatDouble(
-             static_cast<double>(external->bytes_read) / 1e6, 1),
-         TablePrinter::FormatSeconds(external_time),
-         all_exact ? "yes" : "NO"});
+          const bool all_exact = distributed.converged &&
+                                 distributed.coreness == exact.coreness &&
+                                 external->coreness == exact.coreness;
+
+          rec.SetSeconds(exact_time);
+          rec.Counter("distributed_seconds", distributed_time);
+          rec.Counter("distributed_rounds",
+                      static_cast<double>(distributed.rounds));
+          rec.Counter("distributed_messages",
+                      static_cast<double>(distributed.messages));
+          rec.Counter("external_seconds", external_time);
+          rec.Counter("external_passes",
+                      static_cast<double>(external->passes));
+          rec.Counter("external_bytes_read",
+                      static_cast<double>(external->bytes_read));
+          rec.Counter("all_exact", all_exact ? 1.0 : 0.0);
+
+          printed = {dataset.short_name,
+                     TablePrinter::FormatSeconds(exact_time),
+                     std::to_string(distributed.rounds),
+                     std::to_string(distributed.messages),
+                     TablePrinter::FormatSeconds(distributed_time),
+                     std::to_string(external->passes),
+                     TablePrinter::FormatDouble(
+                         static_cast<double>(external->bytes_read) / 1e6, 1),
+                     TablePrinter::FormatSeconds(external_time),
+                     all_exact ? "yes" : "NO"};
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape ([43], [61]): both reach the exact "
                "coreness; distributed rounds stay far below n (estimate "
                "locality); semi-external converges in a handful of "
                "sequential passes.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_substrates, corekit::bench::RunExtSubstrates);
+COREKIT_BENCH_MAIN()

@@ -9,11 +9,12 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunExtTruss(BenchRunner& run) {
   constexpr Metric kTrussMetrics[] = {
       Metric::kAverageDegree, Metric::kInternalDensity, Metric::kCutRatio,
       Metric::kConductance, Metric::kModularity};
@@ -22,36 +23,57 @@ int main() {
   TablePrinter table({"Dataset", "tmax", "decomp", "score", "baseline",
                       "T-ad", "T-den", "T-cr", "T-con", "T-mod"});
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph graph = dataset.make();
-    Timer timer;
-    const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
-    const double decomp_time = timer.ElapsedSeconds();
+    std::vector<std::string> printed;
+    const CaseResult* result = run.Case(
+        {"ext_truss/" + dataset.short_name, {"ext"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          Timer timer;
+          const TrussDecomposition trusses = ComputeTrussDecomposition(graph);
+          const double decomp_time = timer.ElapsedSeconds();
 
-    timer.Reset();
-    std::vector<std::string> row{dataset.short_name,
-                                 std::to_string(trusses.tmax), "", "", ""};
-    for (const Metric metric : kTrussMetrics) {
-      const TrussSetProfile profile =
-          FindBestTrussSet(graph, trusses, metric);
-      row.push_back(std::to_string(profile.best_k));
-    }
-    const double score_time = timer.ElapsedSeconds();
-    timer.Reset();
-    for (const Metric metric : kTrussMetrics) {
-      const TrussSetProfile baseline =
-          BaselineFindBestTrussSet(graph, trusses, metric);
-      (void)baseline;
-    }
-    const double baseline_time = timer.ElapsedSeconds();
-    row[2] = TablePrinter::FormatSeconds(decomp_time);
-    row[3] = TablePrinter::FormatSeconds(score_time);
-    row[4] = TablePrinter::FormatSeconds(baseline_time);
-    table.AddRow(std::move(row));
+          timer.Reset();
+          std::vector<std::string> row{dataset.short_name,
+                                       std::to_string(trusses.tmax), "", "",
+                                       ""};
+          for (const Metric metric : kTrussMetrics) {
+            const TrussSetProfile profile =
+                FindBestTrussSet(graph, trusses, metric);
+            row.push_back(std::to_string(profile.best_k));
+            rec.Counter(std::string("best_k_") + MetricShortName(metric),
+                        static_cast<double>(profile.best_k));
+          }
+          const double score_time = timer.ElapsedSeconds();
+          timer.Reset();
+          for (const Metric metric : kTrussMetrics) {
+            const TrussSetProfile baseline =
+                BaselineFindBestTrussSet(graph, trusses, metric);
+            (void)baseline;
+          }
+          const double baseline_time = timer.ElapsedSeconds();
+          row[2] = TablePrinter::FormatSeconds(decomp_time);
+          row[3] = TablePrinter::FormatSeconds(score_time);
+          row[4] = TablePrinter::FormatSeconds(baseline_time);
+          printed = std::move(row);
+
+          rec.SetSeconds(decomp_time + score_time);
+          rec.Counter("tmax", static_cast<double>(trusses.tmax));
+          rec.Counter("decomp_seconds", decomp_time);
+          rec.Counter("score_seconds", score_time);
+          rec.Counter("baseline_seconds", baseline_time);
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: mirrors Table IV — cohesion metrics pick "
                "large k, separation metrics pick k near 2, modularity "
                "moderate; scoring cost is negligible next to the O(m^1.5) "
                "decomposition.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_truss_best_k, corekit::bench::RunExtTruss);
+COREKIT_BENCH_MAIN()

@@ -11,47 +11,67 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunExtWeighted(BenchRunner& run) {
   std::cout << "== Extension: best s for weighted s-core decomposition "
                "==\n";
   TablePrinter table({"Dataset", "smax", "levels", "decomp", "score",
                       "s* (strength)", "s* (w-con)", "s* (w-den)"});
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph base = dataset.make();
-    const WeightedGraph graph =
-        RandomlyWeighted(base, 10.0, SeedFromString(dataset.short_name));
+    std::vector<std::string> printed;
+    const CaseResult* result = run.Case(
+        {"ext_weighted/" + dataset.short_name, {"ext"}},
+        [&](CaseRecorder& rec) {
+          const Graph base = dataset.make();
+          const WeightedGraph graph = RandomlyWeighted(
+              base, 10.0, SeedFromString(dataset.short_name));
 
-    Timer timer;
-    const SCoreDecomposition cores = ComputeSCoreDecomposition(graph);
-    const double decomp_time = timer.ElapsedSeconds();
+          Timer timer;
+          const SCoreDecomposition cores = ComputeSCoreDecomposition(graph);
+          const double decomp_time = timer.ElapsedSeconds();
 
-    timer.Reset();
-    std::vector<std::string> row{dataset.short_name,
-                                 TablePrinter::FormatDouble(cores.smax, 1),
-                                 "", "", "", "", "", ""};
-    std::size_t levels = 0;
-    int column = 5;
-    for (const WeightedMetric metric :
-         {WeightedMetric::kAverageStrength,
-          WeightedMetric::kWeightedConductance,
-          WeightedMetric::kWeightedDensity}) {
-      const SCoreProfile profile = FindBestSCore(graph, cores, metric);
-      levels = profile.thresholds.size();
-      row[static_cast<std::size_t>(column++)] =
-          TablePrinter::FormatDouble(profile.best_s, 2);
-    }
-    row[2] = std::to_string(levels);
-    row[3] = TablePrinter::FormatSeconds(decomp_time);
-    row[4] = TablePrinter::FormatSeconds(timer.ElapsedSeconds());
-    table.AddRow(std::move(row));
+          timer.Reset();
+          std::vector<std::string> row{
+              dataset.short_name, TablePrinter::FormatDouble(cores.smax, 1),
+              "", "", "", "", "", ""};
+          std::size_t levels = 0;
+          int column = 5;
+          for (const WeightedMetric metric :
+               {WeightedMetric::kAverageStrength,
+                WeightedMetric::kWeightedConductance,
+                WeightedMetric::kWeightedDensity}) {
+            const SCoreProfile profile = FindBestSCore(graph, cores, metric);
+            levels = profile.thresholds.size();
+            row[static_cast<std::size_t>(column++)] =
+                TablePrinter::FormatDouble(profile.best_s, 2);
+          }
+          const double score_time = timer.ElapsedSeconds();
+          row[2] = std::to_string(levels);
+          row[3] = TablePrinter::FormatSeconds(decomp_time);
+          row[4] = TablePrinter::FormatSeconds(score_time);
+          printed = std::move(row);
+
+          rec.SetSeconds(decomp_time + score_time);
+          rec.Counter("smax", cores.smax);
+          rec.Counter("levels", static_cast<double>(levels));
+          rec.Counter("decomp_seconds", decomp_time);
+          rec.Counter("score_seconds", score_time);
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: cohesion metrics (strength, density) pick "
                "large s; the separation metric picks small s — the "
                "weighted mirror of Table IV.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_weighted, corekit::bench::RunExtWeighted);
+COREKIT_BENCH_MAIN()

@@ -13,11 +13,12 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunFig5(BenchRunner& run) {
   constexpr Metric kFigureMetrics[] = {Metric::kAverageDegree,
                                        Metric::kCutRatio,
                                        Metric::kConductance,
@@ -29,20 +30,35 @@ int main() {
         dataset.short_name != "FS") {
       continue;
     }
-    const Graph graph = dataset.make();
-    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-    const OrderedGraph ordered(graph, cores);
-
+    VertexId kmax = 0;
     std::vector<CoreSetProfile> profiles;
-    for (const Metric metric : kFigureMetrics) {
-      profiles.push_back(FindBestCoreSet(ordered, metric));
-    }
+    const CaseResult* result = run.Case(
+        {"fig5/" + dataset.short_name, {"paper"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+          const OrderedGraph ordered(graph, cores);
+          kmax = cores.kmax;
+          profiles.clear();
+          Timer timer;
+          for (const Metric metric : kFigureMetrics) {
+            profiles.push_back(FindBestCoreSet(ordered, metric));
+          }
+          rec.SetSeconds(timer.ElapsedSeconds());
+          rec.Counter("kmax", static_cast<double>(kmax));
+          for (std::size_t i = 0; i < std::size(kFigureMetrics); ++i) {
+            rec.Counter(std::string("best_k_") +
+                            MetricShortName(kFigureMetrics[i]),
+                        static_cast<double>(profiles[i].best_k));
+          }
+        });
+    if (result == nullptr) continue;
 
     std::cout << "\n-- " << dataset.short_name << " (" << dataset.full_name
-              << "), kmax=" << cores.kmax << " --\n";
+              << "), kmax=" << kmax << " --\n";
     TablePrinter table({"k", "ad", "cr", "con", "mod"});
-    const VertexId step = cores.kmax / 24 + 1;
-    for (VertexId k = 0; k <= cores.kmax; k += step) {
+    const VertexId step = kmax / 24 + 1;
+    for (VertexId k = 0; k <= kmax; k += step) {
       table.AddRow({std::to_string(k),
                     TablePrinter::FormatDouble(profiles[0].scores[k], 2),
                     TablePrinter::FormatDouble(profiles[1].scores[k], 6),
@@ -54,5 +70,10 @@ int main() {
   std::cout << "\nExpected shape (paper): ad grows with k; cr ~1 and gently "
                "decreasing; con decreasing; mod unimodal with an interior "
                "peak.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(fig5_coreset_scores, corekit::bench::RunFig5);
+COREKIT_BENCH_MAIN()

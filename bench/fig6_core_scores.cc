@@ -13,11 +13,12 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunFig6(BenchRunner& run) {
   constexpr Metric kFigureMetrics[] = {Metric::kAverageDegree,
                                        Metric::kCutRatio,
                                        Metric::kConductance,
@@ -29,60 +30,85 @@ int main() {
         dataset.short_name != "FS") {
       continue;
     }
-    const Graph graph = dataset.make();
-    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-    const OrderedGraph ordered(graph, cores);
-    const CoreForest forest(graph, cores);
+    std::size_t num_cores = 0;
+    std::size_t window = 0;
+    std::vector<std::vector<std::string>> printed;
+    const CaseResult* result = run.Case(
+        {"fig6/" + dataset.short_name, {"paper"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+          const OrderedGraph ordered(graph, cores);
+          const CoreForest forest(graph, cores);
 
-    // Score every core under each metric.
-    std::vector<SingleCoreProfile> profiles;
-    for (const Metric metric : kFigureMetrics) {
-      profiles.push_back(FindBestSingleCore(ordered, forest, metric));
-    }
+          // Score every core under each metric.
+          Timer timer;
+          std::vector<SingleCoreProfile> profiles;
+          for (const Metric metric : kFigureMetrics) {
+            profiles.push_back(FindBestSingleCore(ordered, forest, metric));
+          }
+          rec.SetSeconds(timer.ElapsedSeconds());
+          rec.Counter("num_cores", static_cast<double>(forest.NumNodes()));
+          rec.Counter("kmax", static_cast<double>(cores.kmax));
 
-    // Sequence order: ascending k, ties broken by ascending primary
-    // metric score (the paper's ordering for the x axis).
-    std::vector<CoreForest::NodeId> order(forest.NumNodes());
-    for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](CoreForest::NodeId a, CoreForest::NodeId b) {
-                if (forest.node(a).coreness != forest.node(b).coreness) {
-                  return forest.node(a).coreness < forest.node(b).coreness;
-                }
-                return profiles[0].scores[a] < profiles[0].scores[b];
-              });
+          // Sequence order: ascending k, ties broken by ascending primary
+          // metric score (the paper's ordering for the x axis).
+          std::vector<CoreForest::NodeId> order(forest.NumNodes());
+          for (CoreForest::NodeId i = 0; i < forest.NumNodes(); ++i) {
+            order[i] = i;
+          }
+          std::sort(order.begin(), order.end(),
+                    [&](CoreForest::NodeId a, CoreForest::NodeId b) {
+                      if (forest.node(a).coreness != forest.node(b).coreness) {
+                        return forest.node(a).coreness <
+                               forest.node(b).coreness;
+                      }
+                      return profiles[0].scores[a] < profiles[0].scores[b];
+                    });
 
-    // The paper's smoothing window (20 for LJ, 5 otherwise), widened when
-    // needed to keep the printed series around 30 rows.
-    const std::size_t window = std::max<std::size_t>(
-        dataset.short_name == "LJ" ? 20 : 5, order.size() / 30 + 1);
+          // The paper's smoothing window (20 for LJ, 5 otherwise), widened
+          // when needed to keep the printed series around 30 rows.
+          num_cores = forest.NumNodes();
+          window = std::max<std::size_t>(
+              dataset.short_name == "LJ" ? 20 : 5, order.size() / 30 + 1);
+          printed.clear();
+          for (std::size_t begin = 0; begin < order.size(); begin += window) {
+            const std::size_t end = std::min(begin + window, order.size());
+            double sums[4] = {0, 0, 0, 0};
+            for (std::size_t i = begin; i < end; ++i) {
+              for (int metric = 0; metric < 4; ++metric) {
+                sums[metric] += profiles[static_cast<std::size_t>(metric)]
+                                    .scores[order[i]];
+              }
+            }
+            const double count = static_cast<double>(end - begin);
+            const VertexId k_lo = forest.node(order[begin]).coreness;
+            const VertexId k_hi = forest.node(order[end - 1]).coreness;
+            printed.push_back(
+                {std::to_string(begin),
+                 std::to_string(k_lo) + "-" + std::to_string(k_hi),
+                 TablePrinter::FormatDouble(sums[0] / count, 2),
+                 TablePrinter::FormatDouble(sums[1] / count, 6),
+                 TablePrinter::FormatDouble(sums[2] / count, 4),
+                 TablePrinter::FormatDouble(sums[3] / count, 4)});
+          }
+        });
+    if (result == nullptr) continue;
+
     std::cout << "\n-- " << dataset.short_name << " (" << dataset.full_name
-              << "), " << forest.NumNodes()
-              << " cores, smoothing window " << window << " --\n";
+              << "), " << num_cores << " cores, smoothing window " << window
+              << " --\n";
     TablePrinter table({"c", "k range", "ad", "cr", "con", "mod"});
-    for (std::size_t begin = 0; begin < order.size(); begin += window) {
-      const std::size_t end = std::min(begin + window, order.size());
-      double sums[4] = {0, 0, 0, 0};
-      for (std::size_t i = begin; i < end; ++i) {
-        for (int metric = 0; metric < 4; ++metric) {
-          sums[metric] += profiles[static_cast<std::size_t>(metric)]
-                              .scores[order[i]];
-        }
-      }
-      const double count = static_cast<double>(end - begin);
-      const VertexId k_lo = forest.node(order[begin]).coreness;
-      const VertexId k_hi = forest.node(order[end - 1]).coreness;
-      table.AddRow({std::to_string(begin),
-                    std::to_string(k_lo) + "-" + std::to_string(k_hi),
-                    TablePrinter::FormatDouble(sums[0] / count, 2),
-                    TablePrinter::FormatDouble(sums[1] / count, 6),
-                    TablePrinter::FormatDouble(sums[2] / count, 4),
-                    TablePrinter::FormatDouble(sums[3] / count, 4)});
-    }
+    for (auto& row : printed) table.AddRow(std::move(row));
     table.Print(std::cout);
   }
   std::cout << "\nExpected shape (paper): noisier than Figure 5; many "
                "high-score cores appear at low k; cr/con prefer extreme "
                "small k.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(fig6_core_scores, corekit::bench::RunFig6);
+COREKIT_BENCH_MAIN()

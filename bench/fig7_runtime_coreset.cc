@@ -26,12 +26,13 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 #include "runtime_common.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunFig7(BenchRunner& run) {
   const double budget = BaselineBudgetSeconds();
   std::cout << "== Figure 7: runtime, finding the best k-core set "
                "(baseline budget "
@@ -47,22 +48,50 @@ int main() {
   std::map<int, std::vector<Row>> rows;  // keyed by metric
 
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph graph = dataset.make();
-    CoreEngine engine(graph);
-    for (const Metric metric : kRuntimeMetrics) {
-      (void)engine.BestCoreSet(metric);
+    // One harness case per dataset: the body runs the full amortized
+    // optimal path (one engine, four metrics) plus the budgeted
+    // baselines, so the aggregated sample is the optimal path's total.
+    std::map<int, Row> dataset_rows;
+    const CaseResult* result = run.Case(
+        {"fig7/" + dataset.short_name,
+         SuitesPlusSmoke("paper", dataset.short_name)},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          CoreEngine engine(graph);
+          double optimal_total = 0.0;
+          dataset_rows.clear();
+          for (const Metric metric : kRuntimeMetrics) {
+            (void)engine.BestCoreSet(metric);
 
-      Row row;
-      row.dataset = dataset.short_name;
-      // The fixed stages built exactly once (first metric); later metrics
-      // see them as cache hits, so the recorded seconds are the one build.
-      row.core_time = EngineStageSeconds(engine, "decompose");
-      row.index_time = EngineStageSeconds(engine, "order");
-      row.opt_time =
-          EngineStageSeconds(engine, CoreEngine::CoreSetStageName(metric));
-      row.base_time = TimedBaselineCoreSet(graph, engine.Cores(), metric,
-                                           budget);
-      rows[static_cast<int>(metric)].push_back(row);
+            Row row;
+            row.dataset = dataset.short_name;
+            // The fixed stages built exactly once (first metric); later
+            // metrics see them as cache hits, so the recorded seconds are
+            // the one build.
+            row.core_time = EngineStageSeconds(engine, "decompose");
+            row.index_time = EngineStageSeconds(engine, "order");
+            row.opt_time = EngineStageSeconds(
+                engine, CoreEngine::CoreSetStageName(metric));
+            row.base_time =
+                TimedBaselineCoreSet(graph, engine.Cores(), metric, budget);
+            optimal_total += row.opt_time;
+            const std::string suffix = MetricShortName(metric);
+            rec.Counter("opt_" + suffix, row.opt_time);
+            rec.Counter("base_" + suffix,
+                        row.base_time.has_value() ? *row.base_time : -1.0);
+            dataset_rows[static_cast<int>(metric)] = row;
+          }
+          // The regression-relevant quantity: everything the optimal
+          // algorithm runs (decompose + order + all four score passes).
+          rec.SetSeconds(EngineStageSeconds(engine, "decompose") +
+                         EngineStageSeconds(engine, "order") + optimal_total);
+          rec.Counter("m", static_cast<double>(graph.NumEdges()));
+          rec.Counter("kmax", static_cast<double>(engine.Cores().kmax));
+          rec.EngineStages(engine);
+        });
+    if (result == nullptr) continue;
+    for (auto& [metric, row] : dataset_rows) {
+      rows[metric].push_back(std::move(row));
     }
   }
 
@@ -77,8 +106,9 @@ int main() {
             TablePrinter::FormatDouble(*row.base_time / row.opt_time, 1) +
             "x";
       } else if (!row.base_time.has_value() && row.opt_time > 0) {
-        speedup =
-            ">" + TablePrinter::FormatDouble(budget / row.opt_time, 0) + "x";
+        speedup = ">";
+        speedup += TablePrinter::FormatDouble(budget / row.opt_time, 0);
+        speedup += "x";
       }
       table.AddRow({row.dataset, TablePrinter::FormatSeconds(row.core_time),
                     TablePrinter::FormatSeconds(row.index_time),
@@ -90,5 +120,10 @@ int main() {
   std::cout << "\nExpected shape (paper): 1-4 orders of magnitude speedup; "
                "baseline exceeds its budget for clustering coefficient on "
                "the largest datasets.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(fig7_runtime_coreset, corekit::bench::RunFig7);
+COREKIT_BENCH_MAIN()

@@ -1,0 +1,13 @@
+// The unified benchmark runner: every bench unit in bench/ is linked in
+// (compiled without COREKIT_BENCH_STANDALONE, so their COREKIT_BENCH_MAIN()
+// expands to nothing) and this file supplies the single entry point.
+//
+//   bench_runner --list
+//   bench_runner --suite smoke --repeats 3 --warmup 1 --out BENCH_smoke.json
+//   bench_runner --suite paper --only fig7
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  return corekit::bench::BenchMain(argc, argv);
+}

@@ -1,0 +1,359 @@
+#include "harness.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "corekit/util/logging.h"
+#include "corekit/util/timer.h"
+#include "datasets.h"
+#include "runtime_common.h"
+
+namespace corekit::bench {
+
+namespace {
+
+std::vector<BenchUnit>& MutableRegistry() {
+  // Leaked singleton: registrars run during static init, possibly before
+  // any other static in this TU.
+  static std::vector<BenchUnit>& units = *new std::vector<BenchUnit>();
+  return units;
+}
+
+double Median(std::vector<double> values) {
+  COREKIT_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+Json StageRecordJson(const StageRecord& record) {
+  Json stage = Json::Object();
+  stage.Set("name", record.name);
+  stage.Set("builds", record.builds);
+  stage.Set("hits", record.hits);
+  stage.Set("seconds", record.seconds);
+  stage.Set("bytes", record.bytes);
+  stage.Set("threads", static_cast<std::uint64_t>(record.threads));
+  return stage;
+}
+
+Json CaseJson(const CaseResult& result) {
+  Json c = Json::Object();
+  c.Set("name", result.name);
+  c.Set("unit", result.unit);
+  Json suites = Json::Array();
+  for (const std::string& suite : result.suites) suites.Append(suite);
+  c.Set("suites", std::move(suites));
+  c.Set("warmup", result.warmup);
+  c.Set("repeats", result.repeats);
+  Json samples = Json::Array();
+  for (const double sample : result.samples) samples.Append(sample);
+  c.Set("seconds", std::move(samples));
+  c.Set("seconds_min", result.seconds_min);
+  c.Set("seconds_median", result.seconds_median);
+  c.Set("rss_peak_bytes", result.rss_peak_bytes);
+  Json counters = Json::Object();
+  for (const auto& [key, value] : result.counters) counters.Set(key, value);
+  c.Set("counters", std::move(counters));
+  Json stages = Json::Array();
+  for (const StageRecord& record : result.stages) {
+    stages.Append(StageRecordJson(record));
+  }
+  c.Set("stages", std::move(stages));
+  return c;
+}
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--suite NAME] [--out PATH] [--only SUBSTR]\n"
+      "          [--repeats N] [--warmup N] [--list] [--help]\n"
+      "\n"
+      "  --suite NAME   run only cases tagged NAME (smoke|paper|ext) and\n"
+      "                 write BENCH_NAME.json (unless --out overrides)\n"
+      "  --out PATH     write the BENCH JSON to PATH; merges with an\n"
+      "                 existing report of the same suite by case name\n"
+      "  --only SUBSTR  run only units whose name contains SUBSTR\n"
+      "  --repeats N    timed runs per case (default 1; min/median are\n"
+      "                 aggregated across them)\n"
+      "  --warmup N     untimed runs per case before timing (default 0)\n"
+      "  --list         list registered units and exit\n",
+      argv0);
+}
+
+}  // namespace
+
+void CaseRecorder::Counter(std::string_view key, double value) {
+  for (auto& [existing, stored] : counters_) {
+    if (existing == key) {
+      stored = value;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(key), value);
+}
+
+void CaseRecorder::EngineStages(const CoreEngine& engine) {
+  stages_ = engine.stats().records();
+}
+
+bool BenchRunner::ShouldRun(const CaseOptions& options) const {
+  if (config_.suite.empty()) return true;
+  return std::find(options.suites.begin(), options.suites.end(),
+                   config_.suite) != options.suites.end();
+}
+
+const CaseResult* BenchRunner::Case(
+    const CaseOptions& options,
+    const std::function<void(CaseRecorder&)>& body) {
+  if (!ShouldRun(options)) return nullptr;
+  const int warmup = std::max(0, config_.warmup);
+  const int repeats = std::max(1, config_.repeats);
+  for (int i = 0; i < warmup; ++i) {
+    CaseRecorder discard;
+    body(discard);
+  }
+  CaseResult result;
+  result.name = options.name;
+  result.unit = current_unit_;
+  result.suites = options.suites;
+  result.warmup = warmup;
+  result.repeats = repeats;
+  for (int i = 0; i < repeats; ++i) {
+    CaseRecorder recorder;
+    Timer timer;
+    body(recorder);
+    const double wall = timer.ElapsedSeconds();
+    result.samples.push_back(recorder.seconds_.value_or(wall));
+    // Counters and stages describe one run of the body; keep the last.
+    result.counters = std::move(recorder.counters_);
+    result.stages = std::move(recorder.stages_);
+  }
+  result.seconds_min =
+      *std::min_element(result.samples.begin(), result.samples.end());
+  result.seconds_median = Median(result.samples);
+  result.rss_peak_bytes = PeakRssBytes();
+  results_.push_back(std::move(result));
+  return &results_.back();
+}
+
+std::vector<BenchUnit> RegisteredUnits() {
+  std::vector<BenchUnit> units = MutableRegistry();
+  std::sort(units.begin(), units.end(),
+            [](const BenchUnit& a, const BenchUnit& b) {
+              return a.name < b.name;
+            });
+  return units;
+}
+
+UnitRegistrar::UnitRegistrar(const char* name, BenchUnitFn fn) {
+  MutableRegistry().push_back(BenchUnit{name, fn});
+}
+
+Json CaptureEnvironmentJson() {
+  Json env = Json::Object();
+  env.Set("cpu_count",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  env.Set("bench_scale", BenchScale());
+  env.Set("bench_budget", BaselineBudgetSeconds());
+  const char* datasets_filter = std::getenv("COREKIT_BENCH_DATASETS");
+  env.Set("datasets_filter",
+          datasets_filter != nullptr ? datasets_filter : "");
+  const char* sha_env = std::getenv("COREKIT_GIT_SHA");
+#ifdef COREKIT_GIT_SHA
+  const char* sha_build = COREKIT_GIT_SHA;
+#else
+  const char* sha_build = "unknown";
+#endif
+  env.Set("git_sha", sha_env != nullptr ? sha_env : sha_build);
+#ifdef COREKIT_BUILD_TYPE
+  env.Set("build_type", COREKIT_BUILD_TYPE);
+#else
+  env.Set("build_type", "unknown");
+#endif
+  env.Set("stage_stats_schema_version", kStageStatsSchemaVersion);
+  return env;
+}
+
+std::uint64_t PeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  // Linux reports kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+}
+
+Json BenchReportJson(const std::string& suite_label,
+                     const std::deque<CaseResult>& results,
+                     const Json* previous) {
+  Json report = Json::Object();
+  report.Set("schema_version", kBenchSchemaVersion);
+  report.Set("suite", suite_label);
+  report.Set("environment", CaptureEnvironmentJson());
+
+  // Merge: previous cases first (in their order), each overwritten by a
+  // fresh result of the same name; new names append.
+  std::vector<std::pair<std::string, Json>> merged;
+  auto find_fresh = [&results](std::string_view name) -> const CaseResult* {
+    for (const CaseResult& result : results) {
+      if (result.name == name) return &result;
+    }
+    return nullptr;
+  };
+  if (previous != nullptr && previous->is_object() &&
+      previous->NumberOr("schema_version", -1) == kBenchSchemaVersion &&
+      previous->StringOr("suite", "") == suite_label) {
+    if (const Json* old_cases = previous->Find("cases");
+        old_cases != nullptr && old_cases->is_array()) {
+      for (const Json& old_case : old_cases->items()) {
+        if (!old_case.is_object()) continue;
+        const std::string name = old_case.StringOr("name", "");
+        if (name.empty()) continue;
+        const CaseResult* fresh = find_fresh(name);
+        merged.emplace_back(name,
+                            fresh != nullptr ? CaseJson(*fresh) : old_case);
+      }
+    }
+  }
+  for (const CaseResult& result : results) {
+    const bool already = std::any_of(
+        merged.begin(), merged.end(),
+        [&result](const auto& entry) { return entry.first == result.name; });
+    if (!already) merged.emplace_back(result.name, CaseJson(result));
+  }
+
+  Json cases = Json::Array();
+  for (auto& [name, value] : merged) cases.Append(std::move(value));
+  report.Set("cases", std::move(cases));
+  return report;
+}
+
+int BenchMain(int argc, char** argv) {
+  BenchConfig config;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value_of = [&](std::string_view flag,
+                        std::string* out) -> bool {
+      if (arg == flag) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                       std::string(flag).c_str());
+          std::exit(2);
+        }
+        *out = argv[++i];
+        return true;
+      }
+      if (arg.size() > flag.size() + 1 &&
+          arg.substr(0, flag.size()) == flag && arg[flag.size()] == '=') {
+        *out = std::string(arg.substr(flag.size() + 1));
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (value_of("--suite", &value)) {
+      config.suite = value;
+    } else if (value_of("--out", &value)) {
+      config.out_path = value;
+    } else if (value_of("--only", &value)) {
+      config.only = value;
+    } else if (value_of("--repeats", &value)) {
+      config.repeats = std::max(1, std::atoi(value.c_str()));
+    } else if (value_of("--warmup", &value)) {
+      config.warmup = std::max(0, std::atoi(value.c_str()));
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   std::string(arg).c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<BenchUnit> units = RegisteredUnits();
+  if (list_only) {
+    for (const BenchUnit& unit : units) {
+      std::printf("%s\n", unit.name.c_str());
+    }
+    return 0;
+  }
+
+  BenchRunner runner(config);
+  for (const BenchUnit& unit : units) {
+    if (!config.only.empty() &&
+        unit.name.find(config.only) == std::string::npos) {
+      continue;
+    }
+    runner.set_current_unit(unit.name);
+    unit.fn(runner);
+  }
+
+  std::string out_path = config.out_path;
+  if (out_path.empty() && !config.suite.empty()) {
+    out_path = "BENCH_" + config.suite + ".json";
+  }
+  if (out_path.empty()) return 0;  // plain table run, no JSON requested
+
+  const std::string suite_label =
+      config.suite.empty() ? "all" : config.suite;
+  Json previous;
+  bool have_previous = false;
+  if (std::ifstream in(out_path); in.good()) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<Json> parsed = Json::Parse(buffer.str());
+    if (parsed.ok()) {
+      previous = std::move(parsed).value();
+      have_previous = true;
+    } else {
+      std::fprintf(stderr,
+                   "warning: ignoring unparseable existing report %s: %s\n",
+                   out_path.c_str(),
+                   parsed.status().message().c_str());
+    }
+  }
+  const Json report = BenchReportJson(
+      suite_label, runner.results(), have_previous ? &previous : nullptr);
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << report.Dump() << '\n';
+  out.close();
+  if (!out.good()) {
+    std::fprintf(stderr, "error: short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "BENCH: wrote %s (%zu case(s) this run, suite %s)\n",
+               out_path.c_str(), runner.results().size(),
+               suite_label.c_str());
+  return 0;
+}
+
+std::vector<std::string> SuitesPlusSmoke(const char* base,
+                                         const std::string& dataset) {
+  std::vector<std::string> suites{base};
+  if (dataset == "AP" || dataset == "G") suites.emplace_back("smoke");
+  return suites;
+}
+
+}  // namespace corekit::bench

@@ -1,0 +1,216 @@
+// The unified benchmark runner every bench binary registers into.
+//
+// The paper's claims are quantitative (O(m) best-k scoring vs the
+// O(m·kmax) baseline, Figures 7/8); the human-readable tables the bench
+// binaries print cannot be regression-tested.  This harness adds the
+// machine-readable layer: each binary is a *unit* (COREKIT_BENCH_UNIT)
+// whose body registers named *cases* tagged with suites ("smoke",
+// "paper", "ext").  The harness runs each case warmup+repeat times,
+// aggregates min/median wall seconds, samples peak RSS, lifts per-stage
+// timings from CoreEngine::StageStats, captures the run environment
+// (CPU count, COREKIT_BENCH_SCALE, git sha, build type), and emits a
+// schema-versioned BENCH_<suite>.json next to the human tables.
+//
+//   void RunFig7(BenchRunner& run) {
+//     for (const BenchDataset& dataset : ActiveDatasets()) {
+//       Row row;
+//       const CaseResult* r = run.Case(
+//           {"fig7/" + dataset.short_name,
+//            SuitesPlusSmoke("paper", dataset.short_name)},
+//           [&](CaseRecorder& rec) {
+//             const Graph graph = dataset.make();  // fresh per repeat
+//             CoreEngine engine(graph);
+//             ...
+//             rec.SetSeconds(optimal_path_seconds);
+//             rec.Counter("m", graph.NumEdges());
+//             rec.EngineStages(engine);
+//           });
+//       if (r != nullptr) table.AddRow(...);  // nullptr: suite-filtered
+//     }
+//   }
+//   COREKIT_BENCH_UNIT(fig7_runtime_coreset, RunFig7)
+//   COREKIT_BENCH_MAIN()
+//
+// Case bodies MUST be self-contained and re-runnable (build their own
+// graphs/engines/indexes); the harness calls them once per warmup and
+// once per repeat.  tools/bench_diff compares two emitted JSON files and
+// gates CI on regressions; EXPERIMENTS.md documents the schema.
+
+#ifndef COREKIT_BENCH_HARNESS_HARNESS_H_
+#define COREKIT_BENCH_HARNESS_HARNESS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corekit/engine/core_engine.h"
+#include "corekit/engine/stage_stats.h"
+#include "corekit/util/json.h"
+
+namespace corekit::bench {
+
+// Version of the BENCH_<suite>.json layout.  Bump on any rename of a
+// field key; bench_diff refuses to compare mismatched versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct CaseOptions {
+  // Unique across every bench unit, conventionally "<figure>/<dataset>"
+  // ("fig7/LJ", "ext_dynamic/AP", "ablation/s16").
+  std::string name;
+  // Suites this case belongs to; {"paper"}, {"ext"}, or either plus
+  // "smoke" for the CI perf-smoke subset.
+  std::vector<std::string> suites;
+};
+
+// Handed to the case body on every (warmup or timed) run.
+class CaseRecorder {
+ public:
+  // Overrides the sample the harness aggregates.  Without this the
+  // sample is the wall time of the whole body — which includes dataset
+  // generation, so benches that measure a specific phase must call it.
+  void SetSeconds(double seconds) { seconds_ = seconds; }
+
+  // Free-form numeric fact attached to the case (n, m, kmax, speedup,
+  // per-metric timings...).  Re-recording a key overwrites it; the last
+  // timed repeat's counters are the ones serialized.
+  void Counter(std::string_view key, double value);
+
+  // Copies the engine's per-stage records (build/hit counters, wall
+  // seconds, bytes, threads) into the case.
+  void EngineStages(const CoreEngine& engine);
+
+ private:
+  friend class BenchRunner;
+  std::optional<double> seconds_;
+  std::vector<std::pair<std::string, double>> counters_;
+  std::vector<StageRecord> stages_;
+};
+
+struct CaseResult {
+  std::string name;
+  std::string unit;  // registering unit ("fig7_runtime_coreset")
+  std::vector<std::string> suites;
+  int warmup = 0;
+  int repeats = 1;
+  std::vector<double> samples;  // seconds, one per timed repeat
+  double seconds_min = 0.0;
+  double seconds_median = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<StageRecord> stages;
+  // Process peak RSS observed when the case finished (monotonic across
+  // the run; meaningful as "the high-water mark up to and including this
+  // case").
+  std::uint64_t rss_peak_bytes = 0;
+};
+
+struct BenchConfig {
+  // Run only cases tagged with this suite; empty runs everything.
+  std::string suite;
+  // Explicit JSON output path; empty derives BENCH_<suite>.json from the
+  // suite (and writes nothing when no suite is selected either).
+  std::string out_path;
+  // Substring filter on unit names (bench_runner --only fig7).
+  std::string only;
+  int repeats = 1;
+  int warmup = 0;
+};
+
+class BenchRunner {
+ public:
+  explicit BenchRunner(BenchConfig config) : config_(std::move(config)) {}
+
+  const BenchConfig& config() const { return config_; }
+
+  // Whether `options` passes the suite filter (useful to skip expensive
+  // shared setup when every case of a loop is filtered out).
+  bool ShouldRun(const CaseOptions& options) const;
+
+  // Runs `body` config().warmup times untimed, then config().repeats
+  // times timed, and records the aggregated case.  Returns the stored
+  // result (valid for the runner's lifetime), or nullptr when the case
+  // is suite-filtered — callers skip their table row then.
+  const CaseResult* Case(const CaseOptions& options,
+                         const std::function<void(CaseRecorder&)>& body);
+
+  const std::deque<CaseResult>& results() const { return results_; }
+
+  // Set by BenchMain before invoking each unit.
+  void set_current_unit(std::string name) { current_unit_ = std::move(name); }
+
+ private:
+  BenchConfig config_;
+  std::string current_unit_;
+  // deque: pointers returned by Case() stay valid as cases accumulate.
+  std::deque<CaseResult> results_;
+};
+
+// --- Unit registry ----------------------------------------------------------
+
+using BenchUnitFn = void (*)(BenchRunner&);
+
+struct BenchUnit {
+  std::string name;
+  BenchUnitFn fn;
+};
+
+// Units registered in this binary, sorted by name.
+std::vector<BenchUnit> RegisteredUnits();
+
+struct UnitRegistrar {
+  UnitRegistrar(const char* name, BenchUnitFn fn);
+};
+
+// --- Reporting --------------------------------------------------------------
+
+// {"cpu_count":..,"bench_scale":..,"bench_budget":..,"git_sha":..,
+//  "build_type":..,"datasets_filter":..} — the knobs that make two BENCH
+// files comparable (bench_diff prints both sides' environments).
+Json CaptureEnvironmentJson();
+
+// Process-wide peak resident set size in bytes (0 where unsupported).
+std::uint64_t PeakRssBytes();
+
+// Assembles the schema-versioned document.  When `previous` is a report
+// for the same suite and schema version, its cases are carried over and
+// overwritten by name — so running several standalone binaries with the
+// same --out accumulates one suite file.
+Json BenchReportJson(const std::string& suite_label,
+                     const std::deque<CaseResult>& results,
+                     const Json* previous);
+
+// Shared entry point: parses --suite/--out/--only/--repeats/--warmup,
+// runs the registered units, writes the suite JSON.  Returns the process
+// exit code.
+int BenchMain(int argc, char** argv);
+
+// {base} plus "smoke" for the small stand-ins (AP, G): the per-dataset
+// tagging rule the paper harnesses share, keeping the CI smoke suite
+// fast and its case set stable.
+std::vector<std::string> SuitesPlusSmoke(const char* base,
+                                         const std::string& dataset);
+
+}  // namespace corekit::bench
+
+// Registers `fn` as the body of bench unit `ident`.  Every unit is
+// linked into both its standalone binary and the unified bench_runner.
+#define COREKIT_BENCH_UNIT(ident, fn)          \
+  static const ::corekit::bench::UnitRegistrar \
+      corekit_bench_unit_registrar_##ident(#ident, (fn))
+
+// Expands to main() in standalone per-binary builds (compiled with
+// -DCOREKIT_BENCH_STANDALONE); expands to nothing inside bench_runner,
+// which provides its own main.
+#ifdef COREKIT_BENCH_STANDALONE
+#define COREKIT_BENCH_MAIN()                        \
+  int main(int argc, char** argv) {                 \
+    return ::corekit::bench::BenchMain(argc, argv); \
+  }
+#else
+#define COREKIT_BENCH_MAIN()
+#endif
+
+#endif  // COREKIT_BENCH_HARNESS_HARNESS_H_

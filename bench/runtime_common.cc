@@ -18,7 +18,20 @@ std::string FormatRuntime(std::optional<double> seconds) {
 
 double EngineStageSeconds(const CoreEngine& engine, std::string_view stage) {
   const StageRecord* record = engine.stats().Find(stage);
-  return record != nullptr ? record->seconds : 0.0;
+  if (record == nullptr) {
+    // A misspelled or never-run stage silently reporting 0.0 corrupts a
+    // benchmark table (and once did); fail loudly instead.
+    std::string recorded;
+    for (const StageRecord& r : engine.stats().records()) {
+      if (!recorded.empty()) recorded += ", ";
+      recorded += r.name;
+    }
+    COREKIT_CHECK(record != nullptr)
+        << "EngineStageSeconds: stage '" << stage
+        << "' was never recorded by this engine (recorded stages: ["
+        << recorded << "])";
+  }
+  return record->seconds;
 }
 
 std::optional<double> TimedBaselineCoreSet(const Graph& graph,

@@ -33,9 +33,11 @@ inline constexpr Metric kRuntimeMetrics[] = {
 };
 
 // Wall seconds the engine recorded for `stage` ("decompose", "order",
-// "forest", CoreEngine::CoreSetStageName(m), ...); 0 when the stage never
-// ran.  The harnesses report per-stage timings from the engine's
-// StageStats instead of wrapping each stage in an ad-hoc timer.
+// "forest", CoreEngine::CoreSetStageName(m), ...).  The harnesses report
+// per-stage timings from the engine's StageStats instead of wrapping each
+// stage in an ad-hoc timer.  CHECK-fails when the stage was never
+// recorded (a misspelled stage name must not silently report 0.0);
+// callers must force the stage to run before asking for its time.
 double EngineStageSeconds(const CoreEngine& engine, std::string_view stage);
 
 // Baseline score computation for every k-core set with a budget; returns

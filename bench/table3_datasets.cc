@@ -10,19 +10,35 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunTable3(BenchRunner& run) {
   std::cout << "== Table III: statistics of datasets (synthetic stand-ins, "
                "scale="
             << BenchScale() << ") ==\n";
   TablePrinter table(
       {"Dataset", "stands in for", "n", "m", "davg", "kmax", "components"});
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph graph = dataset.make();
-    const GraphStats stats = ComputeGraphStats(graph);
+    GraphStats stats;
+    const CaseResult* result = run.Case(
+        {"table3/" + dataset.short_name,
+         SuitesPlusSmoke("paper", dataset.short_name)},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          Timer timer;
+          stats = ComputeGraphStats(graph);
+          rec.SetSeconds(timer.ElapsedSeconds());
+          rec.Counter("n", static_cast<double>(stats.num_vertices));
+          rec.Counter("m", static_cast<double>(stats.num_edges));
+          rec.Counter("davg", stats.average_degree);
+          rec.Counter("kmax", static_cast<double>(stats.degeneracy));
+          rec.Counter("components",
+                      static_cast<double>(stats.num_components));
+        });
+    if (result == nullptr) continue;
     table.AddRow({dataset.short_name, dataset.full_name,
                   std::to_string(stats.num_vertices),
                   std::to_string(stats.num_edges),
@@ -31,5 +47,10 @@ int main() {
                   std::to_string(stats.num_components)});
   }
   table.Print(std::cout);
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(table3_datasets, corekit::bench::RunTable3);
+COREKIT_BENCH_MAIN()

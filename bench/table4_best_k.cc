@@ -5,23 +5,21 @@
 // CS-con collapse to k ~ 1 (they only measure cross-connection), CS-mod
 // picks moderate k.  The same qualitative split must appear below.
 
+#include <array>
 #include <iostream>
 #include <vector>
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunTable4(BenchRunner& run) {
   const std::vector<BenchDataset> datasets = ActiveDatasets();
 
   std::vector<std::string> header{"Algo"};
-  for (const BenchDataset& dataset : datasets) {
-    header.push_back(dataset.short_name);
-  }
-
   // Two row groups: CS- (core set) and C- (single core), six metrics each.
   std::vector<std::vector<std::string>> cs_rows;
   std::vector<std::vector<std::string>> c_rows;
@@ -31,14 +29,33 @@ int main() {
   }
 
   for (const BenchDataset& dataset : datasets) {
-    // One engine per dataset: all twelve queries share one decomposition,
-    // ordering and forest build.
-    CoreEngine engine(dataset.make());
+    std::array<VertexId, std::size(kAllMetrics)> cs_best{};
+    std::array<VertexId, std::size(kAllMetrics)> c_best{};
+    const CaseResult* result = run.Case(
+        {"table4/" + dataset.short_name,
+         SuitesPlusSmoke("paper", dataset.short_name)},
+        [&](CaseRecorder& rec) {
+          // One engine per dataset: all twelve queries share one
+          // decomposition, ordering and forest build.
+          CoreEngine engine(dataset.make());
+          Timer timer;
+          for (std::size_t i = 0; i < std::size(kAllMetrics); ++i) {
+            const Metric metric = kAllMetrics[i];
+            cs_best[i] = engine.BestCoreSet(metric).best_k;
+            c_best[i] = engine.BestSingleCore(metric).best_k;
+            rec.Counter(std::string("cs_best_k_") + MetricShortName(metric),
+                        static_cast<double>(cs_best[i]));
+            rec.Counter(std::string("c_best_k_") + MetricShortName(metric),
+                        static_cast<double>(c_best[i]));
+          }
+          rec.SetSeconds(timer.ElapsedSeconds());
+          rec.EngineStages(engine);
+        });
+    if (result == nullptr) continue;
+    header.push_back(dataset.short_name);
     for (std::size_t i = 0; i < std::size(kAllMetrics); ++i) {
-      const Metric metric = kAllMetrics[i];
-      cs_rows[i].push_back(std::to_string(engine.BestCoreSet(metric).best_k));
-      c_rows[i].push_back(
-          std::to_string(engine.BestSingleCore(metric).best_k));
+      cs_rows[i].push_back(std::to_string(cs_best[i]));
+      c_rows[i].push_back(std::to_string(c_best[i]));
     }
   }
 
@@ -52,5 +69,10 @@ int main() {
   std::cout << "\nExpected shape (paper): ad/den/cc rows pick large k; "
                "cr/con rows pick k near the minimum; mod picks moderate "
                "k.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(table4_best_k, corekit::bench::RunTable4);
+COREKIT_BENCH_MAIN()

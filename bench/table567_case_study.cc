@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "corekit/corekit.h"
+#include "harness/harness.h"
 
 namespace {
 
@@ -63,19 +64,19 @@ std::vector<std::string> ScoreRow(const Graph& graph, const std::string& id,
               EvaluateMetric(Metric::kConductance, pv, globals), 4)};
 }
 
-}  // namespace
+// The collaboration-network stand-in (matches the paper's DBLP setting in
+// spirit): 10 author groups; group 9 is exceptionally dense (community
+// A's analogue: near-clique collaboration), group 5 is nearly isolated
+// (community B's analogue).
+constexpr VertexId kBlock = 200;
+constexpr VertexId kBlocks = 10;
+constexpr VertexId kIsolated = 5;
 
-int main() {
-  // Collaboration-network stand-in (matches the paper's DBLP setting in
-  // spirit): 10 author groups; group 9 is exceptionally dense (community
-  // A's analogue: near-clique collaboration), group 5 is nearly isolated
-  // (community B's analogue).
-  const VertexId kBlock = 200;
-  const VertexId kBlocks = 10;
+Graph BuildCaseStudyGraph(std::vector<VertexId>& group) {
   const VertexId n = kBlock * kBlocks;
   Rng rng(SeedFromString("table567"));
   GraphBuilder builder(n);
-  std::vector<VertexId> group(n);
+  group.assign(n, 0);
   for (VertexId b = 0; b < kBlocks; ++b) {
     const VertexId offset = b * kBlock;
     for (VertexId v = offset; v < offset + kBlock; ++v) group[v] = b;
@@ -87,7 +88,6 @@ int main() {
       builder.AddEdge(offset + u, offset + v);
     }
   }
-  const VertexId kIsolated = 5;
   for (int i = 0; i < 3000;) {
     const auto u = static_cast<VertexId>(rng.NextBounded(n));
     const auto v = static_cast<VertexId>(rng.NextBounded(n));
@@ -96,58 +96,98 @@ int main() {
     ++i;
   }
   builder.AddEdge(kIsolated * kBlock, 0);  // single bridge
-  const Graph graph = builder.Build();
+  return builder.Build();
+}
 
-  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
-  const OrderedGraph ordered(graph, cores);
-  const CoreForest forest(graph, cores);
+void RunTable567(corekit::bench::BenchRunner& run) {
+  using corekit::bench::CaseRecorder;
+  using corekit::bench::CaseResult;
+
+  const VertexId n = kBlock * kBlocks;
+  EdgeId m = 0;
+  VertexId kmax = 0;
+  std::vector<std::vector<std::string>> pick_rows;
+  std::vector<VertexId> community_a;  // cohesion pick
+  std::vector<VertexId> community_b;  // separation pick
+  std::vector<std::vector<std::string>> score_rows;
+
+  const CaseResult* result = run.Case(
+      {"table567/case_study", {"paper"}},
+      [&](CaseRecorder& rec) {
+        std::vector<VertexId> group;
+        const Graph graph = BuildCaseStudyGraph(group);
+        m = graph.NumEdges();
+
+        Timer timer;
+        const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+        const OrderedGraph ordered(graph, cores);
+        const CoreForest forest(graph, cores);
+        kmax = cores.kmax;
+
+        // Per-metric best single core and its planted-group alignment
+        // (Tables V and VI report the two communities' member lists; here
+        // the ground truth makes alignment checkable).
+        pick_rows.clear();
+        community_a.clear();
+        community_b.clear();
+        for (const Metric metric : kAllMetrics) {
+          const SingleCoreProfile profile =
+              FindBestSingleCore(ordered, forest, metric);
+          const std::vector<VertexId> members =
+              forest.CoreVertices(profile.best_node);
+          const auto [label, share] = MajorityGroup(members, group);
+          pick_rows.push_back(
+              {MetricShortName(metric), std::to_string(profile.best_k),
+               std::to_string(members.size()), std::to_string(label),
+               TablePrinter::FormatDouble(share, 3)});
+          if (metric == Metric::kAverageDegree) community_a = members;
+          if (metric == Metric::kConductance) community_b = members;
+        }
+        rec.SetSeconds(timer.ElapsedSeconds());
+        rec.Counter("kmax", static_cast<double>(kmax));
+        rec.Counter("community_a_size",
+                    static_cast<double>(community_a.size()));
+
+        // Community B analogue: the separation metrics on this stand-in
+        // (as in the paper) can collapse to tiny k; take the isolated
+        // planted group's own core as community B, the way the paper
+        // reports the 9-core it found.
+        if (community_b.size() > n / 2) {
+          community_b.clear();
+          for (VertexId v = kIsolated * kBlock; v < (kIsolated + 1) * kBlock;
+               ++v) {
+            community_b.push_back(v);
+          }
+        }
+        rec.Counter("community_b_size",
+                    static_cast<double>(community_b.size()));
+
+        score_rows.clear();
+        score_rows.push_back(ScoreRow(graph, "A (dense pick)", community_a));
+        score_rows.push_back(
+            ScoreRow(graph, "B (isolated group)", community_b));
+      });
+  if (result == nullptr) return;
 
   std::cout << "== Tables V-VII: case study on a synthetic collaboration "
                "network (n="
-            << n << ", m=" << graph.NumEdges() << ", kmax=" << cores.kmax
-            << ") ==\n\n";
-
-  // Per-metric best single core and its planted-group alignment
-  // (Tables V and VI report the two communities' member lists; here the
-  // ground truth makes alignment checkable).
-  std::vector<VertexId> community_a;  // cohesion pick
-  std::vector<VertexId> community_b;  // separation pick
+            << n << ", m=" << m << ", kmax=" << kmax << ") ==\n\n";
   TablePrinter picks({"metric", "best k", "|S*|", "majority group",
                       "purity"});
-  for (const Metric metric : kAllMetrics) {
-    const SingleCoreProfile profile =
-        FindBestSingleCore(ordered, forest, metric);
-    const std::vector<VertexId> members =
-        forest.CoreVertices(profile.best_node);
-    const auto [label, share] = MajorityGroup(members, group);
-    picks.AddRow({MetricShortName(metric), std::to_string(profile.best_k),
-                  std::to_string(members.size()),
-                  std::to_string(label),
-                  TablePrinter::FormatDouble(share, 3)});
-    if (metric == Metric::kAverageDegree) community_a = members;
-    if (metric == Metric::kConductance) community_b = members;
-  }
+  for (auto& row : pick_rows) picks.AddRow(std::move(row));
   picks.Print(std::cout);
-
-  // Community B analogue: the separation metrics on this stand-in (as in
-  // the paper) can collapse to tiny k; take the isolated planted group's
-  // own core as community B, the way the paper reports the 9-core it
-  // found.
-  if (community_b.size() > n / 2) {
-    community_b.clear();
-    for (VertexId v = kIsolated * kBlock; v < (kIsolated + 1) * kBlock; ++v) {
-      community_b.push_back(v);
-    }
-  }
 
   std::cout << "\n== Table VII analogue: scores of the two detected "
                "communities ==\n";
   TablePrinter scores({"ID", "size", "ad", "den", "cc", "cr", "con"});
-  scores.AddRow(ScoreRow(graph, "A (dense pick)", community_a));
-  scores.AddRow(ScoreRow(graph, "B (isolated group)", community_b));
+  for (auto& row : score_rows) scores.AddRow(std::move(row));
   scores.Print(std::cout);
 
   std::cout << "\nExpected shape (paper, Table VII): community A tops ad / "
                "den / cc; community B tops cr / con.\n";
-  return 0;
 }
+
+}  // namespace
+
+COREKIT_BENCH_UNIT(table567_case_study, RunTable567);
+COREKIT_BENCH_MAIN()

@@ -10,11 +10,12 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
+void RunTable8(BenchRunner& run) {
   std::cout << "== Table VIII: Opt-D on densest subgraph & maximum clique "
                "==\n";
   TablePrinter table({"Dataset", "CoreApp davg", "CoreApp time",
@@ -23,34 +24,52 @@ int main() {
   int contained_count = 0;
   int dataset_count = 0;
   for (const BenchDataset& dataset : ActiveDatasets()) {
-    const Graph graph = dataset.make();
+    std::vector<std::string> printed;
+    bool contained = false;
+    const CaseResult* result = run.Case(
+        {"table8/" + dataset.short_name, {"paper"}},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
 
-    Timer timer;
-    const DensestSubgraphResult core_app = CoreAppDensestSubgraph(graph);
-    const double core_app_time = timer.ElapsedSeconds();
+          Timer timer;
+          const DensestSubgraphResult core_app =
+              CoreAppDensestSubgraph(graph);
+          const double core_app_time = timer.ElapsedSeconds();
 
-    timer.Reset();
-    const DensestSubgraphResult opt_d = OptDDensestSubgraph(graph);
-    const double opt_d_time = timer.ElapsedSeconds();
+          timer.Reset();
+          const DensestSubgraphResult opt_d = OptDDensestSubgraph(graph);
+          const double opt_d_time = timer.ElapsedSeconds();
 
-    const std::vector<VertexId> clique = FindMaximumClique(graph);
-    std::vector<bool> in_s(graph.NumVertices(), false);
-    for (const VertexId v : opt_d.vertices) in_s[v] = true;
-    bool contained = !clique.empty();
-    for (const VertexId v : clique) contained = contained && in_s[v];
+          const std::vector<VertexId> clique = FindMaximumClique(graph);
+          std::vector<bool> in_s(graph.NumVertices(), false);
+          for (const VertexId v : opt_d.vertices) in_s[v] = true;
+          contained = !clique.empty();
+          for (const VertexId v : clique) contained = contained && in_s[v];
+
+          rec.SetSeconds(opt_d_time);
+          rec.Counter("core_app_seconds", core_app_time);
+          rec.Counter("core_app_davg", core_app.average_degree);
+          rec.Counter("opt_d_davg", opt_d.average_degree);
+          rec.Counter("opt_d_size",
+                      static_cast<double>(opt_d.vertices.size()));
+          rec.Counter("clique_size", static_cast<double>(clique.size()));
+          rec.Counter("clique_contained", contained ? 1.0 : 0.0);
+
+          const double fraction =
+              100.0 * static_cast<double>(opt_d.vertices.size()) /
+              static_cast<double>(graph.NumVertices());
+          printed = {dataset.short_name,
+                     TablePrinter::FormatDouble(core_app.average_degree, 3),
+                     TablePrinter::FormatSeconds(core_app_time),
+                     TablePrinter::FormatDouble(opt_d.average_degree, 3),
+                     TablePrinter::FormatSeconds(opt_d_time),
+                     contained ? "yes" : "no",
+                     TablePrinter::FormatDouble(fraction, 2) + "%"};
+        });
+    if (result == nullptr) continue;
     contained_count += contained ? 1 : 0;
     ++dataset_count;
-
-    const double fraction = 100.0 *
-                            static_cast<double>(opt_d.vertices.size()) /
-                            static_cast<double>(graph.NumVertices());
-    table.AddRow({dataset.short_name,
-                  TablePrinter::FormatDouble(core_app.average_degree, 3),
-                  TablePrinter::FormatSeconds(core_app_time),
-                  TablePrinter::FormatDouble(opt_d.average_degree, 3),
-                  TablePrinter::FormatSeconds(opt_d_time),
-                  contained ? "yes" : "no",
-                  TablePrinter::FormatDouble(fraction, 2) + "%"});
+    table.AddRow(std::move(printed));
   }
   table.Print(std::cout);
 
@@ -59,5 +78,10 @@ int main() {
             << " datasets (paper: 6/10).\nExpected shape (paper): Opt-D "
                "davg >= CoreApp davg on every dataset; |S*|/n mostly "
                "within a few percent.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(table8_densest_clique, corekit::bench::RunTable8);
+COREKIT_BENCH_MAIN()

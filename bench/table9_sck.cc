@@ -13,92 +13,123 @@
 
 #include "corekit/corekit.h"
 #include "datasets.h"
+#include "harness/harness.h"
 
-int main() {
-  using namespace corekit;
-  using namespace corekit::bench;
+namespace corekit::bench {
+namespace {
 
-  // DBLP stand-in (the dataset Table IX uses).
-  Graph graph;
-  for (const BenchDataset& dataset : AllDatasets()) {
-    if (dataset.short_name == "D") graph = dataset.make();
-  }
-  const SizeConstrainedCoreSolver solver(graph);
-  const CoreDecomposition& cores = solver.cores();
+void RunTable9(BenchRunner& run) {
+  VertexId n = 0;
+  VertexId kmax = 0;
+  std::vector<std::vector<std::string>> printed;
+  const CaseResult* result = run.Case(
+      {"table9/D", {"paper"}},
+      [&](CaseRecorder& rec) {
+        // DBLP stand-in (the dataset Table IX uses).
+        Graph graph;
+        for (const BenchDataset& dataset : AllDatasets()) {
+          if (dataset.short_name == "D") graph = dataset.make();
+        }
+        Timer timer;
+        const SizeConstrainedCoreSolver solver(graph);
+        const CoreDecomposition& cores = solver.cores();
+        n = graph.NumVertices();
+        kmax = cores.kmax;
+
+        // Pick query coreness rows spread over the existing coreness
+        // values, like the paper's c(v) in {30, 43, 51, 64, 113}.
+        std::vector<VertexId> distinct;
+        {
+          std::vector<bool> present(static_cast<std::size_t>(cores.kmax) + 1,
+                                    false);
+          for (const VertexId c : cores.coreness) present[c] = true;
+          for (VertexId c = 2; c <= cores.kmax; ++c) {
+            if (present[c]) distinct.push_back(c);
+          }
+        }
+        std::vector<VertexId> levels;
+        for (std::size_t i = 0; i < 5 && !distinct.empty(); ++i) {
+          levels.push_back(distinct[i * (distinct.size() - 1) / 4]);
+        }
+        levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+        const std::vector<VertexId> ks{3, 5, 8, 12, 16};
+        Rng rng(SeedFromString("table9"));
+
+        int all_hits = 0;
+        int all_total = 0;
+        printed.clear();
+        for (const VertexId level : levels) {
+          // Collect query vertices of this coreness.
+          std::vector<VertexId> candidates;
+          for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+            if (cores.coreness[v] == level) candidates.push_back(v);
+          }
+          std::vector<std::string> row{std::to_string(level)};
+          for (const VertexId k : ks) {
+            if (k > level) {
+              row.push_back("/");
+              continue;
+            }
+            int hits = 0;
+            int total = 0;
+            for (int trial = 0; trial < 50; ++trial) {
+              const VertexId q =
+                  candidates[rng.NextBounded(candidates.size())];
+              // Target size: a random feasible h, drawn relative to the
+              // largest core with coreness >= k that contains q (the
+              // paper leaves the h distribution unspecified; infeasible h
+              // would make every query a trivial miss).
+              const CoreForest& forest = solver.forest();
+              CoreForest::NodeId node = forest.NodeOfVertex(q);
+              while (forest.node(node).parent != CoreForest::kNoNode &&
+                     forest.node(forest.node(node).parent).coreness >= k) {
+                node = forest.node(node).parent;
+              }
+              const VertexId candidate_size = forest.CoreSize(node);
+              const VertexId floor = 4 * k + 4;
+              if (candidate_size <= floor) {
+                ++total;  // no feasible h: counts as a miss
+                continue;
+              }
+              const VertexId h =
+                  floor + static_cast<VertexId>(
+                              rng.NextBounded(candidate_size - floor));
+              const SckResult sck = solver.Solve(q, k, h);
+              hits += SizeConstrainedCoreSolver::IsHit(sck, h, 0.05) ? 1 : 0;
+              ++total;
+            }
+            row.push_back(
+                TablePrinter::FormatDouble(100.0 * hits / total, 1) + "%");
+            all_hits += hits;
+            all_total += total;
+          }
+          printed.push_back(std::move(row));
+        }
+        rec.SetSeconds(timer.ElapsedSeconds());
+        rec.Counter("kmax", static_cast<double>(kmax));
+        rec.Counter("queries", static_cast<double>(all_total));
+        rec.Counter("hit_rate",
+                    all_total > 0 ? static_cast<double>(all_hits) /
+                                        static_cast<double>(all_total)
+                                  : 0.0);
+      });
+  if (result == nullptr) return;
 
   std::cout << "== Table IX: Opt-SC on size-constrained k-core (DBLP "
                "stand-in, n="
-            << graph.NumVertices() << ", kmax=" << cores.kmax << ") ==\n";
-
-  // Pick query coreness rows spread over the existing coreness values,
-  // like the paper's c(v) in {30, 43, 51, 64, 113}.
-  std::vector<VertexId> distinct;
-  {
-    std::vector<bool> present(static_cast<std::size_t>(cores.kmax) + 1,
-                              false);
-    for (const VertexId c : cores.coreness) present[c] = true;
-    for (VertexId c = 2; c <= cores.kmax; ++c) {
-      if (present[c]) distinct.push_back(c);
-    }
-  }
-  std::vector<VertexId> levels;
-  for (std::size_t i = 0; i < 5 && !distinct.empty(); ++i) {
-    levels.push_back(distinct[i * (distinct.size() - 1) / 4]);
-  }
-  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
-
-  const std::vector<VertexId> ks{3, 5, 8, 12, 16};
-  Rng rng(SeedFromString("table9"));
-
+            << n << ", kmax=" << kmax << ") ==\n";
   TablePrinter table({"c(v)", "k=3", "k=5", "k=8", "k=12", "k=16"});
-  for (const VertexId level : levels) {
-    // Collect query vertices of this coreness.
-    std::vector<VertexId> candidates;
-    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-      if (cores.coreness[v] == level) candidates.push_back(v);
-    }
-    std::vector<std::string> row{std::to_string(level)};
-    for (const VertexId k : ks) {
-      if (k > level) {
-        row.push_back("/");
-        continue;
-      }
-      int hits = 0;
-      int total = 0;
-      for (int trial = 0; trial < 50; ++trial) {
-        const VertexId q = candidates[rng.NextBounded(candidates.size())];
-        // Target size: a random feasible h, drawn relative to the largest
-        // core with coreness >= k that contains q (the paper leaves the h
-        // distribution unspecified; infeasible h would make every query a
-        // trivial miss).
-        const CoreForest& forest = solver.forest();
-        CoreForest::NodeId node = forest.NodeOfVertex(q);
-        while (forest.node(node).parent != CoreForest::kNoNode &&
-               forest.node(forest.node(node).parent).coreness >= k) {
-          node = forest.node(node).parent;
-        }
-        const VertexId candidate_size = forest.CoreSize(node);
-        const VertexId floor = 4 * k + 4;
-        if (candidate_size <= floor) {
-          ++total;  // no feasible h: counts as a miss
-          continue;
-        }
-        const VertexId h =
-            floor + static_cast<VertexId>(
-                        rng.NextBounded(candidate_size - floor));
-        const SckResult result = solver.Solve(q, k, h);
-        hits += SizeConstrainedCoreSolver::IsHit(result, h, 0.05) ? 1 : 0;
-        ++total;
-      }
-      row.push_back(TablePrinter::FormatDouble(100.0 * hits / total, 1) +
-                    "%");
-    }
-    table.AddRow(std::move(row));
-  }
+  for (auto& row : printed) table.AddRow(std::move(row));
   table.Print(std::cout);
 
   std::cout << "\nExpected shape (paper): hit rate near 100% for k well "
                "below c(v), degrading as k approaches c(v); '/' marks "
                "infeasible combinations.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(table9_sck, corekit::bench::RunTable9);
+COREKIT_BENCH_MAIN()

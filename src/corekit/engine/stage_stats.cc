@@ -60,7 +60,8 @@ std::uint64_t StageStats::TotalBytes() const {
 }
 
 std::string StageStats::ToJson() const {
-  std::string out = "{\"stages\":[";
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kStageStatsSchemaVersion) + ",\"stages\":[";
   bool first = true;
   for (const StageRecord& record : records_) {
     if (!first) out += ',';

@@ -20,6 +20,13 @@
 
 namespace corekit {
 
+// Version of the JSON layout ToJson() emits.  Consumers (the benchmark
+// harness, bench_diff, log shipping) key on this; bump it whenever a
+// stage name, field key, or the overall shape changes, and update the
+// schema golden test (tests/engine/stage_stats_schema_test.cc) in the
+// same commit.
+inline constexpr int kStageStatsSchemaVersion = 1;
+
 struct StageRecord {
   std::string name;
   // Times the stage actually ran (== cache misses for lazy artifacts).
@@ -56,9 +63,12 @@ class StageStats {
   void Reset() { records_.clear(); }
 
   // Machine-readable dump for the bench harness / serving layer:
-  //   {"stages":[{"name":...,"builds":...,"hits":...,"seconds":...,
+  //   {"schema_version":1,
+  //    "stages":[{"name":...,"builds":...,"hits":...,"seconds":...,
   //               "bytes":...,"threads":...},...],
   //    "totals":{"builds":...,"hits":...,"seconds":...,"bytes":...}}
+  // The layout is a stable contract (kStageStatsSchemaVersion above);
+  // tests/engine/stage_stats_schema_test.cc locks it.
   std::string ToJson() const;
 
  private:

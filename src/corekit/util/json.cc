@@ -1,0 +1,451 @@
+#include "corekit/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace corekit {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+bool Json::bool_value() const {
+  COREKIT_CHECK(is_bool()) << "Json::bool_value() on non-bool";
+  return bool_;
+}
+
+double Json::number_value() const {
+  COREKIT_CHECK(is_number()) << "Json::number_value() on non-number";
+  return number_;
+}
+
+const std::string& Json::string_value() const {
+  COREKIT_CHECK(is_string()) << "Json::string_value() on non-string";
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  COREKIT_CHECK(is_array()) << "Json::items() on non-array";
+  return array_;
+}
+
+void Json::Append(Json value) {
+  COREKIT_CHECK(is_array()) << "Json::Append() on non-array";
+  array_.push_back(std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  COREKIT_CHECK(is_object()) << "Json::members() on non-object";
+  return object_;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  COREKIT_CHECK(is_object()) << "Json::Set() on non-object";
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return existing;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return object_.back().second;
+}
+
+double Json::NumberOr(std::string_view key, double fallback) const {
+  const Json* member = Find(key);
+  return member != nullptr && member->is_number() ? member->number_value()
+                                                  : fallback;
+}
+
+std::string Json::StringOr(std::string_view key, std::string fallback) const {
+  const Json* member = Find(key);
+  return member != nullptr && member->is_string() ? member->string_value()
+                                                  : fallback;
+}
+
+std::string JsonFormatNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  char buffer[40];
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  for (const int precision : {9, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;  // UTF-8 passthrough
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::DumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      out += JsonFormatNumber(number_);
+      return;
+    case Type::kString:
+      out += JsonQuote(string_);
+      return;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out += ',';
+        first = false;
+        item.DumpTo(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += JsonQuote(key);
+        out += ':';
+        value.DumpTo(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out);
+  return out;
+}
+
+// --- Parsing ---------------------------------------------------------------
+
+namespace {
+
+// Like COREKIT_RETURN_IF_ERROR, but also usable from functions returning
+// Result<Json> (the implicit Status -> Result conversion applies).
+#define COREKIT_RETURN_IF_ERROR_RESULT(expr)        \
+  do {                                              \
+    ::corekit::Status _status = (expr);             \
+    if (!_status.ok()) return _status;              \
+  } while (false)
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Run() {
+    Json root;
+    COREKIT_RETURN_IF_ERROR_RESULT(ParseValue(root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid literal");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(Json& out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        out = Json();
+        return ConsumeLiteral("null");
+      case 't':
+        out = Json(true);
+        return ConsumeLiteral("true");
+      case 'f':
+        out = Json(false);
+        return ConsumeLiteral("false");
+      case '"': {
+        std::string value;
+        COREKIT_RETURN_IF_ERROR_RESULT(ParseString(value));
+        out = Json(std::move(value));
+        return Status::OK();
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseArray(Json& out, int depth) {
+    ++pos_;  // '['
+    out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Json item;
+      COREKIT_RETURN_IF_ERROR_RESULT(ParseValue(item, depth + 1));
+      out.Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json& out, int depth) {
+    ++pos_;  // '{'
+    out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key in object");
+      }
+      std::string key;
+      COREKIT_RETURN_IF_ERROR_RESULT(ParseString(key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Json value;
+      COREKIT_RETURN_IF_ERROR_RESULT(ParseValue(value, depth + 1));
+      out.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseHex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    return Status::OK();
+  }
+
+  void AppendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          COREKIT_RETURN_IF_ERROR_RESULT(ParseHex4(cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            COREKIT_RETURN_IF_ERROR_RESULT(ParseHex4(low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(Json& out) {
+    const std::size_t start = pos_;
+    (void)Consume('-');
+    if (pos_ >= text_.size()) return Error("truncated number");
+    if (!Consume('0')) {
+      if (pos_ >= text_.size() || text_[pos_] < '1' || text_[pos_] > '9') {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("truncated fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("truncated exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out = Json(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+#undef COREKIT_RETURN_IF_ERROR_RESULT
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace corekit

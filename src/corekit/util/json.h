@@ -1,0 +1,118 @@
+// A minimal JSON document model: parse, navigate, mutate, serialize.
+//
+// corekit emits machine-readable artifacts in several places — the
+// engine's StageStats dump, the benchmark harness's BENCH_<suite>.json
+// files, hierarchy exports — and the regression tooling (bench_diff, the
+// schema golden tests) must read them back without an external
+// dependency.  This is a deliberately small, allocation-friendly value
+// type: objects preserve insertion order (stable serialization for
+// golden files and diffs), numbers are doubles (integers round-trip
+// exactly up to 2^53, far beyond any counter in a BENCH file), and
+// parsing is strict recursive descent with a depth limit.
+//
+//   Result<Json> doc = Json::Parse(text);
+//   const Json* cases = doc->Find("cases");
+//   for (const Json& c : cases->items()) { ... }
+//
+// Not a streaming parser; documents here are kilobytes, not gigabytes.
+
+#ifndef COREKIT_UTIL_JSON_H_
+#define COREKIT_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+class Json {
+ public:
+  enum class Type : int {
+    kNull = 0,
+    kBool = 1,
+    kNumber = 2,
+    kString = 3,
+    kArray = 4,
+    kObject = 5,
+  };
+
+  // Null by default.
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::int64_t value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::uint64_t value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+
+  static Json Array() { return Json(Type::kArray); }
+  static Json Object() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; CHECK-fail on type mismatch (programming error).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+
+  // --- Arrays --------------------------------------------------------------
+  const std::vector<Json>& items() const;
+  void Append(Json value);
+
+  // --- Objects (insertion-ordered) -----------------------------------------
+  const std::vector<std::pair<std::string, Json>>& members() const;
+  // The member's value, or nullptr when absent (or not an object).
+  const Json* Find(std::string_view key) const;
+  // Inserts or overwrites; returns the stored value.
+  Json& Set(std::string key, Json value);
+
+  // Convenience: Find(key)->number_value() with a fallback for absent or
+  // non-numeric members.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+
+  // Compact single-line serialization.  Doubles print with enough digits
+  // to round-trip; integral values print without a fractional part.
+  std::string Dump() const;
+
+  // Strict JSON parsing (UTF-8 passthrough, \uXXXX escapes with surrogate
+  // pairs, max nesting depth 64).  Trailing garbage is a Corruption error.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+  void DumpTo(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+// Serializes one double the way Json::Dump does (shared with the ad-hoc
+// emitters that predate Json, e.g. StageStats::ToJson).
+std::string JsonFormatNumber(double value);
+
+// Escapes and quotes `text` as a JSON string literal.
+std::string JsonQuote(std::string_view text);
+
+}  // namespace corekit
+
+#endif  // COREKIT_UTIL_JSON_H_

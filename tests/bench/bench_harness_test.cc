@@ -1,0 +1,350 @@
+// Unit tests for the benchmark harness layer (bench/harness/harness.h):
+// suite filtering, warmup/repeat aggregation, counter and stage capture,
+// report assembly with merge-by-name, environment capture — plus two
+// satellites that live naturally next to it: determinism of the dataset
+// registry (bench/datasets.h) and the loud-failure contract of
+// EngineStageSeconds (bench/runtime_common.h).
+
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/corekit.h"
+#include "datasets.h"
+#include "runtime_common.h"
+
+namespace corekit::bench {
+namespace {
+
+// Scoped override of an environment variable (the dataset registry and
+// the environment capture read env per call).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (old_.has_value()) {
+      ::setenv(name_.c_str(), old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> old_;
+};
+
+TEST(BenchHarnessTest, SuitesPlusSmokeTagsOnlySmallStandIns) {
+  EXPECT_EQ(SuitesPlusSmoke("paper", "AP"),
+            (std::vector<std::string>{"paper", "smoke"}));
+  EXPECT_EQ(SuitesPlusSmoke("paper", "G"),
+            (std::vector<std::string>{"paper", "smoke"}));
+  EXPECT_EQ(SuitesPlusSmoke("paper", "LJ"),
+            (std::vector<std::string>{"paper"}));
+  EXPECT_EQ(SuitesPlusSmoke("ext", "FS"), (std::vector<std::string>{"ext"}));
+}
+
+TEST(BenchHarnessTest, SuiteFilterSkipsUntaggedCases) {
+  BenchConfig config;
+  config.suite = "smoke";
+  BenchRunner runner(config);
+  int invocations = 0;
+  const CaseResult* filtered =
+      runner.Case({"t/paper_only", {"paper"}},
+                  [&](CaseRecorder&) { ++invocations; });
+  EXPECT_EQ(filtered, nullptr);
+  EXPECT_EQ(invocations, 0);
+  EXPECT_FALSE(runner.ShouldRun({"t/paper_only", {"paper"}}));
+
+  const CaseResult* run = runner.Case({"t/tagged", {"paper", "smoke"}},
+                                      [&](CaseRecorder&) { ++invocations; });
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(runner.results().size(), 1u);
+}
+
+TEST(BenchHarnessTest, EmptySuiteRunsEverything) {
+  BenchRunner runner(BenchConfig{});
+  EXPECT_TRUE(runner.ShouldRun({"t/any", {"paper"}}));
+  EXPECT_TRUE(runner.ShouldRun({"t/untagged", {}}));
+}
+
+TEST(BenchHarnessTest, WarmupRunsUntimedAndRepeatsAggregate) {
+  BenchConfig config;
+  config.repeats = 3;
+  config.warmup = 2;
+  BenchRunner runner(config);
+  runner.set_current_unit("unit_under_test");
+
+  int invocations = 0;
+  const double planted[] = {0.0, 0.0, 0.5, 0.3, 0.4};  // 2 warmup + 3 timed
+  const CaseResult* result =
+      runner.Case({"t/agg", {"paper"}}, [&](CaseRecorder& rec) {
+        rec.SetSeconds(planted[invocations]);
+        ++invocations;
+      });
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(invocations, 5);  // warmup runs invoke the body too
+  EXPECT_EQ(result->unit, "unit_under_test");
+  EXPECT_EQ(result->warmup, 2);
+  EXPECT_EQ(result->repeats, 3);
+  ASSERT_EQ(result->samples, (std::vector<double>{0.5, 0.3, 0.4}));
+  EXPECT_EQ(result->seconds_min, 0.3);
+  EXPECT_EQ(result->seconds_median, 0.4);
+  EXPECT_GT(result->rss_peak_bytes, 0u);
+}
+
+TEST(BenchHarnessTest, WallClockIsTheDefaultSample) {
+  BenchRunner runner(BenchConfig{});
+  const CaseResult* result =
+      runner.Case({"t/wall", {"paper"}}, [](CaseRecorder&) {
+        // No SetSeconds: the harness falls back to body wall time.
+      });
+  ASSERT_NE(result, nullptr);
+  ASSERT_EQ(result->samples.size(), 1u);
+  EXPECT_GE(result->samples[0], 0.0);
+  EXPECT_EQ(result->seconds_min, result->samples[0]);
+}
+
+TEST(BenchHarnessTest, CountersOverwriteByKeyAndKeepOrder) {
+  BenchRunner runner(BenchConfig{});
+  const CaseResult* result =
+      runner.Case({"t/counters", {"paper"}}, [](CaseRecorder& rec) {
+        rec.Counter("m", 100);
+        rec.Counter("kmax", 7);
+        rec.Counter("m", 200);  // re-recording overwrites in place
+      });
+  ASSERT_NE(result, nullptr);
+  ASSERT_EQ(result->counters.size(), 2u);
+  EXPECT_EQ(result->counters[0].first, "m");
+  EXPECT_EQ(result->counters[0].second, 200);
+  EXPECT_EQ(result->counters[1].first, "kmax");
+  EXPECT_EQ(result->counters[1].second, 7);
+}
+
+TEST(BenchHarnessTest, EngineStagesCapturesStageRecords) {
+  BenchRunner runner(BenchConfig{});
+  const CaseResult* result =
+      runner.Case({"t/stages", {"paper"}}, [](CaseRecorder& rec) {
+        const Graph graph = GenerateErdosRenyi(80, 240, 3);
+        CoreEngine engine(graph);
+        (void)engine.Ordered();
+        rec.EngineStages(engine);
+      });
+  ASSERT_NE(result, nullptr);
+  ASSERT_EQ(result->stages.size(), 2u);  // decompose + order
+  EXPECT_EQ(result->stages[0].name, "decompose");
+  EXPECT_EQ(result->stages[1].name, "order");
+  EXPECT_EQ(result->stages[1].builds, 1u);
+}
+
+TEST(BenchHarnessTest, CasePointersStayStableAcrossManyCases) {
+  BenchRunner runner(BenchConfig{});
+  std::vector<const CaseResult*> pointers;
+  for (int i = 0; i < 100; ++i) {
+    pointers.push_back(runner.Case(
+        {"t/stable" + std::to_string(i), {"paper"}}, [](CaseRecorder&) {}));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pointers[static_cast<std::size_t>(i)]->name,
+              "t/stable" + std::to_string(i));
+  }
+}
+
+TEST(BenchHarnessTest, EnvironmentCapturesAllComparabilityKnobs) {
+  ScopedEnv scale("COREKIT_BENCH_SCALE", "0.5");
+  ScopedEnv filter("COREKIT_BENCH_DATASETS", "AP,G");
+  ScopedEnv sha("COREKIT_GIT_SHA", "cafe123");
+  const Json env = CaptureEnvironmentJson();
+  EXPECT_GE(env.NumberOr("cpu_count", -1), 1);
+  EXPECT_EQ(env.NumberOr("bench_scale", -1), 0.5);
+  EXPECT_GT(env.NumberOr("bench_budget", -1), 0);
+  EXPECT_EQ(env.StringOr("datasets_filter", ""), "AP,G");
+  EXPECT_EQ(env.StringOr("git_sha", ""), "cafe123");  // env overrides build
+  EXPECT_NE(env.StringOr("build_type", ""), "");
+  EXPECT_EQ(env.NumberOr("stage_stats_schema_version", -1),
+            kStageStatsSchemaVersion);
+}
+
+TEST(BenchHarnessTest, ReportDocumentShape) {
+  BenchRunner runner(BenchConfig{});
+  runner.set_current_unit("shape_unit");
+  (void)runner.Case({"t/shape", {"paper", "smoke"}}, [](CaseRecorder& rec) {
+    rec.SetSeconds(0.25);
+    rec.Counter("m", 10);
+  });
+  const Json report = BenchReportJson("smoke", runner.results(), nullptr);
+  EXPECT_EQ(report.NumberOr("schema_version", -1), kBenchSchemaVersion);
+  EXPECT_EQ(report.StringOr("suite", ""), "smoke");
+  ASSERT_NE(report.Find("environment"), nullptr);
+  const Json* cases = report.Find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_EQ(cases->items().size(), 1u);
+  const Json& c = cases->items()[0];
+  EXPECT_EQ(c.StringOr("name", ""), "t/shape");
+  EXPECT_EQ(c.StringOr("unit", ""), "shape_unit");
+  EXPECT_EQ(c.NumberOr("seconds_min", -1), 0.25);
+  EXPECT_EQ(c.NumberOr("seconds_median", -1), 0.25);
+  EXPECT_EQ(c.Find("suites")->items().size(), 2u);
+  EXPECT_EQ(c.Find("counters")->NumberOr("m", -1), 10);
+  ASSERT_NE(c.Find("stages"), nullptr);
+  EXPECT_TRUE(c.Find("stages")->is_array());
+}
+
+TEST(BenchHarnessTest, ReportMergesPreviousCasesByName) {
+  // First run: two cases.
+  BenchRunner first(BenchConfig{});
+  (void)first.Case({"t/old_only", {"paper"}},
+                   [](CaseRecorder& rec) { rec.SetSeconds(1.0); });
+  (void)first.Case({"t/shared", {"paper"}},
+                   [](CaseRecorder& rec) { rec.SetSeconds(2.0); });
+  const Json previous = BenchReportJson("paper", first.results(), nullptr);
+
+  // Second run: overwrites t/shared, adds t/new.
+  BenchRunner second(BenchConfig{});
+  (void)second.Case({"t/shared", {"paper"}},
+                    [](CaseRecorder& rec) { rec.SetSeconds(3.0); });
+  (void)second.Case({"t/new", {"paper"}},
+                    [](CaseRecorder& rec) { rec.SetSeconds(4.0); });
+  const Json merged = BenchReportJson("paper", second.results(), &previous);
+
+  const auto& cases = merged.Find("cases")->items();
+  ASSERT_EQ(cases.size(), 3u);
+  EXPECT_EQ(cases[0].StringOr("name", ""), "t/old_only");
+  EXPECT_EQ(cases[0].NumberOr("seconds_min", -1), 1.0);  // carried over
+  EXPECT_EQ(cases[1].StringOr("name", ""), "t/shared");
+  EXPECT_EQ(cases[1].NumberOr("seconds_min", -1), 3.0);  // overwritten
+  EXPECT_EQ(cases[2].StringOr("name", ""), "t/new");
+  EXPECT_EQ(cases[2].NumberOr("seconds_min", -1), 4.0);  // appended
+}
+
+TEST(BenchHarnessTest, ReportIgnoresPreviousOfDifferentSuite) {
+  BenchRunner first(BenchConfig{});
+  (void)first.Case({"t/smoke_case", {"smoke"}},
+                   [](CaseRecorder& rec) { rec.SetSeconds(1.0); });
+  const Json previous = BenchReportJson("smoke", first.results(), nullptr);
+
+  BenchRunner second(BenchConfig{});
+  (void)second.Case({"t/paper_case", {"paper"}},
+                    [](CaseRecorder& rec) { rec.SetSeconds(2.0); });
+  const Json merged = BenchReportJson("paper", second.results(), &previous);
+  ASSERT_EQ(merged.Find("cases")->items().size(), 1u);
+  EXPECT_EQ(merged.Find("cases")->items()[0].StringOr("name", ""),
+            "t/paper_case");
+}
+
+TEST(BenchHarnessTest, PeakRssIsMonotonicallyReported) {
+  const std::uint64_t before = PeakRssBytes();
+  EXPECT_GT(before, 0u);
+  EXPECT_GE(PeakRssBytes(), before);
+}
+
+// --- Dataset registry determinism (bench/datasets.h) ------------------------
+
+// FNV-1a over the sorted degree sequence: cheap structural fingerprint.
+std::uint64_t DegreeSequenceHash(const Graph& graph) {
+  std::vector<VertexId> degrees(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    degrees[v] = graph.Degree(v);
+  }
+  std::sort(degrees.begin(), degrees.end());
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const VertexId d : degrees) {
+    hash ^= d;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+TEST(BenchDatasetsTest, RegistryHasTheTenTableIIIStandIns) {
+  const auto& datasets = AllDatasets();
+  ASSERT_EQ(datasets.size(), 10u);
+  EXPECT_EQ(datasets.front().short_name, "AP");
+  EXPECT_EQ(datasets.back().short_name, "FS");
+}
+
+TEST(BenchDatasetsTest, EveryStandInIsDeterministicAtFixedScale) {
+  // Two builds with the same seed and scale must agree bit-for-bit on the
+  // structure the benches report: (n, m, kmax) and the degree sequence.
+  // Non-determinism here would make BENCH baselines incomparable.
+  ScopedEnv scale("COREKIT_BENCH_SCALE", "0.05");
+  for (const BenchDataset& dataset : AllDatasets()) {
+    SCOPED_TRACE(dataset.short_name);
+    const Graph one = dataset.make();
+    const Graph two = dataset.make();
+    ASSERT_EQ(one.NumVertices(), two.NumVertices());
+    ASSERT_EQ(one.NumEdges(), two.NumEdges());
+    EXPECT_GT(one.NumEdges(), 0u);
+    EXPECT_EQ(DegreeSequenceHash(one), DegreeSequenceHash(two));
+    EXPECT_EQ(ComputeCoreDecomposition(one).kmax,
+              ComputeCoreDecomposition(two).kmax);
+  }
+}
+
+TEST(BenchDatasetsTest, DatasetFilterSelectsRequestedSubset) {
+  ScopedEnv filter("COREKIT_BENCH_DATASETS", "G,HJ");
+  const auto active = ActiveDatasets();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0].short_name, "G");
+  EXPECT_EQ(active[1].short_name, "HJ");
+}
+
+TEST(BenchDatasetsTest, UnmatchedFilterFallsBackToAll) {
+  ScopedEnv filter("COREKIT_BENCH_DATASETS", "NOPE");
+  EXPECT_EQ(ActiveDatasets().size(), AllDatasets().size());
+}
+
+TEST(BenchDatasetsTest, BenchScaleClampsToDocumentedRange) {
+  {
+    ScopedEnv scale("COREKIT_BENCH_SCALE", "0.0001");
+    EXPECT_EQ(BenchScale(), 0.05);
+  }
+  {
+    ScopedEnv scale("COREKIT_BENCH_SCALE", "1e9");
+    EXPECT_EQ(BenchScale(), 100.0);
+  }
+  {
+    ScopedEnv scale("COREKIT_BENCH_SCALE", "2.5");
+    EXPECT_EQ(BenchScale(), 2.5);
+  }
+}
+
+// --- EngineStageSeconds contract (bench/runtime_common.h) -------------------
+
+TEST(EngineStageSecondsTest, ReturnsRecordedStageTime) {
+  const Graph graph = GenerateErdosRenyi(100, 400, 5);
+  CoreEngine engine(graph);
+  (void)engine.Ordered();
+  (void)engine.BestCoreSet(Metric::kAverageDegree);
+  EXPECT_GE(EngineStageSeconds(engine, "decompose"), 0.0);
+  EXPECT_GE(EngineStageSeconds(engine, "order"), 0.0);
+  EXPECT_GE(EngineStageSeconds(
+                engine, CoreEngine::CoreSetStageName(Metric::kAverageDegree)),
+            0.0);
+}
+
+TEST(EngineStageSecondsDeathTest, UnknownStageDiesLoudly) {
+  // A misspelled or not-yet-built stage must never silently read as 0.0
+  // in a published benchmark table.
+  const Graph graph = GenerateErdosRenyi(50, 100, 5);
+  CoreEngine engine(graph);
+  (void)engine.Cores();
+  EXPECT_DEATH((void)EngineStageSeconds(engine, "decompse"),
+               "never recorded");
+  // Correctly spelled but never built is just as wrong.
+  EXPECT_DEATH((void)EngineStageSeconds(engine, "forest"), "never recorded");
+}
+
+}  // namespace
+}  // namespace corekit::bench

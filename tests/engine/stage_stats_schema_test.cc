@@ -1,0 +1,139 @@
+// Golden lock on the StageStats JSON contract.
+//
+// BENCH_<suite>.json files, bench_diff, and any log shipping key on the
+// exact stage names and field keys StageStats::ToJson emits.  This test
+// pins that layout: if it fails, either revert the change or bump
+// kStageStatsSchemaVersion AND update both this test and every consumer
+// in the same commit (see stage_stats.h).
+
+#include "corekit/engine/stage_stats.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/engine/core_engine.h"
+#include "corekit/gen/generators.h"
+#include "corekit/util/json.h"
+
+namespace corekit {
+namespace {
+
+std::vector<std::string> MemberKeys(const Json& object) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : object.members()) keys.push_back(key);
+  return keys;
+}
+
+TEST(StageStatsSchemaTest, SchemaVersionIsOne) {
+  // Bumping this constant is an intentional breaking change: update the
+  // bench harness and bench_diff expectations alongside it.
+  EXPECT_EQ(kStageStatsSchemaVersion, 1);
+}
+
+TEST(StageStatsSchemaTest, EmptyStatsDocumentShape) {
+  StageStats stats;
+  EXPECT_EQ(stats.ToJson(),
+            "{\"schema_version\":1,\"stages\":[],"
+            "\"totals\":{\"builds\":0,\"hits\":0,\"seconds\":0.000000,"
+            "\"bytes\":0}}");
+}
+
+TEST(StageStatsSchemaTest, TopLevelAndPerStageKeysAreLocked) {
+  StageStats stats;
+  StageRecord& record = stats.Get("decompose");
+  record.builds = 2;
+  record.hits = 5;
+  record.seconds = 0.125;
+  record.bytes = 4096;
+  record.threads = 3;
+
+  Result<Json> doc = Json::Parse(stats.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(MemberKeys(*doc), (std::vector<std::string>{
+                                  "schema_version", "stages", "totals"}));
+  EXPECT_EQ(doc->NumberOr("schema_version", -1), kStageStatsSchemaVersion);
+
+  const Json& stage = doc->Find("stages")->items().at(0);
+  EXPECT_EQ(MemberKeys(stage),
+            (std::vector<std::string>{"name", "builds", "hits", "seconds",
+                                      "bytes", "threads"}));
+  EXPECT_EQ(stage.StringOr("name", ""), "decompose");
+  EXPECT_EQ(stage.NumberOr("builds", -1), 2);
+  EXPECT_EQ(stage.NumberOr("hits", -1), 5);
+  EXPECT_NEAR(stage.NumberOr("seconds", -1), 0.125, 1e-9);
+  EXPECT_EQ(stage.NumberOr("bytes", -1), 4096);
+  EXPECT_EQ(stage.NumberOr("threads", -1), 3);
+
+  EXPECT_EQ(MemberKeys(*doc->Find("totals")),
+            (std::vector<std::string>{"builds", "hits", "seconds", "bytes"}));
+}
+
+TEST(StageStatsSchemaTest, CanonicalEngineStageNames) {
+  // The fixed pipeline stage names the bench harness and EXPERIMENTS.md
+  // reference; renaming any of these is a schema change.
+  Graph graph = GenerateErdosRenyi(60, 180, 11);
+  CoreEngine engine(graph);
+  (void)engine.Cores();
+  (void)engine.Ordered();
+  (void)engine.Forest();
+  (void)engine.Components();
+  (void)engine.Triangles();
+  (void)engine.Triplets();
+  (void)engine.BestCoreSet(Metric::kAverageDegree);
+  (void)engine.BestSingleCore(Metric::kAverageDegree);
+
+  Result<Json> doc = Json::Parse(engine.StatsJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  std::vector<std::string> names;
+  for (const Json& stage : doc->Find("stages")->items()) {
+    names.push_back(stage.StringOr("name", ""));
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "decompose", "order", "forest", "components",
+                       "triangles", "triplets", "coreset[ad]",
+                       "singlecore[ad]"}));
+}
+
+TEST(StageStatsSchemaTest, PerMetricStageNamesAreLocked) {
+  EXPECT_EQ(CoreEngine::CoreSetStageName(Metric::kAverageDegree),
+            "coreset[ad]");
+  EXPECT_EQ(CoreEngine::CoreSetStageName(Metric::kInternalDensity),
+            "coreset[den]");
+  EXPECT_EQ(CoreEngine::CoreSetStageName(Metric::kCutRatio), "coreset[cr]");
+  EXPECT_EQ(CoreEngine::CoreSetStageName(Metric::kConductance),
+            "coreset[con]");
+  EXPECT_EQ(CoreEngine::CoreSetStageName(Metric::kModularity),
+            "coreset[mod]");
+  EXPECT_EQ(CoreEngine::CoreSetStageName(Metric::kClusteringCoefficient),
+            "coreset[cc]");
+  EXPECT_EQ(CoreEngine::SingleCoreStageName(Metric::kAverageDegree),
+            "singlecore[ad]");
+  EXPECT_EQ(CoreEngine::SingleCoreStageName(Metric::kModularity),
+            "singlecore[mod]");
+}
+
+TEST(StageStatsSchemaTest, DumpIsParseableWithRealTimings) {
+  // Whatever values land in the records, the document must stay valid
+  // JSON whose totals equal the per-stage sums.
+  Graph graph = GenerateErdosRenyi(80, 300, 23);
+  CoreEngine engine(graph);
+  for (const Metric metric : kAllMetrics) (void)engine.BestCoreSet(metric);
+
+  Result<Json> doc = Json::Parse(engine.StatsJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  double builds = 0;
+  double bytes = 0;
+  for (const Json& stage : doc->Find("stages")->items()) {
+    builds += stage.NumberOr("builds", 0);
+    bytes += stage.NumberOr("bytes", 0);
+  }
+  const Json* totals = doc->Find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->NumberOr("builds", -1), builds);
+  EXPECT_EQ(totals->NumberOr("bytes", -1), bytes);
+}
+
+}  // namespace
+}  // namespace corekit

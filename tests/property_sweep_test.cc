@@ -1,13 +1,17 @@
 // Randomized whole-pipeline property sweep.
 //
-// For a grid of random seeds and densities, generates a fresh graph and
-// asserts the cross-component invariants that must hold for *any* input:
-// the decomposition, ordering, forest, both scorers, the baselines, and
-// the truss extension all agree with each other and with first
+// For a grid of random seeds, densities, and generator families (flat
+// Erdős–Rényi, heavy-tailed Barabási–Albert, community-structured
+// LFR-like), generates a fresh graph and asserts the cross-component
+// invariants that must hold for *any* input: the decomposition, ordering,
+// forest, both scorers, the baselines, and the truss and weighted
+// extension substrates all agree with each other and with first
 // principles.  This is the suite that catches interaction bugs the
 // per-module tests cannot.
 
 #include <algorithm>
+#include <cmath>
+#include <set>
 #include <tuple>
 #include <vector>
 
@@ -18,17 +22,60 @@
 namespace corekit {
 namespace {
 
+enum class GenKind { kErdosRenyi, kBarabasiAlbert, kLfrLike };
+
+const char* GenKindTag(GenKind gen) {
+  switch (gen) {
+    case GenKind::kErdosRenyi:
+      return "ER";
+    case GenKind::kBarabasiAlbert:
+      return "BA";
+    case GenKind::kLfrLike:
+      return "LFR";
+  }
+  return "?";
+}
+
 struct SweepParam {
   std::uint64_t seed;
   VertexId n;
+  // Target edge count; BA and LFR treat it as a density hint (BA derives
+  // edges-per-vertex, LFR a degree range) rather than an exact count.
   EdgeId m;
+  GenKind gen = GenKind::kErdosRenyi;
 };
+
+Graph MakeSweepGraph(const SweepParam& param) {
+  switch (param.gen) {
+    case GenKind::kErdosRenyi:
+      return GenerateErdosRenyi(param.n, param.m, param.seed);
+    case GenKind::kBarabasiAlbert: {
+      const VertexId per_vertex = std::max<VertexId>(
+          1, static_cast<VertexId>(param.m / std::max<VertexId>(1, param.n)));
+      return GenerateBarabasiAlbert(param.n, per_vertex, param.seed);
+    }
+    case GenKind::kLfrLike: {
+      LfrLikeParams lfr;
+      lfr.num_vertices = param.n;
+      const VertexId davg = static_cast<VertexId>(
+          2 * param.m / std::max<VertexId>(1, param.n));
+      lfr.min_degree = std::max<VertexId>(2, davg / 2);
+      lfr.max_degree = std::max<VertexId>(lfr.min_degree + 1, 3 * davg);
+      lfr.min_community = std::max<VertexId>(8, param.n / 12);
+      lfr.max_community = std::max<VertexId>(lfr.min_community + 1,
+                                             param.n / 3);
+      lfr.mu = 0.25;
+      lfr.seed = param.seed;
+      return GenerateLfrLike(lfr).graph;
+    }
+  }
+  return Graph();
+}
 
 class PipelineSweepTest : public ::testing::TestWithParam<SweepParam> {
  protected:
   PipelineSweepTest()
-      : graph_(GenerateErdosRenyi(GetParam().n, GetParam().m,
-                                  GetParam().seed)),
+      : graph_(MakeSweepGraph(GetParam())),
         cores_(ComputeCoreDecomposition(graph_)),
         ordered_(graph_, cores_),
         forest_(graph_, cores_) {}
@@ -129,15 +176,152 @@ TEST_P(PipelineSweepTest, DensestCoreIsHalfApproximation) {
   EXPECT_GE(opt_d.average_degree, cores_.kmax);  // kmax-core has davg >= kmax
 }
 
+// --- Extension substrates: trusses and weighted s-cores ---------------------
+
+TEST_P(PipelineSweepTest, TrussSetOptimalAndBaselineBitwiseAgree) {
+  // Same differential the core scorers get: the top-down incremental
+  // profile (Section VI-B transfer) against from-scratch per-k scoring.
+  if (graph_.NumEdges() == 0) return;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph_);
+  for (const Metric metric : kAllMetrics) {
+    if (MetricNeedsTriangles(metric)) continue;  // out of truss scope
+    const TrussSetProfile optimal =
+        FindBestTrussSet(graph_, trusses, metric);
+    const TrussSetProfile baseline =
+        BaselineFindBestTrussSet(graph_, trusses, metric);
+    EXPECT_EQ(optimal.best_k, baseline.best_k) << MetricShortName(metric);
+    EXPECT_DOUBLE_EQ(optimal.best_score, baseline.best_score)
+        << MetricShortName(metric);
+    ASSERT_EQ(optimal.scores.size(), baseline.scores.size());
+    for (std::size_t k = 0; k < optimal.scores.size(); ++k) {
+      EXPECT_DOUBLE_EQ(optimal.scores[k], baseline.scores[k])
+          << MetricShortName(metric) << " k=" << k;
+    }
+  }
+}
+
+TEST_P(PipelineSweepTest, SingleTrussScoresMatchDirectRecomputation) {
+  if (graph_.NumEdges() == 0) return;
+  const TrussDecomposition trusses = ComputeTrussDecomposition(graph_);
+  const TrussForest truss_forest(graph_, trusses);
+  const EdgeList edges = graph_.ToEdgeList();
+  const GraphGlobals globals{graph_.NumVertices(), graph_.NumEdges()};
+  for (const Metric metric : {Metric::kAverageDegree, Metric::kConductance,
+                              Metric::kModularity}) {
+    const SingleTrussProfile profile =
+        FindBestSingleTruss(graph_, trusses, truss_forest, metric);
+    ASSERT_EQ(profile.scores.size(), truss_forest.NumNodes());
+    double best = profile.scores[0];
+    for (TrussForest::NodeId i = 0; i < truss_forest.NumNodes(); ++i) {
+      // Oracle: recompute the node's primaries from its vertex set by a
+      // direct scan of the whole edge list.
+      const std::set<VertexId> members = [&] {
+        const auto vertices = truss_forest.TrussVertices(trusses, i);
+        return std::set<VertexId>(vertices.begin(), vertices.end());
+      }();
+      const VertexId level = truss_forest.node(i).level;
+      PrimaryValues oracle;
+      oracle.num_vertices = members.size();
+      for (EdgeId e = 0; e < edges.size(); ++e) {
+        const auto [u, v] = edges[e];
+        const bool u_in = members.count(u) > 0;
+        const bool v_in = members.count(v) > 0;
+        if (u_in && v_in && trusses.truss[e] >= level) {
+          oracle.internal_edges_x2 += 2;
+        } else if (u_in != v_in) {
+          oracle.boundary_edges += 1;
+        }
+      }
+      ASSERT_EQ(profile.primaries[i].num_vertices, oracle.num_vertices);
+      ASSERT_EQ(profile.primaries[i].internal_edges_x2,
+                oracle.internal_edges_x2);
+      ASSERT_EQ(profile.primaries[i].boundary_edges, oracle.boundary_edges);
+      const double expected = EvaluateMetric(metric, oracle, globals);
+      EXPECT_DOUBLE_EQ(profile.scores[i], expected)
+          << MetricShortName(metric) << " node=" << i;
+      best = std::max(best, profile.scores[i]);
+    }
+    EXPECT_DOUBLE_EQ(profile.best_score, best) << MetricShortName(metric);
+  }
+}
+
+TEST_P(PipelineSweepTest, SCoreDecompositionMatchesNaiveOracle) {
+  const WeightedGraph weighted =
+      RandomlyWeighted(graph_, 4.0, GetParam().seed + 77);
+  const SCoreDecomposition fast = ComputeSCoreDecomposition(weighted);
+  const SCoreDecomposition naive = NaiveSCoreDecomposition(weighted);
+  ASSERT_EQ(fast.s_value.size(), naive.s_value.size());
+  for (VertexId v = 0; v < weighted.NumVertices(); ++v) {
+    EXPECT_NEAR(fast.s_value[v], naive.s_value[v], 1e-9) << "v=" << v;
+  }
+  EXPECT_NEAR(fast.smax, naive.smax, 1e-9);
+}
+
+TEST_P(PipelineSweepTest, SCoreProfileMatchesThresholdOracle) {
+  // Every scored threshold must equal a from-scratch evaluation of the
+  // subgraph {v : s_value[v] >= t} — the brute-force definition of the
+  // s-core set.
+  const WeightedGraph weighted =
+      RandomlyWeighted(graph_, 4.0, GetParam().seed + 78);
+  if (weighted.NumEdges() == 0) return;
+  const SCoreDecomposition cores = ComputeSCoreDecomposition(weighted);
+  for (const WeightedMetric metric :
+       {WeightedMetric::kAverageStrength,
+        WeightedMetric::kWeightedConductance,
+        WeightedMetric::kWeightedDensity}) {
+    const SCoreProfile profile = FindBestSCore(weighted, cores, metric);
+    ASSERT_EQ(profile.scores.size(), profile.thresholds.size());
+    double best = profile.scores.empty() ? 0.0 : profile.scores[0];
+    for (std::size_t i = 0; i < profile.thresholds.size(); ++i) {
+      const double threshold = profile.thresholds[i];
+      WeightedPrimaryValues oracle;
+      for (VertexId v = 0; v < weighted.NumVertices(); ++v) {
+        if (cores.s_value[v] < threshold) continue;
+        oracle.num_vertices += 1;
+        const auto neighbors = weighted.Neighbors(v);
+        const auto weights = weighted.Weights(v);
+        for (std::size_t j = 0; j < neighbors.size(); ++j) {
+          if (cores.s_value[neighbors[j]] >= threshold) {
+            oracle.internal_weight_x2 += weights[j];
+          } else {
+            oracle.boundary_weight += weights[j];
+          }
+        }
+      }
+      ASSERT_EQ(profile.primaries[i].num_vertices, oracle.num_vertices)
+          << "t=" << threshold;
+      EXPECT_NEAR(profile.primaries[i].internal_weight_x2,
+                  oracle.internal_weight_x2,
+                  1e-9 * (1.0 + oracle.internal_weight_x2));
+      EXPECT_NEAR(profile.primaries[i].boundary_weight,
+                  oracle.boundary_weight,
+                  1e-9 * (1.0 + oracle.boundary_weight));
+      const double expected = EvaluateWeightedMetric(metric, oracle);
+      EXPECT_NEAR(profile.scores[i], expected, 1e-9 * (1.0 + std::abs(expected)))
+          << WeightedMetricName(metric) << " t=" << threshold;
+      best = std::max(best, profile.scores[i]);
+    }
+    EXPECT_NEAR(profile.best_score, best, 1e-12);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndDensities, PipelineSweepTest,
-    ::testing::Values(SweepParam{101, 40, 60}, SweepParam{102, 40, 200},
-                      SweepParam{103, 60, 90}, SweepParam{104, 60, 400},
-                      SweepParam{105, 80, 120}, SweepParam{106, 80, 700},
-                      SweepParam{107, 120, 180}, SweepParam{108, 120, 1200},
-                      SweepParam{109, 200, 400}, SweepParam{110, 200, 2500}),
+    ::testing::Values(
+        SweepParam{101, 40, 60}, SweepParam{102, 40, 200},
+        SweepParam{103, 60, 90}, SweepParam{104, 60, 400},
+        SweepParam{105, 80, 120}, SweepParam{106, 80, 700},
+        SweepParam{107, 120, 180}, SweepParam{108, 120, 1200},
+        SweepParam{109, 200, 400}, SweepParam{110, 200, 2500},
+        SweepParam{201, 60, 120, GenKind::kBarabasiAlbert},
+        SweepParam{202, 120, 360, GenKind::kBarabasiAlbert},
+        SweepParam{203, 200, 1000, GenKind::kBarabasiAlbert},
+        SweepParam{301, 80, 240, GenKind::kLfrLike},
+        SweepParam{302, 150, 600, GenKind::kLfrLike},
+        SweepParam{303, 200, 1400, GenKind::kLfrLike}),
     [](const ::testing::TestParamInfo<SweepParam>& param_info) {
-      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+      return std::string(GenKindTag(param_info.param.gen)) + "_seed" +
+             std::to_string(param_info.param.seed) + "_n" +
              std::to_string(param_info.param.n) + "_m" +
              std::to_string(param_info.param.m);
     });

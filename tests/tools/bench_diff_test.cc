@@ -1,0 +1,248 @@
+// bench_diff comparison engine (tools/bench_diff_lib.h): the regression
+// gate CI runs over BENCH_<suite>.json files.  Locks the pass/fail
+// semantics — threshold crossing, noise floor, missing/new cases, schema
+// and suite validation — against hand-built reports.
+
+#include "bench_diff_lib.h"
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/util/json.h"
+
+namespace corekit::bench_diff {
+namespace {
+
+// A minimal schema-1 report with (name, seconds_min, seconds_median)
+// cases; the full harness emits more fields, but the differ only reads
+// these.
+Json MakeReport(
+    const std::string& suite,
+    const std::vector<std::tuple<std::string, double, double>>& cases) {
+  Json report = Json::Object();
+  report.Set("schema_version", 1);
+  report.Set("suite", suite);
+  Json array = Json::Array();
+  for (const auto& [name, seconds_min, seconds_median] : cases) {
+    Json c = Json::Object();
+    c.Set("name", name);
+    c.Set("seconds_min", seconds_min);
+    c.Set("seconds_median", seconds_median);
+    array.Append(std::move(c));
+  }
+  report.Set("cases", std::move(array));
+  return report;
+}
+
+TEST(BenchDiffTest, IdenticalReportsPass) {
+  const Json report = MakeReport(
+      "smoke", {{"fig7/AP", 0.02, 0.03}, {"table3/G", 0.5, 0.6}});
+  Result<DiffReport> diff = DiffReports(report, report, DiffOptions{});
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff->failed);
+  EXPECT_EQ(diff->regressions, 0);
+  ASSERT_EQ(diff->cases.size(), 2u);
+  for (const CaseDiff& c : diff->cases) {
+    EXPECT_FALSE(c.regressed);
+    ASSERT_TRUE(c.relative_delta.has_value());
+    EXPECT_EQ(*c.relative_delta, 0.0);
+  }
+}
+
+TEST(BenchDiffTest, RegressionBeyondThresholdFails) {
+  const Json baseline = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  const Json current = MakeReport("smoke", {{"fig7/AP", 0.2, 0.2}});
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->failed);
+  EXPECT_EQ(diff->regressions, 1);
+  ASSERT_EQ(diff->cases.size(), 1u);
+  EXPECT_TRUE(diff->cases[0].regressed);
+  EXPECT_NEAR(*diff->cases[0].relative_delta, 1.0, 1e-12);
+}
+
+TEST(BenchDiffTest, SlowdownWithinThresholdPasses) {
+  const Json baseline = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  const Json current = MakeReport("smoke", {{"fig7/AP", 0.12, 0.12}});
+  DiffOptions options;
+  options.threshold = 0.25;
+  Result<DiffReport> diff = DiffReports(baseline, current, options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->failed);
+
+  options.threshold = 0.1;  // tighten: the same +20% now fails
+  diff = DiffReports(baseline, current, options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->failed);
+}
+
+TEST(BenchDiffTest, SpeedupsNeverFail) {
+  const Json baseline = MakeReport("smoke", {{"fig7/AP", 0.2, 0.2}});
+  const Json current = MakeReport("smoke", {{"fig7/AP", 0.01, 0.01}});
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->failed);
+  EXPECT_LT(*diff->cases[0].relative_delta, 0.0);
+}
+
+TEST(BenchDiffTest, NoiseFloorSuppressesMicroRegressions) {
+  // Baseline 1ms, current 10ms: a 10x blowup, but below the 5ms floor —
+  // timer noise at smoke scale, not signal.
+  const Json baseline = MakeReport("smoke", {{"micro/AP", 0.001, 0.001}});
+  const Json current = MakeReport("smoke", {{"micro/AP", 0.01, 0.01}});
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->failed);
+  ASSERT_EQ(diff->cases.size(), 1u);
+  EXPECT_TRUE(diff->cases[0].below_noise_floor);
+  EXPECT_FALSE(diff->cases[0].regressed);
+
+  DiffOptions strict;
+  strict.min_seconds = 0.0;  // floor disabled: the blowup counts
+  diff = DiffReports(baseline, current, strict);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->failed);
+}
+
+TEST(BenchDiffTest, MedianMetricSelectable) {
+  // min regressed, median did not: --metric median must pass.
+  const Json baseline = MakeReport("smoke", {{"fig7/AP", 0.1, 0.3}});
+  const Json current = MakeReport("smoke", {{"fig7/AP", 0.2, 0.3}});
+  DiffOptions options;
+  options.metric = "median";
+  Result<DiffReport> diff = DiffReports(baseline, current, options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->failed);
+  EXPECT_EQ(*diff->cases[0].relative_delta, 0.0);
+
+  options.metric = "min";
+  diff = DiffReports(baseline, current, options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->failed);
+}
+
+TEST(BenchDiffTest, UnknownMetricRejected) {
+  const Json report = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  DiffOptions options;
+  options.metric = "p99";
+  Result<DiffReport> diff = DiffReports(report, report, options);
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchDiffTest, MissingCasesReportedButPassByDefault) {
+  const Json baseline =
+      MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}, {"fig7/G", 0.2, 0.2}});
+  const Json current = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->failed);
+  EXPECT_EQ(diff->missing_in_current, 1);
+
+  DiffOptions strict;
+  strict.fail_on_missing = true;
+  diff = DiffReports(baseline, current, strict);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->failed);
+  EXPECT_EQ(diff->regressions, 1);
+}
+
+TEST(BenchDiffTest, NewCasesAppendedAndNeverFail) {
+  const Json baseline = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  const Json current =
+      MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}, {"fig9/AP", 9.0, 9.0}});
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->failed);
+  EXPECT_EQ(diff->new_in_current, 1);
+  ASSERT_EQ(diff->cases.size(), 2u);
+  EXPECT_EQ(diff->cases[1].name, "fig9/AP");
+  EXPECT_FALSE(diff->cases[1].baseline_seconds.has_value());
+  EXPECT_FALSE(diff->cases[1].relative_delta.has_value());
+}
+
+TEST(BenchDiffTest, SuiteMismatchRejected) {
+  const Json baseline = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  const Json current = MakeReport("paper", {{"fig7/AP", 0.1, 0.1}});
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchDiffTest, SchemaVersionMismatchRejected) {
+  Json baseline = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  const Json current = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  baseline.Set("schema_version", 999);
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchDiffTest, NonObjectReportRejected) {
+  const Json current = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  Result<DiffReport> diff =
+      DiffReports(Json::Array(), current, DiffOptions{});
+  EXPECT_FALSE(diff.ok());
+}
+
+TEST(BenchDiffTest, TextEntryPointParsesAndDiffs) {
+  const std::string baseline =
+      MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}}).Dump();
+  const std::string current =
+      MakeReport("smoke", {{"fig7/AP", 0.5, 0.5}}).Dump();
+  Result<DiffReport> diff =
+      DiffReportTexts(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->failed);
+}
+
+TEST(BenchDiffTest, TextEntryPointRejectsGarbage) {
+  const std::string good = MakeReport("smoke", {}).Dump();
+  Result<DiffReport> diff = DiffReportTexts("not json", good, DiffOptions{});
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.status().code(), StatusCode::kCorruption);
+  diff = DiffReportTexts(good, "{broken", DiffOptions{});
+  EXPECT_FALSE(diff.ok());
+}
+
+TEST(BenchDiffTest, PrintedReportNamesEveryVerdict) {
+  const Json baseline = MakeReport(
+      "smoke", {{"slow/case", 0.1, 0.1},
+                {"ok/case", 0.1, 0.1},
+                {"noise/case", 0.001, 0.001},
+                {"gone/case", 0.1, 0.1}});
+  const Json current = MakeReport(
+      "smoke", {{"slow/case", 0.9, 0.9},
+                {"ok/case", 0.1, 0.1},
+                {"noise/case", 0.005, 0.005},
+                {"fresh/case", 0.2, 0.2}});
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  std::ostringstream out;
+  PrintDiffReport(*diff, DiffOptions{}, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("ok (noise floor)"), std::string::npos);
+  EXPECT_NE(text.find("missing"), std::string::npos);
+  EXPECT_NE(text.find("new"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("1 regression(s), 1 missing, 1 new"),
+            std::string::npos);
+}
+
+TEST(BenchDiffTest, PassingReportPrintsPass) {
+  const Json report = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  Result<DiffReport> diff = DiffReports(report, report, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  std::ostringstream out;
+  PrintDiffReport(*diff, DiffOptions{}, out);
+  EXPECT_NE(out.str().find("PASS"), std::string::npos);
+  EXPECT_EQ(out.str().find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corekit::bench_diff

@@ -1,0 +1,187 @@
+#include "corekit/util/json.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace corekit {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  const Json value;
+  EXPECT_TRUE(value.is_null());
+  EXPECT_EQ(value.Dump(), "null");
+}
+
+TEST(JsonTest, ScalarConstructionAndDump) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::string("hi")).Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegralDoublesPrintWithoutFraction) {
+  EXPECT_EQ(Json(3.0).Dump(), "3");
+  EXPECT_EQ(Json(0.0).Dump(), "0");
+  EXPECT_EQ(Json(std::uint64_t{1234567}).Dump(), "1234567");
+}
+
+TEST(JsonTest, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Json(std::nan("")).Dump(), "null");
+  EXPECT_EQ(Json(HUGE_VAL).Dump(), "null");
+}
+
+TEST(JsonTest, DoublesRoundTripThroughDump) {
+  for (const double value : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23}) {
+    const Json dumped(value);
+    Result<Json> parsed = Json::Parse(dumped.Dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->number_value(), value);
+  }
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json object = Json::Object();
+  object.Set("zebra", 1);
+  object.Set("apple", 2);
+  object.Set("mango", 3);
+  EXPECT_EQ(object.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonTest, SetOverwritesInPlace) {
+  Json object = Json::Object();
+  object.Set("a", 1);
+  object.Set("b", 2);
+  object.Set("a", 9);
+  EXPECT_EQ(object.Dump(), "{\"a\":9,\"b\":2}");
+  ASSERT_EQ(object.members().size(), 2u);
+}
+
+TEST(JsonTest, FindReturnsValueOrNull) {
+  Json object = Json::Object();
+  object.Set("present", "yes");
+  ASSERT_NE(object.Find("present"), nullptr);
+  EXPECT_EQ(object.Find("present")->string_value(), "yes");
+  EXPECT_EQ(object.Find("absent"), nullptr);
+  // Find on a non-object is a graceful nullptr, not a CHECK.
+  EXPECT_EQ(Json(1).Find("anything"), nullptr);
+}
+
+TEST(JsonTest, NumberOrAndStringOrFallbacks) {
+  Json object = Json::Object();
+  object.Set("n", 4.5);
+  object.Set("s", "text");
+  EXPECT_EQ(object.NumberOr("n", -1), 4.5);
+  EXPECT_EQ(object.NumberOr("missing", -1), -1);
+  EXPECT_EQ(object.NumberOr("s", -1), -1);  // wrong type -> fallback
+  EXPECT_EQ(object.StringOr("s", "?"), "text");
+  EXPECT_EQ(object.StringOr("missing", "?"), "?");
+  EXPECT_EQ(object.StringOr("n", "?"), "?");
+}
+
+TEST(JsonTest, ArrayAppendAndDump) {
+  Json array = Json::Array();
+  array.Append(1);
+  array.Append("two");
+  array.Append(Json());
+  EXPECT_EQ(array.Dump(), "[1,\"two\",null]");
+  EXPECT_EQ(array.items().size(), 3u);
+}
+
+TEST(JsonTest, StringEscapesDump) {
+  EXPECT_EQ(Json("a\"b\\c\nd\te\r").Dump(),
+            "\"a\\\"b\\\\c\\nd\\te\\r\"");
+  EXPECT_EQ(Json(std::string("\x01")).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->bool_value());
+  EXPECT_FALSE(Json::Parse("false")->bool_value());
+  EXPECT_EQ(Json::Parse("-12.5e2")->number_value(), -1250.0);
+  EXPECT_EQ(Json::Parse("\"ok\"")->string_value(), "ok");
+}
+
+TEST(JsonTest, ParseWhitespaceAndNesting) {
+  Result<Json> doc = Json::Parse("  { \"a\" : [ 1 , { \"b\" : [] } ] }  ");
+  ASSERT_TRUE(doc.ok());
+  const Json* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 2u);
+  EXPECT_EQ(a->items()[0].number_value(), 1.0);
+  EXPECT_TRUE(a->items()[1].Find("b")->is_array());
+}
+
+TEST(JsonTest, ParseStringEscapes) {
+  EXPECT_EQ(Json::Parse("\"a\\nb\\tc\\\"d\\\\e\\/f\"")->string_value(),
+            "a\nb\tc\"d\\e/f");
+  // \u00e9 is é (U+00E9 -> two UTF-8 bytes).
+  EXPECT_EQ(Json::Parse("\"caf\\u00e9\"")->string_value(), "caf\xc3\xa9");
+  // Surrogate pair for U+1F600.
+  EXPECT_EQ(Json::Parse("\"\\ud83d\\ude00\"")->string_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "{1:2}", "tru", "nul",
+        "\"unterminated", "\"bad\\q\"", "\"\\u12g4\"", "\"\\ud800\"",
+        "01", "1.", "1e", "-", "[1] trailing", "{\"a\":1,}"}) {
+    Result<Json> doc = Json::Parse(bad);
+    EXPECT_FALSE(doc.ok()) << "input: " << bad;
+    EXPECT_EQ(doc.status().code(), StatusCode::kCorruption)
+        << "input: " << bad;
+  }
+}
+
+TEST(JsonTest, ParseRejectsRawControlCharacterInString) {
+  EXPECT_FALSE(Json::Parse("\"a\nb\"").ok());
+}
+
+TEST(JsonTest, ParseRejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+  std::string shallow(30, '[');
+  shallow += std::string(30, ']');
+  EXPECT_TRUE(Json::Parse(shallow).ok());
+}
+
+TEST(JsonTest, DumpParseRoundTripOfCompoundDocument) {
+  Json doc = Json::Object();
+  doc.Set("schema_version", 1);
+  Json cases = Json::Array();
+  Json c = Json::Object();
+  c.Set("name", "fig7/AP");
+  c.Set("seconds_min", 0.00123);
+  c.Set("ok", true);
+  cases.Append(std::move(c));
+  doc.Set("cases", std::move(cases));
+
+  const std::string text = doc.Dump();
+  Result<Json> reparsed = Json::Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  // Serialization is canonical: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(reparsed->Dump(), text);
+  EXPECT_EQ(reparsed->NumberOr("schema_version", -1), 1.0);
+  EXPECT_EQ(reparsed->Find("cases")->items()[0].StringOr("name", ""),
+            "fig7/AP");
+}
+
+TEST(JsonTest, JsonFormatNumberMatchesDump) {
+  EXPECT_EQ(JsonFormatNumber(5.0), "5");
+  EXPECT_EQ(JsonFormatNumber(0.25), "0.25");
+  EXPECT_EQ(JsonFormatNumber(std::nan("")), "null");
+}
+
+TEST(JsonTest, JsonQuoteEscapes) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,117 @@
+// bench_diff: compare two BENCH_<suite>.json reports (emitted by the
+// bench harness / bench_runner) and fail on performance regressions.
+//
+//   bench_diff BASELINE.json CURRENT.json [--threshold 0.25]
+//              [--min-seconds 0.005] [--metric min|median]
+//              [--fail-on-missing]
+//
+// Prints a per-case delta table; exits 0 when no case regresses beyond
+// the threshold, 1 on regression, 2 on usage or input errors.  CI runs
+// this against bench/baselines/BENCH_smoke.json (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_diff_lib.h"
+
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--threshold X]\n"
+               "          [--min-seconds X] [--metric min|median]\n"
+               "          [--fail-on-missing]\n",
+               argv0);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  corekit::bench_diff::DiffOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& flag,
+                        std::string* out) -> bool {
+      if (arg == flag) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                       flag.c_str());
+          std::exit(2);
+        }
+        *out = argv[++i];
+        return true;
+      }
+      if (arg.size() > flag.size() + 1 &&
+          arg.compare(0, flag.size(), flag) == 0 &&
+          arg[flag.size()] == '=') {
+        *out = arg.substr(flag.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (value_of("--threshold", &value)) {
+      options.threshold = std::atof(value.c_str());
+    } else if (value_of("--min-seconds", &value)) {
+      options.min_seconds = std::atof(value.c_str());
+    } else if (value_of("--metric", &value)) {
+      options.metric = value;
+    } else if (arg == "--fail-on-missing") {
+      options.fail_on_missing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!ReadFile(paths[0], &baseline_text)) {
+    std::fprintf(stderr, "%s: cannot read baseline %s\n", argv[0],
+                 paths[0].c_str());
+    return 2;
+  }
+  if (!ReadFile(paths[1], &current_text)) {
+    std::fprintf(stderr, "%s: cannot read current %s\n", argv[0],
+                 paths[1].c_str());
+    return 2;
+  }
+
+  const corekit::Result<corekit::bench_diff::DiffReport> report =
+      corekit::bench_diff::DiffReportTexts(baseline_text, current_text,
+                                           options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::cout << "bench_diff: " << paths[0] << " -> " << paths[1] << "\n";
+  PrintDiffReport(*report, options, std::cout);
+  return report->failed ? 1 : 0;
+}

@@ -1,0 +1,166 @@
+#include "bench_diff_lib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "corekit/util/table_printer.h"
+
+namespace corekit::bench_diff {
+
+namespace {
+
+// Must track bench::kBenchSchemaVersion (bench/harness/harness.h); kept
+// as a local constant so this library links without the bench harness.
+constexpr int kSupportedSchemaVersion = 1;
+
+Status ValidateReport(const Json& report, const char* label) {
+  if (!report.is_object()) {
+    return Status::InvalidArgument(std::string(label) +
+                                   ": not a JSON object");
+  }
+  const double version = report.NumberOr("schema_version", -1);
+  if (version != kSupportedSchemaVersion) {
+    return Status::InvalidArgument(
+        std::string(label) + ": unsupported schema_version " +
+        std::to_string(version) + " (expected " +
+        std::to_string(kSupportedSchemaVersion) + ")");
+  }
+  const Json* cases = report.Find("cases");
+  if (cases == nullptr || !cases->is_array()) {
+    return Status::InvalidArgument(std::string(label) +
+                                   ": missing 'cases' array");
+  }
+  return Status::OK();
+}
+
+// The chosen timing field of one case, or nullopt if absent/invalid.
+std::optional<double> CaseSeconds(const Json& c, const std::string& metric) {
+  const std::string key = "seconds_" + metric;
+  const Json* value = c.Find(key);
+  if (value == nullptr || !value->is_number()) return std::nullopt;
+  return value->number_value();
+}
+
+const Json* FindCase(const Json& report, const std::string& name) {
+  const Json* cases = report.Find("cases");
+  for (const Json& c : cases->items()) {
+    if (c.is_object() && c.StringOr("name", "") == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string FormatOptSeconds(const std::optional<double>& seconds) {
+  return seconds.has_value() ? TablePrinter::FormatSeconds(*seconds) : "-";
+}
+
+}  // namespace
+
+Result<DiffReport> DiffReports(const Json& baseline, const Json& current,
+                               const DiffOptions& options) {
+  COREKIT_RETURN_IF_ERROR(ValidateReport(baseline, "baseline"));
+  COREKIT_RETURN_IF_ERROR(ValidateReport(current, "current"));
+  if (options.metric != "min" && options.metric != "median") {
+    return Status::InvalidArgument("unknown metric '" + options.metric +
+                                   "' (expected min or median)");
+  }
+  const std::string baseline_suite = baseline.StringOr("suite", "");
+  const std::string current_suite = current.StringOr("suite", "");
+  if (baseline_suite != current_suite) {
+    return Status::InvalidArgument("suite mismatch: baseline '" +
+                                   baseline_suite + "' vs current '" +
+                                   current_suite + "'");
+  }
+
+  DiffReport report;
+  for (const Json& base_case : baseline.Find("cases")->items()) {
+    if (!base_case.is_object()) continue;
+    const std::string name = base_case.StringOr("name", "");
+    if (name.empty()) continue;
+    CaseDiff diff;
+    diff.name = name;
+    diff.baseline_seconds = CaseSeconds(base_case, options.metric);
+    if (const Json* cur_case = FindCase(current, name);
+        cur_case != nullptr) {
+      diff.current_seconds = CaseSeconds(*cur_case, options.metric);
+    } else {
+      ++report.missing_in_current;
+      if (options.fail_on_missing) diff.regressed = true;
+    }
+    if (diff.baseline_seconds.has_value() &&
+        diff.current_seconds.has_value() && *diff.baseline_seconds > 0) {
+      diff.relative_delta = (*diff.current_seconds - *diff.baseline_seconds) /
+                            *diff.baseline_seconds;
+      diff.below_noise_floor = *diff.baseline_seconds < options.min_seconds;
+      if (!diff.below_noise_floor &&
+          *diff.relative_delta > options.threshold) {
+        diff.regressed = true;
+      }
+    }
+    if (diff.regressed) ++report.regressions;
+    report.cases.push_back(std::move(diff));
+  }
+  for (const Json& cur_case : current.Find("cases")->items()) {
+    if (!cur_case.is_object()) continue;
+    const std::string name = cur_case.StringOr("name", "");
+    if (name.empty() || FindCase(baseline, name) != nullptr) continue;
+    CaseDiff diff;
+    diff.name = name;
+    diff.current_seconds = CaseSeconds(cur_case, options.metric);
+    ++report.new_in_current;
+    report.cases.push_back(std::move(diff));
+  }
+  report.failed = report.regressions > 0;
+  return report;
+}
+
+Result<DiffReport> DiffReportTexts(std::string_view baseline_text,
+                                   std::string_view current_text,
+                                   const DiffOptions& options) {
+  Result<Json> baseline = Json::Parse(baseline_text);
+  if (!baseline.ok()) {
+    return Status::Corruption("baseline: " + baseline.status().message());
+  }
+  Result<Json> current = Json::Parse(current_text);
+  if (!current.ok()) {
+    return Status::Corruption("current: " + current.status().message());
+  }
+  return DiffReports(*baseline, *current, options);
+}
+
+void PrintDiffReport(const DiffReport& report, const DiffOptions& options,
+                     std::ostream& out) {
+  TablePrinter table({"case", "baseline", "current", "delta", "verdict"});
+  for (const CaseDiff& diff : report.cases) {
+    std::string delta = "-";
+    if (diff.relative_delta.has_value()) {
+      delta = *diff.relative_delta >= 0 ? "+" : "";
+      delta += TablePrinter::FormatDouble(100.0 * *diff.relative_delta, 1);
+      delta += "%";
+    }
+    std::string verdict;
+    if (diff.regressed) {
+      verdict = "REGRESSED";
+    } else if (!diff.baseline_seconds.has_value()) {
+      verdict = "new";
+    } else if (!diff.current_seconds.has_value()) {
+      verdict = "missing";
+    } else if (diff.below_noise_floor) {
+      verdict = "ok (noise floor)";
+    } else {
+      verdict = "ok";
+    }
+    table.AddRow({diff.name, FormatOptSeconds(diff.baseline_seconds),
+                  FormatOptSeconds(diff.current_seconds), delta, verdict});
+  }
+  table.Print(out);
+  out << "\nthreshold +" << 100.0 * options.threshold << "% on seconds_"
+      << options.metric << ", noise floor "
+      << TablePrinter::FormatSeconds(options.min_seconds) << "; "
+      << report.regressions << " regression(s), " << report.missing_in_current
+      << " missing, " << report.new_in_current << " new — "
+      << (report.failed ? "FAIL" : "PASS") << "\n";
+}
+
+}  // namespace corekit::bench_diff

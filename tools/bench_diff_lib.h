@@ -1,0 +1,77 @@
+// The comparison engine behind tools/bench_diff: load two BENCH_<suite>.json
+// reports (emitted by the bench harness, bench/harness/harness.h), match
+// their cases by name, compute per-case deltas on a chosen timing metric,
+// and decide pass/fail against a relative regression threshold.
+//
+// Split from the binary so the logic is unit-testable
+// (tests/tools/bench_diff_test.cc) and reusable from other tooling.
+
+#ifndef COREKIT_TOOLS_BENCH_DIFF_LIB_H_
+#define COREKIT_TOOLS_BENCH_DIFF_LIB_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corekit/util/json.h"
+#include "corekit/util/status.h"
+
+namespace corekit::bench_diff {
+
+struct DiffOptions {
+  // A case fails when (current - baseline) / baseline exceeds this.
+  double threshold = 0.25;
+  // Cases whose baseline time is below this floor never fail — at
+  // micro-scale the delta is timer noise, not a regression (CI runs the
+  // smoke suite on tiny graphs).
+  double min_seconds = 0.005;
+  // Which aggregated sample to compare: "min" (default; robust to
+  // one-off scheduling noise) or "median".
+  std::string metric = "min";
+  // Treat cases present on one side only as a failure (default: report
+  // but pass — suites legitimately gain and lose cases across commits).
+  bool fail_on_missing = false;
+};
+
+struct CaseDiff {
+  std::string name;
+  // Seconds under the chosen metric; nullopt when absent on that side.
+  std::optional<double> baseline_seconds;
+  std::optional<double> current_seconds;
+  // (current - baseline) / baseline; nullopt unless both sides present
+  // and baseline > 0.
+  std::optional<double> relative_delta;
+  // Below options.min_seconds on the baseline side: informational only.
+  bool below_noise_floor = false;
+  // This case alone exceeds the threshold (missing sides count only when
+  // fail_on_missing).
+  bool regressed = false;
+};
+
+struct DiffReport {
+  std::vector<CaseDiff> cases;  // baseline order, new cases appended
+  int regressions = 0;
+  int missing_in_current = 0;
+  int new_in_current = 0;
+  bool failed = false;  // regressions > 0, or missing and fail_on_missing
+};
+
+// Validates the two parsed reports (schema_version must match
+// kBenchSchemaVersion on both sides, suites must agree) and diffs them.
+// InvalidArgument / Corruption on malformed input.
+Result<DiffReport> DiffReports(const Json& baseline, const Json& current,
+                               const DiffOptions& options);
+
+// Parses both documents and diffs them.
+Result<DiffReport> DiffReportTexts(std::string_view baseline_text,
+                                   std::string_view current_text,
+                                   const DiffOptions& options);
+
+// Renders the per-case delta table plus a one-line verdict.
+void PrintDiffReport(const DiffReport& report, const DiffOptions& options,
+                     std::ostream& out);
+
+}  // namespace corekit::bench_diff
+
+#endif  // COREKIT_TOOLS_BENCH_DIFF_LIB_H_
