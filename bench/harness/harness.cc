@@ -37,11 +37,13 @@ double Median(std::vector<double> values) {
 Json StageRecordJson(const StageRecord& record) {
   Json stage = Json::Object();
   stage.Set("name", record.name);
-  stage.Set("builds", record.builds);
-  stage.Set("hits", record.hits);
-  stage.Set("seconds", record.seconds);
-  stage.Set("bytes", record.bytes);
-  stage.Set("threads", static_cast<std::uint64_t>(record.threads));
+  // Explicit loads: the counters are atomics, and atomic -> Json would
+  // need two user-defined conversions.
+  stage.Set("builds", record.builds.load());
+  stage.Set("hits", record.hits.load());
+  stage.Set("seconds", record.seconds.load());
+  stage.Set("bytes", record.bytes.load());
+  stage.Set("threads", static_cast<std::uint64_t>(record.threads.load()));
   return stage;
 }
 

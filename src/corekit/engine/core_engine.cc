@@ -95,15 +95,67 @@ void CoreEngine::WarmUp() {
 }
 
 ThreadPool& CoreEngine::Pool() {
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  std::call_once(pool_once_, [&] {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  });
   return *pool_;
 }
 
-const CoreDecomposition& CoreEngine::Cores() {
-  if (cores_.has_value()) {
-    ++stats_.Get(kStageDecompose).hits;
-    return *cores_;
+// The exactly-once cache protocol every fixed-stage accessor runs:
+//
+//   1. Warm fast path: an acquire load of `ready` (paired with the
+//      builder's release store) also publishes the artifact itself, so
+//      warm readers touch no lock.
+//   2. Cold path: std::call_once elects one builder; racers block until
+//      it finishes, then fall through with `built_here` still false.
+//   3. Accounting: exactly the one builder bumped `builds` (inside
+//      `build`); every other call — racer or warm — counts a hit.  N
+//      threads racing a cold stage therefore report builds == 1 and
+//      hits == N - 1, the invariant the concurrency tests assert.
+template <typename BuildFn>
+void CoreEngine::RunOnce(BuildFlag& flag, const char* stage, BuildFn&& build) {
+  bool built_here = false;
+  if (!flag.ready.load(std::memory_order_acquire)) {
+    std::call_once(flag.once, [&] {
+      build();
+      flag.ready.store(true, std::memory_order_release);
+      built_here = true;
+    });
   }
+  if (!built_here) ++stats_.Get(stage).hits;
+}
+
+const CoreDecomposition& CoreEngine::Cores() {
+  RunOnce(cores_flag_, kStageDecompose, [this] { BuildCores(); });
+  return *cores_;
+}
+
+const OrderedGraph& CoreEngine::Ordered() {
+  RunOnce(ordered_flag_, kStageOrder, [this] { BuildOrdered(); });
+  return *ordered_;
+}
+
+const CoreForest& CoreEngine::Forest() {
+  RunOnce(forest_flag_, kStageForest, [this] { BuildForest(); });
+  return *forest_;
+}
+
+const ComponentLabels& CoreEngine::Components() {
+  RunOnce(components_flag_, kStageComponents, [this] { BuildComponents(); });
+  return *components_;
+}
+
+std::uint64_t CoreEngine::Triangles() {
+  RunOnce(triangles_flag_, kStageTriangles, [this] { BuildTriangles(); });
+  return *triangles_;
+}
+
+std::uint64_t CoreEngine::Triplets() {
+  RunOnce(triplets_flag_, kStageTriplets, [this] { BuildTriplets(); });
+  return *triplets_;
+}
+
+void CoreEngine::BuildCores() {
   std::uint32_t threads = 1;
   Timer timer;
   if (options_.parallel_peel) {
@@ -120,14 +172,9 @@ const CoreDecomposition& CoreEngine::Cores() {
   record.seconds += seconds;
   record.bytes = DecompositionBytes(*cores_);
   record.threads = threads;
-  return *cores_;
 }
 
-const OrderedGraph& CoreEngine::Ordered() {
-  if (ordered_) {
-    ++stats_.Get(kStageOrder).hits;
-    return *ordered_;
-  }
+void CoreEngine::BuildOrdered() {
   const CoreDecomposition& cores = Cores();  // accrues to "decompose"
   Timer timer;
   ordered_ = std::make_unique<OrderedGraph>(*graph_, cores);
@@ -136,14 +183,9 @@ const OrderedGraph& CoreEngine::Ordered() {
   ++record.builds;
   record.seconds += seconds;
   record.bytes = OrderedBytes(*graph_, ordered_->kmax());
-  return *ordered_;
 }
 
-const CoreForest& CoreEngine::Forest() {
-  if (forest_) {
-    ++stats_.Get(kStageForest).hits;
-    return *forest_;
-  }
+void CoreEngine::BuildForest() {
   const CoreDecomposition& cores = Cores();
   Timer timer;
   forest_ = std::make_unique<CoreForest>(*graph_, cores);
@@ -156,14 +198,9 @@ const CoreForest& CoreEngine::Forest() {
       // node_of_vertex_ + subtree_size_: one VertexId-sized entry each per
       // vertex / node, dominated by the per-vertex array.
       2 * static_cast<std::uint64_t>(graph_->NumVertices()) * sizeof(VertexId);
-  return *forest_;
 }
 
-const ComponentLabels& CoreEngine::Components() {
-  if (components_.has_value()) {
-    ++stats_.Get(kStageComponents).hits;
-    return *components_;
-  }
+void CoreEngine::BuildComponents() {
   Timer timer;
   components_ = ConnectedComponents(*graph_);
   const double seconds = timer.ElapsedSeconds();
@@ -171,14 +208,9 @@ const ComponentLabels& CoreEngine::Components() {
   ++record.builds;
   record.seconds += seconds;
   record.bytes = ComponentBytes(*components_);
-  return *components_;
 }
 
-std::uint64_t CoreEngine::Triangles() {
-  if (triangles_.has_value()) {
-    ++stats_.Get(kStageTriangles).hits;
-    return *triangles_;
-  }
+void CoreEngine::BuildTriangles() {
   const OrderedGraph& ordered = Ordered();  // accrues to its own stages
   std::uint32_t threads = 1;
   Timer timer;
@@ -196,14 +228,9 @@ std::uint64_t CoreEngine::Triangles() {
   record.seconds += seconds;
   record.bytes = sizeof(std::uint64_t);
   record.threads = threads;
-  return *triangles_;
 }
 
-std::uint64_t CoreEngine::Triplets() {
-  if (triplets_.has_value()) {
-    ++stats_.Get(kStageTriplets).hits;
-    return *triplets_;
-  }
+void CoreEngine::BuildTriplets() {
   Timer timer;
   triplets_ = CountTriplets(*graph_);
   const double seconds = timer.ElapsedSeconds();
@@ -211,52 +238,65 @@ std::uint64_t CoreEngine::Triplets() {
   ++record.builds;
   record.seconds += seconds;
   record.bytes = sizeof(std::uint64_t);
-  return *triplets_;
 }
 
 const CoreSetProfile& CoreEngine::BestCoreSet(Metric metric) {
-  const std::string stage = CoreSetStageName(metric);
-  auto it = core_set_profiles_.find(metric);
-  if (it != core_set_profiles_.end()) {
-    ++stats_.Get(stage).hits;
-    return it->second;
+  ProfileSlot<CoreSetProfile>* slot;
+  {
+    // Structural lock only: find-or-create the slot, then release.  The
+    // build below runs outside this lock (std::map nodes are stable).
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    slot = &core_set_slots_[metric];
   }
-  const OrderedGraph& ordered = Ordered();
-  Timer timer;
-  CoreSetProfile profile = FindBestCoreSet(ordered, metric);
-  const double seconds = timer.ElapsedSeconds();
-  auto inserted = core_set_profiles_.emplace(metric, std::move(profile));
-  StageRecord& record = stats_.Get(stage);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes = CoreSetProfileBytes(inserted.first->second);
-  return inserted.first->second;
+  bool built_here = false;
+  if (!slot->flag.ready.load(std::memory_order_acquire)) {
+    std::call_once(slot->flag.once, [&] {
+      const OrderedGraph& ordered = Ordered();  // accrues to its own stages
+      Timer timer;
+      slot->profile = FindBestCoreSet(ordered, metric);
+      const double seconds = timer.ElapsedSeconds();
+      StageRecord& record = stats_.Get(CoreSetStageName(metric));
+      ++record.builds;
+      record.seconds += seconds;
+      record.bytes = CoreSetProfileBytes(slot->profile);
+      slot->flag.ready.store(true, std::memory_order_release);
+      built_here = true;
+    });
+  }
+  if (!built_here) ++stats_.Get(CoreSetStageName(metric)).hits;
+  return slot->profile;
 }
 
 const SingleCoreProfile& CoreEngine::BestSingleCore(Metric metric) {
-  const std::string stage = SingleCoreStageName(metric);
-  auto it = single_core_profiles_.find(metric);
-  if (it != single_core_profiles_.end()) {
-    ++stats_.Get(stage).hits;
-    return it->second;
+  ProfileSlot<SingleCoreProfile>* slot;
+  {
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    slot = &single_core_slots_[metric];
   }
-  const OrderedGraph& ordered = Ordered();
-  const CoreForest& forest = Forest();
-  Timer timer;
-  // FindBestSingleCore requires a non-empty forest ("empty graph has no
-  // k-core").  The engine stays total: the empty graph yields an empty
-  // profile (no scores, best_k = 0) instead of tripping the CHECK.
-  SingleCoreProfile profile;
-  if (forest.NumNodes() > 0) {
-    profile = FindBestSingleCore(ordered, forest, metric);
+  bool built_here = false;
+  if (!slot->flag.ready.load(std::memory_order_acquire)) {
+    std::call_once(slot->flag.once, [&] {
+      const OrderedGraph& ordered = Ordered();
+      const CoreForest& forest = Forest();
+      Timer timer;
+      // FindBestSingleCore requires a non-empty forest ("empty graph has
+      // no k-core").  The engine stays total: the empty graph yields an
+      // empty profile (no scores, best_k = 0) instead of tripping the
+      // CHECK.
+      if (forest.NumNodes() > 0) {
+        slot->profile = FindBestSingleCore(ordered, forest, metric);
+      }
+      const double seconds = timer.ElapsedSeconds();
+      StageRecord& record = stats_.Get(SingleCoreStageName(metric));
+      ++record.builds;
+      record.seconds += seconds;
+      record.bytes = SingleCoreProfileBytes(slot->profile);
+      slot->flag.ready.store(true, std::memory_order_release);
+      built_here = true;
+    });
   }
-  const double seconds = timer.ElapsedSeconds();
-  auto inserted = single_core_profiles_.emplace(metric, std::move(profile));
-  StageRecord& record = stats_.Get(stage);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes = SingleCoreProfileBytes(inserted.first->second);
-  return inserted.first->second;
+  if (!built_here) ++stats_.Get(SingleCoreStageName(metric)).hits;
+  return slot->profile;
 }
 
 }  // namespace corekit

@@ -23,16 +23,41 @@
 // search, Opt-D, Opt-SC — hit the cached substrate instead of rebuilding
 // it; the apps layer and the bench harnesses all route through here.
 //
-// Thread-safety: none.  An engine serves one request thread; shard engines
-// per thread for concurrent serving (the cached artifacts are immutable
-// once built, so read-only sharing after warmup is safe).
+// Thread-safety: full — one engine serves any number of client threads
+// (the amortization the paper prices only pays off when many clients
+// share one warmed substrate).  The contract, verified under
+// ThreadSanitizer (tests/engine/concurrent_engine_test.cc, the
+// COREKIT_SANITIZE=thread CI job):
+//
+//   * Exactly-once builds.  Each lazy artifact is guarded by a
+//     std::call_once; N threads racing on a cold stage produce one build
+//     (one cache miss) and N-1 hits, and every thread returns the same
+//     cached object.  Builds run outside any map/registry lock — only
+//     the per-artifact once-flag is held, so different stages (and
+//     different metrics' profiles) build concurrently.
+//   * Race-free instrumentation.  StageStats counters are atomics (see
+//     stage_stats.h); ResetStats() zeroes them in place and is safe
+//     against concurrent readers (no torn counters).
+//   * Safe shared pool.  Concurrent parallel stages serialize on the
+//     ThreadPool's entry mutex (see util/thread_pool.h); num_threads == 1
+//     still degenerates to lock-free serial execution.
+//   * Immutable after publish.  References returned by accessors stay
+//     valid and never move for the engine's lifetime (profiles live in
+//     node-stable maps), so post-warmup reads need no synchronization at
+//     all beyond the accessor's acquire load.
+//
+// The EngineServer harness (engine_server.h) drives one shared engine
+// from K client threads over a mixed query workload; the concurrency
+// tests and bench/ext_concurrency build on it.
 
 #ifndef COREKIT_ENGINE_CORE_ENGINE_H_
 #define COREKIT_ENGINE_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -80,7 +105,11 @@ class CoreEngine {
   const Graph& graph() const { return *graph_; }
   const CoreEngineOptions& options() const { return options_; }
 
-  // --- Cached artifacts (built on first request) -------------------------
+  // --- Cached artifacts (built exactly once, on first request) -----------
+  //
+  // All accessors are safe to call from any number of threads; cold
+  // racers block until the single build finishes, warm calls are an
+  // atomic load plus a hit-counter bump.
 
   const CoreDecomposition& Cores();
   const OrderedGraph& Ordered();
@@ -118,12 +147,45 @@ class CoreEngine {
   const StageStats& stats() const { return stats_; }
   // Serialized stats() for the bench harness / log shipping.
   std::string StatsJson() const { return stats_.ToJson(); }
-  // Zeroes every counter; cached artifacts stay cached (subsequent
-  // requests count as hits).
+  // Zeroes every counter in place; cached artifacts stay cached
+  // (subsequent requests count as hits).  Safe against concurrent
+  // queries: each counter is zeroed atomically, so readers never see a
+  // torn value — though a reader racing the reset may observe some
+  // stages zeroed and others not yet.
   void ResetStats() { stats_.Reset(); }
 
  private:
+  // One exactly-once guard per lazy artifact: `once` elects the single
+  // builder, `ready` is the lock-free warm fast path (set with release
+  // order after the artifact is published).
+  struct BuildFlag {
+    std::once_flag once;
+    std::atomic<bool> ready{false};
+  };
+  // A per-metric profile cache slot.  Slots live in node-stable maps
+  // (created under profile_mutex_, a brief structural lock); the profile
+  // itself is built outside that lock, guarded only by the slot's flag.
+  template <typename Profile>
+  struct ProfileSlot {
+    BuildFlag flag;
+    Profile profile;
+  };
+
   void WarmUp();
+
+  // Build bodies (each runs exactly once, inside its call_once).
+  void BuildCores();
+  void BuildOrdered();
+  void BuildForest();
+  void BuildComponents();
+  void BuildTriangles();
+  void BuildTriplets();
+
+  // Shared exactly-once wrapper: fast acquire path, single build, hit
+  // accounting for everyone else.  `stage` names the StageRecord that
+  // takes the hit.
+  template <typename BuildFn>
+  void RunOnce(BuildFlag& flag, const char* stage, BuildFn&& build);
 
   // Owned storage for the Graph&& constructor; unused when borrowing.
   std::optional<Graph> owned_graph_;
@@ -131,16 +193,29 @@ class CoreEngine {
   CoreEngineOptions options_;
   StageStats stats_;
 
+  std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
+
+  BuildFlag cores_flag_;
+  BuildFlag ordered_flag_;
+  BuildFlag forest_flag_;
+  BuildFlag components_flag_;
+  BuildFlag triangles_flag_;
+  BuildFlag triplets_flag_;
+
   std::optional<CoreDecomposition> cores_;
   std::unique_ptr<OrderedGraph> ordered_;
   std::unique_ptr<CoreForest> forest_;
   std::optional<ComponentLabels> components_;
   std::optional<std::uint64_t> triangles_;
   std::optional<std::uint64_t> triplets_;
-  // std::map: references to mapped profiles stay valid across inserts.
-  std::map<Metric, CoreSetProfile> core_set_profiles_;
-  std::map<Metric, SingleCoreProfile> single_core_profiles_;
+
+  // Guards only the *structure* of the slot maps (slot creation); never
+  // held while a profile builds.  std::map: references to mapped slots
+  // stay valid across inserts.
+  std::mutex profile_mutex_;
+  std::map<Metric, ProfileSlot<CoreSetProfile>> core_set_slots_;
+  std::map<Metric, ProfileSlot<SingleCoreProfile>> single_core_slots_;
 };
 
 }  // namespace corekit

@@ -1,0 +1,149 @@
+#include "corekit/engine/engine_server.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <thread>
+
+#include "corekit/apps/community_search.h"
+#include "corekit/util/random.h"
+#include "corekit/util/timer.h"
+
+namespace corekit {
+
+namespace {
+
+// One-round fold: order-sensitive within a client (answers are tagged
+// with their query index before XOR-ing), stateless across clients.
+std::uint64_t MixInto(std::uint64_t h, std::uint64_t v) {
+  SplitMix64 sm(h ^ (v + 0x9e3779b97f4a7c15ULL));
+  return sm.Next();
+}
+
+std::uint64_t DoubleBits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+// The deterministic per-client workload.  Everything a query does is a
+// pure function of (options.seed, client, query index): the stream draws
+// the same (kind, metric, vertex) triple in the concurrent harness and
+// the serial replay, so checksums are comparable bit-for-bit.
+EngineClientReport RunClient(CoreEngine& engine,
+                             const EngineServerOptions& options,
+                             std::uint32_t client) {
+  EngineClientReport report;
+  report.client = client;
+  SplitMix64 stream(options.seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(client) + 1)));
+  const std::uint64_t n = engine.graph().NumVertices();
+  const std::uint64_t num_kinds = options.community_search ? 6 : 5;
+  constexpr std::uint64_t kNumMetrics =
+      sizeof(kAllMetrics) / sizeof(kAllMetrics[0]);
+  for (std::uint32_t i = 0; i < options.queries_per_client; ++i) {
+    const std::uint64_t kind = stream.Next() % num_kinds;
+    const Metric metric = kAllMetrics[stream.Next() % kNumMetrics];
+    // Drawn unconditionally so the stream stays aligned across kinds.
+    const std::uint64_t pick = stream.Next();
+    std::uint64_t fold = 0;
+    Timer timer;
+    switch (kind) {
+      case 0: {
+        const CoreSetProfile& profile = engine.BestCoreSet(metric);
+        fold = MixInto(MixInto(profile.best_k, DoubleBits(profile.best_score)),
+                       profile.scores.size());
+        break;
+      }
+      case 1: {
+        const SingleCoreProfile& profile = engine.BestSingleCore(metric);
+        fold = MixInto(MixInto(profile.best_k, DoubleBits(profile.best_score)),
+                       MixInto(profile.best_node, profile.scores.size()));
+        break;
+      }
+      case 2:
+        fold = engine.Triangles();
+        break;
+      case 3:
+        fold = engine.Triplets();
+        break;
+      case 4: {
+        const ComponentLabels& components = engine.Components();
+        fold = MixInto(components.num_components, components.label.size());
+        break;
+      }
+      default: {  // community search through the apps layer
+        if (n > 0) {
+          CommunitySearcher searcher(engine, metric);
+          const auto query = static_cast<VertexId>(pick % n);
+          const CommunitySearchResult result = searcher.Search(query);
+          fold = MixInto(MixInto(result.found ? 1u : 0u, result.k),
+                         MixInto(DoubleBits(result.score),
+                                 result.members.size()));
+        }
+        break;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    report.total_seconds += seconds;
+    report.max_seconds = std::max(report.max_seconds, seconds);
+    report.checksum ^=
+        MixInto(fold, (static_cast<std::uint64_t>(i) << 8) | kind);
+    ++report.queries;
+  }
+  return report;
+}
+
+}  // namespace
+
+std::uint64_t EngineServeReport::TotalQueries() const {
+  std::uint64_t total = 0;
+  for (const EngineClientReport& client : clients) total += client.queries;
+  return total;
+}
+
+double EngineServeReport::MaxLatencySeconds() const {
+  double max_seconds = 0.0;
+  for (const EngineClientReport& client : clients) {
+    max_seconds = std::max(max_seconds, client.max_seconds);
+  }
+  return max_seconds;
+}
+
+std::uint64_t EngineServeReport::Checksum() const {
+  std::uint64_t checksum = 0;
+  for (const EngineClientReport& client : clients) {
+    checksum ^= client.checksum;
+  }
+  return checksum;
+}
+
+EngineServeReport ServeQueryMix(CoreEngine& engine,
+                                const EngineServerOptions& options) {
+  EngineServeReport report;
+  report.clients.resize(options.num_clients);
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(options.num_clients);
+  for (std::uint32_t client = 0; client < options.num_clients; ++client) {
+    // Each thread writes only its own report slot; no synchronization
+    // beyond the join is needed.
+    threads.emplace_back([&engine, &options, &report, client] {
+      report.clients[client] = RunClient(engine, options, client);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  report.wall_seconds = wall.ElapsedSeconds();
+  return report;
+}
+
+EngineServeReport ServeQueryMixSerial(CoreEngine& engine,
+                                      const EngineServerOptions& options) {
+  EngineServeReport report;
+  report.clients.reserve(options.num_clients);
+  Timer wall;
+  for (std::uint32_t client = 0; client < options.num_clients; ++client) {
+    report.clients.push_back(RunClient(engine, options, client));
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace corekit

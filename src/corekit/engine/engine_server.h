@@ -1,0 +1,86 @@
+// EngineServer: a multi-client serving harness over one shared CoreEngine.
+//
+// The paper's space/time-optimal substrate pays for itself when it is
+// built once and amortized across many queries; the natural deployment is
+// therefore a *server* — one warmed (or cold) CoreEngine answering
+// best-k / community-search / counting queries from many clients at once.
+// ServeQueryMix is that deployment in miniature: it spawns K client
+// threads, each issuing a deterministic pseudo-random mix of queries
+// against the shared engine —
+//
+//   * BestCoreSet(metric)     (Problem 1, Algorithms 2/3)
+//   * BestSingleCore(metric)  (Problem 2, Algorithm 5)
+//   * Triangles / Triplets    (global counting stages)
+//   * Components              (BFS labeling)
+//   * CommunitySearcher::Search(v)  (the apps-layer consumer, optional)
+//
+// — and reports per-client latency plus an order-independent checksum
+// folding every answer.  The mix for client c under seed s is a pure
+// function of (s, c, i), so ServeQueryMixSerial (same mix, one thread,
+// typically against a fresh engine) produces a reference checksum that a
+// concurrent run must reproduce bit-for-bit.  The concurrency test suite
+// and bench/ext_concurrency are built on exactly that comparison.
+
+#ifndef COREKIT_ENGINE_ENGINE_SERVER_H_
+#define COREKIT_ENGINE_ENGINE_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/engine/core_engine.h"
+
+namespace corekit {
+
+struct EngineServerOptions {
+  // Client threads to spawn (ServeQueryMix) / client streams to replay
+  // (ServeQueryMixSerial).
+  std::uint32_t num_clients = 8;
+  // Queries each client issues.
+  std::uint32_t queries_per_client = 32;
+  // Seed for the deterministic query mix.
+  std::uint64_t seed = 0xC04EC1D5ULL;
+  // Include community-search queries (drags in the apps layer on top of
+  // the engine caches).  Off when benchmarking raw engine stages only.
+  bool community_search = true;
+};
+
+// What one client measured.
+struct EngineClientReport {
+  std::uint32_t client = 0;
+  std::uint64_t queries = 0;
+  // Per-client total and worst single-query latency.  In the concurrent
+  // harness a cold-stage query includes time spent blocked on (or doing)
+  // the build — the latency a real client would see.
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+  // Fold of every answer this client saw (tagged by query index, so a
+  // reordered or dropped answer changes the value).
+  std::uint64_t checksum = 0;
+};
+
+struct EngineServeReport {
+  std::vector<EngineClientReport> clients;
+  // Wall time of the whole serve (threads launched -> all joined).
+  double wall_seconds = 0.0;
+
+  std::uint64_t TotalQueries() const;
+  double MaxLatencySeconds() const;
+  // XOR over client checksums: order-independent, so a concurrent run and
+  // a serial replay of the same mix must agree exactly.
+  std::uint64_t Checksum() const;
+};
+
+// Serves the query mix from options.num_clients concurrent threads, all
+// sharing `engine` (and its caches).  Blocks until every client finishes.
+EngineServeReport ServeQueryMix(CoreEngine& engine,
+                                const EngineServerOptions& options);
+
+// Replays the identical mix on the calling thread, client by client.
+// Running this against a fresh engine yields the reference checksum for a
+// concurrent run over the same graph and options.
+EngineServeReport ServeQueryMixSerial(CoreEngine& engine,
+                                      const EngineServerOptions& options);
+
+}  // namespace corekit
+
+#endif  // COREKIT_ENGINE_ENGINE_SERVER_H_

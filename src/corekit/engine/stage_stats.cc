@@ -20,6 +20,7 @@ void AppendCounters(std::string& out, std::uint64_t builds, std::uint64_t hits,
 }  // namespace
 
 StageRecord& StageStats::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (StageRecord& record : records_) {
     if (record.name == name) return record;
   }
@@ -29,53 +30,91 @@ StageRecord& StageStats::Get(std::string_view name) {
 }
 
 const StageRecord* StageStats::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const StageRecord& record : records_) {
     if (record.name == name) return &record;
   }
   return nullptr;
 }
 
+std::vector<StageRecord> StageStats::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<StageRecord>(records_.begin(), records_.end());
+}
+
 std::uint64_t StageStats::TotalBuilds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
-  for (const StageRecord& record : records_) total += record.builds;
+  for (const StageRecord& record : records_) {
+    total += record.builds.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 std::uint64_t StageStats::TotalHits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
-  for (const StageRecord& record : records_) total += record.hits;
+  for (const StageRecord& record : records_) {
+    total += record.hits.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 double StageStats::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
-  for (const StageRecord& record : records_) total += record.seconds;
+  for (const StageRecord& record : records_) {
+    total += record.seconds.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 std::uint64_t StageStats::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
-  for (const StageRecord& record : records_) total += record.bytes;
+  for (const StageRecord& record : records_) {
+    total += record.bytes.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
+void StageStats::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (StageRecord& record : records_) record.Zero();
+}
+
 std::string StageStats::ToJson() const {
+  // Snapshot first so the totals always equal the per-stage sums even
+  // while other threads keep counting.
+  const std::vector<StageRecord> snapshot = records();
   std::string out = "{\"schema_version\":" +
                     std::to_string(kStageStatsSchemaVersion) + ",\"stages\":[";
+  std::uint64_t total_builds = 0;
+  std::uint64_t total_hits = 0;
+  double total_seconds = 0.0;
+  std::uint64_t total_bytes = 0;
   bool first = true;
-  for (const StageRecord& record : records_) {
+  for (const StageRecord& record : snapshot) {
     if (!first) out += ',';
     first = false;
+    const std::uint64_t builds = record.builds.load(std::memory_order_relaxed);
+    const std::uint64_t hits = record.hits.load(std::memory_order_relaxed);
+    const double seconds = record.seconds.load(std::memory_order_relaxed);
+    const std::uint64_t bytes = record.bytes.load(std::memory_order_relaxed);
+    total_builds += builds;
+    total_hits += hits;
+    total_seconds += seconds;
+    total_bytes += bytes;
     // Stage names are fixed identifiers ("decompose", "coreset[ad]", ...);
     // no JSON escaping is required.
     out += "{\"name\":\"" + record.name + "\",";
-    AppendCounters(out, record.builds, record.hits, record.seconds,
-                   record.bytes);
-    out += ",\"threads\":" + std::to_string(record.threads) + "}";
+    AppendCounters(out, builds, hits, seconds, bytes);
+    out += ",\"threads\":" +
+           std::to_string(record.threads.load(std::memory_order_relaxed)) +
+           "}";
   }
   out += "],\"totals\":{";
-  AppendCounters(out, TotalBuilds(), TotalHits(), TotalSeconds(),
-                 TotalBytes());
+  AppendCounters(out, total_builds, total_hits, total_seconds, total_bytes);
   out += "}}";
   return out;
 }

@@ -9,11 +9,22 @@
 //
 // The bench harnesses read individual records (per-stage timing columns of
 // Figures 7/8) and the serving layer dumps the whole structure as JSON.
+//
+// Thread-safety: full.  Counters are atomics, so concurrent clients of a
+// shared CoreEngine bump hits/builds race-free; the record registry is
+// guarded by an internal mutex, and records are node-stable (a pointer
+// from Find() stays valid, and live, for the StageStats' lifetime).
+// Reset() zeroes the counters atomically in place — concurrent readers
+// never observe a torn counter, though across *different* counters they
+// may see a mix of pre- and post-reset values.
 
 #ifndef COREKIT_ENGINE_STAGE_STATS_H_
 #define COREKIT_ENGINE_STAGE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,34 +35,68 @@ namespace corekit {
 // harness, bench_diff, log shipping) key on this; bump it whenever a
 // stage name, field key, or the overall shape changes, and update the
 // schema golden test (tests/engine/stage_stats_schema_test.cc) in the
-// same commit.
+// same commit.  (The counters becoming atomic did not change the shape,
+// so the version stayed at 1.)
 inline constexpr int kStageStatsSchemaVersion = 1;
 
 struct StageRecord {
   std::string name;
   // Times the stage actually ran (== cache misses for lazy artifacts).
-  std::uint64_t builds = 0;
+  std::atomic<std::uint64_t> builds{0};
   // Requests served from the cached artifact without rebuilding.
-  std::uint64_t hits = 0;
+  std::atomic<std::uint64_t> hits{0};
   // Total wall seconds across all builds of this stage.
-  double seconds = 0.0;
+  std::atomic<double> seconds{0.0};
   // Estimated bytes held by the artifact after the last build.
-  std::uint64_t bytes = 0;
+  std::atomic<std::uint64_t> bytes{0};
   // Threads used by the last build (1 for sequential stages).
-  std::uint32_t threads = 1;
+  std::atomic<std::uint32_t> threads{1};
+
+  StageRecord() = default;
+  // Copies are point-in-time snapshots (each counter loaded atomically);
+  // the bench harness stores them per case.
+  StageRecord(const StageRecord& other) { *this = other; }
+  StageRecord& operator=(const StageRecord& other) {
+    name = other.name;
+    builds.store(other.builds.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    hits.store(other.hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    seconds.store(other.seconds.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    bytes.store(other.bytes.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    threads.store(other.threads.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Zeroes every counter (threads back to its 1 default).  Atomic per
+  // counter; see the Reset() contract above.
+  void Zero() {
+    builds.store(0, std::memory_order_relaxed);
+    hits.store(0, std::memory_order_relaxed);
+    seconds.store(0.0, std::memory_order_relaxed);
+    bytes.store(0, std::memory_order_relaxed);
+    threads.store(1, std::memory_order_relaxed);
+  }
 };
 
 class StageStats {
  public:
-  // The record for `name`, created zeroed on first use.  The reference is
-  // invalidated by the next Get() of a new name.
+  // The live record for `name`, created zeroed on first use.  Records are
+  // node-stable: the reference stays valid (and keeps counting) for the
+  // StageStats' lifetime, across later Get()s of new names.
   StageRecord& Get(std::string_view name);
 
-  // The record for `name`, or nullptr if the stage never appeared.
+  // The live record for `name`, or nullptr if the stage never appeared.
+  // The pointer observes later counter updates (tests watch it move).
   const StageRecord* Find(std::string_view name) const;
 
-  // Records in first-touch order.
-  const std::vector<StageRecord>& records() const { return records_; }
+  // Snapshot of every record, in first-touch order.  Returns by value so
+  // the copy is consistent with concurrent record creation; individual
+  // counters are loaded atomically.
+  std::vector<StageRecord> records() const;
 
   // Aggregates across all stages.
   std::uint64_t TotalBuilds() const;
@@ -59,8 +104,11 @@ class StageStats {
   double TotalSeconds() const;
   std::uint64_t TotalBytes() const;
 
-  // Drops every record (counters restart from zero).
-  void Reset() { records_.clear(); }
+  // Zeroes every counter in place; the stage rows themselves (and any
+  // live pointer from Find()) survive, so a stage touched before the
+  // reset reappears in ToJson() with zero counters.  Safe to call while
+  // other threads are recording (no torn reads — see the header comment).
+  void Reset();
 
   // Machine-readable dump for the bench harness / serving layer:
   //   {"schema_version":1,
@@ -72,7 +120,11 @@ class StageStats {
   std::string ToJson() const;
 
  private:
-  std::vector<StageRecord> records_;
+  // Guards the registry structure (record creation and iteration); the
+  // counters inside each record are atomics and need no lock.
+  mutable std::mutex mutex_;
+  // deque: node-stable, so Get()/Find() references survive growth.
+  std::deque<StageRecord> records_;
 };
 
 }  // namespace corekit

@@ -6,6 +6,20 @@
 
 namespace corekit {
 
+namespace {
+
+// The pool whose job chunks the current thread is executing right now
+// (caller or worker), nullptr outside any ParallelFor body.  Reentrancy
+// detection: a nested ParallelFor on the same pool is a programming error
+// that would otherwise self-deadlock on entry_mutex_ (caller) or starve
+// forever (worker); the thread-local marker lets Debug builds fail loudly
+// *before* touching any lock, deterministically on every thread count —
+// while a concurrent call from an unrelated thread (tls_draining_pool ==
+// nullptr there) passes and simply queues at the entry mutex.
+thread_local const ThreadPool* tls_draining_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::uint32_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -27,13 +41,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::DrainCurrentJob() {
+  const ThreadPool* previous = tls_draining_pool;
+  tls_draining_pool = this;
   while (true) {
     const std::size_t begin =
         next_index_.fetch_add(job_chunk_, std::memory_order_relaxed);
-    if (begin >= job_total_) return;
+    if (begin >= job_total_) break;
     const std::size_t end = std::min(job_total_, begin + job_chunk_);
     (*job_fn_)(begin, end);
   }
+  tls_draining_pool = previous;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -61,21 +78,26 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   COREKIT_CHECK_GT(chunk, 0u);
   if (total == 0) return;
-  // Nested calls (from fn, on any thread) would deadlock on the shared job
-  // state; fail loudly instead.  The flag is enforced on the serial fast
-  // path too: whether a nested call deadlocks depends on the thread count,
-  // so a debug run must trip even where release would happen to survive.
-  // Under NDEBUG the exchange is not evaluated (zero release overhead).
-  COREKIT_DCHECK(!in_flight_.exchange(true, std::memory_order_acq_rel));
+  // Reentrancy (a nested call from inside fn, on any thread of this pool)
+  // would self-deadlock below; fail loudly first.  Checked before any
+  // lock so the failure is deterministic on every thread count.  Under
+  // NDEBUG the marker test is not evaluated (zero release overhead).
+  COREKIT_DCHECK(tls_draining_pool != this);
   if (num_threads_ == 1 || total <= chunk) {
-    // Serial fast path.
+    // Serial fast path: locals only, so concurrent callers need no lock
+    // here (and a 1-thread pool stays lock-free under contention).  The
+    // marker still guards against nesting.
+    const ThreadPool* previous = tls_draining_pool;
+    tls_draining_pool = this;
     for (std::size_t begin = 0; begin < total; begin += chunk) {
       fn(begin, std::min(total, begin + chunk));
     }
-    in_flight_.store(false, std::memory_order_release);
+    tls_draining_pool = previous;
     return;
   }
 
+  // One job owns the pool at a time; concurrent callers queue here.
+  std::lock_guard<std::mutex> entry(entry_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_fn_ = &fn;
@@ -96,7 +118,6 @@ void ThreadPool::ParallelFor(
     return active_workers_.load(std::memory_order_acquire) == 0;
   });
   job_fn_ = nullptr;
-  in_flight_.store(false, std::memory_order_release);
 }
 
 }  // namespace corekit

@@ -10,6 +10,16 @@
 // disjoint ranges covering [0, total) and returns when all ranges are
 // done.  fn runs concurrently on pool threads AND the calling thread;
 // exceptions are not supported (corekit is exception-free).
+//
+// Concurrency: ParallelFor may be called from multiple threads at once
+// (the shared-CoreEngine serving path).  Calls serialize on an internal
+// entry mutex — one job drains the pool at a time, later callers queue at
+// the entry and run their jobs back to back.  What stays forbidden is
+// *reentrancy*: fn must not call ParallelFor on the same pool (from the
+// caller or a worker) — that would self-deadlock on the entry hand-off,
+// so Debug builds trip a COREKIT_DCHECK via a thread-local "currently
+// draining this pool" marker before touching any lock.  Nesting into a
+// *different* pool remains allowed.
 
 #ifndef COREKIT_UTIL_THREAD_POOL_H_
 #define COREKIT_UTIL_THREAD_POOL_H_
@@ -28,7 +38,9 @@ class ThreadPool {
  public:
   // `num_threads` = 0 picks hardware concurrency (at least 1).  The pool
   // owns num_threads - 1 workers; the calling thread participates in
-  // every ParallelFor, so num_threads == 1 degenerates to serial.
+  // every ParallelFor, so num_threads == 1 degenerates to serial (no
+  // workers are spawned, fn runs entirely on the calling thread, and no
+  // lock is taken on the serial fast path).
   explicit ThreadPool(std::uint32_t num_threads = 0);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -37,9 +49,9 @@ class ThreadPool {
   std::uint32_t num_threads() const { return num_threads_; }
 
   // Runs fn(begin, end) over chunks of [0, total).  Blocks until done.
-  // Not reentrant (no nested ParallelFor from inside fn, on any thread):
-  // a nested call would deadlock on the shared job state.  Debug builds
-  // enforce this with a COREKIT_DCHECK on an in-flight flag.
+  // Safe to call concurrently from several threads (calls serialize, see
+  // the header comment); NOT reentrant — no nested ParallelFor on the
+  // same pool from inside fn, enforced by a COREKIT_DCHECK in Debug.
   void ParallelFor(std::size_t total, std::size_t chunk,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -51,20 +63,22 @@ class ThreadPool {
   std::uint32_t num_threads_;
   std::vector<std::thread> workers_;
 
+  // Serializes concurrent ParallelFor callers: held for the whole span of
+  // one job so the shared job state below is owned by exactly one caller.
+  std::mutex entry_mutex_;
+
   std::mutex mutex_;
   std::condition_variable wake_workers_;
   std::condition_variable job_done_;
   bool shutting_down_ = false;
 
-  // Current job state.
+  // Current job state (owned by the entry_mutex_ holder).
   std::uint64_t job_id_ = 0;  // incremented per ParallelFor
   const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
   std::size_t job_total_ = 0;
   std::size_t job_chunk_ = 1;
   std::atomic<std::size_t> next_index_{0};
   std::atomic<std::uint32_t> active_workers_{0};
-  // Set for the duration of a ParallelFor; nested calls trip the DCHECK.
-  std::atomic<bool> in_flight_{false};
 };
 
 }  // namespace corekit

@@ -1,0 +1,306 @@
+// Concurrency suite for the shared CoreEngine (run under TSan in CI).
+//
+// The engine's contract is that one instance serves any number of client
+// threads: cold races elect exactly one builder per stage, warm queries
+// are lock-free reads, and the answers are bit-identical to a fresh
+// single-threaded engine over the same graph.  These tests drive a shared
+// engine hard from many threads and then assert the exactly-once
+// accounting, pointer identity of the cached artifacts, and the
+// differential against a serial reference — including through the
+// EngineServer harness and with the parallel substrate options turned on
+// (which exercises concurrent entry into the shared ThreadPool).
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/corekit.h"
+#include "corekit/engine/engine_server.h"
+
+namespace corekit {
+namespace {
+
+constexpr std::uint32_t kClientThreads = 8;
+
+Graph MakeTestGraph(int which, std::uint64_t seed) {
+  switch (which) {
+    case 0:
+      return GenerateErdosRenyi(150, 900, seed);
+    case 1:
+      return GenerateBarabasiAlbert(150, 4, seed);
+    case 2: {
+      LfrLikeParams lfr;
+      lfr.num_vertices = 150;
+      lfr.min_degree = 4;
+      lfr.max_degree = 20;
+      lfr.min_community = 15;
+      lfr.max_community = 50;
+      lfr.mu = 0.25;
+      lfr.seed = seed;
+      return GenerateLfrLike(lfr).graph;
+    }
+    default: {
+      RmatParams rmat;
+      rmat.scale = 8;
+      rmat.num_edges = 1500;
+      rmat.seed = seed;
+      return GenerateRmat(rmat);
+    }
+  }
+}
+
+const char* GraphTag(int which) {
+  switch (which) {
+    case 0:
+      return "ER";
+    case 1:
+      return "BA";
+    case 2:
+      return "LFR";
+    default:
+      return "RMAT";
+  }
+}
+
+// Runs `client` on kClientThreads threads and joins them.
+void RunClients(const std::function<void(std::uint32_t)>& client) {
+  std::vector<std::thread> threads;
+  threads.reserve(kClientThreads);
+  for (std::uint32_t t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&client, t] { client(t); });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+// Every stage the engine ever recorded must have been built exactly once,
+// no matter how many threads raced it cold.
+void ExpectExactlyOnceBuilds(const CoreEngine& engine) {
+  const std::vector<StageRecord> records = engine.stats().records();
+  EXPECT_FALSE(records.empty());
+  for (const StageRecord& record : records) {
+    EXPECT_EQ(record.builds.load(), 1u) << "stage " << record.name;
+  }
+}
+
+TEST(ConcurrentCoreEngineTest, ColdStormBuildsEveryStageExactlyOnce) {
+  const Graph graph = MakeTestGraph(0, 42);
+  CoreEngine engine(graph);
+  RunClients([&engine](std::uint32_t) {
+    for (const Metric metric : kAllMetrics) {
+      (void)engine.BestCoreSet(metric);
+      (void)engine.BestSingleCore(metric);
+    }
+    (void)engine.Cores();
+    (void)engine.Ordered();
+    (void)engine.Forest();
+    (void)engine.Components();
+    (void)engine.Triangles();
+    (void)engine.Triplets();
+  });
+  ExpectExactlyOnceBuilds(engine);
+  // Every accessor call is exactly one build-or-hit event on its own
+  // stage.  The 8 threads issue 18 direct queries each; on top of that,
+  // the 18 one-time build bodies make dependency calls of their own
+  // (order->cores, forest->cores, triangles->ordered, each coreset->
+  // ordered, each singlecore->ordered+forest), which count against the
+  // dependency's stage.  Both totals are deterministic however the
+  // threads interleave.
+  const std::uint64_t kMetrics = sizeof(kAllMetrics) / sizeof(kAllMetrics[0]);
+  const std::uint64_t kStages = 6 + 2 * kMetrics;
+  const std::uint64_t kDependencyEvents = 3 + kMetrics + 2 * kMetrics;
+  EXPECT_EQ(engine.stats().TotalBuilds(), kStages);
+  EXPECT_EQ(engine.stats().TotalBuilds() + engine.stats().TotalHits(),
+            kClientThreads * kStages + kDependencyEvents);
+}
+
+TEST(ConcurrentCoreEngineTest, AllThreadsSeeTheSameCachedArtifacts) {
+  const Graph graph = MakeTestGraph(1, 7);
+  CoreEngine engine(graph);
+  std::vector<const CoreDecomposition*> cores(kClientThreads, nullptr);
+  std::vector<const OrderedGraph*> ordered(kClientThreads, nullptr);
+  std::vector<const CoreSetProfile*> profiles(kClientThreads, nullptr);
+  RunClients([&](std::uint32_t t) {
+    cores[t] = &engine.Cores();
+    ordered[t] = &engine.Ordered();
+    profiles[t] = &engine.BestCoreSet(Metric::kAverageDegree);
+  });
+  for (std::uint32_t t = 1; t < kClientThreads; ++t) {
+    EXPECT_EQ(cores[t], cores[0]);
+    EXPECT_EQ(ordered[t], ordered[0]);
+    EXPECT_EQ(profiles[t], profiles[0]);
+  }
+}
+
+// The heart of the suite: a shared engine hammered by K threads across M
+// metrics must produce profiles bit-identical to a fresh single-threaded
+// engine, for every generator family.
+TEST(ConcurrentCoreEngineTest, SharedEngineMatchesSerialReferenceBitwise) {
+  for (int which = 0; which < 4; ++which) {
+    SCOPED_TRACE(GraphTag(which));
+    const Graph graph =
+        MakeTestGraph(which, 1000 + static_cast<std::uint64_t>(which));
+
+    CoreEngine shared(graph);
+    RunClients([&shared](std::uint32_t t) {
+      // Stagger the query order per thread so different stages race cold.
+      const std::uint64_t kMetrics =
+          sizeof(kAllMetrics) / sizeof(kAllMetrics[0]);
+      for (std::uint64_t i = 0; i < kMetrics; ++i) {
+        const Metric metric = kAllMetrics[(i + t) % kMetrics];
+        (void)shared.BestCoreSet(metric);
+        (void)shared.BestSingleCore(metric);
+      }
+    });
+
+    CoreEngine reference(graph);
+    for (const Metric metric : kAllMetrics) {
+      SCOPED_TRACE(MetricShortName(metric));
+      const CoreSetProfile& got = shared.BestCoreSet(metric);
+      const CoreSetProfile ref = reference.BestCoreSet(metric);
+      EXPECT_EQ(got.best_k, ref.best_k);
+      EXPECT_EQ(got.best_score, ref.best_score);  // bitwise, not NEAR
+      ASSERT_EQ(got.scores.size(), ref.scores.size());
+      for (std::size_t k = 0; k < got.scores.size(); ++k) {
+        EXPECT_EQ(got.scores[k], ref.scores[k]) << "k=" << k;
+      }
+      const SingleCoreProfile& got_single = shared.BestSingleCore(metric);
+      const SingleCoreProfile ref_single = reference.BestSingleCore(metric);
+      EXPECT_EQ(got_single.best_k, ref_single.best_k);
+      EXPECT_EQ(got_single.best_node, ref_single.best_node);
+      EXPECT_EQ(got_single.best_score, ref_single.best_score);
+      ASSERT_EQ(got_single.scores.size(), ref_single.scores.size());
+      for (std::size_t i = 0; i < got_single.scores.size(); ++i) {
+        EXPECT_EQ(got_single.scores[i], ref_single.scores[i]) << "node=" << i;
+      }
+    }
+    ExpectExactlyOnceBuilds(shared);
+  }
+}
+
+TEST(ConcurrentCoreEngineTest, WarmEngineServesHitsWithoutRebuilding) {
+  const Graph graph = MakeTestGraph(2, 9);
+  CoreEngine engine(graph);
+  // Warm every stage serially first.
+  for (const Metric metric : kAllMetrics) {
+    (void)engine.BestCoreSet(metric);
+    (void)engine.BestSingleCore(metric);
+  }
+  (void)engine.Components();
+  (void)engine.Triangles();
+  (void)engine.Triplets();
+  const std::uint64_t builds_before = engine.stats().TotalBuilds();
+
+  RunClients([&engine](std::uint32_t) {
+    for (int round = 0; round < 10; ++round) {
+      for (const Metric metric : kAllMetrics) {
+        (void)engine.BestCoreSet(metric);
+        (void)engine.BestSingleCore(metric);
+      }
+      (void)engine.Triangles();
+      (void)engine.Components();
+    }
+  });
+
+  EXPECT_EQ(engine.stats().TotalBuilds(), builds_before);
+  ExpectExactlyOnceBuilds(engine);
+}
+
+TEST(ConcurrentCoreEngineTest, ResetStatsRacesQueriesWithoutTornCounters) {
+  const Graph graph = MakeTestGraph(0, 77);
+  CoreEngine engine(graph);
+  std::atomic<bool> stop{false};
+
+  std::thread resetter([&engine, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      engine.ResetStats();
+      // Aggregates must always be readable mid-race (the snapshot loads
+      // are atomic; values are monotone between resets).
+      (void)engine.stats().TotalBuilds();
+      (void)engine.stats().TotalHits();
+      (void)engine.StatsJson();
+    }
+  });
+
+  RunClients([&engine](std::uint32_t) {
+    for (int round = 0; round < 20; ++round) {
+      for (const Metric metric : kAllMetrics) {
+        (void)engine.BestCoreSet(metric);
+        (void)engine.BestSingleCore(metric);
+      }
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  resetter.join();
+
+  // Artifacts stay cached through resets: a fresh round of queries after
+  // the dust settles is all hits, and no stage ever rebuilds.
+  engine.ResetStats();
+  for (const Metric metric : kAllMetrics) {
+    (void)engine.BestCoreSet(metric);
+  }
+  EXPECT_EQ(engine.stats().TotalBuilds(), 0u);
+  const std::uint64_t kMetrics = sizeof(kAllMetrics) / sizeof(kAllMetrics[0]);
+  EXPECT_EQ(engine.stats().TotalHits(), kMetrics);
+}
+
+TEST(ConcurrentCoreEngineTest, EngineServerChecksumMatchesSerialReference) {
+  const Graph graph = MakeTestGraph(3, 5);
+  EngineServerOptions options;
+  options.num_clients = kClientThreads;
+  options.queries_per_client = 16;
+
+  CoreEngine shared(graph);
+  const EngineServeReport concurrent = ServeQueryMix(shared, options);
+
+  CoreEngine fresh(graph);
+  const EngineServeReport serial = ServeQueryMixSerial(fresh, options);
+
+  EXPECT_EQ(concurrent.TotalQueries(), serial.TotalQueries());
+  EXPECT_EQ(concurrent.TotalQueries(),
+            static_cast<std::uint64_t>(options.num_clients) *
+                options.queries_per_client);
+  EXPECT_EQ(concurrent.Checksum(), serial.Checksum());
+  // Per-client checksums must match pairwise too (same deterministic
+  // stream per client id).
+  ASSERT_EQ(concurrent.clients.size(), serial.clients.size());
+  for (std::size_t c = 0; c < concurrent.clients.size(); ++c) {
+    EXPECT_EQ(concurrent.clients[c].checksum, serial.clients[c].checksum)
+        << "client " << c;
+  }
+  ExpectExactlyOnceBuilds(shared);
+}
+
+// Parallel substrate options: the cold storm now funnels through the
+// shared ThreadPool from several client threads at once, exercising the
+// pool's concurrent-entry serialization.  The parallel peel is
+// deterministic, so a fresh engine with the same options is an exact
+// reference.
+TEST(ConcurrentCoreEngineTest, ParallelSubstratesUnderConcurrentCold) {
+  const Graph graph = MakeTestGraph(0, 123);
+  CoreEngineOptions options;
+  options.parallel_peel = true;
+  options.parallel_triangles = true;
+  options.num_threads = 4;
+
+  CoreEngine shared(graph, options);
+  std::vector<std::uint64_t> triangles(kClientThreads, 0);
+  RunClients([&shared, &triangles](std::uint32_t t) {
+    (void)shared.Cores();
+    triangles[t] = shared.Triangles();
+    (void)shared.BestCoreSet(Metric::kClusteringCoefficient);
+  });
+
+  CoreEngine reference(graph, options);
+  EXPECT_EQ(shared.Cores().coreness, reference.Cores().coreness);
+  EXPECT_EQ(shared.Cores().kmax, reference.Cores().kmax);
+  for (std::uint32_t t = 0; t < kClientThreads; ++t) {
+    EXPECT_EQ(triangles[t], reference.Triangles());
+  }
+  ExpectExactlyOnceBuilds(shared);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -157,6 +157,49 @@ TEST_P(PipelineSweepTest, TrianglesConsistentAcrossAllPaths) {
   EXPECT_EQ(primaries[0].triplets, CountTriplets(graph_));
 }
 
+TEST_P(PipelineSweepTest, ParallelPeelMatchesSequentialAndOrderIsDegenerate) {
+  ThreadPool pool(4);
+  const CoreDecomposition parallel =
+      ComputeCoreDecompositionParallel(graph_, pool);
+  // The level-synchronous peel is deterministic and exact: coreness and
+  // kmax agree with the sequential Batagelj–Zaversnik result bit for bit.
+  EXPECT_EQ(parallel.kmax, cores_.kmax);
+  ASSERT_EQ(parallel.coreness.size(), cores_.coreness.size());
+  EXPECT_EQ(parallel.coreness, cores_.coreness);
+
+  // peel_order is a permutation of the vertices...
+  const VertexId n = graph_.NumVertices();
+  ASSERT_EQ(parallel.peel_order.size(), n);
+  std::vector<VertexId> sorted = parallel.peel_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < n; ++v) ASSERT_EQ(sorted[v], v);
+
+  // ...grouped by level (coreness non-decreasing along the order)...
+  for (std::size_t i = 1; i < parallel.peel_order.size(); ++i) {
+    EXPECT_LE(parallel.coreness[parallel.peel_order[i - 1]],
+              parallel.coreness[parallel.peel_order[i]])
+        << "position " << i;
+  }
+
+  // ...and a valid degeneracy ordering: when v is peeled, its neighbors
+  // still unpeeled (later in the order) number at most coreness[v].
+  std::vector<std::size_t> position(n, 0);
+  for (std::size_t i = 0; i < parallel.peel_order.size(); ++i) {
+    position[parallel.peel_order[i]] = i;
+  }
+  std::vector<VertexId> later_neighbors(n, 0);
+  for (const auto& [u, v] : graph_.ToEdgeList()) {
+    if (position[u] < position[v]) {
+      ++later_neighbors[u];
+    } else {
+      ++later_neighbors[v];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_LE(later_neighbors[v], parallel.coreness[v]) << "v=" << v;
+  }
+}
+
 TEST_P(PipelineSweepTest, TrussContainedInCore) {
   // Every edge's truss number minus one is at most both endpoints'
   // coreness, so V(T_k) is always inside C_{k-1}.

@@ -1,7 +1,10 @@
 #include "corekit/util/thread_pool.h"
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -70,11 +73,70 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+// num_threads == 1 degenerates to serial: every chunk runs on the calling
+// thread (the documented contract that makes `sum += i` in
+// SerialPoolWorks race-free).
+TEST(ThreadPoolTest, SerialPoolRunsEntirelyOnCallingThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  pool.ParallelFor(100, 7, [&](std::size_t, std::size_t) {
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+}
+
+// total <= chunk is a single chunk; the fast path keeps it on the caller
+// even for a multi-threaded pool.
+TEST(ThreadPoolTest, ChunkLargerThanTotalRunsOnCallerAsOneChunk) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  std::thread::id where;
+  pool.ParallelFor(10, 64, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    where = std::this_thread::get_id();
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(where, caller);
+}
+
+// ParallelFor from several threads at once (the shared-CoreEngine serving
+// path): calls serialize on the entry mutex and each job still covers its
+// range exactly once.
+TEST(ThreadPoolTest, ConcurrentCallersEachCoverTheirRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 8;
+  constexpr std::size_t kTotal = 20000;
+  std::vector<std::uint64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      std::atomic<std::uint64_t> sum{0};
+      pool.ParallelFor(kTotal, 128,
+                       [&sum](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           sum.fetch_add(i, std::memory_order_relaxed);
+                         }
+                       });
+      sums[c] = sum.load();
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c], kTotal * (kTotal - 1) / 2) << "caller " << c;
+  }
+}
+
 #ifndef NDEBUG
 // ParallelFor is not reentrant: a nested call from inside a job would
-// deadlock (the outer call holds the pool).  Debug builds trip a DCHECK
-// instead of hanging; NDEBUG builds compile the check out, so the death
-// test only exists in debug.
+// self-deadlock on the entry hand-off.  Debug builds trip a DCHECK (the
+// thread-local "draining this pool" marker) instead of hanging; NDEBUG
+// builds compile the check out, so the death test only exists in debug.
 TEST(ThreadPoolDeathTest, NestedParallelForTripsDcheck) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
@@ -84,7 +146,7 @@ TEST(ThreadPoolDeathTest, NestedParallelForTripsDcheck) {
           pool.ParallelFor(2, 1, [](std::size_t, std::size_t) {});
         });
       },
-      "in_flight_");
+      "tls_draining_pool");
 }
 
 // The serial path (single-threaded pool) must enforce the same contract:
@@ -99,7 +161,7 @@ TEST(ThreadPoolDeathTest, NestedSerialParallelForTripsDcheck) {
           pool.ParallelFor(2, 1, [](std::size_t, std::size_t) {});
         });
       },
-      "in_flight_");
+      "tls_draining_pool");
 }
 #endif  // NDEBUG
 
