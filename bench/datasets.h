@@ -15,8 +15,7 @@
 // files can be swapped in by pointing COREKIT_BENCH_DATA_DIR at a
 // directory containing "<short_name>.txt" edge lists.
 
-#ifndef COREKIT_BENCH_DATASETS_H_
-#define COREKIT_BENCH_DATASETS_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -43,5 +42,3 @@ std::vector<BenchDataset> ActiveDatasets();
 double BenchScale();
 
 }  // namespace corekit::bench
-
-#endif  // COREKIT_BENCH_DATASETS_H_

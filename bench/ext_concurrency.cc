@@ -39,6 +39,7 @@ void RunExtConcurrency(BenchRunner& run) {
           EngineServerOptions options;
           options.num_clients = 8;
           options.queries_per_client = 24;
+          options.extension_query = CommunitySearchQueryFold;
 
           const EngineServeReport report = ServeQueryMix(engine, options);
 

@@ -22,7 +22,8 @@ namespace {
 std::vector<BenchUnit>& MutableRegistry() {
   // Leaked singleton: registrars run during static init, possibly before
   // any other static in this TU.
-  static std::vector<BenchUnit>& units = *new std::vector<BenchUnit>();
+  static std::vector<BenchUnit>& units =
+      *new std::vector<BenchUnit>();  // corekit-lint: allow(naked-new)
   return units;
 }
 

@@ -36,8 +36,7 @@
 // once per repeat.  tools/bench_diff compares two emitted JSON files and
 // gates CI on regressions; EXPERIMENTS.md documents the schema.
 
-#ifndef COREKIT_BENCH_HARNESS_HARNESS_H_
-#define COREKIT_BENCH_HARNESS_HARNESS_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -212,5 +211,3 @@ std::vector<std::string> SuitesPlusSmoke(const char* base,
 #else
 #define COREKIT_BENCH_MAIN()
 #endif
-
-#endif  // COREKIT_BENCH_HARNESS_HARNESS_H_

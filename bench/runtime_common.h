@@ -6,8 +6,7 @@
 // scale that idea down with a per-run budget, reporting ">budget" when the
 // baseline blows through it — same semantics, laptop-friendly.
 
-#ifndef COREKIT_BENCH_RUNTIME_COMMON_H_
-#define COREKIT_BENCH_RUNTIME_COMMON_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -53,5 +52,3 @@ std::optional<double> TimedBaselineSingleCore(const Graph& graph,
                                               Metric metric, double budget);
 
 }  // namespace corekit::bench
-
-#endif  // COREKIT_BENCH_RUNTIME_COMMON_H_

@@ -1,0 +1,845 @@
+#include "corekit/analysis/invariant_audit.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corekit/graph/connected_components.h"
+
+namespace corekit {
+
+namespace {
+
+// Built via append (not `"v" + std::to_string(v)`): GCC 12's -Wrestrict
+// false-positives on operator+ with an rvalue string under -Werror.
+std::string VertexLabel(VertexId v) {
+  std::string label = "v";
+  label += std::to_string(v);
+  return label;
+}
+
+// Brute count of neighbors of `v` whose coreness passes `pred`.
+template <typename Pred>
+VertexId CountNeighborsIf(const Graph& graph, VertexId v, Pred pred) {
+  VertexId count = 0;
+  for (const VertexId u : graph.Neighbors(v)) {
+    if (pred(u)) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Choose2(std::uint64_t d) { return d * (d - 1) / 2; }
+
+}  // namespace
+
+void AuditResult::AddFailure(std::string message) {
+  if (failures.size() < kMaxReportedFailures) {
+    failures.push_back(std::move(message));
+  }
+  ++total_violations;
+}
+
+std::string AuditResult::Summary() const {
+  std::string out;
+  for (const std::string& failure : failures) {
+    if (!out.empty()) out += '\n';
+    out += failure;
+  }
+  if (total_violations > failures.size()) {
+    out += "\n... and " +
+           std::to_string(total_violations - failures.size()) +
+           " more violations";
+  }
+  return out;
+}
+
+// --- Core decomposition -----------------------------------------------------
+
+AuditResult AuditCoreDecomposition(const Graph& graph,
+                                   const CoreDecomposition& cores) {
+  AuditResult result;
+  const VertexId n = graph.NumVertices();
+  if (cores.coreness.size() != n) {
+    result.AddFailure("coreness has " + std::to_string(cores.coreness.size()) +
+                      " entries for a graph with " + std::to_string(n) +
+                      " vertices");
+    return result;
+  }
+
+  VertexId max_coreness = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    max_coreness = std::max(max_coreness, cores.coreness[v]);
+    if (cores.coreness[v] > graph.Degree(v)) {
+      result.AddFailure("c(" + VertexLabel(v) + ") = " +
+                        std::to_string(cores.coreness[v]) +
+                        " exceeds its degree " +
+                        std::to_string(graph.Degree(v)));
+    }
+  }
+  if (cores.kmax != max_coreness) {
+    result.AddFailure("kmax = " + std::to_string(cores.kmax) +
+                      " but the maximum coreness is " +
+                      std::to_string(max_coreness));
+  }
+
+  // Membership (Definition 3) and the locality fixpoint: c(v) must equal
+  // the h-index of its neighbors' corenesses — the largest k such that v
+  // has >= k neighbors with coreness >= k.
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = cores.coreness[v];
+    const VertexId deg = graph.Degree(v);
+    // ge[k] = number of neighbors with coreness >= k, for k clamped to
+    // [0, deg] (an h-index never exceeds the degree).
+    std::vector<VertexId> bucket(static_cast<std::size_t>(deg) + 1, 0);
+    for (const VertexId u : graph.Neighbors(v)) {
+      ++bucket[std::min(cores.coreness[u], deg)];
+    }
+    VertexId h_index = 0;
+    VertexId at_least = 0;
+    for (VertexId k = deg;; --k) {
+      at_least += bucket[k];
+      if (at_least >= k) {
+        h_index = k;
+        break;
+      }
+      if (k == 0) break;
+    }
+    if (cv <= deg) {
+      const VertexId support = CountNeighborsIf(
+          graph, v, [&](VertexId u) { return cores.coreness[u] >= cv; });
+      if (support < cv) {
+        result.AddFailure(VertexLabel(v) + " claims coreness " +
+                          std::to_string(cv) + " but only " +
+                          std::to_string(support) +
+                          " neighbors have coreness >= " + std::to_string(cv));
+      }
+    }
+    if (h_index != cv) {
+      result.AddFailure("c(" + VertexLabel(v) + ") = " + std::to_string(cv) +
+                        " violates the locality fixpoint (neighbor h-index " +
+                        std::to_string(h_index) + ")");
+    }
+  }
+
+  // peel_order must be a permutation of the vertices.
+  if (cores.peel_order.size() != n) {
+    result.AddFailure("peel_order has " +
+                      std::to_string(cores.peel_order.size()) +
+                      " entries, expected " + std::to_string(n));
+    return result;
+  }
+  std::vector<VertexId> position(n, kInvalidVertex);
+  bool valid_permutation = true;
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = cores.peel_order[i];
+    if (v >= n || position[v] != kInvalidVertex) {
+      result.AddFailure("peel_order[" + std::to_string(i) +
+                        "] = " + std::to_string(v) +
+                        " is out of range or repeated");
+      valid_permutation = false;
+      break;
+    }
+    position[v] = i;
+  }
+
+  // Peel replay: in a valid min-degree peel the coreness of the i-th
+  // peeled vertex equals the running maximum of "neighbors peeled later"
+  // counts.  This is the global check that catches uniform under-claims
+  // (e.g. an all-zero coreness array) which every local condition above
+  // accepts.
+  if (valid_permutation) {
+    VertexId level = 0;
+    for (VertexId i = 0; i < n; ++i) {
+      const VertexId v = cores.peel_order[i];
+      const VertexId later = CountNeighborsIf(
+          graph, v, [&](VertexId u) { return position[u] > i; });
+      level = std::max(level, later);
+      if (cores.coreness[v] != level) {
+        result.AddFailure("peel replay: " + VertexLabel(v) + " (position " +
+                          std::to_string(i) + ") should have coreness " +
+                          std::to_string(level) + ", found " +
+                          std::to_string(cores.coreness[v]));
+      }
+    }
+  }
+  return result;
+}
+
+// --- Ordered graph (Algorithm 1 / Table II) ---------------------------------
+
+AuditResult AuditOrderedGraph(const Graph& graph,
+                              const CoreDecomposition& cores,
+                              const OrderedGraph& ordered) {
+  AuditResult result;
+  const VertexId n = graph.NumVertices();
+  if (cores.coreness.size() != n || ordered.NumVertices() != n) {
+    result.AddFailure("vertex counts disagree: graph " + std::to_string(n) +
+                      ", cores " + std::to_string(cores.coreness.size()) +
+                      ", ordered " + std::to_string(ordered.NumVertices()));
+    return result;
+  }
+  if (ordered.kmax() != cores.kmax) {
+    result.AddFailure("ordered kmax " + std::to_string(ordered.kmax()) +
+                      " != decomposition kmax " + std::to_string(cores.kmax));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (ordered.Coreness(v) != cores.coreness[v]) {
+      result.AddFailure("cached coreness of " + VertexLabel(v) + " is " +
+                        std::to_string(ordered.Coreness(v)) +
+                        ", decomposition says " +
+                        std::to_string(cores.coreness[v]));
+    }
+  }
+
+  // The vertex order: a permutation, strictly ascending by (coreness, id).
+  const std::span<const VertexId> order = ordered.VerticesByRank();
+  if (order.size() != n) {
+    result.AddFailure("rank order has " + std::to_string(order.size()) +
+                      " entries, expected " + std::to_string(n));
+    return result;
+  }
+  std::vector<char> seen(n, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const VertexId v = order[i];
+    if (v >= n || seen[v]) {
+      result.AddFailure("rank order entry " + std::to_string(i) + " (" +
+                        std::to_string(v) + ") is out of range or repeated");
+      return result;
+    }
+    seen[v] = 1;
+    if (i > 0 && !ordered.RankGreater(v, order[i - 1])) {
+      result.AddFailure("rank order not ascending at position " +
+                        std::to_string(i) + ": " + VertexLabel(order[i - 1]) +
+                        " !< " + VertexLabel(v));
+    }
+  }
+
+  // Shell boundaries against a brute walk of the order.
+  const VertexId kmax = cores.kmax;
+  for (VertexId k = 0; k <= kmax; ++k) {
+    VertexId expected_begin = 0;
+    while (expected_begin < n &&
+           cores.coreness[order[expected_begin]] < k) {
+      ++expected_begin;
+    }
+    if (ordered.ShellBegin(k) != expected_begin) {
+      result.AddFailure("ShellBegin(" + std::to_string(k) + ") = " +
+                        std::to_string(ordered.ShellBegin(k)) +
+                        ", expected " + std::to_string(expected_begin));
+    }
+    if (ordered.CoreSetSize(k) != n - expected_begin) {
+      result.AddFailure("CoreSetSize(" + std::to_string(k) + ") = " +
+                        std::to_string(ordered.CoreSetSize(k)) +
+                        ", expected " + std::to_string(n - expected_begin));
+    }
+    for (const VertexId v : ordered.Shell(k)) {
+      if (cores.coreness[v] != k) {
+        result.AddFailure("Shell(" + std::to_string(k) + ") contains " +
+                          VertexLabel(v) + " with coreness " +
+                          std::to_string(cores.coreness[v]));
+      }
+    }
+  }
+
+  // Adjacency: same multiset as the graph, sorted by ascending rank, and
+  // position tags matching brute-force Table II counts.
+  std::vector<VertexId> sorted_by_id;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = cores.coreness[v];
+    const std::span<const VertexId> neighbors = ordered.Neighbors(v);
+    const std::span<const VertexId> graph_neighbors = graph.Neighbors(v);
+    if (neighbors.size() != graph_neighbors.size()) {
+      result.AddFailure("ordered degree of " + VertexLabel(v) + " is " +
+                        std::to_string(neighbors.size()) + ", graph degree " +
+                        std::to_string(graph_neighbors.size()));
+      continue;
+    }
+    sorted_by_id.assign(neighbors.begin(), neighbors.end());
+    std::sort(sorted_by_id.begin(), sorted_by_id.end());
+    if (!std::equal(sorted_by_id.begin(), sorted_by_id.end(),
+                    graph_neighbors.begin())) {
+      result.AddFailure("ordered adjacency of " + VertexLabel(v) +
+                        " is not a permutation of the graph adjacency");
+    }
+    for (std::size_t i = 1; i < neighbors.size(); ++i) {
+      if (!ordered.RankGreater(neighbors[i], neighbors[i - 1])) {
+        result.AddFailure("adjacency of " + VertexLabel(v) +
+                          " not rank-sorted at slot " + std::to_string(i));
+        break;
+      }
+    }
+
+    const VertexId lower = CountNeighborsIf(
+        graph, v, [&](VertexId u) { return cores.coreness[u] < cv; });
+    const VertexId equal = CountNeighborsIf(
+        graph, v, [&](VertexId u) { return cores.coreness[u] == cv; });
+    const VertexId higher = CountNeighborsIf(
+        graph, v, [&](VertexId u) { return cores.coreness[u] > cv; });
+    const VertexId higher_rank = CountNeighborsIf(
+        graph, v, [&](VertexId u) { return ordered.RankGreater(u, v); });
+    if (ordered.CountLower(v) != lower || ordered.CountEqual(v) != equal ||
+        ordered.CountHigher(v) != higher) {
+      result.AddFailure(
+          "position tags of " + VertexLabel(v) + " claim <,=,> counts " +
+          std::to_string(ordered.CountLower(v)) + "," +
+          std::to_string(ordered.CountEqual(v)) + "," +
+          std::to_string(ordered.CountHigher(v)) + "; brute force finds " +
+          std::to_string(lower) + "," + std::to_string(equal) + "," +
+          std::to_string(higher));
+    }
+    if (ordered.CountGeq(v) != equal + higher) {
+      result.AddFailure("CountGeq(" + VertexLabel(v) + ") = " +
+                        std::to_string(ordered.CountGeq(v)) + ", expected " +
+                        std::to_string(equal + higher));
+    }
+    if (ordered.CountHigherRank(v) != higher_rank) {
+      result.AddFailure("CountHigherRank(" + VertexLabel(v) + ") = " +
+                        std::to_string(ordered.CountHigherRank(v)) +
+                        ", expected " + std::to_string(higher_rank));
+    }
+
+    // The O(1) slices must return exactly the advertised neighbor sets.
+    for (const VertexId u : ordered.NeighborsLower(v)) {
+      if (cores.coreness[u] >= cv) {
+        result.AddFailure("NeighborsLower(" + VertexLabel(v) + ") contains " +
+                          VertexLabel(u) + " with coreness >= c(v)");
+        break;
+      }
+    }
+    for (const VertexId u : ordered.NeighborsEqual(v)) {
+      if (cores.coreness[u] != cv) {
+        result.AddFailure("NeighborsEqual(" + VertexLabel(v) + ") contains " +
+                          VertexLabel(u) + " with coreness != c(v)");
+        break;
+      }
+    }
+    for (const VertexId u : ordered.NeighborsHigher(v)) {
+      if (cores.coreness[u] <= cv) {
+        result.AddFailure("NeighborsHigher(" + VertexLabel(v) + ") contains " +
+                          VertexLabel(u) + " with coreness <= c(v)");
+        break;
+      }
+    }
+    for (const VertexId u : ordered.NeighborsHigherRank(v)) {
+      if (!ordered.RankGreater(u, v)) {
+        result.AddFailure("NeighborsHigherRank(" + VertexLabel(v) +
+                          ") contains " + VertexLabel(u) +
+                          " with rank <= rank(v)");
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+// --- Core forest (Definitions 6/7) ------------------------------------------
+
+AuditResult AuditCoreForest(const Graph& graph, const CoreDecomposition& cores,
+                            const CoreForest& forest) {
+  AuditResult result;
+  const VertexId n = graph.NumVertices();
+  if (cores.coreness.size() != n) {
+    result.AddFailure("coreness has " + std::to_string(cores.coreness.size()) +
+                      " entries for a graph with " + std::to_string(n) +
+                      " vertices");
+    return result;
+  }
+  const CoreForest::NodeId num_nodes = forest.NumNodes();
+
+  // Every vertex lives in exactly one node, at its own coreness level.
+  std::vector<char> seen(n, 0);
+  std::uint64_t covered = 0;
+  for (CoreForest::NodeId id = 0; id < num_nodes; ++id) {
+    const CoreForest::Node& node = forest.node(id);
+    if (node.vertices.empty()) {
+      result.AddFailure("node " + std::to_string(id) +
+                        " holds no vertices (compression failed)");
+    }
+    for (const VertexId v : node.vertices) {
+      if (v >= n) {
+        result.AddFailure("node " + std::to_string(id) +
+                          " holds out-of-range vertex " + std::to_string(v));
+        continue;
+      }
+      if (seen[v]) {
+        result.AddFailure(VertexLabel(v) + " appears in more than one node");
+        continue;
+      }
+      seen[v] = 1;
+      ++covered;
+      if (cores.coreness[v] != node.coreness) {
+        result.AddFailure(VertexLabel(v) + " with coreness " +
+                          std::to_string(cores.coreness[v]) +
+                          " sits in a node of coreness " +
+                          std::to_string(node.coreness));
+      }
+      if (forest.NodeOfVertex(v) != id) {
+        result.AddFailure("NodeOfVertex(" + VertexLabel(v) + ") = " +
+                          std::to_string(forest.NodeOfVertex(v)) +
+                          " but the vertex is stored in node " +
+                          std::to_string(id));
+      }
+    }
+  }
+  if (covered != n) {
+    result.AddFailure(std::to_string(n - covered) +
+                      " vertices appear in no forest node");
+  }
+
+  // Tree shape: mutual parent/child links, strictly coarser parents, and
+  // the descending-coreness node order (children precede parents).
+  for (CoreForest::NodeId id = 0; id < num_nodes; ++id) {
+    const CoreForest::Node& node = forest.node(id);
+    if (id > 0 && forest.node(id - 1).coreness < node.coreness) {
+      result.AddFailure("nodes not sorted by descending coreness at " +
+                        std::to_string(id));
+    }
+    if (node.parent != CoreForest::kNoNode) {
+      if (node.parent >= num_nodes) {
+        result.AddFailure("node " + std::to_string(id) +
+                          " has out-of-range parent");
+        continue;
+      }
+      const CoreForest::Node& parent = forest.node(node.parent);
+      if (node.parent <= id) {
+        result.AddFailure("child node " + std::to_string(id) +
+                          " does not precede its parent " +
+                          std::to_string(node.parent));
+      }
+      if (parent.coreness >= node.coreness) {
+        result.AddFailure("parent of node " + std::to_string(id) +
+                          " has coreness " + std::to_string(parent.coreness) +
+                          " >= child coreness " +
+                          std::to_string(node.coreness));
+      }
+      if (std::count(parent.children.begin(), parent.children.end(), id) !=
+          1) {
+        result.AddFailure("node " + std::to_string(id) +
+                          " missing from (or duplicated in) its parent's "
+                          "children");
+      }
+    }
+    for (const CoreForest::NodeId child : node.children) {
+      if (child >= num_nodes || forest.node(child).parent != id) {
+        result.AddFailure("child link " + std::to_string(id) + " -> " +
+                          std::to_string(child) +
+                          " has no matching parent link");
+      }
+    }
+  }
+
+  // Subtree sizes: own vertices plus children's cores.  Children precede
+  // parents, so one ascending pass has every child size ready.
+  std::vector<std::uint64_t> subtree(num_nodes, 0);
+  for (CoreForest::NodeId id = 0; id < num_nodes; ++id) {
+    std::uint64_t size = forest.node(id).vertices.size();
+    for (const CoreForest::NodeId child : forest.node(id).children) {
+      if (child < id) size += subtree[child];
+    }
+    subtree[id] = size;
+    if (forest.CoreSize(id) != size) {
+      result.AddFailure("CoreSize(" + std::to_string(id) + ") = " +
+                        std::to_string(forest.CoreSize(id)) + ", expected " +
+                        std::to_string(size));
+    }
+  }
+
+  // Each node's core must induce a connected subgraph (a k-core in the
+  // single-core sense is connected by definition).
+  std::vector<CoreForest::NodeId> stamp(n, CoreForest::kNoNode);
+  std::vector<VertexId> queue;
+  for (CoreForest::NodeId id = 0; id < num_nodes; ++id) {
+    const std::vector<VertexId> core = forest.CoreVertices(id);
+    if (core.empty()) continue;
+    for (const VertexId v : core) {
+      if (v < n) stamp[v] = id;
+    }
+    queue.clear();
+    queue.push_back(core.front());
+    stamp[core.front()] = CoreForest::kNoNode;  // un-stamp when visited
+    std::size_t reached = 0;
+    while (reached < queue.size()) {
+      const VertexId v = queue[reached++];
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (stamp[u] == id) {
+          stamp[u] = CoreForest::kNoNode;
+          queue.push_back(u);
+        }
+      }
+    }
+    if (queue.size() != core.size()) {
+      result.AddFailure("core of node " + std::to_string(id) +
+                        " is disconnected: reached " +
+                        std::to_string(queue.size()) + " of " +
+                        std::to_string(core.size()) + " vertices");
+      for (const VertexId v : core) {  // clear leftover stamps
+        if (v < n) stamp[v] = CoreForest::kNoNode;
+      }
+    }
+  }
+
+  // One tree per connected component: roots and component labels must be
+  // in bijection.
+  if (covered == n && n > 0) {
+    std::vector<CoreForest::NodeId> root(num_nodes);
+    for (CoreForest::NodeId id = num_nodes; id-- > 0;) {
+      const CoreForest::NodeId parent = forest.node(id).parent;
+      // Parents come later in node order, so root[parent] is already set.
+      root[id] = (parent == CoreForest::kNoNode || parent <= id)
+                     ? id
+                     : root[parent];
+    }
+    const ComponentLabels components = ConnectedComponents(graph);
+    std::vector<CoreForest::NodeId> root_of_component(
+        components.num_components, CoreForest::kNoNode);
+    std::vector<VertexId> component_of_root(num_nodes, kInvalidVertex);
+    for (VertexId v = 0; v < n; ++v) {
+      const CoreForest::NodeId r = root[forest.NodeOfVertex(v)];
+      const VertexId c = components.label[v];
+      if (root_of_component[c] == CoreForest::kNoNode) {
+        root_of_component[c] = r;
+      } else if (root_of_component[c] != r) {
+        result.AddFailure("component " + std::to_string(c) +
+                          " spans two trees (roots " +
+                          std::to_string(root_of_component[c]) + " and " +
+                          std::to_string(r) + ")");
+      }
+      if (component_of_root[r] == kInvalidVertex) {
+        component_of_root[r] = c;
+      } else if (component_of_root[r] != c) {
+        result.AddFailure("tree rooted at node " + std::to_string(r) +
+                          " spans two components (" +
+                          std::to_string(component_of_root[r]) + " and " +
+                          std::to_string(c) + ")");
+      }
+    }
+  }
+  return result;
+}
+
+// --- Primary values of the k-core sets --------------------------------------
+
+AuditResult AuditPrimaryValues(const Graph& graph,
+                               const CoreDecomposition& cores,
+                               std::span<const PrimaryValues> per_level) {
+  AuditResult result;
+  const VertexId n = graph.NumVertices();
+  if (cores.coreness.size() != n) {
+    result.AddFailure("coreness has " + std::to_string(cores.coreness.size()) +
+                      " entries for a graph with " + std::to_string(n) +
+                      " vertices");
+    return result;
+  }
+  const VertexId kmax = cores.kmax;
+  const std::size_t levels = static_cast<std::size_t>(kmax) + 1;
+  if (per_level.size() != levels) {
+    result.AddFailure("profile has " + std::to_string(per_level.size()) +
+                      " levels, expected kmax + 1 = " +
+                      std::to_string(levels));
+    return result;
+  }
+
+  // One histogram pass over vertices / edges / triangles, bucketed by the
+  // minimum (and maximum) coreness involved; suffix sums then give the
+  // exact n, m, b, D of every C_k.
+  std::vector<std::uint64_t> vertices_ge(levels + 1, 0);
+  std::vector<std::uint64_t> edges_min_ge(levels + 1, 0);
+  std::vector<std::uint64_t> edges_max_ge(levels + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    ++vertices_ge[cores.coreness[v]];
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (u <= v) continue;  // each undirected edge once
+      ++edges_min_ge[std::min(cores.coreness[v], cores.coreness[u])];
+      ++edges_max_ge[std::max(cores.coreness[v], cores.coreness[u])];
+    }
+  }
+  for (std::size_t k = levels; k-- > 0;) {
+    vertices_ge[k] += vertices_ge[k + 1];
+    edges_min_ge[k] += edges_min_ge[k + 1];
+    edges_max_ge[k] += edges_max_ge[k + 1];
+  }
+
+  bool needs_triangles = false;
+  for (const PrimaryValues& pv : per_level) {
+    needs_triangles = needs_triangles || pv.has_triangles;
+  }
+  std::vector<std::uint64_t> triangles_ge(levels + 1, 0);
+  std::vector<std::uint64_t> triplets_per_level(levels, 0);
+  if (needs_triangles) {
+    // Triangles, each counted once at its minimum coreness: for every
+    // edge (v, u) with v < u, intersect the > u suffixes of both sorted
+    // adjacency lists.
+    for (VertexId v = 0; v < n; ++v) {
+      const std::span<const VertexId> nv = graph.Neighbors(v);
+      for (const VertexId u : nv) {
+        if (u <= v) continue;
+        const std::span<const VertexId> nu = graph.Neighbors(u);
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < nv.size() && j < nu.size()) {
+          if (nv[i] <= u) {
+            ++i;
+          } else if (nu[j] <= u) {
+            ++j;
+          } else if (nv[i] < nu[j]) {
+            ++i;
+          } else if (nv[i] > nu[j]) {
+            ++j;
+          } else {
+            const VertexId w = nv[i];
+            ++triangles_ge[std::min({cores.coreness[v], cores.coreness[u],
+                                     cores.coreness[w]})];
+            ++i;
+            ++j;
+          }
+        }
+      }
+    }
+    for (std::size_t k = levels; k-- > 0;) {
+      triangles_ge[k] += triangles_ge[k + 1];
+    }
+    // Triplets of C_k: sum over members of C(deg_in_Ck, 2), via each
+    // vertex's suffix counts of neighbor corenesses.
+    std::vector<std::uint64_t> neighbor_ge(levels + 1);
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId cv = cores.coreness[v];
+      std::fill(neighbor_ge.begin(), neighbor_ge.end(), 0);
+      for (const VertexId u : graph.Neighbors(v)) {
+        ++neighbor_ge[cores.coreness[u]];
+      }
+      std::uint64_t inside_degree = 0;
+      for (std::size_t k = levels; k-- > 0;) {
+        inside_degree += neighbor_ge[k];
+        if (k <= cv) triplets_per_level[k] += Choose2(inside_degree);
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < levels; ++k) {
+    const PrimaryValues& pv = per_level[k];
+    const std::string level = "C_" + std::to_string(k);
+    if (pv.num_vertices != vertices_ge[k]) {
+      result.AddFailure("n(" + level + ") = " +
+                        std::to_string(pv.num_vertices) + ", brute force " +
+                        std::to_string(vertices_ge[k]));
+    }
+    if (pv.internal_edges_x2 % 2 != 0) {
+      result.AddFailure("2m(" + level + ") = " +
+                        std::to_string(pv.internal_edges_x2) + " is odd");
+    } else if (pv.internal_edges_x2 / 2 != edges_min_ge[k]) {
+      result.AddFailure("m(" + level + ") = " +
+                        std::to_string(pv.internal_edges_x2 / 2) +
+                        ", brute force " + std::to_string(edges_min_ge[k]));
+    }
+    const std::uint64_t boundary = edges_max_ge[k] - edges_min_ge[k];
+    if (pv.boundary_edges != boundary) {
+      result.AddFailure("b(" + level + ") = " +
+                        std::to_string(pv.boundary_edges) + ", brute force " +
+                        std::to_string(boundary));
+    }
+    if (pv.has_triangles) {
+      if (pv.triangles != triangles_ge[k]) {
+        result.AddFailure("D(" + level + ") = " +
+                          std::to_string(pv.triangles) + ", brute force " +
+                          std::to_string(triangles_ge[k]));
+      }
+      if (pv.triplets != triplets_per_level[k]) {
+        result.AddFailure("t(" + level + ") = " + std::to_string(pv.triplets) +
+                          ", brute force " +
+                          std::to_string(triplets_per_level[k]));
+      }
+    }
+  }
+  return result;
+}
+
+// --- Primary values of individual cores (Algorithm 5) -----------------------
+
+AuditResult AuditSingleCorePrimaryValues(
+    const Graph& graph, const CoreForest& forest,
+    std::span<const PrimaryValues> per_node) {
+  AuditResult result;
+  const VertexId n = graph.NumVertices();
+  const CoreForest::NodeId num_nodes = forest.NumNodes();
+  if (per_node.size() != num_nodes) {
+    result.AddFailure("profile has " + std::to_string(per_node.size()) +
+                      " nodes, forest has " + std::to_string(num_nodes));
+    return result;
+  }
+
+  std::vector<CoreForest::NodeId> stamp(n, CoreForest::kNoNode);
+  for (CoreForest::NodeId id = 0; id < num_nodes; ++id) {
+    const PrimaryValues& pv = per_node[id];
+    const std::vector<VertexId> core = forest.CoreVertices(id);
+    for (const VertexId v : core) {
+      if (v < n) stamp[v] = id;
+    }
+    std::uint64_t half_edges = 0;
+    std::uint64_t boundary = 0;
+    for (const VertexId v : core) {
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (stamp[u] == id) {
+          ++half_edges;
+        } else {
+          ++boundary;
+        }
+      }
+    }
+    const std::string label = "core of node " + std::to_string(id);
+    if (pv.num_vertices != core.size()) {
+      result.AddFailure("n(" + label + ") = " +
+                        std::to_string(pv.num_vertices) + ", brute force " +
+                        std::to_string(core.size()));
+    }
+    if (pv.internal_edges_x2 != half_edges) {
+      result.AddFailure("2m(" + label + ") = " +
+                        std::to_string(pv.internal_edges_x2) +
+                        ", brute force " + std::to_string(half_edges));
+    }
+    if (pv.boundary_edges != boundary) {
+      result.AddFailure("b(" + label + ") = " +
+                        std::to_string(pv.boundary_edges) + ", brute force " +
+                        std::to_string(boundary));
+    }
+    if (pv.has_triangles) {
+      std::uint64_t triangles = 0;
+      std::uint64_t triplets = 0;
+      for (const VertexId v : core) {
+        const std::span<const VertexId> nv = graph.Neighbors(v);
+        std::uint64_t inside_degree = 0;
+        for (const VertexId u : nv) {
+          if (stamp[u] == id) ++inside_degree;
+        }
+        triplets += Choose2(inside_degree);
+        for (const VertexId u : nv) {
+          if (u <= v || stamp[u] != id) continue;
+          const std::span<const VertexId> nu = graph.Neighbors(u);
+          std::size_t i = 0;
+          std::size_t j = 0;
+          while (i < nv.size() && j < nu.size()) {
+            if (nv[i] <= u || stamp[nv[i]] != id) {
+              ++i;
+            } else if (nu[j] <= u || stamp[nu[j]] != id) {
+              ++j;
+            } else if (nv[i] < nu[j]) {
+              ++i;
+            } else if (nv[i] > nu[j]) {
+              ++j;
+            } else {
+              ++triangles;
+              ++i;
+              ++j;
+            }
+          }
+        }
+      }
+      if (pv.triangles != triangles) {
+        result.AddFailure("D(" + label + ") = " + std::to_string(pv.triangles) +
+                          ", brute force " + std::to_string(triangles));
+      }
+      if (pv.triplets != triplets) {
+        result.AddFailure("t(" + label + ") = " + std::to_string(pv.triplets) +
+                          ", brute force " + std::to_string(triplets));
+      }
+    }
+    for (const VertexId v : core) {
+      if (v < n) stamp[v] = CoreForest::kNoNode;
+    }
+  }
+  return result;
+}
+
+// --- Truss decomposition -----------------------------------------------------
+
+AuditResult AuditTrussDecomposition(const Graph& graph,
+                                    const TrussDecomposition& truss) {
+  AuditResult result;
+  const EdgeList expected_edges = graph.ToEdgeList();
+  if (truss.edges != expected_edges) {
+    result.AddFailure("edge list does not match Graph::ToEdgeList() (" +
+                      std::to_string(truss.edges.size()) + " vs " +
+                      std::to_string(expected_edges.size()) + " edges)");
+    return result;
+  }
+  if (truss.truss.size() != truss.edges.size()) {
+    result.AddFailure("truss array has " + std::to_string(truss.truss.size()) +
+                      " entries for " + std::to_string(truss.edges.size()) +
+                      " edges");
+    return result;
+  }
+
+  VertexId max_truss = 0;
+  for (std::size_t i = 0; i < truss.truss.size(); ++i) {
+    max_truss = std::max(max_truss, truss.truss[i]);
+    if (truss.truss[i] < 2) {
+      result.AddFailure("edge " + std::to_string(i) + " has truss number " +
+                        std::to_string(truss.truss[i]) + " < 2");
+    }
+  }
+  if (truss.tmax != max_truss) {
+    result.AddFailure("tmax = " + std::to_string(truss.tmax) +
+                      " but the maximum truss number is " +
+                      std::to_string(max_truss));
+  }
+
+  // Per-vertex adjacency annotated with truss numbers, sorted by neighbor
+  // id (the edge list is sorted by (u, v), so insertion order is already
+  // ascending per vertex).
+  const VertexId n = graph.NumVertices();
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> adjacency(n);
+  for (std::size_t i = 0; i < truss.edges.size(); ++i) {
+    const auto [u, v] = truss.edges[i];
+    adjacency[u].emplace_back(v, truss.truss[i]);
+    adjacency[v].emplace_back(u, truss.truss[i]);
+  }
+
+  // k-truss membership: an edge with truss t must close >= t - 2
+  // triangles among edges of truss >= t.
+  for (std::size_t i = 0; i < truss.edges.size(); ++i) {
+    const auto [u, v] = truss.edges[i];
+    const VertexId t = truss.truss[i];
+    if (t < 2) continue;
+    std::uint64_t support = 0;
+    const auto& au = adjacency[u];
+    const auto& av = adjacency[v];
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < au.size() && b < av.size()) {
+      if (au[a].first < av[b].first) {
+        ++a;
+      } else if (au[a].first > av[b].first) {
+        ++b;
+      } else {
+        if (au[a].second >= t && av[b].second >= t) ++support;
+        ++a;
+        ++b;
+      }
+    }
+    if (support < t - 2) {
+      result.AddFailure("edge (" + std::to_string(u) + "," +
+                        std::to_string(v) + ") claims truss " +
+                        std::to_string(t) + " but closes only " +
+                        std::to_string(support) +
+                        " triangles in the >= t subgraph");
+    }
+  }
+
+  // The membership check cannot see uniform under-claims (truss == 2
+  // everywhere passes it); on small graphs, replay the definition.
+  if (truss.edges.size() <= kNaiveTrussAuditMaxEdges) {
+    const std::vector<VertexId> naive = NaiveTrussNumbers(graph);
+    for (std::size_t i = 0; i < truss.truss.size(); ++i) {
+      if (truss.truss[i] != naive[i]) {
+        result.AddFailure("edge (" + std::to_string(truss.edges[i].first) +
+                          "," + std::to_string(truss.edges[i].second) +
+                          ") has truss " + std::to_string(truss.truss[i]) +
+                          ", naive oracle says " + std::to_string(naive[i]));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace corekit

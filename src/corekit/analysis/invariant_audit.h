@@ -1,0 +1,126 @@
+// COREKIT_AUDIT: machine-checked structural invariants for the paper's
+// core data structures — a custom sanitizer for the pipeline.
+//
+// The time/space optimality claims rest on structural properties that a
+// single corrupted value silently breaks: the rank-sorted adjacency and
+// same/plus/high position tags of Algorithm 1 (Table II), the exact
+// primary values n(S), m(S), b(S) maintained incrementally by
+// Algorithms 2/3/5, and the shape of the core forest (Definitions 6/7).
+// Each auditor here revalidates one structure from first principles
+// (brute-force recounts against the raw graph), returning every violated
+// invariant as a human-readable failure.
+//
+// The auditors are always compiled and unit-tested; building with
+// -DCOREKIT_AUDIT=ON additionally wires them into the CoreEngine stage
+// boundaries (core_engine.cc), so every artifact the engine publishes is
+// validated the moment it is built — the CI audit job runs the whole
+// test suite in that mode.  Audits cost O(m) to O(m^1.5) per call, the
+// same flavor of overhead as ASan: unusable in production, invaluable in
+// CI.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/core/primary_values.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+#include "corekit/truss/truss_decomposition.h"
+
+namespace corekit {
+
+// Outcome of one audit: a (capped) list of violated invariants plus the
+// uncapped total, so a mass corruption doesn't drown the report.
+struct AuditResult {
+  // First kMaxReportedFailures violations, one message each.
+  std::vector<std::string> failures;
+  // Total violations found, including those past the cap.
+  std::size_t total_violations = 0;
+
+  static constexpr std::size_t kMaxReportedFailures = 16;
+
+  bool ok() const { return total_violations == 0; }
+
+  // All reported failures joined with newlines, plus a "… and N more"
+  // trailer when the cap was hit.  Empty when ok().
+  std::string Summary() const;
+
+  // Records one violation (message kept only below the cap).
+  void AddFailure(std::string message);
+};
+
+// Validates `cores` against the raw graph:
+//   * coreness / peel_order have size n; peel_order is a permutation;
+//   * kmax equals the maximum coreness and every c(v) <= deg(v);
+//   * k-core membership: every v has >= c(v) neighbors with coreness
+//     >= c(v) (Definition 3);
+//   * locality fixpoint: c(v) equals the h-index of its neighbors'
+//     corenesses (the [43]-style condition distributed maintenance
+//     checks);
+//   * peel replay: walking peel_order with a running level max over the
+//     later-neighbor counts reproduces every coreness exactly — this is
+//     the check that catches uniform *under*-claims the local conditions
+//     cannot see.
+AuditResult AuditCoreDecomposition(const Graph& graph,
+                                   const CoreDecomposition& cores);
+
+// Validates the Algorithm 1 index against the graph and decomposition:
+//   * the rank order is a permutation sorted strictly by (coreness, id)
+//     and the shell boundaries / CoreSetSize match it;
+//   * every adjacency list is the graph's, re-sorted by ascending rank;
+//   * the same/plus/high position tags agree with brute-force counts of
+//     |N(v,<)|, |N(v,=)|, |N(v,>)|, |N(v,>=)|, |N(v,>r)| (Table II), and
+//     the O(1) slice formulas return exactly those neighbor sets.
+AuditResult AuditOrderedGraph(const Graph& graph,
+                              const CoreDecomposition& cores,
+                              const OrderedGraph& ordered);
+
+// Validates the core forest (Definitions 6/7, Algorithm 4):
+//   * every vertex appears in exactly one node, whose coreness is c(v),
+//     and NodeOfVertex agrees;
+//   * tree shape: parent/child links are mutual, parents have strictly
+//     smaller coreness, and children precede parents in node order;
+//   * CoreSize equals |own vertices| + sum of children's CoreSizes;
+//   * each node's core induces a connected subgraph;
+//   * component consistency: one tree per connected component (roots and
+//     component labels are in bijection).
+AuditResult AuditCoreForest(const Graph& graph, const CoreDecomposition& cores,
+                            const CoreForest& forest);
+
+// Validates the per-level primary values of the k-core sets C_k
+// (Algorithm 2/3 output, CoreSetProfile::primaries): for every k in
+// [0, kmax], n(C_k), m(C_k), b(C_k) — and D/t when has_triangles — are
+// recomputed brute-force from the raw graph and compared.
+AuditResult AuditPrimaryValues(const Graph& graph,
+                               const CoreDecomposition& cores,
+                               std::span<const PrimaryValues> per_level);
+
+// Same, for the per-forest-node primaries of the single-core walk
+// (Algorithm 5 output, SingleCoreProfile::primaries): each node's
+// connected core is materialized and its values recounted.
+AuditResult AuditSingleCorePrimaryValues(
+    const Graph& graph, const CoreForest& forest,
+    std::span<const PrimaryValues> per_node);
+
+// Validates the truss decomposition (Section VI-B):
+//   * edges match Graph::ToEdgeList() and tmax the maximum truss number;
+//   * every truss number is >= 2 and at most the edge's support + 2;
+//   * k-truss membership: an edge with truss t closes >= t - 2 triangles
+//     within the subgraph of edges with truss >= t;
+//   * on small graphs (m <= kNaiveTrussAuditMaxEdges) the numbers are
+//     additionally cross-checked against the definition-driven
+//     NaiveTrussNumbers oracle, which also catches under-claims.
+AuditResult AuditTrussDecomposition(const Graph& graph,
+                                    const TrussDecomposition& truss);
+
+// Edge-count bound below which AuditTrussDecomposition runs the O(tmax *
+// m * d) naive oracle cross-check.
+inline constexpr std::size_t kNaiveTrussAuditMaxEdges = 2000;
+
+}  // namespace corekit

@@ -9,8 +9,7 @@
 // log-log regression degree ~ coreness and scores each vertex by its
 // absolute residual.
 
-#ifndef COREKIT_APPS_ANOMALY_DETECTION_H_
-#define COREKIT_APPS_ANOMALY_DETECTION_H_
+#pragma once
 
 #include <vector>
 
@@ -42,5 +41,3 @@ MirrorPatternResult DetectMirrorAnomalies(const Graph& graph,
 MirrorPatternResult DetectMirrorAnomalies(CoreEngine& engine);
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_ANOMALY_DETECTION_H_

@@ -1,8 +1,11 @@
 #include "corekit/apps/community_search.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "corekit/util/logging.h"
+#include "corekit/util/random.h"
 
 namespace corekit {
 
@@ -40,6 +43,24 @@ CommunitySearchResult CommunitySearcher::Search(VertexId query) const {
     return {};
   }
   return Materialize(query, index_.BestKFor(query));
+}
+
+std::uint64_t CommunitySearchQueryFold(CoreEngine& engine, Metric metric,
+                                       std::uint64_t pick) {
+  const std::uint64_t n = engine.graph().NumVertices();
+  if (n == 0) return 0;
+  CommunitySearcher searcher(engine, metric);
+  const auto query = static_cast<VertexId>(pick % n);
+  const CommunitySearchResult result = searcher.Search(query);
+  // Order-sensitive fold of every answer field, same mixing scheme the
+  // serving harness applies to its built-in query kinds.
+  const auto mix = [](std::uint64_t h, std::uint64_t v) {
+    SplitMix64 sm(h ^ (v + 0x9e3779b97f4a7c15ULL));
+    return sm.Next();
+  };
+  return mix(mix(result.found ? 1u : 0u, result.k),
+             mix(std::bit_cast<std::uint64_t>(result.score),
+                 result.members.size()));
 }
 
 CommunitySearchResult CommunitySearcher::SearchWithMinK(VertexId query,

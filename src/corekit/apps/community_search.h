@@ -8,8 +8,7 @@
 // personalization of the paper's Problem 2, answered through the
 // CoreHierarchyIndex and materialized on demand.
 
-#ifndef COREKIT_APPS_COMMUNITY_SEARCH_H_
-#define COREKIT_APPS_COMMUNITY_SEARCH_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -67,6 +66,11 @@ class CommunitySearcher {
   CoreHierarchyIndex index_;
 };
 
-}  // namespace corekit
+// Adapter for EngineServerOptions::extension_query: searches for the
+// community of vertex `pick % n` and returns a deterministic fold of the
+// answer.  Lives here (not in engine/) so the engine layer stays below
+// apps/; the serving harness and its tests inject it explicitly.
+std::uint64_t CommunitySearchQueryFold(CoreEngine& engine, Metric metric,
+                                       std::uint64_t pick);
 
-#endif  // COREKIT_APPS_COMMUNITY_SEARCH_H_
+}  // namespace corekit

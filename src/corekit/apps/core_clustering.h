@@ -16,8 +16,7 @@
 // arbitrary vertex partitions, used to score clusterings and by the tests
 // to cross-check the two-block modularity metric.
 
-#ifndef COREKIT_APPS_CORE_CLUSTERING_H_
-#define COREKIT_APPS_CORE_CLUSTERING_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -53,5 +52,3 @@ double PartitionModularity(const Graph& graph,
                            VertexId num_clusters);
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_CORE_CLUSTERING_H_

@@ -10,8 +10,7 @@
 // the giant component disappears; the bench (ext_resilience) reproduces
 // that contrast between random and targeted attacks.
 
-#ifndef COREKIT_APPS_CORE_RESILIENCE_H_
-#define COREKIT_APPS_CORE_RESILIENCE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -68,5 +67,3 @@ ResilienceCurve ComputeResilienceCurve(const Graph& graph,
                                        std::uint64_t seed = 1);
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_CORE_RESILIENCE_H_

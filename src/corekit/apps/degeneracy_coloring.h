@@ -9,8 +9,7 @@
 // This is often far below Δ + 1 on skewed graphs — the classic win the
 // bench quantifies.
 
-#ifndef COREKIT_APPS_DEGENERACY_COLORING_H_
-#define COREKIT_APPS_DEGENERACY_COLORING_H_
+#pragma once
 
 #include <vector>
 
@@ -35,5 +34,3 @@ GraphColoring ColorBySmallestLast(const Graph& graph,
 bool IsProperColoring(const Graph& graph, const std::vector<VertexId>& color);
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_DEGENERACY_COLORING_H_

@@ -14,8 +14,7 @@
 //     in neither n nor m but runs O(log n) max-flows, intended for the
 //     test oracle and small graphs.
 
-#ifndef COREKIT_APPS_DENSEST_SUBGRAPH_H_
-#define COREKIT_APPS_DENSEST_SUBGRAPH_H_
+#pragma once
 
 #include <vector>
 
@@ -52,5 +51,3 @@ double InducedAverageDegree(const Graph& graph,
                             const std::vector<VertexId>& vertices);
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_DENSEST_SUBGRAPH_H_

@@ -8,8 +8,7 @@
 // NP-hard) but fast on sparse real-world-like graphs, exactly as in the
 // maximum-clique literature [12].
 
-#ifndef COREKIT_APPS_MAX_CLIQUE_H_
-#define COREKIT_APPS_MAX_CLIQUE_H_
+#pragma once
 
 #include <vector>
 
@@ -26,5 +25,3 @@ std::vector<VertexId> FindMaximumClique(const Graph& graph);
 bool IsClique(const Graph& graph, const std::vector<VertexId>& vertices);
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_MAX_CLIQUE_H_

@@ -4,8 +4,7 @@
 // also generally useful.  Capacities are 64-bit integers scaled by the
 // caller when fractional guesses are needed.
 
-#ifndef COREKIT_APPS_MAX_FLOW_H_
-#define COREKIT_APPS_MAX_FLOW_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,5 +45,3 @@ class MaxFlowNetwork {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_MAX_FLOW_H_

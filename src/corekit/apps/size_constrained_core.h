@@ -16,8 +16,7 @@
 // Table IX reports the hit rate: queries answered with a subgraph within
 // 5% of the requested size h.
 
-#ifndef COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_
-#define COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -71,5 +70,3 @@ class SizeConstrainedCoreSolver {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_SIZE_CONSTRAINED_CORE_H_

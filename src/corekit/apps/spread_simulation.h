@@ -9,8 +9,7 @@
 // reproduce that comparison on synthetic networks (see
 // examples/influential_spreaders.cpp and bench/ext_spreaders).
 
-#ifndef COREKIT_APPS_SPREAD_SIMULATION_H_
-#define COREKIT_APPS_SPREAD_SIMULATION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -51,5 +50,3 @@ std::vector<VertexId> TopCorenessVertices(const Graph& graph,
                                           VertexId count);
 
 }  // namespace corekit
-
-#endif  // COREKIT_APPS_SPREAD_SIMULATION_H_

@@ -6,8 +6,7 @@
 // preparation, turning best-k-by-cc into a near-O(n) computation with a
 // quantified accuracy trade-off (see bench/ext_approx_cc).
 
-#ifndef COREKIT_CORE_APPROX_TRIANGLES_H_
-#define COREKIT_CORE_APPROX_TRIANGLES_H_
+#pragma once
 
 #include <cstdint>
 
@@ -35,5 +34,3 @@ ApproxTriangleStats EstimateTriangles(const Graph& graph,
                                       std::uint64_t seed);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_APPROX_TRIANGLES_H_

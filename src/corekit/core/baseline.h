@@ -11,8 +11,7 @@
 // Outputs are bit-identical in structure to the optimal algorithms'
 // profiles so the tests can assert exact score equality.
 
-#ifndef COREKIT_CORE_BASELINE_H_
-#define COREKIT_CORE_BASELINE_H_
+#pragma once
 
 #include <vector>
 
@@ -51,5 +50,3 @@ PrimaryValues ScratchSingleCorePrimaries(const Graph& graph,
                                          VertexId k, bool with_triangles);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_BASELINE_H_

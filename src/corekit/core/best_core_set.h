@@ -17,8 +17,7 @@
 // The profile of *every* k is returned, not just the argmax, since the
 // paper highlights that intermediate scores benefit other k-core problems.
 
-#ifndef COREKIT_CORE_BEST_CORE_SET_H_
-#define COREKIT_CORE_BEST_CORE_SET_H_
+#pragma once
 
 #include <vector>
 
@@ -59,5 +58,3 @@ CoreSetProfile FindBestCoreSet(const OrderedGraph& ordered,
 VertexId ArgmaxLargestK(const std::vector<double>& scores);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_BEST_CORE_SET_H_

@@ -8,8 +8,7 @@
 // Complexity matches the paper: O(m) end-to-end for metrics on
 // in/out/num, O(m^1.5) when triangles/triplets are required; O(m) space.
 
-#ifndef COREKIT_CORE_BEST_SINGLE_CORE_H_
-#define COREKIT_CORE_BEST_SINGLE_CORE_H_
+#pragma once
 
 #include <vector>
 
@@ -50,5 +49,3 @@ SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
                                      bool needs_triangles);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_BEST_SINGLE_CORE_H_

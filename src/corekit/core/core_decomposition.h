@@ -7,8 +7,7 @@
 // recomputing degrees) lives in naive_oracle.h and is used by the tests to
 // validate this one.
 
-#ifndef COREKIT_CORE_CORE_DECOMPOSITION_H_
-#define COREKIT_CORE_CORE_DECOMPOSITION_H_
+#pragma once
 
 #include <vector>
 
@@ -46,5 +45,3 @@ CoreDecomposition ComputeCoreDecomposition(const Graph& graph);
 std::vector<bool> CoreSetMask(const CoreDecomposition& cores, VertexId k);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_CORE_DECOMPOSITION_H_

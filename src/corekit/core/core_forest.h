@@ -13,8 +13,7 @@
 // ancestor) — and the remaining nodes are sorted by descending coreness,
 // the processing order Algorithm 5 requires.
 
-#ifndef COREKIT_CORE_CORE_FOREST_H_
-#define COREKIT_CORE_CORE_FOREST_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -72,5 +71,3 @@ class CoreForest {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_CORE_FOREST_H_

@@ -7,8 +7,7 @@
 // from parent cores to the denser cores they contain.  Render with
 // `dot -Tsvg hierarchy.dot -o hierarchy.svg`.
 
-#ifndef COREKIT_CORE_HIERARCHY_EXPORT_H_
-#define COREKIT_CORE_HIERARCHY_EXPORT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -40,5 +39,3 @@ Status WriteCoreForestDot(const CoreForest& forest, const std::string& path,
                           const HierarchyDotOptions& options = {});
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_HIERARCHY_EXPORT_H_

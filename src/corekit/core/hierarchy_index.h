@@ -18,8 +18,7 @@
 // cores containing it is its community hierarchy, and the index makes
 // every level addressable.
 
-#ifndef COREKIT_CORE_HIERARCHY_INDEX_H_
-#define COREKIT_CORE_HIERARCHY_INDEX_H_
+#pragma once
 
 #include <vector>
 
@@ -58,5 +57,3 @@ class CoreHierarchyIndex {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_HIERARCHY_INDEX_H_

@@ -16,8 +16,7 @@
 // Both consume profiles from FindBestCoreSetMulti, so combining M metrics
 // still costs a single shell walk.
 
-#ifndef COREKIT_CORE_METRIC_COMBINATION_H_
-#define COREKIT_CORE_METRIC_COMBINATION_H_
+#pragma once
 
 #include <span>
 #include <vector>
@@ -47,5 +46,3 @@ CombinedProfile CombineWeighted(std::span<const CoreSetProfile> profiles,
 CombinedProfile CombineBorda(std::span<const CoreSetProfile> profiles);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_METRIC_COMBINATION_H_

@@ -18,8 +18,7 @@
 // Degenerate-subgraph conventions (documented per accessor below) follow
 // the natural limits so that score profiles are total functions of k.
 
-#ifndef COREKIT_CORE_METRICS_H_
-#define COREKIT_CORE_METRICS_H_
+#pragma once
 
 #include <functional>
 #include <optional>
@@ -94,5 +93,3 @@ using MetricFn =
 MetricFn MetricFunction(Metric metric);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_METRICS_H_

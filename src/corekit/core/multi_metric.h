@@ -7,8 +7,7 @@
 // benches and the sweep example use this to regenerate whole tables at
 // the cost of a single profile.
 
-#ifndef COREKIT_CORE_MULTI_METRIC_H_
-#define COREKIT_CORE_MULTI_METRIC_H_
+#pragma once
 
 #include <span>
 #include <vector>
@@ -29,5 +28,3 @@ std::vector<SingleCoreProfile> FindBestSingleCoreMulti(
     std::span<const Metric> metrics);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_MULTI_METRIC_H_

@@ -7,8 +7,7 @@
 // small-scale debugging; nothing in the library's production paths calls
 // them.
 
-#ifndef COREKIT_CORE_NAIVE_ORACLE_H_
-#define COREKIT_CORE_NAIVE_ORACLE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -45,5 +44,3 @@ double NaiveCoreSetScore(const Graph& graph, VertexId k, Metric metric);
 std::uint64_t NaiveTriangleCount(const Graph& graph);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_NAIVE_ORACLE_H_

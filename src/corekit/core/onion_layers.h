@@ -10,8 +10,7 @@
 // fingerprint visualization (viz/svg_fingerprint.h) uses for radial
 // depth.
 
-#ifndef COREKIT_CORE_ONION_LAYERS_H_
-#define COREKIT_CORE_ONION_LAYERS_H_
+#pragma once
 
 #include <vector>
 
@@ -34,5 +33,3 @@ struct OnionDecomposition {
 OnionDecomposition ComputeOnionDecomposition(const Graph& graph);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_ONION_LAYERS_H_

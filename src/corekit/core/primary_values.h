@@ -13,8 +13,7 @@
 // the doubled value is always even whenever a whole shell / tree node has
 // been absorbed.
 
-#ifndef COREKIT_CORE_PRIMARY_VALUES_H_
-#define COREKIT_CORE_PRIMARY_VALUES_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -67,5 +66,3 @@ std::string ToString(const PrimaryValues& pv);
 bool operator==(const PrimaryValues& a, const PrimaryValues& b);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_PRIMARY_VALUES_H_

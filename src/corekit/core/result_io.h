@@ -9,8 +9,7 @@
 //   * CSV export of CoreSetProfile / SingleCoreProfile for plotting the
 //     Figure 5 / Figure 6 curves with external tools.
 
-#ifndef COREKIT_CORE_RESULT_IO_H_
-#define COREKIT_CORE_RESULT_IO_H_
+#pragma once
 
 #include <string>
 
@@ -39,5 +38,3 @@ Status WriteSingleCoreProfileCsv(const SingleCoreProfile& profile,
                                  const std::string& path);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_RESULT_IO_H_

@@ -6,8 +6,7 @@
 // rank follows a degeneracy ordering, |N(u, >r)| <= 2*sqrt(m) (Lemma in
 // Section III-D), which gives the O(m^1.5) bound.
 
-#ifndef COREKIT_CORE_TRIANGLE_SCORING_H_
-#define COREKIT_CORE_TRIANGLE_SCORING_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -37,5 +36,3 @@ std::uint64_t CountTriplets(const Graph& graph);
 inline std::uint64_t Choose2(std::uint64_t x) { return x * (x - 1) / 2; }
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_TRIANGLE_SCORING_H_

@@ -14,8 +14,7 @@
 // The result is bit-compatible with CoreForest up to child ordering and
 // per-node vertex ordering; tests assert structural equivalence.
 
-#ifndef COREKIT_CORE_UNION_FIND_FOREST_H_
-#define COREKIT_CORE_UNION_FIND_FOREST_H_
+#pragma once
 
 #include <vector>
 
@@ -49,5 +48,3 @@ UnionFindForest BuildUnionFindForest(const Graph& graph,
 bool ForestsEquivalent(const CoreForest& lcps, const UnionFindForest& uf);
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_UNION_FIND_FOREST_H_

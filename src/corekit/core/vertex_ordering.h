@@ -15,8 +15,7 @@
 // through kmax+1 bins) and a single scan for the tags: O(m) time, O(m)
 // space — no comparison sort anywhere, exactly as the paper prescribes.
 
-#ifndef COREKIT_CORE_VERTEX_ORDERING_H_
-#define COREKIT_CORE_VERTEX_ORDERING_H_
+#pragma once
 
 #include <span>
 #include <vector>
@@ -133,5 +132,3 @@ class OrderedGraph {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_CORE_VERTEX_ORDERING_H_

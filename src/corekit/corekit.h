@@ -15,8 +15,7 @@
 // See README.md for the architecture overview and examples/ for runnable
 // programs.
 
-#ifndef COREKIT_COREKIT_H_
-#define COREKIT_COREKIT_H_
+#pragma once
 
 #include "corekit/apps/anomaly_detection.h"
 #include "corekit/apps/community_search.h"
@@ -80,5 +79,3 @@
 #include "corekit/viz/svg_fingerprint.h"
 #include "corekit/util/table_printer.h"
 #include "corekit/util/timer.h"
-
-#endif  // COREKIT_COREKIT_H_

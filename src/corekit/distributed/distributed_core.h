@@ -18,8 +18,7 @@
 // show the convergence behaviour [43] reports, and tested against the
 // exact Batagelj–Zaversnik decomposition.
 
-#ifndef COREKIT_DISTRIBUTED_DISTRIBUTED_CORE_H_
-#define COREKIT_DISTRIBUTED_DISTRIBUTED_CORE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -50,5 +49,3 @@ DistributedCoreResult ComputeCoreDecompositionDistributed(
 VertexId CappedHIndex(const std::vector<VertexId>& estimates, VertexId cap);
 
 }  // namespace corekit
-
-#endif  // COREKIT_DISTRIBUTED_DISTRIBUTED_CORE_H_

@@ -16,8 +16,7 @@
 // a degree-support cascade.  Both touch O(|subcore|) vertices — on real
 // graphs orders of magnitude below n (see bench/ext_dynamic).
 
-#ifndef COREKIT_DYNAMIC_DYNAMIC_CORE_H_
-#define COREKIT_DYNAMIC_DYNAMIC_CORE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -82,5 +81,3 @@ class DynamicCoreIndex {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_DYNAMIC_DYNAMIC_CORE_H_

@@ -8,18 +8,41 @@
 #include "corekit/parallel/parallel_triangles.h"
 #include "corekit/util/timer.h"
 
+#ifdef COREKIT_AUDIT
+#include "corekit/analysis/invariant_audit.h"
+#include "corekit/util/logging.h"
+#endif
+
 namespace corekit {
 
 namespace {
 
-// Stage names.  The per-metric stages append the paper abbreviation:
-// "coreset[ad]", "singlecore[mod]", ...
-constexpr char kStageDecompose[] = "decompose";
-constexpr char kStageOrder[] = "order";
-constexpr char kStageForest[] = "forest";
-constexpr char kStageComponents[] = "components";
-constexpr char kStageTriangles[] = "triangles";
-constexpr char kStageTriplets[] = "triplets";
+#ifdef COREKIT_AUDIT
+// Audit-mode stage gate: a published artifact that fails its invariant
+// audit is a poisoned cache every later query would consume, so abort
+// with the full violation report (sanitizer semantics).  Runs after the
+// stage timer stops — audit overhead never skews StageStats.
+void CheckStageAudit(const AuditResult& audit, std::string_view stage) {
+  COREKIT_CHECK(audit.ok()) << "COREKIT_AUDIT: stage \"" << stage
+                            << "\" published a corrupted artifact ("
+                            << audit.total_violations << " violations):\n"
+                            << audit.Summary();
+}
+#endif
+
+// Fixed stage names come from the EngineStage table (stage_stats.h); the
+// per-metric stages append the paper abbreviation: "coreset[ad]",
+// "singlecore[mod]", ...
+constexpr std::string_view kStageDecompose =
+    EngineStageName(EngineStage::kDecompose);
+constexpr std::string_view kStageOrder = EngineStageName(EngineStage::kOrder);
+constexpr std::string_view kStageForest = EngineStageName(EngineStage::kForest);
+constexpr std::string_view kStageComponents =
+    EngineStageName(EngineStage::kComponents);
+constexpr std::string_view kStageTriangles =
+    EngineStageName(EngineStage::kTriangles);
+constexpr std::string_view kStageTriplets =
+    EngineStageName(EngineStage::kTriplets);
 
 // --- Byte estimates ------------------------------------------------------
 //
@@ -70,11 +93,13 @@ std::uint64_t SingleCoreProfileBytes(const SingleCoreProfile& profile) {
 }  // namespace
 
 std::string CoreEngine::CoreSetStageName(Metric metric) {
-  return std::string("coreset[") + MetricShortName(metric) + "]";
+  return std::string(EngineStageName(EngineStage::kCoreSet)) + "[" +
+         MetricShortName(metric) + "]";
 }
 
 std::string CoreEngine::SingleCoreStageName(Metric metric) {
-  return std::string("singlecore[") + MetricShortName(metric) + "]";
+  return std::string(EngineStageName(EngineStage::kSingleCore)) + "[" +
+         MetricShortName(metric) + "]";
 }
 
 CoreEngine::CoreEngine(const Graph& graph, CoreEngineOptions options)
@@ -113,7 +138,8 @@ ThreadPool& CoreEngine::Pool() {
 //      threads racing a cold stage therefore report builds == 1 and
 //      hits == N - 1, the invariant the concurrency tests assert.
 template <typename BuildFn>
-void CoreEngine::RunOnce(BuildFlag& flag, const char* stage, BuildFn&& build) {
+void CoreEngine::RunOnce(BuildFlag& flag, std::string_view stage,
+                         BuildFn&& build) {
   bool built_here = false;
   if (!flag.ready.load(std::memory_order_acquire)) {
     std::call_once(flag.once, [&] {
@@ -172,6 +198,9 @@ void CoreEngine::BuildCores() {
   record.seconds += seconds;
   record.bytes = DecompositionBytes(*cores_);
   record.threads = threads;
+#ifdef COREKIT_AUDIT
+  CheckStageAudit(AuditCoreDecomposition(*graph_, *cores_), kStageDecompose);
+#endif
 }
 
 void CoreEngine::BuildOrdered() {
@@ -183,6 +212,9 @@ void CoreEngine::BuildOrdered() {
   ++record.builds;
   record.seconds += seconds;
   record.bytes = OrderedBytes(*graph_, ordered_->kmax());
+#ifdef COREKIT_AUDIT
+  CheckStageAudit(AuditOrderedGraph(*graph_, cores, *ordered_), kStageOrder);
+#endif
 }
 
 void CoreEngine::BuildForest() {
@@ -198,6 +230,9 @@ void CoreEngine::BuildForest() {
       // node_of_vertex_ + subtree_size_: one VertexId-sized entry each per
       // vertex / node, dominated by the per-vertex array.
       2 * static_cast<std::uint64_t>(graph_->NumVertices()) * sizeof(VertexId);
+#ifdef COREKIT_AUDIT
+  CheckStageAudit(AuditCoreForest(*graph_, cores, *forest_), kStageForest);
+#endif
 }
 
 void CoreEngine::BuildComponents() {
@@ -259,6 +294,14 @@ const CoreSetProfile& CoreEngine::BestCoreSet(Metric metric) {
       ++record.builds;
       record.seconds += seconds;
       record.bytes = CoreSetProfileBytes(slot->profile);
+#ifdef COREKIT_AUDIT
+      // *cores_ (not Cores()): the accessor would bump the hit counter
+      // and skew the exactly-once accounting the concurrency tests
+      // assert.  Ordered() above guarantees the decomposition is built.
+      CheckStageAudit(
+          AuditPrimaryValues(*graph_, *cores_, slot->profile.primaries),
+          CoreSetStageName(metric));
+#endif
       slot->flag.ready.store(true, std::memory_order_release);
       built_here = true;
     });
@@ -291,6 +334,13 @@ const SingleCoreProfile& CoreEngine::BestSingleCore(Metric metric) {
       ++record.builds;
       record.seconds += seconds;
       record.bytes = SingleCoreProfileBytes(slot->profile);
+#ifdef COREKIT_AUDIT
+      if (forest.NumNodes() > 0) {
+        CheckStageAudit(AuditSingleCorePrimaryValues(*graph_, forest,
+                                                     slot->profile.primaries),
+                        SingleCoreStageName(metric));
+      }
+#endif
       slot->flag.ready.store(true, std::memory_order_release);
       built_here = true;
     });

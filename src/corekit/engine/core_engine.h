@@ -50,8 +50,7 @@
 // from K client threads over a mixed query workload; the concurrency
 // tests and bench/ext_concurrency build on it.
 
-#ifndef COREKIT_ENGINE_CORE_ENGINE_H_
-#define COREKIT_ENGINE_CORE_ENGINE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -60,6 +59,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "corekit/core/best_core_set.h"
 #include "corekit/core/best_single_core.h"
@@ -185,7 +185,7 @@ class CoreEngine {
   // accounting for everyone else.  `stage` names the StageRecord that
   // takes the hit.
   template <typename BuildFn>
-  void RunOnce(BuildFlag& flag, const char* stage, BuildFn&& build);
+  void RunOnce(BuildFlag& flag, std::string_view stage, BuildFn&& build);
 
   // Owned storage for the Graph&& constructor; unused when borrowing.
   std::optional<Graph> owned_graph_;
@@ -219,5 +219,3 @@ class CoreEngine {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_ENGINE_CORE_ENGINE_H_

@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <thread>
 
-#include "corekit/apps/community_search.h"
 #include "corekit/util/random.h"
 #include "corekit/util/timer.h"
 
@@ -34,8 +33,7 @@ EngineClientReport RunClient(CoreEngine& engine,
   SplitMix64 stream(options.seed ^
                     (0x9e3779b97f4a7c15ULL *
                      (static_cast<std::uint64_t>(client) + 1)));
-  const std::uint64_t n = engine.graph().NumVertices();
-  const std::uint64_t num_kinds = options.community_search ? 6 : 5;
+  const std::uint64_t num_kinds = options.extension_query ? 6 : 5;
   constexpr std::uint64_t kNumMetrics =
       sizeof(kAllMetrics) / sizeof(kAllMetrics[0]);
   for (std::uint32_t i = 0; i < options.queries_per_client; ++i) {
@@ -69,17 +67,9 @@ EngineClientReport RunClient(CoreEngine& engine,
         fold = MixInto(components.num_components, components.label.size());
         break;
       }
-      default: {  // community search through the apps layer
-        if (n > 0) {
-          CommunitySearcher searcher(engine, metric);
-          const auto query = static_cast<VertexId>(pick % n);
-          const CommunitySearchResult result = searcher.Search(query);
-          fold = MixInto(MixInto(result.found ? 1u : 0u, result.k),
-                         MixInto(DoubleBits(result.score),
-                                 result.members.size()));
-        }
+      default:  // the injected extension kind (e.g. community search)
+        fold = options.extension_query(engine, metric, pick);
         break;
-      }
     }
     const double seconds = timer.ElapsedSeconds();
     report.total_seconds += seconds;

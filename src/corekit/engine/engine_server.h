@@ -12,7 +12,7 @@
 //   * BestSingleCore(metric)  (Problem 2, Algorithm 5)
 //   * Triangles / Triplets    (global counting stages)
 //   * Components              (BFS labeling)
-//   * CommunitySearcher::Search(v)  (the apps-layer consumer, optional)
+//   * an injected extension kind    (e.g. apps-layer community search)
 //
 // — and reports per-client latency plus an order-independent checksum
 // folding every answer.  The mix for client c under seed s is a pure
@@ -21,15 +21,24 @@
 // concurrent run must reproduce bit-for-bit.  The concurrency test suite
 // and bench/ext_concurrency are built on exactly that comparison.
 
-#ifndef COREKIT_ENGINE_ENGINE_SERVER_H_
-#define COREKIT_ENGINE_ENGINE_SERVER_H_
+#pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "corekit/engine/core_engine.h"
 
 namespace corekit {
+
+// An optional sixth query kind supplied by a layer above the engine
+// (e.g. apps-layer community search: CommunitySearchQueryFold).  Receives
+// the shared engine, the metric drawn for this query, and the raw pick
+// value; must return a deterministic fold of its answer.  Injected via
+// EngineServerOptions so the engine layer never includes apps/ — the
+// dependency points downward only (corekit_lint enforces the layering).
+using EngineExtensionQuery =
+    std::function<std::uint64_t(CoreEngine&, Metric, std::uint64_t pick)>;
 
 struct EngineServerOptions {
   // Client threads to spawn (ServeQueryMix) / client streams to replay
@@ -39,9 +48,11 @@ struct EngineServerOptions {
   std::uint32_t queries_per_client = 32;
   // Seed for the deterministic query mix.
   std::uint64_t seed = 0xC04EC1D5ULL;
-  // Include community-search queries (drags in the apps layer on top of
-  // the engine caches).  Off when benchmarking raw engine stages only.
-  bool community_search = true;
+  // When set, the mix draws a sixth query kind answered by this callable
+  // (must be thread-safe: every client invokes it concurrently).  Leave
+  // empty when benchmarking raw engine stages only.  Changing this
+  // changes the kind stream, so serial replays must use the same setting.
+  EngineExtensionQuery extension_query;
 };
 
 // What one client measured.
@@ -82,5 +93,3 @@ EngineServeReport ServeQueryMixSerial(CoreEngine& engine,
                                       const EngineServerOptions& options);
 
 }  // namespace corekit
-
-#endif  // COREKIT_ENGINE_ENGINE_SERVER_H_

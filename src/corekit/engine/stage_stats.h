@@ -18,18 +18,51 @@
 // never observe a torn counter, though across *different* counters they
 // may see a mix of pre- and post-reset values.
 
-#ifndef COREKIT_ENGINE_STAGE_STATS_H_
-#define COREKIT_ENGINE_STAGE_STATS_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace corekit {
+
+// The stages the CoreEngine pipeline can record, one per lazy artifact.
+// kCoreSet / kSingleCore are the *base* names of the per-metric stages;
+// their records are keyed "coreset[ad]", "singlecore[mod]", ... (see
+// CoreEngine::CoreSetStageName).  kCount is a sentinel, not a stage.
+enum class EngineStage : int {
+  kDecompose = 0,
+  kOrder,
+  kForest,
+  kComponents,
+  kTriangles,
+  kTriplets,
+  kCoreSet,
+  kSingleCore,
+  kCount,
+};
+
+// JSON stage names, indexed by EngineStage.  Entry i must be the
+// lowercased enumerator name (minus its `k` prefix); tools/corekit_lint
+// (rule `stage-table`) re-derives the correspondence from this header
+// and fails CI when the two drift.  Renaming an entry is a StageStats
+// schema change (bump kStageStatsSchemaVersion below).
+inline constexpr std::string_view kEngineStageNames[] = {
+    "decompose", "order",     "forest",  "components",
+    "triangles", "triplets",  "coreset", "singlecore",
+};
+static_assert(std::size(kEngineStageNames) ==
+                  static_cast<std::size_t>(EngineStage::kCount),
+              "kEngineStageNames must have one entry per EngineStage");
+
+constexpr std::string_view EngineStageName(EngineStage stage) {
+  return kEngineStageNames[static_cast<int>(stage)];
+}
 
 // Version of the JSON layout ToJson() emits.  Consumers (the benchmark
 // harness, bench_diff, log shipping) key on this; bump it whenever a
@@ -128,5 +161,3 @@ class StageStats {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_ENGINE_STAGE_STATS_H_

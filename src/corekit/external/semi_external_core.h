@@ -18,8 +18,7 @@
 // any graph written with WriteBinaryGraph can be decomposed without ever
 // loading its edges into memory.
 
-#ifndef COREKIT_EXTERNAL_SEMI_EXTERNAL_CORE_H_
-#define COREKIT_EXTERNAL_SEMI_EXTERNAL_CORE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -47,5 +46,3 @@ Result<SemiExternalCoreResult> SemiExternalCoreDecomposition(
     const std::string& binary_graph_path);
 
 }  // namespace corekit
-
-#endif  // COREKIT_EXTERNAL_SEMI_EXTERNAL_CORE_H_

@@ -12,8 +12,7 @@
 //
 // All generators are deterministic given their seed.
 
-#ifndef COREKIT_GEN_GENERATORS_H_
-#define COREKIT_GEN_GENERATORS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -89,5 +88,3 @@ struct OnionParams {
 Graph GenerateOnion(const OnionParams& params);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GEN_GENERATORS_H_

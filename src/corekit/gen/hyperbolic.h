@@ -14,8 +14,7 @@
 // intended for n up to a few tens of thousands, which covers the test
 // and bench scales.
 
-#ifndef COREKIT_GEN_HYPERBOLIC_H_
-#define COREKIT_GEN_HYPERBOLIC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -37,5 +36,3 @@ struct HyperbolicParams {
 Graph GenerateHyperbolic(const HyperbolicParams& params);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GEN_HYPERBOLIC_H_

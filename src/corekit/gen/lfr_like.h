@@ -13,8 +13,7 @@
 // duplicates dropped), which preserves the degree and mixing structure
 // while staying O(m).
 
-#ifndef COREKIT_GEN_LFR_LIKE_H_
-#define COREKIT_GEN_LFR_LIKE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -51,5 +50,3 @@ struct LfrLikeResult {
 LfrLikeResult GenerateLfrLike(const LfrLikeParams& params);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GEN_LFR_LIKE_H_

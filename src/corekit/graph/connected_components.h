@@ -4,8 +4,7 @@
 // between the k-core-set view (Problem 1) and the single-k-core view
 // (Problem 2) of the paper.
 
-#ifndef COREKIT_GRAPH_CONNECTED_COMPONENTS_H_
-#define COREKIT_GRAPH_CONNECTED_COMPONENTS_H_
+#pragma once
 
 #include <vector>
 
@@ -35,5 +34,3 @@ ComponentLabels InducedConnectedComponents(const Graph& graph,
                                            const std::vector<bool>& in_subset);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_CONNECTED_COMPONENTS_H_

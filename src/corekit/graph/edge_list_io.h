@@ -10,8 +10,7 @@
 // The binary format (magic "CKG1") stores the normalized CSR arrays for
 // fast reloads of large graphs.
 
-#ifndef COREKIT_GRAPH_EDGE_LIST_IO_H_
-#define COREKIT_GRAPH_EDGE_LIST_IO_H_
+#pragma once
 
 #include <string>
 
@@ -35,5 +34,3 @@ Status WriteBinaryGraph(const Graph& graph, const std::string& path);
 Result<Graph> ReadBinaryGraph(const std::string& path);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_EDGE_LIST_IO_H_

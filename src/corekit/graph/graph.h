@@ -8,8 +8,7 @@
 // Memory: offsets[n+1] (8 bytes each) + neighbors[2m] (4 bytes each), i.e.
 // the O(m) space bound the paper's optimality argument assumes.
 
-#ifndef COREKIT_GRAPH_GRAPH_H_
-#define COREKIT_GRAPH_GRAPH_H_
+#pragma once
 
 #include <span>
 #include <vector>
@@ -77,5 +76,3 @@ class Graph {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_GRAPH_H_

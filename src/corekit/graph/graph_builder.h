@@ -4,8 +4,7 @@
 // self-loops, and produces the undirected simple Graph the paper's
 // algorithms assume.  Two-pass counting-sort construction, O(n + m) time.
 
-#ifndef COREKIT_GRAPH_GRAPH_BUILDER_H_
-#define COREKIT_GRAPH_GRAPH_BUILDER_H_
+#pragma once
 
 #include <vector>
 
@@ -48,5 +47,3 @@ class GraphBuilder {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_GRAPH_BUILDER_H_

@@ -1,11 +1,62 @@
 #include "corekit/graph/graph_stats.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
-#include "corekit/core/core_decomposition.h"
 #include "corekit/graph/connected_components.h"
 
 namespace corekit {
+
+namespace {
+
+// Degeneracy by the classic O(n + m) bin-sort peel (Matula–Beck).  The
+// full decomposition lives in core/core_decomposition.cc; this local copy
+// keeps the graph layer below core/ (corekit_lint enforces that layering),
+// and a graph-level stat should not drag in the solver stack anyway.
+VertexId Degeneracy(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return 0;
+  VertexId max_degree = 0;
+  std::vector<VertexId> degree(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Vertices bin-sorted by current degree: bin[d] is the first position of
+  // degree d in `order`; pos[v] inverts `order`.
+  std::vector<VertexId> bin(static_cast<std::size_t>(max_degree) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (std::size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+  std::vector<VertexId> order(n);
+  std::vector<VertexId> pos(n);
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+  VertexId degeneracy = 0;
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    degeneracy = std::max(degeneracy, degree[v]);
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (degree[u] <= degree[v]) continue;
+      // Swap u with the first vertex of its degree bucket, then shrink
+      // the bucket: u's degree drops by one in O(1).
+      const VertexId d = degree[u];
+      const VertexId first = order[bin[d]];
+      std::swap(order[pos[u]], order[bin[d]]);
+      std::swap(pos[u], pos[first]);
+      ++bin[d];
+      --degree[u];
+    }
+  }
+  return degeneracy;
+}
+
+}  // namespace
 
 GraphStats ComputeGraphStats(const Graph& graph) {
   GraphStats stats;
@@ -23,7 +74,7 @@ GraphStats ComputeGraphStats(const Graph& graph) {
     stats.min_degree = std::min(stats.min_degree, d);
   }
 
-  stats.degeneracy = ComputeCoreDecomposition(graph).kmax;
+  stats.degeneracy = Degeneracy(graph);
 
   const ComponentLabels components = ConnectedComponents(graph);
   stats.num_components = components.num_components;

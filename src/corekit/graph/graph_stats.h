@@ -2,8 +2,7 @@
 // degree-distribution summaries used to sanity-check the synthetic
 // dataset stand-ins against the originals' shapes.
 
-#ifndef COREKIT_GRAPH_GRAPH_STATS_H_
-#define COREKIT_GRAPH_GRAPH_STATS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -34,5 +33,3 @@ GraphStats ComputeGraphStats(const Graph& graph);
 std::vector<EdgeId> DegreeHistogram(const Graph& graph);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_GRAPH_STATS_H_

@@ -8,8 +8,7 @@
 // unweighted variants (fmt absent, "0", or "00") are supported — corekit
 // graphs are unweighted at the I/O boundary.
 
-#ifndef COREKIT_GRAPH_METIS_IO_H_
-#define COREKIT_GRAPH_METIS_IO_H_
+#pragma once
 
 #include <string>
 
@@ -28,5 +27,3 @@ Result<Graph> ReadMetisGraph(const std::string& path);
 Status WriteMetisGraph(const Graph& graph, const std::string& path);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_METIS_IO_H_

@@ -10,8 +10,7 @@
 // error (alpha - 1)/sqrt(n_tail).  Social-network degree tails land at
 // alpha in roughly (2, 3.5]; ER degrees (Poisson) blow the estimate up.
 
-#ifndef COREKIT_GRAPH_POWER_LAW_H_
-#define COREKIT_GRAPH_POWER_LAW_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -38,5 +37,3 @@ PowerLawFit FitDiscretePowerLaw(const std::vector<VertexId>& samples,
                                 VertexId xmin);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_POWER_LAW_H_

@@ -5,8 +5,7 @@
 // k-core (set); this module provides that operation with an id mapping
 // back to the parent graph.
 
-#ifndef COREKIT_GRAPH_SUBGRAPH_H_
-#define COREKIT_GRAPH_SUBGRAPH_H_
+#pragma once
 
 #include <vector>
 
@@ -34,5 +33,3 @@ InducedSubgraph ExtractInducedSubgraph(const Graph& graph,
                                        const std::vector<bool>& mask);
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_SUBGRAPH_H_

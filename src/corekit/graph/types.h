@@ -1,7 +1,6 @@
 // Fundamental graph typedefs shared across corekit.
 
-#ifndef COREKIT_GRAPH_TYPES_H_
-#define COREKIT_GRAPH_TYPES_H_
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -29,5 +28,3 @@ inline constexpr VertexId kInvalidVertex =
 using EdgeList = std::vector<Edge>;
 
 }  // namespace corekit
-
-#endif  // COREKIT_GRAPH_TYPES_H_

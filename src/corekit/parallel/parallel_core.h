@@ -14,8 +14,7 @@
 // Speedups are bounded by the number of levels (kmax sync barriers) and
 // frontier sizes; dense deep graphs parallelize best.
 
-#ifndef COREKIT_PARALLEL_PARALLEL_CORE_H_
-#define COREKIT_PARALLEL_PARALLEL_CORE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -38,5 +37,3 @@ CoreDecomposition ComputeCoreDecompositionParallel(const Graph& graph,
                                                    ThreadPool& pool);
 
 }  // namespace corekit
-
-#endif  // COREKIT_PARALLEL_PARALLEL_CORE_H_

@@ -4,8 +4,7 @@
 // shared state).  Each worker carries its own mark scratch; counts reduce
 // with an atomic add per chunk.
 
-#ifndef COREKIT_PARALLEL_PARALLEL_TRIANGLES_H_
-#define COREKIT_PARALLEL_PARALLEL_TRIANGLES_H_
+#pragma once
 
 #include <cstdint>
 
@@ -25,5 +24,3 @@ std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
                                      ThreadPool& pool);
 
 }  // namespace corekit
-
-#endif  // COREKIT_PARALLEL_PARALLEL_TRIANGLES_H_

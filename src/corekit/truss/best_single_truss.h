@@ -8,8 +8,7 @@
 // O(sum over trusses of their size), the truss analogue of the paper's
 // Section IV-B baseline.
 
-#ifndef COREKIT_TRUSS_BEST_SINGLE_TRUSS_H_
-#define COREKIT_TRUSS_BEST_SINGLE_TRUSS_H_
+#pragma once
 
 #include <vector>
 
@@ -41,5 +40,3 @@ SingleTrussProfile FindBestSingleTruss(const Graph& graph,
                                        Metric metric);
 
 }  // namespace corekit
-
-#endif  // COREKIT_TRUSS_BEST_SINGLE_TRUSS_H_

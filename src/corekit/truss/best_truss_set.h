@@ -18,8 +18,7 @@
 // Complexity: after the O(m^1.5) truss decomposition, scoring every level
 // takes O(m) — each edge and each vertex is absorbed exactly once.
 
-#ifndef COREKIT_TRUSS_BEST_TRUSS_SET_H_
-#define COREKIT_TRUSS_BEST_TRUSS_SET_H_
+#pragma once
 
 #include <vector>
 
@@ -52,5 +51,3 @@ TrussSetProfile FindBestTrussSet(const Graph& graph,
                                  const MetricFn& metric);
 
 }  // namespace corekit
-
-#endif  // COREKIT_TRUSS_BEST_TRUSS_SET_H_

@@ -4,8 +4,7 @@
 // the same optimal-vs-baseline gap for trusses that Figure 7 shows for
 // cores.
 
-#ifndef COREKIT_TRUSS_TRUSS_BASELINE_H_
-#define COREKIT_TRUSS_TRUSS_BASELINE_H_
+#pragma once
 
 #include "corekit/truss/best_truss_set.h"
 
@@ -25,5 +24,3 @@ TrussSetProfile BaselineFindBestTrussSet(const Graph& graph,
                                          Metric metric);
 
 }  // namespace corekit
-
-#endif  // COREKIT_TRUSS_TRUSS_BASELINE_H_

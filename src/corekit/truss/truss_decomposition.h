@@ -13,8 +13,7 @@
 // k-truss set incrementally from k = tmax down to 2.  best_truss_set.h
 // implements exactly that.
 
-#ifndef COREKIT_TRUSS_TRUSS_DECOMPOSITION_H_
-#define COREKIT_TRUSS_TRUSS_DECOMPOSITION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -48,5 +47,3 @@ TrussDecomposition ComputeTrussDecomposition(const Graph& graph);
 std::vector<VertexId> NaiveTrussNumbers(const Graph& graph);
 
 }  // namespace corekit
-
-#endif  // COREKIT_TRUSS_TRUSS_DECOMPOSITION_H_

@@ -20,8 +20,7 @@
 // therefore pairs this forest with a direct per-community scorer
 // (best_single_truss.h) rather than claiming optimality.
 
-#ifndef COREKIT_TRUSS_TRUSS_FOREST_H_
-#define COREKIT_TRUSS_TRUSS_FOREST_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -72,5 +71,3 @@ class TrussForest {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_TRUSS_TRUSS_FOREST_H_

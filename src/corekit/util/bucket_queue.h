@@ -9,8 +9,7 @@
 // Values are stored per-bucket in LIFO order.  Duplicate pushes of the same
 // value are allowed (LCPS relies on lazy deletion via its visited set).
 
-#ifndef COREKIT_UTIL_BUCKET_QUEUE_H_
-#define COREKIT_UTIL_BUCKET_QUEUE_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -70,5 +69,3 @@ class BucketQueue {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_UTIL_BUCKET_QUEUE_H_

@@ -16,8 +16,7 @@
 //
 // Not a streaming parser; documents here are kilobytes, not gigabytes.
 
-#ifndef COREKIT_UTIL_JSON_H_
-#define COREKIT_UTIL_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -114,5 +113,3 @@ std::string JsonFormatNumber(double value);
 std::string JsonQuote(std::string_view text);
 
 }  // namespace corekit
-
-#endif  // COREKIT_UTIL_JSON_H_

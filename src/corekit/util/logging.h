@@ -10,8 +10,7 @@
 //   COREKIT_DCHECK(cond);           // debug-only variant
 //   COREKIT_LOG(INFO) << "message";
 
-#ifndef COREKIT_UTIL_LOGGING_H_
-#define COREKIT_UTIL_LOGGING_H_
+#pragma once
 
 #include <cstdint>
 #include <sstream>
@@ -126,5 +125,3 @@ std::string CheckOpMessage(const char* expr, const A& a, const B& b) {
 #define COREKIT_DCHECK_LT(a, b) COREKIT_CHECK_LT(a, b)
 #define COREKIT_DCHECK_LE(a, b) COREKIT_CHECK_LE(a, b)
 #endif
-
-#endif  // COREKIT_UTIL_LOGGING_H_

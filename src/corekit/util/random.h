@@ -9,8 +9,7 @@
 // Rng wraps Xoshiro256** with the bounded-int / real / shuffle helpers the
 // library needs, all with fully specified behaviour.
 
-#ifndef COREKIT_UTIL_RANDOM_H_
-#define COREKIT_UTIL_RANDOM_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -122,5 +121,3 @@ class Rng {
 std::uint64_t SeedFromString(std::string_view name);
 
 }  // namespace corekit
-
-#endif  // COREKIT_UTIL_RANDOM_H_

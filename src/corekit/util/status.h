@@ -10,8 +10,7 @@
 //   if (!g.ok()) return g.status();
 //   Use(g.value());
 
-#ifndef COREKIT_UTIL_STATUS_H_
-#define COREKIT_UTIL_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -130,4 +129,23 @@ class Result {
     if (!_corekit_status.ok()) return _corekit_status; \
   } while (false)
 
-#endif  // COREKIT_UTIL_STATUS_H_
+namespace corekit::internal_status {
+
+// Out-of-line message builder so COREKIT_CHECK_OK stays small.
+inline std::string CheckOkMessage(const char* expr, const Status& status) {
+  return "Check failed: " + std::string(expr) + " is OK (" +
+         status.ToString() + ") ";
+}
+
+}  // namespace corekit::internal_status
+
+// Fatal unless `expr` (a Status expression, evaluated once) is OK; the
+// message includes the status code and text.  Usable as a stream for
+// extra context, like COREKIT_CHECK.  For *recoverable* errors prefer
+// COREKIT_RETURN_IF_ERROR; this macro is for statuses that can only be
+// non-OK through a programming error.
+#define COREKIT_CHECK_OK(expr)                                          \
+  for (const ::corekit::Status _corekit_check_ok_status = (expr);       \
+       !_corekit_check_ok_status.ok();)                                 \
+  COREKIT_LOG_FATAL << ::corekit::internal_status::CheckOkMessage(      \
+      #expr, _corekit_check_ok_status)

@@ -7,8 +7,7 @@
 //   t.AddRow({"er-small", "10000", "50000", "10.0", "12"});
 //   t.Print(std::cout);
 
-#ifndef COREKIT_UTIL_TABLE_PRINTER_H_
-#define COREKIT_UTIL_TABLE_PRINTER_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -40,5 +39,3 @@ class TablePrinter {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_UTIL_TABLE_PRINTER_H_

@@ -21,8 +21,7 @@
 // draining this pool" marker before touching any lock.  Nesting into a
 // *different* pool remains allowed.
 
-#ifndef COREKIT_UTIL_THREAD_POOL_H_
-#define COREKIT_UTIL_THREAD_POOL_H_
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -82,5 +81,3 @@ class ThreadPool {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_UTIL_THREAD_POOL_H_

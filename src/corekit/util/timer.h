@@ -1,8 +1,7 @@
 // Wall-clock timing utilities used by the benchmark harnesses (Figures 7-8
 // of the paper report end-to-end runtime of baseline vs optimal algorithms).
 
-#ifndef COREKIT_UTIL_TIMER_H_
-#define COREKIT_UTIL_TIMER_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -34,5 +33,3 @@ class Timer {
 };
 
 }  // namespace corekit
-
-#endif  // COREKIT_UTIL_TIMER_H_

@@ -10,8 +10,7 @@
 // color encodes coreness; a subsample cap keeps files viewable for large
 // graphs.
 
-#ifndef COREKIT_VIZ_SVG_FINGERPRINT_H_
-#define COREKIT_VIZ_SVG_FINGERPRINT_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -45,5 +44,3 @@ Status WriteCoreFingerprintSvg(const Graph& graph,
                                const SvgFingerprintOptions& options = {});
 
 }  // namespace corekit
-
-#endif  // COREKIT_VIZ_SVG_FINGERPRINT_H_

@@ -14,8 +14,7 @@
 // incrementally, and score the subgraph at every distinct s-value
 // threshold.  O(m) after the decomposition.
 
-#ifndef COREKIT_WEIGHTED_S_CORE_H_
-#define COREKIT_WEIGHTED_S_CORE_H_
+#pragma once
 
 #include <vector>
 
@@ -77,5 +76,3 @@ SCoreProfile FindBestSCore(const WeightedGraph& graph,
                            WeightedMetric metric);
 
 }  // namespace corekit
-
-#endif  // COREKIT_WEIGHTED_S_CORE_H_

@@ -10,8 +10,7 @@
 // (parallel interactions accumulate, the convention of the weighted
 // k-shell literature).
 
-#ifndef COREKIT_WEIGHTED_WEIGHTED_GRAPH_H_
-#define COREKIT_WEIGHTED_WEIGHTED_GRAPH_H_
+#pragma once
 
 #include <span>
 #include <vector>
@@ -97,5 +96,3 @@ WeightedGraph RandomlyWeighted(const Graph& graph, double max_weight,
                                std::uint64_t seed);
 
 }  // namespace corekit
-
-#endif  // COREKIT_WEIGHTED_WEIGHTED_GRAPH_H_

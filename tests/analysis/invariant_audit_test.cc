@@ -1,0 +1,260 @@
+// Tests for the COREKIT_AUDIT validators: clean structures pass, and each
+// auditor catches a deliberately corrupted structure of its kind.
+
+#include "corekit/analysis/invariant_audit.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corekit/core/best_core_set.h"
+#include "corekit/core/best_single_core.h"
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/core_forest.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/truss/truss_decomposition.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using testing::Fig2Graph;
+using testing::SmallGraphZoo;
+using testing::V;
+
+TEST(InvariantAuditTest, CleanStructuresPassEveryAuditor) {
+  for (const auto& [name, graph] : SmallGraphZoo()) {
+    SCOPED_TRACE(name);
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    EXPECT_TRUE(AuditCoreDecomposition(graph, cores).ok())
+        << AuditCoreDecomposition(graph, cores).Summary();
+
+    const OrderedGraph ordered(graph, cores);
+    EXPECT_TRUE(AuditOrderedGraph(graph, cores, ordered).ok())
+        << AuditOrderedGraph(graph, cores, ordered).Summary();
+
+    const CoreForest forest(graph, cores);
+    EXPECT_TRUE(AuditCoreForest(graph, cores, forest).ok())
+        << AuditCoreForest(graph, cores, forest).Summary();
+
+    for (const bool with_triangles : {false, true}) {
+      const std::vector<PrimaryValues> per_level =
+          ComputeCoreSetPrimaries(ordered, with_triangles);
+      EXPECT_TRUE(AuditPrimaryValues(graph, cores, per_level).ok())
+          << AuditPrimaryValues(graph, cores, per_level).Summary();
+      const std::vector<PrimaryValues> per_node =
+          ComputeSingleCorePrimaries(ordered, forest, with_triangles);
+      EXPECT_TRUE(AuditSingleCorePrimaryValues(graph, forest, per_node).ok())
+          << AuditSingleCorePrimaryValues(graph, forest, per_node).Summary();
+    }
+
+    const TrussDecomposition truss = ComputeTrussDecomposition(graph);
+    EXPECT_TRUE(AuditTrussDecomposition(graph, truss).ok())
+        << AuditTrussDecomposition(graph, truss).Summary();
+  }
+}
+
+// --- Core decomposition corruptions -----------------------------------------
+
+TEST(InvariantAuditTest, CatchesOverclaimedCoreness) {
+  const Graph graph = Fig2Graph();
+  CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  ++cores.coreness[V(5)];  // v5 is in the 2-shell; claim the 3-core
+  const AuditResult audit = AuditCoreDecomposition(graph, cores);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_NE(audit.Summary().find("v4"), std::string::npos) << audit.Summary();
+}
+
+TEST(InvariantAuditTest, CatchesUniformlyUnderclaimedCoreness) {
+  // All-zero coreness satisfies every *local* condition (membership and
+  // the h-index fixpoint); only the peel replay sees it.
+  const Graph graph = Fig2Graph();
+  CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  std::fill(cores.coreness.begin(), cores.coreness.end(), 0);
+  cores.kmax = 0;
+  const AuditResult audit = AuditCoreDecomposition(graph, cores);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_NE(audit.Summary().find("peel replay"), std::string::npos)
+      << audit.Summary();
+}
+
+TEST(InvariantAuditTest, CatchesWrongKmax) {
+  const Graph graph = Fig2Graph();
+  CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  cores.kmax = 7;
+  EXPECT_FALSE(AuditCoreDecomposition(graph, cores).ok());
+}
+
+TEST(InvariantAuditTest, CatchesCorruptedPeelOrder) {
+  const Graph graph = Fig2Graph();
+  CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  cores.peel_order[0] = cores.peel_order[1];  // duplicate: not a permutation
+  const AuditResult audit = AuditCoreDecomposition(graph, cores);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_NE(audit.Summary().find("peel_order"), std::string::npos)
+      << audit.Summary();
+}
+
+// --- Ordered graph corruptions ----------------------------------------------
+
+TEST(InvariantAuditTest, CatchesOrderingBuiltFromStaleDecomposition) {
+  // The index was built from a decomposition that has since drifted: the
+  // position tags and shell boundaries no longer match the live coreness.
+  const Graph graph = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  CoreDecomposition drifted = cores;
+  drifted.coreness[V(7)] = 1;  // v7 actually has coreness 2
+  const OrderedGraph stale(graph, drifted);
+  const AuditResult audit = AuditOrderedGraph(graph, cores, stale);
+  EXPECT_FALSE(audit.ok());
+}
+
+TEST(InvariantAuditTest, CatchesOrderingForDifferentGraph) {
+  const Graph graph = Fig2Graph();
+  const Graph other = GenerateErdosRenyi(12, 30, 99);
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const CoreDecomposition other_cores = ComputeCoreDecomposition(other);
+  const OrderedGraph ordered(other, other_cores);
+  EXPECT_FALSE(AuditOrderedGraph(graph, cores, ordered).ok());
+}
+
+// --- Core forest corruptions ------------------------------------------------
+
+TEST(InvariantAuditTest, CatchesForestLevelMismatch) {
+  const Graph graph = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  CoreDecomposition drifted = cores;
+  drifted.coreness[V(1)] = 1;  // v1 sits in a coreness-3 forest node
+  const CoreForest forest(graph, cores);
+  const AuditResult audit = AuditCoreForest(graph, drifted, forest);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_NE(audit.Summary().find("node"), std::string::npos)
+      << audit.Summary();
+}
+
+TEST(InvariantAuditTest, CatchesForestOfDifferentGraph) {
+  // A forest of one component cannot describe a two-component graph.
+  const Graph graph = Fig2Graph();
+  GraphBuilder builder(12);
+  for (const auto& [u, v] : graph.ToEdgeList()) {
+    if (u != V(8) && v != V(8)) builder.AddEdge(u, v);  // cut around v8
+  }
+  const Graph cut = builder.Build();
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const CoreForest forest(graph, cores);
+  const CoreDecomposition cut_cores = ComputeCoreDecomposition(cut);
+  EXPECT_FALSE(AuditCoreForest(cut, cut_cores, forest).ok());
+}
+
+// --- Primary value corruptions ----------------------------------------------
+
+TEST(InvariantAuditTest, CatchesDriftedCoreSetPrimaries) {
+  const Graph graph = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  std::vector<PrimaryValues> per_level = ComputeCoreSetPrimaries(ordered, true);
+
+  auto expect_caught = [&](const char* what) {
+    const AuditResult audit = AuditPrimaryValues(graph, cores, per_level);
+    EXPECT_FALSE(audit.ok()) << "corruption not caught: " << what;
+  };
+  std::vector<PrimaryValues> clean = per_level;
+
+  ++per_level[2].num_vertices;
+  expect_caught("n(C_2)");
+  per_level = clean;
+
+  per_level[1].internal_edges_x2 += 2;
+  expect_caught("m(C_1)");
+  per_level = clean;
+
+  ++per_level[1].internal_edges_x2;  // odd doubled count
+  expect_caught("odd 2m");
+  per_level = clean;
+
+  --per_level[3].boundary_edges;
+  expect_caught("b(C_3)");
+  per_level = clean;
+
+  ++per_level[0].triangles;
+  expect_caught("D(C_0)");
+  per_level = clean;
+
+  ++per_level[2].triplets;
+  expect_caught("t(C_2)");
+}
+
+TEST(InvariantAuditTest, CatchesDriftedSingleCorePrimaries) {
+  const Graph graph = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const CoreForest forest(graph, cores);
+  std::vector<PrimaryValues> per_node =
+      ComputeSingleCorePrimaries(ordered, forest, true);
+  ASSERT_FALSE(per_node.empty());
+  ASSERT_TRUE(AuditSingleCorePrimaryValues(graph, forest, per_node).ok());
+
+  ++per_node.front().boundary_edges;
+  EXPECT_FALSE(AuditSingleCorePrimaryValues(graph, forest, per_node).ok());
+}
+
+// --- Truss corruptions ------------------------------------------------------
+
+TEST(InvariantAuditTest, CatchesOverclaimedTrussNumber) {
+  const Graph graph = Fig2Graph();
+  TrussDecomposition truss = ComputeTrussDecomposition(graph);
+  ++truss.truss[0];
+  truss.tmax = std::max(truss.tmax, truss.truss[0]);
+  EXPECT_FALSE(AuditTrussDecomposition(graph, truss).ok());
+}
+
+TEST(InvariantAuditTest, CatchesUnderclaimedTrussNumber) {
+  // Lowering every truss number to 2 passes the membership check (support
+  // >= 0 is vacuous); the naive-oracle replay catches it.
+  const Graph graph = Fig2Graph();
+  TrussDecomposition truss = ComputeTrussDecomposition(graph);
+  std::fill(truss.truss.begin(), truss.truss.end(), 2);
+  truss.tmax = 2;
+  const AuditResult audit = AuditTrussDecomposition(graph, truss);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_NE(audit.Summary().find("naive oracle"), std::string::npos)
+      << audit.Summary();
+}
+
+TEST(InvariantAuditTest, CatchesWrongTmax) {
+  const Graph graph = Fig2Graph();
+  TrussDecomposition truss = ComputeTrussDecomposition(graph);
+  truss.tmax = 99;
+  EXPECT_FALSE(AuditTrussDecomposition(graph, truss).ok());
+}
+
+// --- Report shape ------------------------------------------------------------
+
+TEST(InvariantAuditTest, MassCorruptionIsCappedButFullyCounted) {
+  const Graph graph = GenerateErdosRenyi(60, 90, 11);
+  CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    cores.coreness[v] += 1 + v % 3;
+  }
+  const AuditResult audit = AuditCoreDecomposition(graph, cores);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_EQ(audit.failures.size(), AuditResult::kMaxReportedFailures);
+  EXPECT_GT(audit.total_violations, audit.failures.size());
+  EXPECT_NE(audit.Summary().find("more violations"), std::string::npos);
+}
+
+TEST(InvariantAuditTest, EmptyGraphPasses) {
+  const Graph graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  EXPECT_TRUE(AuditCoreDecomposition(graph, cores).ok());
+  const OrderedGraph ordered(graph, cores);
+  EXPECT_TRUE(AuditOrderedGraph(graph, cores, ordered).ok());
+  const CoreForest forest(graph, cores);
+  EXPECT_TRUE(AuditCoreForest(graph, cores, forest).ok());
+  const TrussDecomposition truss = ComputeTrussDecomposition(graph);
+  EXPECT_TRUE(AuditTrussDecomposition(graph, truss).ok());
+}
+
+}  // namespace
+}  // namespace corekit

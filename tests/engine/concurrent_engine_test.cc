@@ -251,6 +251,9 @@ TEST(ConcurrentCoreEngineTest, EngineServerChecksumMatchesSerialReference) {
   EngineServerOptions options;
   options.num_clients = kClientThreads;
   options.queries_per_client = 16;
+  // Keep the apps-layer kind in the mix: it shares the engine caches with
+  // the built-in kinds, which is exactly the contention worth testing.
+  options.extension_query = CommunitySearchQueryFold;
 
   CoreEngine shared(graph);
   const EngineServeReport concurrent = ServeQueryMix(shared, options);

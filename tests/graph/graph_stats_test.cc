@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "corekit/core/core_decomposition.h"
 #include "corekit/graph/graph_builder.h"
 #include "test_util.h"
 
@@ -35,6 +36,15 @@ TEST(GraphStatsTest, EdgelessGraph) {
   EXPECT_EQ(stats.degeneracy, 0u);
   EXPECT_EQ(stats.num_components, 7u);
   EXPECT_EQ(stats.largest_component_size, 1u);
+}
+
+TEST(GraphStatsTest, DegeneracyMatchesCoreDecompositionKmax) {
+  // graph_stats keeps its own peel (the graph layer must not include
+  // core/); pin it to the full decomposition's kmax across the zoo.
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    const GraphStats stats = ComputeGraphStats(graph);
+    EXPECT_EQ(stats.degeneracy, ComputeCoreDecomposition(graph).kmax) << name;
+  }
 }
 
 TEST(DegreeHistogramTest, CountsMatchDegrees) {

@@ -5,8 +5,7 @@
 // of the paper state exact coreness values, ordering tags, primary values
 // and scores for it; the unit tests assert those published numbers.
 
-#ifndef COREKIT_TESTS_TEST_UTIL_H_
-#define COREKIT_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -111,5 +110,3 @@ inline std::vector<NamedGraph> SmallGraphZoo() {
 }
 
 }  // namespace corekit::testing
-
-#endif  // COREKIT_TESTS_TEST_UTIL_H_

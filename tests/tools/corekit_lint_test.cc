@@ -1,0 +1,325 @@
+#include "corekit_lint_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace corekit::lint {
+namespace {
+
+int CountRule(const std::vector<Violation>& violations,
+              const std::string& rule) {
+  int count = 0;
+  for (const Violation& v : violations) {
+    if (v.rule == rule) ++count;
+  }
+  return count;
+}
+
+TEST(StripCommentsAndStringsTest, RemovesCommentsKeepsLineStructure) {
+  const std::string in =
+      "int a; // new int\n"
+      "/* delete\n"
+      "   everything */ int b;\n"
+      "const char* s = \"new X\";\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_EQ(out.find("delete"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  // Quotes survive with blanked contents.
+  EXPECT_NE(out.find("\"\""), std::string::npos);
+  // Same number of newlines in and out.
+  const auto newlines = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n');
+  };
+  EXPECT_EQ(newlines(in), newlines(out));
+}
+
+TEST(StripCommentsAndStringsTest, HandlesRawStrings) {
+  const std::string in = "auto j = R\"({\"key\": \"new value\"})\"; int x;";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+}
+
+TEST(FormatViolationTest, IncludesLineOnlyWhenKnown) {
+  EXPECT_EQ(FormatViolation({"a/b.h", 12, "no-endl", "msg"}),
+            "a/b.h:12: [no-endl] msg");
+  EXPECT_EQ(FormatViolation({"a/b.h", 0, "pragma-once", "msg"}),
+            "a/b.h: [pragma-once] msg");
+}
+
+// --- pragma-once ------------------------------------------------------------
+
+TEST(PragmaOnceTest, FlagsHeaderWithoutPragma) {
+  const auto violations = LintContent("src/corekit/util/x.h", "int f();\n");
+  EXPECT_EQ(CountRule(violations, "pragma-once"), 1);
+}
+
+TEST(PragmaOnceTest, FlagsLegacyGuard) {
+  const std::string content =
+      "#ifndef COREKIT_UTIL_X_H_\n#define COREKIT_UTIL_X_H_\n"
+      "#pragma once\n#endif\n";
+  const auto violations = LintContent("src/corekit/util/x.h", content);
+  EXPECT_EQ(CountRule(violations, "pragma-once"), 1);
+}
+
+TEST(PragmaOnceTest, CleanHeaderAndSourcesPass) {
+  EXPECT_EQ(CountRule(LintContent("src/corekit/util/x.h",
+                                  "#pragma once\nint f();\n"),
+                      "pragma-once"),
+            0);
+  // .cc files are out of scope for the rule.
+  EXPECT_EQ(CountRule(LintContent("src/corekit/util/x.cc", "int f() {}\n"),
+                      "pragma-once"),
+            0);
+}
+
+// --- no-endl ----------------------------------------------------------------
+
+TEST(NoEndlTest, FlagsEndlUnderSrcOnly) {
+  const std::string content = "#include <iostream>\nvoid f() { std::cout << std::endl; }\n";
+  EXPECT_EQ(CountRule(LintContent("src/corekit/core/x.cc", content), "no-endl"),
+            1);
+  // Outside src/ the rule does not apply (CLIs may flush freely).
+  EXPECT_EQ(CountRule(LintContent("tools/x.cc", content), "no-endl"), 0);
+  // Mentions in comments and strings don't count.
+  EXPECT_EQ(CountRule(LintContent("src/corekit/core/y.cc",
+                                  "// std::endl is banned\n"
+                                  "const char* s = \"std::endl\";\n"),
+                      "no-endl"),
+            0);
+}
+
+// --- naked-new --------------------------------------------------------------
+
+TEST(NakedNewTest, FlagsNewDeleteAndCAllocs) {
+  EXPECT_EQ(CountRule(LintContent("src/corekit/core/x.cc",
+                                  "int* p = new int(3);\n"),
+                      "naked-new"),
+            1);
+  EXPECT_EQ(
+      CountRule(LintContent("src/corekit/core/x.cc", "delete ptr;\n"),
+                "naked-new"),
+      1);
+  EXPECT_EQ(CountRule(LintContent("bench/x.cc", "void* p = malloc(8);\n"),
+                      "naked-new"),
+            1);
+}
+
+TEST(NakedNewTest, AllowsDeletedFunctionsAndIdentifiers) {
+  const std::string content =
+      "struct S { S(const S&) = delete; };\n"
+      "int new_in_current = 0;  // 'new' inside an identifier\n"
+      "int renewed = 1;\n";
+  EXPECT_EQ(CountRule(LintContent("src/corekit/core/x.h",
+                                  "#pragma once\n" + content),
+                      "naked-new"),
+            0);
+}
+
+TEST(NakedNewTest, UtilAndTestsAreExempt) {
+  EXPECT_EQ(CountRule(LintContent("src/corekit/util/arena.cc",
+                                  "char* p = new char[64];\n"),
+                      "naked-new"),
+            0);
+  EXPECT_EQ(CountRule(LintContent("tests/core/x_test.cc",
+                                  "int* p = new int(3);\n"),
+                      "naked-new"),
+            0);
+}
+
+TEST(NakedNewTest, WaiverSuppressesOnItsLine) {
+  const std::string content =
+      "auto& reg = *new Registry();  // corekit-lint: allow(naked-new)\n"
+      "auto& other = *new Registry();\n";
+  const auto violations = LintContent("bench/x.cc", content);
+  ASSERT_EQ(CountRule(violations, "naked-new"), 1);
+  EXPECT_EQ(violations[0].line, 2);
+}
+
+// --- bench-suite ------------------------------------------------------------
+
+TEST(BenchSuiteTest, AcceptsKnownSuitesAndBases) {
+  const std::string content =
+      "void Run(BenchRunner& run) {\n"
+      "  run.Case({\"fig7/\" + name, SuitesPlusSmoke(\"paper\", name)},\n"
+      "           body);\n"
+      "  run.Case({\"ext_x/\" + name, {\"ext\"}}, body);\n"
+      "  TablePrinter table({\"k\", \"ad\", \"cr\"});\n"
+      "}\n"
+      "COREKIT_BENCH_UNIT(x, Run);\n";
+  EXPECT_EQ(CountRule(LintContent("bench/x.cc", content), "bench-suite"), 0);
+}
+
+TEST(BenchSuiteTest, FlagsUnknownSuiteLiteral) {
+  const std::string content =
+      "run.Case({\"fig9/\" + name, {\"papr\"}}, body);\n"
+      "COREKIT_BENCH_UNIT(x, Run);\n";
+  const auto violations = LintContent("bench/x.cc", content);
+  ASSERT_EQ(CountRule(violations, "bench-suite"), 1);
+  EXPECT_NE(violations[0].message.find("papr"), std::string::npos);
+}
+
+TEST(BenchSuiteTest, FlagsUnknownSuitesPlusSmokeBase) {
+  const std::string content =
+      "run.Case({name, SuitesPlusSmoke(\"smoke\", name)}, body);\n"
+      "COREKIT_BENCH_UNIT(x, Run);\n";
+  EXPECT_EQ(CountRule(LintContent("bench/x.cc", content), "bench-suite"), 1);
+}
+
+TEST(BenchSuiteTest, FlagsUnitWithNoSuiteDeclaration) {
+  const std::string content = "COREKIT_BENCH_UNIT(x, Run);\n";
+  const auto violations = LintContent("bench/x.cc", content);
+  ASSERT_EQ(CountRule(violations, "bench-suite"), 1);
+  EXPECT_EQ(violations[0].line, 0);
+}
+
+TEST(BenchSuiteTest, HarnessIsExempt) {
+  EXPECT_EQ(CountRule(LintContent("bench/harness/harness.cc",
+                                  "COREKIT_BENCH_UNIT(x, Run);\n"),
+                      "bench-suite"),
+            0);
+}
+
+// --- stage-table ------------------------------------------------------------
+
+namespace {
+
+std::string StageHeader(const std::string& enums, const std::string& names) {
+  return "#pragma once\nnamespace corekit {\n"
+         "enum class EngineStage : int {\n" +
+         enums +
+         "  kCount,\n};\n"
+         "inline constexpr std::string_view kEngineStageNames[] = {\n" +
+         names + "};\n}  // namespace corekit\n";
+}
+
+}  // namespace
+
+TEST(StageTableTest, InSyncTablePasses) {
+  const std::string content = StageHeader(
+      "  kDecompose = 0,\n  kOrder,\n", "    \"decompose\",\n    \"order\",\n");
+  EXPECT_EQ(CountRule(LintContent("src/corekit/engine/stage_stats.h", content),
+                      "stage-table"),
+            0);
+}
+
+TEST(StageTableTest, FlagsCountMismatch) {
+  const std::string content =
+      StageHeader("  kDecompose = 0,\n  kOrder,\n", "    \"decompose\",\n");
+  EXPECT_EQ(CountRule(LintContent("src/corekit/engine/stage_stats.h", content),
+                      "stage-table"),
+            1);
+}
+
+TEST(StageTableTest, FlagsNameMismatch) {
+  const std::string content = StageHeader(
+      "  kDecompose = 0,\n  kOrder,\n", "    \"decompose\",\n    \"forest\",\n");
+  const auto violations =
+      LintContent("src/corekit/engine/stage_stats.h", content);
+  ASSERT_EQ(CountRule(violations, "stage-table"), 1);
+  EXPECT_NE(violations[0].message.find("kOrder"), std::string::npos);
+}
+
+TEST(StageTableTest, FlagsUnparsableHeader) {
+  EXPECT_EQ(CountRule(LintContent("src/corekit/engine/stage_stats.h",
+                                  "#pragma once\nint x;\n"),
+                      "stage-table"),
+            1);
+}
+
+TEST(StageTableTest, OnlyAppliesToStageStatsHeader) {
+  EXPECT_EQ(CountRule(LintContent("src/corekit/engine/core_engine.h",
+                                  "#pragma once\nint x;\n"),
+                      "stage-table"),
+            0);
+}
+
+// --- layering ---------------------------------------------------------------
+
+TEST(LayeringTest, FlagsUpwardInclude) {
+  const std::string content =
+      "#pragma once\n#include \"corekit/engine/core_engine.h\"\n";
+  const auto violations = LintContent("src/corekit/core/x.h", content);
+  ASSERT_EQ(CountRule(violations, "layering"), 1);
+  EXPECT_EQ(violations[0].line, 2);
+}
+
+TEST(LayeringTest, AllowsDownwardAndSameLayerIncludes) {
+  const std::string content =
+      "#pragma once\n"
+      "#include \"corekit/analysis/invariant_audit.h\"\n"
+      "#include \"corekit/core/core_decomposition.h\"\n"
+      "#include \"corekit/engine/stage_stats.h\"\n"
+      "#include \"corekit/util/logging.h\"\n";
+  EXPECT_EQ(CountRule(LintContent("src/corekit/engine/core_engine.h", content),
+                      "layering"),
+            0);
+}
+
+TEST(LayeringTest, GraphMustNotIncludeCore) {
+  EXPECT_EQ(
+      CountRule(LintContent("src/corekit/graph/graph_stats.cc",
+                            "#include \"corekit/core/core_decomposition.h\"\n"),
+                "layering"),
+      1);
+}
+
+TEST(LayeringTest, UnknownSubsystemIsFlagged) {
+  const auto violations =
+      LintContent("src/corekit/quantum/solver.h", "#pragma once\n");
+  ASSERT_EQ(CountRule(violations, "layering"), 1);
+  EXPECT_NE(violations[0].message.find("quantum"), std::string::npos);
+}
+
+TEST(LayeringTest, UmbrellaHeaderIsExempt) {
+  EXPECT_EQ(CountRule(LintContent("src/corekit/corekit.h",
+                                  "#pragma once\n#include "
+                                  "\"corekit/apps/community_search.h\"\n"),
+                      "layering"),
+            0);
+}
+
+// --- LintTree ---------------------------------------------------------------
+
+TEST(LintTreeTest, WalksFilesAndReportsRelativePaths) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("corekit_lint_test_" + std::to_string(::getpid()));
+  fs::create_directories(root / "src/corekit/core");
+  {
+    std::ofstream out(root / "src/corekit/core/bad.h");
+    out << "#include \"corekit/engine/core_engine.h\"\nint f();\n";
+  }
+  {
+    std::ofstream out(root / "src/corekit/core/good.h");
+    out << "#pragma once\nint g();\n";
+  }
+  const std::vector<Violation> violations = LintTree(root, {"src"});
+  fs::remove_all(root);
+
+  ASSERT_EQ(violations.size(), 2u);  // missing pragma + upward include
+  EXPECT_EQ(violations[0].file, "src/corekit/core/bad.h");
+  EXPECT_EQ(CountRule(violations, "pragma-once"), 1);
+  EXPECT_EQ(CountRule(violations, "layering"), 1);
+}
+
+TEST(LintTreeTest, MissingSubdirIsSkipped) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("corekit_lint_empty_" + std::to_string(::getpid()));
+  fs::create_directories(root);
+  EXPECT_TRUE(LintTree(root, {"src", "tools"}).empty());
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace corekit::lint

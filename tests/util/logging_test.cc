@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "corekit/util/status.h"
+
 namespace corekit {
 namespace {
 
@@ -27,6 +29,77 @@ TEST(CheckDeathTest, FailingCheckEqShowsOperands) {
 
 TEST(CheckDeathTest, StreamedContextAppears) {
   EXPECT_DEATH({ COREKIT_CHECK(1 == 2) << "ctx" << 99; }, "ctx99");
+}
+
+TEST(CheckDeathTest, MessageNamesTheFailedCondition) {
+  // The stringized condition itself must appear, so a bare CHECK without
+  // streamed context still identifies the invariant.
+  const int n = 1;
+  EXPECT_DEATH({ COREKIT_CHECK(n < 0); }, "Check failed: n < 0");
+}
+
+TEST(CheckDeathTest, CheckOpMessageShowsExpressionAndOperands) {
+  const int lhs = 10;
+  const int rhs = 7;
+  EXPECT_DEATH({ COREKIT_CHECK_LE(lhs, rhs); },
+               "Check failed: lhs <= rhs \\(10 vs. 7\\)");
+}
+
+TEST(CheckDeathTest, CheckOpStreamsStringOperands) {
+  const std::string got = "beta";
+  const std::string want = "alpha";
+  EXPECT_DEATH({ COREKIT_CHECK_EQ(got, want); }, "beta vs. alpha");
+}
+
+#ifndef NDEBUG
+TEST(DCheckDeathTest, FailingDCheckAbortsInDebug) {
+  EXPECT_DEATH({ COREKIT_DCHECK(false); }, "Check failed: false");
+}
+
+TEST(DCheckDeathTest, DCheckOpShowsOperandsInDebug) {
+  const int a = 5;
+  const int b = 6;
+  EXPECT_DEATH({ COREKIT_DCHECK_EQ(a, b); }, "5 vs. 6");
+}
+#else
+TEST(DCheckTest, FailingDCheckIsNoopInRelease) {
+  // NDEBUG DCHECK compiles the condition but must neither evaluate nor
+  // abort on it.
+  bool evaluated = false;
+  auto fail = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  COREKIT_DCHECK(fail());
+  COREKIT_DCHECK_EQ(1, 2);
+  EXPECT_FALSE(evaluated);
+}
+#endif
+
+TEST(CheckOkTest, PassingCheckOkIsSilent) {
+  COREKIT_CHECK_OK(Status::OK());
+  COREKIT_CHECK_OK(Status()) << "never rendered";
+}
+
+TEST(CheckOkDeathTest, FailingCheckOkShowsCodeAndMessage) {
+  EXPECT_DEATH({ COREKIT_CHECK_OK(Status::IoError("disk gone")); },
+               "Check failed: .* is OK \\(IoError: disk gone\\)");
+}
+
+TEST(CheckOkDeathTest, StreamedContextAppears) {
+  const Status status = Status::InvalidArgument("k = -1");
+  EXPECT_DEATH({ COREKIT_CHECK_OK(status) << "while parsing query"; },
+               "InvalidArgument: k = -1.*while parsing query");
+}
+
+TEST(CheckOkDeathTest, EvaluatesTheExpressionExactlyOnce) {
+  int calls = 0;
+  auto make = [&calls] {
+    ++calls;
+    return Status::OK();
+  };
+  COREKIT_CHECK_OK(make());
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(LogTest, SeverityFilterSuppressesInfo) {

@@ -6,8 +6,7 @@
 // Split from the binary so the logic is unit-testable
 // (tests/tools/bench_diff_test.cc) and reusable from other tooling.
 
-#ifndef COREKIT_TOOLS_BENCH_DIFF_LIB_H_
-#define COREKIT_TOOLS_BENCH_DIFF_LIB_H_
+#pragma once
 
 #include <iosfwd>
 #include <optional>
@@ -73,5 +72,3 @@ void PrintDiffReport(const DiffReport& report, const DiffOptions& options,
                      std::ostream& out);
 
 }  // namespace corekit::bench_diff
-
-#endif  // COREKIT_TOOLS_BENCH_DIFF_LIB_H_

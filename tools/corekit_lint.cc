@@ -1,0 +1,46 @@
+// corekit_lint CLI: applies the repo's convention rules (see
+// corekit_lint_lib.h) and exits nonzero on any violation.
+//
+//   corekit_lint [--root DIR] [SUBDIR...]
+//
+// DIR defaults to the current directory; SUBDIRs default to the scanned
+// set {src, tools, bench, tests, examples}.  CI runs it from the repo
+// root with no arguments.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "corekit_lint_lib.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: corekit_lint [--root DIR] [SUBDIR...]\n";
+      return 0;
+    } else {
+      subdirs.emplace_back(argv[i]);
+    }
+  }
+  if (subdirs.empty()) {
+    subdirs = {"src", "tools", "bench", "tests", "examples"};
+  }
+
+  const std::vector<corekit::lint::Violation> violations =
+      corekit::lint::LintTree(root, subdirs);
+  for (const corekit::lint::Violation& violation : violations) {
+    std::cout << corekit::lint::FormatViolation(violation) << "\n";
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size() << " corekit_lint violation"
+              << (violations.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  std::cout << "corekit_lint: clean\n";
+  return 0;
+}

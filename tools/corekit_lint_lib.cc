@@ -1,0 +1,444 @@
+#include "corekit_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace corekit::lint {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(content);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.starts_with(prefix);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.ends_with(suffix);
+}
+
+// Whether the raw line carries a `corekit-lint: allow(<rule>)` waiver.
+bool IsWaived(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("corekit-lint: allow(" + rule + ")") !=
+         std::string::npos;
+}
+
+// Lines of both views, index-aligned: [i] = (code-only, raw).
+struct FileView {
+  std::vector<std::string> code;
+  std::vector<std::string> raw;
+};
+
+FileView MakeView(const std::string& content) {
+  FileView view;
+  view.code = SplitLines(StripCommentsAndStrings(content));
+  view.raw = SplitLines(content);
+  // getline drops a trailing unterminated line only if content is empty;
+  // sizes always match because stripping preserves newlines.
+  return view;
+}
+
+void Report(std::vector<Violation>& out, const std::string& path, int line,
+            const char* rule, std::string message) {
+  out.push_back({path, line, rule, std::move(message)});
+}
+
+}  // namespace
+
+std::string FormatViolation(const Violation& violation) {
+  // Built by append: GCC 12's -Wrestrict misfires on `"lit" + rvalue`.
+  std::string result = violation.file;
+  if (violation.line > 0) {
+    result += ':';
+    result += std::to_string(violation.line);
+  }
+  result += ": [";
+  result += violation.rule;
+  result += "] ";
+  result += violation.message;
+  return result;
+}
+
+std::string StripCommentsAndStrings(const std::string& content) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string raw_terminator;  // ")delim\"" of an open raw string literal
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal: skip to its )delim" terminator wholesale.
+          std::size_t open = i + 2;
+          std::string delim;
+          while (open < content.size() && content[open] != '(') {
+            delim += content[open++];
+          }
+          raw_terminator = ")" + delim + "\"";
+          const std::size_t end = content.find(raw_terminator, open);
+          out += "\"\"";
+          // Preserve the line count of the skipped literal.
+          const std::size_t stop =
+              end == std::string::npos ? content.size()
+                                       : end + raw_terminator.size();
+          for (std::size_t j = i; j < stop; ++j) {
+            if (content[j] == '\n') out += '\n';
+          }
+          i = stop - 1;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;  // unterminated; keep line structure
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void CheckPragmaOnce(const std::string& path, const std::string& content,
+                     std::vector<Violation>& out) {
+  if (!EndsWith(path, ".h")) return;
+  const FileView view = MakeView(content);
+  bool has_pragma = false;
+  static const std::regex kLegacyGuard(R"(^\s*#ifndef\s+\w*_H_?\b)");
+  for (std::size_t i = 0; i < view.code.size(); ++i) {
+    if (view.code[i].find("#pragma once") != std::string::npos) {
+      has_pragma = true;
+    }
+    if (std::regex_search(view.code[i], kLegacyGuard) &&
+        !IsWaived(view.raw[i], "pragma-once")) {
+      Report(out, path, static_cast<int>(i) + 1, "pragma-once",
+             "legacy include guard; use #pragma once");
+    }
+  }
+  if (!has_pragma) {
+    Report(out, path, 0, "pragma-once", "header is missing #pragma once");
+  }
+}
+
+void CheckNoEndl(const std::string& path, const std::string& content,
+                 std::vector<Violation>& out) {
+  const FileView view = MakeView(content);
+  for (std::size_t i = 0; i < view.code.size(); ++i) {
+    if (view.code[i].find("std::endl") != std::string::npos &&
+        !IsWaived(view.raw[i], "no-endl")) {
+      Report(out, path, static_cast<int>(i) + 1, "no-endl",
+             "std::endl flushes on every use; write '\\n' and flush "
+             "explicitly where needed");
+    }
+  }
+}
+
+void CheckNakedNew(const std::string& path, const std::string& content,
+                   std::vector<Violation>& out) {
+  const FileView view = MakeView(content);
+  static const std::regex kNew(R"(\bnew\b)");
+  static const std::regex kDelete(R"(\bdelete\b)");
+  static const std::regex kDefaultedDelete(R"(=\s*delete\b)");
+  static const std::regex kAlloc(R"(\b(malloc|calloc|realloc|free)\s*\()");
+  for (std::size_t i = 0; i < view.code.size(); ++i) {
+    const std::string& line = view.code[i];
+    const int lineno = static_cast<int>(i) + 1;
+    if (std::regex_search(line, kNew) && !IsWaived(view.raw[i], "naked-new")) {
+      Report(out, path, lineno, "naked-new",
+             "naked new; use containers or std::make_unique (waive leaky "
+             "singletons with corekit-lint: allow(naked-new))");
+    }
+    if (std::regex_search(line, kDelete) &&
+        !std::regex_search(line, kDefaultedDelete) &&
+        !IsWaived(view.raw[i], "naked-new")) {
+      Report(out, path, lineno, "naked-new",
+             "naked delete; ownership belongs in RAII types");
+    }
+    if (std::regex_search(line, kAlloc) &&
+        !IsWaived(view.raw[i], "naked-new")) {
+      Report(out, path, lineno, "naked-new",
+             "C allocation call outside src/corekit/util/");
+    }
+  }
+}
+
+void CheckBenchSuites(const std::string& path, const std::string& content,
+                      std::vector<Violation>& out) {
+  static const std::set<std::string> kKnownSuites = {"smoke", "paper", "ext"};
+  static const std::set<std::string> kKnownBases = {"paper", "ext"};
+  const std::vector<std::string> raw = SplitLines(content);
+  // Suite tags live inside the literals, so this rule scans raw lines.
+  static const std::regex kBase(R"(SuitesPlusSmoke\(\s*"([a-z_]*)\")");
+  // A brace list of lowercase string literals that itself closes a brace
+  // init — the CaseOptions{name, {suites...}} shape.  TablePrinter-style
+  // lists are followed by ')' instead and do not match.
+  static const std::regex kSuiteList(
+      R"(\{\s*("[a-z_]+"(\s*,\s*"[a-z_]+")*)\s*\}\s*\})");
+  static const std::regex kLiteral(R"lit("([a-z_]+)")lit");
+  bool registers_unit = false;
+  bool saw_suite_decl = false;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& line = raw[i];
+    const int lineno = static_cast<int>(i) + 1;
+    if (line.find("COREKIT_BENCH_UNIT(") != std::string::npos) {
+      registers_unit = true;
+    }
+    for (std::sregex_iterator it(line.begin(), line.end(), kBase), end;
+         it != end; ++it) {
+      saw_suite_decl = true;
+      const std::string base = (*it)[1];
+      if (kKnownBases.count(base) == 0 && !IsWaived(line, "bench-suite")) {
+        Report(out, path, lineno, "bench-suite",
+               "SuitesPlusSmoke base \"" + base +
+                   "\" is not a known suite (paper, ext)");
+      }
+    }
+    for (std::sregex_iterator it(line.begin(), line.end(), kSuiteList), end;
+         it != end; ++it) {
+      saw_suite_decl = true;
+      const std::string list = (*it)[1];
+      for (std::sregex_iterator lit(list.begin(), list.end(), kLiteral), lend;
+           lit != lend; ++lit) {
+        const std::string suite = (*lit)[1];
+        if (kKnownSuites.count(suite) == 0 && !IsWaived(line, "bench-suite")) {
+          Report(out, path, lineno, "bench-suite",
+                 "suite tag \"" + suite +
+                     "\" is not a known suite (smoke, paper, ext)");
+        }
+      }
+    }
+  }
+  if (registers_unit && !saw_suite_decl && !content.empty()) {
+    Report(out, path, 0, "bench-suite",
+           "registers a bench unit but declares no suite tags; every case "
+           "must be reachable from a suite filter");
+  }
+}
+
+void CheckStageTable(const std::string& path, const std::string& content,
+                     std::vector<Violation>& out) {
+  const std::string code = StripCommentsAndStrings(content);
+  // Enumerators of EngineStage, in declaration order, excluding kCount.
+  std::vector<std::string> enumerators;
+  const std::size_t enum_pos = code.find("enum class EngineStage");
+  const std::size_t enum_end =
+      enum_pos == std::string::npos ? std::string::npos
+                                    : code.find("};", enum_pos);
+  if (enum_pos == std::string::npos || enum_end == std::string::npos) {
+    Report(out, path, 0, "stage-table",
+           "could not find 'enum class EngineStage'");
+    return;
+  }
+  {
+    static const std::regex kEnumerator(R"((k[A-Za-z0-9]+)\s*(=[^,}]*)?[,}])");
+    const std::string body = code.substr(enum_pos, enum_end - enum_pos);
+    for (std::sregex_iterator it(body.begin(), body.end(), kEnumerator), end;
+         it != end; ++it) {
+      const std::string name = (*it)[1];
+      if (name != "kCount") enumerators.push_back(name);
+    }
+  }
+  // Entries of kEngineStageNames — from the raw content (they are string
+  // literals).
+  std::vector<std::string> names;
+  const std::size_t table_pos = content.find("kEngineStageNames[]");
+  const std::size_t table_end =
+      table_pos == std::string::npos ? std::string::npos
+                                     : content.find("};", table_pos);
+  if (table_pos == std::string::npos || table_end == std::string::npos) {
+    Report(out, path, 0, "stage-table", "could not find 'kEngineStageNames[]'");
+    return;
+  }
+  {
+    static const std::regex kEntry(R"lit("([^"]*)")lit");
+    const std::string body = content.substr(table_pos, table_end - table_pos);
+    for (std::sregex_iterator it(body.begin(), body.end(), kEntry), end;
+         it != end; ++it) {
+      names.push_back((*it)[1]);
+    }
+  }
+  if (enumerators.size() != names.size()) {
+    std::string message = "EngineStage has ";
+    message += std::to_string(enumerators.size());
+    message += " stages but kEngineStageNames has ";
+    message += std::to_string(names.size());
+    message += " entries";
+    Report(out, path, 0, "stage-table", std::move(message));
+    return;
+  }
+  for (std::size_t i = 0; i < enumerators.size(); ++i) {
+    std::string expected = enumerators[i].substr(1);  // drop the 'k'
+    std::transform(expected.begin(), expected.end(), expected.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (names[i] != expected) {
+      std::string message = "kEngineStageNames[";
+      message += std::to_string(i);
+      message += "] is \"" + names[i] + "\" but " + enumerators[i] +
+                 " lowercases to \"" + expected + "\"";
+      Report(out, path, 0, "stage-table", std::move(message));
+    }
+  }
+}
+
+void CheckLayering(const std::string& path, const std::string& content,
+                   std::vector<Violation>& out) {
+  // The architecture DAG: each layer may include itself and the layers
+  // listed.  Adding a subsystem means adding a row here — deliberately a
+  // lint failure until its place in the stack is decided.
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"util", {}},
+      {"graph", {"util"}},
+      {"gen", {"graph", "util"}},
+      {"core", {"graph", "util"}},
+      {"truss", {"core", "graph", "util"}},
+      {"parallel", {"core", "graph", "util"}},
+      {"analysis", {"truss", "core", "graph", "util"}},
+      {"dynamic", {"core", "graph", "util"}},
+      {"external", {"graph", "util"}},
+      {"weighted", {"graph", "util"}},
+      {"distributed", {"graph", "util"}},
+      {"engine", {"analysis", "parallel", "truss", "core", "graph", "util"}},
+      {"apps", {"engine", "core", "graph", "util"}},
+      {"viz", {"core", "graph", "util"}},
+  };
+  static const std::string kPrefix = "src/corekit/";
+  if (!StartsWith(path, kPrefix)) return;
+  const std::size_t slash = path.find('/', kPrefix.size());
+  if (slash == std::string::npos) return;  // umbrella headers are exempt
+  const std::string layer = path.substr(kPrefix.size(),
+                                        slash - kPrefix.size());
+  const auto allowed = kAllowed.find(layer);
+  if (allowed == kAllowed.end()) {
+    Report(out, path, 0, "layering",
+           "subsystem '" + layer +
+               "' has no layering entry; add it to kAllowed in "
+               "tools/corekit_lint_lib.cc");
+    return;
+  }
+  const std::vector<std::string> raw = SplitLines(content);
+  static const std::regex kInclude(R"(^\s*#include\s+"corekit/([a-z_]+)/)");
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_search(raw[i], match, kInclude)) continue;
+    const std::string dep = match[1];
+    if (dep == layer || allowed->second.count(dep) != 0) continue;
+    if (IsWaived(raw[i], "layering")) continue;
+    Report(out, path, static_cast<int>(i) + 1, "layering",
+           "'" + layer + "' must not include 'corekit/" + dep +
+               "/' (allowed: own layer and lower layers only)");
+  }
+}
+
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Violation> out;
+  CheckPragmaOnce(path, content, out);
+  if (StartsWith(path, "src/")) {
+    CheckNoEndl(path, content, out);
+    CheckLayering(path, content, out);
+  }
+  const bool allocation_scope =
+      (StartsWith(path, "src/") || StartsWith(path, "tools/") ||
+       StartsWith(path, "bench/")) &&
+      !StartsWith(path, "src/corekit/util/");
+  if (allocation_scope) {
+    CheckNakedNew(path, content, out);
+  }
+  if (StartsWith(path, "bench/") && !StartsWith(path, "bench/harness/") &&
+      EndsWith(path, ".cc")) {
+    CheckBenchSuites(path, content, out);
+  }
+  if (EndsWith(path, "engine/stage_stats.h")) {
+    CheckStageTable(path, content, out);
+  }
+  return out;
+}
+
+std::vector<Violation> LintTree(const std::filesystem::path& root,
+                                const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& subdir : subdirs) {
+    const fs::path dir = root / subdir;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      files.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Violation> out;
+  for (const std::string& file : files) {
+    std::ifstream in(root / file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<Violation> found = LintContent(file, buffer.str());
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+}  // namespace corekit::lint

@@ -1,0 +1,76 @@
+// corekit_lint: repo-specific correctness rules clang-tidy cannot express.
+//
+// clang-tidy sees one translation unit at a time; these rules are about
+// the repo's own conventions and cross-file contracts:
+//
+//   pragma-once   every header uses #pragma once (no legacy guards);
+//   no-endl       no std::endl under src/ — the library has hot logging
+//                 paths and '\n' never flushes behind the caller's back;
+//   naked-new     no naked new/delete/malloc outside src/corekit/util/ —
+//                 ownership lives in containers and smart pointers;
+//   bench-suite   every bench suite tag is one of smoke/paper/ext, so a
+//                 typo cannot silently drop a case from CI;
+//   stage-table   the EngineStage enum and kEngineStageNames table in
+//                 stage_stats.h stay in sync (entry i is the lowercased
+//                 enumerator minus its 'k' prefix);
+//   layering      src/corekit/<layer>/ includes only the layers at or
+//                 below it (core/ must never include engine/, ...).
+//
+// A violation can be waived on its line with a trailing
+// `corekit-lint: allow(<rule>)` comment — grep-able, per-line, per-rule.
+//
+// The library is std-only (no corekit dependency): the linter must build
+// and run even when the library itself is mid-refactor.
+
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace corekit::lint {
+
+struct Violation {
+  // Path as reported, '/'-separated, relative to the scanned root.
+  std::string file;
+  // 1-based line; 0 when the finding is about the whole file.
+  int line = 0;
+  // Rule slug ("pragma-once", "no-endl", ...).
+  std::string rule;
+  std::string message;
+};
+
+// "file:line: [rule] message" (line omitted when 0).
+std::string FormatViolation(const Violation& violation);
+
+// Strips // and /* */ comments and the contents of string/char literals
+// (quotes kept, contents blanked), preserving line structure.  The
+// code-only view the token-level rules match against.
+std::string StripCommentsAndStrings(const std::string& content);
+
+// Individual rules; `path` is the repo-relative path.  Each appends its
+// findings to `out`.
+void CheckPragmaOnce(const std::string& path, const std::string& content,
+                     std::vector<Violation>& out);
+void CheckNoEndl(const std::string& path, const std::string& content,
+                 std::vector<Violation>& out);
+void CheckNakedNew(const std::string& path, const std::string& content,
+                   std::vector<Violation>& out);
+void CheckBenchSuites(const std::string& path, const std::string& content,
+                      std::vector<Violation>& out);
+void CheckStageTable(const std::string& path, const std::string& content,
+                     std::vector<Violation>& out);
+void CheckLayering(const std::string& path, const std::string& content,
+                   std::vector<Violation>& out);
+
+// Applies every rule whose scope covers `path` (see the matrix in the
+// .cc).  The entry point the tree walk and the unit tests share.
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content);
+
+// Lints every .h/.cc file under root/<subdir> for each given subdir,
+// in sorted path order.  Missing subdirs are skipped silently.
+std::vector<Violation> LintTree(const std::filesystem::path& root,
+                                const std::vector<std::string>& subdirs);
+
+}  // namespace corekit::lint
