@@ -78,7 +78,7 @@ void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--suite NAME] [--out PATH] [--only SUBSTR]\n"
-      "          [--repeats N] [--warmup N] [--list] [--help]\n"
+      "          [--repeats N] [--warmup N] [--threads N] [--list] [--help]\n"
       "\n"
       "  --suite NAME   run only cases tagged NAME (smoke|paper|ext) and\n"
       "                 write BENCH_NAME.json (unless --out overrides)\n"
@@ -88,9 +88,15 @@ void PrintUsage(const char* argv0) {
       "  --repeats N    timed runs per case (default 1; min/median are\n"
       "                 aggregated across them)\n"
       "  --warmup N     untimed runs per case before timing (default 0)\n"
+      "  --threads N    worker threads for parallel cases (default:\n"
+      "                 COREKIT_BENCH_THREADS, else hardware concurrency)\n"
       "  --list         list registered units and exit\n",
       argv0);
 }
+
+// 0 = no --threads override; BenchThreads() falls back to the env var /
+// hardware count.
+std::uint32_t g_bench_threads_override = 0;
 
 }  // namespace
 
@@ -161,10 +167,26 @@ UnitRegistrar::UnitRegistrar(const char* name, BenchUnitFn fn) {
   MutableRegistry().push_back(BenchUnit{name, fn});
 }
 
+std::uint32_t BenchThreads() {
+  if (g_bench_threads_override != 0) return g_bench_threads_override;
+  if (const char* env = std::getenv("COREKIT_BENCH_THREADS");
+      env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return static_cast<std::uint32_t>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+void SetBenchThreads(std::uint32_t threads) {
+  g_bench_threads_override = threads;
+}
+
 Json CaptureEnvironmentJson() {
   Json env = Json::Object();
   env.Set("cpu_count",
           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  env.Set("threads", static_cast<std::uint64_t>(BenchThreads()));
   env.Set("bench_scale", BenchScale());
   env.Set("bench_budget", BaselineBudgetSeconds());
   const char* datasets_filter = std::getenv("COREKIT_BENCH_DATASETS");
@@ -276,6 +298,9 @@ int BenchMain(int argc, char** argv) {
       config.repeats = std::max(1, std::atoi(value.c_str()));
     } else if (value_of("--warmup", &value)) {
       config.warmup = std::max(0, std::atoi(value.c_str()));
+    } else if (value_of("--threads", &value)) {
+      SetBenchThreads(
+          static_cast<std::uint32_t>(std::max(0, std::atoi(value.c_str()))));
     } else if (arg == "--list") {
       list_only = true;
     } else if (arg == "--help" || arg == "-h") {

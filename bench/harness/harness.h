@@ -165,9 +165,20 @@ struct UnitRegistrar {
 
 // --- Reporting --------------------------------------------------------------
 
-// {"cpu_count":..,"bench_scale":..,"bench_budget":..,"git_sha":..,
-//  "build_type":..,"datasets_filter":..} — the knobs that make two BENCH
-// files comparable (bench_diff prints both sides' environments).
+// Effective worker-thread count for parallel bench cases: the --threads
+// flag (via SetBenchThreads) overrides COREKIT_BENCH_THREADS, which
+// defaults to the hardware concurrency.  Never returns 0, so the value
+// can be handed straight to ThreadPool / CoreEngineOptions.
+std::uint32_t BenchThreads();
+
+// Records the --threads override (0 restores the env/hardware default).
+// BenchMain calls this before running any unit.
+void SetBenchThreads(std::uint32_t threads);
+
+// {"cpu_count":..,"threads":..,"bench_scale":..,"bench_budget":..,
+//  "git_sha":..,"build_type":..,"datasets_filter":..} — the knobs that
+// make two BENCH files comparable (bench_diff prints both sides'
+// environments).
 Json CaptureEnvironmentJson();
 
 // Process-wide peak resident set size in bytes (0 where unsupported).

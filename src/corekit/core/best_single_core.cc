@@ -7,9 +7,11 @@
 namespace corekit {
 
 std::vector<PrimaryValues> ComputeSingleCorePrimaries(
-    const OrderedGraph& ordered, const CoreForest& forest,
-    bool with_triangles) {
+    const OrderedGraph& ordered, const CoreForest& forest, bool with_triangles,
+    const std::vector<std::uint64_t>* per_vertex_triangles) {
   const VertexId n = ordered.NumVertices();
+  COREKIT_DCHECK(per_vertex_triangles == nullptr ||
+                 per_vertex_triangles->size() == n);
   const CoreForest::NodeId count = forest.NumNodes();
   std::vector<PrimaryValues> primaries(count);
 
@@ -22,7 +24,7 @@ std::vector<PrimaryValues> ComputeSingleCorePrimaries(
   std::vector<VertexId> shell_nbr;
   std::vector<CoreForest::NodeId> stamp;
   if (with_triangles) {
-    scratch.assign(n, 0);
+    if (per_vertex_triangles == nullptr) scratch.assign(n, 0);
     f_geq.assign(n, 0);
     f_gt.assign(n, 0);
     stamp.assign(n, CoreForest::kNoNode);
@@ -60,8 +62,12 @@ std::vector<PrimaryValues> ComputeSingleCorePrimaries(
     if (with_triangles) {
       pv.has_triangles = true;
       // Algorithm 3 lines 7-12: triangles entering at this core's shell.
+      // The per-vertex counts may come precomputed from the parallel
+      // kernel; both sources are exact, so the sums are identical.
       for (const VertexId v : node.vertices) {
-        pv.triangles += CountTrianglesAtVertex(ordered, v, scratch);
+        pv.triangles += per_vertex_triangles != nullptr
+                            ? (*per_vertex_triangles)[v]
+                            : CountTrianglesAtVertex(ordered, v, scratch);
       }
       // Line 13: triplets centered in the shell.
       for (const VertexId v : node.vertices) {
@@ -97,13 +103,13 @@ SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
                             MetricNeedsTriangles(metric));
 }
 
-SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
-                                     const CoreForest& forest,
-                                     const MetricFn& metric,
-                                     bool needs_triangles) {
+SingleCoreProfile FindBestSingleCore(
+    const OrderedGraph& ordered, const CoreForest& forest,
+    const MetricFn& metric, bool needs_triangles,
+    const std::vector<std::uint64_t>* per_vertex_triangles) {
   SingleCoreProfile profile;
-  profile.primaries =
-      ComputeSingleCorePrimaries(ordered, forest, needs_triangles);
+  profile.primaries = ComputeSingleCorePrimaries(
+      ordered, forest, needs_triangles, per_vertex_triangles);
   const GraphGlobals globals{ordered.NumVertices(),
                              ordered.graph().NumEdges()};
   profile.scores.reserve(profile.primaries.size());

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "corekit/core/core_forest.h"
@@ -34,18 +35,21 @@ struct SingleCoreProfile {
 
 // Primary values of every forest node's core (child aggregation +
 // shell-vertex impact).  `with_triangles` runs the Algorithm 3 counters.
+// `per_vertex_triangles`, when non-null, must hold CountTrianglesAtVertex
+// for every vertex (e.g. from the parallel CountTrianglesPerVertex
+// kernel); the pass then consumes those instead of re-counting serially.
 std::vector<PrimaryValues> ComputeSingleCorePrimaries(
-    const OrderedGraph& ordered, const CoreForest& forest,
-    bool with_triangles);
+    const OrderedGraph& ordered, const CoreForest& forest, bool with_triangles,
+    const std::vector<std::uint64_t>* per_vertex_triangles = nullptr);
 
 // Algorithm 5: best single k-core for a built-in metric.
 SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
                                      const CoreForest& forest, Metric metric);
 
-// Extension point for custom metrics.
-SingleCoreProfile FindBestSingleCore(const OrderedGraph& ordered,
-                                     const CoreForest& forest,
-                                     const MetricFn& metric,
-                                     bool needs_triangles);
+// Extension point for custom metrics; `per_vertex_triangles` as above.
+SingleCoreProfile FindBestSingleCore(
+    const OrderedGraph& ordered, const CoreForest& forest,
+    const MetricFn& metric, bool needs_triangles,
+    const std::vector<std::uint64_t>* per_vertex_triangles = nullptr);
 
 }  // namespace corekit

@@ -7,8 +7,12 @@ OrderedGraph::OrderedGraph(const Graph& graph, const CoreDecomposition& cores)
       kmax_(cores.kmax),
       coreness_(cores.coreness),
       offsets_(graph.Offsets()) {
-  const VertexId n = graph.NumVertices();
-  COREKIT_CHECK_EQ(coreness_.size(), n);
+  COREKIT_CHECK_EQ(coreness_.size(), graph.NumVertices());
+  BuildSerial();
+}
+
+void OrderedGraph::BuildSerial() {
+  const VertexId n = graph_->NumVertices();
 
   // --- Order the vertex set V (Algorithm 1, lines 1-4). ------------------
   // Bin sort by coreness; iterating v in ascending id keeps each bin sorted
@@ -30,24 +34,28 @@ OrderedGraph::OrderedGraph(const Graph& graph, const CoreDecomposition& cores)
   // bin scan without materializing pairs: iterating the *rank-ordered*
   // vertex array and appending each v to its neighbors' lists visits
   // exactly the bin-flattening order.
-  neighbors_.resize(graph.NeighborArray().size());
+  neighbors_.resize(graph_->NeighborArray().size());
   {
     std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
     for (const VertexId v : order_) {
-      for (const VertexId u : graph.Neighbors(v)) {
+      for (const VertexId u : graph_->Neighbors(v)) {
         neighbors_[cursor[u]++] = v;
       }
     }
   }
 
   // --- Position tags (Algorithm 1, line 13). -----------------------------
-  // One scan of the reordered edge set; each neighbor list is rank-sorted,
-  // so the three boundaries are the first positions crossing each
-  // threshold.
   same_.assign(n, 0);
   plus_.assign(n, 0);
   high_.assign(n, 0);
-  for (VertexId v = 0; v < n; ++v) {
+  ComputeTagsRange(0, n);
+}
+
+void OrderedGraph::ComputeTagsRange(VertexId begin, VertexId end) {
+  // One scan of the reordered edge set; each neighbor list is rank-sorted,
+  // so the three boundaries are the first positions crossing each
+  // threshold.
+  for (VertexId v = begin; v < end; ++v) {
     const VertexId deg = Degree(v);
     const VertexId cv = coreness_[v];
     const VertexId* list = neighbors_.data() + offsets_[v];

@@ -26,11 +26,20 @@
 
 namespace corekit {
 
+class ThreadPool;
+
 class OrderedGraph {
  public:
   // Builds the ordering index.  `cores` must be the decomposition of
   // `graph`.  The graph reference must outlive the OrderedGraph.
   OrderedGraph(const Graph& graph, const CoreDecomposition& cores);
+
+  // Parallel construction on `pool`: the two bin sorts of Algorithm 1
+  // and the tag scan run as per-thread-histogram counting sorts, and the
+  // result is bitwise identical to the serial constructor's.  Defined in
+  // parallel/parallel_ordering.cc (the parallel substrate layer).
+  OrderedGraph(const Graph& graph, const CoreDecomposition& cores,
+               ThreadPool& pool);
 
   const Graph& graph() const { return *graph_; }
 
@@ -118,6 +127,13 @@ class OrderedGraph {
   std::span<const VertexId> Slice(EdgeId begin, EdgeId end) const {
     return {neighbors_.data() + begin, static_cast<std::size_t>(end - begin)};
   }
+
+  // Shared construction bodies (members are init'd, arrays not yet built).
+  void BuildSerial();
+  void BuildParallel(ThreadPool& pool);  // in parallel/parallel_ordering.cc
+  // Computes the Table II tags for vertices in [begin, end); each vertex
+  // is independent, so the parallel build calls this over disjoint ranges.
+  void ComputeTagsRange(VertexId begin, VertexId end);
 
   const Graph* graph_;
   VertexId kmax_;

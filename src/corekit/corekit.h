@@ -54,6 +54,7 @@
 #include "corekit/gen/hyperbolic.h"
 #include "corekit/gen/lfr_like.h"
 #include "corekit/parallel/parallel_core.h"
+#include "corekit/parallel/parallel_ordering.h"
 #include "corekit/parallel/parallel_triangles.h"
 #include "corekit/graph/connected_components.h"
 #include "corekit/truss/best_single_truss.h"
@@ -64,6 +65,8 @@
 #include "corekit/graph/edge_list_io.h"
 #include "corekit/graph/graph.h"
 #include "corekit/graph/graph_builder.h"
+#include "corekit/graph/parallel_edge_list.h"
+#include "corekit/graph/parallel_graph_builder.h"
 #include "corekit/graph/graph_stats.h"
 #include "corekit/graph/metis_io.h"
 #include "corekit/graph/power_law.h"

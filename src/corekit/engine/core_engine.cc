@@ -2,9 +2,13 @@
 
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "corekit/core/triangle_scoring.h"
+#include "corekit/graph/parallel_edge_list.h"
+#include "corekit/graph/parallel_graph_builder.h"
 #include "corekit/parallel/parallel_core.h"
+#include "corekit/parallel/parallel_ordering.h"
 #include "corekit/parallel/parallel_triangles.h"
 #include "corekit/util/timer.h"
 
@@ -33,6 +37,8 @@ void CheckStageAudit(const AuditResult& audit, std::string_view stage) {
 // Fixed stage names come from the EngineStage table (stage_stats.h); the
 // per-metric stages append the paper abbreviation: "coreset[ad]",
 // "singlecore[mod]", ...
+constexpr std::string_view kStageIngest = EngineStageName(EngineStage::kIngest);
+constexpr std::string_view kStageBuild = EngineStageName(EngineStage::kBuild);
 constexpr std::string_view kStageDecompose =
     EngineStageName(EngineStage::kDecompose);
 constexpr std::string_view kStageOrder = EngineStageName(EngineStage::kOrder);
@@ -114,9 +120,53 @@ CoreEngine::CoreEngine(Graph&& graph, CoreEngineOptions options)
   if (options_.eager_ordering) WarmUp();
 }
 
+Result<std::unique_ptr<CoreEngine>> CoreEngine::FromEdgeListFile(
+    const std::string& path, CoreEngineOptions options) {
+  auto pool = std::make_unique<ThreadPool>(options.num_threads);
+  const std::uint32_t threads = pool->num_threads();
+
+  Timer timer;
+  Result<ParsedEdgeList> parsed = ParseSnapEdgeListParallel(path, *pool);
+  if (!parsed.ok()) return parsed.status();
+  const double ingest_seconds = timer.ElapsedSeconds();
+  const std::uint64_t ingest_bytes = VectorBytes(parsed->edges);
+
+  timer.Reset();
+  Graph graph = BuildGraphParallel(parsed->num_vertices, parsed->edges, *pool);
+  const double build_seconds = timer.ElapsedSeconds();
+  const std::uint64_t build_bytes =
+      VectorBytes(graph.Offsets()) + VectorBytes(graph.NeighborArray());
+
+  // Construct with eager_ordering off so any warm-up runs only after the
+  // ingestion pool has been donated (one pool for the whole pipeline).
+  CoreEngineOptions ctor_options = options;
+  ctor_options.eager_ordering = false;
+  auto engine = std::make_unique<CoreEngine>(std::move(graph), ctor_options);
+  engine->options_ = options;
+
+  StageRecord& ingest = engine->stats_.Get(kStageIngest);
+  ++ingest.builds;
+  ingest.seconds += ingest_seconds;
+  ingest.bytes = ingest_bytes;
+  ingest.threads = threads;
+  StageRecord& build = engine->stats_.Get(kStageBuild);
+  ++build.builds;
+  build.seconds += build_seconds;
+  build.bytes = build_bytes;
+  build.threads = threads;
+
+  engine->AdoptPool(std::move(pool));
+  if (options.eager_ordering) engine->WarmUp();
+  return engine;
+}
+
 void CoreEngine::WarmUp() {
   Cores();
   Ordered();
+}
+
+void CoreEngine::AdoptPool(std::unique_ptr<ThreadPool> pool) {
+  std::call_once(pool_once_, [&] { pool_ = std::move(pool); });
 }
 
 ThreadPool& CoreEngine::Pool() {
@@ -205,13 +255,22 @@ void CoreEngine::BuildCores() {
 
 void CoreEngine::BuildOrdered() {
   const CoreDecomposition& cores = Cores();  // accrues to "decompose"
+  std::uint32_t threads = 1;
   Timer timer;
-  ordered_ = std::make_unique<OrderedGraph>(*graph_, cores);
+  if (options_.parallel_ordering) {
+    ThreadPool& pool = Pool();
+    threads = pool.num_threads();
+    timer.Reset();  // exclude lazy pool construction from the stage time
+    ordered_ = std::make_unique<OrderedGraph>(*graph_, cores, pool);
+  } else {
+    ordered_ = std::make_unique<OrderedGraph>(*graph_, cores);
+  }
   const double seconds = timer.ElapsedSeconds();
   StageRecord& record = stats_.Get(kStageOrder);
   ++record.builds;
   record.seconds += seconds;
   record.bytes = OrderedBytes(*graph_, ordered_->kmax());
+  record.threads = threads;
 #ifdef COREKIT_AUDIT
   CheckStageAudit(AuditOrderedGraph(*graph_, cores, *ordered_), kStageOrder);
 #endif
@@ -321,19 +380,38 @@ const SingleCoreProfile& CoreEngine::BestSingleCore(Metric metric) {
     std::call_once(slot->flag.once, [&] {
       const OrderedGraph& ordered = Ordered();
       const CoreForest& forest = Forest();
+      const bool needs_triangles = MetricNeedsTriangles(metric);
+      std::uint32_t threads = 1;
+      std::vector<std::uint64_t> per_vertex;
+      const std::vector<std::uint64_t>* per_vertex_ptr = nullptr;
       Timer timer;
+      // Triangle-hungry metrics: precompute the per-vertex scores with
+      // the parallel kernel so the O(m^1.5) part of Algorithm 5 comes
+      // off the pool instead of the serial scan.  The counts are exact,
+      // so the profile is identical either way.
+      if (options_.parallel_triangles && needs_triangles &&
+          forest.NumNodes() > 0) {
+        ThreadPool& pool = Pool();
+        threads = pool.num_threads();
+        timer.Reset();  // exclude lazy pool construction
+        per_vertex = CountTrianglesPerVertex(ordered, pool);
+        per_vertex_ptr = &per_vertex;
+      }
       // FindBestSingleCore requires a non-empty forest ("empty graph has
       // no k-core").  The engine stays total: the empty graph yields an
       // empty profile (no scores, best_k = 0) instead of tripping the
       // CHECK.
       if (forest.NumNodes() > 0) {
-        slot->profile = FindBestSingleCore(ordered, forest, metric);
+        slot->profile =
+            FindBestSingleCore(ordered, forest, MetricFunction(metric),
+                               needs_triangles, per_vertex_ptr);
       }
       const double seconds = timer.ElapsedSeconds();
       StageRecord& record = stats_.Get(SingleCoreStageName(metric));
       ++record.builds;
       record.seconds += seconds;
       record.bytes = SingleCoreProfileBytes(slot->profile);
+      record.threads = threads;
 #ifdef COREKIT_AUDIT
       if (forest.NumNodes() > 0) {
         CheckStageAudit(AuditSingleCorePrimaryValues(*graph_, forest,

@@ -6,6 +6,8 @@
 // posture as a component: it owns (or borrows) a Graph, lazily builds and
 // caches the derived artifacts
 //
+//   ingest      (FromEdgeListFile only) parallel chunked edge-list parse
+//   build       (FromEdgeListFile only) parallel CSR normalization
 //   decompose   CoreDecomposition   (sequential BZ peel or the parallel
 //                                    level-synchronous peel, by option)
 //   order       OrderedGraph        (Algorithm 1)
@@ -70,6 +72,7 @@
 #include "corekit/engine/stage_stats.h"
 #include "corekit/graph/connected_components.h"
 #include "corekit/graph/graph.h"
+#include "corekit/util/status.h"
 #include "corekit/util/thread_pool.h"
 
 namespace corekit {
@@ -79,8 +82,12 @@ struct CoreEngineOptions {
   // true = the level-synchronous ComputeCoreDecompositionParallel over the
   // engine's shared pool.
   bool parallel_peel = false;
-  // Count global triangles with the parallel kernel over the shared pool.
+  // Count triangles (the global count AND the per-vertex scores feeding
+  // BestSingleCore) with the parallel kernels over the shared pool.
   bool parallel_triangles = false;
+  // Build the OrderedGraph with the parallel Algorithm 1 bin sorts
+  // (bitwise identical to the serial build; see parallel_ordering.h).
+  bool parallel_ordering = false;
   // Threads for the shared pool (0 = hardware concurrency).  The pool is
   // created lazily, on the first stage that wants it.
   std::uint32_t num_threads = 0;
@@ -97,6 +104,15 @@ class CoreEngine {
   explicit CoreEngine(const Graph& graph, CoreEngineOptions options = {});
   // Owning constructor: the engine keeps the graph alive itself.
   explicit CoreEngine(Graph&& graph, CoreEngineOptions options = {});
+
+  // Cold-path factory: parses a SNAP text edge list with the parallel
+  // chunked reader and normalizes it with the parallel CSR builder, both
+  // on the engine's pool (options.num_threads), recording the work as
+  // the "ingest" and "build" stages.  The resulting graph is bitwise
+  // identical to ReadSnapEdgeList(path); the pool is kept for the
+  // engine's later parallel stages.
+  static Result<std::unique_ptr<CoreEngine>> FromEdgeListFile(
+      const std::string& path, CoreEngineOptions options = {});
 
   // Cached artifacts hold pointers into the engine; it is pinned.
   CoreEngine(const CoreEngine&) = delete;
@@ -172,6 +188,10 @@ class CoreEngine {
   };
 
   void WarmUp();
+  // Installs `pool` as the engine's shared pool unless one was already
+  // created; FromEdgeListFile donates its ingestion pool this way so the
+  // engine does not spin up a second set of workers.
+  void AdoptPool(std::unique_ptr<ThreadPool> pool);
 
   // Build bodies (each runs exactly once, inside its call_once).
   void BuildCores();

@@ -32,11 +32,16 @@
 namespace corekit {
 
 // The stages the CoreEngine pipeline can record, one per lazy artifact.
-// kCoreSet / kSingleCore are the *base* names of the per-metric stages;
-// their records are keyed "coreset[ad]", "singlecore[mod]", ... (see
-// CoreEngine::CoreSetStageName).  kCount is a sentinel, not a stage.
+// kIngest / kBuild are the cold-path stages (file parsing and CSR
+// normalization); engines constructed from an in-memory Graph never
+// record them.  kCoreSet / kSingleCore are the *base* names of the
+// per-metric stages; their records are keyed "coreset[ad]",
+// "singlecore[mod]", ... (see CoreEngine::CoreSetStageName).  kCount is
+// a sentinel, not a stage.
 enum class EngineStage : int {
-  kDecompose = 0,
+  kIngest = 0,  // edge-list file -> relabeled edge list
+  kBuild,       // edge list -> normalized CSR Graph
+  kDecompose,
   kOrder,
   kForest,
   kComponents,
@@ -53,8 +58,8 @@ enum class EngineStage : int {
 // and fails CI when the two drift.  Renaming an entry is a StageStats
 // schema change (bump kStageStatsSchemaVersion below).
 inline constexpr std::string_view kEngineStageNames[] = {
-    "decompose", "order",     "forest",  "components",
-    "triangles", "triplets",  "coreset", "singlecore",
+    "ingest",     "build",    "decompose", "order",   "forest",
+    "components", "triangles", "triplets", "coreset", "singlecore",
 };
 static_assert(std::size(kEngineStageNames) ==
                   static_cast<std::size_t>(EngineStage::kCount),
@@ -69,8 +74,9 @@ constexpr std::string_view EngineStageName(EngineStage stage) {
 // stage name, field key, or the overall shape changes, and update the
 // schema golden test (tests/engine/stage_stats_schema_test.cc) in the
 // same commit.  (The counters becoming atomic did not change the shape,
-// so the version stayed at 1.)
-inline constexpr int kStageStatsSchemaVersion = 1;
+// so the version stayed at 1.  v2 added the cold-path "ingest"/"build"
+// stages recorded by CoreEngine::FromEdgeListFile.)
+inline constexpr int kStageStatsSchemaVersion = 2;
 
 struct StageRecord {
   std::string name;
@@ -144,7 +150,7 @@ class StageStats {
   void Reset();
 
   // Machine-readable dump for the bench harness / serving layer:
-  //   {"schema_version":1,
+  //   {"schema_version":2,
   //    "stages":[{"name":...,"builds":...,"hits":...,"seconds":...,
   //               "bytes":...,"threads":...},...],
   //    "totals":{"builds":...,"hits":...,"seconds":...,"bytes":...}}

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "corekit/graph/edge_list_parse.h"
 #include "corekit/graph/graph_builder.h"
 #include "corekit/graph/types.h"
 
@@ -34,31 +35,6 @@ class File {
   std::FILE* f_;
 };
 
-enum class ParseResult {
-  kOk,
-  kNoDigits,
-  kOverflow,  // the literal does not fit in 64 bits
-};
-
-// Parses an unsigned integer starting at *p; advances *p past it.
-ParseResult ParseUint(const char** p, std::uint64_t* out) {
-  const char* s = *p;
-  while (*s == ' ' || *s == '\t' || *s == ',') ++s;
-  if (*s < '0' || *s > '9') return ParseResult::kNoDigits;
-  std::uint64_t value = 0;
-  while (*s >= '0' && *s <= '9') {
-    const std::uint64_t digit = static_cast<std::uint64_t>(*s - '0');
-    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
-      return ParseResult::kOverflow;  // would wrap silently otherwise
-    }
-    value = value * 10 + digit;
-    ++s;
-  }
-  *p = s;
-  *out = value;
-  return ParseResult::kOk;
-}
-
 }  // namespace
 
 Result<Graph> ReadSnapEdgeList(const std::string& path) {
@@ -77,7 +53,7 @@ Result<Graph> ReadSnapEdgeList(const std::string& path) {
     return it->second;
   };
 
-  char line[4096];
+  char line[edge_list_internal::kMaxLineBytes + 1];
   std::size_t line_no = 0;
   while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
     ++line_no;
@@ -94,25 +70,31 @@ Result<Graph> ReadSnapEdgeList(const std::string& path) {
       }
     }
     const char* p = line;
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#' || *p == '%') {
+    const char* end = line + std::strlen(line);
+    if (edge_list_internal::ClassifyLine(&p, end) ==
+        edge_list_internal::LineKind::kSkip) {
       continue;  // blank or comment
     }
     std::uint64_t raw_u = 0;
     std::uint64_t raw_v = 0;
     for (std::uint64_t* out : {&raw_u, &raw_v}) {
-      switch (ParseUint(&p, out)) {
-        case ParseResult::kOk:
+      switch (edge_list_internal::ParseUint(&p, end, out)) {
+        case edge_list_internal::ParseUintResult::kOk:
           break;
-        case ParseResult::kNoDigits:
+        case edge_list_internal::ParseUintResult::kNoDigits:
           return Status::Corruption("malformed edge at " + path + ":" +
                                     std::to_string(line_no));
-        case ParseResult::kOverflow:
+        case edge_list_internal::ParseUintResult::kOverflow:
           return Status::Corruption("vertex id overflows 64 bits at " + path +
                                     ":" + std::to_string(line_no));
       }
     }
-    edges.emplace_back(intern(raw_u), intern(raw_v));
+    // Intern u before v explicitly: argument evaluation order is
+    // unspecified, and first-appearance ids are a cross-reader contract
+    // (the parallel reader reproduces them bit for bit).
+    const VertexId u = intern(raw_u);
+    const VertexId v = intern(raw_v);
+    edges.emplace_back(u, v);
   }
   if (std::ferror(file.get())) {
     return Status::IoError("read error on '" + path + "'");
@@ -182,6 +164,26 @@ Result<Graph> ReadBinaryGraph(const std::string& path) {
   }
   if (n > std::numeric_limits<VertexId>::max() - 1) {
     return Status::Corruption("vertex count overflow in '" + path + "'");
+  }
+  if (slots > std::numeric_limits<std::uint64_t>::max() / sizeof(VertexId)) {
+    return Status::Corruption("slot count overflow in '" + path + "'");
+  }
+  // Before allocating (n + 1) offsets and `slots` neighbors, check the
+  // file actually holds that payload: a corrupted header with an absurd
+  // n or slots would otherwise drive a giant allocation (and an OOM
+  // abort) ahead of any validation.
+  const long payload_start = std::ftell(file.get());
+  if (payload_start >= 0 && std::fseek(file.get(), 0, SEEK_END) == 0) {
+    const long file_end = std::ftell(file.get());
+    const std::uint64_t expected =
+        (n + 1) * sizeof(EdgeId) + slots * sizeof(VertexId);
+    if (file_end < payload_start ||
+        static_cast<std::uint64_t>(file_end - payload_start) != expected) {
+      return Status::Corruption("payload size mismatch in '" + path + "'");
+    }
+    if (std::fseek(file.get(), payload_start, SEEK_SET) != 0) {
+      return Status::IoError("seek error on '" + path + "'");
+    }
   }
   std::vector<EdgeId> offsets(n + 1, 0);
   std::vector<VertexId> neighbors(slots);

@@ -1,0 +1,73 @@
+// Shared line-level parsing primitives for the SNAP edge-list readers.
+//
+// The serial reader (edge_list_io.cc) and the parallel chunked reader
+// (parallel_edge_list.cc) must agree byte for byte on what a line means —
+// the same comment handling, the same integer grammar, the same overflow
+// rule — or the differential tests that pin the parallel cold path to the
+// serial one would chase phantom mismatches.  This header is that single
+// definition.  Internal: not exported through corekit.h.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace corekit {
+namespace edge_list_internal {
+
+// The serial reader parses through a fixed fgets buffer of 4096 bytes;
+// lines longer than 4095 content bytes are a Corruption (they would
+// otherwise silently split into bogus edges).  The parallel reader has no
+// buffer but enforces the same contract so both paths accept exactly the
+// same files.
+inline constexpr std::size_t kMaxLineBytes = 4095;
+
+enum class ParseUintResult {
+  kOk,
+  kNoDigits,
+  kOverflow,  // the literal does not fit in 64 bits
+};
+
+// Parses an unsigned decimal integer from [*p, end); advances *p past the
+// digits on success.  Leading ' ', '\t' and ',' separators are skipped
+// (SNAP and Network Repository files mix all three).
+inline ParseUintResult ParseUint(const char** p, const char* end,
+                                 std::uint64_t* out) {
+  const char* s = *p;
+  while (s != end && (*s == ' ' || *s == '\t' || *s == ',')) ++s;
+  if (s == end || *s < '0' || *s > '9') return ParseUintResult::kNoDigits;
+  std::uint64_t value = 0;
+  while (s != end && *s >= '0' && *s <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(*s - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return ParseUintResult::kOverflow;  // would wrap silently otherwise
+    }
+    value = value * 10 + digit;
+    ++s;
+  }
+  *p = s;
+  *out = value;
+  return ParseUintResult::kOk;
+}
+
+enum class LineKind {
+  kSkip,  // blank or comment line
+  kEdge,  // must parse as two integers
+};
+
+// Classifies the line content [*p, end) (terminating newline excluded)
+// and advances *p past leading blanks, mirroring the serial reader's
+// pre-parse skip.
+inline LineKind ClassifyLine(const char** p, const char* end) {
+  const char* s = *p;
+  while (s != end && (*s == ' ' || *s == '\t')) ++s;
+  *p = s;
+  if (s == end || *s == '\n' || *s == '\r' || *s == '#' || *s == '%') {
+    return LineKind::kSkip;
+  }
+  return LineKind::kEdge;
+}
+
+}  // namespace edge_list_internal
+}  // namespace corekit

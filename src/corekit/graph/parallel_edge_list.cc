@@ -1,0 +1,318 @@
+#include "corekit/graph/parallel_edge_list.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "corekit/graph/edge_list_parse.h"
+#include "corekit/graph/parallel_graph_builder.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COREKIT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace corekit {
+
+namespace {
+
+using edge_list_internal::ClassifyLine;
+using edge_list_internal::kMaxLineBytes;
+using edge_list_internal::LineKind;
+using edge_list_internal::ParseUint;
+using edge_list_internal::ParseUintResult;
+
+// Read-only view of a whole file: mmap'd where available, an owned
+// buffer filled by stdio otherwise.  The fallback also catches files
+// mmap cannot handle (pipes, pseudo-files).
+class FileView {
+ public:
+  FileView() = default;
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+  ~FileView() {
+#if defined(COREKIT_HAVE_MMAP)
+    if (mapped_ != nullptr) ::munmap(mapped_, size_);
+#endif
+  }
+
+  static Status Open(const std::string& path, bool force_fallback,
+                     FileView* out);
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<char> buffer_;  // fallback storage
+#if defined(COREKIT_HAVE_MMAP)
+  void* mapped_ = nullptr;
+#endif
+};
+
+Status FileView::Open(const std::string& path, bool force_fallback,
+                      FileView* out) {
+#if defined(COREKIT_HAVE_MMAP)
+  if (!force_fallback) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IoError("cannot open '" + path + "': " +
+                             std::strerror(errno));
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const std::size_t size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return Status::OK();  // empty file, empty view
+      }
+      void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);  // the mapping holds its own reference
+      if (mapped != MAP_FAILED) {
+#if defined(MADV_SEQUENTIAL)
+        ::madvise(mapped, size, MADV_SEQUENTIAL);
+#endif
+        out->mapped_ = mapped;
+        out->data_ = static_cast<const char*>(mapped);
+        out->size_ = size;
+        return Status::OK();
+      }
+      // mmap refused (unusual filesystem); fall back to stdio below.
+    } else {
+      ::close(fd);  // not a regular file; stdio handles or rejects it
+    }
+  }
+#else
+  (void)force_fallback;
+#endif
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::vector<char> buffer;
+  char tmp[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(tmp, 1, sizeof(tmp), f)) > 0) {
+    buffer.insert(buffer.end(), tmp, tmp + got);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read error on '" + path + "'");
+  out->buffer_ = std::move(buffer);
+  out->data_ = out->buffer_.data();
+  out->size_ = out->buffer_.size();
+  return Status::OK();
+}
+
+// Per-chunk parse output.  `pairs` holds raw (pre-relabel) endpoint ids
+// in file order; `num_lines` counts every line started in the chunk so
+// errors can be mapped back to absolute line numbers.
+struct ChunkResult {
+  enum class Error { kNone, kMalformed, kOverflow, kOverlong };
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  std::size_t num_lines = 0;
+  std::uint64_t max_raw = 0;
+  Error error = Error::kNone;
+  std::size_t error_line = 0;  // 1-based within the chunk
+};
+
+// Parses the lines starting in [begin, end).  A line may extend past
+// `end`; it is still owned (and fully read) by this chunk, and the next
+// chunk's range starts after its newline.
+void ParseChunk(const char* data, std::size_t file_size, std::size_t begin,
+                std::size_t end, ChunkResult* out) {
+  std::size_t pos = begin;
+  while (pos < end) {
+    const char* line_begin = data + pos;
+    const void* nl = std::memchr(line_begin, '\n', file_size - pos);
+    const char* line_end =
+        nl != nullptr ? static_cast<const char*>(nl) : data + file_size;
+    ++out->num_lines;
+    const std::size_t len = static_cast<std::size_t>(line_end - line_begin);
+    // The serial reader's fixed-buffer contract: a line longer than 4095
+    // content bytes is a Corruption, except a final unterminated line of
+    // exactly 4095 bytes (where fgets sees EOF instead of more data).
+    const bool at_eof = line_end == data + file_size;
+    if (len > kMaxLineBytes || (len == kMaxLineBytes && !at_eof)) {
+      out->error = ChunkResult::Error::kOverlong;
+      out->error_line = out->num_lines;
+      return;
+    }
+    const char* p = line_begin;
+    if (ClassifyLine(&p, line_end) == LineKind::kEdge) {
+      std::uint64_t raw_u = 0;
+      std::uint64_t raw_v = 0;
+      for (std::uint64_t* raw : {&raw_u, &raw_v}) {
+        switch (ParseUint(&p, line_end, raw)) {
+          case ParseUintResult::kOk:
+            break;
+          case ParseUintResult::kNoDigits:
+            out->error = ChunkResult::Error::kMalformed;
+            out->error_line = out->num_lines;
+            return;
+          case ParseUintResult::kOverflow:
+            out->error = ChunkResult::Error::kOverflow;
+            out->error_line = out->num_lines;
+            return;
+        }
+      }
+      out->pairs.emplace_back(raw_u, raw_v);
+      out->max_raw = std::max({out->max_raw, raw_u, raw_v});
+    }
+    pos = static_cast<std::size_t>(line_end - data) + (nl != nullptr ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+Result<ParsedEdgeList> ParseSnapEdgeListParallel(
+    const std::string& path, ThreadPool& pool,
+    const ParallelIngestOptions& options) {
+  FileView view;
+  const Status open_status = FileView::Open(path, options.force_fallback, &view);
+  if (!open_status.ok()) return open_status;
+
+  ParsedEdgeList result;
+  const std::size_t size = view.size();
+  if (size == 0) return result;  // empty file -> empty graph
+  const char* data = view.data();
+
+  std::size_t chunk_bytes = options.chunk_bytes;
+  if (chunk_bytes == 0) {
+    // A few chunks per thread so one skewed chunk cannot serialize the
+    // tail, but large enough to amortize per-chunk dispatch.
+    const std::size_t target =
+        size / (static_cast<std::size_t>(pool.num_threads()) * 4 + 1) + 1;
+    chunk_bytes = std::clamp<std::size_t>(target, std::size_t{1} << 16,
+                                          std::size_t{1} << 26);
+  }
+
+  // Chunk i owns the lines that *start* in [starts[i], starts[i + 1]).
+  // A raw boundary lands mid-line; the owning chunk keeps that whole
+  // line and the next chunk begins at the first line start at or after
+  // the boundary.
+  const std::size_t num_chunks = (size + chunk_bytes - 1) / chunk_bytes;
+  std::vector<std::size_t> starts;
+  starts.reserve(num_chunks + 1);
+  starts.push_back(0);
+  for (std::size_t i = 1; i < num_chunks; ++i) {
+    const std::size_t raw = i * chunk_bytes;
+    std::size_t start = 0;
+    if (data[raw - 1] == '\n') {
+      start = raw;
+    } else {
+      const void* nl = std::memchr(data + raw, '\n', size - raw);
+      start = nl != nullptr
+                  ? static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                             data) +
+                        1
+                  : size;
+    }
+    // A line longer than chunk_bytes can swallow whole raw boundaries;
+    // keep starts strictly increasing so no chunk is empty.
+    if (start > starts.back() && start < size) starts.push_back(start);
+  }
+  starts.push_back(size);
+
+  const std::size_t chunk_count = starts.size() - 1;
+  std::vector<ChunkResult> chunks(chunk_count);
+  pool.ParallelFor(chunk_count, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t i = cb; i < ce; ++i) {
+      ParseChunk(data, size, starts[i], starts[i + 1], &chunks[i]);
+    }
+  });
+
+  // First error in chunk order == first error in file order (each chunk
+  // stops at its first error, and all chunks before it are error-free,
+  // so their line counts are complete).
+  std::size_t lines_before = 0;
+  std::size_t total_pairs = 0;
+  std::uint64_t max_raw = 0;
+  for (const ChunkResult& chunk : chunks) {
+    if (chunk.error != ChunkResult::Error::kNone) {
+      const std::string at =
+          " at " + path + ":" + std::to_string(lines_before + chunk.error_line);
+      switch (chunk.error) {
+        case ChunkResult::Error::kMalformed:
+          return Status::Corruption("malformed edge" + at);
+        case ChunkResult::Error::kOverflow:
+          return Status::Corruption("vertex id overflows 64 bits" + at);
+        case ChunkResult::Error::kOverlong:
+          return Status::Corruption(
+              "line exceeds " + std::to_string(kMaxLineBytes) + " bytes" + at);
+        case ChunkResult::Error::kNone:
+          break;
+      }
+    }
+    lines_before += chunk.num_lines;
+    total_pairs += chunk.pairs.size();
+    max_raw = std::max(max_raw, chunk.max_raw);
+  }
+
+  // Relabel serially in chunk (== file) order so ids are assigned in
+  // first-appearance order, matching ReadSnapEdgeList exactly.  When the
+  // raw id space is not absurdly sparse a direct-mapped table replaces
+  // the hash map; both assign identical ids.
+  result.edges.reserve(total_pairs);
+  if (total_pairs == 0) return result;
+  const bool dense_ok =
+      max_raw < std::max<std::uint64_t>(std::uint64_t{1} << 20,
+                                        8 * static_cast<std::uint64_t>(
+                                                total_pairs));
+  if (dense_ok) {
+    std::vector<VertexId> map(static_cast<std::size_t>(max_raw) + 1,
+                              kInvalidVertex);
+    VertexId next = 0;
+    for (const ChunkResult& chunk : chunks) {
+      for (const auto& [raw_u, raw_v] : chunk.pairs) {
+        VertexId& mu = map[static_cast<std::size_t>(raw_u)];
+        if (mu == kInvalidVertex) mu = next++;
+        VertexId& mv = map[static_cast<std::size_t>(raw_v)];
+        if (mv == kInvalidVertex) mv = next++;
+        result.edges.emplace_back(mu, mv);
+      }
+    }
+    result.num_vertices = next;
+  } else {
+    std::unordered_map<std::uint64_t, VertexId> relabel;
+    auto intern = [&relabel](std::uint64_t raw) {
+      const auto [it, inserted] =
+          relabel.try_emplace(raw, static_cast<VertexId>(relabel.size()));
+      (void)inserted;
+      return it->second;
+    };
+    for (const ChunkResult& chunk : chunks) {
+      for (const auto& [raw_u, raw_v] : chunk.pairs) {
+        // u before v, explicitly sequenced like the dense path (and the
+        // serial reader): argument evaluation order is unspecified.
+        const VertexId u = intern(raw_u);
+        const VertexId v = intern(raw_v);
+        result.edges.emplace_back(u, v);
+      }
+    }
+    result.num_vertices = static_cast<VertexId>(relabel.size());
+  }
+  return result;
+}
+
+Result<Graph> ReadSnapEdgeListParallel(const std::string& path,
+                                       ThreadPool& pool,
+                                       const ParallelIngestOptions& options) {
+  Result<ParsedEdgeList> parsed =
+      ParseSnapEdgeListParallel(path, pool, options);
+  if (!parsed.ok()) return parsed.status();
+  return BuildGraphParallel(parsed->num_vertices, parsed->edges, pool);
+}
+
+}  // namespace corekit

@@ -1,0 +1,104 @@
+#include "corekit/graph/parallel_graph_builder.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "corekit/graph/graph_builder.h"
+
+namespace corekit {
+
+Graph BuildGraphParallel(VertexId num_vertices, const EdgeList& edges,
+                         ThreadPool& pool) {
+  const std::size_t n = num_vertices;
+  const std::size_t num_ranges = pool.num_threads();
+  if (num_ranges <= 1 || n == 0) {
+    return GraphBuilder::FromEdges(num_vertices, edges);
+  }
+  const std::size_t m = edges.size();
+  const auto range_bounds = [m, num_ranges](std::size_t r) {
+    return std::pair<std::size_t, std::size_t>{m * r / num_ranges,
+                                               m * (r + 1) / num_ranges};
+  };
+
+  // Pass 1: per-range degree histograms.  hist[r][v] counts the directed
+  // slots range r's slice of the edge list contributes to vertex v.
+  std::vector<std::vector<EdgeId>> hist(num_ranges);
+  pool.ParallelFor(num_ranges, 1, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      std::vector<EdgeId>& h = hist[r];
+      h.assign(n, 0);
+      const auto [eb, ee] = range_bounds(r);
+      for (std::size_t i = eb; i < ee; ++i) {
+        const auto& [u, v] = edges[i];
+        if (u == v) continue;
+        ++h[u];
+        ++h[v];
+      }
+    }
+  });
+
+  // Turn the counts into per-range write cursors: hist[r][v] becomes the
+  // offset of range r's slice inside v's adjacency block and degree[v]
+  // the block's total width (duplicates still included).
+  std::vector<EdgeId> degree(n, 0);
+  pool.ParallelFor(n, 4096, [&](std::size_t vb, std::size_t ve) {
+    for (std::size_t v = vb; v < ve; ++v) {
+      EdgeId running = 0;
+      for (std::size_t r = 0; r < num_ranges; ++r) {
+        const EdgeId c = hist[r][v];
+        hist[r][v] = running;
+        running += c;
+      }
+      degree[v] = running;
+    }
+  });
+  std::vector<EdgeId> counts(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) counts[v + 1] = counts[v] + degree[v];
+
+  // Pass 2: scatter.  Each range writes only through its own cursors, so
+  // every slot is written exactly once — race-free without atomics.
+  std::vector<VertexId> adj(counts.back());
+  pool.ParallelFor(num_ranges, 1, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      std::vector<EdgeId>& cursor = hist[r];
+      const auto [eb, ee] = range_bounds(r);
+      for (std::size_t i = eb; i < ee; ++i) {
+        const auto& [u, v] = edges[i];
+        if (u == v) continue;
+        adj[counts[u] + cursor[u]++] = v;
+        adj[counts[v] + cursor[v]++] = u;
+      }
+    }
+  });
+  hist.clear();
+  hist.shrink_to_fit();
+
+  // Pass 3: sort each adjacency block and count its unique prefix.  The
+  // sorted-unique result is what GraphBuilder produces, independent of
+  // the scatter order above.  `degree` is reused for the unique counts.
+  pool.ParallelFor(n, 1024, [&](std::size_t vb, std::size_t ve) {
+    for (std::size_t v = vb; v < ve; ++v) {
+      const auto first = adj.begin() + static_cast<std::ptrdiff_t>(counts[v]);
+      const auto last = adj.begin() + static_cast<std::ptrdiff_t>(counts[v + 1]);
+      std::sort(first, last);
+      degree[v] = static_cast<EdgeId>(std::unique(first, last) - first);
+    }
+  });
+
+  // Compact the unique prefixes into the final arrays.
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degree[v];
+  std::vector<VertexId> neighbors(offsets.back());
+  pool.ParallelFor(n, 4096, [&](std::size_t vb, std::size_t ve) {
+    for (std::size_t v = vb; v < ve; ++v) {
+      std::copy_n(adj.begin() + static_cast<std::ptrdiff_t>(counts[v]),
+                  degree[v],
+                  neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]));
+    }
+  });
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace corekit

@@ -1,0 +1,31 @@
+// Parallel CSR construction: the cold-path counterpart of GraphBuilder.
+//
+// BuildGraphParallel normalizes an edge list into the same simple
+// undirected CSR Graph that GraphBuilder::FromEdges produces — bitwise
+// identical offsets and neighbor arrays — but does the counting, scatter,
+// per-vertex sort and dedup-compaction in parallel on a ThreadPool.
+//
+// Technique: two-pass counting sort with per-thread degree histograms.
+// Each thread counts its slice of the edge list into a private histogram;
+// a prefix pass turns the histograms into disjoint per-thread write
+// cursors inside each vertex's adjacency block, so the scatter is
+// race-free and deterministic.  Because both paths finish by sorting each
+// adjacency list and dropping duplicates, the final arrays are identical
+// regardless of the intermediate scatter order.
+
+#pragma once
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+
+// Normalizes `edges` over the id space [0, num_vertices) exactly like
+// GraphBuilder::FromEdges (self-loops and duplicates dropped, adjacency
+// sorted).  Falls back to the serial builder when the pool has a single
+// thread.
+Graph BuildGraphParallel(VertexId num_vertices, const EdgeList& edges,
+                         ThreadPool& pool);
+
+}  // namespace corekit

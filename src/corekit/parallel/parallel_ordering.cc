@@ -1,0 +1,129 @@
+#include "corekit/parallel/parallel_ordering.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace corekit {
+
+OrderedGraph::OrderedGraph(const Graph& graph, const CoreDecomposition& cores,
+                           ThreadPool& pool)
+    : graph_(&graph),
+      kmax_(cores.kmax),
+      coreness_(cores.coreness),
+      offsets_(graph.Offsets()) {
+  COREKIT_CHECK_EQ(coreness_.size(), graph.NumVertices());
+  if (pool.num_threads() <= 1 || graph.NumVertices() == 0) {
+    BuildSerial();
+  } else {
+    BuildParallel(pool);
+  }
+}
+
+void OrderedGraph::BuildParallel(ThreadPool& pool) {
+  const VertexId n = graph_->NumVertices();
+  const std::size_t num_blocks = pool.num_threads();
+  const auto block_bounds =
+      [n, num_blocks](std::size_t b) -> std::pair<VertexId, VertexId> {
+    const std::uint64_t wide_n = n;
+    return {static_cast<VertexId>(wide_n * b / num_blocks),
+            static_cast<VertexId>(wide_n * (b + 1) / num_blocks)};
+  };
+
+  // --- Order the vertex set V (Algorithm 1, lines 1-4), parallel. --------
+  // Each block histograms its ascending-id slice per coreness bin; the
+  // prefix pass hands every block a disjoint cursor range inside each
+  // bin, so the scatter reproduces the serial ascending-id fill order.
+  const std::size_t bins = static_cast<std::size_t>(kmax_) + 1;
+  std::vector<std::vector<VertexId>> vhist(num_blocks);
+  pool.ParallelFor(num_blocks, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t b = bb; b < be; ++b) {
+      std::vector<VertexId>& h = vhist[b];
+      h.assign(bins, 0);
+      const auto [vb, ve] = block_bounds(b);
+      for (VertexId v = vb; v < ve; ++v) ++h[coreness_[v]];
+    }
+  });
+  shell_start_.assign(bins + 1, 0);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    for (std::size_t k = 0; k < bins; ++k) shell_start_[k + 1] += vhist[b][k];
+  }
+  for (std::size_t k = 0; k < bins; ++k) shell_start_[k + 1] += shell_start_[k];
+  for (std::size_t k = 0; k < bins; ++k) {
+    VertexId running = shell_start_[k];
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const VertexId count = vhist[b][k];
+      vhist[b][k] = running;
+      running += count;
+    }
+  }
+  order_.resize(n);
+  pool.ParallelFor(num_blocks, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t b = bb; b < be; ++b) {
+      const auto [vb, ve] = block_bounds(b);
+      for (VertexId v = vb; v < ve; ++v) order_[vhist[b][coreness_[v]]++] = v;
+    }
+  });
+  vhist.clear();
+  vhist.shrink_to_fit();
+
+  // --- Order the edge set E (lines 5-12), parallel. ----------------------
+  // Serial appends v (walking the rank order) to each neighbor u's list.
+  // Split the rank order into blocks, count per (block, u), prefix the
+  // counts into per-block cursors inside u's list, scatter.  Block order
+  // == rank order, so every list comes out rank-sorted exactly as serial.
+  neighbors_.resize(graph_->NeighborArray().size());
+  std::vector<std::vector<EdgeId>> ehist(num_blocks);
+  pool.ParallelFor(num_blocks, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t b = bb; b < be; ++b) {
+      std::vector<EdgeId>& h = ehist[b];
+      h.assign(n, 0);
+      const auto [pb, pe] = block_bounds(b);
+      for (VertexId pos = pb; pos < pe; ++pos) {
+        for (const VertexId u : graph_->Neighbors(order_[pos])) ++h[u];
+      }
+    }
+  });
+  pool.ParallelFor(n, 4096, [&](std::size_t ub, std::size_t ue) {
+    for (std::size_t u = ub; u < ue; ++u) {
+      EdgeId running = offsets_[u];
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        const EdgeId count = ehist[b][u];
+        ehist[b][u] = running;
+        running += count;
+      }
+    }
+  });
+  pool.ParallelFor(num_blocks, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t b = bb; b < be; ++b) {
+      std::vector<EdgeId>& cursor = ehist[b];
+      const auto [pb, pe] = block_bounds(b);
+      for (VertexId pos = pb; pos < pe; ++pos) {
+        const VertexId v = order_[pos];
+        for (const VertexId u : graph_->Neighbors(v)) {
+          neighbors_[cursor[u]++] = v;
+        }
+      }
+    }
+  });
+  ehist.clear();
+  ehist.shrink_to_fit();
+
+  // --- Position tags (line 13), parallel: vertices are independent. ------
+  same_.assign(n, 0);
+  plus_.assign(n, 0);
+  high_.assign(n, 0);
+  pool.ParallelFor(n, 2048, [&](std::size_t begin, std::size_t end) {
+    ComputeTagsRange(static_cast<VertexId>(begin),
+                     static_cast<VertexId>(end));
+  });
+}
+
+OrderedGraph BuildOrderedGraphParallel(const Graph& graph,
+                                       const CoreDecomposition& cores,
+                                       std::uint32_t num_threads) {
+  ThreadPool pool(num_threads);
+  return OrderedGraph(graph, cores, pool);
+}
+
+}  // namespace corekit

@@ -1,0 +1,31 @@
+// Parallel rank-sorted OrderedGraph construction (Algorithm 1 on a pool).
+//
+// The serial OrderedGraph constructor is two counting sorts (vertices by
+// coreness, then the edge set by endpoint rank) plus an independent
+// per-vertex tag scan — all of it bin-sort structure that parallelizes
+// with the same per-thread-histogram + prefix-sum-placement technique as
+// BuildGraphParallel: each thread counts its slice into a private
+// histogram, a prefix pass carves disjoint per-thread cursors inside each
+// bin, and the scatter reproduces the serial fill order exactly.  The
+// result is bitwise identical to the serial constructor on every input.
+//
+// The entry point is the OrderedGraph(graph, cores, pool) constructor
+// declared in core/vertex_ordering.h; its body lives in this layer
+// (parallel -> core -> graph -> util) so the core layer stays free of
+// threading concerns.
+
+#pragma once
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+
+// Convenience wrapper mirroring the other parallel substrates: builds
+// the ordering on a transient pool of `num_threads` (0 = hardware).
+OrderedGraph BuildOrderedGraphParallel(const Graph& graph,
+                                       const CoreDecomposition& cores,
+                                       std::uint32_t num_threads);
+
+}  // namespace corekit

@@ -37,4 +37,30 @@ std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
   return total.load(std::memory_order_relaxed);
 }
 
+std::vector<std::uint64_t> CountTrianglesPerVertex(const OrderedGraph& ordered,
+                                                   std::uint32_t num_threads) {
+  ThreadPool pool(num_threads);
+  return CountTrianglesPerVertex(ordered, pool);
+}
+
+std::vector<std::uint64_t> CountTrianglesPerVertex(const OrderedGraph& ordered,
+                                                   ThreadPool& pool) {
+  const VertexId n = ordered.NumVertices();
+  std::vector<std::uint64_t> counts(n, 0);
+  if (n == 0) return counts;
+
+  // Each vertex's slot is written by exactly one chunk, so no reduction
+  // is needed; the scratch is thread-local as in the global count.
+  pool.ParallelFor(
+      n, 2048, [&ordered, &counts, n](std::size_t begin, std::size_t end) {
+        thread_local TriangleScratch scratch;
+        if (scratch.size() != n) scratch.assign(n, 0);
+        for (std::size_t i = begin; i < end; ++i) {
+          counts[i] = CountTrianglesAtVertex(ordered, static_cast<VertexId>(i),
+                                             scratch);
+        }
+      });
+  return counts;
+}
+
 }  // namespace corekit

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "corekit/core/vertex_ordering.h"
 #include "corekit/util/thread_pool.h"
@@ -22,5 +23,16 @@ std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
 // shared across every parallel stage instead of one per call).
 std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
                                      ThreadPool& pool);
+
+// Per-vertex triangle scores, parallel over vertices: counts[v] equals
+// CountTrianglesAtVertex(ordered, v, scratch), i.e. the triangles
+// attributed to their lowest-rank vertex v.  These are exactly the
+// increments the single-core primary-value pass (Algorithm 5) consumes,
+// so precomputing them in parallel lifts the last serial triangle work
+// off the best-single-core path.
+std::vector<std::uint64_t> CountTrianglesPerVertex(
+    const OrderedGraph& ordered, std::uint32_t num_threads = 0);
+std::vector<std::uint64_t> CountTrianglesPerVertex(
+    const OrderedGraph& ordered, ThreadPool& pool);
 
 }  // namespace corekit

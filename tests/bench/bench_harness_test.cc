@@ -168,6 +168,7 @@ TEST(BenchHarnessTest, EnvironmentCapturesAllComparabilityKnobs) {
   ScopedEnv sha("COREKIT_GIT_SHA", "cafe123");
   const Json env = CaptureEnvironmentJson();
   EXPECT_GE(env.NumberOr("cpu_count", -1), 1);
+  EXPECT_GE(env.NumberOr("threads", -1), 1);
   EXPECT_EQ(env.NumberOr("bench_scale", -1), 0.5);
   EXPECT_GT(env.NumberOr("bench_budget", -1), 0);
   EXPECT_EQ(env.StringOr("datasets_filter", ""), "AP,G");
@@ -175,6 +176,26 @@ TEST(BenchHarnessTest, EnvironmentCapturesAllComparabilityKnobs) {
   EXPECT_NE(env.StringOr("build_type", ""), "");
   EXPECT_EQ(env.NumberOr("stage_stats_schema_version", -1),
             kStageStatsSchemaVersion);
+}
+
+TEST(BenchHarnessTest, BenchThreadsPrecedence) {
+  // Flag override beats the env var beats hardware concurrency; the
+  // effective count lands in the environment capture.
+  {
+    ScopedEnv env_threads("COREKIT_BENCH_THREADS", "3");
+    EXPECT_EQ(BenchThreads(), 3u);
+    SetBenchThreads(5);
+    EXPECT_EQ(BenchThreads(), 5u);
+    EXPECT_EQ(CaptureEnvironmentJson().NumberOr("threads", -1), 5);
+    SetBenchThreads(0);  // back to env/hardware default
+    EXPECT_EQ(BenchThreads(), 3u);
+  }
+  // Garbage and unset env both fall back to hardware concurrency (>= 1).
+  {
+    ScopedEnv env_threads("COREKIT_BENCH_THREADS", "banana");
+    EXPECT_GE(BenchThreads(), 1u);
+  }
+  EXPECT_GE(BenchThreads(), 1u);
 }
 
 TEST(BenchHarnessTest, ReportDocumentShape) {

@@ -8,6 +8,7 @@
 
 #include "corekit/engine/stage_stats.h"
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 
 #include "corekit/engine/core_engine.h"
 #include "corekit/gen/generators.h"
+#include "corekit/graph/edge_list_io.h"
 #include "corekit/util/json.h"
 
 namespace corekit {
@@ -26,16 +28,17 @@ std::vector<std::string> MemberKeys(const Json& object) {
   return keys;
 }
 
-TEST(StageStatsSchemaTest, SchemaVersionIsOne) {
+TEST(StageStatsSchemaTest, SchemaVersionIsTwo) {
   // Bumping this constant is an intentional breaking change: update the
-  // bench harness and bench_diff expectations alongside it.
-  EXPECT_EQ(kStageStatsSchemaVersion, 1);
+  // bench harness and bench_diff expectations alongside it.  v2 added the
+  // cold-path "ingest" and "build" stages (CoreEngine::FromEdgeListFile).
+  EXPECT_EQ(kStageStatsSchemaVersion, 2);
 }
 
 TEST(StageStatsSchemaTest, EmptyStatsDocumentShape) {
   StageStats stats;
   EXPECT_EQ(stats.ToJson(),
-            "{\"schema_version\":1,\"stages\":[],"
+            "{\"schema_version\":2,\"stages\":[],"
             "\"totals\":{\"builds\":0,\"hits\":0,\"seconds\":0.000000,"
             "\"bytes\":0}}");
 }
@@ -94,6 +97,29 @@ TEST(StageStatsSchemaTest, CanonicalEngineStageNames) {
                        "decompose", "order", "forest", "components",
                        "triangles", "triplets", "coreset[ad]",
                        "singlecore[ad]"}));
+}
+
+TEST(StageStatsSchemaTest, ColdPathEngineStageNamesLeadWithIngest) {
+  // Engines built through FromEdgeListFile additionally record the two
+  // cold-path stages, in pipeline order, ahead of everything else.
+  Graph graph = GenerateErdosRenyi(60, 180, 11);
+  const std::string path =
+      ::testing::TempDir() + "/stage_schema_cold_path.txt";
+  ASSERT_TRUE(WriteSnapEdgeList(graph, path).ok());
+  auto engine = CoreEngine::FromEdgeListFile(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  (void)(*engine)->Cores();
+  (void)(*engine)->Ordered();
+  std::remove(path.c_str());
+
+  Result<Json> doc = Json::Parse((*engine)->StatsJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  std::vector<std::string> names;
+  for (const Json& stage : doc->Find("stages")->items()) {
+    names.push_back(stage.StringOr("name", ""));
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"ingest", "build", "decompose",
+                                             "order"}));
 }
 
 TEST(StageStatsSchemaTest, PerMetricStageNamesAreLocked) {

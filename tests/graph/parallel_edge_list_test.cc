@@ -1,0 +1,277 @@
+// Differential tests for the parallel cold path's ingestion stage
+// (corekit/graph/parallel_edge_list.h): the chunked reader must accept
+// exactly what ReadSnapEdgeList accepts — producing a bitwise-identical
+// Graph — and reject exactly what it rejects, with the same
+// line-numbered messages.  Tiny chunk_bytes values force lines,
+// comments, CRLF pairs and errors to straddle chunk boundaries.
+
+#include "corekit/graph/parallel_edge_list.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/edge_list_io.h"
+#include "corekit/graph/graph.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+namespace {
+
+class ParallelEdgeListTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/corekit_par_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    ASSERT_TRUE(out.good());
+  }
+
+  // Asserts the parallel reader agrees with the serial one on `path` —
+  // same acceptance, same graph bit for bit or same status message —
+  // across thread counts, chunk sizes, and the mmap/fallback axis.
+  void ExpectParity(const std::string& path) {
+    const Result<Graph> serial = ReadSnapEdgeList(path);
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      ThreadPool pool(threads);
+      for (const std::size_t chunk_bytes : {std::size_t{0}, std::size_t{3},
+                                            std::size_t{7}, std::size_t{64}}) {
+        for (const bool fallback : {false, true}) {
+          SCOPED_TRACE("threads=" + std::to_string(threads) + " chunk=" +
+                       std::to_string(chunk_bytes) + " fallback=" +
+                       std::to_string(fallback));
+          ParallelIngestOptions options;
+          options.chunk_bytes = chunk_bytes;
+          options.force_fallback = fallback;
+          const Result<Graph> parallel =
+              ReadSnapEdgeListParallel(path, pool, options);
+          ASSERT_EQ(parallel.ok(), serial.ok());
+          if (serial.ok()) {
+            EXPECT_EQ(parallel->NumVertices(), serial->NumVertices());
+            EXPECT_EQ(parallel->Offsets(), serial->Offsets());
+            EXPECT_EQ(parallel->NeighborArray(), serial->NeighborArray());
+          } else {
+            EXPECT_EQ(parallel.status().ToString(),
+                      serial.status().ToString());
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST_F(ParallelEdgeListTest, SimpleFileMatchesSerial) {
+  const std::string path = TempPath("simple.txt");
+  WriteFile(path, "0 1\n1 2\n2 0\n3 1\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, EmptyFileMatchesSerial) {
+  const std::string path = TempPath("empty.txt");
+  WriteFile(path, "");
+  ExpectParity(path);
+  ThreadPool pool(2);
+  const Result<Graph> parallel = ReadSnapEdgeListParallel(path, pool);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->NumVertices(), 0u);
+  EXPECT_EQ(parallel->NumEdges(), 0u);
+}
+
+TEST_F(ParallelEdgeListTest, FileSmallerThanOneChunk) {
+  const std::string path = TempPath("tiny.txt");
+  WriteFile(path, "7 9\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, CrlfLineEndingsMatchSerial) {
+  const std::string path = TempPath("crlf.txt");
+  WriteFile(path, "0 1\r\n# comment\r\n1 2\r\n\r\n2 3\r\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, CommentsAndBlanksAcrossChunkBoundaries) {
+  // With chunk_bytes = 3/7 the comment bodies span several chunks; only
+  // the chunk owning the line start may classify it.
+  const std::string path = TempPath("comments.txt");
+  WriteFile(path,
+            "# leading comment stretching well past any tiny chunk\n"
+            "0 1\n"
+            "% metis-style comment, also long enough to straddle\n"
+            "\n"
+            "   \n"
+            "1 2\n"
+            "#tail\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, SeparatorsAndDuplicatesMatchSerial) {
+  const std::string path = TempPath("seps.txt");
+  WriteFile(path, "0,1\n0\t1\n  5   6\n1 0\n5 5\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, FirstAppearanceRelabelingMatchesSerial) {
+  // Raw ids far apart exercise both intern paths; serial numbering is by
+  // first appearance in file order, which the chunked reader must
+  // reproduce exactly.
+  const std::string path = TempPath("relabel.txt");
+  WriteFile(path,
+            "1000000000 4\n4 17\n999999999999 1000000000\n17 0\n0 4\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, NoFinalNewlineMatchesSerial) {
+  const std::string path = TempPath("nofinal.txt");
+  WriteFile(path, "0 1\n1 2");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, MalformedLineReportsSameLineNumber) {
+  const std::string path = TempPath("malformed.txt");
+  WriteFile(path, "0 1\n1 2\nnot an edge\n2 3\n");
+  ExpectParity(path);
+  ThreadPool pool(4);
+  ParallelIngestOptions options;
+  options.chunk_bytes = 4;
+  const Result<Graph> result = ReadSnapEdgeListParallel(path, pool, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("malformed edge"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find(":3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ParallelEdgeListTest, FirstOfSeveralErrorsWinsLikeSerial) {
+  // Errors in different chunks: the reported one must be the first in
+  // *file* order, whatever order the chunks finished in.
+  const std::string path = TempPath("two_errors.txt");
+  WriteFile(path, "0 1\nbad line one\n1 2\nbad line two\n");
+  ExpectParity(path);
+  ThreadPool pool(4);
+  ParallelIngestOptions options;
+  options.chunk_bytes = 3;
+  const Result<Graph> result = ReadSnapEdgeListParallel(path, pool, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find(":2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ParallelEdgeListTest, VertexIdOverflowMatchesSerial) {
+  const std::string path = TempPath("overflow.txt");
+  WriteFile(path, "0 1\n18446744073709551616 1\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, MissingEndpointMatchesSerial) {
+  const std::string path = TempPath("half.txt");
+  WriteFile(path, "0 1\n42\n");
+  ExpectParity(path);
+}
+
+TEST_F(ParallelEdgeListTest, OverlongLineAcrossChunksMatchesSerial) {
+  // 5000 > 4095 bytes on line 2: must be rejected with the serial
+  // message even though the line spans many tiny chunks.
+  const std::string path = TempPath("overlong.txt");
+  std::string content = "0 1\n";
+  content += std::string(5000, '1');
+  content += "\n1 2\n";
+  WriteFile(path, content);
+  ExpectParity(path);
+  ThreadPool pool(2);
+  ParallelIngestOptions options;
+  options.chunk_bytes = 64;
+  const Result<Graph> result = ReadSnapEdgeListParallel(path, pool, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("exceeds 4095 bytes"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find(":2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ParallelEdgeListTest, ExactBufferLengthFinalLineMatchesSerial) {
+  // A 4095-byte final line with no newline is the serial reader's one
+  // tolerated full-buffer case; longer, or mid-file, is an error.
+  for (const bool terminated : {false, true}) {
+    const std::string path = TempPath(terminated ? "edge4095_nl.txt"
+                                                 : "edge4095.txt");
+    std::string line = "3 4";
+    line += std::string(4095 - line.size(), ' ');
+    std::string content = "0 1\n" + line;
+    if (terminated) content += "\n";
+    WriteFile(path, content);
+    SCOPED_TRACE(terminated ? "terminated" : "unterminated");
+    ExpectParity(path);
+  }
+}
+
+TEST_F(ParallelEdgeListTest, MissingFileMatchesSerial) {
+  const std::string path = TempPath("does_not_exist.txt");
+  std::remove(path.c_str());
+  ThreadPool pool(2);
+  const Result<Graph> serial = ReadSnapEdgeList(path);
+  const Result<Graph> parallel = ReadSnapEdgeListParallel(path, pool);
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), serial.status().code());
+}
+
+TEST_F(ParallelEdgeListTest, ParseStageExposesRelabeledEdges) {
+  const std::string path = TempPath("parse_stage.txt");
+  WriteFile(path, "10 20\n20 30\n10 30\n");
+  ThreadPool pool(2);
+  const Result<ParsedEdgeList> parsed = ParseSnapEdgeListParallel(path, pool);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_vertices, 3u);
+  const EdgeList expected = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_EQ(parsed->edges, expected);
+}
+
+TEST_F(ParallelEdgeListTest, DifferentialZooAgainstSerial) {
+  // Generated graphs of assorted shapes, written to text and re-read by
+  // both paths: the cold path must be bitwise identical on all of them.
+  struct ZooEntry {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<ZooEntry> zoo;
+  zoo.push_back({"er", GenerateErdosRenyi(400, 1600, 7)});
+  zoo.push_back({"ba", GenerateBarabasiAlbert(300, 4, 11)});
+  zoo.push_back({"ws", GenerateWattsStrogatz(256, 3, 0.2, 13)});
+  {
+    RmatParams params;
+    params.scale = 8;
+    params.num_edges = 1200;
+    params.seed = 5;
+    zoo.push_back({"rmat", GenerateRmat(params)});
+  }
+  for (const ZooEntry& entry : zoo) {
+    SCOPED_TRACE(entry.name);
+    const std::string path = TempPath("zoo_" + entry.name + ".txt");
+    ASSERT_TRUE(WriteSnapEdgeList(entry.graph, path).ok());
+    const Result<Graph> serial = ReadSnapEdgeList(path);
+    ASSERT_TRUE(serial.ok());
+    for (const std::uint32_t threads : {1u, 3u, 8u}) {
+      ThreadPool pool(threads);
+      ParallelIngestOptions options;
+      options.chunk_bytes = 128;  // many chunks even on small files
+      const Result<Graph> parallel =
+          ReadSnapEdgeListParallel(path, pool, options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(parallel->Offsets(), serial->Offsets());
+      EXPECT_EQ(parallel->NeighborArray(), serial->NeighborArray());
+    }
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,103 @@
+// Differential tests for the parallel CSR builder
+// (corekit/graph/parallel_graph_builder.h): BuildGraphParallel must be
+// bitwise identical to GraphBuilder::FromEdges — same offsets array,
+// same neighbor array — on every input, since downstream stages
+// (ordering, triangle scoring) key on exact adjacency layout.
+
+#include "corekit/graph/parallel_graph_builder.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/random.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+namespace {
+
+void ExpectBitwiseEqual(VertexId num_vertices, const EdgeList& edges) {
+  const Graph serial = GraphBuilder::FromEdges(num_vertices, edges);
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const Graph parallel = BuildGraphParallel(num_vertices, edges, pool);
+    EXPECT_EQ(parallel.NumVertices(), serial.NumVertices());
+    EXPECT_EQ(parallel.NumEdges(), serial.NumEdges());
+    EXPECT_EQ(parallel.Offsets(), serial.Offsets());
+    EXPECT_EQ(parallel.NeighborArray(), serial.NeighborArray());
+  }
+}
+
+TEST(ParallelGraphBuilderTest, EmptyGraph) {
+  ExpectBitwiseEqual(0, {});
+  ExpectBitwiseEqual(5, {});
+}
+
+TEST(ParallelGraphBuilderTest, SmallTriangle) {
+  ExpectBitwiseEqual(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(ParallelGraphBuilderTest, DuplicatesAndSelfLoopsNormalizeIdentically) {
+  ExpectBitwiseEqual(6, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {3, 4}, {4, 3},
+                         {5, 5}, {0, 1}});
+}
+
+TEST(ParallelGraphBuilderTest, IsolatedVerticesKeepEmptyRanges) {
+  ExpectBitwiseEqual(10, {{2, 7}});
+}
+
+TEST(ParallelGraphBuilderTest, StarAndPathShapes) {
+  EdgeList star;
+  for (VertexId leaf = 1; leaf < 50; ++leaf) star.push_back({0, leaf});
+  ExpectBitwiseEqual(50, star);
+
+  EdgeList path;
+  for (VertexId v = 0; v + 1 < 64; ++v) path.push_back({v, v + 1});
+  ExpectBitwiseEqual(64, path);
+}
+
+TEST(ParallelGraphBuilderTest, RandomEdgeListsWithNoise) {
+  // Random multigraph-ish inputs (duplicates, self-loops, both edge
+  // orientations) across sizes that don't divide evenly by the thread
+  // count.
+  Rng rng(99);
+  for (const VertexId n : {VertexId{17}, VertexId{101}, VertexId{1000}}) {
+    EdgeList edges;
+    const std::size_t target = static_cast<std::size_t>(n) * 4;
+    for (std::size_t i = 0; i < target; ++i) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(n));
+      const auto v = static_cast<VertexId>(rng.NextBounded(n));
+      edges.push_back({u, v});
+      if (rng.NextBounded(4) == 0) edges.push_back({v, u});  // duplicate
+    }
+    SCOPED_TRACE("n=" + std::to_string(n));
+    ExpectBitwiseEqual(n, edges);
+  }
+}
+
+TEST(ParallelGraphBuilderTest, GeneratedGraphEdgesRoundTrip) {
+  // Rebuilding a generator's CSR from its own edge dump must reproduce
+  // the CSR exactly, serial or parallel.
+  const Graph original = GenerateBarabasiAlbert(500, 5, 21);
+  EdgeList edges;
+  for (VertexId u = 0; u < original.NumVertices(); ++u) {
+    for (const VertexId v : original.Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  ExpectBitwiseEqual(original.NumVertices(), edges);
+  ThreadPool pool(4);
+  const Graph rebuilt =
+      BuildGraphParallel(original.NumVertices(), edges, pool);
+  EXPECT_EQ(rebuilt.Offsets(), original.Offsets());
+  EXPECT_EQ(rebuilt.NeighborArray(), original.NeighborArray());
+}
+
+}  // namespace
+}  // namespace corekit

@@ -1,0 +1,120 @@
+// Differential tests for the parallel OrderedGraph build
+// (corekit/parallel/parallel_ordering.h): the parallel two bin sorts and
+// tag scan must be bitwise identical to the serial Algorithm 1
+// constructor on every graph — same rank order, same shell boundaries,
+// same rank-sorted adjacency, same Table II tags.
+
+#include "corekit/parallel/parallel_ordering.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/core/vertex_ordering.h"
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+namespace {
+
+void ExpectOrderingIdentical(const Graph& graph) {
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph serial(graph, cores);
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const OrderedGraph parallel(graph, cores, pool);
+
+    // Rank order and shell boundaries.
+    ASSERT_EQ(parallel.NumVertices(), serial.NumVertices());
+    ASSERT_EQ(parallel.kmax(), serial.kmax());
+    const auto serial_order = serial.VerticesByRank();
+    const auto parallel_order = parallel.VerticesByRank();
+    ASSERT_EQ(parallel_order.size(), serial_order.size());
+    for (std::size_t i = 0; i < serial_order.size(); ++i) {
+      ASSERT_EQ(parallel_order[i], serial_order[i]) << "rank " << i;
+    }
+    for (VertexId k = 0; k <= serial.kmax(); ++k) {
+      ASSERT_EQ(parallel.ShellBegin(k), serial.ShellBegin(k)) << "k=" << k;
+      ASSERT_EQ(parallel.ShellEnd(k), serial.ShellEnd(k)) << "k=" << k;
+    }
+
+    // Rank-sorted adjacency and the Table II tags.
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      const auto serial_neighbors = serial.Neighbors(v);
+      const auto parallel_neighbors = parallel.Neighbors(v);
+      ASSERT_EQ(parallel_neighbors.size(), serial_neighbors.size()) << v;
+      for (std::size_t i = 0; i < serial_neighbors.size(); ++i) {
+        ASSERT_EQ(parallel_neighbors[i], serial_neighbors[i])
+            << "v=" << v << " slot=" << i;
+      }
+      ASSERT_EQ(parallel.TagSame(v), serial.TagSame(v)) << v;
+      ASSERT_EQ(parallel.TagPlus(v), serial.TagPlus(v)) << v;
+      ASSERT_EQ(parallel.TagHigh(v), serial.TagHigh(v)) << v;
+    }
+  }
+}
+
+TEST(ParallelOrderingTest, EmptyGraph) {
+  ExpectOrderingIdentical(GraphBuilder::FromEdges(0, {}));
+}
+
+TEST(ParallelOrderingTest, IsolatedVertices) {
+  ExpectOrderingIdentical(GraphBuilder::FromEdges(7, {}));
+}
+
+TEST(ParallelOrderingTest, TriangleWithTail) {
+  ExpectOrderingIdentical(
+      GraphBuilder::FromEdges(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}}));
+}
+
+TEST(ParallelOrderingTest, GeneratedZooIsBitwiseIdentical) {
+  struct ZooEntry {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<ZooEntry> zoo;
+  zoo.push_back({"er_sparse", GenerateErdosRenyi(300, 600, 3)});
+  zoo.push_back({"er_dense", GenerateErdosRenyi(200, 3000, 5)});
+  zoo.push_back({"ba", GenerateBarabasiAlbert(400, 6, 9)});
+  zoo.push_back({"ws", GenerateWattsStrogatz(256, 4, 0.1, 2)});
+  {
+    RmatParams params;
+    params.scale = 9;
+    params.num_edges = 4000;
+    params.seed = 77;
+    zoo.push_back({"rmat", GenerateRmat(params)});
+  }
+  {
+    OnionParams params;
+    params.num_vertices = 300;
+    params.target_kmax = 12;
+    params.seed = 4;
+    zoo.push_back({"onion", GenerateOnion(params)});
+  }
+  for (const ZooEntry& entry : zoo) {
+    SCOPED_TRACE(entry.name);
+    ExpectOrderingIdentical(entry.graph);
+  }
+}
+
+TEST(ParallelOrderingTest, BuildOrderedGraphParallelHelper) {
+  const Graph graph = GenerateErdosRenyi(150, 700, 31);
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph serial(graph, cores);
+  const OrderedGraph parallel = BuildOrderedGraphParallel(graph, cores, 4);
+  const auto serial_order = serial.VerticesByRank();
+  const auto parallel_order = parallel.VerticesByRank();
+  ASSERT_EQ(parallel_order.size(), serial_order.size());
+  for (std::size_t i = 0; i < serial_order.size(); ++i) {
+    ASSERT_EQ(parallel_order[i], serial_order[i]);
+  }
+}
+
+}  // namespace
+}  // namespace corekit

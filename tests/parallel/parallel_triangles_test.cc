@@ -38,5 +38,41 @@ TEST(ParallelTrianglesTest, LargeGraphStress) {
   EXPECT_EQ(CountTrianglesParallel(ordered, 8), CountTriangles(ordered));
 }
 
+TEST(ParallelTrianglesTest, PerVertexMatchesSequentialKernel) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+    const OrderedGraph ordered(graph, cores);
+    TriangleScratch scratch(graph.NumVertices(), 0);
+    std::vector<std::uint64_t> expected(graph.NumVertices(), 0);
+    std::uint64_t total = 0;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      expected[v] = CountTrianglesAtVertex(ordered, v, scratch);
+      total += expected[v];
+    }
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      const std::vector<std::uint64_t> counts =
+          CountTrianglesPerVertex(ordered, threads);
+      EXPECT_EQ(counts, expected) << name << " threads=" << threads;
+      std::uint64_t sum = 0;
+      for (const std::uint64_t c : counts) sum += c;
+      EXPECT_EQ(sum, total) << name;
+    }
+  }
+}
+
+TEST(ParallelTrianglesTest, PerVertexSumsToGlobalCountOnLargeGraph) {
+  RmatParams params;
+  params.scale = 12;
+  params.num_edges = 60000;
+  params.seed = 13;
+  const Graph g = GenerateRmat(params);
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  const OrderedGraph ordered(g, cores);
+  const std::vector<std::uint64_t> counts = CountTrianglesPerVertex(ordered, 8);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts) sum += c;
+  EXPECT_EQ(sum, CountTriangles(ordered));
+}
+
 }  // namespace
 }  // namespace corekit

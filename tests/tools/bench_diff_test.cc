@@ -173,6 +173,43 @@ TEST(BenchDiffTest, SuiteMismatchRejected) {
   EXPECT_EQ(diff.status().code(), StatusCode::kInvalidArgument);
 }
 
+// Stamps an environment block carrying a StageStats schema version onto a
+// report (version < 0 writes an environment with no version key).
+Json WithStageVersion(Json report, int version) {
+  Json env = Json::Object();
+  if (version >= 0) env.Set("stage_stats_schema_version", version);
+  report.Set("environment", std::move(env));
+  return report;
+}
+
+TEST(BenchDiffTest, StageStatsVersionMismatchRejected) {
+  const Json baseline =
+      WithStageVersion(MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}}), 1);
+  const Json current =
+      WithStageVersion(MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}}), 2);
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(diff.status().message().find("stage_stats_schema_version"),
+            std::string::npos);
+}
+
+TEST(BenchDiffTest, MatchingOrAbsentStageStatsVersionsPass) {
+  const Json plain = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
+  // Both stamped with the same version.
+  EXPECT_TRUE(DiffReports(WithStageVersion(plain, 2), WithStageVersion(plain, 2),
+                          DiffOptions{})
+                  .ok());
+  // Neither report carries an environment (reports predating the key).
+  EXPECT_TRUE(DiffReports(plain, plain, DiffOptions{}).ok());
+  // Only one side carries the version: tolerated, not comparable-checked.
+  EXPECT_TRUE(
+      DiffReports(WithStageVersion(plain, 1), plain, DiffOptions{}).ok());
+  EXPECT_TRUE(DiffReports(WithStageVersion(plain, -1),
+                          WithStageVersion(plain, 2), DiffOptions{})
+                  .ok());
+}
+
 TEST(BenchDiffTest, SchemaVersionMismatchRejected) {
   Json baseline = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
   const Json current = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});

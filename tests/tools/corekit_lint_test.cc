@@ -193,6 +193,7 @@ namespace {
 
 std::string StageHeader(const std::string& enums, const std::string& names) {
   return "#pragma once\nnamespace corekit {\n"
+         "inline constexpr int kStageStatsSchemaVersion = 2;\n"
          "enum class EngineStage : int {\n" +
          enums +
          "  kCount,\n};\n"
@@ -239,6 +240,38 @@ TEST(StageTableTest, OnlyAppliesToStageStatsHeader) {
                                   "#pragma once\nint x;\n"),
                       "stage-table"),
             0);
+}
+
+TEST(StageTableTest, FlagsDuplicateStageName) {
+  const std::string content = StageHeader(
+      "  kOrder = 0,\n  kForest,\n", "    \"order\",\n    \"order\",\n");
+  const auto violations =
+      LintContent("src/corekit/engine/stage_stats.h", content);
+  ASSERT_GE(CountRule(violations, "stage-table"), 1);
+  bool found = false;
+  for (const auto& violation : violations) {
+    if (violation.message.find("duplicate stage name") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StageTableTest, FlagsMissingSchemaVersionConstant) {
+  // Same in-sync table, but no kStageStatsSchemaVersion anywhere: stage
+  // layout changes must be accompanied by a version bump, so the constant
+  // has to live in this header.
+  const std::string content =
+      "#pragma once\nnamespace corekit {\n"
+      "enum class EngineStage : int {\n  kDecompose = 0,\n  kOrder,\n"
+      "  kCount,\n};\n"
+      "inline constexpr std::string_view kEngineStageNames[] = {\n"
+      "    \"decompose\",\n    \"order\",\n};\n}  // namespace corekit\n";
+  const auto violations =
+      LintContent("src/corekit/engine/stage_stats.h", content);
+  ASSERT_EQ(CountRule(violations, "stage-table"), 1);
+  EXPECT_NE(violations[0].message.find("kStageStatsSchemaVersion"),
+            std::string::npos);
 }
 
 // --- layering ---------------------------------------------------------------

@@ -72,6 +72,25 @@ Result<DiffReport> DiffReports(const Json& baseline, const Json& current,
                                    baseline_suite + "' vs current '" +
                                    current_suite + "'");
   }
+  // Runs captured under different StageStats layouts are not comparable:
+  // a renamed or added stage shifts what the per-stage timing columns
+  // mean.  The env key is optional (reports predating it diff freely).
+  const Json* base_env = baseline.Find("environment");
+  const Json* cur_env = current.Find("environment");
+  if (base_env != nullptr && cur_env != nullptr && base_env->is_object() &&
+      cur_env->is_object()) {
+    const int base_stage_v =
+        static_cast<int>(base_env->NumberOr("stage_stats_schema_version", -1));
+    const int cur_stage_v =
+        static_cast<int>(cur_env->NumberOr("stage_stats_schema_version", -1));
+    if (base_stage_v >= 0 && cur_stage_v >= 0 && base_stage_v != cur_stage_v) {
+      return Status::InvalidArgument(
+          "stage_stats_schema_version mismatch: baseline " +
+          std::to_string(base_stage_v) + " vs current " +
+          std::to_string(cur_stage_v) +
+          "; regenerate the baseline with the current stage layout");
+    }
+  }
 
   DiffReport report;
   for (const Json& base_case : baseline.Find("cases")->items()) {

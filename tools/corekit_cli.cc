@@ -28,12 +28,22 @@
 //
 // <graph> is a SNAP text edge list, or a corekit binary snapshot when the
 // path ends in ".bin".  Metrics: ad, den, cr, con, mod, cc.
+//
+// --threads N (anywhere on the command line) switches every stage that
+// has a parallel implementation — ingestion, CSR build, peeling,
+// ordering, triangle counting — onto an N-worker pool (0 = hardware
+// concurrency).  Text inputs then load through the mmap'd chunked
+// reader; results are identical to the serial path.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "corekit/corekit.h"
 
@@ -44,22 +54,21 @@ using namespace corekit;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: corekit_cli <command> <graph> [...]\n"
+      "usage: corekit_cli <command> <graph> [--threads N] [...]\n"
       "commands: stats | best-k | best-core | best-truss | profile |\n"
       "          densest | best-s | distributed | semi-external |\n"
       "          cluster | resilience | hierarchy-dot <out.dot> |\n"
       "          fingerprint <out.svg> | color | anomalies | report |\n"
       "          engine-stats | convert <out.bin> |\n"
       "          generate <kind> <out> [n] [m]\n"
-      "metrics:  ad den cr con mod cc (default ad)\n");
+      "metrics:  ad den cr con mod cc (default ad)\n"
+      "--threads N: run parallel ingest/peel/order/triangles on N workers\n"
+      "             (0 = hardware concurrency)\n");
   return 2;
 }
 
-Result<Graph> Load(const std::string& path) {
-  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
-    return ReadBinaryGraph(path);
-  }
-  return ReadSnapEdgeList(path);
+bool IsBinaryPath(const std::string& path) {
+  return path.size() > 4 && path.substr(path.size() - 4) == ".bin";
 }
 
 Metric MetricArg(int argc, char** argv, int index) {
@@ -347,60 +356,110 @@ int CmdGenerate(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --threads N / --threads=N (position-independent) before command
+  // dispatch so every command accepts it.
+  bool threads_given = false;
+  std::uint32_t threads = 0;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --threads\n");
+        return 2;
+      }
+      value = argv[++i];
+    } else if (arg.substr(0, 10) == "--threads=") {
+      value = argv[i] + 10;
+    }
+    if (value != nullptr) {
+      threads_given = true;
+      threads = static_cast<std::uint32_t>(std::max(0, std::atoi(value)));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(argc, argv);
   if (argc < 3) return Usage();
   if (command == "semi-external") return CmdSemiExternal(argv[2]);
 
-  Result<Graph> graph = Load(argv[2]);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
+  CoreEngineOptions options;
+  if (threads_given) {
+    options.num_threads = threads;
+    options.parallel_peel = true;
+    options.parallel_ordering = true;
+    options.parallel_triangles = true;
   }
 
   // One engine per invocation: every command that derives artifacts from
   // the graph (decomposition, ordering, forest, profiles) goes through it,
-  // so multi-stage commands never rebuild a shared artifact.
-  CoreEngine engine(*graph);
+  // so multi-stage commands never rebuild a shared artifact.  Text inputs
+  // load through the engine's cold path (chunked parallel parse + parallel
+  // CSR build, recorded as the ingest/build stages); binary snapshots
+  // deserialize straight into a CSR.
+  const std::string path = argv[2];
+  std::unique_ptr<CoreEngine> engine;
+  if (IsBinaryPath(path)) {
+    Result<Graph> graph = ReadBinaryGraph(path);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::make_unique<CoreEngine>(std::move(*graph), options);
+  } else {
+    Result<std::unique_ptr<CoreEngine>> loaded =
+        CoreEngine::FromEdgeListFile(path, options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(*loaded);
+  }
 
-  if (command == "stats") return CmdStats(*graph);
+  if (command == "stats") return CmdStats(engine->graph());
   if (command == "best-k") {
-    return CmdBestK(engine, MetricArg(argc, argv, 3), /*full_profile=*/false);
+    return CmdBestK(*engine, MetricArg(argc, argv, 3), /*full_profile=*/false);
   }
   if (command == "profile") {
-    return CmdBestK(engine, MetricArg(argc, argv, 3), /*full_profile=*/true);
+    return CmdBestK(*engine, MetricArg(argc, argv, 3), /*full_profile=*/true);
   }
   if (command == "best-core") {
-    return CmdBestCore(engine, MetricArg(argc, argv, 3));
+    return CmdBestCore(*engine, MetricArg(argc, argv, 3));
   }
   if (command == "best-truss") {
-    return CmdBestTruss(*graph, MetricArg(argc, argv, 3));
+    return CmdBestTruss(engine->graph(), MetricArg(argc, argv, 3));
   }
-  if (command == "densest") return CmdDensest(engine);
+  if (command == "densest") return CmdDensest(*engine);
   if (command == "best-s") {
-    return CmdBestS(*graph, argc > 3 ? argv[3] : "strength");
+    return CmdBestS(engine->graph(), argc > 3 ? argv[3] : "strength");
   }
-  if (command == "distributed") return CmdDistributed(*graph);
-  if (command == "cluster") return CmdCluster(engine);
-  if (command == "resilience") return CmdResilience(engine);
+  if (command == "distributed") return CmdDistributed(engine->graph());
+  if (command == "cluster") return CmdCluster(*engine);
+  if (command == "resilience") return CmdResilience(*engine);
   if (command == "hierarchy-dot") {
     if (argc < 4) return Usage();
-    return CmdHierarchyDot(engine, argv[3]);
+    return CmdHierarchyDot(*engine, argv[3]);
   }
   if (command == "fingerprint") {
     if (argc < 4) return Usage();
-    return CmdFingerprint(*graph, argv[3]);
+    return CmdFingerprint(engine->graph(), argv[3]);
   }
-  if (command == "color") return CmdColor(engine);
-  if (command == "anomalies") return CmdAnomalies(engine);
-  if (command == "report") return CmdReport(engine);
+  if (command == "color") return CmdColor(*engine);
+  if (command == "anomalies") return CmdAnomalies(*engine);
+  if (command == "report") return CmdReport(*engine);
   if (command == "engine-stats") {
-    return CmdEngineStats(engine, MetricArg(argc, argv, 3));
+    return CmdEngineStats(*engine, MetricArg(argc, argv, 3));
   }
   if (command == "convert") {
     if (argc < 4) return Usage();
-    const Status status = WriteBinaryGraph(*graph, argv[3]);
+    const Status status = WriteBinaryGraph(engine->graph(), argv[3]);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;

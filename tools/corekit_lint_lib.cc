@@ -339,6 +339,28 @@ void CheckStageTable(const std::string& path, const std::string& content,
       Report(out, path, 0, "stage-table", std::move(message));
     }
   }
+  // A duplicated name would silently alias two stages' records in every
+  // consumer keyed by stage name (StageStats::Get, bench_diff, the
+  // harness columns).
+  {
+    std::set<std::string> seen;
+    for (const std::string& name : names) {
+      if (!seen.insert(name).second) {
+        Report(out, path, 0, "stage-table",
+               "duplicate stage name \"" + name + "\" in kEngineStageNames");
+      }
+    }
+  }
+  // Stage additions and renames are schema changes; the version constant
+  // consumers key on (the bench env capture, bench_diff) must exist as a
+  // plain integer literal in this header.
+  static const std::regex kVersion(
+      R"(kStageStatsSchemaVersion\s*=\s*[0-9]+\s*;)");
+  if (!std::regex_search(code, kVersion)) {
+    Report(out, path, 0, "stage-table",
+           "could not find 'kStageStatsSchemaVersion = <integer>'; stage "
+           "table changes must bump the StageStats schema version");
+  }
 }
 
 void CheckLayering(const std::string& path, const std::string& content,
