@@ -8,9 +8,12 @@
 // exactly why the paradigm matters for keeping best-k answers fresh on
 // evolving networks.
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "corekit/corekit.h"
+#include "corekit/engine/engine_server.h"
 #include "datasets.h"
 #include "harness/harness.h"
 
@@ -102,8 +105,133 @@ void RunExtDynamic(BenchRunner& run) {
                "relative to n.\n";
 }
 
+// Mixed churn + query serving: the mutable-engine path.  One writer
+// thread applies edge batches through CoreEngine::ApplyBatch while query
+// clients keep hitting the same engine; ApplyBatch patches coreness and
+// the count stages in place instead of dropping everything, so the cost
+// of staying fresh is a per-batch patch, not a per-batch rebuild.  The
+// headline counters: patch_vs_rebuild_speedup (seconds a cold
+// decomposition would cost per batch over seconds a patch actually
+// cost) and queries_per_patch (how many answers each patch kept fresh).
+void RunExtDynamicServe(BenchRunner& run) {
+  std::cout << "== Extension: churn + query serving via ApplyBatch ==\n";
+  TablePrinter table({"Dataset", "batches", "queries", "patch/batch",
+                      "rebuild/batch", "speedup", "queries/patch"});
+  for (const BenchDataset& dataset : ActiveDatasets()) {
+    std::vector<std::string> printed;
+    const CaseResult* result = run.Case(
+        {"ext_dynamic/serve/" + dataset.short_name,
+         SuitesPlusSmoke("ext", dataset.short_name)},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          CoreEngine engine{Graph(graph)};
+          // An empty batch adopts the snapshot into the dynamic index
+          // without touching the graph: the one-time cost of switching
+          // the engine into mutable mode is paid here, not billed to
+          // the per-batch patch latency below.
+          (void)engine.ApplyBatch({}, {});
+
+          ChurnMixOptions options;
+          options.serve.num_clients = 4;
+          options.serve.queries_per_client = 16;
+          options.num_batches = 12;
+          options.inserts_per_batch = 8;
+          options.deletes_per_batch = 8;
+          // Perturb the live edge set (delete + restore) rather than
+          // wiring random pairs: that is what real churn looks like,
+          // and it keeps per-update footprints local instead of
+          // triggering the adversarial near-global insert cascades the
+          // random stream is designed to stress.
+          options.perturb_existing = true;
+          options.churn_seed = SeedFromString(dataset.short_name + "-churn");
+
+          // Phase 1 — mixed serving: clients query while the writer
+          // patches.  Demonstrates freshness under contention; its
+          // patch timings are scheduler slices (the writer's clock runs
+          // while reader threads rebuild epoch-invalidated profiles),
+          // so latency is NOT taken from this phase.
+          const ChurnServeReport report = ServeChurnMix(engine, options);
+
+          // Phase 2 — the same churn stream shape with zero clients:
+          // the writer runs alone, so the per-batch timer sees the
+          // patch cost itself.  This is the latency side-by-side with
+          // the rebuild baseline below.
+          ChurnMixOptions solo = options;
+          solo.serve.num_clients = 0;
+          solo.serve.queries_per_client = 0;
+          solo.churn_seed = options.churn_seed ^ 0x50105010ULL;
+          const ChurnServeReport quiet = ServeChurnMix(engine, solo);
+
+          // Rebuild baseline: what the patch replaces.  A batch patches
+          // coreness plus the exact triangle/triplet counts; the
+          // invalidate-everything alternative recomputes all three from
+          // scratch (ordering/forest/profiles rebuild identically in
+          // both worlds, so they cancel out of the comparison).
+          constexpr int kSample = 3;
+          // The ordering rebuild is paid identically in both worlds
+          // (profile queries need it either way), so it stays outside
+          // the timed region.
+          const CoreDecomposition base_cores =
+              ComputeCoreDecomposition(graph);
+          const OrderedGraph ordered(graph, base_cores);
+          Timer timer;
+          for (int i = 0; i < kSample; ++i) {
+            const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+            (void)cores;
+            (void)CountTriangles(ordered);
+            (void)CountTriplets(graph);
+          }
+          const double rebuild_per_batch = timer.ElapsedSeconds() / kSample;
+
+          const double batches = static_cast<double>(report.batches);
+          const double patch_per_batch =
+              quiet.patch_seconds_total /
+              std::max(static_cast<double>(quiet.batches), 1.0);
+          const double speedup =
+              patch_per_batch > 0 ? rebuild_per_batch / patch_per_batch : 0;
+          const double queries =
+              static_cast<double>(report.queries.TotalQueries());
+          const double queries_per_patch = queries / std::max(batches, 1.0);
+
+          rec.SetSeconds(report.queries.wall_seconds);
+          rec.Counter("batches", batches);
+          rec.Counter("inserted", static_cast<double>(report.inserted));
+          rec.Counter("deleted", static_cast<double>(report.deleted));
+          rec.Counter("coreness_changed",
+                      static_cast<double>(report.coreness_changed));
+          rec.Counter("queries", queries);
+          rec.Counter("serve_patch_seconds_total", report.patch_seconds_total);
+          rec.Counter("patch_seconds_per_batch", patch_per_batch);
+          rec.Counter("rebuild_seconds_per_batch", rebuild_per_batch);
+          rec.Counter("patch_vs_rebuild_speedup", speedup);
+          rec.Counter("queries_per_patch", queries_per_patch);
+          rec.EngineStages(engine);
+
+          printed = {dataset.short_name,
+                     std::to_string(report.batches),
+                     TablePrinter::FormatDouble(queries, 0),
+                     TablePrinter::FormatSeconds(patch_per_batch),
+                     TablePrinter::FormatSeconds(rebuild_per_batch),
+                     TablePrinter::FormatDouble(speedup, 1) + "x",
+                     TablePrinter::FormatDouble(queries_per_patch, 1)};
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: patching beats the per-batch rebuild "
+               "wherever update footprints are local (most datasets); AP's "
+               "stand-in is the documented outlier whose near-uniform "
+               "coreness makes subcores — and hence per-update footprints — "
+               "a large fraction of the graph, pushing dynamic maintenance "
+               "toward recompute cost (see the table above: ~1x there "
+               "too).  Every query between batches reads the patched "
+               "(fresh) substrate rather than a stale snapshot.\n";
+}
+
 }  // namespace
 }  // namespace corekit::bench
 
 COREKIT_BENCH_UNIT(ext_dynamic, corekit::bench::RunExtDynamic);
+COREKIT_BENCH_UNIT(ext_dynamic_serve, corekit::bench::RunExtDynamicServe);
 COREKIT_BENCH_MAIN()

@@ -42,6 +42,7 @@ Json StageRecordJson(const StageRecord& record) {
   // need two user-defined conversions.
   stage.Set("builds", record.builds.load());
   stage.Set("hits", record.hits.load());
+  stage.Set("patches", record.patches.load());
   stage.Set("seconds", record.seconds.load());
   stage.Set("bytes", record.bytes.load());
   stage.Set("threads", static_cast<std::uint64_t>(record.threads.load()));

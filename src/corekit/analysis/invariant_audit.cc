@@ -751,6 +751,31 @@ AuditResult AuditSingleCorePrimaryValues(
   return result;
 }
 
+// --- Patched coreness (mutable engine) --------------------------------------
+
+AuditResult AuditPatchedCoreness(const Graph& graph,
+                                 std::span<const VertexId> coreness) {
+  AuditResult result;
+  const VertexId n = graph.NumVertices();
+  if (coreness.size() != n) {
+    result.AddFailure("patched coreness has " +
+                      std::to_string(coreness.size()) +
+                      " entries for a graph with " + std::to_string(n) +
+                      " vertices");
+    return result;
+  }
+  const CoreDecomposition fresh = ComputeCoreDecomposition(graph);
+  for (VertexId v = 0; v < n; ++v) {
+    if (coreness[v] != fresh.coreness[v]) {
+      result.AddFailure("patched c(" + VertexLabel(v) + ") = " +
+                        std::to_string(coreness[v]) +
+                        " but a cold recompute gives " +
+                        std::to_string(fresh.coreness[v]));
+    }
+  }
+  return result;
+}
+
 // --- Truss decomposition -----------------------------------------------------
 
 AuditResult AuditTrussDecomposition(const Graph& graph,

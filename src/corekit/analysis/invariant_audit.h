@@ -108,6 +108,15 @@ AuditResult AuditSingleCorePrimaryValues(
     const Graph& graph, const CoreForest& forest,
     std::span<const PrimaryValues> per_node);
 
+// Validates an incrementally-patched coreness array (the mutable-engine
+// path: DynamicCoreIndex cascades applied by CoreEngine::ApplyBatch) at
+// a patch boundary: recomputes the decomposition of `graph` from scratch
+// with the Batagelj–Zaversnik peel and compares element-wise.  This is
+// the ground-truth differential the subcore-locality arguments promise —
+// any divergence means a cascade visited too few vertices.
+AuditResult AuditPatchedCoreness(const Graph& graph,
+                                 std::span<const VertexId> coreness);
+
 // Validates the truss decomposition (Section VI-B):
 //   * edges match Graph::ToEdgeList() and tmax the maximum truss number;
 //   * every truss number is >= 2 and at most the edge's support + 2;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "corekit/util/logging.h"
+
 namespace corekit {
 
 std::vector<VertexId> CoreDecomposition::ShellSizes() const {
@@ -72,6 +74,73 @@ CoreDecomposition ComputeCoreDecomposition(const Graph& graph) {
       ++bin[du];
       --degree[u];
     }
+  }
+  return result;
+}
+
+CoreDecomposition DecompositionFromCoreness(const Graph& graph,
+                                            std::vector<VertexId> coreness) {
+  const VertexId n = graph.NumVertices();
+  COREKIT_CHECK(coreness.size() == n);
+  CoreDecomposition result;
+  result.coreness = std::move(coreness);
+  if (n == 0) return result;
+  const std::vector<VertexId>& core = result.coreness;
+  for (const VertexId c : core) result.kmax = std::max(result.kmax, c);
+
+  // Bucket vertices by shell; counting sort keeps ascending vertex ids
+  // within each shell, making the emitted order deterministic.
+  std::vector<VertexId> shell_start(static_cast<std::size_t>(result.kmax) + 2,
+                                    0);
+  for (VertexId v = 0; v < n; ++v) ++shell_start[core[v] + 1];
+  for (std::size_t k = 1; k < shell_start.size(); ++k) {
+    shell_start[k] += shell_start[k - 1];
+  }
+  std::vector<VertexId> by_shell(n);
+  {
+    std::vector<VertexId> cursor(shell_start.begin(), shell_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) by_shell[cursor[core[v]]++] = v;
+  }
+
+  // Peel shells in ascending k.  When shell k starts, exactly the
+  // vertices with coreness < k are peeled, so the number of unpeeled
+  // neighbors of v that still count toward it is |{u : core[u] >= k}| —
+  // computable from coreness alone.  A shell-k vertex is safe to peel
+  // once that count is <= k; peeling it only decrements counts within
+  // its own shell (higher shells recount at their own start).
+  std::vector<VertexId> remaining(n, 0);
+  std::vector<char> peeled(n, 0);
+  result.peel_order.reserve(n);
+  std::vector<VertexId> queue;
+  for (VertexId k = 0; k <= result.kmax; ++k) {
+    const VertexId begin = shell_start[k];
+    const VertexId end = shell_start[static_cast<std::size_t>(k) + 1];
+    if (begin == end) continue;
+    queue.clear();
+    for (VertexId i = begin; i < end; ++i) {
+      const VertexId v = by_shell[i];
+      VertexId count = 0;
+      for (const VertexId u : graph.Neighbors(v)) {
+        count += core[u] >= k ? 1u : 0u;
+      }
+      remaining[v] = count;
+      if (count <= k) queue.push_back(v);
+    }
+    VertexId peeled_here = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      if (peeled[v] != 0) continue;
+      peeled[v] = 1;
+      result.peel_order.push_back(v);
+      ++peeled_here;
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (core[u] != k || peeled[u] != 0) continue;
+        if (remaining[u]-- == k + 1) queue.push_back(u);
+      }
+    }
+    // A shell that cannot be fully drained means the supplied coreness
+    // was not exact for this graph (the stuck remainder is a (k+1)-core).
+    COREKIT_CHECK(peeled_here == end - begin);
   }
   return result;
 }

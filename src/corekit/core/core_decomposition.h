@@ -41,6 +41,21 @@ struct CoreDecomposition {
 // Batagelj–Zaversnik peeling.  O(m) time, O(n) extra space.
 CoreDecomposition ComputeCoreDecomposition(const Graph& graph);
 
+// Rebuilds a full CoreDecomposition — including a valid degeneracy
+// peel_order — from a coreness array already known to be exact (e.g.
+// maintained incrementally by dynamic::DynamicCoreIndex).  O(n + m),
+// but skips the bin-sort bookkeeping of the full peel: shells are
+// processed in ascending k, and a vertex of shell k is peeled as soon
+// as its count of unpeeled >=k-coreness neighbors drops to k.  By
+// Definition 3 every shell-k vertex starts with at least k such
+// neighbors, so the first vertex peeled in each shell has exactly k
+// later neighbors — making the emitted order a degeneracy ordering
+// that replays to the same coreness.  `coreness.size()` must equal
+// `graph.NumVertices()`; a coreness array that is not exact for
+// `graph` is a CHECK failure.
+CoreDecomposition DecompositionFromCoreness(const Graph& graph,
+                                            std::vector<VertexId> coreness);
+
 // Membership mask of the k-core set C_k (vertices with coreness >= k).
 std::vector<bool> CoreSetMask(const CoreDecomposition& cores, VertexId k);
 

@@ -69,6 +69,7 @@
 #include "corekit/graph/parallel_graph_builder.h"
 #include "corekit/graph/graph_stats.h"
 #include "corekit/graph/metis_io.h"
+#include "corekit/graph/mutable_adjacency.h"
 #include "corekit/graph/power_law.h"
 #include "corekit/graph/subgraph.h"
 #include "corekit/graph/types.h"

@@ -3,25 +3,29 @@
 #include <algorithm>
 
 #include "corekit/core/core_decomposition.h"
-#include "corekit/graph/graph_builder.h"
 #include "corekit/util/logging.h"
 
 namespace corekit {
 
 DynamicCoreIndex::DynamicCoreIndex(VertexId num_vertices)
-    : adjacency_(num_vertices),
+    : adj_(num_vertices),
       coreness_(num_vertices, 0),
       stamp_(num_vertices, 0),
       scratch_count_(num_vertices, 0) {}
 
 DynamicCoreIndex::DynamicCoreIndex(const Graph& graph)
-    : DynamicCoreIndex(graph.NumVertices()) {
-  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-    const auto nbrs = graph.Neighbors(v);
-    adjacency_[v].assign(nbrs.begin(), nbrs.end());
-  }
-  num_edges_ = graph.NumEdges();
-  coreness_ = ComputeCoreDecomposition(graph).coreness;
+    : adj_(graph),
+      coreness_(ComputeCoreDecomposition(graph).coreness),
+      stamp_(graph.NumVertices(), 0),
+      scratch_count_(graph.NumVertices(), 0) {}
+
+DynamicCoreIndex::DynamicCoreIndex(const Graph& graph,
+                                   std::vector<VertexId> coreness)
+    : adj_(graph),
+      coreness_(std::move(coreness)),
+      stamp_(graph.NumVertices(), 0),
+      scratch_count_(graph.NumVertices(), 0) {
+  COREKIT_CHECK(coreness_.size() == graph.NumVertices());
 }
 
 VertexId DynamicCoreIndex::Kmax() const {
@@ -33,28 +37,21 @@ VertexId DynamicCoreIndex::Kmax() const {
 bool DynamicCoreIndex::HasEdge(VertexId u, VertexId v) const {
   COREKIT_CHECK(u < NumVertices());
   COREKIT_CHECK(v < NumVertices());
-  const auto& list = adjacency_[u].size() <= adjacency_[v].size()
-                         ? adjacency_[u]
-                         : adjacency_[v];
-  const VertexId target = &list == &adjacency_[u] ? v : u;
-  return std::binary_search(list.begin(), list.end(), target);
+  return adj_.HasEdge(u, v);
 }
 
 VertexId DynamicCoreIndex::CountGeq(VertexId v, VertexId k) const {
   VertexId count = 0;
-  for (const VertexId u : adjacency_[v]) count += coreness_[u] >= k ? 1u : 0u;
+  adj_.ForEachNeighbor(
+      v, [&](VertexId u) { count += coreness_[u] >= k ? 1u : 0u; });
   return count;
 }
 
 bool DynamicCoreIndex::InsertEdge(VertexId u, VertexId v) {
   COREKIT_CHECK(u < NumVertices());
   COREKIT_CHECK(v < NumVertices());
-  if (u == v || HasEdge(u, v)) return false;
-  adjacency_[u].insert(
-      std::lower_bound(adjacency_[u].begin(), adjacency_[u].end(), v), v);
-  adjacency_[v].insert(
-      std::lower_bound(adjacency_[v].begin(), adjacency_[v].end(), u), u);
-  ++num_edges_;
+  last_changed_ = 0;
+  if (!adj_.AddEdge(u, v)) return false;  // self-loop or duplicate
   IncreaseCase(u, v, std::min(coreness_[u], coreness_[v]));
   return true;
 }
@@ -62,15 +59,60 @@ bool DynamicCoreIndex::InsertEdge(VertexId u, VertexId v) {
 bool DynamicCoreIndex::RemoveEdge(VertexId u, VertexId v) {
   COREKIT_CHECK(u < NumVertices());
   COREKIT_CHECK(v < NumVertices());
-  if (u == v || !HasEdge(u, v)) return false;
+  last_changed_ = 0;
   const VertexId k = std::min(coreness_[u], coreness_[v]);
-  adjacency_[u].erase(
-      std::lower_bound(adjacency_[u].begin(), adjacency_[u].end(), v));
-  adjacency_[v].erase(
-      std::lower_bound(adjacency_[v].begin(), adjacency_[v].end(), u));
-  --num_edges_;
+  if (!adj_.RemoveEdge(u, v)) return false;  // self-loop or absent
   DecreaseCase(u, v, k);
   return true;
+}
+
+DynamicBatchStats DynamicCoreIndex::ApplyBatch(const EdgeList& inserts,
+                                               const EdgeList& deletes) {
+  DynamicBatchStats stats;
+  const VertexId n = NumVertices();
+  for (const auto& [u, v] : inserts) {
+    if (u >= n || v >= n || u == v) {
+      ++stats.rejected;
+      continue;
+    }
+    // Pre-insert degrees drive the triplet delta: deg(u) grows by one,
+    // so Σ C(deg, 2) grows by exactly deg_old(u) + deg_old(v).
+    const std::uint64_t du = adj_.Degree(u);
+    const std::uint64_t dv = adj_.Degree(v);
+    if (!InsertEdge(u, v)) {
+      ++stats.rejected;
+      continue;
+    }
+    ++stats.inserted;
+    stats.footprint += last_footprint_;
+    stats.coreness_changed += last_changed_;
+    stats.triplet_delta += static_cast<std::int64_t>(du + dv);
+    // N(u) ∩ N(v) is unchanged by the edge itself (no self-loops), so
+    // counting after the insert is exact.
+    stats.triangle_delta +=
+        static_cast<std::int64_t>(adj_.CommonNeighborCount(u, v));
+  }
+  for (const auto& [u, v] : deletes) {
+    if (u >= n || v >= n || u == v) {
+      ++stats.rejected;
+      continue;
+    }
+    const std::int64_t common =
+        static_cast<std::int64_t>(adj_.CommonNeighborCount(u, v));
+    if (!RemoveEdge(u, v)) {
+      ++stats.rejected;
+      continue;
+    }
+    ++stats.deleted;
+    stats.footprint += last_footprint_;
+    stats.coreness_changed += last_changed_;
+    stats.triangle_delta -= common;
+    // Post-delete degrees: Σ C(deg, 2) shrinks by deg_new(u) + deg_new(v).
+    stats.triplet_delta -=
+        static_cast<std::int64_t>(adj_.Degree(u)) +
+        static_cast<std::int64_t>(adj_.Degree(v));
+  }
+  return stats;
 }
 
 void DynamicCoreIndex::IncreaseCase(VertexId root_u, VertexId root_v,
@@ -90,7 +132,7 @@ void DynamicCoreIndex::IncreaseCase(VertexId root_u, VertexId root_v,
   try_add(root_u);
   try_add(root_v);
   for (std::size_t head = 0; head < candidates.size(); ++head) {
-    for (const VertexId x : adjacency_[candidates[head]]) try_add(x);
+    adj_.ForEachNeighbor(candidates[head], try_add);
   }
   last_footprint_ = candidates.size();
   if (candidates.empty()) return;
@@ -111,17 +153,20 @@ void DynamicCoreIndex::IncreaseCase(VertexId root_u, VertexId root_v,
     evict_queue.pop_back();
     if (stamp_[w] != epoch_) continue;  // already evicted
     stamp_[w] = 0;
-    for (const VertexId x : adjacency_[w]) {
-      if (stamp_[x] != epoch_) continue;  // not a live candidate
+    adj_.ForEachNeighbor(w, [&](VertexId x) {
+      if (stamp_[x] != epoch_) return;  // not a live candidate
       if (scratch_count_[x]-- == k + 1) evict_queue.push_back(x);
-    }
+    });
   }
+  std::size_t promoted = 0;
   for (const VertexId w : candidates) {
     if (stamp_[w] == epoch_) {
       coreness_[w] = k + 1;
       stamp_[w] = 0;
+      ++promoted;
     }
   }
+  last_changed_ = promoted;
 }
 
 void DynamicCoreIndex::DecreaseCase(VertexId u, VertexId v, VertexId k) {
@@ -141,32 +186,25 @@ void DynamicCoreIndex::DecreaseCase(VertexId u, VertexId v, VertexId k) {
   touch(v);
 
   std::size_t footprint = 2;
+  std::size_t demoted = 0;
   while (!queue.empty()) {
     const VertexId w = queue.back();
     queue.pop_back();
     if (coreness_[w] != k) continue;
     coreness_[w] = k - 1;
-    for (const VertexId x : adjacency_[w]) {
-      if (coreness_[x] != k) continue;
+    ++demoted;
+    adj_.ForEachNeighbor(w, [&](VertexId x) {
+      if (coreness_[x] != k) return;
       ++footprint;
       if (stamp_[x] != epoch_) {
         touch(x);
       } else if (scratch_count_[x]-- == k) {
         queue.push_back(x);
       }
-    }
+    });
   }
   last_footprint_ = footprint;
-}
-
-Graph DynamicCoreIndex::Snapshot() const {
-  GraphBuilder builder(NumVertices());
-  for (VertexId v = 0; v < NumVertices(); ++v) {
-    for (const VertexId u : adjacency_[v]) {
-      if (v < u) builder.AddEdge(v, u);
-    }
-  }
-  return builder.Build();
+  last_changed_ = demoted;
 }
 
 }  // namespace corekit

@@ -15,6 +15,13 @@
 // Insertion runs a candidate BFS plus an eviction cascade; deletion runs
 // a degree-support cascade.  Both touch O(|subcore|) vertices — on real
 // graphs orders of magnitude below n (see bench/ext_dynamic).
+//
+// Storage is a MutableAdjacency (graph/mutable_adjacency.h): a borrowed
+// base CSR plus small sorted deltas, so adopting an engine's existing
+// Graph costs O(n) instead of an O(m) adjacency copy.  ApplyBatch is the
+// engine-facing entry point: it applies a batch of updates, accumulates
+// subcore footprints, and reports the triangle/triplet count deltas the
+// engine needs for selective cache invalidation.
 
 #pragma once
 
@@ -22,22 +29,46 @@
 #include <vector>
 
 #include "corekit/graph/graph.h"
+#include "corekit/graph/mutable_adjacency.h"
 #include "corekit/graph/types.h"
 
 namespace corekit {
+
+// What one ApplyBatch did, in the units the engine's invalidation logic
+// keys on.
+struct DynamicBatchStats {
+  std::uint32_t inserted = 0;  // edges actually added
+  std::uint32_t deleted = 0;   // edges actually removed
+  // Updates that changed nothing: self-loops, out-of-range endpoints,
+  // duplicate inserts, deletes of absent edges.
+  std::uint32_t rejected = 0;
+  // Summed subcore footprints across the applied updates.
+  std::uint64_t footprint = 0;
+  // Vertices whose coreness moved (with multiplicity across updates).
+  std::uint64_t coreness_changed = 0;
+  // Exact change in the global triangle count / in Σ_v C(deg(v), 2).
+  // Zero deltas let the engine keep those artifacts without rebuilding.
+  std::int64_t triangle_delta = 0;
+  std::int64_t triplet_delta = 0;
+};
 
 class DynamicCoreIndex {
  public:
   // An empty (edgeless) dynamic graph on `num_vertices` vertices.
   explicit DynamicCoreIndex(VertexId num_vertices);
 
-  // Bulk-loads an existing graph (O(m) decomposition once).
+  // Bulk-loads an existing graph (O(m) decomposition once).  Borrows
+  // `graph`, which must outlive this index.
   explicit DynamicCoreIndex(const Graph& graph);
 
-  VertexId NumVertices() const {
-    return static_cast<VertexId>(adjacency_.size());
-  }
-  EdgeId NumEdges() const { return num_edges_; }
+  // Adopts a graph whose exact coreness is already known (the engine's
+  // cached decomposition), skipping the O(m) bulk peel.  Borrows
+  // `graph`; `coreness.size()` must equal `graph.NumVertices()`.
+  DynamicCoreIndex(const Graph& graph, std::vector<VertexId> coreness);
+
+  VertexId NumVertices() const { return adj_.NumVertices(); }
+  EdgeId NumEdges() const { return adj_.NumEdges(); }
+  VertexId Degree(VertexId v) const { return adj_.Degree(v); }
 
   // Current coreness of v, maintained exactly.
   VertexId Coreness(VertexId v) const { return coreness_[v]; }
@@ -54,12 +85,26 @@ class DynamicCoreIndex {
   // Removes the undirected edge (u, v).  Returns false if absent.
   bool RemoveEdge(VertexId u, VertexId v);
 
+  // Applies `inserts` then `deletes`, tolerating no-op updates (each is
+  // counted as rejected rather than CHECK-failing, so replayed traces
+  // and adversarial batches cannot crash a serving engine).  Returns the
+  // accumulated stats, including the exact triangle/triplet deltas.
+  DynamicBatchStats ApplyBatch(const EdgeList& inserts,
+                               const EdgeList& deletes);
+
+  // |N(u) ∩ N(v)| — triangles the edge (u, v) closes.
+  std::uint64_t CommonNeighborCount(VertexId u, VertexId v) const {
+    return adj_.CommonNeighborCount(u, v);
+  }
+
   // Materializes the current graph as an immutable CSR snapshot.
-  Graph Snapshot() const;
+  Graph Snapshot() const { return adj_.Materialize(); }
 
   // Number of vertices examined by the last Insert/Remove (the subcore
   // footprint; exposed for the maintenance benchmarks).
   std::size_t LastUpdateFootprint() const { return last_footprint_; }
+  // Number of vertices whose coreness changed in the last Insert/Remove.
+  std::size_t LastCorenessChanged() const { return last_changed_; }
 
  private:
   void IncreaseCase(VertexId root_u, VertexId root_v, VertexId k);
@@ -69,10 +114,10 @@ class DynamicCoreIndex {
   // algorithms).
   VertexId CountGeq(VertexId v, VertexId k) const;
 
-  std::vector<std::vector<VertexId>> adjacency_;  // sorted per vertex
+  MutableAdjacency adj_;
   std::vector<VertexId> coreness_;
-  EdgeId num_edges_ = 0;
   std::size_t last_footprint_ = 0;
+  std::size_t last_changed_ = 0;
 
   // Reusable scratch keyed by vertex, epoch-stamped.
   mutable std::vector<std::uint32_t> stamp_;

@@ -32,6 +32,34 @@ void CheckStageAudit(const AuditResult& audit, std::string_view stage) {
                             << audit.total_violations << " violations):\n"
                             << audit.Summary();
 }
+
+// First-principles triangle count (sum over edges of |N(u) ∩ N(v)|,
+// every triangle counted three times).  Independent of the ordered
+// kernels, so it cross-checks the value-patched counter.
+std::uint64_t BruteTriangleCount(const Graph& graph) {
+  std::uint64_t incidences = 0;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const VertexId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      const auto nu = graph.Neighbors(u);
+      const auto nv = graph.Neighbors(v);
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nv[j] < nu[i]) {
+          ++j;
+        } else {
+          ++incidences;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return incidences / 3;
+}
 #endif
 
 // Fixed stage names come from the EngineStage table (stage_stats.h); the
@@ -49,6 +77,8 @@ constexpr std::string_view kStageTriangles =
     EngineStageName(EngineStage::kTriangles);
 constexpr std::string_view kStageTriplets =
     EngineStageName(EngineStage::kTriplets);
+constexpr std::string_view kStageApplyBatch =
+    EngineStageName(EngineStage::kApplyBatch);
 
 // --- Byte estimates ------------------------------------------------------
 //
@@ -96,6 +126,10 @@ std::uint64_t SingleCoreProfileBytes(const SingleCoreProfile& profile) {
   return VectorBytes(profile.scores) + VectorBytes(profile.primaries);
 }
 
+std::uint64_t GraphBytes(const Graph& graph) {
+  return VectorBytes(graph.Offsets()) + VectorBytes(graph.NeighborArray());
+}
+
 }  // namespace
 
 std::string CoreEngine::CoreSetStageName(Metric metric) {
@@ -110,6 +144,7 @@ std::string CoreEngine::SingleCoreStageName(Metric metric) {
 
 CoreEngine::CoreEngine(const Graph& graph, CoreEngineOptions options)
     : graph_(&graph), options_(options) {
+  graph_slot_.published.store(graph_, std::memory_order_release);
   if (options_.eager_ordering) WarmUp();
 }
 
@@ -117,6 +152,7 @@ CoreEngine::CoreEngine(Graph&& graph, CoreEngineOptions options)
     : owned_graph_(std::move(graph)),
       graph_(&*owned_graph_),
       options_(options) {
+  graph_slot_.published.store(graph_, std::memory_order_release);
   if (options_.eager_ordering) WarmUp();
 }
 
@@ -134,8 +170,7 @@ Result<std::unique_ptr<CoreEngine>> CoreEngine::FromEdgeListFile(
   timer.Reset();
   Graph graph = BuildGraphParallel(parsed->num_vertices, parsed->edges, *pool);
   const double build_seconds = timer.ElapsedSeconds();
-  const std::uint64_t build_bytes =
-      VectorBytes(graph.Offsets()) + VectorBytes(graph.NeighborArray());
+  const std::uint64_t build_bytes = GraphBytes(graph);
 
   // Construct with eager_ordering off so any warm-up runs only after the
   // ingestion pool has been donated (one pool for the whole pipeline).
@@ -176,255 +211,487 @@ ThreadPool& CoreEngine::Pool() {
   return *pool_;
 }
 
-// The exactly-once cache protocol every fixed-stage accessor runs:
+// The current graph snapshot.  Intentionally outside the Acquire
+// protocol: the graph is the substrate, not a query-level artifact, so
+// it never counts hits (preserving the pre-mutable stage accounting),
+// and its "build" — materializing the dynamic index — depends on
+// nothing, so holding the slot mutex throughout is deadlock-free.
+const Graph& CoreEngine::CurrentGraph() {
+  if (const Graph* p = graph_slot_.published.load(std::memory_order_acquire)) {
+    return *p;
+  }
+  std::lock_guard<std::mutex> lock(graph_slot_.mutex);
+  if (const Graph* p = graph_slot_.published.load(std::memory_order_acquire)) {
+    return *p;
+  }
+  // Only ApplyBatch nulls the graph slot, and it installs dyn_ (under
+  // this mutex, among all of them) before doing so.
+  Timer timer;
+  auto snapshot = std::make_unique<const Graph>(dyn_->Snapshot());
+  StageRecord& record = stats_.Get(kStageBuild);
+  ++record.patches;
+  record.seconds += timer.ElapsedSeconds();
+  record.bytes = GraphBytes(*snapshot);
+  return graph_slot_.Publish(std::move(snapshot), Epoch());
+}
+
+const Graph& CoreEngine::graph() { return CurrentGraph(); }
+
+// The per-epoch exactly-once accessor protocol:
 //
-//   1. Warm fast path: an acquire load of `ready` (paired with the
+//   1. Warm fast path: an acquire load of `published` (paired with the
 //      builder's release store) also publishes the artifact itself, so
 //      warm readers touch no lock.
-//   2. Cold path: std::call_once elects one builder; racers block until
-//      it finishes, then fall through with `built_here` still false.
-//   3. Accounting: exactly the one builder bumped `builds` (inside
-//      `build`); every other call — racer or warm — counts a hit.  N
-//      threads racing a cold stage therefore report builds == 1 and
+//   2. Cold path: under the slot mutex, the first thread to find the
+//      slot unpublished and not building becomes the builder; racers
+//      wait on the condition variable and fall through as hits once the
+//      build publishes.  (A condition-variable election rather than
+//      std::call_once: a once_flag cannot be re-armed when ApplyBatch
+//      invalidates the slot.)
+//   3. The builder runs the dependency accessors with NO slot mutex
+//      held — builders hold at most one slot mutex at a time, which is
+//      what makes ApplyBatch's acquire-every-slot step deadlock-free —
+//      then revalidates the epoch under the lock and retries the
+//      dependencies if a batch landed in between.
+//   4. Accounting: exactly the builder bumps `builds` (or `patches`,
+//      inside `build`); every other call — racer or warm — counts a
+//      hit, and the dependency accessors run exactly once per build.
+//      N threads racing a cold stage therefore report builds == 1 and
 //      hits == N - 1, the invariant the concurrency tests assert.
-template <typename BuildFn>
-void CoreEngine::RunOnce(BuildFlag& flag, std::string_view stage,
-                         BuildFn&& build) {
-  bool built_here = false;
-  if (!flag.ready.load(std::memory_order_acquire)) {
-    std::call_once(flag.once, [&] {
-      build();
-      flag.ready.store(true, std::memory_order_release);
-      built_here = true;
-    });
+template <typename T, typename EnsureFn, typename BuildFn>
+const T& CoreEngine::Acquire(Slot<T>& slot, std::string_view stage,
+                             EnsureFn&& ensure, BuildFn&& build) {
+  if (const T* p = slot.published.load(std::memory_order_acquire)) {
+    ++stats_.Get(stage).hits;
+    return *p;
   }
-  if (!built_here) ++stats_.Get(stage).hits;
+  std::unique_lock<std::mutex> lock(slot.mutex);
+  for (;;) {
+    if (const T* p = slot.published.load(std::memory_order_acquire)) {
+      lock.unlock();
+      ++stats_.Get(stage).hits;
+      return *p;
+    }
+    if (!slot.building) break;
+    slot.ready_cv.wait(lock);
+  }
+  slot.building = true;
+  for (;;) {
+    lock.unlock();
+    const std::uint64_t epoch = Epoch();
+    auto deps = ensure();
+    lock.lock();
+    if (Epoch() != epoch) continue;  // a batch landed; deps are stale
+    return slot.Publish(build(deps), epoch);
+  }
 }
 
 const CoreDecomposition& CoreEngine::Cores() {
-  RunOnce(cores_flag_, kStageDecompose, [this] { BuildCores(); });
-  return *cores_;
+  return Acquire(
+      cores_, kStageDecompose, [&] { return &CurrentGraph(); },
+      [&](const Graph* graph) -> std::unique_ptr<const CoreDecomposition> {
+        StageRecord& record = stats_.Get(kStageDecompose);
+        std::uint32_t threads = 1;
+        std::unique_ptr<CoreDecomposition> cores;
+        Timer timer;
+        if (dyn_ != nullptr) {
+          // Patch path: the dynamic index maintains exact coreness, so
+          // only the peel order needs regenerating — the guided O(n+m)
+          // shell peel, not the full bin-sort decomposition.
+          cores = std::make_unique<CoreDecomposition>(
+              DecompositionFromCoreness(*graph, dyn_->CorenessArray()));
+          record.seconds += timer.ElapsedSeconds();
+          ++record.patches;
+        } else if (options_.parallel_peel) {
+          ThreadPool& pool = Pool();
+          threads = pool.num_threads();
+          timer.Reset();  // exclude lazy pool construction
+          cores = std::make_unique<CoreDecomposition>(
+              ComputeCoreDecompositionParallel(*graph, pool));
+          record.seconds += timer.ElapsedSeconds();
+          ++record.builds;
+        } else {
+          cores = std::make_unique<CoreDecomposition>(
+              ComputeCoreDecomposition(*graph));
+          record.seconds += timer.ElapsedSeconds();
+          ++record.builds;
+        }
+        record.bytes = DecompositionBytes(*cores);
+        record.threads = threads;
+#ifdef COREKIT_AUDIT
+        CheckStageAudit(AuditCoreDecomposition(*graph, *cores),
+                        kStageDecompose);
+#endif
+        return cores;
+      });
 }
 
 const OrderedGraph& CoreEngine::Ordered() {
-  RunOnce(ordered_flag_, kStageOrder, [this] { BuildOrdered(); });
-  return *ordered_;
+  struct Deps {
+    const Graph* graph;
+    const CoreDecomposition* cores;
+  };
+  return Acquire(
+      ordered_, kStageOrder,
+      [&] {
+        Deps deps;
+        deps.graph = &CurrentGraph();
+        deps.cores = &Cores();  // accrues to "decompose"
+        return deps;
+      },
+      [&](const Deps& deps) -> std::unique_ptr<const OrderedGraph> {
+        std::uint32_t threads = 1;
+        std::unique_ptr<OrderedGraph> ordered;
+        Timer timer;
+        if (options_.parallel_ordering) {
+          ThreadPool& pool = Pool();
+          threads = pool.num_threads();
+          timer.Reset();  // exclude lazy pool construction
+          ordered = std::make_unique<OrderedGraph>(*deps.graph, *deps.cores,
+                                                   pool);
+        } else {
+          ordered = std::make_unique<OrderedGraph>(*deps.graph, *deps.cores);
+        }
+        const double seconds = timer.ElapsedSeconds();
+        StageRecord& record = stats_.Get(kStageOrder);
+        ++record.builds;
+        record.seconds += seconds;
+        record.bytes = OrderedBytes(*deps.graph, ordered->kmax());
+        record.threads = threads;
+#ifdef COREKIT_AUDIT
+        CheckStageAudit(AuditOrderedGraph(*deps.graph, *deps.cores, *ordered),
+                        kStageOrder);
+#endif
+        return ordered;
+      });
 }
 
 const CoreForest& CoreEngine::Forest() {
-  RunOnce(forest_flag_, kStageForest, [this] { BuildForest(); });
-  return *forest_;
+  struct Deps {
+    const Graph* graph;
+    const CoreDecomposition* cores;
+  };
+  return Acquire(
+      forest_, kStageForest,
+      [&] {
+        Deps deps;
+        deps.graph = &CurrentGraph();
+        deps.cores = &Cores();
+        return deps;
+      },
+      [&](const Deps& deps) -> std::unique_ptr<const CoreForest> {
+        Timer timer;
+        auto forest = std::make_unique<CoreForest>(*deps.graph, *deps.cores);
+        const double seconds = timer.ElapsedSeconds();
+        StageRecord& record = stats_.Get(kStageForest);
+        ++record.builds;
+        record.seconds += seconds;
+        record.bytes =
+            ForestBytes(*forest) +
+            // node_of_vertex_ + subtree_size_: one VertexId-sized entry
+            // each per vertex / node, dominated by the per-vertex array.
+            2 * static_cast<std::uint64_t>(deps.graph->NumVertices()) *
+                sizeof(VertexId);
+#ifdef COREKIT_AUDIT
+        CheckStageAudit(AuditCoreForest(*deps.graph, *deps.cores, *forest),
+                        kStageForest);
+#endif
+        return forest;
+      });
 }
 
 const ComponentLabels& CoreEngine::Components() {
-  RunOnce(components_flag_, kStageComponents, [this] { BuildComponents(); });
-  return *components_;
+  return Acquire(
+      components_, kStageComponents, [&] { return &CurrentGraph(); },
+      [&](const Graph* graph) -> std::unique_ptr<const ComponentLabels> {
+        Timer timer;
+        auto components =
+            std::make_unique<ComponentLabels>(ConnectedComponents(*graph));
+        const double seconds = timer.ElapsedSeconds();
+        StageRecord& record = stats_.Get(kStageComponents);
+        ++record.builds;
+        record.seconds += seconds;
+        record.bytes = ComponentBytes(*components);
+        return components;
+      });
 }
 
 std::uint64_t CoreEngine::Triangles() {
-  RunOnce(triangles_flag_, kStageTriangles, [this] { BuildTriangles(); });
-  return *triangles_;
+  return Acquire(
+      triangles_, kStageTriangles,
+      [&] { return &Ordered(); },  // accrues to its own stages
+      [&](const OrderedGraph* ordered) -> std::unique_ptr<const std::uint64_t> {
+        std::uint32_t threads = 1;
+        std::uint64_t count = 0;
+        Timer timer;
+        if (options_.parallel_triangles) {
+          ThreadPool& pool = Pool();
+          threads = pool.num_threads();
+          timer.Reset();
+          count = CountTrianglesParallel(*ordered, pool);
+        } else {
+          count = CountTriangles(*ordered);
+        }
+        const double seconds = timer.ElapsedSeconds();
+        StageRecord& record = stats_.Get(kStageTriangles);
+        ++record.builds;
+        record.seconds += seconds;
+        record.bytes = sizeof(std::uint64_t);
+        record.threads = threads;
+        return std::make_unique<const std::uint64_t>(count);
+      });
 }
 
 std::uint64_t CoreEngine::Triplets() {
-  RunOnce(triplets_flag_, kStageTriplets, [this] { BuildTriplets(); });
-  return *triplets_;
-}
-
-void CoreEngine::BuildCores() {
-  std::uint32_t threads = 1;
-  Timer timer;
-  if (options_.parallel_peel) {
-    ThreadPool& pool = Pool();
-    threads = pool.num_threads();
-    timer.Reset();  // exclude lazy pool construction from the stage time
-    cores_ = ComputeCoreDecompositionParallel(*graph_, pool);
-  } else {
-    cores_ = ComputeCoreDecomposition(*graph_);
-  }
-  const double seconds = timer.ElapsedSeconds();
-  StageRecord& record = stats_.Get(kStageDecompose);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes = DecompositionBytes(*cores_);
-  record.threads = threads;
-#ifdef COREKIT_AUDIT
-  CheckStageAudit(AuditCoreDecomposition(*graph_, *cores_), kStageDecompose);
-#endif
-}
-
-void CoreEngine::BuildOrdered() {
-  const CoreDecomposition& cores = Cores();  // accrues to "decompose"
-  std::uint32_t threads = 1;
-  Timer timer;
-  if (options_.parallel_ordering) {
-    ThreadPool& pool = Pool();
-    threads = pool.num_threads();
-    timer.Reset();  // exclude lazy pool construction from the stage time
-    ordered_ = std::make_unique<OrderedGraph>(*graph_, cores, pool);
-  } else {
-    ordered_ = std::make_unique<OrderedGraph>(*graph_, cores);
-  }
-  const double seconds = timer.ElapsedSeconds();
-  StageRecord& record = stats_.Get(kStageOrder);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes = OrderedBytes(*graph_, ordered_->kmax());
-  record.threads = threads;
-#ifdef COREKIT_AUDIT
-  CheckStageAudit(AuditOrderedGraph(*graph_, cores, *ordered_), kStageOrder);
-#endif
-}
-
-void CoreEngine::BuildForest() {
-  const CoreDecomposition& cores = Cores();
-  Timer timer;
-  forest_ = std::make_unique<CoreForest>(*graph_, cores);
-  const double seconds = timer.ElapsedSeconds();
-  StageRecord& record = stats_.Get(kStageForest);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes =
-      ForestBytes(*forest_) +
-      // node_of_vertex_ + subtree_size_: one VertexId-sized entry each per
-      // vertex / node, dominated by the per-vertex array.
-      2 * static_cast<std::uint64_t>(graph_->NumVertices()) * sizeof(VertexId);
-#ifdef COREKIT_AUDIT
-  CheckStageAudit(AuditCoreForest(*graph_, cores, *forest_), kStageForest);
-#endif
-}
-
-void CoreEngine::BuildComponents() {
-  Timer timer;
-  components_ = ConnectedComponents(*graph_);
-  const double seconds = timer.ElapsedSeconds();
-  StageRecord& record = stats_.Get(kStageComponents);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes = ComponentBytes(*components_);
-}
-
-void CoreEngine::BuildTriangles() {
-  const OrderedGraph& ordered = Ordered();  // accrues to its own stages
-  std::uint32_t threads = 1;
-  Timer timer;
-  if (options_.parallel_triangles) {
-    ThreadPool& pool = Pool();
-    threads = pool.num_threads();
-    timer.Reset();
-    triangles_ = CountTrianglesParallel(ordered, pool);
-  } else {
-    triangles_ = CountTriangles(ordered);
-  }
-  const double seconds = timer.ElapsedSeconds();
-  StageRecord& record = stats_.Get(kStageTriangles);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes = sizeof(std::uint64_t);
-  record.threads = threads;
-}
-
-void CoreEngine::BuildTriplets() {
-  Timer timer;
-  triplets_ = CountTriplets(*graph_);
-  const double seconds = timer.ElapsedSeconds();
-  StageRecord& record = stats_.Get(kStageTriplets);
-  ++record.builds;
-  record.seconds += seconds;
-  record.bytes = sizeof(std::uint64_t);
+  return Acquire(
+      triplets_, kStageTriplets, [&] { return &CurrentGraph(); },
+      [&](const Graph* graph) -> std::unique_ptr<const std::uint64_t> {
+        Timer timer;
+        const std::uint64_t count = CountTriplets(*graph);
+        const double seconds = timer.ElapsedSeconds();
+        StageRecord& record = stats_.Get(kStageTriplets);
+        ++record.builds;
+        record.seconds += seconds;
+        record.bytes = sizeof(std::uint64_t);
+        return std::make_unique<const std::uint64_t>(count);
+      });
 }
 
 const CoreSetProfile& CoreEngine::BestCoreSet(Metric metric) {
-  ProfileSlot<CoreSetProfile>* slot;
+  Slot<CoreSetProfile>* slot;
   {
     // Structural lock only: find-or-create the slot, then release.  The
     // build below runs outside this lock (std::map nodes are stable).
     std::lock_guard<std::mutex> lock(profile_mutex_);
     slot = &core_set_slots_[metric];
   }
-  bool built_here = false;
-  if (!slot->flag.ready.load(std::memory_order_acquire)) {
-    std::call_once(slot->flag.once, [&] {
-      const OrderedGraph& ordered = Ordered();  // accrues to its own stages
-      Timer timer;
-      slot->profile = FindBestCoreSet(ordered, metric);
-      const double seconds = timer.ElapsedSeconds();
-      StageRecord& record = stats_.Get(CoreSetStageName(metric));
-      ++record.builds;
-      record.seconds += seconds;
-      record.bytes = CoreSetProfileBytes(slot->profile);
+  const std::string stage = CoreSetStageName(metric);
+  return Acquire(
+      *slot, stage,
+      [&] { return &Ordered(); },  // accrues to its own stages
+      [&](const OrderedGraph* ordered)
+          -> std::unique_ptr<const CoreSetProfile> {
+        Timer timer;
+        auto profile =
+            std::make_unique<CoreSetProfile>(FindBestCoreSet(*ordered, metric));
+        const double seconds = timer.ElapsedSeconds();
+        StageRecord& record = stats_.Get(stage);
+        ++record.builds;
+        record.seconds += seconds;
+        record.bytes = CoreSetProfileBytes(*profile);
 #ifdef COREKIT_AUDIT
-      // *cores_ (not Cores()): the accessor would bump the hit counter
-      // and skew the exactly-once accounting the concurrency tests
-      // assert.  Ordered() above guarantees the decomposition is built.
-      CheckStageAudit(
-          AuditPrimaryValues(*graph_, *cores_, slot->profile.primaries),
-          CoreSetStageName(metric));
+        // Raw published loads (not CurrentGraph()/Cores()): the accessors
+        // would bump counters and skew the exactly-once accounting the
+        // concurrency tests assert.  Ordered() in the dependency step
+        // guarantees both are published at this epoch.
+        const Graph* graph =
+            graph_slot_.published.load(std::memory_order_acquire);
+        const CoreDecomposition* cores =
+            cores_.published.load(std::memory_order_acquire);
+        CheckStageAudit(AuditPrimaryValues(*graph, *cores, profile->primaries),
+                        stage);
 #endif
-      slot->flag.ready.store(true, std::memory_order_release);
-      built_here = true;
-    });
-  }
-  if (!built_here) ++stats_.Get(CoreSetStageName(metric)).hits;
-  return slot->profile;
+        return profile;
+      });
 }
 
 const SingleCoreProfile& CoreEngine::BestSingleCore(Metric metric) {
-  ProfileSlot<SingleCoreProfile>* slot;
+  Slot<SingleCoreProfile>* slot;
   {
     std::lock_guard<std::mutex> lock(profile_mutex_);
     slot = &single_core_slots_[metric];
   }
-  bool built_here = false;
-  if (!slot->flag.ready.load(std::memory_order_acquire)) {
-    std::call_once(slot->flag.once, [&] {
-      const OrderedGraph& ordered = Ordered();
-      const CoreForest& forest = Forest();
-      const bool needs_triangles = MetricNeedsTriangles(metric);
-      std::uint32_t threads = 1;
-      std::vector<std::uint64_t> per_vertex;
-      const std::vector<std::uint64_t>* per_vertex_ptr = nullptr;
-      Timer timer;
-      // Triangle-hungry metrics: precompute the per-vertex scores with
-      // the parallel kernel so the O(m^1.5) part of Algorithm 5 comes
-      // off the pool instead of the serial scan.  The counts are exact,
-      // so the profile is identical either way.
-      if (options_.parallel_triangles && needs_triangles &&
-          forest.NumNodes() > 0) {
-        ThreadPool& pool = Pool();
-        threads = pool.num_threads();
-        timer.Reset();  // exclude lazy pool construction
-        per_vertex = CountTrianglesPerVertex(ordered, pool);
-        per_vertex_ptr = &per_vertex;
-      }
-      // FindBestSingleCore requires a non-empty forest ("empty graph has
-      // no k-core").  The engine stays total: the empty graph yields an
-      // empty profile (no scores, best_k = 0) instead of tripping the
-      // CHECK.
-      if (forest.NumNodes() > 0) {
-        slot->profile =
-            FindBestSingleCore(ordered, forest, MetricFunction(metric),
-                               needs_triangles, per_vertex_ptr);
-      }
-      const double seconds = timer.ElapsedSeconds();
-      StageRecord& record = stats_.Get(SingleCoreStageName(metric));
-      ++record.builds;
-      record.seconds += seconds;
-      record.bytes = SingleCoreProfileBytes(slot->profile);
-      record.threads = threads;
+  const std::string stage = SingleCoreStageName(metric);
+  struct Deps {
+    const OrderedGraph* ordered;
+    const CoreForest* forest;
+  };
+  return Acquire(
+      *slot, stage,
+      [&] {
+        Deps deps;
+        deps.ordered = &Ordered();
+        deps.forest = &Forest();
+        return deps;
+      },
+      [&](const Deps& deps) -> std::unique_ptr<const SingleCoreProfile> {
+        const OrderedGraph& ordered = *deps.ordered;
+        const CoreForest& forest = *deps.forest;
+        const bool needs_triangles = MetricNeedsTriangles(metric);
+        std::uint32_t threads = 1;
+        std::vector<std::uint64_t> per_vertex;
+        const std::vector<std::uint64_t>* per_vertex_ptr = nullptr;
+        Timer timer;
+        // Triangle-hungry metrics: precompute the per-vertex scores with
+        // the parallel kernel so the O(m^1.5) part of Algorithm 5 comes
+        // off the pool instead of the serial scan.  The counts are exact,
+        // so the profile is identical either way.
+        if (options_.parallel_triangles && needs_triangles &&
+            forest.NumNodes() > 0) {
+          ThreadPool& pool = Pool();
+          threads = pool.num_threads();
+          timer.Reset();  // exclude lazy pool construction
+          per_vertex = CountTrianglesPerVertex(ordered, pool);
+          per_vertex_ptr = &per_vertex;
+        }
+        // FindBestSingleCore requires a non-empty forest ("empty graph has
+        // no k-core").  The engine stays total: the empty graph yields an
+        // empty profile (no scores, best_k = 0) instead of tripping the
+        // CHECK.
+        auto profile = std::make_unique<SingleCoreProfile>();
+        if (forest.NumNodes() > 0) {
+          *profile =
+              FindBestSingleCore(ordered, forest, MetricFunction(metric),
+                                 needs_triangles, per_vertex_ptr);
+        }
+        const double seconds = timer.ElapsedSeconds();
+        StageRecord& record = stats_.Get(stage);
+        ++record.builds;
+        record.seconds += seconds;
+        record.bytes = SingleCoreProfileBytes(*profile);
+        record.threads = threads;
 #ifdef COREKIT_AUDIT
-      if (forest.NumNodes() > 0) {
-        CheckStageAudit(AuditSingleCorePrimaryValues(*graph_, forest,
-                                                     slot->profile.primaries),
-                        SingleCoreStageName(metric));
-      }
+        if (forest.NumNodes() > 0) {
+          const Graph* graph =
+              graph_slot_.published.load(std::memory_order_acquire);
+          CheckStageAudit(
+              AuditSingleCorePrimaryValues(*graph, forest,
+                                           profile->primaries),
+              stage);
+        }
 #endif
-      slot->flag.ready.store(true, std::memory_order_release);
-      built_here = true;
-    });
+        return profile;
+      });
+}
+
+CoreEngine::BatchResult CoreEngine::ApplyBatch(const EdgeList& inserts,
+                                               const EdgeList& deletes) {
+  Timer timer;
+  // Writers serialize here; readers never touch this mutex.
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  std::unique_ptr<DynamicCoreIndex> fresh;
+  if (dyn_ == nullptr) {
+    // First batch: adopt the current snapshot + cached coreness into the
+    // dynamic index.  Done before freezing the slots — the accessors use
+    // the normal locking protocol, and no other writer can interleave
+    // (we hold update_mutex_), so both stay the current versions.
+    const Graph& graph = CurrentGraph();
+    const CoreDecomposition& cores = Cores();
+    fresh = std::make_unique<DynamicCoreIndex>(graph, cores.coreness);
   }
-  if (!built_here) ++stats_.Get(SingleCoreStageName(metric)).hits;
-  return slot->profile;
+
+  // Freeze every artifact slot at once (std::scoped_lock acquires
+  // deadlock-free; builders hold at most one slot mutex and never
+  // acquire a second while holding it).  In-flight builders that already
+  // ran their dependency step re-detect the epoch bump and retry.
+  std::scoped_lock slots_lock(graph_slot_.mutex, cores_.mutex, ordered_.mutex,
+                              forest_.mutex, components_.mutex,
+                              triangles_.mutex, triplets_.mutex,
+                              profile_mutex_);
+  std::vector<std::unique_lock<std::mutex>> profile_locks;
+  profile_locks.reserve(core_set_slots_.size() + single_core_slots_.size());
+  for (auto& [metric, slot] : core_set_slots_) {
+    profile_locks.emplace_back(slot.mutex);
+  }
+  for (auto& [metric, slot] : single_core_slots_) {
+    profile_locks.emplace_back(slot.mutex);
+  }
+
+  if (fresh != nullptr) dyn_ = std::move(fresh);
+  const DynamicBatchStats batch = dyn_->ApplyBatch(inserts, deletes);
+
+  BatchResult result;
+  result.inserted = batch.inserted;
+  result.deleted = batch.deleted;
+  result.rejected = batch.rejected;
+  result.coreness_changed = batch.coreness_changed;
+  result.footprint = batch.footprint;
+  result.triangle_delta = batch.triangle_delta;
+  result.triplet_delta = batch.triplet_delta;
+
+  const bool effective = batch.inserted + batch.deleted > 0;
+  if (effective) {
+    const std::uint64_t epoch =
+        epoch_.load(std::memory_order_relaxed) + 1;
+    // Structure-dependent artifacts: drop, rebuild lazily on next access.
+    graph_slot_.published.store(nullptr, std::memory_order_release);
+    cores_.published.store(nullptr, std::memory_order_release);
+    ordered_.published.store(nullptr, std::memory_order_release);
+    forest_.published.store(nullptr, std::memory_order_release);
+    components_.published.store(nullptr, std::memory_order_release);
+    // Per-metric profiles: dropped slot by slot; the slots themselves
+    // (and references into superseded profiles) survive.
+    for (auto& [metric, slot] : core_set_slots_) {
+      slot.published.store(nullptr, std::memory_order_release);
+    }
+    for (auto& [metric, slot] : single_core_slots_) {
+      slot.published.store(nullptr, std::memory_order_release);
+    }
+    // Value artifacts: patched in place with the batch's exact deltas —
+    // and left untouched (pointer identity preserved) when the batch
+    // didn't change them.
+    if (const std::uint64_t* triangles =
+            triangles_.published.load(std::memory_order_acquire)) {
+      if (batch.triangle_delta != 0) {
+        triangles_.Publish(
+            std::make_unique<const std::uint64_t>(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(*triangles) + batch.triangle_delta)),
+            epoch);
+        ++stats_.Get(kStageTriangles).patches;
+      } else {
+        triangles_.built_epoch = epoch;
+      }
+    }
+    if (const std::uint64_t* triplets =
+            triplets_.published.load(std::memory_order_acquire)) {
+      if (batch.triplet_delta != 0) {
+        triplets_.Publish(
+            std::make_unique<const std::uint64_t>(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(*triplets) + batch.triplet_delta)),
+            epoch);
+        ++stats_.Get(kStageTriplets).patches;
+      } else {
+        triplets_.built_epoch = epoch;
+      }
+    }
+    epoch_.store(epoch, std::memory_order_release);
+
+#ifdef COREKIT_AUDIT
+    // Patch-boundary revalidation: the patched coreness must match a
+    // cold decomposition of the patched graph, and the value-patched
+    // counters must match first-principles recounts.
+    const Graph snapshot = dyn_->Snapshot();
+    CheckStageAudit(AuditPatchedCoreness(snapshot, dyn_->CorenessArray()),
+                    kStageApplyBatch);
+    if (const std::uint64_t* triangles =
+            triangles_.published.load(std::memory_order_acquire)) {
+      const std::uint64_t recount = BruteTriangleCount(snapshot);
+      COREKIT_CHECK(*triangles == recount)
+          << "COREKIT_AUDIT: patched triangle count " << *triangles
+          << " != recount " << recount;
+    }
+    if (const std::uint64_t* triplets =
+            triplets_.published.load(std::memory_order_acquire)) {
+      const std::uint64_t recount = CountTriplets(snapshot);
+      COREKIT_CHECK(*triplets == recount)
+          << "COREKIT_AUDIT: patched triplet count " << *triplets
+          << " != recount " << recount;
+    }
+#endif
+  }
+
+  const double seconds = timer.ElapsedSeconds();
+  StageRecord& record = stats_.Get(kStageApplyBatch);
+  ++record.patches;
+  record.seconds += seconds;
+  // The dynamic index is the artifact this stage maintains: coreness +
+  // scratch arrays plus the delta-backed adjacency.
+  record.bytes =
+      3 * static_cast<std::uint64_t>(dyn_->NumVertices()) * sizeof(VertexId) +
+      2 * dyn_->NumEdges() * sizeof(VertexId);
+  result.epoch = Epoch();
+  result.seconds = seconds;
+  return result;
 }
 
 }  // namespace corekit

@@ -7,36 +7,73 @@
 // caches the derived artifacts
 //
 //   ingest      (FromEdgeListFile only) parallel chunked edge-list parse
-//   build       (FromEdgeListFile only) parallel CSR normalization
+//   build       (FromEdgeListFile only) parallel CSR normalization;
+//               after ApplyBatch, lazy snapshot materializations
 //   decompose   CoreDecomposition   (sequential BZ peel or the parallel
 //                                    level-synchronous peel, by option)
 //   order       OrderedGraph        (Algorithm 1)
 //   forest      CoreForest          (Algorithm 4, LCPS)
 //   components  ComponentLabels     (BFS connected components)
 //   triangles   global triangle / triplet counts
+//   applybatch  dynamic edge-update batches (mutable engine mode)
 //   coreset[q]  CoreSetProfile      (Algorithm 2/3, cached per metric)
 //   singlecore[q] SingleCoreProfile (Algorithm 5, cached per metric)
 //
 // shares one ThreadPool across every parallel stage, and records per-stage
-// wall time, bytes, thread counts and cache hit/miss counters in a
+// wall time, bytes, thread counts and cache hit/miss/patch counters in a
 // StageStats structure (stats(), dumpable as JSON).
 //
 // Repeated queries — FindBestCoreSet over several metrics, community
 // search, Opt-D, Opt-SC — hit the cached substrate instead of rebuilding
 // it; the apps layer and the bench harnesses all route through here.
 //
-// Thread-safety: full — one engine serves any number of client threads
-// (the amortization the paper prices only pays off when many clients
-// share one warmed substrate).  The contract, verified under
-// ThreadSanitizer (tests/engine/concurrent_engine_test.cc, the
+// --- Mutable engine mode -------------------------------------------------
+//
+// ApplyBatch(inserts, deletes) turns the engine into a serving system
+// under churn: coreness is patched in place by the subcore cascades of
+// dynamic::DynamicCoreIndex (never a cold O(m) peel), and only the
+// artifacts whose inputs actually changed are invalidated:
+//
+//   artifact     on ApplyBatch                        next access
+//   graph        dropped                              lazy snapshot
+//   decompose    dropped                              coreness copied from
+//                                                     the dynamic index +
+//                                                     guided O(n+m) peel
+//                                                     order rebuild (a
+//                                                     `patch`, not a build)
+//   order/forest/components  dropped                  full lazy rebuild
+//   triangles/triplets       patched in place by the  still warm
+//                            batch's exact deltas
+//                            (kept untouched when the
+//                            delta is zero)
+//   coreset[q]/singlecore[q] dropped per slot         lazy rebuild per
+//                                                     queried metric
+//
+// Every artifact version is retained for the engine's lifetime, so
+// references obtained before a batch stay valid (they describe the epoch
+// they were read at); Epoch() tags which graph version an artifact
+// belongs to.
+//
+// Thread-safety: full — one engine serves any number of client threads,
+// now including writers (ApplyBatch callers).  The contract, verified
+// under ThreadSanitizer (tests/engine/concurrent_engine_test.cc, the
 // COREKIT_SANITIZE=thread CI job):
 //
-//   * Exactly-once builds.  Each lazy artifact is guarded by a
-//     std::call_once; N threads racing on a cold stage produce one build
-//     (one cache miss) and N-1 hits, and every thread returns the same
-//     cached object.  Builds run outside any map/registry lock — only
-//     the per-artifact once-flag is held, so different stages (and
-//     different metrics' profiles) build concurrently.
+//   * Exactly-once builds per epoch.  Each artifact lives in a versioned
+//     slot (mutex + atomic publication pointer).  N threads racing on a
+//     cold stage elect one builder (condition-variable election, not
+//     call_once — a once_flag cannot be re-armed after invalidation);
+//     the N-1 racers block and count hits, and every thread returns the
+//     same published object.  Builders hold only their own slot's mutex,
+//     so different stages (and different metrics' profiles) build
+//     concurrently.
+//   * Atomic publication.  ApplyBatch holds *every* slot mutex (in a
+//     fixed order) while it patches the dynamic index and bumps the
+//     epoch, so readers never observe a half-patched epoch: an accessor
+//     either returns the pre-batch artifact it already loaded, or blocks
+//     and rebuilds against the post-batch state.  A builder that raced a
+//     batch (ensured its dependencies at epoch E, acquired its lock at
+//     epoch E' > E) detects the epoch change and retries.
 //   * Race-free instrumentation.  StageStats counters are atomics (see
 //     stage_stats.h); ResetStats() zeroes them in place and is safe
 //     against concurrent readers (no torn counters).
@@ -44,17 +81,20 @@
 //     ThreadPool's entry mutex (see util/thread_pool.h); num_threads == 1
 //     still degenerates to lock-free serial execution.
 //   * Immutable after publish.  References returned by accessors stay
-//     valid and never move for the engine's lifetime (profiles live in
-//     node-stable maps), so post-warmup reads need no synchronization at
-//     all beyond the accessor's acquire load.
+//     valid and never move for the engine's lifetime (superseded
+//     versions are retained, profiles live in node-stable maps), so
+//     post-warmup reads need no synchronization at all beyond the
+//     accessor's acquire load.
 //
 // The EngineServer harness (engine_server.h) drives one shared engine
-// from K client threads over a mixed query workload; the concurrency
-// tests and bench/ext_concurrency build on it.
+// from K client threads over a mixed query workload — with ServeChurnMix
+// adding a writer thread of ApplyBatch traffic; the concurrency tests
+// and bench/ext_concurrency, bench/ext_dynamic build on it.
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,6 +102,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "corekit/core/best_core_set.h"
 #include "corekit/core/best_single_core.h"
@@ -69,9 +110,11 @@
 #include "corekit/core/core_forest.h"
 #include "corekit/core/metrics.h"
 #include "corekit/core/vertex_ordering.h"
+#include "corekit/dynamic/dynamic_core.h"
 #include "corekit/engine/stage_stats.h"
 #include "corekit/graph/connected_components.h"
 #include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
 #include "corekit/util/status.h"
 #include "corekit/util/thread_pool.h"
 
@@ -118,10 +161,14 @@ class CoreEngine {
   CoreEngine(const CoreEngine&) = delete;
   CoreEngine& operator=(const CoreEngine&) = delete;
 
-  const Graph& graph() const { return *graph_; }
+  // The current graph snapshot.  Non-const because after ApplyBatch the
+  // snapshot is materialized lazily from the dynamic index (recorded as
+  // a patch on the "build" stage).  The reference stays valid for the
+  // engine's lifetime but describes the epoch it was requested at.
+  const Graph& graph();
   const CoreEngineOptions& options() const { return options_; }
 
-  // --- Cached artifacts (built exactly once, on first request) -----------
+  // --- Cached artifacts (built exactly once per epoch, on request) -------
   //
   // All accessors are safe to call from any number of threads; cold
   // racers block until the single build finishes, warm calls are an
@@ -146,6 +193,37 @@ class CoreEngine {
   // (scores empty, best_k = 0) rather than CHECK-failing.
   const SingleCoreProfile& BestSingleCore(Metric metric);
 
+  // --- Mutable engine mode -----------------------------------------------
+
+  // What one ApplyBatch call did.
+  struct BatchResult {
+    std::uint64_t epoch = 0;      // engine epoch after the batch
+    std::uint32_t inserted = 0;   // edges actually added
+    std::uint32_t deleted = 0;    // edges actually removed
+    std::uint32_t rejected = 0;   // no-op updates (dup/absent/self-loop/
+                                  // out-of-range), tolerated not fatal
+    std::uint64_t coreness_changed = 0;  // vertices whose coreness moved
+    std::uint64_t footprint = 0;  // summed subcore footprints
+    std::int64_t triangle_delta = 0;
+    std::int64_t triplet_delta = 0;
+    double seconds = 0.0;  // wall time inside the batch (incl. locking)
+  };
+
+  // Applies `inserts` then `deletes` to the graph, patching coreness in
+  // place via the subcore cascades of DynamicCoreIndex and selectively
+  // invalidating cached artifacts (see the invalidation matrix in the
+  // header comment).  Concurrent ApplyBatch calls serialize; concurrent
+  // queries keep being served (pre-batch epochs stay readable, readers
+  // arriving after the batch rebuild lazily).  A batch in which every
+  // update was rejected leaves the epoch and every artifact untouched.
+  BatchResult ApplyBatch(const EdgeList& inserts, const EdgeList& deletes);
+
+  // Monotone graph-version counter: 0 until the first effective
+  // ApplyBatch, +1 per batch that changed the edge set.
+  std::uint64_t Epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
   // --- Shared execution resources ----------------------------------------
 
   // The pool every parallel stage runs on; created on first use with
@@ -156,7 +234,7 @@ class CoreEngine {
 
   // Names of the per-metric stages in stats(): "coreset[ad]",
   // "singlecore[mod]", ... (the fixed stages are "decompose", "order",
-  // "forest", "components", "triangles", "triplets").
+  // "forest", "components", "triangles", "triplets", "applybatch").
   static std::string CoreSetStageName(Metric metric);
   static std::string SingleCoreStageName(Metric metric);
 
@@ -171,20 +249,35 @@ class CoreEngine {
   void ResetStats() { stats_.Reset(); }
 
  private:
-  // One exactly-once guard per lazy artifact: `once` elects the single
-  // builder, `ready` is the lock-free warm fast path (set with release
-  // order after the artifact is published).
-  struct BuildFlag {
-    std::once_flag once;
-    std::atomic<bool> ready{false};
-  };
-  // A per-metric profile cache slot.  Slots live in node-stable maps
-  // (created under profile_mutex_, a brief structural lock); the profile
-  // itself is built outside that lock, guarded only by the slot's flag.
-  template <typename Profile>
-  struct ProfileSlot {
-    BuildFlag flag;
-    Profile profile;
+  // A versioned artifact slot: the epoch-aware successor of the PR 3
+  // call_once + atomic-ready pair.  `published` is the lock-free warm
+  // fast path (acquire load pairs with the builder's release store);
+  // `mutex` serializes builders and lets ApplyBatch freeze the slot;
+  // `building` + `ready_cv` elect exactly one builder per cold epoch so
+  // racers neither duplicate the build nor re-run its dependency
+  // accessors (the exactly-once accounting the concurrency tests
+  // assert).  Superseded versions are retained in `versions` so that
+  // references published at earlier epochs stay valid for the engine's
+  // lifetime.
+  template <typename T>
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    bool building = false;                   // guarded by mutex
+    std::atomic<const T*> published{nullptr};
+    std::vector<std::unique_ptr<const T>> versions;  // guarded by mutex
+    std::uint64_t built_epoch = 0;                   // guarded by mutex
+
+    // Requires mutex held.  Retains `value`, publishes it, wakes racers.
+    const T& Publish(std::unique_ptr<const T> value, std::uint64_t epoch) {
+      const T* raw = value.get();
+      versions.push_back(std::move(value));
+      built_epoch = epoch;
+      published.store(raw, std::memory_order_release);
+      building = false;
+      ready_cv.notify_all();
+      return *raw;
+    }
   };
 
   void WarmUp();
@@ -193,19 +286,18 @@ class CoreEngine {
   // engine does not spin up a second set of workers.
   void AdoptPool(std::unique_ptr<ThreadPool> pool);
 
-  // Build bodies (each runs exactly once, inside its call_once).
-  void BuildCores();
-  void BuildOrdered();
-  void BuildForest();
-  void BuildComponents();
-  void BuildTriangles();
-  void BuildTriplets();
+  // The current graph snapshot; materializes it from the dynamic index
+  // when a batch dropped it.  Deliberately does NOT touch hit counters —
+  // the graph is the substrate every stage reads, not a query-level
+  // artifact (keeps the pre-mutable accounting arithmetic intact).
+  const Graph& CurrentGraph();
 
-  // Shared exactly-once wrapper: fast acquire path, single build, hit
-  // accounting for everyone else.  `stage` names the StageRecord that
-  // takes the hit.
-  template <typename BuildFn>
-  void RunOnce(BuildFlag& flag, std::string_view stage, BuildFn&& build);
+  // The generic per-epoch exactly-once accessor protocol; `ensure` runs
+  // the dependency accessors (without any slot lock held), `build`
+  // produces the artifact and does its own builds/patches accounting.
+  template <typename T, typename EnsureFn, typename BuildFn>
+  const T& Acquire(Slot<T>& slot, std::string_view stage, EnsureFn&& ensure,
+                   BuildFn&& build);
 
   // Owned storage for the Graph&& constructor; unused when borrowing.
   std::optional<Graph> owned_graph_;
@@ -216,26 +308,33 @@ class CoreEngine {
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
 
-  BuildFlag cores_flag_;
-  BuildFlag ordered_flag_;
-  BuildFlag forest_flag_;
-  BuildFlag components_flag_;
-  BuildFlag triangles_flag_;
-  BuildFlag triplets_flag_;
+  // Serializes writers; held for the whole ApplyBatch (including the
+  // pre-lock dependency warm-up), never by readers.
+  std::mutex update_mutex_;
+  std::atomic<std::uint64_t> epoch_{0};
 
-  std::optional<CoreDecomposition> cores_;
-  std::unique_ptr<OrderedGraph> ordered_;
-  std::unique_ptr<CoreForest> forest_;
-  std::optional<ComponentLabels> components_;
-  std::optional<std::uint64_t> triangles_;
-  std::optional<std::uint64_t> triplets_;
+  Slot<Graph> graph_slot_;
+  Slot<CoreDecomposition> cores_;
+  Slot<OrderedGraph> ordered_;
+  Slot<CoreForest> forest_;
+  Slot<ComponentLabels> components_;
+  Slot<std::uint64_t> triangles_;
+  Slot<std::uint64_t> triplets_;
 
   // Guards only the *structure* of the slot maps (slot creation); never
   // held while a profile builds.  std::map: references to mapped slots
   // stay valid across inserts.
   std::mutex profile_mutex_;
-  std::map<Metric, ProfileSlot<CoreSetProfile>> core_set_slots_;
-  std::map<Metric, ProfileSlot<SingleCoreProfile>> single_core_slots_;
+  std::map<Metric, Slot<CoreSetProfile>> core_set_slots_;
+  std::map<Metric, Slot<SingleCoreProfile>> single_core_slots_;
+
+  // The dynamic maintenance substrate; created by the first ApplyBatch
+  // (from the then-current snapshot + cached coreness) and authoritative
+  // for coreness/adjacency from then on.  Written only under every slot
+  // mutex; readers access it under any one slot mutex.  Declared last:
+  // it borrows a Graph retained by graph_slot_ / owned_graph_, so it
+  // must be destroyed first.
+  std::unique_ptr<DynamicCoreIndex> dyn_;
 };
 
 }  // namespace corekit

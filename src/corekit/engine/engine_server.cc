@@ -136,4 +136,91 @@ EngineServeReport ServeQueryMixSerial(CoreEngine& engine,
   return report;
 }
 
+ChurnServeReport ServeChurnMix(CoreEngine& engine,
+                               const ChurnMixOptions& options) {
+  ChurnServeReport report;
+  // Read the vertex count before any thread runs: the writer's batches
+  // may drop/materialize snapshots, and the id space never changes.
+  const VertexId n = engine.graph().NumVertices();
+
+  report.queries.clients.resize(options.serve.num_clients);
+  // Perturb mode draws deletions from the live edge set; snapshot it
+  // before any thread runs (we are the only writer).
+  EdgeList pool;
+  if (options.perturb_existing) pool = engine.graph().ToEdgeList();
+  Timer wall;
+  std::thread writer([&engine, &options, &report, n, &pool] {
+    SplitMix64 stream(options.churn_seed);
+    EdgeList owned;    // random mode: edges this writer inserted
+    EdgeList removed;  // perturb mode: deleted edges awaiting restore
+    for (std::uint32_t b = 0; b < options.num_batches; ++b) {
+      EdgeList inserts;
+      EdgeList deletes;
+      inserts.reserve(options.inserts_per_batch);
+      if (options.perturb_existing) {
+        // Restore edges removed by earlier batches, then delete fresh
+        // ones; restored edges rejoin the pool only after the delete
+        // picks so a batch never inserts and deletes the same edge.
+        for (std::uint32_t i = 0;
+             i < options.inserts_per_batch && !removed.empty(); ++i) {
+          const std::size_t pick = stream.Next() % removed.size();
+          inserts.push_back(removed[pick]);
+          removed[pick] = removed.back();
+          removed.pop_back();
+        }
+        for (std::uint32_t i = 0;
+             i < options.deletes_per_batch && !pool.empty(); ++i) {
+          const std::size_t pick = stream.Next() % pool.size();
+          deletes.push_back(pool[pick]);
+          removed.push_back(pool[pick]);
+          pool[pick] = pool.back();
+          pool.pop_back();
+        }
+        pool.insert(pool.end(), inserts.begin(), inserts.end());
+      } else {
+        for (std::uint32_t i = 0; i < options.inserts_per_batch; ++i) {
+          const auto u = static_cast<VertexId>(stream.Next() % n);
+          const auto v = static_cast<VertexId>(stream.Next() % n);
+          inserts.emplace_back(u, v);
+          // Best-effort target list: duplicates/self-loops get rejected
+          // on both the insert and any later delete, which ApplyBatch
+          // tolerates by design.
+          if (u != v) owned.emplace_back(u, v);
+        }
+        for (std::uint32_t i = 0;
+             i < options.deletes_per_batch && !owned.empty(); ++i) {
+          const std::size_t pick = stream.Next() % owned.size();
+          deletes.push_back(owned[pick]);
+          owned[pick] = owned.back();
+          owned.pop_back();
+        }
+      }
+      const CoreEngine::BatchResult result =
+          engine.ApplyBatch(inserts, deletes);
+      ++report.batches;
+      report.inserted += result.inserted;
+      report.deleted += result.deleted;
+      report.rejected += result.rejected;
+      report.coreness_changed += result.coreness_changed;
+      report.patch_seconds_total += result.seconds;
+      report.patch_seconds_max =
+          std::max(report.patch_seconds_max, result.seconds);
+    }
+  });
+  std::vector<std::thread> clients;
+  clients.reserve(options.serve.num_clients);
+  for (std::uint32_t client = 0; client < options.serve.num_clients;
+       ++client) {
+    clients.emplace_back([&engine, &options, &report, client] {
+      report.queries.clients[client] =
+          RunClient(engine, options.serve, client);
+    });
+  }
+  writer.join();
+  for (std::thread& thread : clients) thread.join();
+  report.queries.wall_seconds = wall.ElapsedSeconds();
+  report.final_epoch = engine.Epoch();
+  return report;
+}
+
 }  // namespace corekit

@@ -92,4 +92,54 @@ EngineServeReport ServeQueryMix(CoreEngine& engine,
 EngineServeReport ServeQueryMixSerial(CoreEngine& engine,
                                       const EngineServerOptions& options);
 
+// --- Mixed churn + query serving (mutable engine mode) --------------------
+
+struct ChurnMixOptions {
+  // The client side: same deterministic query mix as ServeQueryMix.
+  EngineServerOptions serve;
+  // The writer side: one thread applying this many ApplyBatch calls
+  // back-to-back while the clients query.
+  std::uint32_t num_batches = 16;
+  std::uint32_t inserts_per_batch = 6;
+  std::uint32_t deletes_per_batch = 2;
+  // Churn style.  false (default): inserts are uniform random pairs and
+  // deletes target the writer's own earlier inserts — adversarial
+  // rewiring whose long-range shortcuts can trigger near-global
+  // insertion cascades (good for stress tests).  true: deletes remove
+  // edges of the live graph and inserts restore previously removed ones,
+  // so the stream perturbs existing structure the way real churn does
+  // and per-update footprints stay local (good for benchmarks).
+  bool perturb_existing = false;
+  // Seed for the writer's edge stream (independent of serve.seed).
+  std::uint64_t churn_seed = 0xD15EA5EDULL;
+};
+
+struct ChurnServeReport {
+  // The client-side report.  NOTE: unlike the static harness, checksums
+  // here are interleaving-dependent (each query legitimately observes
+  // whichever epoch is current), so they are not comparable to a serial
+  // replay — freshness is validated by differential tests instead.
+  EngineServeReport queries;
+  // Writer-side accounting, accumulated over every batch.
+  std::uint32_t batches = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t coreness_changed = 0;
+  double patch_seconds_total = 0.0;
+  double patch_seconds_max = 0.0;
+  // engine.Epoch() after the writer finished.
+  std::uint64_t final_epoch = 0;
+};
+
+// Serves the query mix from serve.num_clients threads while one writer
+// thread applies num_batches edge-update batches to the same engine —
+// the serving-under-churn deployment the mutable engine mode exists for.
+// The writer's updates are a pure function of (churn_seed, graph size):
+// inserts draw uniform vertex pairs, deletes target edges the writer
+// inserted earlier (best-effort; misses count as rejected).  Blocks
+// until the writer and every client finish.
+ChurnServeReport ServeChurnMix(CoreEngine& engine,
+                               const ChurnMixOptions& options);
+
 }  // namespace corekit

@@ -8,12 +8,13 @@ namespace corekit {
 namespace {
 
 void AppendCounters(std::string& out, std::uint64_t builds, std::uint64_t hits,
-                    double seconds, std::uint64_t bytes) {
-  char buffer[160];
+                    std::uint64_t patches, double seconds,
+                    std::uint64_t bytes) {
+  char buffer[192];
   std::snprintf(buffer, sizeof(buffer),
                 "\"builds\":%" PRIu64 ",\"hits\":%" PRIu64
-                ",\"seconds\":%.6f,\"bytes\":%" PRIu64,
-                builds, hits, seconds, bytes);
+                ",\"patches\":%" PRIu64 ",\"seconds\":%.6f,\"bytes\":%" PRIu64,
+                builds, hits, patches, seconds, bytes);
   out += buffer;
 }
 
@@ -60,6 +61,15 @@ std::uint64_t StageStats::TotalHits() const {
   return total;
 }
 
+std::uint64_t StageStats::TotalPatches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const StageRecord& record : records_) {
+    total += record.patches.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 double StageStats::TotalSeconds() const {
   std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
@@ -91,6 +101,7 @@ std::string StageStats::ToJson() const {
                     std::to_string(kStageStatsSchemaVersion) + ",\"stages\":[";
   std::uint64_t total_builds = 0;
   std::uint64_t total_hits = 0;
+  std::uint64_t total_patches = 0;
   double total_seconds = 0.0;
   std::uint64_t total_bytes = 0;
   bool first = true;
@@ -99,22 +110,26 @@ std::string StageStats::ToJson() const {
     first = false;
     const std::uint64_t builds = record.builds.load(std::memory_order_relaxed);
     const std::uint64_t hits = record.hits.load(std::memory_order_relaxed);
+    const std::uint64_t patches =
+        record.patches.load(std::memory_order_relaxed);
     const double seconds = record.seconds.load(std::memory_order_relaxed);
     const std::uint64_t bytes = record.bytes.load(std::memory_order_relaxed);
     total_builds += builds;
     total_hits += hits;
+    total_patches += patches;
     total_seconds += seconds;
     total_bytes += bytes;
     // Stage names are fixed identifiers ("decompose", "coreset[ad]", ...);
     // no JSON escaping is required.
     out += "{\"name\":\"" + record.name + "\",";
-    AppendCounters(out, builds, hits, seconds, bytes);
+    AppendCounters(out, builds, hits, patches, seconds, bytes);
     out += ",\"threads\":" +
            std::to_string(record.threads.load(std::memory_order_relaxed)) +
            "}";
   }
   out += "],\"totals\":{";
-  AppendCounters(out, total_builds, total_hits, total_seconds, total_bytes);
+  AppendCounters(out, total_builds, total_hits, total_patches, total_seconds,
+                 total_bytes);
   out += "}}";
   return out;
 }

@@ -38,6 +38,8 @@ namespace corekit {
 // per-metric stages; their records are keyed "coreset[ad]",
 // "singlecore[mod]", ... (see CoreEngine::CoreSetStageName).  kCount is
 // a sentinel, not a stage.
+// kApplyBatch is the mutable-engine stage: one `patches` tick per
+// CoreEngine::ApplyBatch call.
 enum class EngineStage : int {
   kIngest = 0,  // edge-list file -> relabeled edge list
   kBuild,       // edge list -> normalized CSR Graph
@@ -47,6 +49,7 @@ enum class EngineStage : int {
   kComponents,
   kTriangles,
   kTriplets,
+  kApplyBatch,  // dynamic edge updates patched into the engine
   kCoreSet,
   kSingleCore,
   kCount,
@@ -58,8 +61,9 @@ enum class EngineStage : int {
 // and fails CI when the two drift.  Renaming an entry is a StageStats
 // schema change (bump kStageStatsSchemaVersion below).
 inline constexpr std::string_view kEngineStageNames[] = {
-    "ingest",     "build",    "decompose", "order",   "forest",
-    "components", "triangles", "triplets", "coreset", "singlecore",
+    "ingest",    "build",      "decompose", "order",
+    "forest",    "components", "triangles", "triplets",
+    "applybatch", "coreset",   "singlecore",
 };
 static_assert(std::size(kEngineStageNames) ==
                   static_cast<std::size_t>(EngineStage::kCount),
@@ -75,8 +79,10 @@ constexpr std::string_view EngineStageName(EngineStage stage) {
 // schema golden test (tests/engine/stage_stats_schema_test.cc) in the
 // same commit.  (The counters becoming atomic did not change the shape,
 // so the version stayed at 1.  v2 added the cold-path "ingest"/"build"
-// stages recorded by CoreEngine::FromEdgeListFile.)
-inline constexpr int kStageStatsSchemaVersion = 2;
+// stages recorded by CoreEngine::FromEdgeListFile.  v3 added the
+// per-stage "patches" counter and the "applybatch" stage for the
+// mutable engine; every v2 key survives unchanged.)
+inline constexpr int kStageStatsSchemaVersion = 3;
 
 struct StageRecord {
   std::string name;
@@ -84,6 +90,10 @@ struct StageRecord {
   std::atomic<std::uint64_t> builds{0};
   // Requests served from the cached artifact without rebuilding.
   std::atomic<std::uint64_t> hits{0};
+  // Times the stage was refreshed incrementally instead of rebuilt from
+  // scratch (ApplyBatch patching coreness, value-patched triangle and
+  // triplet counts, snapshot materializations).  Disjoint from `builds`.
+  std::atomic<std::uint64_t> patches{0};
   // Total wall seconds across all builds of this stage.
   std::atomic<double> seconds{0.0};
   // Estimated bytes held by the artifact after the last build.
@@ -101,6 +111,8 @@ struct StageRecord {
                  std::memory_order_relaxed);
     hits.store(other.hits.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
+    patches.store(other.patches.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
     seconds.store(other.seconds.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
     bytes.store(other.bytes.load(std::memory_order_relaxed),
@@ -115,6 +127,7 @@ struct StageRecord {
   void Zero() {
     builds.store(0, std::memory_order_relaxed);
     hits.store(0, std::memory_order_relaxed);
+    patches.store(0, std::memory_order_relaxed);
     seconds.store(0.0, std::memory_order_relaxed);
     bytes.store(0, std::memory_order_relaxed);
     threads.store(1, std::memory_order_relaxed);
@@ -140,6 +153,7 @@ class StageStats {
   // Aggregates across all stages.
   std::uint64_t TotalBuilds() const;
   std::uint64_t TotalHits() const;
+  std::uint64_t TotalPatches() const;
   double TotalSeconds() const;
   std::uint64_t TotalBytes() const;
 
@@ -150,10 +164,11 @@ class StageStats {
   void Reset();
 
   // Machine-readable dump for the bench harness / serving layer:
-  //   {"schema_version":2,
-  //    "stages":[{"name":...,"builds":...,"hits":...,"seconds":...,
-  //               "bytes":...,"threads":...},...],
-  //    "totals":{"builds":...,"hits":...,"seconds":...,"bytes":...}}
+  //   {"schema_version":3,
+  //    "stages":[{"name":...,"builds":...,"hits":...,"patches":...,
+  //               "seconds":...,"bytes":...,"threads":...},...],
+  //    "totals":{"builds":...,"hits":...,"patches":...,"seconds":...,
+  //              "bytes":...}}
   // The layout is a stable contract (kStageStatsSchemaVersion above);
   // tests/engine/stage_stats_schema_test.cc locks it.
   std::string ToJson() const;

@@ -1,0 +1,148 @@
+#include "corekit/graph/mutable_adjacency.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+// Sorted-vector membership / insertion / erasure for the delta lists,
+// which stay short (Compact bounds them at a fraction of the base).
+bool SortedContains(const std::vector<VertexId>& list, VertexId u) {
+  return std::binary_search(list.begin(), list.end(), u);
+}
+
+void SortedInsert(std::vector<VertexId>& list, VertexId u) {
+  list.insert(std::lower_bound(list.begin(), list.end(), u), u);
+}
+
+void SortedErase(std::vector<VertexId>& list, VertexId u) {
+  const auto it = std::lower_bound(list.begin(), list.end(), u);
+  COREKIT_DCHECK(it != list.end() && *it == u);
+  list.erase(it);
+}
+
+}  // namespace
+
+MutableAdjacency::MutableAdjacency(VertexId num_vertices)
+    : added_(num_vertices), removed_(num_vertices), degree_(num_vertices, 0) {}
+
+MutableAdjacency::MutableAdjacency(const Graph& base)
+    : base_(&base),
+      added_(base.NumVertices()),
+      removed_(base.NumVertices()),
+      degree_(base.NumVertices()),
+      num_edges_(base.NumEdges()) {
+  for (VertexId v = 0; v < base.NumVertices(); ++v) degree_[v] = base.Degree(v);
+}
+
+bool MutableAdjacency::InBase(VertexId v, VertexId u) const {
+  const std::span<const VertexId> list = BaseNeighbors(v);
+  return std::binary_search(list.begin(), list.end(), u);
+}
+
+bool MutableAdjacency::HasEdge(VertexId u, VertexId v) const {
+  COREKIT_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v) return false;
+  if (SortedContains(added_[u], v)) return true;
+  return InBase(u, v) && !SortedContains(removed_[u], v);
+}
+
+bool MutableAdjacency::AddEdge(VertexId u, VertexId v) {
+  COREKIT_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v || HasEdge(u, v)) return false;
+  if (SortedContains(removed_[u], v)) {
+    // Restores a base edge: drop the tombstones instead of re-adding.
+    SortedErase(removed_[u], v);
+    SortedErase(removed_[v], u);
+    delta_entries_ -= 2;
+  } else {
+    SortedInsert(added_[u], v);
+    SortedInsert(added_[v], u);
+    delta_entries_ += 2;
+  }
+  ++degree_[u];
+  ++degree_[v];
+  ++num_edges_;
+  MaybeCompact();
+  return true;
+}
+
+bool MutableAdjacency::RemoveEdge(VertexId u, VertexId v) {
+  COREKIT_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v || !HasEdge(u, v)) return false;
+  if (SortedContains(added_[u], v)) {
+    SortedErase(added_[u], v);
+    SortedErase(added_[v], u);
+    delta_entries_ -= 2;
+  } else {
+    SortedInsert(removed_[u], v);
+    SortedInsert(removed_[v], u);
+    delta_entries_ += 2;
+  }
+  --degree_[u];
+  --degree_[v];
+  --num_edges_;
+  MaybeCompact();
+  return true;
+}
+
+std::uint64_t MutableAdjacency::CommonNeighborCount(VertexId u,
+                                                    VertexId v) const {
+  COREKIT_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v) return 0;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const std::vector<VertexId> smaller = Neighbors(u);
+  std::uint64_t common = 0;
+  ForEachNeighbor(v, [&](VertexId w) {
+    if (std::binary_search(smaller.begin(), smaller.end(), w)) ++common;
+  });
+  return common;
+}
+
+std::vector<VertexId> MutableAdjacency::Neighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  out.reserve(degree_[v]);
+  ForEachNeighbor(v, [&](VertexId u) { out.push_back(u); });
+  return out;
+}
+
+Graph MutableAdjacency::Materialize() const {
+  const VertexId n = NumVertices();
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + degree_[v];
+  }
+  std::vector<VertexId> neighbors(offsets[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeId at = offsets[v];
+    ForEachNeighbor(v, [&](VertexId u) { neighbors[at++] = u; });
+    COREKIT_DCHECK(at == offsets[v + 1]);
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+void MutableAdjacency::Compact() {
+  Graph folded = Materialize();
+  owned_base_ = std::move(folded);
+  base_ = &owned_base_;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    added_[v].clear();
+    removed_[v].clear();
+  }
+  delta_entries_ = 0;
+}
+
+void MutableAdjacency::MaybeCompact() {
+  // Amortization: a compaction costs O(n + m); trigger it only once the
+  // deltas could have paid for it.
+  const std::size_t base_entries =
+      base_ != nullptr ? base_->NeighborArray().size() : 0;
+  const std::size_t threshold = std::max<std::size_t>(1024, base_entries / 4);
+  if (delta_entries_ >= threshold) Compact();
+}
+
+}  // namespace corekit

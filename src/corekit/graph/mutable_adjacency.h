@@ -1,0 +1,120 @@
+// A mutable adjacency view layered over the immutable CSR `Graph`.
+//
+// `Graph` is deliberately frozen after construction (sorted CSR, shared
+// by every downstream artifact), which makes per-edge updates O(m).
+// `MutableAdjacency` keeps a borrowed base CSR plus small sorted
+// per-vertex delta lists (`added_`, `removed_`) so that edge
+// insertions/deletions are O(log deg + delta), neighbor iteration stays
+// ascending, and the common no-delta vertex iterates the raw base span.
+// When the deltas grow past a fraction of the base, the view compacts
+// itself into a fresh owned CSR, keeping iteration amortized O(deg).
+//
+// This is the storage substrate for dynamic::DynamicCoreIndex and, via
+// it, for CoreEngine::ApplyBatch.  Not thread-safe: callers serialize
+// writers against readers (the engine does so with its slot mutexes).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/graph/types.h"
+
+namespace corekit {
+
+class MutableAdjacency {
+ public:
+  // An empty graph on `num_vertices` vertices (no base CSR).
+  explicit MutableAdjacency(VertexId num_vertices);
+
+  // A view over `base`; borrows it, so `base` must outlive this object
+  // (Compact() folds the deltas into an owned CSR but still reads the
+  // borrowed base while doing so).
+  explicit MutableAdjacency(const Graph& base);
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(degree_.size());
+  }
+  EdgeId NumEdges() const { return num_edges_; }
+  VertexId Degree(VertexId v) const { return degree_[v]; }
+
+  // True edge membership (self-loops never exist).  O(log deg).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // Insert/delete the undirected edge {u, v}.  Returns false — with no
+  // state change — for self-loops, duplicate inserts and deletes of
+  // absent edges.  Vertices must be in range (COREKIT_CHECK).
+  bool AddEdge(VertexId u, VertexId v);
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  // |N(u) ∩ N(v)| under the current edge set — the number of triangles
+  // the edge {u, v} closes.  O(deg(u) + deg(v) log deg(u)).
+  std::uint64_t CommonNeighborCount(VertexId u, VertexId v) const;
+
+  // Visits the current neighbors of `v` in ascending order.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    const std::span<const VertexId> base = BaseNeighbors(v);
+    const std::vector<VertexId>& add = added_[v];
+    const std::vector<VertexId>& del = removed_[v];
+    if (add.empty() && del.empty()) {
+      for (const VertexId u : base) fn(u);
+      return;
+    }
+    std::size_t bi = 0;
+    std::size_t ai = 0;
+    std::size_t di = 0;
+    while (bi < base.size() || ai < add.size()) {
+      const bool take_base =
+          ai == add.size() || (bi < base.size() && base[bi] < add[ai]);
+      if (take_base) {
+        const VertexId u = base[bi++];
+        while (di < del.size() && del[di] < u) ++di;
+        if (di < del.size() && del[di] == u) {
+          ++di;
+          continue;
+        }
+        fn(u);
+      } else {
+        fn(add[ai++]);
+      }
+    }
+  }
+
+  // Sorted copy of the current neighbor list.
+  std::vector<VertexId> Neighbors(VertexId v) const;
+
+  // Freezes the current edge set into a standalone CSR.
+  Graph Materialize() const;
+
+  // Folds the deltas into an owned base CSR; afterwards every vertex is
+  // on the fast no-delta path.  Called automatically once the deltas
+  // exceed a fraction of the base size.
+  void Compact();
+
+  // Total entries across all delta lists (diagnostic; drives Compact).
+  std::size_t DeltaEntries() const { return delta_entries_; }
+
+ private:
+  std::span<const VertexId> BaseNeighbors(VertexId v) const {
+    return base_ != nullptr ? base_->Neighbors(v)
+                            : std::span<const VertexId>{};
+  }
+  bool InBase(VertexId v, VertexId u) const;
+  void MaybeCompact();
+
+  const Graph* base_ = nullptr;  // borrowed, or &owned_base_ after Compact
+  Graph owned_base_;
+  // Per-vertex sorted deltas.  Invariants: added_[v] is disjoint from
+  // the base list, removed_[v] is a subset of it, and the two never
+  // share an entry.
+  std::vector<std::vector<VertexId>> added_;
+  std::vector<std::vector<VertexId>> removed_;
+  std::vector<VertexId> degree_;
+  EdgeId num_edges_ = 0;
+  std::size_t delta_entries_ = 0;
+};
+
+}  // namespace corekit

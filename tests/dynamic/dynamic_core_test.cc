@@ -1,5 +1,9 @@
 #include "corekit/dynamic/dynamic_core.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "corekit/core/core_decomposition.h"
@@ -163,6 +167,137 @@ INSTANTIATE_TEST_SUITE_P(
       return "seed" + std::to_string(param_info.param.seed) + "_n" +
              std::to_string(param_info.param.n);
     });
+
+TEST(DynamicCoreTest, DuplicateInsertLeavesStateUntouched) {
+  const Graph g = Fig2Graph();
+  DynamicCoreIndex index(g);
+  const std::vector<VertexId> coreness_before = index.CorenessArray();
+  const EdgeList edges_before = index.Snapshot().ToEdgeList();
+  const auto [u, v] = edges_before.front();
+  EXPECT_FALSE(index.InsertEdge(u, v));
+  EXPECT_FALSE(index.InsertEdge(v, u));
+  EXPECT_EQ(index.CorenessArray(), coreness_before);
+  EXPECT_EQ(index.Snapshot().ToEdgeList(), edges_before);
+  EXPECT_EQ(index.LastCorenessChanged(), 0u);
+}
+
+TEST(DynamicCoreTest, SeededCorenessConstructorSkipsThePeel) {
+  const Graph g = Fig2Graph();
+  const CoreDecomposition cores = ComputeCoreDecomposition(g);
+  DynamicCoreIndex index(g, cores.coreness);
+  EXPECT_EQ(index.CorenessArray(), cores.coreness);
+  // Still live: updates cascade correctly from the seeded state.
+  ASSERT_TRUE(index.RemoveEdge(corekit::testing::V(1),
+                               corekit::testing::V(2)));
+  ExpectExact(index, "seeded index after deletion");
+}
+
+TEST(DynamicCoreTest, ApplyBatchMatchesSequentialUpdates) {
+  const Graph g = Fig2Graph();
+  DynamicCoreIndex batched(g);
+  DynamicCoreIndex sequential(g);
+
+  const EdgeList inserts = {{corekit::testing::V(1), corekit::testing::V(9)},
+                            {corekit::testing::V(4), corekit::testing::V(7)}};
+  const EdgeList deletes = {{corekit::testing::V(1), corekit::testing::V(2)}};
+  const DynamicBatchStats stats = batched.ApplyBatch(inserts, deletes);
+  EXPECT_EQ(stats.inserted, 2u);
+  EXPECT_EQ(stats.deleted, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+
+  for (const auto& [u, v] : inserts) ASSERT_TRUE(sequential.InsertEdge(u, v));
+  for (const auto& [u, v] : deletes) ASSERT_TRUE(sequential.RemoveEdge(u, v));
+  EXPECT_EQ(batched.CorenessArray(), sequential.CorenessArray());
+  EXPECT_EQ(batched.NumEdges(), sequential.NumEdges());
+  ExpectExact(batched, "batched fig2 churn");
+}
+
+TEST(DynamicCoreTest, ApplyBatchToleratesAndCountsNoOpUpdates) {
+  const Graph g = Fig2Graph();
+  DynamicCoreIndex index(g);
+  const std::vector<VertexId> coreness_before = index.CorenessArray();
+  const VertexId n = index.NumVertices();
+  const auto existing = g.ToEdgeList().front();
+
+  const EdgeList inserts = {
+      existing,          // duplicate
+      {3, 3},            // self-loop
+      {n, 0},            // out of range
+      {0, n + 5},        // out of range
+  };
+  const EdgeList deletes = {
+      {corekit::testing::V(1), corekit::testing::V(8)},  // absent
+      {2, 2},                                             // self-loop
+      {n + 1, n + 2},                                     // out of range
+  };
+  const DynamicBatchStats stats = index.ApplyBatch(inserts, deletes);
+  EXPECT_EQ(stats.inserted, 0u);
+  EXPECT_EQ(stats.deleted, 0u);
+  EXPECT_EQ(stats.rejected, 7u);
+  EXPECT_EQ(stats.coreness_changed, 0u);
+  EXPECT_EQ(stats.triangle_delta, 0);
+  EXPECT_EQ(stats.triplet_delta, 0);
+  EXPECT_EQ(index.CorenessArray(), coreness_before);
+  EXPECT_EQ(index.NumEdges(), g.NumEdges());
+}
+
+// Brute-force counters for the delta checks.
+std::uint64_t BruteTriangles(const Graph& graph) {
+  std::uint64_t incidences = 0;
+  for (const auto& [u, v] : graph.ToEdgeList()) {
+    const auto nu = graph.Neighbors(u);
+    for (const VertexId w : graph.Neighbors(v)) {
+      if (std::binary_search(nu.begin(), nu.end(), w)) ++incidences;
+    }
+  }
+  return incidences / 3;
+}
+
+std::uint64_t BruteTriplets(const Graph& graph) {
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const std::uint64_t d = graph.Degree(v);
+    total += d * (d - 1) / 2;
+  }
+  return total;
+}
+
+TEST(DynamicCoreTest, ApplyBatchReportsExactCountDeltas) {
+  Rng rng(4242);
+  const Graph g = corekit::testing::SmallGraphZoo().begin()->graph;
+  DynamicCoreIndex index(g);
+  EdgeList present = g.ToEdgeList();
+  const VertexId n = index.NumVertices();
+
+  for (int round = 0; round < 8; ++round) {
+    const std::uint64_t triangles_before = BruteTriangles(index.Snapshot());
+    const std::uint64_t triplets_before = BruteTriplets(index.Snapshot());
+    EdgeList inserts;
+    EdgeList deletes;
+    for (int i = 0; i < 6; ++i) {
+      inserts.emplace_back(static_cast<VertexId>(rng.NextBounded(n)),
+                           static_cast<VertexId>(rng.NextBounded(n)));
+    }
+    for (int i = 0; i < 2 && !present.empty(); ++i) {
+      const std::size_t pick = rng.NextBounded(present.size());
+      deletes.push_back(present[pick]);
+      present[pick] = present.back();
+      present.pop_back();
+    }
+    const DynamicBatchStats stats = index.ApplyBatch(inserts, deletes);
+    const Graph snapshot = index.Snapshot();
+    EXPECT_EQ(static_cast<std::int64_t>(BruteTriangles(snapshot)),
+              static_cast<std::int64_t>(triangles_before) +
+                  stats.triangle_delta)
+        << "round " << round;
+    EXPECT_EQ(static_cast<std::int64_t>(BruteTriplets(snapshot)),
+              static_cast<std::int64_t>(triplets_before) +
+                  stats.triplet_delta)
+        << "round " << round;
+    ExpectExact(index, "delta round");
+    present = snapshot.ToEdgeList();
+  }
+}
 
 TEST(DynamicCoreTest, AgreesAfterBuildingZooGraphsIncrementally) {
   for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {

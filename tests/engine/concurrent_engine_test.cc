@@ -10,6 +10,7 @@
 // EngineServer harness and with the parallel substrate options turned on
 // (which exercises concurrent entry into the shared ThreadPool).
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <thread>
@@ -19,6 +20,7 @@
 
 #include "corekit/corekit.h"
 #include "corekit/engine/engine_server.h"
+#include "corekit/util/random.h"
 
 namespace corekit {
 namespace {
@@ -303,6 +305,175 @@ TEST(ConcurrentCoreEngineTest, ParallelSubstratesUnderConcurrentCold) {
     EXPECT_EQ(triangles[t], reference.Triangles());
   }
   ExpectExactlyOnceBuilds(shared);
+}
+
+// --- Mutable engine mode under concurrency -------------------------------
+
+// Readers race an ApplyBatch writer.  Every read must observe a coherent
+// epoch (never a half-patched one): the decomposition a reader gets is
+// internally consistent, and once the writer has joined, the engine's
+// answers are bit-identical to a cold engine on the final snapshot.
+TEST(ConcurrentCoreEngineTest, QueriesRacingApplyBatchStayCoherent) {
+  for (int which = 0; which < 4; ++which) {
+    SCOPED_TRACE(GraphTag(which));
+    const Graph graph =
+        MakeTestGraph(which, 500 + static_cast<std::uint64_t>(which));
+    CoreEngine engine(graph);
+    (void)engine.Cores();  // warm so the first batch patches, not builds
+    const VertexId n = graph.NumVertices();
+
+    std::thread writer([&engine, n, which] {
+      SplitMix64 stream(std::uint64_t{0xABCD} +
+                        static_cast<std::uint64_t>(which));
+      EdgeList owned;
+      for (int b = 0; b < 12; ++b) {
+        EdgeList inserts;
+        EdgeList deletes;
+        for (int i = 0; i < 5; ++i) {
+          const auto u = static_cast<VertexId>(stream.Next() % n);
+          const auto v = static_cast<VertexId>(stream.Next() % n);
+          inserts.emplace_back(u, v);
+          if (u != v) owned.emplace_back(u, v);
+        }
+        for (int i = 0; i < 2 && !owned.empty(); ++i) {
+          const std::size_t pick = stream.Next() % owned.size();
+          deletes.push_back(owned[pick]);
+          owned[pick] = owned.back();
+          owned.pop_back();
+        }
+        (void)engine.ApplyBatch(inserts, deletes);
+      }
+    });
+    RunClients([&engine](std::uint32_t t) {
+      for (int round = 0; round < 8; ++round) {
+        // Each reference is from one epoch; its internal invariants hold
+        // regardless of what the writer does concurrently.
+        const CoreDecomposition& cores = engine.Cores();
+        ASSERT_EQ(cores.coreness.size(), cores.peel_order.size());
+        const CoreSetProfile& profile = engine.BestCoreSet(
+            t % 2 == 0 ? Metric::kAverageDegree : Metric::kModularity);
+        ASSERT_EQ(profile.scores.size(), profile.primaries.size());
+        (void)engine.Triangles();
+        (void)engine.Triplets();
+      }
+    });
+    writer.join();
+
+    // Post-join differential: patched state == cold rebuild, bitwise.
+    CoreEngine cold(Graph(engine.graph()));
+    EXPECT_EQ(engine.Cores().coreness, cold.Cores().coreness);
+    EXPECT_EQ(engine.Cores().kmax, cold.Cores().kmax);
+    EXPECT_EQ(engine.Triangles(), cold.Triangles());
+    EXPECT_EQ(engine.Triplets(), cold.Triplets());
+    for (const Metric metric : kAllMetrics) {
+      SCOPED_TRACE(MetricShortName(metric));
+      const CoreSetProfile& got = engine.BestCoreSet(metric);
+      const CoreSetProfile ref = cold.BestCoreSet(metric);
+      EXPECT_EQ(got.best_k, ref.best_k);
+      EXPECT_EQ(got.scores, ref.scores);
+      const SingleCoreProfile& got_single = engine.BestSingleCore(metric);
+      const SingleCoreProfile ref_single = cold.BestSingleCore(metric);
+      EXPECT_EQ(got_single.best_k, ref_single.best_k);
+      EXPECT_EQ(got_single.scores, ref_single.scores);
+    }
+    EXPECT_GT(engine.Epoch(), 0u);
+  }
+}
+
+// Concurrent ApplyBatch callers serialize; the combined effect must be
+// some serialization of the batches (here: all batches are disjoint
+// inserts, so the final edge set is exactly their union).
+TEST(ConcurrentCoreEngineTest, ConcurrentWritersSerializeCleanly) {
+  const VertexId n = 64;
+  Graph graph = GenerateErdosRenyi(n, 100, 11);
+  CoreEngine engine(std::move(graph));
+  constexpr std::uint32_t kWriters = 4;
+  std::vector<std::thread> writers;
+  std::vector<CoreEngine::BatchResult> results(kWriters);
+  for (std::uint32_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&engine, &results, w] {
+      // Writer w owns the spoke set {w*8, ..., w*8+7} around hub 63.
+      EdgeList inserts;
+      for (VertexId i = 0; i < 8; ++i) {
+        inserts.emplace_back(static_cast<VertexId>(w * 8 + i), 62);
+      }
+      results[w] = engine.ApplyBatch(inserts, {});
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+
+  std::uint64_t total_inserted = 0;
+  for (const CoreEngine::BatchResult& result : results) {
+    total_inserted += result.inserted;
+  }
+  // Effective batches got distinct consecutive epochs.
+  EXPECT_EQ(engine.Epoch(),
+            static_cast<std::uint64_t>(
+                std::count_if(results.begin(), results.end(),
+                              [](const CoreEngine::BatchResult& r) {
+                                return r.inserted > 0;
+                              })));
+  CoreEngine cold(Graph(engine.graph()));
+  EXPECT_EQ(engine.Cores().coreness, cold.Cores().coreness);
+  EXPECT_GE(total_inserted, 1u);
+}
+
+TEST(EngineServerTest, ServeChurnMixKeepsAnswersFresh) {
+  const Graph graph = MakeTestGraph(0, 314);
+  CoreEngine engine(graph);
+  ChurnMixOptions options;
+  options.serve.num_clients = kClientThreads;
+  options.serve.queries_per_client = 24;
+  options.num_batches = 10;
+  options.inserts_per_batch = 6;
+  options.deletes_per_batch = 2;
+
+  const ChurnServeReport report = ServeChurnMix(engine, options);
+  EXPECT_EQ(report.batches, options.num_batches);
+  EXPECT_EQ(report.queries.TotalQueries(),
+            static_cast<std::uint64_t>(kClientThreads) *
+                options.serve.queries_per_client);
+  EXPECT_GT(report.inserted + report.deleted, 0u);
+  EXPECT_EQ(report.final_epoch, engine.Epoch());
+  EXPECT_GT(report.final_epoch, 0u);
+  EXPECT_GE(report.patch_seconds_total, report.patch_seconds_max);
+
+  // Freshness: after the serve, the engine answers like a cold engine on
+  // the final graph.
+  CoreEngine cold(Graph(engine.graph()));
+  EXPECT_EQ(engine.Cores().coreness, cold.Cores().coreness);
+  EXPECT_EQ(engine.BestCoreSet(Metric::kAverageDegree).scores,
+            cold.BestCoreSet(Metric::kAverageDegree).scores);
+  EXPECT_EQ(engine.Triangles(), cold.Triangles());
+}
+
+TEST(EngineServerTest, ServeChurnMixPerturbModeChurnsExistingEdges) {
+  const Graph graph = MakeTestGraph(1, 159);
+  const std::uint64_t base_edges = graph.NumEdges();
+  CoreEngine engine(graph);
+  ChurnMixOptions options;
+  options.serve.num_clients = 2;
+  options.serve.queries_per_client = 8;
+  options.num_batches = 8;
+  options.inserts_per_batch = 4;
+  options.deletes_per_batch = 4;
+  options.perturb_existing = true;
+
+  const ChurnServeReport report = ServeChurnMix(engine, options);
+  EXPECT_EQ(report.batches, options.num_batches);
+  // Every update targets a genuinely present (delete) or genuinely
+  // absent (restore) edge, so nothing is ever rejected.
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_GT(report.deleted, 0u);
+  // Restores never outnumber removals, and the graph never grows.
+  EXPECT_LE(report.inserted, report.deleted);
+  EXPECT_LE(engine.graph().NumEdges(), base_edges);
+  EXPECT_EQ(engine.graph().NumEdges(),
+            base_edges - (report.deleted - report.inserted));
+
+  CoreEngine cold(Graph(engine.graph()));
+  EXPECT_EQ(engine.Cores().coreness, cold.Cores().coreness);
+  EXPECT_EQ(engine.Triangles(), cold.Triangles());
 }
 
 }  // namespace

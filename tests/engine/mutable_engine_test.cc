@@ -1,0 +1,257 @@
+// Differential + selective-invalidation tests for the mutable engine
+// mode (CoreEngine::ApplyBatch).
+//
+// The correctness bar is bitwise: after any churn trace, the patched
+// engine must answer every query exactly as a cold engine built on the
+// materialized snapshot would — coreness, kmax, and the full BestCoreSet
+// / BestSingleCore profiles.  The invalidation bar is surgical: value
+// artifacts whose batch delta is zero keep their published object
+// (pointer identity), and post-batch rebuilds on the coreness path are
+// patches, not builds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/engine/core_engine.h"
+#include "corekit/gen/generators.h"
+#include "corekit/gen/lfr_like.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/random.h"
+
+namespace corekit {
+namespace {
+
+struct ChurnCase {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<ChurnCase> ChurnZoo() {
+  std::vector<ChurnCase> zoo;
+  zoo.push_back({"erdos_renyi", GenerateErdosRenyi(120, 420, 31)});
+  zoo.push_back({"barabasi_albert", GenerateBarabasiAlbert(120, 3, 32)});
+  LfrLikeParams lfr;
+  lfr.num_vertices = 120;
+  lfr.min_degree = 4;
+  lfr.max_degree = 16;
+  lfr.min_community = 15;
+  lfr.max_community = 40;
+  lfr.mu = 0.25;
+  lfr.seed = 33;
+  zoo.push_back({"lfr_like", GenerateLfrLike(lfr).graph});
+  RmatParams rmat;
+  rmat.scale = 7;
+  rmat.num_edges = 500;
+  rmat.seed = 34;
+  zoo.push_back({"rmat", GenerateRmat(rmat)});
+  return zoo;
+}
+
+// One random churn batch against the current edge set.
+void MakeBatch(Rng& rng, VertexId n, EdgeList& present, EdgeList& inserts,
+               EdgeList& deletes) {
+  inserts.clear();
+  deletes.clear();
+  for (int i = 0; i < 8; ++i) {
+    inserts.emplace_back(static_cast<VertexId>(rng.NextBounded(n)),
+                         static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  for (int i = 0; i < 3 && !present.empty(); ++i) {
+    const std::size_t pick = rng.NextBounded(present.size());
+    deletes.push_back(present[pick]);
+    present[pick] = present.back();
+    present.pop_back();
+  }
+}
+
+TEST(MutableEngineTest, ChurnTracesMatchColdRebuildBitwise) {
+  for (auto& [name, graph] : ChurnZoo()) {
+    CoreEngine engine(graph);
+    // Warm everything so every artifact exercises its invalidation path.
+    (void)engine.Cores();
+    (void)engine.Triangles();
+    (void)engine.Triplets();
+    (void)engine.BestCoreSet(Metric::kAverageDegree);
+    (void)engine.BestSingleCore(Metric::kAverageDegree);
+
+    Rng rng(SeedFromString(name));
+    EdgeList present = graph.ToEdgeList();
+    const VertexId n = graph.NumVertices();
+    for (int batch = 0; batch < 6; ++batch) {
+      EdgeList inserts;
+      EdgeList deletes;
+      MakeBatch(rng, n, present, inserts, deletes);
+      const CoreEngine::BatchResult result =
+          engine.ApplyBatch(inserts, deletes);
+      EXPECT_EQ(result.epoch, engine.Epoch()) << name;
+
+      // Cold reference on the materialized snapshot.
+      CoreEngine cold(Graph(engine.graph()));
+      ASSERT_EQ(engine.Cores().coreness, cold.Cores().coreness)
+          << name << " batch " << batch;
+      ASSERT_EQ(engine.Cores().kmax, cold.Cores().kmax) << name;
+      EXPECT_EQ(engine.Triangles(), cold.Triangles()) << name;
+      EXPECT_EQ(engine.Triplets(), cold.Triplets()) << name;
+      for (const Metric metric :
+           {Metric::kAverageDegree, Metric::kClusteringCoefficient}) {
+        const CoreSetProfile& patched = engine.BestCoreSet(metric);
+        const CoreSetProfile& rebuilt = cold.BestCoreSet(metric);
+        EXPECT_EQ(patched.best_k, rebuilt.best_k) << name;
+        EXPECT_EQ(patched.scores, rebuilt.scores) << name;
+      }
+      const SingleCoreProfile& patched_sc =
+          engine.BestSingleCore(Metric::kAverageDegree);
+      const SingleCoreProfile& rebuilt_sc =
+          cold.BestSingleCore(Metric::kAverageDegree);
+      EXPECT_EQ(patched_sc.best_k, rebuilt_sc.best_k) << name;
+      EXPECT_EQ(patched_sc.scores, rebuilt_sc.scores) << name;
+      present = engine.graph().ToEdgeList();
+    }
+  }
+}
+
+TEST(MutableEngineTest, EpochAdvancesOnlyOnEffectiveBatches) {
+  Graph graph = GenerateErdosRenyi(40, 120, 7);
+  CoreEngine engine(std::move(graph));
+  EXPECT_EQ(engine.Epoch(), 0u);
+  const CoreEngine::BatchResult noop =
+      engine.ApplyBatch({{0, 0}, {200, 1}}, {});
+  EXPECT_EQ(noop.rejected, 2u);
+  EXPECT_EQ(noop.inserted, 0u);
+  EXPECT_EQ(engine.Epoch(), 0u);
+
+  // A fully-rejected batch must leave every cached artifact published.
+  const CoreDecomposition* cores_before = &engine.Cores();
+  (void)engine.ApplyBatch({}, {{0, 39}});  // likely absent in sparse ER
+  if (engine.Epoch() == 0) {
+    EXPECT_EQ(&engine.Cores(), cores_before);
+  }
+
+  std::uint64_t expected_epoch = engine.Epoch();
+  for (int i = 0; i < 3; ++i) {
+    const CoreEngine::BatchResult result =
+        engine.ApplyBatch({{static_cast<VertexId>(i), 20}}, {});
+    if (result.inserted > 0) ++expected_epoch;
+    EXPECT_EQ(engine.Epoch(), expected_epoch);
+  }
+  EXPECT_GT(engine.Epoch(), 0u);
+}
+
+TEST(MutableEngineTest, PreBatchReferencesStayValidAndFrozen) {
+  Graph graph = GenerateBarabasiAlbert(80, 3, 5);
+  CoreEngine engine(std::move(graph));
+  const CoreDecomposition& before = engine.Cores();
+  const std::vector<VertexId> frozen = before.coreness;
+  const Graph& graph_before = engine.graph();
+  const EdgeId edges_before = graph_before.NumEdges();
+
+  EdgeList inserts;
+  for (VertexId v = 1; v < 20; ++v) inserts.emplace_back(0, v);
+  const CoreEngine::BatchResult result = engine.ApplyBatch(inserts, {});
+  ASSERT_GT(result.inserted, 0u);
+
+  // The old references describe epoch 0, unchanged.
+  EXPECT_EQ(before.coreness, frozen);
+  EXPECT_EQ(graph_before.NumEdges(), edges_before);
+  // The new epoch's artifacts are fresh objects.
+  EXPECT_NE(&engine.Cores(), &before);
+  EXPECT_GT(engine.graph().NumEdges(), edges_before);
+}
+
+TEST(MutableEngineTest, ZeroDeltaBatchKeepsCountersWarm) {
+  // 0-1 is an edge; 2 and 3 are isolated.  Inserting {2,3} closes no
+  // triangle and adds no wedge (both endpoints had degree 0), so both
+  // global counters keep their published object.
+  Graph graph = GraphBuilder::FromEdges(4, {{0, 1}});
+  CoreEngine engine(std::move(graph));
+  (void)engine.Triangles();
+  (void)engine.Triplets();
+  const std::uint64_t triangle_builds =
+      engine.stats().Find("triangles")->builds;
+
+  const CoreEngine::BatchResult result = engine.ApplyBatch({{2, 3}}, {});
+  ASSERT_EQ(result.inserted, 1u);
+  EXPECT_EQ(result.triangle_delta, 0);
+  EXPECT_EQ(result.triplet_delta, 0);
+
+  EXPECT_EQ(engine.Triangles(), 0u);
+  EXPECT_EQ(engine.Triplets(), 0u);
+  // Served warm: no new build, no patch.
+  EXPECT_EQ(engine.stats().Find("triangles")->builds, triangle_builds);
+  EXPECT_EQ(engine.stats().Find("triangles")->patches, 0u);
+  EXPECT_EQ(engine.stats().Find("triplets")->patches, 0u);
+}
+
+TEST(MutableEngineTest, NonZeroDeltaPatchesCountersInPlace) {
+  // Path 0-1-2 with counters warm; closing the triangle must patch both
+  // counters (one patch each, no rebuild).
+  Graph graph = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}});
+  CoreEngine engine(std::move(graph));
+  EXPECT_EQ(engine.Triangles(), 0u);
+  EXPECT_EQ(engine.Triplets(), 1u);
+
+  const CoreEngine::BatchResult result = engine.ApplyBatch({{0, 2}}, {});
+  ASSERT_EQ(result.inserted, 1u);
+  EXPECT_EQ(result.triangle_delta, 1);
+  EXPECT_EQ(result.triplet_delta, 2);
+
+  EXPECT_EQ(engine.Triangles(), 1u);
+  EXPECT_EQ(engine.Triplets(), 3u);
+  EXPECT_EQ(engine.stats().Find("triangles")->builds, 1u);
+  EXPECT_EQ(engine.stats().Find("triangles")->patches, 1u);
+  EXPECT_EQ(engine.stats().Find("triplets")->builds, 1u);
+  EXPECT_EQ(engine.stats().Find("triplets")->patches, 1u);
+
+  // And the patched values survive a differential against cold counts.
+  CoreEngine cold(Graph(engine.graph()));
+  EXPECT_EQ(engine.Triangles(), cold.Triangles());
+  EXPECT_EQ(engine.Triplets(), cold.Triplets());
+}
+
+TEST(MutableEngineTest, PostBatchCorenessRebuildIsAPatchNotABuild) {
+  Graph graph = GenerateErdosRenyi(60, 200, 13);
+  CoreEngine engine(std::move(graph));
+  (void)engine.Cores();
+  EXPECT_EQ(engine.stats().Find("decompose")->builds, 1u);
+
+  const CoreEngine::BatchResult result = engine.ApplyBatch({{0, 1}}, {});
+  const bool inserted = result.inserted > 0;
+  (void)engine.Cores();
+  if (inserted) {
+    EXPECT_EQ(engine.stats().Find("decompose")->builds, 1u);
+    EXPECT_EQ(engine.stats().Find("decompose")->patches, 1u);
+    // The lazy snapshot materialization lands on "build" as a patch too.
+    EXPECT_EQ(engine.stats().Find("build")->patches, 1u);
+    EXPECT_EQ(engine.stats().Find("applybatch")->patches, 1u);
+  }
+}
+
+TEST(MutableEngineTest, StatsJsonGainsTheApplyBatchStage) {
+  Graph graph = GenerateErdosRenyi(30, 80, 3);
+  CoreEngine engine(std::move(graph));
+  EXPECT_EQ(engine.StatsJson().find("applybatch"), std::string::npos);
+  (void)engine.ApplyBatch({{0, 1}, {0, 2}}, {});
+  EXPECT_NE(engine.StatsJson().find("\"name\":\"applybatch\""),
+            std::string::npos);
+  EXPECT_NE(engine.StatsJson().find("\"patches\":"), std::string::npos);
+}
+
+TEST(MutableEngineTest, BatchResultReportsChurnAccounting) {
+  Graph graph = GraphBuilder::FromEdges(5, {{0, 1}, {1, 2}, {2, 0}});
+  CoreEngine engine(std::move(graph));
+  const CoreEngine::BatchResult result =
+      engine.ApplyBatch({{3, 4}, {3, 3}}, {{0, 1}, {0, 4}});
+  EXPECT_EQ(result.inserted, 1u);
+  EXPECT_EQ(result.deleted, 1u);
+  EXPECT_EQ(result.rejected, 2u);
+  EXPECT_GT(result.coreness_changed, 0u);  // the triangle degrades
+  EXPECT_GE(result.seconds, 0.0);
+  EXPECT_EQ(result.epoch, 1u);
+}
+
+}  // namespace
+}  // namespace corekit

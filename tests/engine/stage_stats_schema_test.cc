@@ -28,19 +28,21 @@ std::vector<std::string> MemberKeys(const Json& object) {
   return keys;
 }
 
-TEST(StageStatsSchemaTest, SchemaVersionIsTwo) {
+TEST(StageStatsSchemaTest, SchemaVersionIsThree) {
   // Bumping this constant is an intentional breaking change: update the
   // bench harness and bench_diff expectations alongside it.  v2 added the
-  // cold-path "ingest" and "build" stages (CoreEngine::FromEdgeListFile).
-  EXPECT_EQ(kStageStatsSchemaVersion, 2);
+  // cold-path "ingest" and "build" stages (CoreEngine::FromEdgeListFile);
+  // v3 added the "patches" counter and the "applybatch" stage (mutable
+  // engine mode).
+  EXPECT_EQ(kStageStatsSchemaVersion, 3);
 }
 
 TEST(StageStatsSchemaTest, EmptyStatsDocumentShape) {
   StageStats stats;
   EXPECT_EQ(stats.ToJson(),
-            "{\"schema_version\":2,\"stages\":[],"
-            "\"totals\":{\"builds\":0,\"hits\":0,\"seconds\":0.000000,"
-            "\"bytes\":0}}");
+            "{\"schema_version\":3,\"stages\":[],"
+            "\"totals\":{\"builds\":0,\"hits\":0,\"patches\":0,"
+            "\"seconds\":0.000000,\"bytes\":0}}");
 }
 
 TEST(StageStatsSchemaTest, TopLevelAndPerStageKeysAreLocked) {
@@ -48,6 +50,7 @@ TEST(StageStatsSchemaTest, TopLevelAndPerStageKeysAreLocked) {
   StageRecord& record = stats.Get("decompose");
   record.builds = 2;
   record.hits = 5;
+  record.patches = 1;
   record.seconds = 0.125;
   record.bytes = 4096;
   record.threads = 3;
@@ -60,17 +63,19 @@ TEST(StageStatsSchemaTest, TopLevelAndPerStageKeysAreLocked) {
 
   const Json& stage = doc->Find("stages")->items().at(0);
   EXPECT_EQ(MemberKeys(stage),
-            (std::vector<std::string>{"name", "builds", "hits", "seconds",
-                                      "bytes", "threads"}));
+            (std::vector<std::string>{"name", "builds", "hits", "patches",
+                                      "seconds", "bytes", "threads"}));
   EXPECT_EQ(stage.StringOr("name", ""), "decompose");
   EXPECT_EQ(stage.NumberOr("builds", -1), 2);
   EXPECT_EQ(stage.NumberOr("hits", -1), 5);
+  EXPECT_EQ(stage.NumberOr("patches", -1), 1);
   EXPECT_NEAR(stage.NumberOr("seconds", -1), 0.125, 1e-9);
   EXPECT_EQ(stage.NumberOr("bytes", -1), 4096);
   EXPECT_EQ(stage.NumberOr("threads", -1), 3);
 
   EXPECT_EQ(MemberKeys(*doc->Find("totals")),
-            (std::vector<std::string>{"builds", "hits", "seconds", "bytes"}));
+            (std::vector<std::string>{"builds", "hits", "patches", "seconds",
+                                      "bytes"}));
 }
 
 TEST(StageStatsSchemaTest, CanonicalEngineStageNames) {

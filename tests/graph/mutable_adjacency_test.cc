@@ -1,0 +1,192 @@
+#include "corekit/graph/mutable_adjacency.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/gen/generators.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/random.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+using ::corekit::testing::Fig2Graph;
+
+// Reference model: the current edge set as a set of ordered pairs.
+using EdgeSet = std::set<std::pair<VertexId, VertexId>>;
+
+EdgeSet ToEdgeSet(const Graph& graph) {
+  EdgeSet edges;
+  for (const auto& [u, v] : graph.ToEdgeList()) {
+    edges.emplace(std::min(u, v), std::max(u, v));
+  }
+  return edges;
+}
+
+Graph ModelGraph(VertexId n, const EdgeSet& edges) {
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+// The full equivalence check: degrees, neighbor lists (via both the
+// iterator and the copying accessor), membership, and the materialized
+// CSR must all agree with the reference graph.
+void ExpectMatchesModel(const MutableAdjacency& adj, VertexId n,
+                        const EdgeSet& edges, const char* context) {
+  const Graph model = ModelGraph(n, edges);
+  ASSERT_EQ(adj.NumVertices(), model.NumVertices()) << context;
+  ASSERT_EQ(adj.NumEdges(), model.NumEdges()) << context;
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(adj.Degree(v), model.Degree(v)) << context << " v=" << v;
+    std::vector<VertexId> iterated;
+    adj.ForEachNeighbor(v, [&](VertexId u) { iterated.push_back(u); });
+    const auto span = model.Neighbors(v);
+    const std::vector<VertexId> expected(span.begin(), span.end());
+    EXPECT_EQ(iterated, expected) << context << " v=" << v;
+    EXPECT_EQ(adj.Neighbors(v), expected) << context << " v=" << v;
+    EXPECT_TRUE(std::is_sorted(iterated.begin(), iterated.end()))
+        << context << " v=" << v;
+  }
+  EXPECT_EQ(ToEdgeSet(adj.Materialize()), edges) << context;
+}
+
+TEST(MutableAdjacencyTest, EmptyGraphBasics) {
+  MutableAdjacency adj(4);
+  EXPECT_EQ(adj.NumVertices(), 4u);
+  EXPECT_EQ(adj.NumEdges(), 0u);
+  EXPECT_FALSE(adj.HasEdge(0, 1));
+  EXPECT_TRUE(adj.AddEdge(0, 1));
+  EXPECT_TRUE(adj.HasEdge(1, 0));
+  EXPECT_EQ(adj.Degree(0), 1u);
+  EXPECT_EQ(adj.NumEdges(), 1u);
+}
+
+TEST(MutableAdjacencyTest, RejectsSelfLoopsAndDuplicates) {
+  MutableAdjacency adj(3);
+  EXPECT_FALSE(adj.AddEdge(1, 1));
+  EXPECT_TRUE(adj.AddEdge(0, 1));
+  EXPECT_FALSE(adj.AddEdge(0, 1));
+  EXPECT_FALSE(adj.AddEdge(1, 0));
+  EXPECT_FALSE(adj.RemoveEdge(0, 2));
+  EXPECT_FALSE(adj.RemoveEdge(2, 2));
+  EXPECT_EQ(adj.NumEdges(), 1u);
+  EXPECT_EQ(adj.DeltaEntries(), 2u);
+}
+
+TEST(MutableAdjacencyTest, ViewOverBaseStartsIdentical) {
+  const Graph base = Fig2Graph();
+  MutableAdjacency adj(base);
+  ExpectMatchesModel(adj, base.NumVertices(), ToEdgeSet(base), "fresh view");
+}
+
+TEST(MutableAdjacencyTest, ReAddOfRemovedBaseEdgeDropsTombstones) {
+  const Graph base = Fig2Graph();
+  MutableAdjacency adj(base);
+  const auto [u, v] = base.ToEdgeList().front();
+  ASSERT_TRUE(adj.RemoveEdge(u, v));
+  EXPECT_EQ(adj.DeltaEntries(), 2u);
+  ASSERT_TRUE(adj.AddEdge(u, v));
+  // The tombstone pair is erased rather than shadowed by an added_ pair.
+  EXPECT_EQ(adj.DeltaEntries(), 0u);
+  ExpectMatchesModel(adj, base.NumVertices(), ToEdgeSet(base),
+                     "remove + re-add round trip");
+}
+
+TEST(MutableAdjacencyTest, CommonNeighborCountMatchesBrute) {
+  const Graph base = GenerateErdosRenyi(40, 160, 7);
+  MutableAdjacency adj(base);
+  Rng rng(99);
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(40));
+    const auto v = static_cast<VertexId>(rng.NextBounded(40));
+    if (u == v) continue;
+    const std::vector<VertexId> nu = adj.Neighbors(u);
+    const std::vector<VertexId> nv = adj.Neighbors(v);
+    std::vector<VertexId> common;
+    std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                          std::back_inserter(common));
+    EXPECT_EQ(adj.CommonNeighborCount(u, v), common.size())
+        << "u=" << u << " v=" << v;
+    if (i % 2 == 0) {
+      adj.HasEdge(u, v) ? adj.RemoveEdge(u, v) : adj.AddEdge(u, v);
+    }
+  }
+}
+
+TEST(MutableAdjacencyTest, CompactPreservesTheEdgeSet) {
+  const Graph base = GenerateErdosRenyi(30, 90, 3);
+  MutableAdjacency adj(base);
+  EdgeSet edges = ToEdgeSet(base);
+  Rng rng(17);
+  for (int i = 0; i < 120; ++i) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(30));
+    const auto v = static_cast<VertexId>(rng.NextBounded(30));
+    if (u == v) continue;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (edges.count(key)) {
+      ASSERT_TRUE(adj.RemoveEdge(u, v));
+      edges.erase(key);
+    } else {
+      ASSERT_TRUE(adj.AddEdge(u, v));
+      edges.insert(key);
+    }
+  }
+  adj.Compact();
+  EXPECT_EQ(adj.DeltaEntries(), 0u);
+  ExpectMatchesModel(adj, 30, edges, "after explicit compact");
+  // The compacted view must keep absorbing edits (owned base path).
+  if (edges.count({0, 1})) {
+    ASSERT_TRUE(adj.RemoveEdge(0, 1));
+    edges.erase({0, 1});
+  } else {
+    ASSERT_TRUE(adj.AddEdge(0, 1));
+    edges.insert({0, 1});
+  }
+  ExpectMatchesModel(adj, 30, edges, "edit after compact");
+}
+
+// Randomized differential: a long random edit script over a base CSR,
+// validated against the set model at every step boundary.  Long enough
+// that the auto-compaction threshold trips at least once.
+TEST(MutableAdjacencyTest, RandomEditScriptMatchesModel) {
+  const VertexId n = 24;
+  const Graph base = GenerateErdosRenyi(n, 60, 5);
+  MutableAdjacency adj(base);
+  EdgeSet edges = ToEdgeSet(base);
+  Rng rng(1234);
+  for (int step = 0; step < 500; ++step) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(n));
+    const auto v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) {
+      EXPECT_FALSE(adj.AddEdge(u, v));
+      continue;
+    }
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (edges.count(key)) {
+      if (rng.NextBool(0.5)) {
+        ASSERT_TRUE(adj.RemoveEdge(u, v));
+        edges.erase(key);
+      } else {
+        EXPECT_FALSE(adj.AddEdge(u, v));  // duplicate: no state change
+      }
+    } else {
+      ASSERT_TRUE(adj.AddEdge(u, v));
+      edges.insert(key);
+    }
+    if (step % 50 == 49) {
+      ExpectMatchesModel(adj, n, edges,
+                         ("step " + std::to_string(step)).c_str());
+    }
+  }
+  ExpectMatchesModel(adj, n, edges, "final state");
+}
+
+}  // namespace
+}  // namespace corekit

@@ -348,6 +348,60 @@ TEST_P(PipelineSweepTest, SCoreProfileMatchesThresholdOracle) {
   }
 }
 
+// --- Dynamic maintenance under long alternating churn ----------------------
+
+TEST_P(PipelineSweepTest, LongAlternatingChurnTraceMatchesRecompute) {
+  // A strict insert/delete alternation — the adversarial cadence for the
+  // traversal cascades, since every promotion is immediately challenged
+  // by a demotion elsewhere.  Both the bare index and the full engine
+  // replay the same trace; at every checkpoint the patched coreness must
+  // equal a from-scratch peel of the snapshot, and the engine must agree
+  // with the index bitwise.
+  DynamicCoreIndex index(graph_);
+  CoreEngine engine(graph_);
+  (void)engine.Cores();
+  Rng rng(GetParam().seed ^ 0xD1CEu);
+  EdgeList present = graph_.ToEdgeList();
+  const VertexId n = graph_.NumVertices();
+
+  for (int step = 0; step < 160; ++step) {
+    EdgeList inserts;
+    EdgeList deletes;
+    if (step % 2 == 0) {
+      inserts.emplace_back(static_cast<VertexId>(rng.NextBounded(n)),
+                           static_cast<VertexId>(rng.NextBounded(n)));
+    } else if (!present.empty()) {
+      const std::size_t pick = rng.NextBounded(present.size());
+      deletes.push_back(present[pick]);
+      present[pick] = present.back();
+      present.pop_back();
+    }
+    const DynamicBatchStats applied = index.ApplyBatch(inserts, deletes);
+    const CoreEngine::BatchResult engine_applied =
+        engine.ApplyBatch(inserts, deletes);
+    ASSERT_EQ(engine_applied.inserted, applied.inserted) << "step " << step;
+    ASSERT_EQ(engine_applied.deleted, applied.deleted) << "step " << step;
+    for (const auto& edge : inserts) {
+      if (applied.inserted > 0 && edge.first != edge.second) {
+        present.push_back(edge);
+      }
+    }
+    if (step % 40 == 39) {
+      const Graph snapshot = index.Snapshot();
+      ASSERT_EQ(index.CorenessArray(),
+                ComputeCoreDecomposition(snapshot).coreness)
+          << "step " << step;
+      ASSERT_EQ(engine.Cores().coreness, index.CorenessArray())
+          << "step " << step;
+    }
+  }
+  const Graph final_snapshot = index.Snapshot();
+  EXPECT_EQ(index.CorenessArray(),
+            ComputeCoreDecomposition(final_snapshot).coreness);
+  EXPECT_EQ(engine.Cores().coreness, index.CorenessArray());
+  EXPECT_EQ(engine.graph().NumEdges(), final_snapshot.NumEdges());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndDensities, PipelineSweepTest,
     ::testing::Values(

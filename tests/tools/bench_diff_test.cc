@@ -194,6 +194,36 @@ TEST(BenchDiffTest, StageStatsVersionMismatchRejected) {
             std::string::npos);
 }
 
+TEST(BenchDiffTest, StageStatsV2ToV3UpgradeDiffsWithNote) {
+  // The v2 -> v3 StageStats bump is purely additive (patches counter +
+  // applybatch stage), so a v2 baseline diffs against a v3 current run
+  // cleanly — but never silently: the report carries a note naming both
+  // versions, and PrintDiffReport surfaces it.
+  const Json baseline =
+      WithStageVersion(MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}}), 2);
+  const Json current =
+      WithStageVersion(MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}}), 3);
+  Result<DiffReport> diff = DiffReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff->failed);
+  EXPECT_NE(diff->stage_schema_note.find("2"), std::string::npos);
+  EXPECT_NE(diff->stage_schema_note.find("3"), std::string::npos);
+  std::ostringstream out;
+  PrintDiffReport(*diff, DiffOptions{}, out);
+  EXPECT_NE(out.str().find(diff->stage_schema_note), std::string::npos);
+
+  // The grace is directional and exact: v3 baseline vs v2 current (a
+  // downgrade) and any other pair still hard-fail.
+  EXPECT_FALSE(DiffReports(current, baseline, DiffOptions{}).ok());
+  EXPECT_FALSE(DiffReports(WithStageVersion(baseline, 1),
+                           WithStageVersion(baseline, 3), DiffOptions{})
+                   .ok());
+  // Same-version runs carry no note.
+  Result<DiffReport> same = DiffReports(current, current, DiffOptions{});
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->stage_schema_note.empty());
+}
+
 TEST(BenchDiffTest, MatchingOrAbsentStageStatsVersionsPass) {
   const Json plain = MakeReport("smoke", {{"fig7/AP", 0.1, 0.1}});
   // Both stamped with the same version.

@@ -296,6 +296,22 @@ TEST(LayeringTest, AllowsDownwardAndSameLayerIncludes) {
             0);
 }
 
+TEST(LayeringTest, EngineMayIncludeDynamicButNotViceVersa) {
+  // The mutable-engine wiring: engine depends on dynamic (ApplyBatch
+  // routes through DynamicCoreIndex)...
+  EXPECT_EQ(
+      CountRule(LintContent("src/corekit/engine/core_engine.h",
+                            "#include \"corekit/dynamic/dynamic_core.h\"\n"),
+                "layering"),
+      0);
+  // ...but dynamic must stay engine-free (embeddable on its own).
+  EXPECT_EQ(
+      CountRule(LintContent("src/corekit/dynamic/dynamic_core.cc",
+                            "#include \"corekit/engine/core_engine.h\"\n"),
+                "layering"),
+      1);
+}
+
 TEST(LayeringTest, GraphMustNotIncludeCore) {
   EXPECT_EQ(
       CountRule(LintContent("src/corekit/graph/graph_stats.cc",

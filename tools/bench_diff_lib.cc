@@ -75,6 +75,11 @@ Result<DiffReport> DiffReports(const Json& baseline, const Json& current,
   // Runs captured under different StageStats layouts are not comparable:
   // a renamed or added stage shifts what the per-stage timing columns
   // mean.  The env key is optional (reports predating it diff freely).
+  // Exception: v2 -> v3 only *added* the "patches" counter and the
+  // "applybatch" stage — every v2 key survives with the same meaning —
+  // so that one upgrade pair diffs cleanly with a note instead of an
+  // error (baselines need not be regenerated on the bump).
+  DiffReport report;
   const Json* base_env = baseline.Find("environment");
   const Json* cur_env = current.Find("environment");
   if (base_env != nullptr && cur_env != nullptr && base_env->is_object() &&
@@ -84,15 +89,21 @@ Result<DiffReport> DiffReports(const Json& baseline, const Json& current,
     const int cur_stage_v =
         static_cast<int>(cur_env->NumberOr("stage_stats_schema_version", -1));
     if (base_stage_v >= 0 && cur_stage_v >= 0 && base_stage_v != cur_stage_v) {
-      return Status::InvalidArgument(
-          "stage_stats_schema_version mismatch: baseline " +
-          std::to_string(base_stage_v) + " vs current " +
-          std::to_string(cur_stage_v) +
-          "; regenerate the baseline with the current stage layout");
+      const bool additive_upgrade = base_stage_v == 2 && cur_stage_v == 3;
+      if (!additive_upgrade) {
+        return Status::InvalidArgument(
+            "stage_stats_schema_version mismatch: baseline " +
+            std::to_string(base_stage_v) + " vs current " +
+            std::to_string(cur_stage_v) +
+            "; regenerate the baseline with the current stage layout");
+      }
+      report.stage_schema_note =
+          "note: baseline uses stage_stats_schema_version 2, current uses 3 "
+          "(additive upgrade: v3 only adds the patches counter and the "
+          "applybatch stage); timings compared as-is";
     }
   }
 
-  DiffReport report;
   for (const Json& base_case : baseline.Find("cases")->items()) {
     if (!base_case.is_object()) continue;
     const std::string name = base_case.StringOr("name", "");
@@ -174,6 +185,9 @@ void PrintDiffReport(const DiffReport& report, const DiffOptions& options,
                   FormatOptSeconds(diff.current_seconds), delta, verdict});
   }
   table.Print(out);
+  if (!report.stage_schema_note.empty()) {
+    out << "\n" << report.stage_schema_note << "\n";
+  }
   out << "\nthreshold +" << 100.0 * options.threshold << "% on seconds_"
       << options.metric << ", noise floor "
       << TablePrinter::FormatSeconds(options.min_seconds) << "; "

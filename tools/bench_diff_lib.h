@@ -54,6 +54,10 @@ struct DiffReport {
   int missing_in_current = 0;
   int new_in_current = 0;
   bool failed = false;  // regressions > 0, or missing and fail_on_missing
+  // Non-empty when the two sides use different but compatible StageStats
+  // layouts (the additive v2 -> v3 bump); printed with the verdict so
+  // cross-version comparisons are visible, never silent.
+  std::string stage_schema_note;
 };
 
 // Validates the two parsed reports (schema_version must match

@@ -34,13 +34,27 @@
 // ordering, triangle counting — onto an N-worker pool (0 = hardware
 // concurrency).  Text inputs then load through the mmap'd chunked
 // reader; results are identical to the serial path.
+//
+// --churn FILE (anywhere on the command line) replays an edge update
+// trace through CoreEngine::ApplyBatch before the command runs, so the
+// command answers on the churned graph via in-place patching rather
+// than a cold reload.  Trace format, one update per line:
+//   + u v      insert edge {u, v}
+//   - u v      delete edge {u, v}
+//   ---        batch boundary (updates between boundaries are applied
+//              as one ApplyBatch call)
+//   # ...      comment; blank lines ignored
+// Each batch prints its patch statistics (applied/rejected counts,
+// coreness changes, traversal footprint, patch latency).
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,8 +77,82 @@ int Usage() {
       "          generate <kind> <out> [n] [m]\n"
       "metrics:  ad den cr con mod cc (default ad)\n"
       "--threads N: run parallel ingest/peel/order/triangles on N workers\n"
-      "             (0 = hardware concurrency)\n");
+      "             (0 = hardware concurrency)\n"
+      "--churn FILE: replay an edge update trace (+ u v / - u v, '---'\n"
+      "             between batches, '#' comments) through ApplyBatch\n"
+      "             before the command runs; prints per-batch patch\n"
+      "             stats\n");
   return 2;
+}
+
+// Replays `path` through engine.ApplyBatch, one call per '---'-delimited
+// batch, printing per-batch patch statistics.  Returns a process exit
+// code (0 = replayed cleanly).
+int ReplayChurnTrace(CoreEngine& engine, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open churn trace %s\n", path.c_str());
+    return 1;
+  }
+  EdgeList inserts;
+  EdgeList deletes;
+  std::uint64_t line_number = 0;
+  std::uint64_t batch_number = 0;
+  double patch_seconds = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t rejected = 0;
+  const auto flush = [&]() {
+    if (inserts.empty() && deletes.empty()) return;
+    const CoreEngine::BatchResult result =
+        engine.ApplyBatch(inserts, deletes);
+    ++batch_number;
+    patch_seconds += result.seconds;
+    applied += result.inserted + result.deleted;
+    rejected += result.rejected;
+    std::printf(
+        "batch %llu: +%llu -%llu (rejected %llu) coreness_changed=%llu "
+        "footprint=%llu epoch=%llu patch=%.3fms\n",
+        static_cast<unsigned long long>(batch_number),
+        static_cast<unsigned long long>(result.inserted),
+        static_cast<unsigned long long>(result.deleted),
+        static_cast<unsigned long long>(result.rejected),
+        static_cast<unsigned long long>(result.coreness_changed),
+        static_cast<unsigned long long>(result.footprint),
+        static_cast<unsigned long long>(engine.Epoch()),
+        1e3 * result.seconds);
+    inserts.clear();
+    deletes.clear();
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op) || op[0] == '#') continue;
+    if (op == "---") {
+      flush();
+      continue;
+    }
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    if ((op != "+" && op != "-") || !(tokens >> u >> v)) {
+      std::fprintf(stderr, "%s:%llu: bad trace line: %s\n", path.c_str(),
+                   static_cast<unsigned long long>(line_number),
+                   line.c_str());
+      return 1;
+    }
+    auto& batch = op == "+" ? inserts : deletes;
+    batch.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  flush();
+  std::printf(
+      "churn replay: %llu batch(es), %llu update(s) applied, %llu "
+      "rejected, %.3fms total patch time, final epoch %llu\n",
+      static_cast<unsigned long long>(batch_number),
+      static_cast<unsigned long long>(applied),
+      static_cast<unsigned long long>(rejected), 1e3 * patch_seconds,
+      static_cast<unsigned long long>(engine.Epoch()));
+  return 0;
 }
 
 bool IsBinaryPath(const std::string& path) {
@@ -360,6 +448,7 @@ int main(int argc, char** argv) {
   // dispatch so every command accepts it.
   bool threads_given = false;
   std::uint32_t threads = 0;
+  std::string churn_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -377,6 +466,18 @@ int main(int argc, char** argv) {
     if (value != nullptr) {
       threads_given = true;
       threads = static_cast<std::uint32_t>(std::max(0, std::atoi(value)));
+      continue;
+    }
+    if (arg == "--churn") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --churn\n");
+        return 2;
+      }
+      churn_path = argv[++i];
+      continue;
+    }
+    if (arg.substr(0, 8) == "--churn=") {
+      churn_path = argv[i] + 8;
       continue;
     }
     args.push_back(argv[i]);
@@ -421,6 +522,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     engine = std::move(*loaded);
+  }
+
+  // Replay the churn trace (if any) before dispatch: the command then
+  // answers on the patched, current-epoch graph.
+  if (!churn_path.empty()) {
+    const int code = ReplayChurnTrace(*engine, churn_path);
+    if (code != 0) return code;
   }
 
   if (command == "stats") return CmdStats(engine->graph());

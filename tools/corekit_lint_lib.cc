@@ -380,7 +380,10 @@ void CheckLayering(const std::string& path, const std::string& content,
       {"external", {"graph", "util"}},
       {"weighted", {"graph", "util"}},
       {"distributed", {"graph", "util"}},
-      {"engine", {"analysis", "parallel", "truss", "core", "graph", "util"}},
+      // engine -> dynamic is the mutable-engine wiring (ApplyBatch);
+      // dynamic must NOT include engine (the index stays embeddable).
+      {"engine",
+       {"analysis", "dynamic", "parallel", "truss", "core", "graph", "util"}},
       {"apps", {"engine", "core", "graph", "util"}},
       {"viz", {"core", "graph", "util"}},
   };
