@@ -183,6 +183,21 @@ void RunExtDynamicServe(BenchRunner& run) {
           }
           const double rebuild_per_batch = timer.ElapsedSeconds() / kSample;
 
+          // ROADMAP PR 6 follow-up, measured: ApplyBatch still drops the
+          // ordering and forest wholesale, so every profile query after a
+          // batch pays this rebuild even though coreness itself was
+          // patched in place.  The counter quantifies what an incremental
+          // ordering/forest would save per batch.
+          timer.Reset();
+          for (int i = 0; i < kSample; ++i) {
+            const OrderedGraph reordered(graph, base_cores);
+            const CoreForest reforest(graph, base_cores);
+            (void)reordered;
+            (void)reforest;
+          }
+          const double dropped_rebuild_per_batch =
+              timer.ElapsedSeconds() / kSample;
+
           const double batches = static_cast<double>(report.batches);
           const double patch_per_batch =
               quiet.patch_seconds_total /
@@ -203,6 +218,12 @@ void RunExtDynamicServe(BenchRunner& run) {
           rec.Counter("serve_patch_seconds_total", report.patch_seconds_total);
           rec.Counter("patch_seconds_per_batch", patch_per_batch);
           rec.Counter("rebuild_seconds_per_batch", rebuild_per_batch);
+          rec.Counter("dropped_ordering_rebuild_seconds_per_batch",
+                      dropped_rebuild_per_batch);
+          rec.Counter("dropped_ordering_vs_patch",
+                      patch_per_batch > 0
+                          ? dropped_rebuild_per_batch / patch_per_batch
+                          : 0.0);
           rec.Counter("patch_vs_rebuild_speedup", speedup);
           rec.Counter("queries_per_patch", queries_per_patch);
           rec.EngineStages(engine);

@@ -53,6 +53,8 @@
 #include "corekit/gen/generators.h"
 #include "corekit/gen/hyperbolic.h"
 #include "corekit/gen/lfr_like.h"
+#include "corekit/parallel/frontier_peel.h"
+#include "corekit/parallel/frontier_truss.h"
 #include "corekit/parallel/parallel_core.h"
 #include "corekit/parallel/parallel_ordering.h"
 #include "corekit/parallel/parallel_triangles.h"

@@ -7,7 +7,7 @@
 #include "corekit/core/triangle_scoring.h"
 #include "corekit/graph/parallel_edge_list.h"
 #include "corekit/graph/parallel_graph_builder.h"
-#include "corekit/parallel/parallel_core.h"
+#include "corekit/parallel/frontier_peel.h"
 #include "corekit/parallel/parallel_ordering.h"
 #include "corekit/parallel/parallel_triangles.h"
 #include "corekit/util/timer.h"
@@ -302,12 +302,16 @@ const CoreDecomposition& CoreEngine::Cores() {
               DecompositionFromCoreness(*graph, dyn_->CorenessArray()));
           record.seconds += timer.ElapsedSeconds();
           ++record.patches;
-        } else if (options_.parallel_peel) {
+        } else if (options_.parallel_peel && Pool().num_threads() > 1) {
+          // Frontier-based parallel peel (parallel/frontier_peel.h);
+          // bitwise-identical coreness to the serial path.  At one
+          // thread the pool buys nothing, so the plain serial peel
+          // below keeps that configuration untouched.
           ThreadPool& pool = Pool();
           threads = pool.num_threads();
           timer.Reset();  // exclude lazy pool construction
           cores = std::make_unique<CoreDecomposition>(
-              ComputeCoreDecompositionParallel(*graph, pool));
+              ComputeCoreDecompositionFrontier(*graph, pool));
           record.seconds += timer.ElapsedSeconds();
           ++record.builds;
         } else {

@@ -122,8 +122,11 @@ namespace corekit {
 
 struct CoreEngineOptions {
   // Peeling substrate: false = sequential Batagelj–Zaversnik (O(m)),
-  // true = the level-synchronous ComputeCoreDecompositionParallel over the
-  // engine's shared pool.
+  // true = the frontier-based ComputeCoreDecompositionFrontier over the
+  // engine's shared pool (bitwise-identical coreness; see
+  // parallel/frontier_peel.h).  With a one-thread pool the serial peel
+  // runs regardless — the flag only changes behavior when the pool can
+  // actually fan out.
   bool parallel_peel = false;
   // Count triangles (the global count AND the per-vertex scores feeding
   // BestSingleCore) with the parallel kernels over the shared pool.

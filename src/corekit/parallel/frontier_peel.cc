@@ -1,0 +1,156 @@
+#include "corekit/parallel/frontier_peel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+FrontierPeelResult ComputeFrontierPeel(const Graph& graph, ThreadPool& pool,
+                                       const FrontierPeelOptions& options) {
+  const VertexId n = graph.NumVertices();
+  const std::size_t chunk = options.chunk > 0 ? options.chunk : 2048;
+
+  FrontierPeelResult result;
+  result.cores.coreness.assign(n, 0);
+  result.cores.peel_order.reserve(n);
+  result.layer.assign(n, 0);
+  if (n == 0) return result;
+
+  // Residual degrees, decremented atomically as neighbors peel.  Plain
+  // relaxed atomics suffice: every read that decides anything happens in
+  // a serial phase after the ParallelFor join (the settlement barrier),
+  // which already orders the decrements before the reads.
+  std::vector<std::atomic<VertexId>> degree(n);
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId d = graph.Degree(v);
+    degree[v].store(d, std::memory_order_relaxed);
+    max_degree = std::max(max_degree, d);
+  }
+
+  // claimed[v] flips to 1 exactly once, always in a serial phase (seed
+  // or settlement); workers only read it while a round runs.
+  std::vector<std::uint8_t> claimed(n, 0);
+
+  // stamp[v] = last round that recorded v as touched; the CAS from an
+  // older round to the current one elects the single recording thread.
+  std::vector<std::atomic<VertexId>> stamp(n);
+  for (VertexId v = 0; v < n; ++v) {
+    stamp[v].store(0, std::memory_order_relaxed);
+  }
+
+  // The bucket structure: every unclaimed vertex is filed under its
+  // settled residual degree.  Initial filing is a counting sort by
+  // degree (ascending vertex id within a bucket); refiling happens only
+  // at settlement, so bucket contents — and therefore every seed
+  // frontier — are deterministic.  A vertex is filed at most once per
+  // distinct degree value, bounding total pushes by O(n + m).
+  std::vector<std::vector<VertexId>> buckets(
+      static_cast<std::size_t>(max_degree) + 1);
+  {
+    std::vector<VertexId> counts(static_cast<std::size_t>(max_degree) + 1, 0);
+    for (VertexId v = 0; v < n; ++v) ++counts[graph.Degree(v)];
+    for (VertexId d = 0; d <= max_degree; ++d) buckets[d].reserve(counts[d]);
+    for (VertexId v = 0; v < n; ++v) buckets[graph.Degree(v)].push_back(v);
+  }
+
+  std::mutex touched_mutex;
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next_frontier;
+  std::vector<VertexId> touched;
+  VertexId processed = 0;
+  VertexId round = 0;
+
+  for (VertexId level = 0; level <= max_degree && processed < n; ++level) {
+    // Seed the level from its bucket.  Every unclaimed entry still has
+    // residual degree exactly `level`: degrees only decrease, a vertex is
+    // refiled whenever its settled degree drops, and any drop to or below
+    // the level in progress would have claimed it at that settlement.
+    frontier.clear();
+    for (const VertexId v : buckets[level]) {
+      if (claimed[v]) continue;  // stale entry; v was refiled or peeled
+      COREKIT_DCHECK(degree[v].load(std::memory_order_relaxed) == level);
+      claimed[v] = 1;
+      frontier.push_back(v);
+    }
+    buckets[level].clear();
+    buckets[level].shrink_to_fit();
+    std::sort(frontier.begin(), frontier.end());
+
+    while (!frontier.empty()) {
+      // Emit the round.  Ascending id within a round; the first vertex
+      // of a level's first round therefore has exactly `level` unpeeled
+      // neighbors, which is what makes the order replay cleanly in
+      // AuditCoreDecomposition.
+      ++round;
+      for (const VertexId v : frontier) {
+        result.cores.coreness[v] = level;
+        result.layer[v] = round;
+        result.cores.peel_order.push_back(v);
+        ++processed;
+      }
+      result.cores.kmax = level;
+
+      // Parallel phase: peel the frontier, decrementing unclaimed
+      // neighbors and recording each touched vertex once.
+      touched.clear();
+      pool.ParallelFor(
+          frontier.size(), chunk, [&](std::size_t begin, std::size_t end) {
+            std::vector<VertexId> local;
+            for (std::size_t i = begin; i < end; ++i) {
+              for (const VertexId u : graph.Neighbors(frontier[i])) {
+                if (claimed[u]) continue;
+                degree[u].fetch_sub(1, std::memory_order_relaxed);
+                VertexId seen = stamp[u].load(std::memory_order_relaxed);
+                if (seen != round &&
+                    stamp[u].compare_exchange_strong(
+                        seen, round, std::memory_order_relaxed)) {
+                  local.push_back(u);
+                }
+              }
+            }
+            if (!local.empty()) {
+              const std::lock_guard<std::mutex> lock(touched_mutex);
+              touched.insert(touched.end(), local.begin(), local.end());
+            }
+          });
+
+      // Settlement: degrees are final for the round.  Which chunk
+      // recorded a touched vertex is schedule-dependent, so the merged
+      // list is sorted before any decision is taken from it — after
+      // that, claims and refilings depend only on settled state.
+      std::sort(touched.begin(), touched.end());
+      next_frontier.clear();
+      for (const VertexId u : touched) {
+        const VertexId d = degree[u].load(std::memory_order_relaxed);
+        if (d <= level) {
+          claimed[u] = 1;
+          next_frontier.push_back(u);
+        } else {
+          buckets[d].push_back(u);
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+  }
+  COREKIT_CHECK_EQ(processed, n);
+  result.num_rounds = round;
+  return result;
+}
+
+CoreDecomposition ComputeCoreDecompositionFrontier(
+    const Graph& graph, ThreadPool& pool, const FrontierPeelOptions& options) {
+  return ComputeFrontierPeel(graph, pool, options).cores;
+}
+
+CoreDecomposition ComputeCoreDecompositionFrontier(const Graph& graph,
+                                                   std::uint32_t num_threads) {
+  ThreadPool pool(num_threads);
+  return ComputeCoreDecompositionFrontier(graph, pool);
+}
+
+}  // namespace corekit

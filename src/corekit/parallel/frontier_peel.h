@@ -1,0 +1,71 @@
+// Frontier-based parallel core decomposition: the bucket-structure peel
+// of "Parallel k-Core Decomposition: Theory and Practice" (arXiv
+// 2502.08042), adapted to the engine's ThreadPool.
+//
+// Unlike parallel_core.h's level-synchronous peel — which rescans all n
+// vertices to seed every level, O(n * kmax) seeding in the worst case —
+// this peel keeps every alive vertex filed in a bucket indexed by its
+// settled residual degree.  Level k seeds its first frontier straight
+// from bucket[k]; within a round, worker threads decrement neighbor
+// degrees atomically and record each touched vertex once (a per-round
+// stamp CAS); at the round's settlement barrier the touched set is
+// sorted by id and split: vertices whose settled degree crossed the
+// level join the next frontier, the rest are refiled into the bucket of
+// their new degree.  Total bucket traffic is O(n + m) pushes.
+//
+// Determinism: every claim decision reads *settled* degrees — membership
+// of round r is a pure function of the membership of rounds 1..r-1, and
+// round 1 of each level is exactly bucket[k], so the frontier sets are
+// independent of thread count, schedule, and chunk size.  Sorting each
+// round by vertex id canonicalizes the emitted peel_order as well:
+// coreness, kmax, peel_order, and the round (onion-layer) indices are
+// all bitwise-identical across any {threads, chunk} configuration, and
+// coreness/kmax are bitwise-identical to the sequential
+// Batagelj–Zaversnik ComputeCoreDecomposition.  (DESIGN.md §"Frontier
+// peeling" carries the full argument, including why the emitted order
+// passes AuditCoreDecomposition's peel replay.)
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "corekit/core/core_decomposition.h"
+#include "corekit/graph/graph.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+
+struct FrontierPeelOptions {
+  // ParallelFor granularity over each round's frontier.  Any positive
+  // value yields the same output (determinism does not depend on it);
+  // smaller chunks trade scheduling overhead for balance.
+  std::size_t chunk = 2048;
+};
+
+// Full frontier-peel output: the decomposition plus the per-vertex round
+// index.  Rounds are numbered from 1 in peel order; because a round is
+// precisely "all alive vertices with residual degree <= the current
+// level", the round index of a vertex equals its onion-decomposition
+// layer (core/onion_layers.h) — the peel computes both for free.
+struct FrontierPeelResult {
+  CoreDecomposition cores;
+  // layer[v] = 1-based index of the round that peeled v; size n.
+  std::vector<VertexId> layer;
+  // Total number of (non-empty) rounds == ComputeOnionDecomposition's
+  // num_layers.
+  VertexId num_rounds = 0;
+};
+
+FrontierPeelResult ComputeFrontierPeel(const Graph& graph, ThreadPool& pool,
+                                       const FrontierPeelOptions& options = {});
+
+// Decomposition-only wrappers (the CoreEngine warm path).
+CoreDecomposition ComputeCoreDecompositionFrontier(
+    const Graph& graph, ThreadPool& pool,
+    const FrontierPeelOptions& options = {});
+CoreDecomposition ComputeCoreDecompositionFrontier(
+    const Graph& graph, std::uint32_t num_threads = 0);
+
+}  // namespace corekit

@@ -1,0 +1,200 @@
+#include "corekit/parallel/frontier_truss.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <utility>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace {
+
+VertexId CountCommonNeighbors(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  VertexId count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<VertexId> ComputeEdgeSupportsParallel(
+    const Graph& graph, const std::vector<EdgeId>& slot_edge,
+    ThreadPool& pool, const FrontierPeelOptions& options) {
+  const VertexId n = graph.NumVertices();
+  const std::size_t chunk = options.chunk > 0 ? options.chunk : 2048;
+  std::vector<VertexId> support(graph.NumEdges(), 0);
+  // One forward slot per undirected edge: every write below lands on a
+  // distinct entry, so no synchronization is needed and the values are
+  // exact regardless of schedule.
+  pool.ParallelFor(n, chunk, [&](std::size_t begin, std::size_t end) {
+    for (auto u = static_cast<VertexId>(begin); u < end; ++u) {
+      const EdgeId u_begin = graph.Offsets()[u];
+      const auto nbrs = graph.Neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId v = nbrs[i];
+        if (u >= v) continue;
+        support[slot_edge[u_begin + i]] =
+            CountCommonNeighbors(nbrs, graph.Neighbors(v));
+      }
+    }
+  });
+  return support;
+}
+
+TrussDecomposition ComputeTrussDecompositionFrontier(
+    const Graph& graph, ThreadPool& pool, const FrontierPeelOptions& options) {
+  TrussDecomposition result;
+  result.edges = graph.ToEdgeList();
+  const auto m = static_cast<EdgeId>(result.edges.size());
+  result.truss.assign(m, 2);
+  if (m == 0) return result;
+
+  const std::size_t chunk = options.chunk > 0 ? options.chunk : 2048;
+  const std::vector<EdgeId> slot_edge = MapSlotsToEdges(graph);
+
+  // Residual supports; decremented atomically as triangles die.
+  std::vector<std::atomic<VertexId>> support(m);
+  VertexId max_support = 0;
+  {
+    const std::vector<VertexId> initial =
+        ComputeEdgeSupportsParallel(graph, slot_edge, pool, options);
+    for (EdgeId e = 0; e < m; ++e) {
+      support[e].store(initial[e], std::memory_order_relaxed);
+      max_support = std::max(max_support, initial[e]);
+    }
+  }
+
+  // state[e]: 0 = alive, 2 = in the current frontier, 1 = peeled.
+  // Written only in serial phases; workers read it while a round runs.
+  std::vector<std::uint8_t> state(m, 0);
+
+  std::vector<std::atomic<EdgeId>> stamp(m);
+  for (EdgeId e = 0; e < m; ++e) stamp[e].store(0, std::memory_order_relaxed);
+
+  // Bucket structure over settled supports (see frontier_peel.cc; the
+  // invariants transfer verbatim with degree -> support).
+  std::vector<std::vector<EdgeId>> buckets(
+      static_cast<std::size_t>(max_support) + 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    buckets[support[e].load(std::memory_order_relaxed)].push_back(e);
+  }
+
+  std::mutex touched_mutex;
+  std::vector<EdgeId> frontier;
+  std::vector<EdgeId> next_frontier;
+  std::vector<EdgeId> touched;
+  EdgeId processed = 0;
+  EdgeId round = 0;
+
+  result.tmax = 2;
+  for (VertexId level = 0; level <= max_support && processed < m; ++level) {
+    frontier.clear();
+    for (const EdgeId e : buckets[level]) {
+      if (state[e] != 0) continue;  // stale entry; e was refiled or peeled
+      COREKIT_DCHECK(support[e].load(std::memory_order_relaxed) == level);
+      state[e] = 2;
+      frontier.push_back(e);
+    }
+    buckets[level].clear();
+    buckets[level].shrink_to_fit();
+    std::sort(frontier.begin(), frontier.end());
+
+    while (!frontier.empty()) {
+      ++round;
+      touched.clear();
+      pool.ParallelFor(
+          frontier.size(), chunk, [&](std::size_t begin, std::size_t end) {
+            std::vector<EdgeId> local;
+            auto decrement = [&](EdgeId f) {
+              support[f].fetch_sub(1, std::memory_order_relaxed);
+              EdgeId seen = stamp[f].load(std::memory_order_relaxed);
+              if (seen != round &&
+                  stamp[f].compare_exchange_strong(
+                      seen, round, std::memory_order_relaxed)) {
+                local.push_back(f);
+              }
+            };
+            for (std::size_t i = begin; i < end; ++i) {
+              const EdgeId e = frontier[i];
+              auto [x, y] = result.edges[e];
+              if (graph.Degree(x) > graph.Degree(y)) std::swap(x, y);
+              const EdgeId x_begin = graph.Offsets()[x];
+              const auto nbrs = graph.Neighbors(x);
+              for (std::size_t s = 0; s < nbrs.size(); ++s) {
+                const VertexId w = nbrs[s];
+                if (w == y) continue;
+                const EdgeId yw_slot = EdgeSlotOf(graph, y, w);
+                if (yw_slot == kInvalidEdgeSlot) continue;
+                const EdgeId a = slot_edge[x_begin + s];   // edge (x, w)
+                const EdgeId b = slot_edge[yw_slot];       // edge (y, w)
+                const std::uint8_t sa = state[a];
+                const std::uint8_t sb = state[b];
+                // Triangle (x, y, w) dies with e this round unless it
+                // died earlier.  A survivor is decremented by exactly
+                // one of the triangle's frontier edges: all of them if
+                // it is the only one, else the smallest id.
+                if (sa == 1 || sb == 1) continue;
+                if (sa == 0 && (sb != 0 ? e < b : true)) decrement(a);
+                if (sb == 0 && (sa != 0 ? e < a : true)) decrement(b);
+              }
+            }
+            if (!local.empty()) {
+              const std::lock_guard<std::mutex> lock(touched_mutex);
+              touched.insert(touched.end(), local.begin(), local.end());
+            }
+          });
+
+      // Settlement: the frontier's truss numbers are the level's (the
+      // claim clamps — an edge whose support fell below the level mid-
+      // round still peels at the level, exactly like the serial peel's
+      // floor), then claims and refilings from settled supports.
+      for (const EdgeId e : frontier) {
+        result.truss[e] = level + 2;
+        state[e] = 1;
+        ++processed;
+      }
+      result.tmax = std::max<VertexId>(result.tmax, level + 2);
+
+      std::sort(touched.begin(), touched.end());
+      next_frontier.clear();
+      for (const EdgeId f : touched) {
+        if (state[f] != 0) continue;
+        const VertexId s = support[f].load(std::memory_order_relaxed);
+        if (s <= level) {
+          state[f] = 2;
+          next_frontier.push_back(f);
+        } else {
+          buckets[s].push_back(f);
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+  }
+  COREKIT_CHECK_EQ(processed, m);
+  return result;
+}
+
+TrussDecomposition ComputeTrussDecompositionFrontier(const Graph& graph,
+                                                     std::uint32_t num_threads) {
+  ThreadPool pool(num_threads);
+  return ComputeTrussDecompositionFrontier(graph, pool);
+}
+
+}  // namespace corekit

@@ -1,0 +1,56 @@
+// Frontier-based parallel truss decomposition: the frontier_peel.h
+// bucket/settlement discipline lifted from vertices to edges.  Support
+// peeling parallelizes identically — buckets are indexed by settled
+// support, a round peels every alive edge whose support is at or below
+// the current level, and atomic support decrements settle at a barrier
+// before the next round's membership is decided.
+//
+// Two edge-specific twists:
+//  * Supports are computed in parallel as sorted-adjacency intersections
+//    (one forward CSR slot per edge, so writes race-freely target
+//    distinct entries); the values are exact triangle counts, identical
+//    to the serial mark-array counting in truss/truss_decomposition.cc.
+//  * A triangle can lose one, two, or all three of its edges in a single
+//    round.  Each frontier edge enumerates all its triangles; a triangle
+//    losing two frontier edges decrements its surviving edge through the
+//    smaller-id frontier edge only, and a triangle losing all three
+//    decrements nothing.  Each destroyed triangle therefore decrements
+//    each surviving edge exactly once, keeping every alive edge's
+//    support equal to its live-triangle count — the invariant that makes
+//    the claim level, and hence every truss number, bitwise-identical to
+//    serial ComputeTrussDecomposition (whose in-peel clamping computes
+//    the same fixpoint one edge at a time).
+//
+// Determinism follows exactly as for the vertex peel: claims read only
+// settled supports, so frontier membership is independent of thread
+// count, schedule, and chunk size.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corekit/graph/graph.h"
+#include "corekit/parallel/frontier_peel.h"
+#include "corekit/truss/truss_decomposition.h"
+#include "corekit/util/thread_pool.h"
+
+namespace corekit {
+
+// Parallel per-edge supports: |N(u) ∩ N(v)| for every undirected edge
+// (u, v), via two-pointer merges of the sorted adjacency lists.
+// `slot_edge` must be MapSlotsToEdges(graph).  Bitwise-equal to
+// ComputeEdgeSupports for every graph.
+std::vector<VertexId> ComputeEdgeSupportsParallel(
+    const Graph& graph, const std::vector<EdgeId>& slot_edge,
+    ThreadPool& pool, const FrontierPeelOptions& options = {});
+
+// Frontier-parallel truss decomposition.  Output (edges, truss, tmax) is
+// bitwise-identical to ComputeTrussDecomposition.
+TrussDecomposition ComputeTrussDecompositionFrontier(
+    const Graph& graph, ThreadPool& pool,
+    const FrontierPeelOptions& options = {});
+TrussDecomposition ComputeTrussDecompositionFrontier(
+    const Graph& graph, std::uint32_t num_threads = 0);
+
+}  // namespace corekit

@@ -6,21 +6,77 @@
 
 namespace corekit {
 
-namespace {
-
-// Index of the CSR slot holding neighbor `v` in `u`'s (sorted) adjacency
-// list, or kInvalidSlot when the edge does not exist.
-constexpr EdgeId kInvalidSlot = static_cast<EdgeId>(-1);
-
-EdgeId SlotOf(const Graph& graph, VertexId u, VertexId v) {
+EdgeId EdgeSlotOf(const Graph& graph, VertexId u, VertexId v) {
   const auto nbrs = graph.Neighbors(u);
   const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
-  if (it == nbrs.end() || *it != v) return kInvalidSlot;
+  if (it == nbrs.end() || *it != v) return kInvalidEdgeSlot;
   return graph.Offsets()[u] +
          static_cast<EdgeId>(std::distance(nbrs.begin(), it));
 }
 
-}  // namespace
+std::vector<EdgeId> MapSlotsToEdges(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<EdgeId> slot_edge(graph.NeighborArray().size());
+  EdgeId next = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const EdgeId begin = graph.Offsets()[u];
+    const auto nbrs = graph.Neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) slot_edge[begin + i] = next++;
+    }
+  }
+  COREKIT_CHECK_EQ(next, graph.NumEdges());
+  for (VertexId u = 0; u < n; ++u) {
+    const EdgeId begin = graph.Offsets()[u];
+    const auto nbrs = graph.Neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u > nbrs[i]) {
+        const EdgeId reverse = EdgeSlotOf(graph, nbrs[i], u);
+        COREKIT_DCHECK(reverse != kInvalidEdgeSlot);
+        slot_edge[begin + i] = slot_edge[reverse];
+      }
+    }
+  }
+  return slot_edge;
+}
+
+std::vector<VertexId> ComputeEdgeSupports(
+    const Graph& graph, const std::vector<EdgeId>& slot_edge) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> support(graph.NumEdges(), 0);
+  auto pos_greater = [&graph](VertexId a, VertexId b) {
+    const VertexId da = graph.Degree(a);
+    const VertexId db = graph.Degree(b);
+    return da != db ? da > db : a > b;
+  };
+  // mark[w] = 1 + edge id of (v, w) while scanning from v.
+  std::vector<EdgeId> mark(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeId begin = graph.Offsets()[v];
+    const auto nbrs = graph.Neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (pos_greater(nbrs[i], v)) mark[nbrs[i]] = slot_edge[begin + i] + 1;
+    }
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (!pos_greater(u, v)) continue;
+      const EdgeId vu = slot_edge[begin + i];
+      const EdgeId u_begin = graph.Offsets()[u];
+      const auto u_nbrs = graph.Neighbors(u);
+      for (std::size_t j = 0; j < u_nbrs.size(); ++j) {
+        const VertexId w = u_nbrs[j];
+        if (!pos_greater(w, u)) continue;
+        if (mark[w] != 0) {
+          ++support[vu];
+          ++support[slot_edge[u_begin + j]];
+          ++support[mark[w] - 1];
+        }
+      }
+    }
+    for (const VertexId w : nbrs) mark[w] = 0;
+  }
+  return support;
+}
 
 std::vector<EdgeId> TrussDecomposition::LevelSizes() const {
   std::vector<EdgeId> sizes(static_cast<std::size_t>(tmax) + 1, 0);
@@ -35,71 +91,10 @@ TrussDecomposition ComputeTrussDecomposition(const Graph& graph) {
   result.truss.assign(m, 2);
   if (m == 0) return result;
 
-  const VertexId n = graph.NumVertices();
-
-  // --- Map every directed CSR slot to its undirected edge id. ----------
-  // Forward slots (u < v) get ids in ToEdgeList() order; reverse slots
-  // resolve by binary search.
-  std::vector<EdgeId> slot_edge(graph.NeighborArray().size());
-  {
-    EdgeId next = 0;
-    for (VertexId u = 0; u < n; ++u) {
-      const EdgeId begin = graph.Offsets()[u];
-      const auto nbrs = graph.Neighbors(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (u < nbrs[i]) slot_edge[begin + i] = next++;
-      }
-    }
-    COREKIT_CHECK_EQ(next, m);
-    for (VertexId u = 0; u < n; ++u) {
-      const EdgeId begin = graph.Offsets()[u];
-      const auto nbrs = graph.Neighbors(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (u > nbrs[i]) {
-          const EdgeId reverse = SlotOf(graph, nbrs[i], u);
-          COREKIT_DCHECK(reverse != kInvalidSlot);
-          slot_edge[begin + i] = slot_edge[reverse];
-        }
-      }
-    }
-  }
-
-  // --- Support (triangles per edge), counted once per triangle at its
-  // lowest-(degree, id) vertex. ------------------------------------------
-  std::vector<VertexId> support(m, 0);
-  {
-    auto pos_greater = [&graph](VertexId a, VertexId b) {
-      const VertexId da = graph.Degree(a);
-      const VertexId db = graph.Degree(b);
-      return da != db ? da > db : a > b;
-    };
-    // mark[w] = 1 + edge id of (v, w) while scanning from v.
-    std::vector<EdgeId> mark(n, 0);
-    for (VertexId v = 0; v < n; ++v) {
-      const EdgeId begin = graph.Offsets()[v];
-      const auto nbrs = graph.Neighbors(v);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (pos_greater(nbrs[i], v)) mark[nbrs[i]] = slot_edge[begin + i] + 1;
-      }
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const VertexId u = nbrs[i];
-        if (!pos_greater(u, v)) continue;
-        const EdgeId vu = slot_edge[begin + i];
-        const EdgeId u_begin = graph.Offsets()[u];
-        const auto u_nbrs = graph.Neighbors(u);
-        for (std::size_t j = 0; j < u_nbrs.size(); ++j) {
-          const VertexId w = u_nbrs[j];
-          if (!pos_greater(w, u)) continue;
-          if (mark[w] != 0) {
-            ++support[vu];
-            ++support[slot_edge[u_begin + j]];
-            ++support[mark[w] - 1];
-          }
-        }
-      }
-      for (const VertexId w : nbrs) mark[w] = 0;
-    }
-  }
+  // Slot-to-edge mapping and per-edge supports via the shared helpers
+  // (the frontier-parallel peel reuses both).
+  const std::vector<EdgeId> slot_edge = MapSlotsToEdges(graph);
+  std::vector<VertexId> support = ComputeEdgeSupports(graph, slot_edge);
 
   // --- Peel edges in non-decreasing support order (bin positions, the
   // Batagelj–Zaversnik technique lifted to edges). ------------------------
@@ -150,11 +145,11 @@ TrussDecomposition ComputeTrussDecomposition(const Graph& graph) {
     if (graph.Degree(x) > graph.Degree(y)) std::swap(x, y);
     for (const VertexId w : graph.Neighbors(x)) {
       if (w == y) continue;
-      const EdgeId xw_slot = SlotOf(graph, x, w);
+      const EdgeId xw_slot = EdgeSlotOf(graph, x, w);
       const EdgeId xw = slot_edge[xw_slot];
       if (!alive[xw]) continue;
-      const EdgeId yw_slot = SlotOf(graph, y, w);
-      if (yw_slot == kInvalidSlot) continue;
+      const EdgeId yw_slot = EdgeSlotOf(graph, y, w);
+      if (yw_slot == kInvalidEdgeSlot) continue;
       const EdgeId yw = slot_edge[yw_slot];
       if (!alive[yw]) continue;
       // Triangle (x, y, w) loses edge e: both surviving edges lose one

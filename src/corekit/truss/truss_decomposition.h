@@ -41,6 +41,27 @@ struct TrussDecomposition {
 // Peeling-based truss decomposition.  O(m^1.5) time.
 TrussDecomposition ComputeTrussDecomposition(const Graph& graph);
 
+// --- Shared edge-indexing helpers (also used by the frontier-parallel
+// truss peel in parallel/frontier_truss.h). ------------------------------
+
+// Sentinel for "no such CSR slot".
+inline constexpr EdgeId kInvalidEdgeSlot = static_cast<EdgeId>(-1);
+
+// Index of the CSR slot holding neighbor `v` in `u`'s (sorted) adjacency
+// list, or kInvalidEdgeSlot when the edge does not exist.
+EdgeId EdgeSlotOf(const Graph& graph, VertexId u, VertexId v);
+
+// Maps every directed CSR slot to its undirected edge id: forward slots
+// (u < v) get ids in ToEdgeList() order, reverse slots resolve to the
+// same id.  Size == graph.NeighborArray().size().
+std::vector<EdgeId> MapSlotsToEdges(const Graph& graph);
+
+// Support (triangle count) of every undirected edge, each triangle
+// counted once at its lowest-(degree, id) vertex.  `slot_edge` must be
+// MapSlotsToEdges(graph).  O(m^1.5) time.
+std::vector<VertexId> ComputeEdgeSupports(const Graph& graph,
+                                          const std::vector<EdgeId>& slot_edge);
+
 // Definition-driven oracle for tests: iteratively delete edges with
 // support < k - 2 until stable, for k = 3, 4, ...; survivors of round k
 // have truss >= k.  O(tmax * m * d).

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -313,12 +314,15 @@ TEST(ConcurrentCoreEngineTest, ParallelSubstratesUnderConcurrentCold) {
 // epoch (never a half-patched one): the decomposition a reader gets is
 // internally consistent, and once the writer has joined, the engine's
 // answers are bit-identical to a cold engine on the final snapshot.
-TEST(ConcurrentCoreEngineTest, QueriesRacingApplyBatchStayCoherent) {
+// Runs under two configurations: the default serial peel, and the
+// frontier-parallel peel (so the baseline decomposition ApplyBatch
+// patches on top of came from the parallel substrate).
+void RunQueriesRacingApplyBatch(const CoreEngineOptions& options) {
   for (int which = 0; which < 4; ++which) {
     SCOPED_TRACE(GraphTag(which));
     const Graph graph =
         MakeTestGraph(which, 500 + static_cast<std::uint64_t>(which));
-    CoreEngine engine(graph);
+    CoreEngine engine(graph, options);
     (void)engine.Cores();  // warm so the first batch patches, not builds
     const VertexId n = graph.NumVertices();
 
@@ -377,6 +381,53 @@ TEST(ConcurrentCoreEngineTest, QueriesRacingApplyBatchStayCoherent) {
       EXPECT_EQ(got_single.scores, ref_single.scores);
     }
     EXPECT_GT(engine.Epoch(), 0u);
+  }
+}
+
+TEST(ConcurrentCoreEngineTest, QueriesRacingApplyBatchStayCoherent) {
+  RunQueriesRacingApplyBatch(CoreEngineOptions{});
+}
+
+TEST(ConcurrentCoreEngineTest, QueriesRacingApplyBatchWithFrontierPeel) {
+  CoreEngineOptions options;
+  options.parallel_peel = true;
+  options.num_threads = 4;
+  RunQueriesRacingApplyBatch(options);
+}
+
+// A parallel-peel storm: every client forces a cold frontier-parallel
+// decomposition on its own engine (no exactly-once election to hide
+// behind — each engine's pool runs a full peel while seven others do the
+// same), then all results are cross-checked against the serial oracle.
+// The shared-engine variant on top exercises the election path with the
+// frontier substrate under TSan.
+TEST(ConcurrentCoreEngineTest, FrontierPeelColdStormMatchesSerialOracle) {
+  for (int which = 0; which < 4; ++which) {
+    SCOPED_TRACE(GraphTag(which));
+    const Graph graph =
+        MakeTestGraph(which, 2100 + static_cast<std::uint64_t>(which));
+    const CoreDecomposition oracle = ComputeCoreDecomposition(graph);
+
+    CoreEngineOptions options;
+    options.parallel_peel = true;
+    options.num_threads = 4;
+
+    std::vector<std::unique_ptr<CoreEngine>> engines;
+    engines.reserve(kClientThreads);
+    for (std::uint32_t t = 0; t < kClientThreads; ++t) {
+      engines.push_back(std::make_unique<CoreEngine>(graph, options));
+    }
+    RunClients([&engines, &oracle](std::uint32_t t) {
+      const CoreDecomposition& cores = engines[t]->Cores();
+      EXPECT_EQ(cores.coreness, oracle.coreness);
+      EXPECT_EQ(cores.kmax, oracle.kmax);
+    });
+
+    CoreEngine shared(graph, options);
+    RunClients([&shared, &oracle](std::uint32_t) {
+      EXPECT_EQ(shared.Cores().coreness, oracle.coreness);
+    });
+    ExpectExactlyOnceBuilds(shared);
   }
 }
 

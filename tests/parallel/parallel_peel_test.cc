@@ -1,0 +1,250 @@
+// Differential suite for the frontier-based parallel peel
+// (parallel/frontier_peel.h, frontier_truss.h): bitwise equality against
+// the serial oracles over the generator zoo and a set of adversarial
+// shapes, across thread counts and frontier chunk sizes.
+
+#include "corekit/parallel/frontier_peel.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/analysis/invariant_audit.h"
+#include "corekit/core/onion_layers.h"
+#include "corekit/engine/core_engine.h"
+#include "corekit/gen/lfr_like.h"
+#include "corekit/parallel/frontier_truss.h"
+#include "corekit/truss/truss_decomposition.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 3, 8};
+constexpr std::size_t kChunkSizes[] = {1, 7, 2048};
+
+// Adversarial shapes the generator zoo does not cover: extreme degree
+// skew (star), maximal round counts (path), kmax plateaus (clique
+// chain), degenerate sizes, and the near-uniform-coreness regime of the
+// AP/D-style datasets (ring lattices: every vertex peels in one giant
+// frontier).
+std::vector<corekit::testing::NamedGraph> AdversarialZoo() {
+  std::vector<corekit::testing::NamedGraph> zoo;
+  zoo.push_back({"empty_graph", Graph()});
+  zoo.push_back({"single_vertex", GraphBuilder::FromEdges(1, {})});
+  {
+    GraphBuilder star(64);
+    for (VertexId leaf = 1; leaf < 64; ++leaf) star.AddEdge(0, leaf);
+    zoo.push_back({"star", star.Build()});
+  }
+  {
+    GraphBuilder path(100);
+    for (VertexId v = 0; v + 1 < 100; ++v) path.AddEdge(v, v + 1);
+    zoo.push_back({"path", path.Build()});
+  }
+  {
+    // Cliques of growing size, bridged in a chain: K4 - K5 - ... - K8.
+    GraphBuilder builder(4 + 5 + 6 + 7 + 8);
+    VertexId base = 0;
+    VertexId previous_last = 0;
+    for (const VertexId size : {4u, 5u, 6u, 7u, 8u}) {
+      for (VertexId i = 0; i < size; ++i) {
+        for (VertexId j = i + 1; j < size; ++j) {
+          builder.AddEdge(base + i, base + j);
+        }
+      }
+      if (base > 0) builder.AddEdge(previous_last, base);
+      previous_last = base + size - 1;
+      base += size;
+    }
+    zoo.push_back({"clique_chain", builder.Build()});
+  }
+  // Near-uniform coreness (the AP dataset regime): a ring lattice peels
+  // as one frontier per level with almost every vertex in the last one.
+  zoo.push_back({"ring_lattice", GenerateWattsStrogatz(128, 6, 0.0, 21)});
+  {
+    LfrLikeParams lfr;
+    lfr.num_vertices = 200;
+    lfr.min_degree = 3;
+    lfr.max_degree = 20;
+    lfr.min_community = 20;
+    lfr.max_community = 60;
+    lfr.seed = 22;
+    zoo.push_back({"lfr", GenerateLfrLike(lfr).graph});
+  }
+  return zoo;
+}
+
+std::vector<corekit::testing::NamedGraph> FullZoo() {
+  std::vector<corekit::testing::NamedGraph> zoo =
+      corekit::testing::SmallGraphZoo();
+  std::vector<corekit::testing::NamedGraph> extra = AdversarialZoo();
+  zoo.insert(zoo.end(), std::make_move_iterator(extra.begin()),
+             std::make_move_iterator(extra.end()));
+  return zoo;
+}
+
+class FrontierPeelZooTest
+    : public ::testing::TestWithParam<corekit::testing::NamedGraph> {};
+
+TEST_P(FrontierPeelZooTest, CorenessBitwiseEqualAcrossThreadsAndChunks) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition sequential = ComputeCoreDecomposition(graph);
+  for (const std::uint32_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    for (const std::size_t chunk : kChunkSizes) {
+      const CoreDecomposition frontier =
+          ComputeCoreDecompositionFrontier(graph, pool, {.chunk = chunk});
+      EXPECT_EQ(frontier.coreness, sequential.coreness)
+          << GetParam().name << " threads=" << threads << " chunk=" << chunk;
+      EXPECT_EQ(frontier.kmax, sequential.kmax)
+          << GetParam().name << " threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST_P(FrontierPeelZooTest, EntireResultDeterministicAcrossSchedules) {
+  const Graph& graph = GetParam().graph;
+  // One-thread run = the reference; every other {threads, chunk}
+  // configuration must reproduce it bit for bit — peel_order and round
+  // indices included, not just coreness.
+  ThreadPool serial_pool(1);
+  const FrontierPeelResult reference = ComputeFrontierPeel(graph, serial_pool);
+  for (const std::uint32_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    for (const std::size_t chunk : kChunkSizes) {
+      const FrontierPeelResult run =
+          ComputeFrontierPeel(graph, pool, {.chunk = chunk});
+      EXPECT_EQ(run.cores.coreness, reference.cores.coreness);
+      EXPECT_EQ(run.cores.peel_order, reference.cores.peel_order)
+          << GetParam().name << " threads=" << threads << " chunk=" << chunk;
+      EXPECT_EQ(run.layer, reference.layer);
+      EXPECT_EQ(run.num_rounds, reference.num_rounds);
+    }
+  }
+}
+
+TEST_P(FrontierPeelZooTest, OutputPassesFirstPrinciplesAudit) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition frontier =
+      ComputeCoreDecompositionFrontier(graph, 4);
+  const AuditResult audit = AuditCoreDecomposition(graph, frontier);
+  EXPECT_TRUE(audit.ok()) << GetParam().name << ": " << audit.Summary();
+}
+
+TEST_P(FrontierPeelZooTest, RoundIndicesAreTheOnionLayers) {
+  const Graph& graph = GetParam().graph;
+  ThreadPool pool(3);
+  const FrontierPeelResult run = ComputeFrontierPeel(graph, pool);
+  const OnionDecomposition onion = ComputeOnionDecomposition(graph);
+  EXPECT_EQ(run.layer, onion.layer) << GetParam().name;
+  EXPECT_EQ(run.num_rounds, onion.num_layers);
+  EXPECT_EQ(run.cores.coreness, onion.coreness);
+}
+
+TEST_P(FrontierPeelZooTest, PeelOrderGroupedByLevelAndSortedWithinRounds) {
+  const Graph& graph = GetParam().graph;
+  ThreadPool pool(8);
+  const FrontierPeelResult run = ComputeFrontierPeel(graph, pool);
+  const VertexId n = graph.NumVertices();
+  ASSERT_EQ(run.cores.peel_order.size(), n);
+  std::vector<VertexId> sorted = run.cores.peel_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < n; ++v) ASSERT_EQ(sorted[v], v);
+  for (std::size_t i = 1; i < run.cores.peel_order.size(); ++i) {
+    const VertexId prev = run.cores.peel_order[i - 1];
+    const VertexId cur = run.cores.peel_order[i];
+    // Levels never decrease along the order; rounds partition it into
+    // consecutive segments, ascending by id inside each segment.
+    EXPECT_LE(run.cores.coreness[prev], run.cores.coreness[cur]);
+    EXPECT_LE(run.layer[prev], run.layer[cur]);
+    if (run.layer[prev] == run.layer[cur]) {
+      EXPECT_LT(prev, cur);
+    }
+  }
+}
+
+TEST_P(FrontierPeelZooTest, TrussBitwiseEqualAcrossThreads) {
+  const Graph& graph = GetParam().graph;
+  const TrussDecomposition sequential = ComputeTrussDecomposition(graph);
+  for (const std::uint32_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const TrussDecomposition frontier =
+        ComputeTrussDecompositionFrontier(graph, pool, {.chunk = 7});
+    EXPECT_EQ(frontier.edges, sequential.edges);
+    EXPECT_EQ(frontier.truss, sequential.truss)
+        << GetParam().name << " threads=" << threads;
+    EXPECT_EQ(frontier.tmax, sequential.tmax) << GetParam().name;
+  }
+}
+
+TEST_P(FrontierPeelZooTest, ParallelSupportsMatchSerialCounting) {
+  const Graph& graph = GetParam().graph;
+  const std::vector<EdgeId> slot_edge = MapSlotsToEdges(graph);
+  const std::vector<VertexId> serial = ComputeEdgeSupports(graph, slot_edge);
+  ThreadPool pool(3);
+  EXPECT_EQ(ComputeEdgeSupportsParallel(graph, slot_edge, pool, {.chunk = 5}),
+            serial)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, FrontierPeelZooTest, ::testing::ValuesIn(FullZoo()),
+    [](const ::testing::TestParamInfo<corekit::testing::NamedGraph>&
+           param_info) { return param_info.param.name; });
+
+TEST(FrontierPeelTest, LargeSkewedGraphStressRun) {
+  RmatParams params;
+  params.scale = 13;
+  params.num_edges = 60000;
+  params.seed = 5;
+  const Graph g = GenerateRmat(params);
+  const CoreDecomposition sequential = ComputeCoreDecomposition(g);
+  ThreadPool pool(8);
+  const CoreDecomposition frontier = ComputeCoreDecompositionFrontier(g, pool);
+  EXPECT_EQ(frontier.coreness, sequential.coreness);
+  EXPECT_EQ(frontier.kmax, sequential.kmax);
+}
+
+TEST(FrontierPeelTest, TrussMatchesNaiveOracle) {
+  const Graph g = GenerateErdosRenyi(40, 200, 31);
+  const TrussDecomposition frontier = ComputeTrussDecompositionFrontier(g, 4);
+  EXPECT_EQ(frontier.truss, NaiveTrussNumbers(g));
+}
+
+// The tentpole's composition requirement: an engine whose baseline
+// decomposition came from the frontier peel must still agree with a cold
+// serial engine after ApplyBatch churn (the DecompositionFromCoreness
+// guided peel runs on top of frontier-produced coreness).
+TEST(FrontierPeelTest, ComposesWithApplyBatchMutablePath) {
+  const Graph graph = GenerateBarabasiAlbert(300, 4, 33);
+  CoreEngineOptions options;
+  options.parallel_peel = true;
+  options.num_threads = 4;
+  CoreEngine engine{Graph(graph), options};
+  // Warm decomposition via the frontier peel.
+  (void)engine.Cores();
+
+  EdgeList edges = graph.ToEdgeList();
+  const EdgeList deletes(edges.begin(), edges.begin() + 40);
+  EdgeList inserts;
+  for (VertexId v = 0; v + 7 < 300; v += 7) {
+    inserts.push_back({v, v + 7});
+  }
+  const CoreEngine::BatchResult batch = engine.ApplyBatch(inserts, deletes);
+  EXPECT_EQ(batch.deleted, 40u);
+  EXPECT_GT(batch.inserted, 0u);
+
+  CoreEngine cold{Graph(engine.graph())};
+  EXPECT_EQ(engine.Cores().coreness, cold.Cores().coreness);
+  EXPECT_EQ(engine.Cores().kmax, cold.Cores().kmax);
+  const AuditResult audit =
+      AuditCoreDecomposition(engine.graph(), engine.Cores());
+  EXPECT_TRUE(audit.ok()) << audit.Summary();
+}
+
+}  // namespace
+}  // namespace corekit

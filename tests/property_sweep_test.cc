@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "corekit/analysis/invariant_audit.h"
 #include "corekit/corekit.h"
 
 namespace corekit {
@@ -198,6 +199,37 @@ TEST_P(PipelineSweepTest, ParallelPeelMatchesSequentialAndOrderIsDegenerate) {
   for (VertexId v = 0; v < n; ++v) {
     EXPECT_LE(later_neighbors[v], parallel.coreness[v]) << "v=" << v;
   }
+}
+
+TEST_P(PipelineSweepTest, FrontierPeelCrossChecksAllByproducts) {
+  ThreadPool pool(4);
+  const FrontierPeelResult frontier = ComputeFrontierPeel(graph_, pool);
+
+  // Coreness/kmax bitwise-equal to the sequential fixture, and the
+  // emitted order replays under the first-principles audit.
+  EXPECT_EQ(frontier.cores.coreness, cores_.coreness);
+  EXPECT_EQ(frontier.cores.kmax, cores_.kmax);
+  const AuditResult audit = AuditCoreDecomposition(graph_, frontier.cores);
+  EXPECT_TRUE(audit.ok()) << audit.Summary();
+
+  // The per-vertex round indices are exactly the onion layers: a round
+  // peels "everything alive at or below the level", which is the onion
+  // wave definition.
+  const OnionDecomposition onion = ComputeOnionDecomposition(graph_);
+  EXPECT_EQ(frontier.layer, onion.layer);
+  EXPECT_EQ(frontier.num_rounds, onion.num_layers);
+
+  // Truss supports: the parallel intersection counts agree with the
+  // serial mark-array counting, and the frontier truss peel built on
+  // them reproduces the serial truss numbers bit for bit.
+  const std::vector<EdgeId> slot_edge = MapSlotsToEdges(graph_);
+  EXPECT_EQ(ComputeEdgeSupportsParallel(graph_, slot_edge, pool),
+            ComputeEdgeSupports(graph_, slot_edge));
+  const TrussDecomposition serial_truss = ComputeTrussDecomposition(graph_);
+  const TrussDecomposition frontier_truss =
+      ComputeTrussDecompositionFrontier(graph_, pool);
+  EXPECT_EQ(frontier_truss.truss, serial_truss.truss);
+  EXPECT_EQ(frontier_truss.tmax, serial_truss.tmax);
 }
 
 TEST_P(PipelineSweepTest, TrussContainedInCore) {

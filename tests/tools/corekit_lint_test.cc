@@ -312,6 +312,23 @@ TEST(LayeringTest, EngineMayIncludeDynamicButNotViceVersa) {
       1);
 }
 
+TEST(LayeringTest, ParallelMayIncludeTrussButNotViceVersa) {
+  // The frontier truss peel: parallel depends on truss for the shared
+  // edge-slot/support helpers...
+  EXPECT_EQ(
+      CountRule(
+          LintContent("src/corekit/parallel/frontier_truss.cc",
+                      "#include \"corekit/truss/truss_decomposition.h\"\n"),
+          "layering"),
+      0);
+  // ...but the serial truss module must stay pool-free.
+  EXPECT_EQ(
+      CountRule(LintContent("src/corekit/truss/truss_decomposition.cc",
+                            "#include \"corekit/parallel/frontier_peel.h\"\n"),
+                "layering"),
+      1);
+}
+
 TEST(LayeringTest, GraphMustNotIncludeCore) {
   EXPECT_EQ(
       CountRule(LintContent("src/corekit/graph/graph_stats.cc",

@@ -374,7 +374,10 @@ void CheckLayering(const std::string& path, const std::string& content,
       {"gen", {"graph", "util"}},
       {"core", {"graph", "util"}},
       {"truss", {"core", "graph", "util"}},
-      {"parallel", {"core", "graph", "util"}},
+      // parallel -> truss is the frontier truss peel (support peeling
+      // shares the slot/edge mapping); truss must NOT include parallel
+      // (the serial peel stays the dependency-free oracle).
+      {"parallel", {"truss", "core", "graph", "util"}},
       {"analysis", {"truss", "core", "graph", "util"}},
       {"dynamic", {"core", "graph", "util"}},
       {"external", {"graph", "util"}},
