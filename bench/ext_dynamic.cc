@@ -11,9 +11,15 @@
 #include <algorithm>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "corekit/corekit.h"
+#include "corekit/engine/engine_registry.h"
 #include "corekit/engine/engine_server.h"
+#include "corekit/server/engine_service.h"
+#include "corekit/server/load_generator.h"
+#include "corekit/server/tcp_server.h"
+#include "corekit/server/wire_client.h"
 #include "datasets.h"
 #include "harness/harness.h"
 
@@ -250,9 +256,138 @@ void RunExtDynamicServe(BenchRunner& run) {
                "(fresh) substrate rather than a stale snapshot.\n";
 }
 
+// The same churn workload one network hop up: ApplyBatch frames over
+// the wire into an EngineRegistry holding several tenants, while reader
+// clients query the *other* tenants.  Pins the per-tenant StageStats
+// `patches` aggregation across the registry: patches accrue only on the
+// churned tenant (its epoch equals the batch count), never leak to its
+// neighbours, and every batch is acknowledged with the engine's epoch —
+// the serving-tier freshness contract.
+void RunExtDynamicServeWire(BenchRunner& run) {
+  const std::vector<BenchDataset> active = ActiveDatasets();
+  if (active.size() < 2) return;  // needs a churned tenant plus a reader's
+  constexpr std::uint32_t kBatches = 24;
+  constexpr std::uint32_t kEdgesPerBatch = 4;
+
+  std::cout << "== Extension: churn over the wire across registry tenants "
+               "==\n";
+  const CaseResult* result = run.Case(
+      {"ext_dynamic/serve_wire", {"ext"}},
+      [&](CaseRecorder& rec) {
+        // Tenant 0 takes the writes; the rest serve reads.
+        const std::size_t tenant_count = std::min<std::size_t>(
+            active.size(), 3);
+        std::vector<Graph> graphs;
+        EngineRegistry registry;  // unbounded: churn pins residency anyway
+        for (std::size_t i = 0; i < tenant_count; ++i) {
+          graphs.push_back(active[i].make());
+          COREKIT_CHECK(registry.AddGraph(active[i].short_name,
+                                          Graph(graphs.back())).ok());
+        }
+        server::EngineService service(registry);
+        server::TcpServer server(service, server::TcpServerOptions{});
+        COREKIT_CHECK(server.Start().ok());
+
+        // Perturb live edges (delete + restore) so every batch is
+        // effective: each bumps the epoch by exactly one.
+        EdgeList removable = graphs[0].ToEdgeList();
+        Rng rng(SeedFromString(active[0].short_name + "-wire-churn"));
+        rng.Shuffle(removable);
+
+        server::WireClient writer;
+        COREKIT_CHECK(writer.Connect("127.0.0.1", server.port()).ok());
+        Timer timer;
+        std::uint64_t inserted_total = 0;
+        std::uint64_t deleted_total = 0;
+        for (std::uint32_t batch = 0; batch < kBatches; ++batch) {
+          server::Request request;
+          request.opcode = server::Opcode::kApplyBatch;
+          request.request_id = batch + 1;
+          request.graph = active[0].short_name;
+          const std::size_t offset =
+              (batch / 2 * kEdgesPerBatch) % removable.size();
+          for (std::uint32_t i = 0; i < kEdgesPerBatch; ++i) {
+            const Edge edge = removable[(offset + i) % removable.size()];
+            if (batch % 2 == 0) {
+              request.deletes.push_back(edge);
+            } else {
+              request.inserts.push_back(edge);
+            }
+          }
+          const Result<server::Response> response = writer.Call(request);
+          COREKIT_CHECK(response.ok());
+          COREKIT_CHECK(response->status == server::WireError::kOk)
+              << WireErrorName(response->status);
+          COREKIT_CHECK(response->epoch == batch + 1);
+          inserted_total += response->inserted;
+          deleted_total += response->deleted;
+        }
+        const double churn_seconds = timer.ElapsedSeconds();
+
+        // Readers over the remaining tenants, after the churn: their
+        // stage tables must not have picked up a single patch.
+        server::LoadGenOptions options;
+        options.port = server.port();
+        for (std::size_t i = 1; i < tenant_count; ++i) {
+          options.graphs.push_back(active[i].short_name);
+          options.graph_sizes.push_back(graphs[i].NumVertices());
+        }
+        options.num_clients = 2;
+        options.queries_per_client = 16;
+        options.seed = SeedFromString("serve-wire-readers");
+        const server::LoadGenReport reads = server::RunWireLoad(options);
+        COREKIT_CHECK(reads.transport_failures == 0);
+
+        // The pin: patches aggregate on the churned tenant only.
+        bool patches_isolated = true;
+        std::uint64_t churned_patches = 0;
+        for (std::size_t i = 0; i < tenant_count; ++i) {
+          auto lease = registry.Acquire(active[i].short_name);
+          COREKIT_CHECK(lease.ok());
+          const std::uint64_t patches =
+              lease->engine().stats().TotalPatches();
+          if (i == 0) {
+            churned_patches = patches;
+            if (lease->engine().Epoch() != kBatches) {
+              patches_isolated = false;
+            }
+          } else if (patches != 0 || lease->engine().Epoch() != 0) {
+            patches_isolated = false;
+          }
+          rec.Counter("patches_" + active[i].short_name,
+                      static_cast<double>(patches));
+          lease->Release();
+        }
+        if (churned_patches < kBatches) patches_isolated = false;
+
+        rec.SetSeconds(churn_seconds);
+        rec.Counter("batches", static_cast<double>(kBatches));
+        rec.Counter("inserted", static_cast<double>(inserted_total));
+        rec.Counter("deleted", static_cast<double>(deleted_total));
+        rec.Counter("batch_seconds",
+                    churn_seconds / static_cast<double>(kBatches));
+        rec.Counter("reader_queries", static_cast<double>(reads.queries));
+        rec.Counter("reader_errors", static_cast<double>(reads.errors));
+        rec.Counter("patches_isolated", patches_isolated ? 1.0 : 0.0);
+        server.Shutdown();
+
+        std::cout << "  " << kBatches << " batches -> "
+                  << active[0].short_name << " ("
+                  << TablePrinter::FormatSeconds(
+                         churn_seconds / static_cast<double>(kBatches))
+                  << "/batch), " << reads.queries
+                  << " reads on untouched tenants, patches isolated: "
+                  << (patches_isolated ? "yes" : "NO") << "\n";
+      });
+  (void)result;
+  std::cout << "\n";
+}
+
 }  // namespace
 }  // namespace corekit::bench
 
 COREKIT_BENCH_UNIT(ext_dynamic, corekit::bench::RunExtDynamic);
 COREKIT_BENCH_UNIT(ext_dynamic_serve, corekit::bench::RunExtDynamicServe);
+COREKIT_BENCH_UNIT(ext_dynamic_serve_wire,
+                   corekit::bench::RunExtDynamicServeWire);
 COREKIT_BENCH_MAIN()

@@ -1,0 +1,232 @@
+// Extension bench: the serving tier end to end — TCP transport, worker
+// pool, EngineRegistry tenancy, single-flight coalescing — measured
+// with the deterministic load generator.
+//
+// Two views:
+//   * ext_serving/<dataset>: one tenant served hot over real sockets.
+//     Reports client-observed p50/p99/p999 latency and QPS (the ROADMAP
+//     serving numbers), plus the transport/service counters, plus the
+//     wire-vs-direct differential: the socket run's order-independent
+//     checksum must equal a serial no-socket replay through
+//     EngineService::Handle.
+//   * ext_serving/evict_mix: the two smallest stand-ins share a
+//     registry whose budget holds only one engine, so the mixed
+//     workload forces LRU eviction and re-admission mid-run.  The
+//     checksum must STILL match the serial replay — eviction is
+//     answer-invariant — and the admission/eviction counters land in
+//     the JSON so a regression in registry behaviour shows up as a
+//     counter diff, not just a latency blip.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corekit/corekit.h"
+#include "corekit/engine/engine_registry.h"
+#include "corekit/server/engine_service.h"
+#include "corekit/server/load_generator.h"
+#include "corekit/server/tcp_server.h"
+#include "datasets.h"
+#include "harness/harness.h"
+
+namespace corekit::bench {
+namespace {
+
+using server::EngineService;
+using server::LoadGenOptions;
+using server::LoadGenReport;
+using server::RunDirectLoad;
+using server::RunWireLoad;
+using server::TcpServer;
+using server::TcpServerOptions;
+
+// The per-case facts both views share: the latency distribution, the
+// throughput, the wire counters, and the differential verdict.
+void RecordServingFacts(CaseRecorder& rec, const LoadGenOptions& options,
+                        const LoadGenReport& wire,
+                        const LoadGenReport& direct,
+                        const EngineService& service,
+                        const TcpServer& server,
+                        const EngineRegistry& registry) {
+  const bool match =
+      wire.transport_failures == 0 && wire.checksum == direct.checksum;
+  rec.SetSeconds(wire.wall_seconds);
+  rec.Counter("clients", static_cast<double>(options.num_clients));
+  rec.Counter("queries", static_cast<double>(wire.queries));
+  rec.Counter("errors", static_cast<double>(wire.errors));
+  rec.Counter("qps", wire.qps);
+  rec.Counter("p50_seconds", wire.p50_seconds);
+  rec.Counter("p99_seconds", wire.p99_seconds);
+  rec.Counter("p999_seconds", wire.p999_seconds);
+  rec.Counter("max_latency_seconds", wire.max_seconds);
+  rec.Counter("wire_matches_direct", match ? 1.0 : 0.0);
+
+  const EngineService::Stats service_stats = service.stats();
+  rec.Counter("coalesced", static_cast<double>(service_stats.coalesced));
+  const TcpServer::Stats server_stats = server.stats();
+  rec.Counter("frames_decoded",
+              static_cast<double>(server_stats.frames_decoded));
+  rec.Counter("requests_completed",
+              static_cast<double>(server_stats.requests_completed));
+  const EngineRegistry::Stats registry_stats = registry.stats();
+  rec.Counter("admissions", static_cast<double>(registry_stats.admissions));
+  rec.Counter("evictions", static_cast<double>(registry_stats.evictions));
+  rec.Counter("registry_hits", static_cast<double>(registry_stats.hits));
+  rec.Counter("overcommits", static_cast<double>(registry_stats.overcommits));
+}
+
+std::string FormatPercentileMs(double seconds) {
+  return TablePrinter::FormatDouble(seconds * 1e3, 2) + "ms";
+}
+
+void RunExtServing(BenchRunner& run) {
+  std::cout << "== Extension: serving tier over real sockets ==\n";
+  TablePrinter table({"Dataset", "clients", "queries", "qps", "p50", "p99",
+                      "p999", "wire=direct"});
+  for (const BenchDataset& dataset : ActiveDatasets()) {
+    std::vector<std::string> printed;
+    const CaseResult* result = run.Case(
+        {"ext_serving/" + dataset.short_name,
+         SuitesPlusSmoke("ext", dataset.short_name)},
+        [&](CaseRecorder& rec) {
+          const Graph graph = dataset.make();
+          const std::uint32_t num_vertices = graph.NumVertices();
+
+          EngineRegistry registry;  // unbounded: one tenant stays hot
+          COREKIT_CHECK(
+              registry.AddGraph(dataset.short_name, Graph(graph)).ok());
+          EngineService service(registry);
+          TcpServer server(service, TcpServerOptions{});
+          COREKIT_CHECK(server.Start().ok());
+
+          LoadGenOptions options;
+          options.port = server.port();
+          options.graphs = {dataset.short_name};
+          options.graph_sizes = {num_vertices};
+          options.num_clients = 4;
+          options.queries_per_client = 64;
+          options.pipeline_depth = 2;
+          options.seed = SeedFromString(dataset.short_name + "-serve");
+          const LoadGenReport wire = RunWireLoad(options);
+
+          // Reference: the same mix, serially, no sockets, fresh
+          // tenant.  Bitwise-equal checksums or the transport changed
+          // an answer.
+          EngineRegistry reference;
+          COREKIT_CHECK(
+              reference.AddGraph(dataset.short_name, Graph(graph)).ok());
+          EngineService reference_service(reference);
+          const LoadGenReport direct =
+              RunDirectLoad(reference_service, options);
+
+          RecordServingFacts(rec, options, wire, direct, service, server,
+                             registry);
+          server.Shutdown();
+
+          printed = {dataset.short_name,
+                     std::to_string(options.num_clients),
+                     TablePrinter::FormatDouble(
+                         static_cast<double>(wire.queries), 0),
+                     TablePrinter::FormatDouble(wire.qps, 0),
+                     FormatPercentileMs(wire.p50_seconds),
+                     FormatPercentileMs(wire.p99_seconds),
+                     FormatPercentileMs(wire.p999_seconds),
+                     wire.checksum == direct.checksum ? "yes" : "NO"};
+        });
+    if (result == nullptr) continue;
+    table.AddRow(std::move(printed));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: p50 well under a millisecond for warm "
+               "tenants (the engine answers from versioned artifacts; the "
+               "wire adds a socket round-trip), p999 dominated by cold "
+               "builds and queue waits.\n\n";
+
+  // --- Eviction mix: two tenants, budget for one -------------------------
+  const std::vector<BenchDataset> active = ActiveDatasets();
+  std::vector<BenchDataset> tenants;
+  for (const BenchDataset& dataset : active) {
+    if (dataset.short_name == "AP" || dataset.short_name == "G") {
+      tenants.push_back(dataset);
+    }
+  }
+  if (tenants.size() < 2 && active.size() >= 2) {
+    tenants.assign(active.begin(), active.begin() + 2);
+  }
+  if (tenants.size() < 2) return;  // dataset filter left us one tenant
+
+  const CaseResult* mix_result = run.Case(
+      {"ext_serving/evict_mix", {"ext", "smoke"}},
+      [&](CaseRecorder& rec) {
+        const Graph first = tenants[0].make();
+        const Graph second = tenants[1].make();
+        // Budget for exactly one engine (the larger of the two): every
+        // cross-tenant switch in the mix is an eviction + cold
+        // re-admission.
+        EngineRegistryOptions registry_options;
+        registry_options.memory_budget_bytes =
+            std::max(EstimateEngineFootprintBytes(first),
+                     EstimateEngineFootprintBytes(second));
+        EngineRegistry registry(registry_options);
+        COREKIT_CHECK(
+            registry.AddGraph(tenants[0].short_name, Graph(first)).ok());
+        COREKIT_CHECK(
+            registry.AddGraph(tenants[1].short_name, Graph(second)).ok());
+        EngineService service(registry);
+        TcpServer server(service, TcpServerOptions{});
+        COREKIT_CHECK(server.Start().ok());
+
+        LoadGenOptions options;
+        options.port = server.port();
+        options.graphs = {tenants[0].short_name, tenants[1].short_name};
+        options.graph_sizes = {first.NumVertices(), second.NumVertices()};
+        // One serial client: with concurrent clients both tenants are
+        // usually leased at admission time and the registry overcommits
+        // instead of evicting.  Serially, every tenant switch in the
+        // mix is a genuine evict + cold re-admit — the thrash this case
+        // is here to price.
+        options.num_clients = 1;
+        options.queries_per_client = 64;
+        options.seed = SeedFromString("serve-evict-mix");
+        const LoadGenReport wire = RunWireLoad(options);
+
+        // The reference replay runs unbounded: if eviction ever changed
+        // an answer, the checksums split here.
+        EngineRegistry reference;
+        COREKIT_CHECK(
+            reference.AddGraph(tenants[0].short_name, Graph(first)).ok());
+        COREKIT_CHECK(
+            reference.AddGraph(tenants[1].short_name, Graph(second)).ok());
+        EngineService reference_service(reference);
+        const LoadGenReport direct =
+            RunDirectLoad(reference_service, options);
+
+        RecordServingFacts(rec, options, wire, direct, service, server,
+                           registry);
+        server.Shutdown();
+      });
+  if (mix_result != nullptr) {
+    const auto counter = [&](const char* key) {
+      for (const auto& [name, value] : mix_result->counters) {
+        if (name == key) return value;
+      }
+      return 0.0;
+    };
+    std::cout << "Eviction mix (" << tenants[0].short_name << " + "
+              << tenants[1].short_name << ", budget for one): "
+              << TablePrinter::FormatDouble(counter("admissions"), 0)
+              << " admissions, "
+              << TablePrinter::FormatDouble(counter("evictions"), 0)
+              << " evictions, wire=direct "
+              << (counter("wire_matches_direct") == 1.0 ? "yes" : "NO")
+              << ".\n";
+  }
+}
+
+}  // namespace
+}  // namespace corekit::bench
+
+COREKIT_BENCH_UNIT(ext_serving, corekit::bench::RunExtServing);
+COREKIT_BENCH_MAIN()

@@ -1,0 +1,179 @@
+#include "corekit/engine/engine_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace corekit {
+
+std::uint64_t EstimateEngineFootprintBytes(const Graph& graph) {
+  const auto n = static_cast<std::uint64_t>(graph.NumVertices());
+  const auto m = static_cast<std::uint64_t>(graph.NumEdges());
+  // Per vertex: coreness + peel order + rank + component label + forest
+  // node (~5 x 4B) plus the ordering's permuted offsets (8B) and slack
+  // for profiles/forest metadata.  Per edge: the ordering's permuted
+  // adjacency (2 x 4B directed slots) plus triangle-kernel scratch.
+  // The constant covers engine bookkeeping on tiny graphs.  Deliberately
+  // simple and stable: tests budget against this exact expression.
+  return 64 * n + 16 * m + 4096;
+}
+
+EngineRegistry::EngineRegistry(EngineRegistryOptions options)
+    : options_(std::move(options)) {}
+
+EngineRegistry::~EngineRegistry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    COREKIT_CHECK(entry->active_leases == 0)
+        << "EngineRegistry destroyed with live leases on '" << name << "'";
+  }
+}
+
+// --- Lease -----------------------------------------------------------------
+
+EngineRegistry::Lease::Lease(Lease&& other) noexcept
+    : registry_(other.registry_), name_(std::move(other.name_)),
+      engine_(std::move(other.engine_)) {
+  other.registry_ = nullptr;
+  other.engine_.reset();
+}
+
+EngineRegistry::Lease& EngineRegistry::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    name_ = std::move(other.name_);
+    engine_ = std::move(other.engine_);
+    other.registry_ = nullptr;
+    other.engine_.reset();
+  }
+  return *this;
+}
+
+EngineRegistry::Lease::~Lease() { Release(); }
+
+void EngineRegistry::Lease::Release() {
+  if (registry_ != nullptr && engine_ != nullptr) {
+    // Drop the ref count first, then the shared_ptr: once the registry
+    // no longer counts us, the engine may already be evicted, and the
+    // shared_ptr is what keeps the object alive until this line.
+    registry_->ReleaseLease(name_);
+  }
+  engine_.reset();
+  registry_ = nullptr;
+}
+
+// --- Registry --------------------------------------------------------------
+
+Status EngineRegistry::AddGraph(const std::string& name, Graph graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(name) != 0) {
+    return Status::InvalidArgument("graph '" + name + "' already registered");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->graph = std::move(graph);
+  entries_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+void EngineRegistry::EvictForAdmission(std::uint64_t incoming) {
+  if (options_.memory_budget_bytes == 0) return;  // unbounded
+  while (counters_.resident_bytes + incoming > options_.memory_budget_bytes) {
+    Entry* victim = nullptr;
+    for (const auto& [name, entry] : entries_) {
+      if (entry->engine == nullptr) continue;       // already cold
+      if (entry->active_leases != 0) continue;      // in-flight queries
+      if (entry->engine->Epoch() != 0) continue;    // churned: pinned
+      if (victim == nullptr || entry->last_used < victim->last_used) {
+        victim = entry.get();
+      }
+    }
+    if (victim == nullptr) break;  // nothing evictable: overcommit
+    // Dropping the registry's shared_ptr is the whole eviction; with
+    // zero active leases this is the last reference, so the engine (and
+    // every cached artifact version inside it) is destroyed here, under
+    // the registry mutex — no new lease can race in.
+    victim->engine.reset();
+    counters_.resident_bytes -= victim->footprint;
+    victim->footprint = 0;
+    --counters_.resident_engines;
+    ++counters_.evictions;
+  }
+}
+
+Result<EngineRegistry::Lease> EngineRegistry::Acquire(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no graph named '" + name + "'");
+  }
+  Entry& entry = *it->second;
+  entry.last_used = ++tick_;
+  if (entry.engine == nullptr) {
+    const std::uint64_t footprint = EstimateEngineFootprintBytes(entry.graph);
+    EvictForAdmission(footprint);
+    if (options_.memory_budget_bytes != 0 &&
+        counters_.resident_bytes + footprint > options_.memory_budget_bytes) {
+      ++counters_.overcommits;
+    }
+    // Engine construction is cheap (artifacts build lazily on first
+    // query), so holding the registry mutex here keeps admission
+    // exactly-once without a per-entry builder election.
+    entry.engine = std::make_shared<CoreEngine>(entry.graph,
+                                                options_.engine_options);
+    entry.footprint = footprint;
+    counters_.resident_bytes += footprint;
+    ++counters_.resident_engines;
+    ++counters_.admissions;
+    ++entry.admissions;
+  } else {
+    ++counters_.hits;
+  }
+  ++entry.active_leases;
+  return Lease(this, name, entry.engine);
+}
+
+void EngineRegistry::ReleaseLease(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  COREKIT_CHECK(it != entries_.end())
+      << "lease release for unknown graph '" << name << "'";
+  Entry& entry = *it->second;
+  COREKIT_CHECK(entry.active_leases > 0)
+      << "lease release underflow on '" << name << "'";
+  --entry.active_leases;
+}
+
+std::vector<std::string> EngineRegistry::GraphNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+EngineRegistry::Stats EngineRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = counters_;
+  snapshot.graphs = static_cast<std::uint32_t>(entries_.size());
+  return snapshot;
+}
+
+std::uint64_t EngineRegistry::Admissions(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second->admissions;
+}
+
+bool EngineRegistry::IsResident(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second->engine != nullptr;
+}
+
+}  // namespace corekit

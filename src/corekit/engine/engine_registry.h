@@ -1,0 +1,184 @@
+// EngineRegistry: many graphs, one memory budget, warm CoreEngines.
+//
+// A production best-k service holds more graphs than fit in memory as
+// fully-warmed engines: the paper's index is O(m) per graph, but the
+// engine's cached artifacts (ordering, forest, per-metric profiles)
+// multiply that, and tenants come and go.  The registry is the tenancy
+// layer: every registered graph keeps its cold representation (the CSR
+// Graph) resident, while the *engine caches* built over it are admitted
+// and evicted under an LRU policy bounded by a byte budget — the same
+// posture as a buffer pool over on-disk pages, or diagon's searcher
+// cache over index segments.
+//
+// Concurrency contract (verified under TSan by
+// tests/engine/engine_registry_test.cc):
+//
+//   * Acquire() returns a Lease — a ref-counted handle pinning the
+//     engine.  Eviction never selects an entry with outstanding leases,
+//     and the lease additionally holds the engine's shared_ptr, so a
+//     query can never observe a destructed engine even if the registry
+//     is torn down around it.  This is the per-graph ref-counting the
+//     versioned-slot discipline of PRs 3/6 needs one level up: slots
+//     keep old artifact versions alive inside an engine; leases keep
+//     whole engines alive across evictions.
+//   * Admission is exactly-once per cold Acquire storm: the registry
+//     mutex serializes admission, so N racers on an evicted graph elect
+//     one admitter and share the one engine — and the engine's own
+//     exactly-once build accounting (PR 3) then holds per admission
+//     epoch, which the tests assert arithmetically.
+//   * Engines that have absorbed ApplyBatch churn (Epoch() > 0) are
+//     pinned: their state is not reconstructible from the cold graph,
+//     so evicting them would silently roll back acknowledged writes.
+//     They count against the budget but are never selected.
+//   * The budget is a target, not a hard cap: when every resident
+//     engine is leased or pinned, admission proceeds over budget (and
+//     the overcommit counter ticks) rather than failing queries.
+//
+// Footprints are *estimates* (EstimateEngineFootprintBytes): the
+// registry charges a deterministic function of (n, m) at admission so
+// tests and capacity planning can compute exactly which budget forces
+// which eviction.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "corekit/engine/core_engine.h"
+#include "corekit/graph/graph.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+// Deterministic estimate of the bytes a fully-warmed CoreEngine holds
+// over `graph` — CSR copy, coreness/order/forest/components arrays, and
+// per-metric profiles.  Intentionally a pure function of (n, m): tests
+// and the bench pick budgets by summing it.
+std::uint64_t EstimateEngineFootprintBytes(const Graph& graph);
+
+struct EngineRegistryOptions {
+  // Target resident bytes across all admitted engines; 0 = unbounded
+  // (nothing is ever evicted).
+  std::uint64_t memory_budget_bytes = 0;
+  // Options for every engine the registry constructs.
+  CoreEngineOptions engine_options;
+};
+
+class EngineRegistry {
+ public:
+  explicit EngineRegistry(EngineRegistryOptions options = {});
+  // Leases returned by Acquire() point into the registry; it is pinned.
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+  // Destruction requires every lease to have been released (CHECKed):
+  // a live lease outliving the registry would reference a destroyed
+  // entry.
+  ~EngineRegistry();
+
+  // A ref-counted pin on one graph's engine.  Movable, not copyable;
+  // releases its reference on destruction.  The engine reference stays
+  // valid for the lease's lifetime even if the entry is evicted behind
+  // it (the shared_ptr keeps the engine alive until the last lease
+  // drops).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    bool valid() const { return engine_ != nullptr; }
+    CoreEngine& engine() const { return *engine_; }
+    const std::string& graph_name() const { return name_; }
+
+    // Drops the reference early (idempotent).
+    void Release();
+
+   private:
+    friend class EngineRegistry;
+    Lease(EngineRegistry* registry, std::string name,
+          std::shared_ptr<CoreEngine> engine)
+        : registry_(registry), name_(std::move(name)),
+          engine_(std::move(engine)) {}
+
+    EngineRegistry* registry_ = nullptr;
+    std::string name_;
+    std::shared_ptr<CoreEngine> engine_;
+  };
+
+  // Registers a graph under `name`; the graph itself stays resident for
+  // the registry's lifetime (it is the cold storage engines rebuild
+  // from).  InvalidArgument on duplicate names or empty names.  The
+  // engine is NOT built here — the first Acquire admits it.
+  Status AddGraph(const std::string& name, Graph graph);
+
+  // Pins `name`'s engine and returns the lease.  Warm path: bump LRU,
+  // count a hit.  Cold path: evict LRU idle engines until the budget
+  // fits (or nothing is evictable), construct a fresh engine over the
+  // resident graph, count an admission.  NotFound for unknown names.
+  Result<Lease> Acquire(const std::string& name);
+
+  // Registered names, sorted (stable across evictions — eviction drops
+  // engine caches, never graphs).
+  std::vector<std::string> GraphNames() const;
+
+  // Point-in-time counters.  resident_bytes is the sum of the charged
+  // footprint estimates, not an RSS measurement.
+  struct Stats {
+    std::uint64_t admissions = 0;   // cold engine constructions
+    std::uint64_t evictions = 0;    // engines dropped by LRU pressure
+    std::uint64_t hits = 0;         // warm Acquire calls
+    std::uint64_t overcommits = 0;  // admissions that ran over budget
+                                    // because nothing was evictable
+    std::uint64_t resident_bytes = 0;
+    std::uint32_t resident_engines = 0;
+    std::uint32_t graphs = 0;
+  };
+  Stats stats() const;
+
+  // Per-graph admission count (how many times `name` went cold-to-warm);
+  // 0 for unknown names.  The eviction tests key their exactly-once
+  // arithmetic on this.
+  std::uint64_t Admissions(const std::string& name) const;
+
+  // Whether `name` currently has a resident engine (test observability).
+  bool IsResident(const std::string& name) const;
+
+  const EngineRegistryOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Graph graph;  // node-stable: engines borrow it across admissions
+    std::shared_ptr<CoreEngine> engine;  // null while evicted
+    std::uint64_t footprint = 0;         // charged while resident
+    std::uint64_t admissions = 0;
+    std::uint64_t last_used = 0;  // LRU tick
+    std::uint32_t active_leases = 0;
+  };
+
+  // Called by Lease::Release / ~Lease.
+  void ReleaseLease(const std::string& name);
+
+  // Requires mutex_ held.  Evicts idle, unpinned engines in LRU order
+  // until `incoming` more bytes fit under the budget or nothing is
+  // evictable.
+  void EvictForAdmission(std::uint64_t incoming);
+
+  EngineRegistryOptions options_;
+
+  mutable std::mutex mutex_;
+  // unique_ptr values: Entry addresses are stable across map growth
+  // (engines borrow entry->graph; leases point back at entries by name).
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::uint64_t tick_ = 0;
+  Stats counters_;
+};
+
+}  // namespace corekit

@@ -1,0 +1,232 @@
+#include "corekit/server/engine_service.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "corekit/truss/truss_decomposition.h"
+
+namespace corekit::server {
+
+EngineService::EngineService(EngineRegistry& registry,
+                             EngineServiceOptions options)
+    : registry_(registry), options_(options) {}
+
+Response EngineService::SingleFlight(
+    const std::string& key, const std::function<Response()>& compute,
+    bool* coalesced) {
+  std::shared_ptr<FlightCell> cell;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    auto& slot = flights_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<FlightCell>();
+      leader = true;
+    }
+    cell = slot;
+  }
+  if (leader) {
+    Response response = compute();
+    {
+      std::lock_guard<std::mutex> cell_lock(cell->mutex);
+      cell->response = response;
+      cell->done = true;
+    }
+    cell->cv.notify_all();
+    {
+      // Remove the cell so the *next* identical query recomputes: this
+      // is coalescing of concurrent requests, not a response cache —
+      // under churn a cache would serve stale epochs indefinitely.
+      std::lock_guard<std::mutex> lock(flight_mutex_);
+      const auto it = flights_.find(key);
+      if (it != flights_.end() && it->second == cell) flights_.erase(it);
+    }
+    *coalesced = false;
+    return response;
+  }
+  std::unique_lock<std::mutex> cell_lock(cell->mutex);
+  cell->cv.wait(cell_lock, [&cell] { return cell->done; });
+  *coalesced = true;
+  return cell->response;
+}
+
+namespace {
+
+// The per-opcode computations, each against a leased engine.  Kept as
+// free helpers so Execute() reads as a dispatch table.
+
+Response AnswerGraphInfo(CoreEngine& engine, const Request& request) {
+  Response response;
+  response.opcode = request.opcode;
+  const Graph& graph = engine.graph();
+  response.num_vertices = graph.NumVertices();
+  response.num_edges = graph.NumEdges();
+  response.epoch = engine.Epoch();
+  return response;
+}
+
+Response AnswerCoreness(CoreEngine& engine, const Request& request) {
+  Response response;
+  response.opcode = request.opcode;
+  const CoreDecomposition& cores = engine.Cores();
+  if (request.vertex >= cores.coreness.size()) {
+    return MakeErrorResponse(request.opcode, request.request_id,
+                             WireError::kBadRequest,
+                             "vertex out of range");
+  }
+  response.coreness = cores.coreness[request.vertex];
+  response.kmax = cores.kmax;
+  return response;
+}
+
+Response AnswerBestCoreSet(CoreEngine& engine, const Request& request) {
+  Response response;
+  response.opcode = request.opcode;
+  const CoreSetProfile& profile = engine.BestCoreSet(request.metric);
+  response.best_k = profile.best_k;
+  response.best_score = profile.best_score;
+  response.num_scores = profile.scores.size();
+  return response;
+}
+
+Response AnswerBestSingleCore(CoreEngine& engine, const Request& request) {
+  Response response;
+  response.opcode = request.opcode;
+  const SingleCoreProfile& profile = engine.BestSingleCore(request.metric);
+  response.best_k = profile.best_k;
+  response.best_node = profile.best_node;
+  response.best_score = profile.best_score;
+  response.num_scores = profile.scores.size();
+  return response;
+}
+
+Response AnswerTrussMax(CoreEngine& engine, const Request& request) {
+  Response response;
+  response.opcode = request.opcode;
+  // Deliberately uncached in the engine (truss profiles are not part of
+  // the best-k substrate); the single-flight layer above keeps an
+  // identical-query storm from running N peels.
+  const TrussDecomposition truss =
+      ComputeTrussDecomposition(engine.graph());
+  response.tmax = truss.tmax;
+  response.num_edges = truss.edges.size();
+  return response;
+}
+
+Response AnswerApplyBatch(CoreEngine& engine, const Request& request) {
+  Response response;
+  response.opcode = request.opcode;
+  const CoreEngine::BatchResult result =
+      engine.ApplyBatch(request.inserts, request.deletes);
+  response.epoch = result.epoch;
+  response.inserted = result.inserted;
+  response.deleted = result.deleted;
+  response.rejected = result.rejected;
+  response.coreness_changed = result.coreness_changed;
+  return response;
+}
+
+// Coalescing key: every field that changes the answer.  request_id is
+// deliberately excluded (followers restamp their own).
+std::string FlightKey(const Request& request) {
+  std::string key = request.graph;
+  key += '/';
+  key += OpcodeName(request.opcode);
+  switch (request.opcode) {
+    case Opcode::kCoreness:
+      key += '/';
+      key += std::to_string(request.vertex);
+      break;
+    case Opcode::kBestCoreSet:
+    case Opcode::kBestSingleCore:
+      key += '/';
+      key += MetricShortName(request.metric);
+      break;
+    default:
+      break;
+  }
+  return key;
+}
+
+bool Coalescable(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kGraphInfo:
+    case Opcode::kCoreness:
+    case Opcode::kBestCoreSet:
+    case Opcode::kBestSingleCore:
+    case Opcode::kTrussMax:
+      return true;
+    case Opcode::kPing:
+    case Opcode::kApplyBatch:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Response EngineService::Execute(const Request& request) {
+  if (request.opcode == Opcode::kPing) {
+    Response response;
+    response.opcode = Opcode::kPing;
+    response.ping_payload = request.ping_payload;
+    return response;
+  }
+  Result<EngineRegistry::Lease> lease = registry_.Acquire(request.graph);
+  if (!lease.ok()) {
+    return MakeErrorResponse(request.opcode, request.request_id,
+                             WireError::kUnknownGraph,
+                             lease.status().message());
+  }
+  CoreEngine& engine = lease->engine();
+  if (options_.artificial_delay_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.artificial_delay_seconds));
+  }
+  switch (request.opcode) {
+    case Opcode::kGraphInfo: return AnswerGraphInfo(engine, request);
+    case Opcode::kCoreness: return AnswerCoreness(engine, request);
+    case Opcode::kBestCoreSet: return AnswerBestCoreSet(engine, request);
+    case Opcode::kBestSingleCore:
+      return AnswerBestSingleCore(engine, request);
+    case Opcode::kTrussMax: return AnswerTrussMax(engine, request);
+    case Opcode::kApplyBatch: {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      return AnswerApplyBatch(engine, request);
+    }
+    case Opcode::kPing: break;  // handled above
+  }
+  return MakeErrorResponse(request.opcode, request.request_id,
+                           WireError::kUnknownOpcode, "unhandled opcode");
+}
+
+Response EngineService::Handle(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  if (options_.coalesce_cold_queries && Coalescable(request.opcode)) {
+    bool coalesced = false;
+    response = SingleFlight(
+        FlightKey(request), [this, &request] { return Execute(request); },
+        &coalesced);
+    if (coalesced) coalesced_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    response = Execute(request);
+  }
+  response.request_id = request.request_id;
+  if (response.status != WireError::kOk) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+EngineService::Stats EngineService::stats() const {
+  Stats snapshot;
+  snapshot.requests = requests_.load(std::memory_order_relaxed);
+  snapshot.errors = errors_.load(std::memory_order_relaxed);
+  snapshot.coalesced = coalesced_.load(std::memory_order_relaxed);
+  snapshot.batches = batches_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+}  // namespace corekit::server

@@ -1,0 +1,104 @@
+// EngineService: wire requests -> engine answers, transport-agnostic.
+//
+// The protocol/engine split follows the IndexSearcher/server layering of
+// the diagon search stack: wire_protocol.h owns bytes, tcp_server.h owns
+// sockets and threads, and this class owns *semantics* — it maps one
+// decoded Request onto the EngineRegistry (lease a tenant, run the
+// query, fold the answer into a Response) and is therefore the exact
+// point where a socket round-trip and a direct in-process call must
+// agree bitwise.  The wire-vs-direct differential tests replay the same
+// Request stream through both paths and compare checksums.
+//
+// Single-flight coalescing: identical cold queries (same graph, opcode,
+// metric/vertex) arriving concurrently elect one executor; the rest
+// block and share its Response (stamped with their own request_id).
+// Inside one engine the versioned slots already make artifact builds
+// exactly-once, so coalescing pays off mainly for queries with no
+// engine-side cache — TrussMax runs a full O(m^1.5) peel per call — and
+// for keeping N identical cold misses from consuming N worker threads.
+// ApplyBatch and Ping are never coalesced (writes must all apply;
+// pings measure liveness).
+//
+// Thread-safety: full.  Handle() may be called from any number of
+// transport workers; the registry does its own locking, coalescing has
+// its own mutex, and counters are atomics.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "corekit/engine/engine_registry.h"
+#include "corekit/server/wire_protocol.h"
+
+namespace corekit::server {
+
+struct EngineServiceOptions {
+  // Coalesce identical concurrent read queries (see header comment).
+  bool coalesce_cold_queries = true;
+  // Test-only: sleep this long inside every Handle() call, *after*
+  // acquiring the lease but before computing.  Lets the backpressure
+  // tests fill the transport's bounded queue deterministically; keep 0
+  // in production.
+  double artificial_delay_seconds = 0.0;
+};
+
+class EngineService {
+ public:
+  explicit EngineService(EngineRegistry& registry,
+                         EngineServiceOptions options = {});
+  EngineService(const EngineService&) = delete;
+  EngineService& operator=(const EngineService&) = delete;
+
+  // Answers one request.  Total: every failure (unknown graph, bad
+  // vertex, ...) is a typed error Response; nothing throws.  The
+  // response's request_id always mirrors the request's.
+  Response Handle(const Request& request);
+
+  struct Stats {
+    std::uint64_t requests = 0;   // Handle() calls
+    std::uint64_t errors = 0;     // non-OK responses
+    std::uint64_t coalesced = 0;  // answers shared from another in-flight
+                                  // identical query (followers only)
+    std::uint64_t batches = 0;    // ApplyBatch requests executed
+  };
+  Stats stats() const;
+
+ private:
+  // One in-flight cold query; followers wait on cv until the leader
+  // publishes.  The leader's Response is copied to every follower.
+  struct FlightCell {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+
+  // Runs `compute` under single-flight for `key`.  Returns the shared
+  // response (request_id not yet stamped); sets *coalesced for
+  // followers.
+  Response SingleFlight(const std::string& key,
+                        const std::function<Response()>& compute,
+                        bool* coalesced);
+
+  Response Execute(const Request& request);
+
+  EngineRegistry& registry_;
+  EngineServiceOptions options_;
+
+  std::mutex flight_mutex_;
+  std::map<std::string, std::shared_ptr<FlightCell>> flights_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> batches_{0};
+};
+
+}  // namespace corekit::server

@@ -1,0 +1,294 @@
+#include "corekit/server/load_generator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <thread>
+
+#include "corekit/server/wire_client.h"
+#include "corekit/util/logging.h"
+#include "corekit/util/random.h"
+#include "corekit/util/timer.h"
+
+namespace corekit::server {
+
+namespace {
+
+// Same one-round fold as the EngineServer harness: order-sensitive
+// within a client (answers are tagged with their query index before the
+// XOR), stateless across clients.
+std::uint64_t MixInto(std::uint64_t h, std::uint64_t v) {
+  SplitMix64 sm(h ^ (v + 0x9e3779b97f4a7c15ULL));
+  return sm.Next();
+}
+
+std::uint64_t DoubleBits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+// The read-mix metrics; a slice of kAllMetrics keeps the draw stable
+// even if the metric catalogue grows.
+constexpr Metric kMixMetrics[] = {
+    Metric::kAverageDegree,
+    Metric::kInternalDensity,
+    Metric::kConductance,
+    Metric::kClusteringCoefficient,
+};
+constexpr std::uint64_t kMixMetricCount =
+    sizeof(kMixMetrics) / sizeof(kMixMetrics[0]);
+
+struct ClientResult {
+  std::uint64_t queries = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t transport_failures = 0;
+  std::uint64_t checksum = 0;
+  std::vector<double> latencies;
+};
+
+void MergeInto(LoadGenReport& report, std::vector<double>& all_latencies,
+               ClientResult&& result) {
+  report.queries += result.queries;
+  report.errors += result.errors;
+  report.busy += result.busy;
+  report.transport_failures += result.transport_failures;
+  report.checksum ^= result.checksum;
+  all_latencies.insert(all_latencies.end(), result.latencies.begin(),
+                       result.latencies.end());
+}
+
+void FinishReport(LoadGenReport& report, std::vector<double> latencies,
+                  double wall_seconds) {
+  report.wall_seconds = wall_seconds;
+  report.qps = wall_seconds > 0.0
+                   ? static_cast<double>(report.queries) / wall_seconds
+                   : 0.0;
+  if (!latencies.empty()) {
+    report.max_seconds = *std::max_element(latencies.begin(), latencies.end());
+  }
+  report.p50_seconds = LatencyPercentile(latencies, 0.50);
+  report.p99_seconds = LatencyPercentile(latencies, 0.99);
+  report.p999_seconds = LatencyPercentile(std::move(latencies), 0.999);
+}
+
+// Folds one answered query into the client's running checksum, mirroring
+// the EngineServer fold discipline: fold the answer, tag it with the
+// query index, XOR.
+void Account(ClientResult& result, const QuerySpec& spec,
+             const Response& response, std::uint32_t index, double seconds) {
+  const std::uint64_t fold = FoldAnswer(spec, response);
+  result.checksum ^=
+      MixInto(fold, (static_cast<std::uint64_t>(index) << 8) |
+                        static_cast<std::uint64_t>(spec.opcode));
+  result.latencies.push_back(seconds);
+  if (response.status == WireError::kOk) {
+    ++result.queries;
+  } else {
+    ++result.errors;
+    if (response.status == WireError::kServerBusy) ++result.busy;
+  }
+}
+
+// One socket client: replays its deterministic mix with up to
+// pipeline_depth requests in flight, matching responses by request_id.
+ClientResult RunWireClient(const LoadGenOptions& options,
+                           std::uint32_t client) {
+  ClientResult result;
+  WireClient wire;
+  if (!wire.Connect(options.host, options.port).ok()) {
+    ++result.transport_failures;
+    return result;
+  }
+
+  const std::uint32_t depth = std::max<std::uint32_t>(1, options.pipeline_depth);
+  const std::uint32_t total = options.queries_per_client;
+  // request_id encodes (client, index) so a pipelined response maps back
+  // to the spec that produced it.
+  const auto make_id = [client](std::uint32_t index) {
+    return (static_cast<std::uint64_t>(client) << 32) | index;
+  };
+
+  // In-flight window: index -> send timestamp.
+  std::vector<std::pair<std::uint32_t, Timer>> in_flight;
+  in_flight.reserve(depth);
+  std::uint32_t next_to_send = 0;
+
+  const auto receive_one = [&]() -> bool {
+    Response response;
+    if (!wire.Receive(&response).ok()) {
+      ++result.transport_failures;
+      return false;
+    }
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(response.request_id & 0xffffffffULL);
+    auto it = std::find_if(in_flight.begin(), in_flight.end(),
+                           [index](const auto& p) { return p.first == index; });
+    if (it == in_flight.end() ||
+        (response.request_id >> 32) != client) {
+      ++result.transport_failures;  // response for a request we never sent
+      return false;
+    }
+    const double seconds = it->second.ElapsedSeconds();
+    in_flight.erase(it);
+    Account(result, DrawQuery(options, client, index), response, index,
+            seconds);
+    return true;
+  };
+
+  bool alive = true;
+  while (alive && (next_to_send < total || !in_flight.empty())) {
+    if (next_to_send < total && in_flight.size() < depth) {
+      Request request = SpecToRequest(DrawQuery(options, client, next_to_send));
+      request.request_id = make_id(next_to_send);
+      in_flight.emplace_back(next_to_send, Timer());
+      if (!wire.Send(request).ok()) {
+        ++result.transport_failures;
+        break;
+      }
+      ++next_to_send;
+      continue;
+    }
+    alive = receive_one();
+  }
+  return result;
+}
+
+}  // namespace
+
+QuerySpec DrawQuery(const LoadGenOptions& options, std::uint32_t client,
+                    std::uint32_t index) {
+  COREKIT_CHECK(!options.graphs.empty()) << "load generator needs tenants";
+  COREKIT_CHECK(options.graph_sizes.size() == options.graphs.size())
+      << "graph_sizes must align with graphs";
+  // Same stream discipline as EngineServer::RunClient: one SplitMix64
+  // per (seed, client), advanced a fixed number of draws per query so
+  // query i is reachable without replaying 0..i-1.
+  SplitMix64 stream(options.seed ^
+                    MixInto(client + 1, static_cast<std::uint64_t>(index) + 1));
+  QuerySpec spec;
+  const std::uint64_t graph_pick = stream.Next() % options.graphs.size();
+  spec.graph = options.graphs[graph_pick];
+  const std::uint32_t n = std::max<std::uint32_t>(
+      1, options.graph_sizes[graph_pick]);
+  switch (stream.Next() % 5) {
+    case 0:
+      spec.opcode = Opcode::kGraphInfo;
+      break;
+    case 1:
+      spec.opcode = Opcode::kCoreness;
+      spec.vertex = static_cast<VertexId>(stream.Next() % n);
+      break;
+    case 2:
+      spec.opcode = Opcode::kBestCoreSet;
+      spec.metric = kMixMetrics[stream.Next() % kMixMetricCount];
+      break;
+    case 3:
+      spec.opcode = Opcode::kBestSingleCore;
+      spec.metric = kMixMetrics[stream.Next() % kMixMetricCount];
+      break;
+    default:
+      spec.opcode = Opcode::kTrussMax;
+      break;
+  }
+  return spec;
+}
+
+Request SpecToRequest(const QuerySpec& spec) {
+  Request request;
+  request.opcode = spec.opcode;
+  request.graph = spec.graph;
+  request.vertex = spec.vertex;
+  request.metric = spec.metric;
+  return request;
+}
+
+std::uint64_t FoldAnswer(const QuerySpec& spec, const Response& response) {
+  if (response.status != WireError::kOk) {
+    // Typed errors fold too: a side that errors where the other answers
+    // breaks the differential loudly.
+    return MixInto(0xE77E77ULL, static_cast<std::uint64_t>(response.status));
+  }
+  switch (spec.opcode) {
+    case Opcode::kPing:
+      return MixInto(1, response.ping_payload);
+    case Opcode::kGraphInfo:
+      // Epoch excluded: GraphInfo interleaved with churn is the one
+      // legitimately time-dependent read; n and m of the *cold* tenant
+      // identity are what the differential pins.  (The serving e2e runs
+      // its read differential with no concurrent churn, so even epoch
+      // would match — excluding it keeps the fold usable for mixed
+      // workloads.)
+      return MixInto(response.num_vertices, response.num_edges);
+    case Opcode::kCoreness:
+      return MixInto(response.coreness, response.kmax);
+    case Opcode::kBestCoreSet:
+      return MixInto(MixInto(response.best_k, DoubleBits(response.best_score)),
+                     response.num_scores);
+    case Opcode::kBestSingleCore:
+      return MixInto(MixInto(response.best_k, DoubleBits(response.best_score)),
+                     MixInto(response.best_node, response.num_scores));
+    case Opcode::kTrussMax:
+      return MixInto(response.tmax, response.num_edges);
+    case Opcode::kApplyBatch:
+      return MixInto(MixInto(response.epoch, response.inserted),
+                     MixInto(response.deleted, response.coreness_changed));
+  }
+  return 0;
+}
+
+LoadGenReport RunWireLoad(const LoadGenOptions& options) {
+  LoadGenReport report;
+  std::vector<double> all_latencies;
+  std::vector<ClientResult> results(options.num_clients);
+  Timer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(options.num_clients);
+    for (std::uint32_t c = 0; c < options.num_clients; ++c) {
+      threads.emplace_back(
+          [&options, &results, c] { results[c] = RunWireClient(options, c); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+  for (ClientResult& result : results) {
+    MergeInto(report, all_latencies, std::move(result));
+  }
+  FinishReport(report, std::move(all_latencies), wall_seconds);
+  return report;
+}
+
+LoadGenReport RunDirectLoad(EngineService& service,
+                            const LoadGenOptions& options) {
+  LoadGenReport report;
+  std::vector<double> all_latencies;
+  Timer wall;
+  for (std::uint32_t client = 0; client < options.num_clients; ++client) {
+    ClientResult result;
+    for (std::uint32_t index = 0; index < options.queries_per_client;
+         ++index) {
+      const QuerySpec spec = DrawQuery(options, client, index);
+      Request request = SpecToRequest(spec);
+      request.request_id =
+          (static_cast<std::uint64_t>(client) << 32) | index;
+      Timer timer;
+      const Response response = service.Handle(request);
+      Account(result, spec, response, index, timer.ElapsedSeconds());
+    }
+    MergeInto(report, all_latencies, std::move(result));
+  }
+  FinishReport(report, std::move(all_latencies), wall.ElapsedSeconds());
+  return report;
+}
+
+double LatencyPercentile(std::vector<double> latencies, double q) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: ceil(q * N), 1-based.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(latencies.size())));
+  if (rank == 0) rank = 1;
+  if (rank > latencies.size()) rank = latencies.size();
+  return latencies[rank - 1];
+}
+
+}  // namespace corekit::server

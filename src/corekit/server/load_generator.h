@@ -1,0 +1,105 @@
+// Load generator: deterministic multi-client traffic for corekit_serve.
+//
+// The serving tier's correctness story mirrors the EngineServer harness
+// (PR 3) one network hop up: the query stream of client c under seed s
+// is a pure function of (s, c, i), every answer folds to a u64, and the
+// XOR over clients is order-independent — so a K-client run over real
+// sockets must reproduce, bit for bit, the checksum of a serial replay
+// through EngineService::Handle with no sockets involved.  That wire-
+// vs-direct differential is the acceptance gate for the whole transport
+// (framing, pipelining, queueing, coalescing must be answer-preserving).
+//
+// The generator also reports the serving-tier numbers the ROADMAP asks
+// for: p50/p99/p999 latency and QPS, fed into the bench JSON by
+// bench/ext_serving.cc.
+//
+// The read mix draws uniformly from {GraphInfo, Coreness, BestCoreSet,
+// BestSingleCore, TrussMax} across the configured tenant graphs;
+// ApplyBatch churn is driven separately (single writer) because its
+// interleaving with reads is legitimately nondeterministic (see the
+// ServeChurnMix precedent in engine_server.h).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "corekit/server/engine_service.h"
+#include "corekit/server/wire_protocol.h"
+
+namespace corekit::server {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  // Tenants to address; vertex picks for Coreness draw modulo the
+  // matching graph_sizes entry (so the mix is well-formed without a
+  // network round-trip first; corekit_loadgen fills sizes via
+  // GraphInfo).
+  std::vector<std::string> graphs;
+  std::vector<std::uint32_t> graph_sizes;
+  std::uint32_t num_clients = 8;
+  std::uint32_t queries_per_client = 64;
+  std::uint64_t seed = 0x5EEDC0DEULL;
+  // Requests kept in flight per client connection (1 = strict
+  // request/response lockstep; >1 exercises pipelining + out-of-order
+  // completion by request_id).
+  std::uint32_t pipeline_depth = 1;
+};
+
+// One drawn query; pure function of (seed, client, index, graphs).
+struct QuerySpec {
+  Opcode opcode = Opcode::kGraphInfo;
+  std::string graph;
+  VertexId vertex = 0;
+  Metric metric = Metric::kAverageDegree;
+};
+
+// Draws query i of client `client`.  Requires graphs non-empty and
+// graph_sizes aligned with graphs.
+QuerySpec DrawQuery(const LoadGenOptions& options, std::uint32_t client,
+                    std::uint32_t index);
+
+// The Request a spec sends (request_id filled by the caller).
+Request SpecToRequest(const QuerySpec& spec);
+
+// Deterministic u64 fold of an answer — payload fields only, never
+// request_id, so wire and direct replays agree.  Error responses fold
+// their typed status code (a differential catches a path that errors on
+// one side only).
+std::uint64_t FoldAnswer(const QuerySpec& spec, const Response& response);
+
+struct LoadGenReport {
+  std::uint64_t queries = 0;        // answered OK
+  std::uint64_t errors = 0;         // typed error responses
+  std::uint64_t busy = 0;           // kServerBusy subset of errors
+  std::uint64_t transport_failures = 0;  // connection-level failures
+  double wall_seconds = 0.0;
+  double qps = 0.0;                 // queries / wall_seconds
+  // Latency distribution over every answered request, in seconds.
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double p999_seconds = 0.0;
+  double max_seconds = 0.0;
+  // Order-independent fold over every (client, index, answer).
+  std::uint64_t checksum = 0;
+};
+
+// Runs options.num_clients concurrent socket clients against
+// host:port, each replaying its deterministic mix; blocks until all
+// finish.
+LoadGenReport RunWireLoad(const LoadGenOptions& options);
+
+// Replays the identical mix (same specs, same folds) client by client
+// through `service` directly — no sockets.  The reference checksum for
+// RunWireLoad; latency fields describe the direct calls.
+LoadGenReport RunDirectLoad(EngineService& service,
+                            const LoadGenOptions& options);
+
+// Exact percentile by rank over `latencies` (nearest-rank, q in [0,1]);
+// 0.0 on empty input.  Exposed for the report tests.
+double LatencyPercentile(std::vector<double> latencies, double q);
+
+}  // namespace corekit::server

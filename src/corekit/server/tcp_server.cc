@@ -1,0 +1,331 @@
+#include "corekit/server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace corekit::server {
+
+namespace {
+
+// Full-buffer read: loops over short reads and EINTR.  Returns
+//   1  buffer filled
+//   0  clean EOF before any byte (or a shutdown woke us)
+//  -1  error or EOF mid-buffer
+int ReadFull(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::recv(fd, data + done, size - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return done == 0 ? 0 : -1;  // EOF
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return 1;
+}
+
+// Full-buffer write; MSG_NOSIGNAL so a dead peer surfaces as EPIPE
+// rather than killing the process with SIGPIPE.
+bool WriteFull(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t put = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void CloseIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(EngineService& service, TcpServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.max_frame_bytes > kMaxBodyBytes) {
+    options_.max_frame_bytes = kMaxBodyBytes;
+  }
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+Status TcpServer::Start() {
+  COREKIT_CHECK(!started_) << "TcpServer::Start called twice";
+  started_ = true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseIfOpen(listen_fd_);
+    return Status::InvalidArgument("bad bind address '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError("bind(" + options_.host + ":" +
+                        std::to_string(options_.port) +
+                        "): " + std::strerror(errno));
+    CloseIfOpen(listen_fd_);
+    return status;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    const Status status =
+        Status::IoError("listen(): " + std::string(std::strerror(errno)));
+    CloseIfOpen(listen_fd_);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  workers_.reserve(options_.num_workers);
+  for (std::uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed by Shutdown (EBADF/EINVAL) or fatal: stop.
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (active_sessions_.load(std::memory_order_acquire) >=
+        options_.max_sessions) {
+      // Admission control at the connection level: answer one typed
+      // busy frame (request_id 0 — nothing was read) and close.
+      const std::vector<std::uint8_t> frame = EncodeResponse(
+          MakeErrorResponse(Opcode::kPing, 0, WireError::kServerBusy,
+                            "session limit reached"));
+      (void)WriteFull(fd, frame.data(), frame.size());
+      ::close(fd);
+      sessions_refused_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(session);
+      session_threads_.emplace_back(
+          [this, session] { SessionLoop(session); });
+    }
+    active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpServer::SessionLoop(const std::shared_ptr<Session>& session) {
+  std::vector<std::uint8_t> frame;
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !session->closed.load(std::memory_order_acquire)) {
+    std::uint8_t header_bytes[kFrameHeaderBytes];
+    const int got = ReadFull(session->fd, header_bytes, kFrameHeaderBytes);
+    if (got <= 0) break;  // clean EOF, peer death, or shutdown wake
+
+    FrameHeader header;
+    const WireError header_error = DecodeFrameHeader(
+        {header_bytes, kFrameHeaderBytes}, &header, options_.max_frame_bytes);
+    if (header_error != WireError::kOk) {
+      // An oversized length prefix poisons the stream: the next frame
+      // boundary is unknowable, so answer and hang up.
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      (void)WriteResponse(
+          session, MakeErrorResponse(header.opcode, header.request_id,
+                                     header_error, "rejected frame header"));
+      session->closed.store(true, std::memory_order_release);
+      break;
+    }
+    frame.assign(header_bytes, header_bytes + kFrameHeaderBytes);
+    frame.resize(kFrameHeaderBytes + header.body_len);
+    if (header.body_len > 0 &&
+        ReadFull(session->fd, frame.data() + kFrameHeaderBytes,
+                 header.body_len) != 1) {
+      break;  // truncated body: the peer vanished mid-frame
+    }
+
+    Request request;
+    std::string error_message;
+    const WireError decode_error =
+        DecodeRequest(frame, &request, &error_message);
+    if (decode_error != WireError::kOk) {
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      const bool fatal = decode_error == WireError::kUnsupportedVersion;
+      (void)WriteResponse(
+          session, MakeErrorResponse(request.opcode, request.request_id,
+                                     decode_error, std::move(error_message)));
+      if (fatal) {
+        // Cannot trust any further framing from them: half-close so the
+        // peer sees EOF after reading the typed error.
+        session->closed.store(true, std::memory_order_release);
+        break;
+      }
+      continue;  // frame boundary is intact: keep serving
+    }
+    frames_decoded_.fetch_add(1, std::memory_order_relaxed);
+    Dispatch(session, std::move(request));
+  }
+  // Reader done: stop accepting writes on a best-effort basis.  The fd
+  // itself stays open until Shutdown reaps the session, so responses to
+  // still-queued requests either flush or fail cleanly.
+  if (session->closed.load(std::memory_order_acquire)) {
+    ::shutdown(session->fd, SHUT_RDWR);
+  }
+  active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void TcpServer::Dispatch(const std::shared_ptr<Session>& session,
+                         Request request) {
+  bool draining = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!queue_closed_ && queue_.size() < options_.queue_capacity) {
+      queue_.push_back(Job{std::move(request), session});
+      queue_cv_.notify_one();
+      return;
+    }
+    draining = queue_closed_;
+  }
+  // Queue full (or draining): typed rejection, never silent drop.
+  busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+  const WireError error =
+      draining ? WireError::kShuttingDown : WireError::kServerBusy;
+  (void)WriteResponse(session,
+                      MakeErrorResponse(request.opcode, request.request_id,
+                                        error, "request queue full"));
+}
+
+void TcpServer::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return queue_closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const Response response = service_.Handle(job.request);
+    if (WriteResponse(job.session, response)) {
+      requests_completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool TcpServer::WriteResponse(const std::shared_ptr<Session>& session,
+                              const Response& response) {
+  const std::vector<std::uint8_t> frame = EncodeResponse(response);
+  std::lock_guard<std::mutex> lock(session->write_mutex);
+  if (session->closed.load(std::memory_order_acquire)) return false;
+  if (!WriteFull(session->fd, frame.data(), frame.size())) {
+    session->closed.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void TcpServer::Shutdown() {
+  if (!started_) return;
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+
+  // 1. Stop admitting.  shutdown() before close(): on Linux, closing a
+  //    listening fd does NOT wake a thread blocked in accept(), but
+  //    SHUT_RDWR makes accept() fail immediately with EINVAL.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  CloseIfOpen(listen_fd_);
+
+  // 2. Wake session readers blocked in recv(); SHUT_RD only, so queued
+  //    responses can still flush on the write side.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto& session : sessions_) {
+      ::shutdown(session->fd, SHUT_RD);
+    }
+  }
+
+  // 3. Drain: close the queue; workers run until it is empty, then
+  //    exit.  Everything admitted before this line gets a response.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  // 4. Reap sessions: join readers, close fds.
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    threads.swap(session_threads_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  for (const auto& session : sessions) {
+    ::shutdown(session->fd, SHUT_RDWR);
+    CloseIfOpen(session->fd);
+  }
+}
+
+TcpServer::Stats TcpServer::stats() const {
+  Stats snapshot;
+  snapshot.sessions_opened =
+      sessions_opened_.load(std::memory_order_relaxed);
+  snapshot.sessions_refused =
+      sessions_refused_.load(std::memory_order_relaxed);
+  snapshot.frames_decoded = frames_decoded_.load(std::memory_order_relaxed);
+  snapshot.frames_rejected =
+      frames_rejected_.load(std::memory_order_relaxed);
+  snapshot.busy_rejections =
+      busy_rejections_.load(std::memory_order_relaxed);
+  snapshot.requests_completed =
+      requests_completed_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+}  // namespace corekit::server

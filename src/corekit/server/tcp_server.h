@@ -1,0 +1,158 @@
+// TcpServer: the socket front-end of corekit_serve.
+//
+// Std-only (POSIX sockets, std::thread) transport speaking the
+// wire_protocol.h framing over TCP.  Architecture:
+//
+//   acceptor thread    accept()s connections; refuses new sessions over
+//                      max_sessions with a typed kServerBusy frame
+//   session threads    one reader per connection: framing, decoding,
+//                      typed rejection of malformed frames, enqueue of
+//                      well-formed requests
+//   worker pool        num_workers threads draining one bounded request
+//                      queue through EngineService::Handle and writing
+//                      responses back (per-session write mutex —
+//                      responses to pipelined requests may interleave,
+//                      which is why frames carry request_id)
+//
+// Backpressure: the request queue is bounded.  A session whose decoded
+// request finds the queue full answers kServerBusy immediately instead
+// of blocking its reader — overload sheds load at the edge, it does not
+// build an unbounded backlog (admission control).  The response still
+// echoes the request_id, so clients can retry precisely.
+//
+// Malformed input: a frame that decodes to a typed error gets that
+// error as its response.  Errors that poison the stream itself
+// (oversized length prefix, unsupported version — after which resync is
+// impossible) additionally close the connection; errors confined to one
+// frame's body (unknown opcode, malformed body) leave the session open,
+// because length-prefixed framing lets the reader skip to the next
+// frame safely.
+//
+// Shutdown() drains: stop accepting, wake every session reader, let the
+// workers finish every request already admitted to the queue, write the
+// last responses, then join all threads and close all fds.  The
+// backpressure test asserts "accepted implies completed" through this
+// path, under ASan (no leaked sessions).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corekit/server/engine_service.h"
+#include "corekit/server/wire_protocol.h"
+#include "corekit/util/status.h"
+
+namespace corekit::server {
+
+struct TcpServerOptions {
+  // Bind address; tests use 127.0.0.1.
+  std::string host = "127.0.0.1";
+  // 0 = ephemeral (read the bound port back via port()).
+  std::uint16_t port = 0;
+  // Worker threads draining the request queue.
+  std::uint32_t num_workers = 4;
+  // Bounded request-queue capacity; the backpressure knob.
+  std::uint32_t queue_capacity = 128;
+  // Connection cap; further connects are refused with kServerBusy.
+  std::uint32_t max_sessions = 64;
+  // Frames with body_len above this are rejected (and the connection
+  // closed); never above the protocol's kMaxBodyBytes.
+  std::uint32_t max_frame_bytes = kMaxBodyBytes;
+};
+
+class TcpServer {
+ public:
+  // `service` must outlive the server.
+  TcpServer(EngineService& service, TcpServerOptions options = {});
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+  // Implies Shutdown().
+  ~TcpServer();
+
+  // Binds + listens + spawns acceptor and workers.  IoError on bind
+  // failures.  Call at most once.
+  Status Start();
+
+  // The actually-bound port (resolves port 0); valid after Start().
+  std::uint16_t port() const { return port_; }
+
+  // Graceful drain; idempotent, also run by the destructor.  After
+  // return: no live threads, no open fds, every admitted request
+  // answered.
+  void Shutdown();
+
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_refused = 0;   // over max_sessions
+    std::uint64_t frames_decoded = 0;     // well-formed requests read
+    std::uint64_t frames_rejected = 0;    // typed decode errors answered
+    std::uint64_t busy_rejections = 0;    // kServerBusy (queue full)
+    std::uint64_t requests_completed = 0; // responses written by workers
+  };
+  Stats stats() const;
+
+ private:
+  // One live connection.  shared_ptr-owned: queued jobs pin the session
+  // so a worker's response write never races the session teardown.
+  struct Session {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> closed{false};
+  };
+
+  struct Job {
+    Request request;
+    std::shared_ptr<Session> session;
+  };
+
+  void AcceptLoop();
+  void SessionLoop(const std::shared_ptr<Session>& session);
+  void WorkerLoop();
+  // Encodes + writes one response under the session's write mutex.
+  // Returns false (and marks the session closed) on a dead peer.
+  bool WriteResponse(const std::shared_ptr<Session>& session,
+                     const Response& response);
+  // Enqueue or reject-with-busy; the reader thread path.
+  void Dispatch(const std::shared_ptr<Session>& session, Request request);
+
+  EngineService& service_;
+  TcpServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Sessions and their reader threads, reaped on Shutdown.
+  std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+  std::atomic<std::uint32_t> active_sessions_{0};
+
+  // The bounded request queue.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool queue_closed_ = false;
+
+  // Counters (relaxed atomics; stats() snapshots).
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_refused_{0};
+  std::atomic<std::uint64_t> frames_decoded_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+  std::atomic<std::uint64_t> busy_rejections_{0};
+  std::atomic<std::uint64_t> requests_completed_{0};
+};
+
+}  // namespace corekit::server

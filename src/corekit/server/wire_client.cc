@@ -1,0 +1,154 @@
+#include "corekit/server/wire_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace corekit::server {
+
+namespace {
+
+bool ReadFullFd(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::recv(fd, data + done, size - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool WriteFullFd(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t put = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+WireClient::WireClient(WireClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WireClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+  }
+  // Request/response round-trips are latency-bound: disable Nagle so a
+  // 16-byte header is not held hostage to a 40ms delayed-ACK dance.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError("connect(" + host + ":" + std::to_string(port) +
+                        "): " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+Status WireClient::Send(const Request& request) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  const std::vector<std::uint8_t> frame = EncodeRequest(request);
+  if (!WriteFullFd(fd_, frame.data(), frame.size())) {
+    return Status::IoError("send failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WireClient::SendRaw(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  if (!WriteFullFd(fd_, bytes.data(), bytes.size())) {
+    return Status::IoError("send failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WireClient::Receive(Response* response) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  std::uint8_t header_bytes[kFrameHeaderBytes];
+  if (!ReadFullFd(fd_, header_bytes, kFrameHeaderBytes)) {
+    return Status::IoError("connection closed while reading response header");
+  }
+  FrameHeader header;
+  const WireError header_error =
+      DecodeFrameHeader({header_bytes, kFrameHeaderBytes}, &header);
+  if (header_error != WireError::kOk) {
+    return Status::Corruption(std::string("bad response header: ") +
+                              WireErrorName(header_error));
+  }
+  std::vector<std::uint8_t> frame(header_bytes,
+                                  header_bytes + kFrameHeaderBytes);
+  frame.resize(kFrameHeaderBytes + header.body_len);
+  if (header.body_len > 0 &&
+      !ReadFullFd(fd_, frame.data() + kFrameHeaderBytes, header.body_len)) {
+    return Status::IoError("connection closed while reading response body");
+  }
+  std::string error_message;
+  const WireError decode_error =
+      DecodeResponse(frame, response, &error_message);
+  if (decode_error != WireError::kOk) {
+    return Status::Corruption("bad response frame: " + error_message);
+  }
+  return Status::OK();
+}
+
+Result<Response> WireClient::Call(const Request& request) {
+  COREKIT_RETURN_IF_ERROR(Send(request));
+  Response response;
+  COREKIT_RETURN_IF_ERROR(Receive(&response));
+  COREKIT_CHECK(response.request_id == request.request_id)
+      << "response id " << response.request_id << " for request "
+      << request.request_id << " (pipelining without Receive()?)";
+  return response;
+}
+
+}  // namespace corekit::server

@@ -1,0 +1,57 @@
+// WireClient: a blocking TCP client for the corekit_serve protocol.
+//
+// One connection, synchronous Call() (send one frame, read one frame)
+// plus split Send()/Receive() for pipelining — the load generator keeps
+// several requests in flight and matches responses by request_id.
+// Std-only, POSIX sockets; the test suite and tools/corekit_loadgen are
+// the consumers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corekit/server/wire_protocol.h"
+#include "corekit/util/status.h"
+
+namespace corekit::server {
+
+class WireClient {
+ public:
+  // Not yet connected; Connect() or the factory below establishes the
+  // socket.
+  WireClient() = default;
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  ~WireClient();
+
+  // Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Sends one encoded request frame (blocking until fully written).
+  Status Send(const Request& request);
+
+  // Reads exactly one response frame (blocking).  Protocol-level
+  // rejections (typed error responses) come back as OK Statuses with
+  // response->status set; only transport failures (EOF, oversized or
+  // undecodable response frame) are non-OK.
+  Status Receive(Response* response);
+
+  // Send + Receive.  CHECKs that the response's request_id matches —
+  // with no pipelining in flight, a mismatch is a protocol bug.
+  Result<Response> Call(const Request& request);
+
+  // Sends raw bytes as-is (no framing).  The protocol-robustness tests
+  // use this to deliver deliberately malformed frames.
+  Status SendRaw(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace corekit::server

@@ -1,0 +1,446 @@
+#include "corekit/server/wire_protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace corekit::server {
+
+// The wire format is little-endian; on-host integers are memcpy'd
+// straight into frames.  Every target corekit supports is little-endian
+// (x86-64, aarch64) — a big-endian port would add byte swaps here.
+static_assert(std::endian::native == std::endian::little,
+              "wire_protocol.cc assumes a little-endian host");
+
+namespace {
+
+// --- Little-endian append/read primitives ---------------------------------
+
+template <typename T>
+void AppendInt(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_unsigned_v<T>);
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+void AppendDouble(std::vector<std::uint8_t>& out, double value) {
+  AppendInt(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void AppendString(std::vector<std::uint8_t>& out, const std::string& s) {
+  // Length is u16: graph names are short identifiers; error messages are
+  // truncated rather than rejected.
+  const auto len = static_cast<std::uint16_t>(
+      s.size() > 0xFFFF ? 0xFFFF : s.size());
+  AppendInt(out, len);
+  out.insert(out.end(), s.begin(), s.begin() + len);
+}
+
+// Bounds-checked cursor over a frame body.  Every Read* returns false on
+// underflow instead of touching memory past the span — the decoder's
+// totality rests on this class.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool ReadInt(T* out) {
+    static_assert(std::is_unsigned_v<T>);
+    if (bytes_.size() - pos_ < sizeof(T)) return false;
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    *out = value;
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadDouble(double* out) {
+    std::uint64_t bits = 0;
+    if (!ReadInt(&bits)) return false;
+    *out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    std::uint16_t len = 0;
+    if (!ReadInt(&len)) return false;
+    if (bytes_.size() - pos_ < len) return false;
+    out->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  // Strict framing: a body longer than its opcode needs is malformed
+  // (trailing garbage means the peer and we disagree about the shape).
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+WireError Fail(WireError error, const char* what, std::string* message) {
+  if (message != nullptr) *message = what;
+  return error;
+}
+
+bool ValidMetricByte(std::uint8_t byte) {
+  // Built-in + extended metrics are a dense enum starting at 0; see
+  // core/metrics.h.  kNormalizedAssociation is the last enumerator.
+  return byte <= static_cast<std::uint8_t>(Metric::kNormalizedAssociation);
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing: return "ping";
+    case Opcode::kGraphInfo: return "graphinfo";
+    case Opcode::kCoreness: return "coreness";
+    case Opcode::kBestCoreSet: return "bestcoreset";
+    case Opcode::kBestSingleCore: return "bestsinglecore";
+    case Opcode::kTrussMax: return "trussmax";
+    case Opcode::kApplyBatch: return "applybatch";
+  }
+  return "?";
+}
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kOk: return "OK";
+    case WireError::kUnsupportedVersion: return "unsupported-version";
+    case WireError::kUnknownOpcode: return "unknown-opcode";
+    case WireError::kTruncatedFrame: return "truncated-frame";
+    case WireError::kOversizedFrame: return "oversized-frame";
+    case WireError::kMalformedBody: return "malformed-body";
+    case WireError::kUnknownGraph: return "unknown-graph";
+    case WireError::kBadRequest: return "bad-request";
+    case WireError::kServerBusy: return "server-busy";
+    case WireError::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+Response MakeErrorResponse(Opcode opcode, std::uint64_t request_id,
+                           WireError error, std::string message) {
+  Response response;
+  // An unknown request opcode cannot be echoed: the peer's decoder
+  // (rightly) rejects out-of-range opcodes, so the typed error would be
+  // unreadable.  Answer as kPing — request_id still routes it.
+  if (static_cast<std::uint8_t>(opcode) >= kOpcodeCount) {
+    opcode = Opcode::kPing;
+  }
+  response.opcode = opcode;
+  response.request_id = request_id;
+  response.status = error;
+  response.message = std::move(message);
+  return response;
+}
+
+namespace {
+
+// Assembles header + body once the body bytes are known.
+std::vector<std::uint8_t> SealFrame(Opcode opcode, WireError status,
+                                    std::uint64_t request_id,
+                                    const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  AppendInt(frame, static_cast<std::uint32_t>(body.size()));
+  AppendInt(frame, static_cast<std::uint8_t>(kWireVersion));
+  AppendInt(frame, static_cast<std::uint8_t>(opcode));
+  AppendInt(frame, static_cast<std::uint16_t>(status));
+  AppendInt(frame, request_id);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeRequest(const Request& request) {
+  std::vector<std::uint8_t> body;
+  switch (request.opcode) {
+    case Opcode::kPing:
+      AppendInt(body, request.ping_payload);
+      break;
+    case Opcode::kGraphInfo:
+    case Opcode::kTrussMax:
+      AppendString(body, request.graph);
+      break;
+    case Opcode::kCoreness:
+      AppendString(body, request.graph);
+      AppendInt(body, static_cast<std::uint32_t>(request.vertex));
+      break;
+    case Opcode::kBestCoreSet:
+    case Opcode::kBestSingleCore:
+      AppendString(body, request.graph);
+      AppendInt(body, static_cast<std::uint8_t>(request.metric));
+      break;
+    case Opcode::kApplyBatch: {
+      AppendString(body, request.graph);
+      AppendInt(body, static_cast<std::uint32_t>(request.inserts.size()));
+      AppendInt(body, static_cast<std::uint32_t>(request.deletes.size()));
+      for (const auto& [u, v] : request.inserts) {
+        AppendInt(body, static_cast<std::uint32_t>(u));
+        AppendInt(body, static_cast<std::uint32_t>(v));
+      }
+      for (const auto& [u, v] : request.deletes) {
+        AppendInt(body, static_cast<std::uint32_t>(u));
+        AppendInt(body, static_cast<std::uint32_t>(v));
+      }
+      break;
+    }
+  }
+  return SealFrame(request.opcode, WireError::kOk, request.request_id, body);
+}
+
+std::vector<std::uint8_t> EncodeResponse(const Response& response) {
+  std::vector<std::uint8_t> body;
+  if (response.status != WireError::kOk) {
+    AppendString(body, response.message);
+    return SealFrame(response.opcode, response.status, response.request_id,
+                     body);
+  }
+  switch (response.opcode) {
+    case Opcode::kPing:
+      AppendInt(body, response.ping_payload);
+      break;
+    case Opcode::kGraphInfo:
+      AppendInt(body, response.num_vertices);
+      AppendInt(body, response.num_edges);
+      AppendInt(body, response.epoch);
+      break;
+    case Opcode::kCoreness:
+      AppendInt(body, response.coreness);
+      AppendInt(body, response.kmax);
+      break;
+    case Opcode::kBestCoreSet:
+      AppendInt(body, response.best_k);
+      AppendDouble(body, response.best_score);
+      AppendInt(body, response.num_scores);
+      break;
+    case Opcode::kBestSingleCore:
+      AppendInt(body, response.best_k);
+      AppendInt(body, response.best_node);
+      AppendDouble(body, response.best_score);
+      AppendInt(body, response.num_scores);
+      break;
+    case Opcode::kTrussMax:
+      AppendInt(body, response.tmax);
+      AppendInt(body, response.num_edges);
+      break;
+    case Opcode::kApplyBatch:
+      AppendInt(body, response.epoch);
+      AppendInt(body, response.inserted);
+      AppendInt(body, response.deleted);
+      AppendInt(body, response.rejected);
+      AppendInt(body, response.coreness_changed);
+      break;
+  }
+  return SealFrame(response.opcode, WireError::kOk, response.request_id, body);
+}
+
+WireError DecodeFrameHeader(std::span<const std::uint8_t> bytes,
+                            FrameHeader* out, std::uint32_t max_body_bytes) {
+  if (bytes.size() < kFrameHeaderBytes) return WireError::kTruncatedFrame;
+  Reader reader(bytes.first(kFrameHeaderBytes));
+  std::uint8_t opcode_byte = 0;
+  std::uint16_t status_raw = 0;
+  // The reads cannot fail (the span holds exactly kFrameHeaderBytes);
+  // the && chain keeps that assumption checked.
+  const bool ok = reader.ReadInt(&out->body_len) &&
+                  reader.ReadInt(&out->version) &&
+                  reader.ReadInt(&opcode_byte) &&
+                  reader.ReadInt(&status_raw) &&
+                  reader.ReadInt(&out->request_id);
+  if (!ok) return WireError::kTruncatedFrame;
+  // Opcode/status are stored raw here; full validation happens in the
+  // body decoders, which can still address a typed rejection.
+  out->opcode = static_cast<Opcode>(opcode_byte);
+  out->status = static_cast<WireError>(status_raw);
+  if (out->body_len > max_body_bytes) return WireError::kOversizedFrame;
+  return WireError::kOk;
+}
+
+namespace {
+
+// Shared prologue of both full-frame decoders: header checks, version
+// and opcode gates, exact body length.  Returns kOk with `body` set to
+// the body span on success.
+WireError DecodeCommon(std::span<const std::uint8_t> bytes,
+                       FrameHeader* header,
+                       std::span<const std::uint8_t>* body,
+                       std::string* error_message) {
+  const WireError header_error = DecodeFrameHeader(bytes, header);
+  if (header_error != WireError::kOk) {
+    return Fail(header_error, "bad frame header", error_message);
+  }
+  if (header->version != kWireVersion) {
+    return Fail(WireError::kUnsupportedVersion, "unsupported wire version",
+                error_message);
+  }
+  if (static_cast<std::uint8_t>(header->opcode) >= kOpcodeCount) {
+    return Fail(WireError::kUnknownOpcode, "unknown opcode", error_message);
+  }
+  if (bytes.size() < kFrameHeaderBytes + header->body_len) {
+    return Fail(WireError::kTruncatedFrame, "body shorter than body_len",
+                error_message);
+  }
+  if (bytes.size() > kFrameHeaderBytes + header->body_len) {
+    return Fail(WireError::kMalformedBody, "bytes beyond body_len",
+                error_message);
+  }
+  *body = bytes.subspan(kFrameHeaderBytes, header->body_len);
+  return WireError::kOk;
+}
+
+}  // namespace
+
+WireError DecodeRequest(std::span<const std::uint8_t> bytes, Request* out,
+                        std::string* error_message) {
+  *out = Request{};
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  // Fill the addressable fields even on failure, so transports can echo
+  // request_id in their typed error response.
+  const WireError pre = DecodeFrameHeader(bytes, &header);
+  if (pre == WireError::kOk || pre == WireError::kOversizedFrame) {
+    out->opcode = header.opcode;
+    out->request_id = header.request_id;
+  }
+  const WireError common = DecodeCommon(bytes, &header, &body, error_message);
+  if (common != WireError::kOk) return common;
+  out->opcode = header.opcode;
+  out->request_id = header.request_id;
+
+  Reader reader(body);
+  bool ok = true;
+  switch (header.opcode) {
+    case Opcode::kPing:
+      ok = reader.ReadInt(&out->ping_payload);
+      break;
+    case Opcode::kGraphInfo:
+    case Opcode::kTrussMax:
+      ok = reader.ReadString(&out->graph);
+      break;
+    case Opcode::kCoreness: {
+      std::uint32_t vertex = 0;
+      ok = reader.ReadString(&out->graph) && reader.ReadInt(&vertex);
+      out->vertex = vertex;
+      break;
+    }
+    case Opcode::kBestCoreSet:
+    case Opcode::kBestSingleCore: {
+      std::uint8_t metric_byte = 0;
+      ok = reader.ReadString(&out->graph) && reader.ReadInt(&metric_byte);
+      if (ok && !ValidMetricByte(metric_byte)) {
+        return Fail(WireError::kMalformedBody, "metric out of range",
+                    error_message);
+      }
+      out->metric = static_cast<Metric>(metric_byte);
+      break;
+    }
+    case Opcode::kApplyBatch: {
+      std::uint32_t n_inserts = 0;
+      std::uint32_t n_deletes = 0;
+      ok = reader.ReadString(&out->graph) && reader.ReadInt(&n_inserts) &&
+           reader.ReadInt(&n_deletes);
+      // Counts are bounded by the body length (8 bytes per edge), so a
+      // hostile count cannot force an allocation beyond max frame size;
+      // the per-edge reads below fail on the first missing byte anyway.
+      for (std::uint32_t i = 0; ok && i < n_inserts; ++i) {
+        std::uint32_t u = 0;
+        std::uint32_t v = 0;
+        ok = reader.ReadInt(&u) && reader.ReadInt(&v);
+        if (ok) out->inserts.emplace_back(u, v);
+      }
+      for (std::uint32_t i = 0; ok && i < n_deletes; ++i) {
+        std::uint32_t u = 0;
+        std::uint32_t v = 0;
+        ok = reader.ReadInt(&u) && reader.ReadInt(&v);
+        if (ok) out->deletes.emplace_back(u, v);
+      }
+      break;
+    }
+  }
+  if (!ok) {
+    return Fail(WireError::kMalformedBody, "body too short for opcode",
+                error_message);
+  }
+  if (!reader.AtEnd()) {
+    return Fail(WireError::kMalformedBody, "trailing bytes after body",
+                error_message);
+  }
+  return WireError::kOk;
+}
+
+WireError DecodeResponse(std::span<const std::uint8_t> bytes, Response* out,
+                         std::string* error_message) {
+  *out = Response{};
+  FrameHeader header;
+  std::span<const std::uint8_t> body;
+  const WireError pre = DecodeFrameHeader(bytes, &header);
+  if (pre == WireError::kOk || pre == WireError::kOversizedFrame) {
+    out->opcode = header.opcode;
+    out->request_id = header.request_id;
+  }
+  const WireError common = DecodeCommon(bytes, &header, &body, error_message);
+  if (common != WireError::kOk) return common;
+  out->opcode = header.opcode;
+  out->request_id = header.request_id;
+  out->status = header.status;
+
+  Reader reader(body);
+  bool ok = true;
+  if (out->status != WireError::kOk) {
+    // Error responses carry only a message; validate the status byte is
+    // one we know so garbage cannot masquerade as a fresh error kind.
+    if (static_cast<std::uint16_t>(out->status) >
+        static_cast<std::uint16_t>(WireError::kShuttingDown)) {
+      return Fail(WireError::kMalformedBody, "unknown status code",
+                  error_message);
+    }
+    ok = reader.ReadString(&out->message);
+  } else {
+    switch (header.opcode) {
+      case Opcode::kPing:
+        ok = reader.ReadInt(&out->ping_payload);
+        break;
+      case Opcode::kGraphInfo:
+        ok = reader.ReadInt(&out->num_vertices) &&
+             reader.ReadInt(&out->num_edges) && reader.ReadInt(&out->epoch);
+        break;
+      case Opcode::kCoreness:
+        ok = reader.ReadInt(&out->coreness) && reader.ReadInt(&out->kmax);
+        break;
+      case Opcode::kBestCoreSet:
+        ok = reader.ReadInt(&out->best_k) &&
+             reader.ReadDouble(&out->best_score) &&
+             reader.ReadInt(&out->num_scores);
+        break;
+      case Opcode::kBestSingleCore:
+        ok = reader.ReadInt(&out->best_k) && reader.ReadInt(&out->best_node) &&
+             reader.ReadDouble(&out->best_score) &&
+             reader.ReadInt(&out->num_scores);
+        break;
+      case Opcode::kTrussMax:
+        ok = reader.ReadInt(&out->tmax) && reader.ReadInt(&out->num_edges);
+        break;
+      case Opcode::kApplyBatch:
+        ok = reader.ReadInt(&out->epoch) && reader.ReadInt(&out->inserted) &&
+             reader.ReadInt(&out->deleted) && reader.ReadInt(&out->rejected) &&
+             reader.ReadInt(&out->coreness_changed);
+        break;
+    }
+  }
+  if (!ok) {
+    return Fail(WireError::kMalformedBody, "body too short for opcode",
+                error_message);
+  }
+  if (!reader.AtEnd()) {
+    return Fail(WireError::kMalformedBody, "trailing bytes after body",
+                error_message);
+  }
+  return WireError::kOk;
+}
+
+}  // namespace corekit::server

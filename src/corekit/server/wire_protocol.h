@@ -1,0 +1,191 @@
+// The corekit_serve wire protocol: length-prefixed binary frames.
+//
+// The paper's index answers any best-k query in optimal time once built,
+// so the natural deployment is a long-lived server holding warm
+// CoreEngine instances and answering many small queries.  This header
+// defines the request/response frame format that server speaks — a
+// deliberately tiny, versioned, length-prefixed binary protocol in the
+// spirit of the memcached/redis binary framings: fixed little-endian
+// header, opcode-tagged bodies, typed error codes (a malformed frame is
+// an *answer*, never a crash).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     body_len    bytes following the 16-byte header
+//   4       1     version     kWireVersion (1)
+//   5       1     opcode      Opcode
+//   6       2     status      WireError; 0 in requests and OK responses
+//   8       8     request_id  echoed verbatim in the response
+//   16      ...   body        opcode-specific payload (see the structs)
+//
+// Request bodies:
+//   Ping           u64 payload (echoed)
+//   GraphInfo      str graph
+//   Coreness       str graph, u32 vertex
+//   BestCoreSet    str graph, u8 metric
+//   BestSingleCore str graph, u8 metric
+//   TrussMax       str graph
+//   ApplyBatch     str graph, u32 n_inserts, u32 n_deletes,
+//                  then (u32 u, u32 v) per edge, inserts first
+// where `str` is u16 length + that many raw bytes.
+//
+// Response bodies (status == kOk):
+//   Ping           u64 payload
+//   GraphInfo      u32 n, u64 m, u64 epoch
+//   Coreness       u32 coreness, u32 kmax
+//   BestCoreSet    u32 best_k, f64 best_score, u64 num_scores
+//   BestSingleCore u32 best_k, u64 best_node, f64 best_score,
+//                  u64 num_scores
+//   TrussMax       u32 tmax, u64 num_edges
+//   ApplyBatch     u64 epoch, u32 inserted, u32 deleted, u32 rejected,
+//                  u64 coreness_changed
+// Error responses (status != kOk) carry `str message` as their body.
+//
+// Decoding is total: every malformation (truncated frame, oversized
+// length prefix, unknown version/opcode, short or over-long body) maps
+// to a typed WireError, so a hostile byte stream can cost at most a
+// closed connection.  tests/engine/wire_protocol_test.cc fuzzes this
+// contract under ASan.
+//
+// This layer is pure bytes: no sockets, no engine types beyond the graph
+// typedefs — transport lives in tcp_server.h, semantics in
+// engine_service.h.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "corekit/core/metrics.h"
+#include "corekit/graph/types.h"
+
+namespace corekit::server {
+
+// Bump on any change to the frame layout or a body shape.  A server
+// answers a frame with any other version with kUnsupportedVersion (the
+// request_id still echoes, so clients can match the rejection).
+inline constexpr std::uint8_t kWireVersion = 1;
+
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+// Upper bound a peer will accept for body_len; an oversized length
+// prefix is rejected before any allocation happens.
+inline constexpr std::uint32_t kMaxBodyBytes = 1u << 20;
+
+enum class Opcode : std::uint8_t {
+  kPing = 0,            // liveness / echo
+  kGraphInfo = 1,       // n, m, epoch of a tenant
+  kCoreness = 2,        // coreness of one vertex
+  kBestCoreSet = 3,     // Problem 1 (Algorithms 2/3)
+  kBestSingleCore = 4,  // Problem 2 (Algorithm 5)
+  kTrussMax = 5,        // max truss number (cold, coalescable)
+  kApplyBatch = 6,      // churn: edge insert/delete batch
+};
+inline constexpr int kOpcodeCount = 7;
+
+// Human-readable opcode name ("ping", "coreness", ...); "?" when out of
+// range.
+const char* OpcodeName(Opcode opcode);
+
+// Typed protocol errors.  kOk..kBadRequest describe the offending frame;
+// kServerBusy / kShuttingDown describe server state (load shedding).
+enum class WireError : std::uint16_t {
+  kOk = 0,
+  kUnsupportedVersion = 1,  // header version != kWireVersion
+  kUnknownOpcode = 2,       // opcode outside [0, kOpcodeCount)
+  kTruncatedFrame = 3,      // fewer bytes than the header/body promised
+  kOversizedFrame = 4,      // body_len > max frame bytes
+  kMalformedBody = 5,       // body too short/long for its opcode
+  kUnknownGraph = 6,        // no tenant with that name
+  kBadRequest = 7,          // decoded fine, semantically invalid
+  kServerBusy = 8,          // bounded queue full — retry later
+  kShuttingDown = 9,        // server draining, no new work accepted
+};
+
+// "OK", "unsupported-version", ... ("?" when out of range).
+const char* WireErrorName(WireError error);
+
+struct FrameHeader {
+  std::uint32_t body_len = 0;
+  std::uint8_t version = kWireVersion;
+  Opcode opcode = Opcode::kPing;
+  WireError status = WireError::kOk;
+  std::uint64_t request_id = 0;
+};
+
+// A decoded request.  Flat struct rather than a variant: only the fields
+// the opcode uses are meaningful, everything else stays defaulted (the
+// encoder ignores them, the decoder zeroes them).
+struct Request {
+  Opcode opcode = Opcode::kPing;
+  std::uint64_t request_id = 0;
+
+  std::uint64_t ping_payload = 0;        // kPing
+  std::string graph;                     // all graph-addressed opcodes
+  VertexId vertex = 0;                   // kCoreness
+  Metric metric = Metric::kAverageDegree;  // kBestCoreSet/kBestSingleCore
+  EdgeList inserts;                      // kApplyBatch
+  EdgeList deletes;                      // kApplyBatch
+};
+
+// A decoded response (same flat-struct convention).
+struct Response {
+  Opcode opcode = Opcode::kPing;
+  std::uint64_t request_id = 0;
+  WireError status = WireError::kOk;
+  std::string message;  // error responses only
+
+  std::uint64_t ping_payload = 0;                    // kPing
+  std::uint32_t num_vertices = 0;                    // kGraphInfo
+  std::uint64_t num_edges = 0;                       // kGraphInfo/kTrussMax
+  std::uint64_t epoch = 0;                           // kGraphInfo/kApplyBatch
+  std::uint32_t coreness = 0;                        // kCoreness
+  std::uint32_t kmax = 0;                            // kCoreness
+  std::uint32_t best_k = 0;                          // kBestCoreSet/kBest...
+  std::uint64_t best_node = 0;                       // kBestSingleCore
+  double best_score = 0.0;                           // kBestCoreSet/kBest...
+  std::uint64_t num_scores = 0;                      // kBestCoreSet/kBest...
+  std::uint32_t tmax = 0;                            // kTrussMax
+  std::uint32_t inserted = 0;                        // kApplyBatch
+  std::uint32_t deleted = 0;                         // kApplyBatch
+  std::uint32_t rejected = 0;                        // kApplyBatch
+  std::uint64_t coreness_changed = 0;                // kApplyBatch
+};
+
+// Builds the error response for a request (or partial header) — echoes
+// opcode/request_id, sets status + message.
+Response MakeErrorResponse(Opcode opcode, std::uint64_t request_id,
+                           WireError error, std::string message);
+
+// --- Encoding (always succeeds; caller owns field validity) ---------------
+
+std::vector<std::uint8_t> EncodeRequest(const Request& request);
+std::vector<std::uint8_t> EncodeResponse(const Response& response);
+
+// --- Decoding (total: typed error, never a crash) --------------------------
+
+// Parses the 16-byte header of `bytes` (more bytes may follow; only the
+// first kFrameHeaderBytes are read).  Validates length only — version
+// and opcode are left to the full decoders so the caller can still echo
+// request_id in a typed rejection.  `max_body_bytes` lets transports
+// cap frames below the protocol maximum.
+//   kTruncatedFrame  fewer than kFrameHeaderBytes bytes
+//   kOversizedFrame  body_len > max_body_bytes
+WireError DecodeFrameHeader(std::span<const std::uint8_t> bytes,
+                            FrameHeader* out,
+                            std::uint32_t max_body_bytes = kMaxBodyBytes);
+
+// Decodes one complete frame (header + body, exactly).  On success fills
+// `out` and returns kOk; otherwise returns the typed error and (when a
+// header was readable) still fills out->opcode / out->request_id so the
+// caller can address its error response.  `error_message` (optional)
+// receives a human-readable description of the failure.
+WireError DecodeRequest(std::span<const std::uint8_t> bytes, Request* out,
+                        std::string* error_message = nullptr);
+WireError DecodeResponse(std::span<const std::uint8_t> bytes, Response* out,
+                         std::string* error_message = nullptr);
+
+}  // namespace corekit::server

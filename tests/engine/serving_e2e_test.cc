@@ -1,0 +1,659 @@
+// End-to-end serving tests: real sockets, real threads, real eviction.
+//
+// The acceptance battery for the serving tier:
+//   * wire-vs-direct differential — the same deterministic query mix
+//     through a TCP round-trip and through direct EngineService calls
+//     produces bitwise-identical checksums, with multiple tenants
+//     resident under a memory budget that forces eviction mid-run;
+//   * protocol robustness over a live socket — malformed frames get
+//     typed error responses and never take the server down;
+//   * backpressure — a saturated bounded queue sheds typed kServerBusy,
+//     every accepted request completes, and shutdown drains cleanly
+//     (ASan proves no session leaks);
+//   * churn through the server path — ApplyBatch over the wire patches
+//     engines in place, and the per-tenant StageStats `patches`
+//     aggregation stays correct across registry tenants.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "corekit/engine/engine_registry.h"
+#include "corekit/gen/generators.h"
+#include "corekit/server/engine_service.h"
+#include "corekit/server/load_generator.h"
+#include "corekit/server/tcp_server.h"
+#include "corekit/server/wire_client.h"
+#include "corekit/server/wire_protocol.h"
+#include "corekit/util/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace corekit::server {
+namespace {
+
+using corekit::testing::Fig2Graph;
+
+// Three deterministic tenants of different shapes.
+void AddTenants(EngineRegistry& registry) {
+  ASSERT_TRUE(registry.AddGraph("fig2", Fig2Graph()).ok());
+  ASSERT_TRUE(registry.AddGraph("ba", GenerateBarabasiAlbert(300, 4, 11)).ok());
+  ASSERT_TRUE(registry.AddGraph("er", GenerateErdosRenyi(200, 600, 13)).ok());
+}
+
+// A deterministic edge that is NOT in `graph` — epoch bumps only on
+// effective batches, so churn tests must insert genuinely-new edges.
+Edge AbsentEdge(const Graph& graph, VertexId skip_u = kInvalidVertex) {
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    if (u == skip_u) continue;
+    for (VertexId v = u + 1; v < graph.NumVertices(); ++v) {
+      if (!graph.HasEdge(u, v)) return {u, v};
+    }
+  }
+  ADD_FAILURE() << "graph is complete";
+  return {0, 0};
+}
+
+std::uint64_t TenantBudget(std::uint32_t engines) {
+  // Big enough for `engines` of the largest tenant, not for all three.
+  return engines *
+         EstimateEngineFootprintBytes(GenerateBarabasiAlbert(300, 4, 11));
+}
+
+LoadGenOptions MixFor(std::uint16_t port, std::uint32_t clients,
+                      std::uint32_t queries) {
+  LoadGenOptions options;
+  options.port = port;
+  options.graphs = {"fig2", "ba", "er"};
+  options.graph_sizes = {12, 300, 200};
+  options.num_clients = clients;
+  options.queries_per_client = queries;
+  options.seed = 0xD1FFULL;
+  return options;
+}
+
+// --- The tentpole differential --------------------------------------------
+
+TEST(ServingE2eTest, WireMatchesDirectBitwiseUnderEviction) {
+  // Budget for ~1.5 engines across 3 tenants: the mix *must* evict.
+  EngineRegistryOptions registry_options;
+  registry_options.memory_budget_bytes = TenantBudget(1) +
+                                         TenantBudget(1) / 2;
+  EngineRegistry wire_registry(registry_options);
+  AddTenants(wire_registry);
+  EngineService wire_service(wire_registry);
+  TcpServerOptions server_options;
+  server_options.num_workers = 4;
+  TcpServer server(wire_service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const LoadGenOptions mix = MixFor(server.port(), /*clients=*/6,
+                                    /*queries=*/80);
+  const LoadGenReport wire_report = RunWireLoad(mix);
+  server.Shutdown();
+
+  EXPECT_EQ(wire_report.transport_failures, 0u);
+  EXPECT_EQ(wire_report.errors, 0u);
+  EXPECT_EQ(wire_report.queries,
+            static_cast<std::uint64_t>(mix.num_clients) *
+                mix.queries_per_client);
+  EXPECT_GT(wire_report.qps, 0.0);
+  EXPECT_GE(wire_report.p99_seconds, wire_report.p50_seconds);
+  EXPECT_GE(wire_report.p999_seconds, wire_report.p99_seconds);
+
+  // ≥ 2 graphs went resident and the budget forced at least 1 eviction.
+  const auto wire_stats = wire_registry.stats();
+  EXPECT_GE(wire_stats.admissions, 3u);
+  EXPECT_GE(wire_stats.evictions, 1u);
+
+  // Direct replay: fresh registry (same tenants, same budget), no
+  // sockets, serial.  The checksums must agree bitwise.
+  EngineRegistry direct_registry(registry_options);
+  AddTenants(direct_registry);
+  EngineService direct_service(direct_registry);
+  const LoadGenReport direct_report = RunDirectLoad(direct_service, mix);
+  EXPECT_EQ(direct_report.queries, wire_report.queries);
+  EXPECT_EQ(direct_report.errors, 0u);
+  EXPECT_EQ(wire_report.checksum, direct_report.checksum)
+      << "socket transport changed an answer";
+
+  // And an unbounded-budget direct replay agrees too: eviction and
+  // re-admission are answer-invariant, not just transport.
+  EngineRegistry unbounded_registry;
+  AddTenants(unbounded_registry);
+  EngineService unbounded_service(unbounded_registry);
+  const LoadGenReport unbounded_report =
+      RunDirectLoad(unbounded_service, mix);
+  EXPECT_EQ(unbounded_report.checksum, wire_report.checksum)
+      << "eviction changed an answer";
+  EXPECT_EQ(unbounded_registry.stats().evictions, 0u);
+}
+
+// The same mix twice over the wire: reproducible end to end.
+TEST(ServingE2eTest, WireChecksumIsReproducible) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  EngineService service(registry);
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start().ok());
+  const LoadGenOptions mix = MixFor(server.port(), 3, 40);
+  const LoadGenReport first = RunWireLoad(mix);
+  const LoadGenReport second = RunWireLoad(mix);
+  server.Shutdown();
+  EXPECT_EQ(first.checksum, second.checksum);
+  EXPECT_EQ(first.queries, second.queries);
+}
+
+// Pipelined clients (several requests in flight per connection) still
+// match the serial direct replay: responses may interleave, request_id
+// matching un-interleaves them.
+TEST(ServingE2eTest, PipeliningPreservesAnswers) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  EngineService service(registry);
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start().ok());
+  LoadGenOptions mix = MixFor(server.port(), 4, 60);
+  mix.pipeline_depth = 8;
+  const LoadGenReport wire_report = RunWireLoad(mix);
+  server.Shutdown();
+  EXPECT_EQ(wire_report.transport_failures, 0u);
+
+  EngineRegistry direct_registry;
+  AddTenants(direct_registry);
+  EngineService direct_service(direct_registry);
+  EXPECT_EQ(wire_report.checksum,
+            RunDirectLoad(direct_service, mix).checksum);
+}
+
+// --- Basic request/response over a live socket ----------------------------
+
+class ServingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddTenants(registry_);
+    service_ = std::make_unique<EngineService>(registry_);
+    server_ = std::make_unique<TcpServer>(*service_);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void TearDown() override {
+    client_.Close();
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  Response MustCall(const Request& request) {
+    auto response = client_.Call(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? response.value() : Response{};
+  }
+
+  EngineRegistry registry_;
+  std::unique_ptr<EngineService> service_;
+  std::unique_ptr<TcpServer> server_;
+  WireClient client_;
+};
+
+TEST_F(ServingFixture, PingEchoes) {
+  Request request;
+  request.opcode = Opcode::kPing;
+  request.request_id = 7;
+  request.ping_payload = 0xABCDEF;
+  const Response response = MustCall(request);
+  EXPECT_EQ(response.status, WireError::kOk);
+  EXPECT_EQ(response.request_id, 7u);
+  EXPECT_EQ(response.ping_payload, 0xABCDEFu);
+}
+
+TEST_F(ServingFixture, GraphInfoReportsTenantShape) {
+  Request request;
+  request.opcode = Opcode::kGraphInfo;
+  request.graph = "fig2";
+  const Response response = MustCall(request);
+  EXPECT_EQ(response.status, WireError::kOk);
+  EXPECT_EQ(response.num_vertices, 12u);
+  EXPECT_EQ(response.num_edges, 19u);
+  EXPECT_EQ(response.epoch, 0u);
+}
+
+TEST_F(ServingFixture, CorenessMatchesThePaperExample) {
+  Request request;
+  request.opcode = Opcode::kCoreness;
+  request.graph = "fig2";
+  request.vertex = 0;  // v1 of Figure 2: in a K4, coreness 3
+  const Response response = MustCall(request);
+  EXPECT_EQ(response.status, WireError::kOk);
+  EXPECT_EQ(response.coreness, 3u);
+  EXPECT_EQ(response.kmax, 3u);
+}
+
+TEST_F(ServingFixture, UnknownGraphIsTyped) {
+  Request request;
+  request.opcode = Opcode::kCoreness;
+  request.graph = "nope";
+  const Response response = MustCall(request);
+  EXPECT_EQ(response.status, WireError::kUnknownGraph);
+}
+
+TEST_F(ServingFixture, OutOfRangeVertexIsTyped) {
+  Request request;
+  request.opcode = Opcode::kCoreness;
+  request.graph = "fig2";
+  request.vertex = 1000;
+  const Response response = MustCall(request);
+  EXPECT_EQ(response.status, WireError::kBadRequest);
+}
+
+// --- Malformed frames over the socket -------------------------------------
+
+TEST_F(ServingFixture, MalformedBodyGetsTypedErrorAndSessionSurvives) {
+  // A syntactically-intact frame whose body lies about its string
+  // length: typed kMalformedBody, and the *same connection* keeps
+  // working afterwards (body errors do not poison the framing).
+  Request info;
+  info.opcode = Opcode::kGraphInfo;
+  info.graph = "fig2";
+  std::vector<std::uint8_t> bytes = EncodeRequest(info);
+  bytes[kFrameHeaderBytes] = 0xFF;
+  bytes[kFrameHeaderBytes + 1] = 0xFF;
+  ASSERT_TRUE(client_.SendRaw(bytes).ok());
+  Response response;
+  ASSERT_TRUE(client_.Receive(&response).ok());
+  EXPECT_EQ(response.status, WireError::kMalformedBody);
+  // Session still alive:
+  EXPECT_EQ(MustCall(info).status, WireError::kOk);
+}
+
+TEST_F(ServingFixture, UnknownOpcodeGetsTypedErrorAndSessionSurvives) {
+  Request ping;
+  ping.opcode = Opcode::kPing;
+  ping.request_id = 77;
+  std::vector<std::uint8_t> bytes = EncodeRequest(ping);
+  bytes[5] = 0x7F;  // forge an undefined opcode
+  ASSERT_TRUE(client_.SendRaw(bytes).ok());
+  Response response;
+  ASSERT_TRUE(client_.Receive(&response).ok());
+  EXPECT_EQ(response.status, WireError::kUnknownOpcode);
+  EXPECT_EQ(response.request_id, 77u);  // rejection is addressable
+  EXPECT_EQ(MustCall(ping).status, WireError::kOk);
+}
+
+TEST_F(ServingFixture, UnsupportedVersionClosesTheConnection) {
+  Request ping;
+  ping.opcode = Opcode::kPing;
+  std::vector<std::uint8_t> bytes = EncodeRequest(ping);
+  bytes[4] = kWireVersion + 9;
+  ASSERT_TRUE(client_.SendRaw(bytes).ok());
+  Response response;
+  ASSERT_TRUE(client_.Receive(&response).ok());
+  EXPECT_EQ(response.status, WireError::kUnsupportedVersion);
+  // The server hangs up after a version mismatch: the next read EOFs.
+  EXPECT_FALSE(client_.Receive(&response).ok());
+}
+
+TEST_F(ServingFixture, OversizedLengthPrefixClosesTheConnection) {
+  std::vector<std::uint8_t> bytes =
+      EncodeRequest([] {
+        Request ping;
+        ping.opcode = Opcode::kPing;
+        return ping;
+      }());
+  bytes[0] = bytes[1] = bytes[2] = bytes[3] = 0xFF;  // 4 GiB body claim
+  ASSERT_TRUE(client_.SendRaw(bytes).ok());
+  Response response;
+  ASSERT_TRUE(client_.Receive(&response).ok());
+  EXPECT_EQ(response.status, WireError::kOversizedFrame);
+  EXPECT_FALSE(client_.Receive(&response).ok());  // hung up
+  // The *server* is fine: a fresh connection works.
+  WireClient fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", server_->port()).ok());
+  Request info;
+  info.opcode = Opcode::kGraphInfo;
+  info.graph = "fig2";
+  auto ok = fresh.Call(info);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().status, WireError::kOk);
+  EXPECT_GE(server_->stats().frames_rejected, 1u);
+}
+
+TEST_F(ServingFixture, GarbageStreamNeverKillsTheServer) {
+  // Shovel random bytes at the server, then confirm it still answers.
+  Rng rng(555);
+  std::vector<std::uint8_t> noise(512);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  (void)client_.SendRaw(noise);
+  client_.Close();
+  WireClient fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", server_->port()).ok());
+  Request info;
+  info.opcode = Opcode::kGraphInfo;
+  info.graph = "ba";
+  auto response = fresh.Call(info);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, WireError::kOk);
+  EXPECT_EQ(response.value().num_vertices, 300u);
+}
+
+// --- Backpressure ----------------------------------------------------------
+
+TEST(ServingBackpressureTest, SaturatedQueueShedsTypedBusy) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  // One slow worker + a 2-deep queue: a burst of pipelined requests
+  // must overflow deterministically.
+  EngineServiceOptions service_options;
+  service_options.artificial_delay_seconds = 0.02;
+  service_options.coalesce_cold_queries = false;  // every request works
+  EngineService service(registry, service_options);
+  TcpServerOptions server_options;
+  server_options.num_workers = 1;
+  server_options.queue_capacity = 2;
+  TcpServer server(service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  constexpr std::uint32_t kBurst = 16;
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    Request request;
+    // Coreness (not Ping): the artificial delay applies after the lease
+    // is acquired, so every admitted request holds the one worker for
+    // 20ms — the burst must overflow the 2-deep queue.
+    request.opcode = Opcode::kCoreness;
+    request.graph = "fig2";
+    request.vertex = i % 12;
+    request.request_id = i;
+    ASSERT_TRUE(client.Send(request).ok());
+  }
+  std::uint32_t ok_count = 0;
+  std::uint32_t busy_count = 0;
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    Response response;
+    ASSERT_TRUE(client.Receive(&response).ok());
+    if (response.status == WireError::kOk) {
+      ++ok_count;
+    } else {
+      ASSERT_EQ(response.status, WireError::kServerBusy);
+      ++busy_count;
+    }
+  }
+  client.Close();
+  server.Shutdown();
+
+  // Every request got exactly one response; overload shed typed busy.
+  EXPECT_EQ(ok_count + busy_count, kBurst);
+  EXPECT_GT(busy_count, 0u) << "queue never saturated";
+  EXPECT_GT(ok_count, 0u) << "nothing was admitted";
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.busy_rejections, busy_count);
+  // "Accepted implies completed": the workers answered every admitted
+  // request before shutdown returned.
+  EXPECT_EQ(stats.requests_completed, ok_count);
+}
+
+TEST(ServingBackpressureTest, ShutdownDrainsAcceptedRequests) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  EngineServiceOptions service_options;
+  service_options.artificial_delay_seconds = 0.01;
+  EngineService service(registry, service_options);
+  TcpServerOptions server_options;
+  server_options.num_workers = 2;
+  TcpServer server(service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Queue a pile of slow requests, then shut down while they are in
+  // flight: every admitted request still gets its response (drain), and
+  // ASan confirms no session or thread leaks.
+  WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  constexpr std::uint32_t kInFlight = 8;
+  for (std::uint32_t i = 0; i < kInFlight; ++i) {
+    Request request;
+    request.opcode = Opcode::kCoreness;
+    request.graph = "fig2";
+    request.vertex = i;
+    request.request_id = 100 + i;
+    ASSERT_TRUE(client.Send(request).ok());
+  }
+  std::atomic<std::uint32_t> answered{0};
+  std::thread reader([&client, &answered] {
+    Response response;
+    while (client.Receive(&response).ok()) {
+      if (response.status == WireError::kOk ||
+          response.status == WireError::kServerBusy ||
+          response.status == WireError::kShuttingDown) {
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Give the reader a moment to start, then drain underneath it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Shutdown();
+  reader.join();
+  client.Close();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests_completed + stats.busy_rejections,
+            static_cast<std::uint64_t>(answered.load()));
+  EXPECT_LE(answered.load(), kInFlight);
+  EXPECT_GT(answered.load(), 0u);
+}
+
+TEST(ServingBackpressureTest, SessionLimitRefusesWithTypedBusy) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  EngineService service(registry);
+  TcpServerOptions server_options;
+  server_options.max_sessions = 2;
+  TcpServer server(service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient first, second;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(second.Connect("127.0.0.1", server.port()).ok());
+  // Make sure both sessions are registered before the third knocks.
+  Request ping;
+  ping.opcode = Opcode::kPing;
+  ASSERT_TRUE(first.Call(ping).ok());
+  ASSERT_TRUE(second.Call(ping).ok());
+
+  WireClient third;
+  ASSERT_TRUE(third.Connect("127.0.0.1", server.port()).ok());
+  Response refusal;
+  ASSERT_TRUE(third.Receive(&refusal).ok());
+  EXPECT_EQ(refusal.status, WireError::kServerBusy);
+  server.Shutdown();
+  EXPECT_GE(server.stats().sessions_refused, 1u);
+}
+
+// --- Churn through the server path ----------------------------------------
+
+TEST(ServingChurnTest, ApplyBatchOverWirePatchesTenantsIndependently) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  EngineService service(registry);
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start().ok());
+  WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Batch 1 on fig2: add a chord inside the 2-shell, drop a K4 edge.
+  Request batch;
+  batch.opcode = Opcode::kApplyBatch;
+  batch.graph = "fig2";
+  batch.request_id = 1;
+  batch.inserts = {{4, 7}};   // v5-v8
+  batch.deletes = {{0, 1}};   // v1-v2
+  auto first = client.Call(batch);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().status, WireError::kOk);
+  EXPECT_EQ(first.value().epoch, 1u);
+  EXPECT_EQ(first.value().inserted, 1u);
+  EXPECT_EQ(first.value().deleted, 1u);
+
+  // Batch 2, same tenant: epochs accumulate per tenant.
+  batch.request_id = 2;
+  batch.inserts = {{0, 1}};   // restore the K4 edge
+  batch.deletes = {{4, 7}};
+  auto second = client.Call(batch);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().epoch, 2u);
+
+  // A batch on a *different* tenant starts at its own epoch 1.  The er
+  // tenant is random, so pick an edge provably absent from it.
+  Request other;
+  other.opcode = Opcode::kApplyBatch;
+  other.graph = "er";
+  other.request_id = 3;
+  other.inserts = {AbsentEdge(GenerateErdosRenyi(200, 600, 13))};
+  auto third = client.Call(other);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().inserted, 1u);
+  EXPECT_EQ(third.value().epoch, 1u);
+
+  // Queries against the churned tenant see post-batch state over the
+  // same socket (fig2 is net unchanged, so the paper's numbers hold).
+  Request coreness;
+  coreness.opcode = Opcode::kCoreness;
+  coreness.graph = "fig2";
+  coreness.vertex = 0;
+  coreness.request_id = 4;
+  auto query = client.Call(coreness);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().coreness, 3u);
+
+  client.Close();
+  server.Shutdown();
+  EXPECT_EQ(service.stats().batches, 3u);
+
+  // StageStats `patches` aggregation per tenant: fig2's engine absorbed
+  // 2 batches, er's 1, ba's 0 — the counters are per-engine, so the
+  // registry's tenancy must not smear them together.
+  {
+    auto fig2 = registry.Acquire("fig2");
+    EXPECT_EQ(fig2->engine().Epoch(), 2u);
+    EXPECT_GE(fig2->engine().stats().TotalPatches(), 2u);
+    fig2->Release();
+    auto er = registry.Acquire("er");
+    EXPECT_EQ(er->engine().Epoch(), 1u);
+    EXPECT_GE(er->engine().stats().TotalPatches(), 1u);
+    er->Release();
+    auto ba = registry.Acquire("ba");
+    EXPECT_EQ(ba->engine().Epoch(), 0u);
+    EXPECT_EQ(ba->engine().stats().TotalPatches(), 0u);
+    ba->Release();
+  }
+}
+
+// Concurrent wire clients churning two tenants while readers query a
+// third: the registry serializes nothing across tenants (each engine
+// has its own locks), and every answer stays coherent.
+TEST(ServingChurnTest, ConcurrentChurnAndReadsAcrossTenants) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  EngineService service(registry);
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<std::uint32_t> batch_errors{0};
+  std::atomic<std::uint32_t> read_errors{0};
+  std::vector<std::thread> threads;
+  // Two writers alternating insert/delete on their own tenant.
+  for (const std::string graph : {"fig2", "er"}) {
+    threads.emplace_back([port = server.port(), graph, &batch_errors] {
+      WireClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+      for (std::uint32_t round = 0; round < 20; ++round) {
+        Request batch;
+        batch.opcode = Opcode::kApplyBatch;
+        batch.graph = graph;
+        batch.request_id = round;
+        const Edge edge =
+            graph == "fig2"
+                ? Edge{4, 7}  // v5-v8: absent from Figure 2
+                : AbsentEdge(GenerateErdosRenyi(200, 600, 13));
+        if (round % 2 == 0) {
+          batch.inserts = {edge};
+        } else {
+          batch.deletes = {edge};
+        }
+        auto response = client.Call(batch);
+        if (!response.ok() ||
+            response.value().status != WireError::kOk) {
+          batch_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Readers on the untouched tenant.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([port = server.port(), &read_errors] {
+      WireClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+      for (std::uint32_t round = 0; round < 40; ++round) {
+        Request request;
+        request.opcode = Opcode::kGraphInfo;
+        request.graph = "ba";
+        request.request_id = round;
+        auto response = client.Call(request);
+        if (!response.ok() || response.value().status != WireError::kOk ||
+            response.value().num_vertices != 300 ||
+            response.value().epoch != 0) {
+          read_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  server.Shutdown();
+  EXPECT_EQ(batch_errors.load(), 0u);
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(service.stats().batches, 40u);
+
+  // Each churned tenant absorbed exactly its own 20 batches.
+  auto fig2 = registry.Acquire("fig2");
+  EXPECT_EQ(fig2->engine().Epoch(), 20u);
+  fig2->Release();
+  auto er = registry.Acquire("er");
+  EXPECT_EQ(er->engine().Epoch(), 20u);
+  er->Release();
+}
+
+// --- Coalescing ------------------------------------------------------------
+
+TEST(ServingCoalescingTest, IdenticalColdQueriesShareOneExecution) {
+  EngineRegistry registry;
+  AddTenants(registry);
+  // The artificial delay holds the leader in Execute() long enough for
+  // the followers to pile onto its flight cell.
+  EngineServiceOptions service_options;
+  service_options.artificial_delay_seconds = 0.05;
+  EngineService service(registry, service_options);
+
+  constexpr std::uint32_t kCallers = 6;
+  std::vector<std::thread> threads;
+  std::vector<Response> responses(kCallers);
+  for (std::uint32_t t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&service, &responses, t] {
+      Request request;
+      request.opcode = Opcode::kTrussMax;  // expensive + uncached
+      request.graph = "ba";
+      request.request_id = t;
+      responses[t] = service.Handle(request);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::uint32_t t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(responses[t].status, WireError::kOk);
+    EXPECT_EQ(responses[t].request_id, t);  // restamped per caller
+    EXPECT_EQ(responses[t].tmax, responses[0].tmax);
+  }
+  // At least some callers were followers (exact split is a race), and
+  // every follower shared the leader's single execution.
+  EXPECT_GT(service.stats().coalesced, 0u);
+  EXPECT_LT(service.stats().coalesced, kCallers);
+}
+
+}  // namespace
+}  // namespace corekit::server

@@ -329,6 +329,36 @@ TEST(LayeringTest, ParallelMayIncludeTrussButNotViceVersa) {
       1);
 }
 
+TEST(LayeringTest, ServerMayIncludeEngineButNotViceVersa) {
+  // The serving tier: server depends on engine (registry leases feed
+  // wire dispatch)...
+  EXPECT_EQ(
+      CountRule(
+          LintContent("src/corekit/server/engine_service.cc",
+                      "#include \"corekit/engine/engine_registry.h\"\n"),
+          "layering"),
+      0);
+  // ...but engine must stay transport-free (embeddable without a
+  // server).
+  EXPECT_EQ(
+      CountRule(LintContent("src/corekit/engine/engine_registry.cc",
+                            "#include \"corekit/server/wire_protocol.h\"\n"),
+                "layering"),
+      1);
+}
+
+TEST(LayeringTest, ServerReachesTheWholeAnalyticsStack) {
+  const std::string content =
+      "#include \"corekit/analysis/invariant_audit.h\"\n"
+      "#include \"corekit/core/metrics.h\"\n"
+      "#include \"corekit/truss/truss_decomposition.h\"\n"
+      "#include \"corekit/util/status.h\"\n";
+  EXPECT_EQ(CountRule(LintContent("src/corekit/server/engine_service.cc",
+                                  content),
+                      "layering"),
+            0);
+}
+
 TEST(LayeringTest, GraphMustNotIncludeCore) {
   EXPECT_EQ(
       CountRule(LintContent("src/corekit/graph/graph_stats.cc",

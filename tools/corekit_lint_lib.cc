@@ -387,6 +387,12 @@ void CheckLayering(const std::string& path, const std::string& content,
       // dynamic must NOT include engine (the index stays embeddable).
       {"engine",
        {"analysis", "dynamic", "parallel", "truss", "core", "graph", "util"}},
+      // server -> engine is the serving tier (registry leases, wire
+      // dispatch); engine must NOT include server (engines stay
+      // embeddable without a transport).
+      {"server",
+       {"engine", "analysis", "dynamic", "parallel", "truss", "core", "graph",
+        "util"}},
       {"apps", {"engine", "core", "graph", "util"}},
       {"viz", {"core", "graph", "util"}},
   };

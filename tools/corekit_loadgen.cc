@@ -1,0 +1,136 @@
+// corekit_loadgen: deterministic load generator for corekit_serve.
+//
+//   corekit_loadgen --port 7421 --graph web --graph social
+//                   --clients 8 --queries 256 --seed 7
+//
+// Connects N concurrent clients to a running corekit_serve, replays the
+// deterministic query mix of src/corekit/server/load_generator.h, and
+// prints one JSON object with p50/p99/p999 latency, QPS, error counts
+// and the order-independent answer checksum.  Two runs with the same
+// seed against the same tenants print the same checksum — and so does a
+// direct (no-socket) replay, which is how the serving tests pin the
+// transport.
+//
+// Flags:
+//   --host A       server address     (default 127.0.0.1)
+//   --port N       server port        (required)
+//   --graph NAME   tenant to query    (repeat; at least one)
+//   --clients N    concurrent clients (default 8)
+//   --queries N    queries per client (default 256)
+//   --pipeline N   requests in flight per client (default 1)
+//   --seed S       mix seed           (default 7)
+//
+// Tenant sizes (needed to draw valid Coreness vertices) are fetched
+// up-front with one GraphInfo per tenant.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "corekit/server/load_generator.h"
+#include "corekit/server/wire_client.h"
+#include "corekit/util/json.h"
+
+namespace {
+
+using namespace corekit;
+using namespace corekit::server;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: corekit_loadgen --port N --graph NAME [--graph ...]\n"
+               "  [--host A] [--clients N] [--queries N] [--pipeline N] "
+               "[--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadGenOptions options;
+  options.num_clients = 8;
+  options.queries_per_client = 256;
+  options.seed = 7;
+  bool have_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (value == nullptr) return Usage();
+    ++i;
+    if (flag == "--host") {
+      options.host = value;
+    } else if (flag == "--port") {
+      options.port =
+          static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+      have_port = true;
+    } else if (flag == "--graph") {
+      options.graphs.emplace_back(value);
+    } else if (flag == "--clients") {
+      options.num_clients =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--queries") {
+      options.queries_per_client =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--pipeline") {
+      options.pipeline_depth =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--seed") {
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  if (!have_port || options.graphs.empty()) return Usage();
+
+  // Learn each tenant's vertex count so the mix draws valid vertices.
+  {
+    WireClient probe;
+    const Status connected = probe.Connect(options.host, options.port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "corekit_loadgen: %s\n",
+                   connected.message().c_str());
+      return 1;
+    }
+    for (const std::string& graph : options.graphs) {
+      Request request;
+      request.opcode = Opcode::kGraphInfo;
+      request.graph = graph;
+      auto response = probe.Call(request);
+      if (!response.ok() || response.value().status != WireError::kOk) {
+        std::fprintf(stderr, "corekit_loadgen: GraphInfo(%s) failed: %s\n",
+                     graph.c_str(),
+                     response.ok()
+                         ? WireErrorName(response.value().status)
+                         : response.status().message().c_str());
+        return 1;
+      }
+      options.graph_sizes.push_back(response.value().num_vertices);
+    }
+  }
+
+  const LoadGenReport report = RunWireLoad(options);
+
+  Json json = Json::Object();
+  json.Set("clients", static_cast<std::uint64_t>(options.num_clients));
+  json.Set("queries_per_client",
+           static_cast<std::uint64_t>(options.queries_per_client));
+  json.Set("seed", options.seed);
+  json.Set("queries", report.queries);
+  json.Set("errors", report.errors);
+  json.Set("busy", report.busy);
+  json.Set("transport_failures", report.transport_failures);
+  json.Set("wall_seconds", report.wall_seconds);
+  json.Set("qps", report.qps);
+  json.Set("p50_ms", report.p50_seconds * 1e3);
+  json.Set("p99_ms", report.p99_seconds * 1e3);
+  json.Set("p999_ms", report.p999_seconds * 1e3);
+  json.Set("max_ms", report.max_seconds * 1e3);
+  char checksum_hex[32];
+  std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                static_cast<unsigned long long>(report.checksum));
+  json.Set("checksum", std::string(checksum_hex));
+  std::printf("%s\n", json.Dump().c_str());
+  return report.transport_failures == 0 ? 0 : 1;
+}

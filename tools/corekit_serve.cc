@@ -1,0 +1,227 @@
+// corekit_serve: the TCP serving front-end.
+//
+//   corekit_serve --graph web=ba:20000:6 --graph social=er:10000:40000
+//                 --port 7421 --workers 8 --budget-mb 64
+//
+// Hosts one EngineRegistry of named tenant graphs behind the
+// wire_protocol.h binary protocol (see that header for the frame
+// layout).  Each --graph adds a tenant:
+//
+//   name=ba:<n>:<deg>[:seed]   Barabási–Albert, n vertices, deg edges/vertex
+//   name=er:<n>:<m>[:seed]     Erdős–Rényi G(n, m)
+//   name=file:<path>           SNAP text edge list (.bin = binary snapshot)
+//
+// Flags:
+//   --host A        bind address            (default 127.0.0.1)
+//   --port N        TCP port, 0 = ephemeral (default 7421)
+//   --workers N     worker threads          (default 4)
+//   --queue N       bounded queue capacity  (default 128)
+//   --max-sessions N connection cap         (default 64)
+//   --budget-mb N   registry memory budget, 0 = unbounded (default 0)
+//   --no-coalesce   disable single-flight coalescing of identical queries
+//
+// Runs until SIGINT/SIGTERM, then drains gracefully and prints the
+// server + service + registry counters.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corekit/corekit.h"
+#include "corekit/engine/engine_registry.h"
+#include "corekit/graph/edge_list_io.h"
+#include "corekit/server/engine_service.h"
+#include "corekit/server/tcp_server.h"
+
+namespace {
+
+using namespace corekit;
+using namespace corekit::server;
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: corekit_serve --graph name=ba:<n>:<deg>[:seed] "
+               "[--graph ...]\n"
+               "  [--host A] [--port N] [--workers N] [--queue N]\n"
+               "  [--max-sessions N] [--budget-mb N] [--no-coalesce]\n"
+               "graph kinds: ba:<n>:<deg>[:seed] | er:<n>:<m>[:seed] | "
+               "file:<path>\n");
+  return 2;
+}
+
+// Splits "kind:a:b:c" on ':'.
+std::vector<std::string> SplitColons(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+bool AddTenant(EngineRegistry& registry, const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::fprintf(stderr, "corekit_serve: bad --graph '%s' (want name=kind:...)\n",
+                 spec.c_str());
+    return false;
+  }
+  const std::string name = spec.substr(0, eq);
+  const std::vector<std::string> parts = SplitColons(spec.substr(eq + 1));
+  const std::string& kind = parts[0];
+  const auto arg = [&parts](std::size_t i, std::uint64_t fallback) {
+    return parts.size() > i ? std::strtoull(parts[i].c_str(), nullptr, 10)
+                            : fallback;
+  };
+  Graph graph;
+  if (kind == "ba" && parts.size() >= 3) {
+    graph = GenerateBarabasiAlbert(static_cast<VertexId>(arg(1, 0)),
+                                   static_cast<VertexId>(arg(2, 0)),
+                                   arg(3, 42));
+  } else if (kind == "er" && parts.size() >= 3) {
+    graph = GenerateErdosRenyi(static_cast<VertexId>(arg(1, 0)),
+                               static_cast<EdgeId>(arg(2, 0)), arg(3, 42));
+  } else if (kind == "file" && parts.size() >= 2) {
+    // Paths may contain ':'; rejoin everything after "file:".
+    std::string path = parts[1];
+    for (std::size_t i = 2; i < parts.size(); ++i) path += ":" + parts[i];
+    auto loaded = path.size() > 4 && path.substr(path.size() - 4) == ".bin"
+                      ? ReadBinaryGraph(path)
+                      : ReadSnapEdgeList(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "corekit_serve: %s: %s\n", path.c_str(),
+                   loaded.status().message().c_str());
+      return false;
+    }
+    graph = std::move(loaded).value();
+  } else {
+    std::fprintf(stderr, "corekit_serve: bad --graph kind in '%s'\n",
+                 spec.c_str());
+    return false;
+  }
+  const Status status = registry.AddGraph(name, std::move(graph));
+  if (!status.ok()) {
+    std::fprintf(stderr, "corekit_serve: %s\n", status.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> graph_specs;
+  TcpServerOptions server_options;
+  server_options.port = 7421;
+  EngineServiceOptions service_options;
+  EngineRegistryOptions registry_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--graph") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      graph_specs.push_back(value);
+    } else if (flag == "--host") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      server_options.host = value;
+    } else if (flag == "--port") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      server_options.port =
+          static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--workers") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      server_options.num_workers =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--queue") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      server_options.queue_capacity =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--max-sessions") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      server_options.max_sessions =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--budget-mb") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      registry_options.memory_budget_bytes =
+          std::strtoull(value, nullptr, 10) * (1ull << 20);
+    } else if (flag == "--no-coalesce") {
+      service_options.coalesce_cold_queries = false;
+    } else {
+      return Usage();
+    }
+  }
+  if (graph_specs.empty()) return Usage();
+
+  EngineRegistry registry(registry_options);
+  for (const std::string& spec : graph_specs) {
+    if (!AddTenant(registry, spec)) return 1;
+  }
+
+  EngineService service(registry, service_options);
+  TcpServer tcp(service, server_options);
+  const Status started = tcp.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "corekit_serve: %s\n", started.message().c_str());
+    return 1;
+  }
+
+  std::printf("corekit_serve listening on %s:%u (%zu tenant%s, %u workers)\n",
+              server_options.host.c_str(), tcp.port(),
+              registry.GraphNames().size(),
+              registry.GraphNames().size() == 1 ? "" : "s",
+              server_options.num_workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("corekit_serve: draining...\n");
+  tcp.Shutdown();
+  const TcpServer::Stats tcp_stats = tcp.stats();
+  const EngineService::Stats service_stats = service.stats();
+  const EngineRegistry::Stats registry_stats = registry.stats();
+  std::printf(
+      "sessions %llu (refused %llu)  frames %llu (rejected %llu)\n"
+      "requests %llu completed, %llu busy-rejected, %llu errors, "
+      "%llu coalesced, %llu batches\n"
+      "registry: %llu admissions, %llu evictions, %llu hits, "
+      "%llu resident engines\n",
+      static_cast<unsigned long long>(tcp_stats.sessions_opened),
+      static_cast<unsigned long long>(tcp_stats.sessions_refused),
+      static_cast<unsigned long long>(tcp_stats.frames_decoded),
+      static_cast<unsigned long long>(tcp_stats.frames_rejected),
+      static_cast<unsigned long long>(tcp_stats.requests_completed),
+      static_cast<unsigned long long>(tcp_stats.busy_rejections),
+      static_cast<unsigned long long>(service_stats.errors),
+      static_cast<unsigned long long>(service_stats.coalesced),
+      static_cast<unsigned long long>(service_stats.batches),
+      static_cast<unsigned long long>(registry_stats.admissions),
+      static_cast<unsigned long long>(registry_stats.evictions),
+      static_cast<unsigned long long>(registry_stats.hits),
+      static_cast<unsigned long long>(registry_stats.resident_engines));
+  return 0;
+}
