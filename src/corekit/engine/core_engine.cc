@@ -220,7 +220,7 @@ const Graph& CoreEngine::CurrentGraph() {
   if (const Graph* p = graph_slot_.published.load(std::memory_order_acquire)) {
     return *p;
   }
-  std::lock_guard<std::mutex> lock(graph_slot_.mutex);
+  MutexLock lock(graph_slot_.mutex);
   if (const Graph* p = graph_slot_.published.load(std::memory_order_acquire)) {
     return *p;
   }
@@ -265,24 +265,30 @@ const T& CoreEngine::Acquire(Slot<T>& slot, std::string_view stage,
     ++stats_.Get(stage).hits;
     return *p;
   }
-  std::unique_lock<std::mutex> lock(slot.mutex);
+  // Explicit Lock()/Unlock() rather than a scoped lock: the protocol
+  // releases the mutex mid-function around the dependency step, and the
+  // thread-safety analysis tracks the explicit calls across both loops
+  // (the lock is held at every back edge, released on every return).
+  slot.mutex.Lock();
   for (;;) {
     if (const T* p = slot.published.load(std::memory_order_acquire)) {
-      lock.unlock();
+      slot.mutex.Unlock();
       ++stats_.Get(stage).hits;
       return *p;
     }
     if (!slot.building) break;
-    slot.ready_cv.wait(lock);
+    slot.ready_cv.Wait(slot.mutex);
   }
   slot.building = true;
   for (;;) {
-    lock.unlock();
+    slot.mutex.Unlock();
     const std::uint64_t epoch = Epoch();
     auto deps = ensure();
-    lock.lock();
+    slot.mutex.Lock();
     if (Epoch() != epoch) continue;  // a batch landed; deps are stale
-    return slot.Publish(build(deps), epoch);
+    const T& built = slot.Publish(build(deps), epoch);
+    slot.mutex.Unlock();
+    return built;
   }
 }
 
@@ -466,7 +472,7 @@ const CoreSetProfile& CoreEngine::BestCoreSet(Metric metric) {
   {
     // Structural lock only: find-or-create the slot, then release.  The
     // build below runs outside this lock (std::map nodes are stable).
-    std::lock_guard<std::mutex> lock(profile_mutex_);
+    MutexLock lock(profile_mutex_);
     slot = &core_set_slots_[metric];
   }
   const std::string stage = CoreSetStageName(metric);
@@ -502,7 +508,7 @@ const CoreSetProfile& CoreEngine::BestCoreSet(Metric metric) {
 const SingleCoreProfile& CoreEngine::BestSingleCore(Metric metric) {
   Slot<SingleCoreProfile>* slot;
   {
-    std::lock_guard<std::mutex> lock(profile_mutex_);
+    MutexLock lock(profile_mutex_);
     slot = &single_core_slots_[metric];
   }
   const std::string stage = SingleCoreStageName(metric);
@@ -572,7 +578,7 @@ CoreEngine::BatchResult CoreEngine::ApplyBatch(const EdgeList& inserts,
                                                const EdgeList& deletes) {
   Timer timer;
   // Writers serialize here; readers never touch this mutex.
-  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  MutexLock update_lock(update_mutex_);
   std::unique_ptr<DynamicCoreIndex> fresh;
   if (dyn_ == nullptr) {
     // First batch: adopt the current snapshot + cached coreness into the
@@ -584,22 +590,26 @@ CoreEngine::BatchResult CoreEngine::ApplyBatch(const EdgeList& inserts,
     fresh = std::make_unique<DynamicCoreIndex>(graph, cores.coreness);
   }
 
-  // Freeze every artifact slot at once (std::scoped_lock acquires
-  // deadlock-free; builders hold at most one slot mutex and never
-  // acquire a second while holding it).  In-flight builders that already
-  // ran their dependency step re-detect the epoch bump and retry.
-  std::scoped_lock slots_lock(graph_slot_.mutex, cores_.mutex, ordered_.mutex,
-                              forest_.mutex, components_.mutex,
-                              triangles_.mutex, triplets_.mutex,
-                              profile_mutex_);
-  std::vector<std::unique_lock<std::mutex>> profile_locks;
-  profile_locks.reserve(core_set_slots_.size() + single_core_slots_.size());
-  for (auto& [metric, slot] : core_set_slots_) {
-    profile_locks.emplace_back(slot.mutex);
-  }
-  for (auto& [metric, slot] : single_core_slots_) {
-    profile_locks.emplace_back(slot.mutex);
-  }
+  // Freeze every artifact slot at once, acquiring in fixed declaration
+  // order (std::scoped_lock's runtime deadlock avoidance is unnecessary:
+  // builders hold at most one slot mutex and never acquire a second
+  // while holding it, and ApplyBatch is the only multi-slot acquirer —
+  // serialized by update_mutex_ — so the fixed order IS the lock-order
+  // DAG the static analysis and the lint lock-order pass check).
+  // In-flight builders that already ran their dependency step re-detect
+  // the epoch bump and retry.  Explicit Lock()/Unlock() rather than a
+  // scoped lock so Clang's thread-safety analysis tracks the
+  // acquisitions; no code between here and the unlocks below throws
+  // (the dynamic index reports rejects via counters, not exceptions).
+  graph_slot_.mutex.Lock();
+  cores_.mutex.Lock();
+  ordered_.mutex.Lock();
+  forest_.mutex.Lock();
+  components_.mutex.Lock();
+  triangles_.mutex.Lock();
+  triplets_.mutex.Lock();
+  profile_mutex_.Lock();
+  LockProfileSlots();
 
   if (fresh != nullptr) dyn_ = std::move(fresh);
   const DynamicBatchStats batch = dyn_->ApplyBatch(inserts, deletes);
@@ -695,7 +705,27 @@ CoreEngine::BatchResult CoreEngine::ApplyBatch(const EdgeList& inserts,
       2 * dyn_->NumEdges() * sizeof(VertexId);
   result.epoch = Epoch();
   result.seconds = seconds;
+
+  UnlockProfileSlots();
+  profile_mutex_.Unlock();
+  triplets_.mutex.Unlock();
+  triangles_.mutex.Unlock();
+  components_.mutex.Unlock();
+  forest_.mutex.Unlock();
+  ordered_.mutex.Unlock();
+  cores_.mutex.Unlock();
+  graph_slot_.mutex.Unlock();
   return result;
+}
+
+void CoreEngine::LockProfileSlots() {
+  for (auto& [metric, slot] : core_set_slots_) slot.mutex.Lock();
+  for (auto& [metric, slot] : single_core_slots_) slot.mutex.Lock();
+}
+
+void CoreEngine::UnlockProfileSlots() {
+  for (auto& [metric, slot] : core_set_slots_) slot.mutex.Unlock();
+  for (auto& [metric, slot] : single_core_slots_) slot.mutex.Unlock();
 }
 
 }  // namespace corekit

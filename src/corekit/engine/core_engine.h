@@ -55,9 +55,11 @@
 // belongs to.
 //
 // Thread-safety: full — one engine serves any number of client threads,
-// now including writers (ApplyBatch callers).  The contract, verified
-// under ThreadSanitizer (tests/engine/concurrent_engine_test.cc, the
-// COREKIT_SANITIZE=thread CI job):
+// now including writers (ApplyBatch callers).  The contract is verified
+// dynamically under ThreadSanitizer (tests/engine/concurrent_engine_test.cc,
+// the COREKIT_SANITIZE=thread CI job) and statically by Clang's
+// -Wthread-safety over the COREKIT_* annotations below (the CI
+// thread-safety job; see DESIGN.md, "Static concurrency analysis"):
 //
 //   * Exactly-once builds per epoch.  Each artifact lives in a versioned
 //     slot (mutex + atomic publication pointer).  N threads racing on a
@@ -94,11 +96,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <optional>
 #include <string>
 #include <string_view>
@@ -116,6 +117,7 @@
 #include "corekit/graph/graph.h"
 #include "corekit/graph/types.h"
 #include "corekit/util/status.h"
+#include "corekit/util/thread_annotations.h"
 #include "corekit/util/thread_pool.h"
 
 namespace corekit {
@@ -219,7 +221,8 @@ class CoreEngine {
   // queries keep being served (pre-batch epochs stay readable, readers
   // arriving after the batch rebuild lazily).  A batch in which every
   // update was rejected leaves the epoch and every artifact untouched.
-  BatchResult ApplyBatch(const EdgeList& inserts, const EdgeList& deletes);
+  BatchResult ApplyBatch(const EdgeList& inserts, const EdgeList& deletes)
+      COREKIT_EXCLUDES(update_mutex_);
 
   // Monotone graph-version counter: 0 until the first effective
   // ApplyBatch, +1 per batch that changed the edge set.
@@ -264,21 +267,22 @@ class CoreEngine {
   // lifetime.
   template <typename T>
   struct Slot {
-    std::mutex mutex;
-    std::condition_variable ready_cv;
-    bool building = false;                   // guarded by mutex
+    Mutex mutex;
+    CondVar ready_cv;
+    bool building COREKIT_GUARDED_BY(mutex) = false;
     std::atomic<const T*> published{nullptr};
-    std::vector<std::unique_ptr<const T>> versions;  // guarded by mutex
-    std::uint64_t built_epoch = 0;                   // guarded by mutex
+    std::vector<std::unique_ptr<const T>> versions COREKIT_GUARDED_BY(mutex);
+    std::uint64_t built_epoch COREKIT_GUARDED_BY(mutex) = 0;
 
-    // Requires mutex held.  Retains `value`, publishes it, wakes racers.
-    const T& Publish(std::unique_ptr<const T> value, std::uint64_t epoch) {
+    // Retains `value`, publishes it, wakes racers.
+    const T& Publish(std::unique_ptr<const T> value, std::uint64_t epoch)
+        COREKIT_REQUIRES(mutex) {
       const T* raw = value.get();
       versions.push_back(std::move(value));
       built_epoch = epoch;
       published.store(raw, std::memory_order_release);
       building = false;
-      ready_cv.notify_all();
+      ready_cv.NotifyAll();
       return *raw;
     }
   };
@@ -302,6 +306,17 @@ class CoreEngine {
   const T& Acquire(Slot<T>& slot, std::string_view stage, EnsureFn&& ensure,
                    BuildFn&& build);
 
+  // ApplyBatch freezes the per-metric profile slots in map-iteration
+  // order.  The set of mutexes is data-dependent (one per metric touched
+  // so far), which the thread-safety analysis cannot model, so these two
+  // helpers are the deliberate analysis boundary: the profile_mutex_
+  // requirement (which pins the maps) IS checked, the per-slot
+  // acquisitions inside are not.
+  void LockProfileSlots() COREKIT_REQUIRES(profile_mutex_)
+      COREKIT_NO_THREAD_SAFETY_ANALYSIS;
+  void UnlockProfileSlots() COREKIT_REQUIRES(profile_mutex_)
+      COREKIT_NO_THREAD_SAFETY_ANALYSIS;
+
   // Owned storage for the Graph&& constructor; unused when borrowing.
   std::optional<Graph> owned_graph_;
   const Graph* graph_;
@@ -312,8 +327,10 @@ class CoreEngine {
   std::unique_ptr<ThreadPool> pool_;
 
   // Serializes writers; held for the whole ApplyBatch (including the
-  // pre-lock dependency warm-up), never by readers.
-  std::mutex update_mutex_;
+  // pre-lock dependency warm-up), never by readers.  It guards the
+  // *right to mutate* — every datum it covers (dyn_, the slots) has its
+  // own synchronization for readers — hence the lint waiver.
+  Mutex update_mutex_;  // corekit-lint: allow(lock-discipline)
   std::atomic<std::uint64_t> epoch_{0};
 
   Slot<Graph> graph_slot_;
@@ -327,14 +344,19 @@ class CoreEngine {
   // Guards only the *structure* of the slot maps (slot creation); never
   // held while a profile builds.  std::map: references to mapped slots
   // stay valid across inserts.
-  std::mutex profile_mutex_;
-  std::map<Metric, Slot<CoreSetProfile>> core_set_slots_;
-  std::map<Metric, Slot<SingleCoreProfile>> single_core_slots_;
+  Mutex profile_mutex_;
+  std::map<Metric, Slot<CoreSetProfile>> core_set_slots_
+      COREKIT_GUARDED_BY(profile_mutex_);
+  std::map<Metric, Slot<SingleCoreProfile>> single_core_slots_
+      COREKIT_GUARDED_BY(profile_mutex_);
 
   // The dynamic maintenance substrate; created by the first ApplyBatch
   // (from the then-current snapshot + cached coreness) and authoritative
   // for coreness/adjacency from then on.  Written only under every slot
-  // mutex; readers access it under any one slot mutex.  Declared last:
+  // mutex; readers access it under any one slot mutex.  "Guarded by any
+  // one of several mutexes" is outside what the thread-safety analysis
+  // can express, so this member is deliberately unannotated — the
+  // invariant is enforced by the TSan storms instead.  Declared last:
   // it borrows a Graph retained by graph_slot_ / owned_graph_, so it
   // must be destroyed first.
   std::unique_ptr<DynamicCoreIndex> dyn_;

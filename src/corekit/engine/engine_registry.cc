@@ -21,7 +21,7 @@ EngineRegistry::EngineRegistry(EngineRegistryOptions options)
     : options_(std::move(options)) {}
 
 EngineRegistry::~EngineRegistry() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, entry] : entries_) {
     COREKIT_CHECK(entry->active_leases == 0)
         << "EngineRegistry destroyed with live leases on '" << name << "'";
@@ -69,7 +69,7 @@ Status EngineRegistry::AddGraph(const std::string& name, Graph graph) {
   if (name.empty()) {
     return Status::InvalidArgument("graph name must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (entries_.count(name) != 0) {
     return Status::InvalidArgument("graph '" + name + "' already registered");
   }
@@ -107,7 +107,7 @@ void EngineRegistry::EvictForAdmission(std::uint64_t incoming) {
 
 Result<EngineRegistry::Lease> EngineRegistry::Acquire(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("no graph named '" + name + "'");
@@ -139,7 +139,7 @@ Result<EngineRegistry::Lease> EngineRegistry::Acquire(
 }
 
 void EngineRegistry::ReleaseLease(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   COREKIT_CHECK(it != entries_.end())
       << "lease release for unknown graph '" << name << "'";
@@ -150,7 +150,7 @@ void EngineRegistry::ReleaseLease(const std::string& name) {
 }
 
 std::vector<std::string> EngineRegistry::GraphNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -158,20 +158,20 @@ std::vector<std::string> EngineRegistry::GraphNames() const {
 }
 
 EngineRegistry::Stats EngineRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats snapshot = counters_;
   snapshot.graphs = static_cast<std::uint32_t>(entries_.size());
   return snapshot;
 }
 
 std::uint64_t EngineRegistry::Admissions(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second->admissions;
 }
 
 bool EngineRegistry::IsResident(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second->engine != nullptr;
 }

@@ -10,8 +10,10 @@
 // posture as a buffer pool over on-disk pages, or diagon's searcher
 // cache over index segments.
 //
-// Concurrency contract (verified under TSan by
-// tests/engine/engine_registry_test.cc):
+// Concurrency contract (verified dynamically under TSan by
+// tests/engine/engine_registry_test.cc, and statically by Clang's
+// -Wthread-safety over the COREKIT_* annotations below — everything the
+// registry owns hangs off the single `mutex_`):
 //
 //   * Acquire() returns a Lease — a ref-counted handle pinning the
 //     engine.  Eviction never selects an entry with outstanding leases,
@@ -44,13 +46,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "corekit/engine/core_engine.h"
 #include "corekit/graph/graph.h"
 #include "corekit/util/status.h"
+#include "corekit/util/thread_annotations.h"
 
 namespace corekit {
 
@@ -153,6 +155,10 @@ class EngineRegistry {
   const EngineRegistryOptions& options() const { return options_; }
 
  private:
+  // Every field is guarded by the owning registry's mutex_ (reached only
+  // through entries_, which is GUARDED_BY(mutex_) — the analysis cannot
+  // name another object's capability on a nested struct's members, so
+  // the containment edge carries the proof).
   struct Entry {
     std::string name;
     Graph graph;  // node-stable: engines borrow it across admissions
@@ -164,21 +170,21 @@ class EngineRegistry {
   };
 
   // Called by Lease::Release / ~Lease.
-  void ReleaseLease(const std::string& name);
+  void ReleaseLease(const std::string& name) COREKIT_EXCLUDES(mutex_);
 
-  // Requires mutex_ held.  Evicts idle, unpinned engines in LRU order
-  // until `incoming` more bytes fit under the budget or nothing is
-  // evictable.
-  void EvictForAdmission(std::uint64_t incoming);
+  // Evicts idle, unpinned engines in LRU order until `incoming` more
+  // bytes fit under the budget or nothing is evictable.
+  void EvictForAdmission(std::uint64_t incoming) COREKIT_REQUIRES(mutex_);
 
   EngineRegistryOptions options_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // unique_ptr values: Entry addresses are stable across map growth
   // (engines borrow entry->graph; leases point back at entries by name).
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
-  std::uint64_t tick_ = 0;
-  Stats counters_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_
+      COREKIT_GUARDED_BY(mutex_);
+  std::uint64_t tick_ COREKIT_GUARDED_BY(mutex_) = 0;
+  Stats counters_ COREKIT_GUARDED_BY(mutex_);
 };
 
 }  // namespace corekit

@@ -21,7 +21,7 @@ void AppendCounters(std::string& out, std::uint64_t builds, std::uint64_t hits,
 }  // namespace
 
 StageRecord& StageStats::Get(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (StageRecord& record : records_) {
     if (record.name == name) return record;
   }
@@ -31,7 +31,7 @@ StageRecord& StageStats::Get(std::string_view name) {
 }
 
 const StageRecord* StageStats::Find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const StageRecord& record : records_) {
     if (record.name == name) return &record;
   }
@@ -39,12 +39,12 @@ const StageRecord* StageStats::Find(std::string_view name) const {
 }
 
 std::vector<StageRecord> StageStats::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::vector<StageRecord>(records_.begin(), records_.end());
 }
 
 std::uint64_t StageStats::TotalBuilds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const StageRecord& record : records_) {
     total += record.builds.load(std::memory_order_relaxed);
@@ -53,7 +53,7 @@ std::uint64_t StageStats::TotalBuilds() const {
 }
 
 std::uint64_t StageStats::TotalHits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const StageRecord& record : records_) {
     total += record.hits.load(std::memory_order_relaxed);
@@ -62,7 +62,7 @@ std::uint64_t StageStats::TotalHits() const {
 }
 
 std::uint64_t StageStats::TotalPatches() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const StageRecord& record : records_) {
     total += record.patches.load(std::memory_order_relaxed);
@@ -71,7 +71,7 @@ std::uint64_t StageStats::TotalPatches() const {
 }
 
 double StageStats::TotalSeconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double total = 0.0;
   for (const StageRecord& record : records_) {
     total += record.seconds.load(std::memory_order_relaxed);
@@ -80,7 +80,7 @@ double StageStats::TotalSeconds() const {
 }
 
 std::uint64_t StageStats::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const StageRecord& record : records_) {
     total += record.bytes.load(std::memory_order_relaxed);
@@ -89,7 +89,7 @@ std::uint64_t StageStats::TotalBytes() const {
 }
 
 void StageStats::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (StageRecord& record : records_) record.Zero();
 }
 

@@ -10,13 +10,14 @@
 // The bench harnesses read individual records (per-stage timing columns of
 // Figures 7/8) and the serving layer dumps the whole structure as JSON.
 //
-// Thread-safety: full.  Counters are atomics, so concurrent clients of a
-// shared CoreEngine bump hits/builds race-free; the record registry is
-// guarded by an internal mutex, and records are node-stable (a pointer
-// from Find() stays valid, and live, for the StageStats' lifetime).
-// Reset() zeroes the counters atomically in place — concurrent readers
-// never observe a torn counter, though across *different* counters they
-// may see a mix of pre- and post-reset values.
+// Thread-safety: full, and machine-checked.  Counters are atomics, so
+// concurrent clients of a shared CoreEngine bump hits/builds race-free;
+// the record registry (`records_`) is COREKIT_GUARDED_BY(mutex_) —
+// Clang's -Wthread-safety verifies every access — and records are
+// node-stable (a pointer from Find() stays valid, and live, for the
+// StageStats' lifetime).  Reset() zeroes the counters atomically in
+// place — concurrent readers never observe a torn counter, though across
+// *different* counters they may see a mix of pre- and post-reset values.
 
 #pragma once
 
@@ -24,10 +25,11 @@
 #include <cstdint>
 #include <deque>
 #include <iterator>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "corekit/util/thread_annotations.h"
 
 namespace corekit {
 
@@ -139,16 +141,17 @@ class StageStats {
   // The live record for `name`, created zeroed on first use.  Records are
   // node-stable: the reference stays valid (and keeps counting) for the
   // StageStats' lifetime, across later Get()s of new names.
-  StageRecord& Get(std::string_view name);
+  StageRecord& Get(std::string_view name) COREKIT_EXCLUDES(mutex_);
 
   // The live record for `name`, or nullptr if the stage never appeared.
   // The pointer observes later counter updates (tests watch it move).
-  const StageRecord* Find(std::string_view name) const;
+  const StageRecord* Find(std::string_view name) const
+      COREKIT_EXCLUDES(mutex_);
 
   // Snapshot of every record, in first-touch order.  Returns by value so
   // the copy is consistent with concurrent record creation; individual
   // counters are loaded atomically.
-  std::vector<StageRecord> records() const;
+  std::vector<StageRecord> records() const COREKIT_EXCLUDES(mutex_);
 
   // Aggregates across all stages.
   std::uint64_t TotalBuilds() const;
@@ -161,7 +164,7 @@ class StageStats {
   // live pointer from Find()) survive, so a stage touched before the
   // reset reappears in ToJson() with zero counters.  Safe to call while
   // other threads are recording (no torn reads — see the header comment).
-  void Reset();
+  void Reset() COREKIT_EXCLUDES(mutex_);
 
   // Machine-readable dump for the bench harness / serving layer:
   //   {"schema_version":3,
@@ -176,9 +179,9 @@ class StageStats {
  private:
   // Guards the registry structure (record creation and iteration); the
   // counters inside each record are atomics and need no lock.
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // deque: node-stable, so Get()/Find() references survive growth.
-  std::deque<StageRecord> records_;
+  std::deque<StageRecord> records_ COREKIT_GUARDED_BY(mutex_);
 };
 
 }  // namespace corekit

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include "corekit/util/thread_annotations.h"
 #include <utility>
 
 #include "corekit/util/logging.h"
@@ -58,7 +58,7 @@ FrontierPeelResult ComputeFrontierPeel(const Graph& graph, ThreadPool& pool,
     for (VertexId v = 0; v < n; ++v) buckets[graph.Degree(v)].push_back(v);
   }
 
-  std::mutex touched_mutex;
+  Mutex touched_mutex;
   std::vector<VertexId> frontier;
   std::vector<VertexId> next_frontier;
   std::vector<VertexId> touched;
@@ -114,7 +114,7 @@ FrontierPeelResult ComputeFrontierPeel(const Graph& graph, ThreadPool& pool,
               }
             }
             if (!local.empty()) {
-              const std::lock_guard<std::mutex> lock(touched_mutex);
+              const MutexLock lock(touched_mutex);
               touched.insert(touched.end(), local.begin(), local.end());
             }
           });

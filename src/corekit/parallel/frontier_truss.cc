@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <mutex>
+#include "corekit/util/thread_annotations.h"
 #include <span>
 #include <utility>
 
@@ -96,7 +96,7 @@ TrussDecomposition ComputeTrussDecompositionFrontier(
     buckets[support[e].load(std::memory_order_relaxed)].push_back(e);
   }
 
-  std::mutex touched_mutex;
+  Mutex touched_mutex;
   std::vector<EdgeId> frontier;
   std::vector<EdgeId> next_frontier;
   std::vector<EdgeId> touched;
@@ -156,7 +156,7 @@ TrussDecomposition ComputeTrussDecompositionFrontier(
               }
             }
             if (!local.empty()) {
-              const std::lock_guard<std::mutex> lock(touched_mutex);
+              const MutexLock lock(touched_mutex);
               touched.insert(touched.end(), local.begin(), local.end());
             }
           });

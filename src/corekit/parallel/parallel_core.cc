@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include "corekit/util/thread_annotations.h"
 #include <thread>
 #include <vector>
 
@@ -43,7 +43,7 @@ CoreDecomposition ComputeCoreDecompositionParallel(const Graph& graph,
   // Crossings found by a chunk are buffered locally and merged into the
   // shared next frontier under a mutex (the merge is tiny next to the
   // scan).
-  std::mutex next_mutex;
+  Mutex next_mutex;
 
   std::vector<VertexId> frontier;
   std::vector<VertexId> next_frontier;
@@ -87,7 +87,7 @@ CoreDecomposition ComputeCoreDecompositionParallel(const Graph& graph,
           }
         }
         if (!out.empty()) {
-          const std::lock_guard<std::mutex> lock(next_mutex);
+          const MutexLock lock(next_mutex);
           next_frontier.insert(next_frontier.end(), out.begin(), out.end());
         }
       };

@@ -1,7 +1,6 @@
 #include "corekit/parallel/parallel_triangles.h"
 
 #include <atomic>
-#include <mutex>
 
 #include "corekit/core/triangle_scoring.h"
 #include "corekit/util/thread_pool.h"

@@ -18,7 +18,7 @@ Response EngineService::SingleFlight(
   std::shared_ptr<FlightCell> cell;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(flight_mutex_);
+    MutexLock lock(flight_mutex_);
     auto& slot = flights_[key];
     if (slot == nullptr) {
       slot = std::make_shared<FlightCell>();
@@ -29,24 +29,27 @@ Response EngineService::SingleFlight(
   if (leader) {
     Response response = compute();
     {
-      std::lock_guard<std::mutex> cell_lock(cell->mutex);
+      MutexLock cell_lock(cell->mutex);
       cell->response = response;
       cell->done = true;
     }
-    cell->cv.notify_all();
+    cell->cv.NotifyAll();
     {
       // Remove the cell so the *next* identical query recomputes: this
       // is coalescing of concurrent requests, not a response cache —
       // under churn a cache would serve stale epochs indefinitely.
-      std::lock_guard<std::mutex> lock(flight_mutex_);
+      MutexLock lock(flight_mutex_);
       const auto it = flights_.find(key);
       if (it != flights_.end() && it->second == cell) flights_.erase(it);
     }
     *coalesced = false;
     return response;
   }
-  std::unique_lock<std::mutex> cell_lock(cell->mutex);
-  cell->cv.wait(cell_lock, [&cell] { return cell->done; });
+  // Explicit wait loop: a wait-predicate lambda would read the guarded
+  // `done` outside the annotated critical section (Clang analyzes the
+  // lambda as a separate function).
+  MutexLock cell_lock(cell->mutex);
+  while (!cell->done) cell->cv.Wait(cell->mutex);
   *coalesced = true;
   return cell->response;
 }

@@ -19,23 +19,27 @@
 // ApplyBatch and Ping are never coalesced (writes must all apply;
 // pings measure liveness).
 //
-// Thread-safety: full.  Handle() may be called from any number of
-// transport workers; the registry does its own locking, coalescing has
-// its own mutex, and counters are atomics.
+// Thread-safety: full, and machine-checked.  Handle() may be called
+// from any number of transport workers; the registry does its own
+// locking, counters are atomics, and coalescing has two lock levels the
+// COREKIT_* annotations pin down: `flight_mutex_` guards only the
+// flights_ map structure, each FlightCell's own mutex guards its
+// done/response payload, and the two are never held together (the map
+// hands out a shared_ptr, the cell is locked after the map lock drops —
+// so there is no flight_mutex_ -> cell edge in the lock-order DAG).
 
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "corekit/engine/engine_registry.h"
 #include "corekit/server/wire_protocol.h"
+#include "corekit/util/thread_annotations.h"
 
 namespace corekit::server {
 
@@ -74,10 +78,10 @@ class EngineService {
   // One in-flight cold query; followers wait on cv until the leader
   // publishes.  The leader's Response is copied to every follower.
   struct FlightCell {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    Response response;
+    Mutex mutex;
+    CondVar cv;
+    bool done COREKIT_GUARDED_BY(mutex) = false;
+    Response response COREKIT_GUARDED_BY(mutex);
   };
 
   // Runs `compute` under single-flight for `key`.  Returns the shared
@@ -85,15 +89,18 @@ class EngineService {
   // followers.
   Response SingleFlight(const std::string& key,
                         const std::function<Response()>& compute,
-                        bool* coalesced);
+                        bool* coalesced) COREKIT_EXCLUDES(flight_mutex_);
 
   Response Execute(const Request& request);
 
   EngineRegistry& registry_;
   EngineServiceOptions options_;
 
-  std::mutex flight_mutex_;
-  std::map<std::string, std::shared_ptr<FlightCell>> flights_;
+  // Guards only the map structure; never held while computing or while
+  // a cell's own mutex is held.
+  Mutex flight_mutex_;
+  std::map<std::string, std::shared_ptr<FlightCell>> flights_
+      COREKIT_GUARDED_BY(flight_mutex_);
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};

@@ -7,12 +7,18 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 #include <utility>
 
 namespace corekit::server {
 
 namespace {
+
+// Thread-safe errno rendering (std::strerror shares a static buffer —
+// the clang-tidy concurrency-mt-unsafe finding this replaced).
+std::string ErrnoMessage(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
 
 // Full-buffer read: loops over short reads and EINTR.  Returns
 //   1  buffer filled
@@ -75,7 +81,7 @@ Status TcpServer::Start() {
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+    return Status::IoError("socket(): " + ErrnoMessage(errno));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -92,13 +98,13 @@ Status TcpServer::Start() {
     const Status status =
         Status::IoError("bind(" + options_.host + ":" +
                         std::to_string(options_.port) +
-                        "): " + std::strerror(errno));
+                        "): " + ErrnoMessage(errno));
     CloseIfOpen(listen_fd_);
     return status;
   }
   if (::listen(listen_fd_, SOMAXCONN) != 0) {
     const Status status =
-        Status::IoError("listen(): " + std::string(std::strerror(errno)));
+        Status::IoError("listen(): " + ErrnoMessage(errno));
     CloseIfOpen(listen_fd_);
     return status;
   }
@@ -144,7 +150,7 @@ void TcpServer::AcceptLoop() {
     auto session = std::make_shared<Session>();
     session->fd = fd;
     {
-      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      MutexLock lock(sessions_mutex_);
       sessions_.push_back(session);
       session_threads_.emplace_back(
           [this, session] { SessionLoop(session); });
@@ -217,10 +223,10 @@ void TcpServer::Dispatch(const std::shared_ptr<Session>& session,
                          Request request) {
   bool draining = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (!queue_closed_ && queue_.size() < options_.queue_capacity) {
       queue_.push_back(Job{std::move(request), session});
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
       return;
     }
     draining = queue_closed_;
@@ -238,9 +244,10 @@ void TcpServer::WorkerLoop() {
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return queue_closed_ || !queue_.empty(); });
+      // Explicit wait loop: a wait-predicate lambda would read the
+      // guarded queue state outside the annotated critical section.
+      MutexLock lock(queue_mutex_);
+      while (!queue_closed_ && queue_.empty()) queue_cv_.Wait(queue_mutex_);
       if (queue_.empty()) return;  // closed and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -255,7 +262,7 @@ void TcpServer::WorkerLoop() {
 bool TcpServer::WriteResponse(const std::shared_ptr<Session>& session,
                               const Response& response) {
   const std::vector<std::uint8_t> frame = EncodeResponse(response);
-  std::lock_guard<std::mutex> lock(session->write_mutex);
+  MutexLock lock(session->write_mutex);
   if (session->closed.load(std::memory_order_acquire)) return false;
   if (!WriteFull(session->fd, frame.data(), frame.size())) {
     session->closed.store(true, std::memory_order_release);
@@ -278,7 +285,7 @@ void TcpServer::Shutdown() {
   // 2. Wake session readers blocked in recv(); SHUT_RD only, so queued
   //    responses can still flush on the write side.
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     for (const auto& session : sessions_) {
       ::shutdown(session->fd, SHUT_RD);
     }
@@ -287,10 +294,10 @@ void TcpServer::Shutdown() {
   // 3. Drain: close the queue; workers run until it is empty, then
   //    exit.  Everything admitted before this line gets a response.
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     queue_closed_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -299,7 +306,7 @@ void TcpServer::Shutdown() {
   std::vector<std::thread> threads;
   std::vector<std::shared_ptr<Session>> sessions;
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     threads.swap(session_threads_);
     sessions.swap(sessions_);
   }

@@ -37,11 +37,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +47,7 @@
 #include "corekit/server/engine_service.h"
 #include "corekit/server/wire_protocol.h"
 #include "corekit/util/status.h"
+#include "corekit/util/thread_annotations.h"
 
 namespace corekit::server {
 
@@ -104,7 +103,10 @@ class TcpServer {
   // so a worker's response write never races the session teardown.
   struct Session {
     int fd = -1;
-    std::mutex write_mutex;
+    // Guards the socket's *write stream* — whole frames stay contiguous
+    // when worker responses interleave.  A stream is not a data member,
+    // so there is nothing to COREKIT_GUARDED_BY; hence the waiver.
+    Mutex write_mutex;  // corekit-lint: allow(lock-discipline)
     std::atomic<bool> closed{false};
   };
 
@@ -113,15 +115,16 @@ class TcpServer {
     std::shared_ptr<Session> session;
   };
 
-  void AcceptLoop();
+  void AcceptLoop() COREKIT_EXCLUDES(sessions_mutex_);
   void SessionLoop(const std::shared_ptr<Session>& session);
-  void WorkerLoop();
+  void WorkerLoop() COREKIT_EXCLUDES(queue_mutex_);
   // Encodes + writes one response under the session's write mutex.
   // Returns false (and marks the session closed) on a dead peer.
   bool WriteResponse(const std::shared_ptr<Session>& session,
                      const Response& response);
   // Enqueue or reject-with-busy; the reader thread path.
-  void Dispatch(const std::shared_ptr<Session>& session, Request request);
+  void Dispatch(const std::shared_ptr<Session>& session, Request request)
+      COREKIT_EXCLUDES(queue_mutex_);
 
   EngineService& service_;
   TcpServerOptions options_;
@@ -134,17 +137,21 @@ class TcpServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  // Sessions and their reader threads, reaped on Shutdown.
-  std::mutex sessions_mutex_;
-  std::vector<std::shared_ptr<Session>> sessions_;
-  std::vector<std::thread> session_threads_;
+  // Sessions and their reader threads, reaped on Shutdown.  The two
+  // server-level mutexes (this and queue_mutex_) are never nested —
+  // Shutdown's four phases take them in separate scopes.
+  Mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_
+      COREKIT_GUARDED_BY(sessions_mutex_);
+  std::vector<std::thread> session_threads_
+      COREKIT_GUARDED_BY(sessions_mutex_);
   std::atomic<std::uint32_t> active_sessions_{0};
 
   // The bounded request queue.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-  bool queue_closed_ = false;
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<Job> queue_ COREKIT_GUARDED_BY(queue_mutex_);
+  bool queue_closed_ COREKIT_GUARDED_BY(queue_mutex_) = false;
 
   // Counters (relaxed atomics; stats() snapshots).
   std::atomic<std::uint64_t> sessions_opened_{0};

@@ -1,0 +1,124 @@
+#pragma once
+
+// Clang Thread Safety Analysis surface for corekit.
+//
+// Every mutex-guarded member and locking function in src/ is annotated
+// with the COREKIT_* macros below so that a Clang build with
+// `-Wthread-safety -Werror=thread-safety` (the CI `thread-safety` job)
+// proves the lock discipline at compile time.  Under GCC and MSVC the
+// macros expand to nothing; the wrappers degrade to thin forwarding
+// shims over the std primitives with zero behavioural difference.
+//
+// Conventions (see DESIGN.md, "Static concurrency analysis"):
+//  - Data members protected by a mutex carry COREKIT_GUARDED_BY(mu).
+//  - Functions that must be entered with a mutex held carry
+//    COREKIT_REQUIRES(mu); functions that must NOT be entered with it
+//    held carry COREKIT_EXCLUDES(mu).
+//  - Raw std::mutex / std::condition_variable declarations are banned
+//    under src/ (corekit_lint `lock-discipline` pass): libstdc++'s
+//    types carry no capability attributes, so the analysis cannot see
+//    them.  Use corekit::Mutex / corekit::CondVar instead.
+//  - What the analysis cannot express (dynamic lock sets, "guarded by
+//    any one of several mutexes") is fenced behind small helpers marked
+//    COREKIT_NO_THREAD_SAFETY_ANALYSIS with a comment explaining why.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define COREKIT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COREKIT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// Type annotations.
+#define COREKIT_CAPABILITY(x) COREKIT_THREAD_ANNOTATION(capability(x))
+#define COREKIT_SCOPED_CAPABILITY COREKIT_THREAD_ANNOTATION(scoped_lockable)
+
+// Member annotations.
+#define COREKIT_GUARDED_BY(x) COREKIT_THREAD_ANNOTATION(guarded_by(x))
+#define COREKIT_PT_GUARDED_BY(x) COREKIT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function annotations.
+#define COREKIT_REQUIRES(...) \
+  COREKIT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define COREKIT_EXCLUDES(...) \
+  COREKIT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define COREKIT_ACQUIRE(...) \
+  COREKIT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define COREKIT_RELEASE(...) \
+  COREKIT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define COREKIT_TRY_ACQUIRE(...) \
+  COREKIT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define COREKIT_RETURN_CAPABILITY(x) \
+  COREKIT_THREAD_ANNOTATION(lock_returned(x))
+#define COREKIT_NO_THREAD_SAFETY_ANALYSIS \
+  COREKIT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace corekit {
+
+// std::mutex with the `capability` attribute the analysis needs.
+// Both spellings of the lock interface are provided: Lock()/Unlock()
+// for corekit code, lock()/unlock() so the wrapper still satisfies the
+// standard Lockable requirements (std::condition_variable_any, and any
+// generic code that expects them).
+class COREKIT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() COREKIT_ACQUIRE() { mu_.lock(); }
+  void Unlock() COREKIT_RELEASE() { mu_.unlock(); }
+  bool TryLock() COREKIT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock() COREKIT_ACQUIRE() { mu_.lock(); }
+  void unlock() COREKIT_RELEASE() { mu_.unlock(); }
+  bool try_lock() COREKIT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over corekit::Mutex; the scoped-capability attribute lets
+// the analysis track the critical section it delimits.
+class COREKIT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) COREKIT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() COREKIT_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable paired with corekit::Mutex.
+//
+// Deliberately no predicate overload: Clang analyzes a wait-predicate
+// lambda as a separate, unannotated function, so guarded members read
+// inside one escape the analysis.  Callers write the explicit loop
+//
+//     while (!condition) cv.Wait(mu);
+//
+// which keeps every guarded read inside the annotated critical section.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and reacquires `mu` before
+  // returning — the caller's capability is held again on return, which
+  // is why the analysis is happy with REQUIRES here.
+  void Wait(Mutex& mu) COREKIT_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace corekit

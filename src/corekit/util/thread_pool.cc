@@ -33,10 +33,10 @@ ThreadPool::ThreadPool(std::uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  wake_workers_.notify_all();
+  wake_workers_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -57,18 +57,18 @@ void ThreadPool::WorkerLoop() {
   std::uint64_t last_job = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_workers_.wait(lock, [this, last_job] {
-        return shutting_down_ || job_id_ != last_job;
-      });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && job_id_ == last_job) {
+        wake_workers_.Wait(mutex_);
+      }
       if (shutting_down_) return;
       last_job = job_id_;
     }
     DrainCurrentJob();
     if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last worker out signals the caller.
-      std::lock_guard<std::mutex> lock(mutex_);
-      job_done_.notify_all();
+      MutexLock lock(mutex_);
+      job_done_.NotifyAll();
     }
   }
 }
@@ -97,9 +97,9 @@ void ThreadPool::ParallelFor(
   }
 
   // One job owns the pool at a time; concurrent callers queue here.
-  std::lock_guard<std::mutex> entry(entry_mutex_);
+  MutexLock entry(entry_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_fn_ = &fn;
     job_total_ = total;
     job_chunk_ = chunk;
@@ -108,15 +108,15 @@ void ThreadPool::ParallelFor(
                           std::memory_order_relaxed);
     ++job_id_;
   }
-  wake_workers_.notify_all();
+  wake_workers_.NotifyAll();
 
   // The caller works too.
   DrainCurrentJob();
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_done_.wait(lock, [this] {
-    return active_workers_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(mutex_);
+  while (active_workers_.load(std::memory_order_acquire) != 0) {
+    job_done_.Wait(mutex_);
+  }
   job_fn_ = nullptr;
 }
 

@@ -24,12 +24,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "corekit/util/thread_annotations.h"
 
 namespace corekit {
 
@@ -52,10 +52,11 @@ class ThreadPool {
   // the header comment); NOT reentrant — no nested ParallelFor on the
   // same pool from inside fn, enforced by a COREKIT_DCHECK in Debug.
   void ParallelFor(std::size_t total, std::size_t chunk,
-                   const std::function<void(std::size_t, std::size_t)>& fn);
+                   const std::function<void(std::size_t, std::size_t)>& fn)
+      COREKIT_EXCLUDES(entry_mutex_, mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() COREKIT_EXCLUDES(mutex_);
   // Claims and processes chunks until the current job is exhausted.
   void DrainCurrentJob();
 
@@ -63,16 +64,26 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Serializes concurrent ParallelFor callers: held for the whole span of
-  // one job so the shared job state below is owned by exactly one caller.
-  std::mutex entry_mutex_;
+  // one job, it guards the *right to run a job* — a virtual resource with
+  // no data member sibling, hence the waiver.
+  Mutex entry_mutex_;  // corekit-lint: allow(lock-discipline)
 
-  std::mutex mutex_;
-  std::condition_variable wake_workers_;
-  std::condition_variable job_done_;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar wake_workers_;
+  CondVar job_done_;
+  bool shutting_down_ COREKIT_GUARDED_BY(mutex_) = false;
 
-  // Current job state (owned by the entry_mutex_ holder).
-  std::uint64_t job_id_ = 0;  // incremented per ParallelFor
+  // Incremented under mutex_ per ParallelFor; the bump is the handshake
+  // that publishes the job fields below to the workers.
+  std::uint64_t job_id_ COREKIT_GUARDED_BY(mutex_) = 0;
+
+  // Current job description.  Written by the caller under mutex_ *before*
+  // the job_id_ bump, then read by workers without a lock: a worker only
+  // reaches these after observing the new job_id_ under mutex_, and the
+  // caller only rewrites them after active_workers_ hits zero.  That
+  // release/acquire handshake — not entry_mutex_, and not a per-access
+  // lock — is what makes the unguarded reads safe, so they are
+  // deliberately not COREKIT_GUARDED_BY-annotated.
   const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
   std::size_t job_total_ = 0;
   std::size_t job_chunk_ = 1;

@@ -1,0 +1,39 @@
+// Positive control for the compile-fail battery: a correctly annotated
+// class that MUST build cleanly under -Werror=thread-safety.  If this
+// target fails, the battery's harness (flags, include paths, wrapper
+// attributes) is broken, and the negative fixtures' failures prove
+// nothing about the analysis.
+#include "corekit/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() COREKIT_EXCLUDES(mutex_) {
+    const corekit::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Value() COREKIT_EXCLUDES(mutex_) {
+    const corekit::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void WaitForPositive() COREKIT_EXCLUDES(mutex_) {
+    const corekit::MutexLock lock(mutex_);
+    while (value_ <= 0) cv_.Wait(mutex_);
+  }
+
+ private:
+  corekit::Mutex mutex_;
+  corekit::CondVar cv_;
+  int value_ COREKIT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Compile-fail fixture: re-acquiring a mutex that is already held — the
+// one lock-order defect Clang's analysis diagnoses directly.  Expected
+// diagnostic:
+//
+//   acquiring mutex 'mu' that is already held
+//
+// Clang does not implement the acquired_before/acquired_after
+// attributes, so cross-mutex ordering cannot be compile-fail-tested
+// here; that half of the discipline lives in corekit_lint's
+// lock-discipline acquisition-graph cycle check.  The self-deadlock
+// below is the analysis-visible member of the family.
+#include "corekit/util/thread_annotations.h"
+
+namespace {
+
+corekit::Mutex mu;
+int value COREKIT_GUARDED_BY(mu) = 0;
+
+int DoubleAcquire() {
+  mu.Lock();
+  mu.Lock();  // BAD: already held; deadlocks at runtime.
+  const int result = value;
+  mu.Unlock();
+  mu.Unlock();
+  return result;
+}
+
+}  // namespace
+
+int main() { return DoubleAcquire(); }

@@ -1,0 +1,36 @@
+// Compile-fail fixture: calling a COREKIT_REQUIRES function without
+// holding the required mutex.  Expected diagnostic:
+//
+//   calling function 'Tick' requires holding mutex 'mutex_'
+//
+// This is the contract violation the REQUIRES annotations on internal
+// helpers (CoreEngine::EvictForAdmission-style callees) exist to catch.
+#include "corekit/util/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Tick() COREKIT_REQUIRES(mutex_) { ++tick_; }
+
+  // Correct caller: locks, then ticks — also the genuine use of mutex_
+  // that keeps unrelated diagnostics out of the fixture.
+  void TickLocked() COREKIT_EXCLUDES(mutex_) {
+    const corekit::MutexLock lock(mutex_);
+    Tick();
+  }
+
+  void Poke() { Tick(); }  // BAD: caller does not hold mutex_.
+
+ private:
+  corekit::Mutex mutex_;
+  long tick_ COREKIT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Poke();
+  return 0;
+}

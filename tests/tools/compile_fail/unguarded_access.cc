@@ -1,0 +1,34 @@
+// Compile-fail fixture: reading a COREKIT_GUARDED_BY member without the
+// guarding mutex held.  Expected diagnostic:
+//
+//   reading variable 'value_' requires holding mutex 'mutex_'
+//
+// The most common real-world slip this battery guards against — a
+// "quick read" of shared state outside the critical section.
+#include "corekit/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Correct sibling: keeps the fixture free of unrelated diagnostics
+  // (e.g. -Wunused-private-field on mutex_), so the asserted
+  // thread-safety error is the only thing wrong with this TU.
+  void Increment() COREKIT_EXCLUDES(mutex_) {
+    const corekit::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Value() { return value_; }  // BAD: no lock held.
+
+ private:
+  corekit::Mutex mutex_;
+  int value_ COREKIT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Value();
+}

@@ -1,11 +1,13 @@
 // corekit_lint CLI: applies the repo's convention rules (see
 // corekit_lint_lib.h) and exits nonzero on any violation.
 //
-//   corekit_lint [--root DIR] [SUBDIR...]
+//   corekit_lint [--root DIR] [--waivers] [SUBDIR...]
 //
 // DIR defaults to the current directory; SUBDIRs default to the scanned
 // set {src, tools, bench, tests, examples}.  CI runs it from the repo
-// root with no arguments.
+// root with no arguments, plus a `--waivers` pass so the waiver debt is
+// visible in every CI log: that mode lists each active
+// `corekit-lint: allow(...)` as file:line [rule] and exits 0.
 
 #include <cstring>
 #include <iostream>
@@ -17,11 +19,14 @@
 int main(int argc, char** argv) {
   std::string root = ".";
   std::vector<std::string> subdirs;
+  bool waivers_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--waivers") == 0) {
+      waivers_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "usage: corekit_lint [--root DIR] [SUBDIR...]\n";
+      std::cout << "usage: corekit_lint [--root DIR] [--waivers] [SUBDIR...]\n";
       return 0;
     } else {
       subdirs.emplace_back(argv[i]);
@@ -29,6 +34,18 @@ int main(int argc, char** argv) {
   }
   if (subdirs.empty()) {
     subdirs = {"src", "tools", "bench", "tests", "examples"};
+  }
+
+  if (waivers_mode) {
+    const std::vector<corekit::lint::Waiver> waivers =
+        corekit::lint::CollectWaiversInTree(root, subdirs);
+    for (const corekit::lint::Waiver& waiver : waivers) {
+      std::cout << waiver.file << ":" << waiver.line << " [" << waiver.rule
+                << "]\n";
+    }
+    std::cout << waivers.size() << " active waiver"
+              << (waivers.size() == 1 ? "" : "s") << "\n";
+    return 0;
   }
 
   const std::vector<corekit::lint::Violation> violations =

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace corekit::lint {
 
@@ -424,13 +426,317 @@ void CheckLayering(const std::string& path, const std::string& content,
   }
 }
 
+namespace {
+
+// --- lock-discipline --------------------------------------------------------
+
+// Graph-node identity for a mutex expression: whitespace dropped, `->`
+// folded to `.` so `cell->mutex` and `(*cell).mutex`-style spellings of
+// one lock land on one node.
+std::string NormalizeLockExpr(const std::string& expr) {
+  std::string out;
+  for (std::size_t i = 0; i < expr.size(); ++i) {
+    if (std::isspace(static_cast<unsigned char>(expr[i]))) continue;
+    if (expr[i] == '-' && i + 1 < expr.size() && expr[i + 1] == '>') {
+      out += '.';
+      ++i;
+      continue;
+    }
+    out += expr[i];
+  }
+  return out;
+}
+
+// One token the lock-order scan cares about, positioned within its line.
+struct LockEvent {
+  enum class Kind {
+    kOpenBrace,
+    kCloseBrace,
+    kSemicolon,
+    kScopedAcquire,  // MutexLock guard(expr)
+    kAcquire,        // expr.Lock()
+    kRelease,        // expr.Unlock()
+    kRequires,       // COREKIT_REQUIRES(expr[, expr...])
+  };
+  Kind kind;
+  std::size_t pos = 0;
+  std::string payload;
+};
+
+std::vector<LockEvent> ScanLockEvents(const std::string& code_line) {
+  std::vector<LockEvent> events;
+  for (std::size_t i = 0; i < code_line.size(); ++i) {
+    if (code_line[i] == '{') {
+      events.push_back({LockEvent::Kind::kOpenBrace, i, ""});
+    } else if (code_line[i] == '}') {
+      events.push_back({LockEvent::Kind::kCloseBrace, i, ""});
+    } else if (code_line[i] == ';') {
+      events.push_back({LockEvent::Kind::kSemicolon, i, ""});
+    }
+  }
+  static const std::regex kScoped(R"(\bMutexLock\s+\w+\s*\(\s*([^()]+?)\s*\))");
+  static const std::regex kLock(R"(([A-Za-z_][\w.]*(?:->[\w.]+)*)\.Lock\s*\()");
+  static const std::regex kUnlock(
+      R"(([A-Za-z_][\w.]*(?:->[\w.]+)*)\.Unlock\s*\()");
+  static const std::regex kRequires(R"(COREKIT_REQUIRES\s*\(([^()]+)\))");
+  const auto add = [&](const std::regex& re, LockEvent::Kind kind) {
+    for (std::sregex_iterator it(code_line.begin(), code_line.end(), re), end;
+         it != end; ++it) {
+      events.push_back({kind, static_cast<std::size_t>(it->position(0)),
+                        (*it)[1].str()});
+    }
+  };
+  add(kScoped, LockEvent::Kind::kScopedAcquire);
+  add(kLock, LockEvent::Kind::kAcquire);
+  add(kUnlock, LockEvent::Kind::kRelease);
+  add(kRequires, LockEvent::Kind::kRequires);
+  std::sort(events.begin(), events.end(),
+            [](const LockEvent& a, const LockEvent& b) {
+              return a.pos < b.pos;
+            });
+  return events;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(list);
+  while (std::getline(in, part, ',')) {
+    const std::string normalized = NormalizeLockExpr(part);
+    if (!normalized.empty()) parts.push_back(normalized);
+  }
+  return parts;
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownRules() {
+  static const std::vector<std::string> kRules = {
+      "pragma-once", "no-endl",  "naked-new",       "bench-suite",
+      "stage-table", "layering", "lock-discipline", "stale-waiver",
+  };
+  return kRules;
+}
+
+void CheckLockDiscipline(const std::string& path, const std::string& content,
+                         std::vector<Violation>& out) {
+  // The annotated wrappers themselves are the one legitimate home of the
+  // raw std primitives.
+  if (EndsWith(path, "util/thread_annotations.h")) return;
+  const FileView view = MakeView(content);
+
+  // (a) Raw std primitives and the std lock RAII templates are invisible
+  // to Clang's thread-safety analysis (libstdc++ carries no capability
+  // attributes): ban them so every critical section is annotated.
+  static const std::regex kRawPrimitive(
+      R"(\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex)"
+      R"(|shared_mutex|shared_timed_mutex|condition_variable)"
+      R"(|condition_variable_any|lock_guard|unique_lock|scoped_lock)"
+      R"(|shared_lock)\b)");
+  for (std::size_t i = 0; i < view.code.size(); ++i) {
+    std::smatch match;
+    if (std::regex_search(view.code[i], match, kRawPrimitive) &&
+        !IsWaived(view.raw[i], "lock-discipline")) {
+      Report(out, path, static_cast<int>(i) + 1, "lock-discipline",
+             "raw std::" + match[1].str() +
+                 " is invisible to -Wthread-safety; use the annotated "
+                 "corekit::Mutex / corekit::CondVar / corekit::MutexLock "
+                 "(corekit/util/thread_annotations.h)");
+    }
+  }
+
+  // (b) Every Mutex member needs a COREKIT_GUARDED_BY(<name>) sibling in
+  // the same header (or a per-line waiver for mutexes guarding virtual
+  // resources — writer serialization, a socket's write stream); CondVar
+  // members need at least one guarded sibling.  Headers only: locals in
+  // .cc files guard function-local state the analysis cannot annotate.
+  if (EndsWith(path, ".h")) {
+    const std::string code = StripCommentsAndStrings(content);
+    static const std::regex kMutexMember(
+        R"(^\s*(?:mutable\s+)?(?:corekit::)?Mutex\s+([A-Za-z_]\w*)\s*[;={])");
+    static const std::regex kCondVarMember(
+        R"(^\s*(?:mutable\s+)?(?:corekit::)?CondVar\s+([A-Za-z_]\w*)\s*[;={])");
+    const bool any_guarded = code.find("COREKIT_GUARDED_BY(") !=
+                             std::string::npos;
+    for (std::size_t i = 0; i < view.code.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(view.code[i], match, kMutexMember)) {
+        const std::string name = match[1];
+        if (code.find("COREKIT_GUARDED_BY(" + name + ")") ==
+                std::string::npos &&
+            !IsWaived(view.raw[i], "lock-discipline")) {
+          Report(out, path, static_cast<int>(i) + 1, "lock-discipline",
+                 "Mutex member '" + name +
+                     "' has no COREKIT_GUARDED_BY(" + name +
+                     ") sibling; annotate what it guards or waive mutexes "
+                     "over virtual resources line-by-line");
+        }
+      } else if (std::regex_search(view.code[i], match, kCondVarMember)) {
+        if (!any_guarded && !IsWaived(view.raw[i], "lock-discipline")) {
+          Report(out, path, static_cast<int>(i) + 1, "lock-discipline",
+                 "CondVar member '" + match[1].str() +
+                     "' in a header with no COREKIT_GUARDED_BY sibling; "
+                     "annotate the state the wait predicate reads");
+        }
+      }
+    }
+  }
+
+  // (c) Lock-order acyclicity.  Derive the acquisition graph of this
+  // translation unit: COREKIT_REQUIRES on a defined function seeds its
+  // body's held set; MutexLock declarations and explicit .Lock() calls
+  // push; scope exit, .Unlock(), and function exit pop.  Acquiring b
+  // while a is held adds edge a->b; a cycle means two call paths can
+  // take the same locks in opposite orders — the compile-time complement
+  // of TSan's runtime deadlock detection.
+  struct Held {
+    std::string expr;
+    int depth = 0;
+  };
+  std::map<std::pair<std::string, std::string>, int> edges;
+  std::vector<Held> held;
+  std::vector<std::string> pending_requires;
+  int depth = 0;
+  for (std::size_t i = 0; i < view.code.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    const bool waived = IsWaived(view.raw[i], "lock-discipline");
+    for (const LockEvent& event : ScanLockEvents(view.code[i])) {
+      switch (event.kind) {
+        case LockEvent::Kind::kOpenBrace:
+          ++depth;
+          for (const std::string& seed : pending_requires) {
+            held.push_back({seed, depth});
+          }
+          pending_requires.clear();
+          break;
+        case LockEvent::Kind::kCloseBrace:
+          --depth;
+          while (!held.empty() && held.back().depth > depth) held.pop_back();
+          break;
+        case LockEvent::Kind::kSemicolon:
+          // A ';' before '{' means the REQUIRES sat on a declaration.
+          pending_requires.clear();
+          break;
+        case LockEvent::Kind::kRequires:
+          for (std::string& expr : SplitCommaList(event.payload)) {
+            pending_requires.push_back(std::move(expr));
+          }
+          break;
+        case LockEvent::Kind::kScopedAcquire:
+        case LockEvent::Kind::kAcquire: {
+          const std::string expr = NormalizeLockExpr(event.payload);
+          if (!waived) {
+            for (const Held& h : held) {
+              if (h.expr == expr) continue;
+              edges.emplace(std::make_pair(h.expr, expr), lineno);
+            }
+          }
+          held.push_back({expr, depth});
+          break;
+        }
+        case LockEvent::Kind::kRelease: {
+          const std::string expr = NormalizeLockExpr(event.payload);
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (it->expr == expr) {
+              held.erase(std::next(it).base());
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  // DFS cycle detection over the derived graph.
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const auto& [edge, line] : edges) {
+    adjacency[edge.first].push_back(edge.second);
+  }
+  std::map<std::string, int> state;  // 0 unseen, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+  const std::function<bool(const std::string&)> dfs =
+      [&](const std::string& node) -> bool {
+    state[node] = 1;
+    stack.push_back(node);
+    for (const std::string& next : adjacency[node]) {
+      if (state[next] == 1) {
+        const auto start = std::find(stack.begin(), stack.end(), next);
+        cycle.assign(start, stack.end());
+        cycle.push_back(next);
+        return true;
+      }
+      if (state[next] == 0 && dfs(next)) return true;
+    }
+    stack.pop_back();
+    state[node] = 2;
+    return false;
+  };
+  for (const auto& [node, targets] : adjacency) {
+    if (state[node] == 0 && dfs(node)) break;
+  }
+  if (!cycle.empty()) {
+    std::string chain;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) chain += " -> ";
+      chain += cycle[i];
+    }
+    int line = 0;
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+      const auto it = edges.find({cycle[i], cycle[i + 1]});
+      if (it != edges.end()) line = std::max(line, it->second);
+    }
+    Report(out, path, line, "lock-discipline",
+           "lock-order cycle: " + chain +
+               "; two paths acquire these locks in opposite orders");
+  }
+}
+
+void CheckStaleWaivers(const std::string& path, const std::string& content,
+                       std::vector<Violation>& out) {
+  const std::vector<std::string> raw = SplitLines(content);
+  static const std::regex kWaiver(
+      R"(corekit-lint:\s*allow\(([A-Za-z0-9_-]+)\))");
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (std::sregex_iterator it(raw[i].begin(), raw[i].end(), kWaiver), end;
+         it != end; ++it) {
+      const std::string rule = (*it)[1];
+      const auto& known = KnownRules();
+      if (std::find(known.begin(), known.end(), rule) == known.end() &&
+          !IsWaived(raw[i], "stale-waiver")) {
+        Report(out, path, static_cast<int>(i) + 1, "stale-waiver",
+               "waiver names unknown rule '" + rule +
+                   "'; the rule was removed or renamed — delete the dead "
+                   "waiver");
+      }
+    }
+  }
+}
+
+std::vector<Waiver> CollectWaivers(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Waiver> waivers;
+  const std::vector<std::string> raw = SplitLines(content);
+  static const std::regex kWaiver(
+      R"(corekit-lint:\s*allow\(([A-Za-z0-9_-]+)\))");
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (std::sregex_iterator it(raw[i].begin(), raw[i].end(), kWaiver), end;
+         it != end; ++it) {
+      waivers.push_back({path, static_cast<int>(i) + 1, (*it)[1].str()});
+    }
+  }
+  return waivers;
+}
+
 std::vector<Violation> LintContent(const std::string& path,
                                    const std::string& content) {
   std::vector<Violation> out;
   CheckPragmaOnce(path, content, out);
+  CheckStaleWaivers(path, content, out);
   if (StartsWith(path, "src/")) {
     CheckNoEndl(path, content, out);
     CheckLayering(path, content, out);
+    CheckLockDiscipline(path, content, out);
   }
   const bool allocation_scope =
       (StartsWith(path, "src/") || StartsWith(path, "tools/") ||
@@ -449,8 +755,12 @@ std::vector<Violation> LintContent(const std::string& path,
   return out;
 }
 
-std::vector<Violation> LintTree(const std::filesystem::path& root,
-                                const std::vector<std::string>& subdirs) {
+namespace {
+
+// The shared tree walk: every .h/.cc under root/<subdir>, sorted.
+std::vector<std::string> ListSourceFiles(
+    const std::filesystem::path& root,
+    const std::vector<std::string>& subdirs) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& subdir : subdirs) {
@@ -464,12 +774,36 @@ std::vector<Violation> LintTree(const std::filesystem::path& root,
     }
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<Violation> LintTree(const std::filesystem::path& root,
+                                const std::vector<std::string>& subdirs) {
   std::vector<Violation> out;
-  for (const std::string& file : files) {
-    std::ifstream in(root / file, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::vector<Violation> found = LintContent(file, buffer.str());
+  for (const std::string& file : ListSourceFiles(root, subdirs)) {
+    const std::vector<Violation> found =
+        LintContent(file, ReadFile(root / file));
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+std::vector<Waiver> CollectWaiversInTree(
+    const std::filesystem::path& root,
+    const std::vector<std::string>& subdirs) {
+  std::vector<Waiver> out;
+  for (const std::string& file : ListSourceFiles(root, subdirs)) {
+    const std::vector<Waiver> found =
+        CollectWaivers(file, ReadFile(root / file));
     out.insert(out.end(), found.begin(), found.end());
   }
   return out;

@@ -14,7 +14,21 @@
 //                 stage_stats.h stay in sync (entry i is the lowercased
 //                 enumerator minus its 'k' prefix);
 //   layering      src/corekit/<layer>/ includes only the layers at or
-//                 below it (core/ must never include engine/, ...).
+//                 below it (core/ must never include engine/, ...);
+//   lock-discipline  raw std::mutex / std::condition_variable (and the
+//                 std lock RAII templates) are banned under src/ — use
+//                 the Clang-thread-safety-annotated corekit::Mutex /
+//                 corekit::CondVar / corekit::MutexLock wrappers; every
+//                 Mutex member in a header needs a COREKIT_GUARDED_BY
+//                 sibling naming it (CondVar members need at least one
+//                 guarded sibling in the file); and the per-file lock
+//                 acquisition graph — derived from COREKIT_REQUIRES
+//                 seeds plus MutexLock / .Lock() nesting — must be
+//                 acyclic (the compile-time complement of TSan's
+//                 deadlock detection);
+//   stale-waiver  every `corekit-lint: allow(<rule>)` comment must name
+//                 a rule that still exists — dead waivers rot into
+//                 false documentation.
 //
 // A violation can be waived on its line with a trailing
 // `corekit-lint: allow(<rule>)` comment — grep-able, per-line, per-rule.
@@ -62,6 +76,30 @@ void CheckStageTable(const std::string& path, const std::string& content,
                      std::vector<Violation>& out);
 void CheckLayering(const std::string& path, const std::string& content,
                    std::vector<Violation>& out);
+void CheckLockDiscipline(const std::string& path, const std::string& content,
+                         std::vector<Violation>& out);
+void CheckStaleWaivers(const std::string& path, const std::string& content,
+                       std::vector<Violation>& out);
+
+// The registry of rule slugs the stale-waiver pass validates against.
+// Adding a rule means adding its slug here, or every waiver of it fails.
+const std::vector<std::string>& KnownRules();
+
+// One active `corekit-lint: allow(<rule>)` comment.
+struct Waiver {
+  std::string file;
+  int line = 0;
+  std::string rule;
+};
+
+// Every waiver comment in `content`, known rule or not (the stale-waiver
+// pass flags the unknown ones; the --waivers report lists them all).
+std::vector<Waiver> CollectWaivers(const std::string& path,
+                                   const std::string& content);
+
+// Waivers across the same tree walk LintTree performs.
+std::vector<Waiver> CollectWaiversInTree(
+    const std::filesystem::path& root, const std::vector<std::string>& subdirs);
 
 // Applies every rule whose scope covers `path` (see the matrix in the
 // .cc).  The entry point the tree walk and the unit tests share.
