@@ -34,7 +34,8 @@ void benchmark_do_not_optimize(std::uint64_t value) { g_sink = value; }
 double TimeComparisonSortOrdering(const Graph& graph,
                                   const CoreDecomposition& cores) {
   Timer timer;
-  std::vector<VertexId> neighbors(graph.NeighborArray());
+  std::vector<VertexId> neighbors(graph.NeighborArray().begin(),
+                                  graph.NeighborArray().end());
   const auto rank_less = [&cores](VertexId a, VertexId b) {
     return cores.coreness[a] != cores.coreness[b]
                ? cores.coreness[a] < cores.coreness[b]

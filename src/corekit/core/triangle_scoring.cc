@@ -1,5 +1,7 @@
 #include "corekit/core/triangle_scoring.h"
 
+#include "corekit/simd/intersect.h"
+
 namespace corekit {
 
 std::uint64_t CountTrianglesAtVertex(const OrderedGraph& ordered, VertexId v,
@@ -17,12 +19,22 @@ std::uint64_t CountTrianglesAtVertex(const OrderedGraph& ordered, VertexId v,
   return triangles;
 }
 
+std::uint64_t CountTrianglesAtVertex(const OrderedGraph& ordered,
+                                     VertexId v) {
+  const auto v_ranks = ordered.NeighborRanksHigherRank(v);
+  std::uint64_t triangles = 0;
+  for (const VertexId u : ordered.NeighborsHigherRank(v)) {
+    triangles +=
+        simd::IntersectCount(v_ranks, ordered.NeighborRanksHigherRank(u));
+  }
+  return triangles;
+}
+
 std::uint64_t CountTriangles(const OrderedGraph& ordered) {
-  TriangleScratch scratch(ordered.NumVertices(), 0);
   std::uint64_t total = 0;
   const VertexId n = ordered.NumVertices();
   for (VertexId v = 0; v < n; ++v) {
-    total += CountTrianglesAtVertex(ordered, v, scratch);
+    total += CountTrianglesAtVertex(ordered, v);
   }
   return total;
 }

@@ -22,8 +22,22 @@ using TriangleScratch = std::vector<std::uint8_t>;
 
 // Number of triangles whose lowest-rank vertex is v.  `scratch` must be
 // all-zeros of size n; it is restored before returning.
+//
+// This is the scratch-mark reference kernel.  It stays the test oracle
+// for the intersection overload below; the two must agree per vertex.
 std::uint64_t CountTrianglesAtVertex(const OrderedGraph& ordered, VertexId v,
                                      TriangleScratch& scratch);
+
+// Scratch-free intersection form of the same count:
+//   sum over u in N(v, >r) of |ranks(N(v, >r)) ∩ ranks(N(u, >r))|.
+// Rank slices are strictly increasing (vertex_ordering.h), so the sum
+// runs on the shared sorted-set intersection kernel (corekit/simd/),
+// which dispatches to AVX2 when the CPU has it.  Identical result to
+// the scratch form — every w counted there satisfies w ∈ N(v, >r) ∩
+// N(u, >r), adjacency is preserved by the rank bijection, and
+// rank(u) ∉ ranks(N(u, >r)) because the graph is self-loop-free —
+// with the same O(m^1.5) bound.
+std::uint64_t CountTrianglesAtVertex(const OrderedGraph& ordered, VertexId v);
 
 // Total number of triangles in the graph, O(m^1.5).
 std::uint64_t CountTriangles(const OrderedGraph& ordered);

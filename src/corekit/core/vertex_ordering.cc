@@ -6,7 +6,7 @@ OrderedGraph::OrderedGraph(const Graph& graph, const CoreDecomposition& cores)
     : graph_(&graph),
       kmax_(cores.kmax),
       coreness_(cores.coreness),
-      offsets_(graph.Offsets()) {
+      offsets_(graph.Offsets().begin(), graph.Offsets().end()) {
   COREKIT_CHECK_EQ(coreness_.size(), graph.NumVertices());
   BuildSerial();
 }
@@ -49,6 +49,14 @@ void OrderedGraph::BuildSerial() {
   plus_.assign(n, 0);
   high_.assign(n, 0);
   ComputeTagsRange(0, n);
+
+  // --- Rank images (SIMD intersection substrate). ------------------------
+  rank_of_.resize(n);
+  for (VertexId r = 0; r < n; ++r) rank_of_[order_[r]] = r;
+  neighbor_ranks_.resize(neighbors_.size());
+  for (std::size_t e = 0; e < neighbors_.size(); ++e) {
+    neighbor_ranks_[e] = rank_of_[neighbors_[e]];
+  }
 }
 
 void OrderedGraph::ComputeTagsRange(VertexId begin, VertexId end) {

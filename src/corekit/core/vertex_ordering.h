@@ -100,6 +100,27 @@ class OrderedGraph {
     return Slice(offsets_[v] + high_[v], offsets_[v + 1]);
   }
 
+  // --- Rank-space views (SIMD intersection substrate) --------------------
+  //
+  // Adjacency lists are rank-sorted, not id-sorted, so sorted-set
+  // intersection over them needs the *rank* images: neighbor_ranks_ is
+  // the neighbors_ array mapped through RankOf, strictly increasing
+  // within each per-vertex slice because ranks are unique.  Two
+  // vertices are adjacent in rank space iff they are in id space, so
+  // |ranks(N(u)) ∩ ranks(N(v))| counts common neighbors exactly.
+
+  // Position of v in the rank order (inverse of VerticesByRank()).
+  VertexId RankOf(VertexId v) const { return rank_of_[v]; }
+
+  // Rank images of the Neighbors(v) slice, strictly increasing.
+  std::span<const VertexId> NeighborRanks(VertexId v) const {
+    return RankSlice(offsets_[v], offsets_[v + 1]);
+  }
+  // Rank images of the NeighborsHigherRank(v) slice.
+  std::span<const VertexId> NeighborRanksHigherRank(VertexId v) const {
+    return RankSlice(offsets_[v] + high_[v], offsets_[v + 1]);
+  }
+
   // O(1) counts of the slices above.
   VertexId CountLower(VertexId v) const { return same_[v]; }
   VertexId CountEqual(VertexId v) const {
@@ -127,6 +148,10 @@ class OrderedGraph {
   std::span<const VertexId> Slice(EdgeId begin, EdgeId end) const {
     return {neighbors_.data() + begin, static_cast<std::size_t>(end - begin)};
   }
+  std::span<const VertexId> RankSlice(EdgeId begin, EdgeId end) const {
+    return {neighbor_ranks_.data() + begin,
+            static_cast<std::size_t>(end - begin)};
+  }
 
   // Shared construction bodies (members are init'd, arrays not yet built).
   void BuildSerial();
@@ -145,6 +170,8 @@ class OrderedGraph {
   std::vector<VertexId> same_;         // Table II tags, per vertex
   std::vector<VertexId> plus_;
   std::vector<VertexId> high_;
+  std::vector<VertexId> rank_of_;         // n, inverse of order_
+  std::vector<VertexId> neighbor_ranks_;  // 2m, rank image of neighbors_
 };
 
 }  // namespace corekit

@@ -64,7 +64,10 @@
 #include "corekit/truss/truss_baseline.h"
 #include "corekit/truss/truss_decomposition.h"
 #include "corekit/truss/truss_forest.h"
+#include "corekit/graph/ckg_format.h"
+#include "corekit/graph/compressed_csr.h"
 #include "corekit/graph/edge_list_io.h"
+#include "corekit/graph/file_view.h"
 #include "corekit/graph/graph.h"
 #include "corekit/graph/graph_builder.h"
 #include "corekit/graph/parallel_edge_list.h"
@@ -75,6 +78,8 @@
 #include "corekit/graph/power_law.h"
 #include "corekit/graph/subgraph.h"
 #include "corekit/graph/types.h"
+#include "corekit/simd/dispatch.h"
+#include "corekit/simd/intersect.h"
 #include "corekit/util/bucket_queue.h"
 #include "corekit/util/thread_pool.h"
 #include "corekit/weighted/s_core.h"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "corekit/core/triangle_scoring.h"
+#include "corekit/graph/ckg_format.h"
 #include "corekit/graph/parallel_edge_list.h"
 #include "corekit/graph/parallel_graph_builder.h"
 #include "corekit/parallel/frontier_peel.h"
@@ -98,11 +99,12 @@ std::uint64_t DecompositionBytes(const CoreDecomposition& cores) {
 std::uint64_t OrderedBytes(const Graph& graph, VertexId kmax) {
   const std::uint64_t n = graph.NumVertices();
   const std::uint64_t m = graph.NumEdges();
-  // coreness + order + same/plus/high tags: 5 per-vertex VertexId arrays;
-  // shell_start: kmax+2; offsets: n+1 EdgeIds; neighbors: 2m VertexIds.
-  return 5 * n * sizeof(VertexId) +
+  // coreness + order + same/plus/high tags + rank_of: 6 per-vertex
+  // VertexId arrays; shell_start: kmax+2; offsets: n+1 EdgeIds;
+  // neighbors + neighbor_ranks: 2 x 2m VertexIds.
+  return 6 * n * sizeof(VertexId) +
          (static_cast<std::uint64_t>(kmax) + 2) * sizeof(VertexId) +
-         (n + 1) * sizeof(EdgeId) + 2 * m * sizeof(VertexId);
+         (n + 1) * sizeof(EdgeId) + 2 * (2 * m) * sizeof(VertexId);
 }
 
 std::uint64_t ForestBytes(const CoreForest& forest) {
@@ -127,7 +129,8 @@ std::uint64_t SingleCoreProfileBytes(const SingleCoreProfile& profile) {
 }
 
 std::uint64_t GraphBytes(const Graph& graph) {
-  return VectorBytes(graph.Offsets()) + VectorBytes(graph.NeighborArray());
+  return static_cast<std::uint64_t>(graph.Offsets().size_bytes()) +
+         static_cast<std::uint64_t>(graph.NeighborArray().size_bytes());
 }
 
 }  // namespace
@@ -191,6 +194,42 @@ Result<std::unique_ptr<CoreEngine>> CoreEngine::FromEdgeListFile(
   build.threads = threads;
 
   engine->AdoptPool(std::move(pool));
+  if (options.eager_ordering) engine->WarmUp();
+  return engine;
+}
+
+Result<std::unique_ptr<CoreEngine>> CoreEngine::FromBinaryFile(
+    const std::string& path, CoreEngineOptions options) {
+  Timer timer;
+  CkgReadOptions read_options;
+  read_options.force_fallback = options.binary_force_fallback;
+  Result<Graph> graph = ReadCkgGraph(path, read_options);
+  if (!graph.ok()) return graph.status();
+  const double ingest_seconds = timer.ElapsedSeconds();
+  const std::uint64_t graph_bytes = GraphBytes(*graph);
+
+  CoreEngineOptions ctor_options = options;
+  ctor_options.eager_ordering = false;
+  // value()&& hands the graph over as an rvalue so the engine owns it
+  // (the lvalue form would bind the aliasing const& constructor and
+  // dangle once the local Result dies).
+  auto engine =
+      std::make_unique<CoreEngine>(std::move(graph).value(), ctor_options);
+  engine->options_ = options;
+
+  // The whole load (map/read + validate + optional decode) is the
+  // ingest stage; the build stage records the snapshot footprint the
+  // load produced (for a zero-copy view, bytes the file backs).
+  StageRecord& ingest = engine->stats_.Get(kStageIngest);
+  ++ingest.builds;
+  ingest.seconds += ingest_seconds;
+  ingest.bytes = graph_bytes;
+  ingest.threads = 1;
+  StageRecord& build = engine->stats_.Get(kStageBuild);
+  ++build.builds;
+  build.bytes = graph_bytes;
+  build.threads = 1;
+
   if (options.eager_ordering) engine->WarmUp();
   return engine;
 }

@@ -143,6 +143,10 @@ struct CoreEngineOptions {
   // the cache up front, e.g. before accepting traffic).  false (default):
   // build on first request.
   bool eager_ordering = false;
+  // FromBinaryFile only: load the .ckg through the stdio fallback
+  // instead of mmap (test axis; plain payloads then own a buffer copy
+  // rather than a zero-copy mapping, with identical contents).
+  bool binary_force_fallback = false;
 };
 
 class CoreEngine {
@@ -160,6 +164,14 @@ class CoreEngine {
   // identical to ReadSnapEdgeList(path); the pool is kept for the
   // engine's later parallel stages.
   static Result<std::unique_ptr<CoreEngine>> FromEdgeListFile(
+      const std::string& path, CoreEngineOptions options = {});
+
+  // Cold-path factory over the .ckg binary format (ckg_format.h): maps
+  // the file, fail-closed validates it, and serves a plain payload as a
+  // zero-copy view of the mapping (a compressed payload is decoded into
+  // an owning graph).  The load is recorded as the "ingest" stage and
+  // the resulting snapshot's footprint as the "build" stage.
+  static Result<std::unique_ptr<CoreEngine>> FromBinaryFile(
       const std::string& path, CoreEngineOptions options = {});
 
   // Cached artifacts hold pointers into the engine; it is pinned.

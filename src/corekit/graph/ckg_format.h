@@ -1,0 +1,88 @@
+// Versioned, checksummed, mmap-able binary graph format (.ckg).
+//
+// Layout (all integers little-endian):
+//
+//   offset  0  magic[8]        "CKGRAPH\n"
+//   offset  8  u32 version     currently 1
+//   offset 12  u32 flags       bit 0: payload is compressed CSR
+//   offset 16  u64 n           vertex count
+//   offset 24  u64 directed    directed edge slots (2m)
+//   offset 32  u64 payload     payload byte count (== file size - 64)
+//   offset 40  u64 checksum    FNV-1a 64 over the payload bytes
+//   offset 48  u64 reserved[2] zero
+//
+// Plain payload (flags bit 0 clear) — the sections are exactly Graph's
+// CSR arrays, 8-byte aligned relative to the header, so a load can map
+// the file and point Graph::FromView at them with zero copies:
+//
+//   offsets    (n+1) x u64
+//   neighbors  2m    x u32
+//
+// Compressed payload (flags bit 0 set) — CompressedCsr's sections:
+//
+//   byte_offsets (n+1) x u64
+//   degrees      n     x u32
+//   blob         byte_offsets[n] x u8
+//
+// Readers fail closed: every structural claim the header or payload
+// makes (magic, version, sizes, checksum, CSR invariants, per-vertex
+// decode) is verified before any byte is trusted, and violations come
+// back as Status::Corruption, never a crash.  This is the successor of
+// the legacy headerless "CKG1" format in edge_list_io.h, which remains
+// readable for existing files.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "corekit/graph/compressed_csr.h"
+#include "corekit/graph/graph.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+
+struct CkgWriteOptions {
+  // Store the adjacency as compressed CSR (fewer bytes/edge; loads
+  // decode) instead of plain CSR (larger; loads are zero-copy).
+  bool compressed = false;
+};
+
+struct CkgReadOptions {
+  // Force the stdio read path instead of mmap (test axis; also what
+  // non-mmap platforms always do).  Plain payloads then own a buffer
+  // copy instead of a mapping, with identical results.
+  bool force_fallback = false;
+};
+
+// Per-file metadata, readable without loading the payload.
+struct CkgInfo {
+  bool compressed = false;
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;  // undirected m
+  std::uint64_t payload_bytes = 0;
+};
+
+// Writes `graph` to `path` in .ckg form.
+Status WriteCkgGraph(const Graph& graph, const std::string& path,
+                     const CkgWriteOptions& options = {});
+
+// Loads a .ckg of either flavor as a Graph.  Plain payloads become a
+// zero-copy view over the mapped file (see Graph::IsView); compressed
+// payloads are validated and decoded into an owning Graph.
+Result<Graph> ReadCkgGraph(const std::string& path,
+                           const CkgReadOptions& options = {});
+
+// Loads a compressed-flavor .ckg as a zero-copy CompressedCsr view
+// (fails with Corruption on a plain-flavor file).  Every per-vertex
+// stream is decode-validated before the view is returned.
+Result<CompressedCsr> ReadCkgCompressed(const std::string& path,
+                                        const CkgReadOptions& options = {});
+
+// Reads and validates only the 64-byte header.
+Result<CkgInfo> ReadCkgInfo(const std::string& path);
+
+// True if `path` ends in the canonical ".ckg" extension.
+bool HasCkgExtension(const std::string& path);
+
+}  // namespace corekit

@@ -1,0 +1,192 @@
+#include "corekit/graph/compressed_csr.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "corekit/util/logging.h"
+
+namespace corekit {
+
+namespace csr_codec {
+
+namespace {
+
+// Minimal little-endian byte length of a value (1..4).
+unsigned ByteLength(std::uint32_t value) {
+  if (value < (1u << 8)) return 1;
+  if (value < (1u << 16)) return 2;
+  if (value < (1u << 24)) return 3;
+  return 4;
+}
+
+}  // namespace
+
+void EncodeSortedList(std::span<const std::uint32_t> values,
+                      std::vector<std::uint8_t>* out) {
+  std::uint32_t prev = 0;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    const std::size_t group = std::min<std::size_t>(4, values.size() - i);
+    std::uint8_t control = 0;
+    std::uint8_t data[16];
+    std::size_t data_len = 0;
+    for (std::size_t k = 0; k < group; ++k) {
+      const std::uint32_t value = values[i + k];
+      // First value absolute; later values store gap-1 (gaps are >= 1
+      // because the list is strictly increasing).
+      std::uint32_t delta = (i + k == 0) ? value : value - prev - 1;
+      prev = value;
+      const unsigned len = ByteLength(delta);
+      control = static_cast<std::uint8_t>(control | ((len - 1) << (2 * k)));
+      for (unsigned b = 0; b < len; ++b) {
+        data[data_len++] = static_cast<std::uint8_t>(delta & 0xffu);
+        delta >>= 8;
+      }
+    }
+    out->push_back(control);
+    out->insert(out->end(), data, data + data_len);
+    i += group;
+  }
+}
+
+bool DecodeSortedList(std::span<const std::uint8_t> bytes, std::size_t count,
+                      std::vector<std::uint32_t>* out, std::size_t* consumed) {
+  out->clear();
+  out->reserve(count);
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  std::size_t i = 0;
+  while (i < count) {
+    if (pos >= bytes.size()) return false;  // truncated control byte
+    const std::uint8_t control = bytes[pos++];
+    const std::size_t group = std::min<std::size_t>(4, count - i);
+    // The encoder zeroes unused tail lanes; anything else is corruption.
+    if (group < 4 && (control >> (2 * group)) != 0) return false;
+    for (std::size_t k = 0; k < group; ++k) {
+      const unsigned len = ((control >> (2 * k)) & 3u) + 1;
+      if (pos + len > bytes.size()) return false;  // truncated data
+      std::uint32_t delta = 0;
+      for (unsigned b = 0; b < len; ++b) {
+        delta |= static_cast<std::uint32_t>(bytes[pos + b]) << (8 * b);
+      }
+      pos += len;
+      const std::uint64_t value = (i + k == 0) ? delta : prev + delta + 1;
+      if (value > std::numeric_limits<std::uint32_t>::max()) return false;
+      out->push_back(static_cast<std::uint32_t>(value));
+      prev = value;
+    }
+    i += group;
+  }
+  *consumed = pos;
+  return true;
+}
+
+}  // namespace csr_codec
+
+CompressedCsr::CompressedCsr() : owned_byte_offsets_{0} { Rebind(); }
+
+void CompressedCsr::Rebind() {
+  byte_offsets_ = owned_byte_offsets_;
+  degrees_ = owned_degrees_;
+  blob_ = owned_blob_;
+}
+
+CompressedCsr CompressedCsr::FromGraph(const Graph& graph) {
+  CompressedCsr csr;
+  const VertexId n = graph.NumVertices();
+  csr.owned_byte_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  csr.owned_degrees_.resize(n);
+  csr.num_directed_ = 2 * graph.NumEdges();
+  csr.owned_blob_.reserve(static_cast<std::size_t>(csr.num_directed_));
+  for (VertexId v = 0; v < n; ++v) {
+    csr.owned_degrees_[v] = graph.Degree(v);
+    csr_codec::EncodeSortedList(graph.Neighbors(v), &csr.owned_blob_);
+    csr.owned_byte_offsets_[static_cast<std::size_t>(v) + 1] =
+        csr.owned_blob_.size();
+  }
+  csr.Rebind();
+  return csr;
+}
+
+CompressedCsr CompressedCsr::FromParts(
+    std::span<const std::uint64_t> byte_offsets,
+    std::span<const std::uint32_t> degrees,
+    std::span<const std::uint8_t> blob, EdgeId num_directed,
+    std::shared_ptr<const void> backing) {
+  CompressedCsr csr;
+  csr.owned_byte_offsets_.clear();
+  csr.backing_ = std::move(backing);
+  csr.byte_offsets_ = byte_offsets;
+  csr.degrees_ = degrees;
+  csr.blob_ = blob;
+  csr.num_directed_ = num_directed;
+  COREKIT_CHECK(!csr.byte_offsets_.empty());
+  COREKIT_CHECK_EQ(csr.byte_offsets_.size(), csr.degrees_.size() + 1);
+  COREKIT_CHECK_EQ(csr.byte_offsets_.back(), csr.blob_.size());
+  return csr;
+}
+
+CompressedCsr::CompressedCsr(const CompressedCsr& other)
+    : owned_byte_offsets_(other.owned_byte_offsets_),
+      owned_degrees_(other.owned_degrees_),
+      owned_blob_(other.owned_blob_),
+      backing_(other.backing_),
+      num_directed_(other.num_directed_) {
+  if (backing_ == nullptr) {
+    Rebind();
+  } else {
+    byte_offsets_ = other.byte_offsets_;
+    degrees_ = other.degrees_;
+    blob_ = other.blob_;
+  }
+}
+
+CompressedCsr& CompressedCsr::operator=(const CompressedCsr& other) {
+  if (this != &other) *this = CompressedCsr(other);
+  return *this;
+}
+
+void CompressedCsr::DecodeNeighbors(VertexId v,
+                                    std::vector<VertexId>* out) const {
+  COREKIT_DCHECK(v < NumVertices());
+  const std::uint64_t begin = byte_offsets_[v];
+  const std::uint64_t end = byte_offsets_[static_cast<std::size_t>(v) + 1];
+  std::size_t consumed = 0;
+  const bool ok = csr_codec::DecodeSortedList(
+      blob_.subspan(static_cast<std::size_t>(begin),
+                    static_cast<std::size_t>(end - begin)),
+      degrees_[v], out, &consumed);
+  COREKIT_CHECK(ok);
+  COREKIT_CHECK_EQ(consumed, static_cast<std::size_t>(end - begin));
+}
+
+Graph CompressedCsr::Decompress() const {
+  const VertexId n = NumVertices();
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[static_cast<std::size_t>(v) + 1] = offsets[v] + degrees_[v];
+  }
+  std::vector<VertexId> neighbors(static_cast<std::size_t>(offsets.back()));
+  std::vector<VertexId> list;
+  for (VertexId v = 0; v < n; ++v) {
+    DecodeNeighbors(v, &list);
+    std::copy(list.begin(), list.end(),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]));
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+std::uint64_t CompressedCsr::TotalBytes() const {
+  return static_cast<std::uint64_t>(byte_offsets_.size_bytes()) +
+         static_cast<std::uint64_t>(degrees_.size_bytes()) +
+         static_cast<std::uint64_t>(blob_.size_bytes());
+}
+
+double CompressedCsr::BytesPerEdge() const {
+  const EdgeId m = NumEdges();
+  return m == 0 ? 0.0
+                : static_cast<double>(TotalBytes()) / static_cast<double>(m);
+}
+
+}  // namespace corekit

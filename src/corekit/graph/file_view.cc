@@ -1,0 +1,86 @@
+#include "corekit/graph/file_view.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if defined(COREKIT_HAVE_MMAP)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace corekit {
+
+FileView::~FileView() {
+#if defined(COREKIT_HAVE_MMAP)
+  if (mapped_ != nullptr) ::munmap(mapped_, size_);
+#endif
+}
+
+bool FileView::is_mapped() const {
+#if defined(COREKIT_HAVE_MMAP)
+  return mapped_ != nullptr;
+#else
+  return false;
+#endif
+}
+
+Status FileView::Open(const std::string& path, bool force_fallback,
+                      FileView* out) {
+#if defined(COREKIT_HAVE_MMAP)
+  if (!force_fallback) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IoError("cannot open '" + path + "': " +
+                             std::strerror(errno));
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const std::size_t size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return Status::OK();  // empty file, empty view
+      }
+      void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);  // the mapping holds its own reference
+      if (mapped != MAP_FAILED) {
+#if defined(MADV_SEQUENTIAL)
+        ::madvise(mapped, size, MADV_SEQUENTIAL);
+#endif
+        out->mapped_ = mapped;
+        out->data_ = static_cast<const char*>(mapped);
+        out->size_ = size;
+        return Status::OK();
+      }
+      // mmap refused (unusual filesystem); fall back to stdio below.
+    } else {
+      ::close(fd);  // not a regular file; stdio handles or rejects it
+    }
+  }
+#else
+  (void)force_fallback;
+#endif
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::vector<char> buffer;
+  char tmp[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(tmp, 1, sizeof(tmp), f)) > 0) {
+    buffer.insert(buffer.end(), tmp, tmp + got);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read error on '" + path + "'");
+  out->buffer_ = std::move(buffer);
+  out->data_ = out->buffer_.data();
+  out->size_ = out->buffer_.size();
+  return Status::OK();
+}
+
+}  // namespace corekit

@@ -1,0 +1,53 @@
+// Read-only view of a whole file: mmap'd where available, an owned
+// buffer filled by stdio otherwise.  The fallback also catches files
+// mmap cannot handle (pipes, pseudo-files) and doubles as a portable
+// test axis (force_fallback).
+//
+// Extracted from the PR 5 parallel edge-list ingester so the binary
+// graph format (.ckg) and the text reader share one mmap abstraction.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "corekit/util/status.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COREKIT_HAVE_MMAP 1
+#endif
+
+namespace corekit {
+
+class FileView {
+ public:
+  FileView() = default;
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+  ~FileView();
+
+  // Opens `path` for reading.  With mmap available (and force_fallback
+  // off) a regular file is mapped MAP_PRIVATE with MADV_SEQUENTIAL;
+  // everything else — or any mmap refusal — falls back to a full stdio
+  // read into an owned buffer.  `out` must be a fresh (unopened) view.
+  static Status Open(const std::string& path, bool force_fallback,
+                     FileView* out);
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  // True when the bytes are a shared mapping rather than an owned copy
+  // (observability for the zero-copy load paths and their tests).
+  bool is_mapped() const;
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<char> buffer_;  // fallback storage
+#if defined(COREKIT_HAVE_MMAP)
+  void* mapped_ = nullptr;
+#endif
+};
+
+}  // namespace corekit

@@ -1,11 +1,56 @@
 #include "corekit/graph/graph.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "corekit/simd/intersect.h"
 
 namespace corekit {
 
+Graph::Graph() : owned_offsets_{0} { Rebind(); }
+
 Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
-    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+    : owned_offsets_(std::move(offsets)),
+      owned_neighbors_(std::move(neighbors)) {
+  Rebind();
+  Validate();
+}
+
+Graph Graph::FromView(std::span<const EdgeId> offsets,
+                      std::span<const VertexId> neighbors,
+                      std::shared_ptr<const void> backing) {
+  Graph graph;
+  graph.owned_offsets_.clear();
+  graph.backing_ = std::move(backing);
+  graph.offsets_ = offsets;
+  graph.neighbors_ = neighbors;
+  graph.Validate();
+  return graph;
+}
+
+Graph::Graph(const Graph& other)
+    : owned_offsets_(other.owned_offsets_),
+      owned_neighbors_(other.owned_neighbors_),
+      backing_(other.backing_) {
+  if (backing_ == nullptr) {
+    Rebind();
+  } else {
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+  }
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) *this = Graph(other);
+  return *this;
+}
+
+void Graph::Rebind() {
+  offsets_ = owned_offsets_;
+  neighbors_ = owned_neighbors_;
+}
+
+void Graph::Validate() const {
   COREKIT_CHECK(!offsets_.empty());
   COREKIT_CHECK_EQ(offsets_.front(), 0u);
   COREKIT_CHECK_EQ(offsets_.back(), neighbors_.size());
@@ -28,8 +73,7 @@ bool Graph::HasEdge(VertexId u, VertexId v) const {
   COREKIT_DCHECK(u < NumVertices());
   COREKIT_DCHECK(v < NumVertices());
   if (Degree(u) > Degree(v)) std::swap(u, v);
-  const auto nbrs = Neighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  return simd::SortedContains(Neighbors(u), v);
 }
 
 EdgeList Graph::ToEdgeList() const {

@@ -7,9 +7,16 @@
 //
 // Memory: offsets[n+1] (8 bytes each) + neighbors[2m] (4 bytes each), i.e.
 // the O(m) space bound the paper's optimality argument assumes.
+//
+// Storage comes in two modes behind one API.  The common mode owns its
+// CSR vectors.  The view mode (FromView) borrows pre-validated arrays
+// from an external allocation — typically an mmap'd .ckg file — and
+// keeps that allocation alive through a type-erased shared_ptr, so a
+// cold start never copies the adjacency.
 
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,7 +28,7 @@ namespace corekit {
 class Graph {
  public:
   // An empty graph (0 vertices).
-  Graph() : offsets_{0} {}
+  Graph();
 
   // Takes ownership of validated CSR arrays.  `offsets` has n+1 entries with
   // offsets[0] == 0 and offsets[n] == neighbors.size(); each adjacency list
@@ -29,6 +36,23 @@ class Graph {
   // CHECKs in debug builds; use GraphBuilder rather than calling this
   // directly.
   Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  // Wraps externally owned CSR arrays without copying.  `backing` keeps
+  // the memory behind both spans alive for the graph's lifetime (and
+  // the lifetime of every copy).  Same validity contract — and the same
+  // debug-build validation — as the owning constructor; the .ckg reader
+  // fully validates untrusted bytes before calling this.
+  static Graph FromView(std::span<const EdgeId> offsets,
+                        std::span<const VertexId> neighbors,
+                        std::shared_ptr<const void> backing);
+
+  // Copies rebind the spans onto the copy's own vectors in owned mode
+  // and share `backing` in view mode.  Moves are cheap; a moved-from
+  // graph is valid only for destruction or assignment.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
 
   // Number of vertices n.
   VertexId NumVertices() const {
@@ -64,15 +88,26 @@ class Graph {
   }
 
   // Raw CSR access for algorithms that re-permute the graph (Algorithm 1).
-  const std::vector<EdgeId>& Offsets() const { return offsets_; }
-  const std::vector<VertexId>& NeighborArray() const { return neighbors_; }
+  std::span<const EdgeId> Offsets() const { return offsets_; }
+  std::span<const VertexId> NeighborArray() const { return neighbors_; }
+
+  // True when the CSR arrays live in external (e.g. mmap'd) memory.
+  bool IsView() const { return backing_ != nullptr; }
 
   // Materializes the edge list with u < v per edge, ordered by (u, v).
   EdgeList ToEdgeList() const;
 
  private:
-  std::vector<EdgeId> offsets_;     // n+1 entries
-  std::vector<VertexId> neighbors_;  // 2m entries
+  // CHECKs the CSR invariants on whatever the spans currently cover.
+  void Validate() const;
+  // Points the spans at the owned vectors.
+  void Rebind();
+
+  std::vector<EdgeId> owned_offsets_;
+  std::vector<VertexId> owned_neighbors_;
+  std::shared_ptr<const void> backing_;  // view mode: keeps spans alive
+  std::span<const EdgeId> offsets_;      // n+1 entries
+  std::span<const VertexId> neighbors_;  // 2m entries
 };
 
 }  // namespace corekit

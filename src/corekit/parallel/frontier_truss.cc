@@ -7,29 +7,19 @@
 #include <span>
 #include <utility>
 
+#include "corekit/simd/intersect.h"
 #include "corekit/util/logging.h"
 
 namespace corekit {
 
 namespace {
 
+// Adjacency lists are sorted VertexId sequences, so the shared
+// sorted-set intersection kernel (AVX2-dispatched) counts common
+// neighbors directly.  The count fits VertexId: it is at most a degree.
 VertexId CountCommonNeighbors(std::span<const VertexId> a,
                               std::span<const VertexId> b) {
-  VertexId count = 0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return static_cast<VertexId>(simd::IntersectCount(a, b));
 }
 
 }  // namespace

@@ -11,7 +11,7 @@ OrderedGraph::OrderedGraph(const Graph& graph, const CoreDecomposition& cores,
     : graph_(&graph),
       kmax_(cores.kmax),
       coreness_(cores.coreness),
-      offsets_(graph.Offsets()) {
+      offsets_(graph.Offsets().begin(), graph.Offsets().end()) {
   COREKIT_CHECK_EQ(coreness_.size(), graph.NumVertices());
   if (pool.num_threads() <= 1 || graph.NumVertices() == 0) {
     BuildSerial();
@@ -117,6 +117,21 @@ void OrderedGraph::BuildParallel(ThreadPool& pool) {
     ComputeTagsRange(static_cast<VertexId>(begin),
                      static_cast<VertexId>(end));
   });
+
+  // --- Rank images, parallel (each entry independent). -------------------
+  rank_of_.resize(n);
+  pool.ParallelFor(n, 4096, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      rank_of_[order_[r]] = static_cast<VertexId>(r);
+    }
+  });
+  neighbor_ranks_.resize(neighbors_.size());
+  pool.ParallelFor(neighbors_.size(), 8192,
+                   [&](std::size_t eb, std::size_t ee) {
+                     for (std::size_t e = eb; e < ee; ++e) {
+                       neighbor_ranks_[e] = rank_of_[neighbors_[e]];
+                     }
+                   });
 }
 
 OrderedGraph BuildOrderedGraphParallel(const Graph& graph,

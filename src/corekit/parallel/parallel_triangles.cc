@@ -20,16 +20,13 @@ std::uint64_t CountTrianglesParallel(const OrderedGraph& ordered,
 
   std::atomic<std::uint64_t> total{0};
 
-  // Each chunk uses a thread-local scratch sized on first touch.  The
-  // scratch is only read/written by its owning thread.
+  // Scratch-free intersection kernel (triangle_scoring.h): chunks are
+  // pure readers of the ordering, so nothing is thread-local.
   pool.ParallelFor(
-      n, 2048, [&ordered, &total, n](std::size_t begin, std::size_t end) {
-        thread_local TriangleScratch scratch;
-        if (scratch.size() != n) scratch.assign(n, 0);
+      n, 2048, [&ordered, &total](std::size_t begin, std::size_t end) {
         std::uint64_t local = 0;
         for (std::size_t i = begin; i < end; ++i) {
-          local += CountTrianglesAtVertex(
-              ordered, static_cast<VertexId>(i), scratch);
+          local += CountTrianglesAtVertex(ordered, static_cast<VertexId>(i));
         }
         total.fetch_add(local, std::memory_order_relaxed);
       });
@@ -49,14 +46,12 @@ std::vector<std::uint64_t> CountTrianglesPerVertex(const OrderedGraph& ordered,
   if (n == 0) return counts;
 
   // Each vertex's slot is written by exactly one chunk, so no reduction
-  // is needed; the scratch is thread-local as in the global count.
+  // is needed.
   pool.ParallelFor(
-      n, 2048, [&ordered, &counts, n](std::size_t begin, std::size_t end) {
-        thread_local TriangleScratch scratch;
-        if (scratch.size() != n) scratch.assign(n, 0);
+      n, 2048, [&ordered, &counts](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          counts[i] = CountTrianglesAtVertex(ordered, static_cast<VertexId>(i),
-                                             scratch);
+          counts[i] =
+              CountTrianglesAtVertex(ordered, static_cast<VertexId>(i));
         }
       });
   return counts;

@@ -1,0 +1,58 @@
+#include "corekit/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace corekit::simd {
+
+namespace {
+
+bool ForceScalarFromEnv() {
+  const char* env = std::getenv("COREKIT_FORCE_SCALAR");
+  if (env == nullptr) return false;
+  // Any non-empty value other than literal "0" forces scalar.
+  return !(env[0] == '\0' || (env[0] == '0' && env[1] == '\0'));
+}
+
+IsaLevel DetectIsa() {
+  if (ForceScalarFromEnv()) return IsaLevel::kScalar;
+  if (CpuSupportsAvx2()) return IsaLevel::kAvx2;
+  return IsaLevel::kScalar;
+}
+
+std::atomic<IsaLevel>& IsaSlot() {
+  static std::atomic<IsaLevel> slot{DetectIsa()};
+  return slot;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(COREKIT_SIMD_X86)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+IsaLevel ActiveIsa() { return IsaSlot().load(std::memory_order_relaxed); }
+
+void SetIsaForTesting(IsaLevel isa) {
+  IsaSlot().store(isa, std::memory_order_relaxed);
+}
+
+void ResetIsaForTesting() {
+  IsaSlot().store(DetectIsa(), std::memory_order_relaxed);
+}
+
+const char* IsaName(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace corekit::simd

@@ -1,0 +1,47 @@
+// Runtime ISA dispatch for the SIMD kernels.  One binary runs
+// everywhere: kernels are compiled per-ISA with function-level target
+// attributes and selected once at startup from CPUID, so no special
+// compiler flags are needed and machines without AVX2 silently take
+// the scalar path.  `COREKIT_FORCE_SCALAR=1` in the environment pins
+// the scalar path regardless of CPU support (the CI differential leg
+// and the bench harness use this as a test axis).
+
+#pragma once
+
+namespace corekit::simd {
+
+// x86-64 with a GCC/Clang-compatible compiler is the only target we
+// emit vector code for; everything else compiles the scalar kernels
+// only and dispatch degenerates to a constant.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define COREKIT_SIMD_X86 1
+#endif
+
+enum class IsaLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+// The ISA the dispatching kernels will use.  Detected once (CPUID +
+// COREKIT_FORCE_SCALAR env) and cached; cheap to call in hot loops.
+IsaLevel ActiveIsa();
+
+// True when the running CPU supports AVX2, independent of any
+// force-scalar override.  Tests use this to decide whether the AVX2
+// kernel can be exercised at all.
+bool CpuSupportsAvx2();
+
+// Overrides the cached ISA.  Test-only: selecting kAvx2 on a CPU
+// without AVX2 support will fault.  Callers must restore the previous
+// level (or re-detect) before returning.
+void SetIsaForTesting(IsaLevel isa);
+
+// Re-runs detection (CPUID + environment) and reinstalls the result.
+// Pairs with SetIsaForTesting.
+void ResetIsaForTesting();
+
+// Stable human-readable name ("scalar", "avx2") for logs and bench
+// metadata.
+const char* IsaName(IsaLevel isa);
+
+}  // namespace corekit::simd

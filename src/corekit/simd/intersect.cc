@@ -1,0 +1,134 @@
+#include "corekit/simd/intersect.h"
+
+#include <algorithm>
+
+#if defined(COREKIT_SIMD_X86)
+#include <immintrin.h>
+#endif
+
+namespace corekit::simd {
+
+namespace {
+
+// Galloping (exponential + binary search) intersection for heavily
+// skewed sizes: O(|small| * log |large|).  `small` must be the shorter
+// span.  The search window's lower bound only moves forward, so the
+// whole pass stays sub-linear in the large list.
+std::size_t IntersectCountGallop(std::span<const std::uint32_t> small,
+                                 std::span<const std::uint32_t> large) {
+  std::size_t count = 0;
+  std::size_t lo = 0;
+  for (const std::uint32_t x : small) {
+    // Exponential probe from the current frontier.
+    std::size_t step = 1;
+    std::size_t hi = lo;
+    while (hi < large.size() && large[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step *= 2;
+    }
+    hi = std::min(hi, large.size());
+    const auto* it =
+        std::lower_bound(large.data() + lo, large.data() + hi, x);
+    lo = static_cast<std::size_t>(it - large.data());
+    if (lo == large.size()) break;
+    if (*it == x) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+std::size_t IntersectCountMerge(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t IntersectCountScalar(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() / a.size() >= kGallopRatio) return IntersectCountGallop(a, b);
+  return IntersectCountMerge(a, b);
+}
+
+#if defined(COREKIT_SIMD_X86)
+
+__attribute__((target("avx2"))) std::size_t IntersectCountAvx2(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() / a.size() >= kGallopRatio) return IntersectCountGallop(a, b);
+
+  std::size_t count = 0;
+  std::size_t j = 0;
+  // Blocks of 8 lanes; the ragged tail is handled by scalar merge.
+  const std::size_t b_blocked = b.size() & ~std::size_t{7};
+  for (const std::uint32_t x : a) {
+    // Skip whole blocks strictly below x.  j only moves forward across
+    // iterations, so this is amortized O(|b| / 8) for the whole pass.
+    while (j < b_blocked && b[j + 7] < x) j += 8;
+    if (j < b_blocked) {
+      const __m256i vx = _mm256_set1_epi32(static_cast<int>(x));
+      const __m256i vb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b.data() + j));
+      const __m256i eq = _mm256_cmpeq_epi32(vx, vb);
+      // Strictly increasing lists: at most one lane can match.
+      if (_mm256_movemask_epi8(eq) != 0) ++count;
+    } else {
+      while (j < b.size() && b[j] < x) ++j;
+      if (j == b.size()) break;
+      if (b[j] == x) {
+        ++count;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+#else  // !COREKIT_SIMD_X86
+
+std::size_t IntersectCountAvx2(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b) {
+  return IntersectCountScalar(a, b);
+}
+
+#endif  // COREKIT_SIMD_X86
+
+std::size_t IntersectCount(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b) {
+  switch (ActiveIsa()) {
+    case IsaLevel::kAvx2:
+      return IntersectCountAvx2(a, b);
+    case IsaLevel::kScalar:
+      break;
+  }
+  return IntersectCountScalar(a, b);
+}
+
+bool SortedContains(std::span<const std::uint32_t> sorted,
+                    std::uint32_t value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+}  // namespace corekit::simd

@@ -1,0 +1,51 @@
+// Sorted-set intersection kernels over strictly increasing uint32
+// sequences (CSR adjacency lists, rank slices).  The layer speaks raw
+// std::uint32_t spans rather than graph types so it sits below graph/
+// in the layering DAG; callers cast VertexId / rank arrays at the
+// boundary.
+//
+// Contract shared by every kernel here: both inputs are strictly
+// increasing (sorted, duplicate-free).  Under that contract the AVX2
+// and scalar paths return identical counts on identical inputs — the
+// differential tests in tests/simd/ and the COREKIT_AUDIT revalidation
+// both rely on this.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "corekit/simd/dispatch.h"
+
+namespace corekit::simd {
+
+// When one list is at least this many times longer than the other,
+// per-element galloping search beats a linear merge (and beats the
+// 8-lane block scan, which is still linear in the longer list).
+inline constexpr std::size_t kGallopRatio = 32;
+
+// |a ∩ b| via the ISA selected at startup (see dispatch.h).
+std::size_t IntersectCount(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b);
+
+// Portable reference path: linear merge, switching to galloping
+// search when the size ratio exceeds kGallopRatio.
+std::size_t IntersectCountScalar(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b);
+
+// AVX2 path: iterate the smaller list, advance the larger one in
+// 8-lane blocks with a broadcast-compare per element.  Falls back to
+// galloping for heavily skewed sizes.  On non-x86 builds this compiles
+// to a call to the scalar kernel; calling it on an x86 CPU without
+// AVX2 faults — gate on CpuSupportsAvx2() or use IntersectCount.
+std::size_t IntersectCountAvx2(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b);
+
+// Membership probe in a strictly increasing list (binary search).
+// Shared by Graph::HasEdge and the wedge sampler so exactly one
+// implementation exists to audit.
+bool SortedContains(std::span<const std::uint32_t> sorted,
+                    std::uint32_t value);
+
+}  // namespace corekit::simd

@@ -1,10 +1,13 @@
 #include "corekit/core/triangle_scoring.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "corekit/core/core_decomposition.h"
 #include "corekit/core/naive_oracle.h"
 #include "corekit/graph/graph_builder.h"
+#include "corekit/simd/dispatch.h"
 #include "test_util.h"
 
 namespace corekit {
@@ -76,6 +79,31 @@ TEST(TriangleScoringTest, PerVertexCountsSumToTotal) {
     sum += CountTrianglesAtVertex(ordered, v, scratch);
   }
   EXPECT_EQ(sum, CountTriangles(ordered));
+}
+
+// The scratch-mark kernel is the oracle; the intersection overload
+// (which feeds CountTriangles and the parallel kernels) must agree at
+// every vertex, under both the forced-scalar path and — when the CPU
+// has it — the AVX2 path.
+TEST(TriangleScoringTest, IntersectionOverloadMatchesScratchOracle) {
+  for (const auto& [name, graph] : corekit::testing::SmallGraphZoo()) {
+    SCOPED_TRACE(name);
+    CoreDecomposition cores;
+    const OrderedGraph ordered = MakeOrdered(graph, cores);
+    TriangleScratch scratch(graph.NumVertices(), 0);
+    std::vector<simd::IsaLevel> levels = {simd::IsaLevel::kScalar};
+    if (simd::CpuSupportsAvx2()) levels.push_back(simd::IsaLevel::kAvx2);
+    for (const simd::IsaLevel level : levels) {
+      SCOPED_TRACE(simd::IsaName(level));
+      simd::SetIsaForTesting(level);
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        EXPECT_EQ(CountTrianglesAtVertex(ordered, v),
+                  CountTrianglesAtVertex(ordered, v, scratch))
+            << "v=" << v;
+      }
+    }
+    simd::ResetIsaForTesting();
+  }
 }
 
 class TriangleZooTest

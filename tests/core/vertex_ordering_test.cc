@@ -188,6 +188,37 @@ TEST_P(OrderingZooTest, HigherRankCountConsistent) {
   }
 }
 
+// The rank arrays feeding the intersection kernels: RankOf must invert
+// VerticesByRank, and the NeighborRanks slices must be the rank images
+// of the adjacency, strictly increasing (ranks are unique).
+TEST_P(OrderingZooTest, RankArraysMirrorTheOrder) {
+  const Graph& graph = GetParam().graph;
+  const CoreDecomposition cores = ComputeCoreDecomposition(graph);
+  const OrderedGraph ordered(graph, cores);
+  const auto order = ordered.VerticesByRank();
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    EXPECT_EQ(ordered.RankOf(order[r]), r) << "rank " << r;
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto nbrs = ordered.Neighbors(v);
+    const auto ranks = ordered.NeighborRanks(v);
+    ASSERT_EQ(ranks.size(), nbrs.size()) << v;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(ranks[i], ordered.RankOf(nbrs[i])) << "v=" << v;
+      if (i > 0) {
+        EXPECT_LT(ranks[i - 1], ranks[i]) << "v=" << v;
+      }
+    }
+    const auto high = ordered.NeighborsHigherRank(v);
+    const auto high_ranks = ordered.NeighborRanksHigherRank(v);
+    ASSERT_EQ(high_ranks.size(), high.size()) << v;
+    for (std::size_t i = 0; i < high.size(); ++i) {
+      EXPECT_EQ(high_ranks[i], ordered.RankOf(high[i])) << "v=" << v;
+      EXPECT_GT(high_ranks[i], ordered.RankOf(v)) << "v=" << v;
+    }
+  }
+}
+
 TEST_P(OrderingZooTest, ShellsTileTheRankOrder) {
   const Graph& graph = GetParam().graph;
   const CoreDecomposition cores = ComputeCoreDecomposition(graph);

@@ -7,6 +7,7 @@
 
 #include "corekit/engine/core_engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 
 #include "corekit/core/metrics.h"
 #include "corekit/gen/generators.h"
+#include "corekit/graph/ckg_format.h"
 #include "corekit/graph/edge_list_io.h"
 #include "corekit/util/json.h"
 
@@ -63,8 +65,8 @@ TEST(EngineIngestTest, GraphMatchesSerialReaderExactly) {
   auto engine = CoreEngine::FromEdgeListFile(path);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   std::remove(path.c_str());
-  EXPECT_EQ((*engine)->graph().Offsets(), serial->Offsets());
-  EXPECT_EQ((*engine)->graph().NeighborArray(), serial->NeighborArray());
+  EXPECT_TRUE(std::ranges::equal((*engine)->graph().Offsets(), serial->Offsets()));
+  EXPECT_TRUE(std::ranges::equal((*engine)->graph().NeighborArray(), serial->NeighborArray()));
 }
 
 TEST(EngineIngestTest, PropagatesReaderErrors) {
@@ -116,6 +118,66 @@ TEST(EngineIngestTest, QueriesMatchGraphBuiltEngine) {
     const SingleCoreProfile& warm_single = warm.BestSingleCore(metric);
     EXPECT_EQ(cold_single.best_k, warm_single.best_k);
     EXPECT_DOUBLE_EQ(cold_single.best_score, warm_single.best_score);
+  }
+}
+
+TEST(EngineIngestTest, FromBinaryFileMatchesTextIngest) {
+  // Both .ckg flavors, both IO paths: the binary cold path must yield
+  // the same graph and the same answers as the text cold path.
+  const Graph graph = GenerateErdosRenyi(180, 900, 13);
+  for (const bool compressed : {false, true}) {
+    for (const bool force_fallback : {false, true}) {
+      SCOPED_TRACE((compressed ? "compressed" : "plain") +
+                   std::string(force_fallback ? "/fallback" : "/mmap"));
+      const std::string path = TempPath("binary.ckg");
+      CkgWriteOptions write_options;
+      write_options.compressed = compressed;
+      ASSERT_TRUE(WriteCkgGraph(graph, path, write_options).ok());
+      CoreEngineOptions options;
+      options.binary_force_fallback = force_fallback;
+      auto engine = CoreEngine::FromBinaryFile(path, options);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      std::remove(path.c_str());
+
+      EXPECT_TRUE(std::ranges::equal((*engine)->graph().Offsets(),
+                                     graph.Offsets()));
+      EXPECT_TRUE(std::ranges::equal((*engine)->graph().NeighborArray(),
+                                     graph.NeighborArray()));
+      CoreEngine warm(graph);
+      EXPECT_EQ((*engine)->Triangles(), warm.Triangles());
+      const CoreSetProfile& cold_set =
+          (*engine)->BestCoreSet(Metric::kAverageDegree);
+      const CoreSetProfile& warm_set = warm.BestCoreSet(Metric::kAverageDegree);
+      EXPECT_EQ(cold_set.best_k, warm_set.best_k);
+      EXPECT_DOUBLE_EQ(cold_set.best_score, warm_set.best_score);
+
+      const StageRecord* ingest = (*engine)->stats().Find("ingest");
+      ASSERT_NE(ingest, nullptr);
+      EXPECT_EQ(ingest->builds.load(), 1u);
+      EXPECT_GT(ingest->bytes.load(), 0u);
+      const StageRecord* build = (*engine)->stats().Find("build");
+      ASSERT_NE(build, nullptr);
+      EXPECT_EQ(build->builds.load(), 1u);
+    }
+  }
+}
+
+TEST(EngineIngestTest, FromBinaryFilePropagatesErrors) {
+  {
+    auto engine = CoreEngine::FromBinaryFile(TempPath("missing.ckg"));
+    EXPECT_FALSE(engine.ok());
+    EXPECT_EQ(engine.status().code(), StatusCode::kIoError);
+  }
+  {
+    const std::string path = TempPath("garbage.ckg");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a ckg file at all", f);
+    std::fclose(f);
+    auto engine = CoreEngine::FromBinaryFile(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(engine.ok());
+    EXPECT_EQ(engine.status().code(), StatusCode::kCorruption);
   }
 }
 

@@ -18,7 +18,7 @@ TEST(HyperbolicTest, Deterministic) {
   params.seed = 3;
   const Graph a = GenerateHyperbolic(params);
   const Graph b = GenerateHyperbolic(params);
-  EXPECT_EQ(a.NeighborArray(), b.NeighborArray());
+  EXPECT_TRUE(std::ranges::equal(a.NeighborArray(), b.NeighborArray()));
 }
 
 TEST(HyperbolicTest, HeavyTailAndDeepHierarchy) {

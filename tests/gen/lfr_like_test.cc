@@ -15,7 +15,7 @@ TEST(LfrLikeTest, Deterministic) {
   params.seed = 42;
   const LfrLikeResult a = GenerateLfrLike(params);
   const LfrLikeResult b = GenerateLfrLike(params);
-  EXPECT_EQ(a.graph.NeighborArray(), b.graph.NeighborArray());
+  EXPECT_TRUE(std::ranges::equal(a.graph.NeighborArray(), b.graph.NeighborArray()));
   EXPECT_EQ(a.community, b.community);
 }
 

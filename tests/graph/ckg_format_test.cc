@@ -1,0 +1,433 @@
+// .ckg binary format: round-trips for both payload flavors across the
+// mmap and stdio paths, header-only info reads, and a fuzz-style
+// corruption battery — every tampered file must come back as a clean
+// Status::Corruption, never a crash or a silently wrong graph.  Where
+// a structural lie is hidden behind a recomputed checksum, the payload
+// validators must still catch it.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <ranges>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/ckg_format.h"
+#include "corekit/graph/compressed_csr.h"
+#include "corekit/graph/graph.h"
+#include "corekit/graph/graph_builder.h"
+#include "corekit/util/status.h"
+#include "test_util.h"
+
+namespace corekit {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kFlagsOffset = 12;
+constexpr std::size_t kNumVerticesOffset = 16;
+constexpr std::size_t kNumDirectedOffset = 24;
+constexpr std::size_t kPayloadBytesOffset = 32;
+constexpr std::size_t kChecksumOffset = 40;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/corekit_ckg_" + name + ".ckg";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename T>
+void Store(std::string* bytes, std::size_t offset, T value) {
+  ASSERT_LE(offset + sizeof(T), bytes->size());
+  std::memcpy(bytes->data() + offset, &value, sizeof(T));
+}
+
+// Independent FNV-1a 64 so the tests can forge a valid checksum over a
+// structurally corrupt payload.
+std::uint64_t Fnv1a64(const char* data, std::size_t len) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash = (hash ^ static_cast<unsigned char>(data[i])) * 1099511628211ull;
+  }
+  return hash;
+}
+
+void FixChecksum(std::string* bytes) {
+  ASSERT_GE(bytes->size(), kHeaderBytes);
+  Store(bytes, kChecksumOffset,
+        Fnv1a64(bytes->data() + kHeaderBytes, bytes->size() - kHeaderBytes));
+}
+
+// Both read entry points, both IO paths: all must refuse with
+// Corruption (and must not crash — the suite runs under sanitizers).
+void ExpectCorruption(const std::string& path) {
+  for (const bool force_fallback : {false, true}) {
+    CkgReadOptions options;
+    options.force_fallback = force_fallback;
+    const Result<Graph> graph = ReadCkgGraph(path, options);
+    EXPECT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), StatusCode::kCorruption)
+        << graph.status().ToString();
+    const Result<CompressedCsr> csr = ReadCkgCompressed(path, options);
+    EXPECT_FALSE(csr.ok());
+    EXPECT_EQ(csr.status().code(), StatusCode::kCorruption);
+  }
+}
+
+void ExpectSameGraph(const Graph& actual, const Graph& expected) {
+  ASSERT_EQ(actual.NumVertices(), expected.NumVertices());
+  ASSERT_EQ(actual.NumEdges(), expected.NumEdges());
+  EXPECT_TRUE(std::ranges::equal(actual.Offsets(), expected.Offsets()));
+  EXPECT_TRUE(
+      std::ranges::equal(actual.NeighborArray(), expected.NeighborArray()));
+}
+
+TEST(CkgFormatTest, HasCkgExtension) {
+  EXPECT_TRUE(HasCkgExtension("graph.ckg"));
+  EXPECT_TRUE(HasCkgExtension("/tmp/a/b.ckg"));
+  EXPECT_FALSE(HasCkgExtension("graph.ckg.txt"));
+  EXPECT_FALSE(HasCkgExtension("graph.bin"));
+  EXPECT_FALSE(HasCkgExtension("ckg"));
+  EXPECT_FALSE(HasCkgExtension(""));
+}
+
+TEST(CkgFormatTest, PlainRoundTripBothIoPaths) {
+  const Graph graph = testing::Fig2Graph();
+  const std::string path = TempPath("plain_roundtrip");
+  ASSERT_TRUE(WriteCkgGraph(graph, path).ok());
+  for (const bool force_fallback : {false, true}) {
+    CkgReadOptions options;
+    options.force_fallback = force_fallback;
+    const Result<Graph> loaded = ReadCkgGraph(path, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectSameGraph(*loaded, graph);
+    // Plain payloads are served as views over the file image (mmap'd
+    // or an owned fallback buffer) — never re-copied into vectors.
+    EXPECT_TRUE(loaded->IsView());
+  }
+}
+
+TEST(CkgFormatTest, CompressedRoundTripBothIoPaths) {
+  const Graph graph = testing::Fig2Graph();
+  const std::string path = TempPath("compressed_roundtrip");
+  CkgWriteOptions write_options;
+  write_options.compressed = true;
+  ASSERT_TRUE(WriteCkgGraph(graph, path, write_options).ok());
+  for (const bool force_fallback : {false, true}) {
+    CkgReadOptions options;
+    options.force_fallback = force_fallback;
+    const Result<Graph> loaded = ReadCkgGraph(path, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectSameGraph(*loaded, graph);
+    // Compressed payloads decode into an owning graph.
+    EXPECT_FALSE(loaded->IsView());
+  }
+}
+
+TEST(CkgFormatTest, ZooRoundTripsBothFlavors) {
+  for (const auto& [name, graph] : testing::SmallGraphZoo()) {
+    for (const bool compressed : {false, true}) {
+      SCOPED_TRACE(name + (compressed ? "/compressed" : "/plain"));
+      const std::string path = TempPath("zoo");
+      CkgWriteOptions options;
+      options.compressed = compressed;
+      ASSERT_TRUE(WriteCkgGraph(graph, path, options).ok());
+      const Result<Graph> loaded = ReadCkgGraph(path);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      ExpectSameGraph(*loaded, graph);
+    }
+  }
+}
+
+TEST(CkgFormatTest, CompressedFlavorIsSmallerOnFig2) {
+  const Graph graph = testing::Fig2Graph();
+  const std::string plain_path = TempPath("size_plain");
+  const std::string compressed_path = TempPath("size_compressed");
+  CkgWriteOptions compressed_options;
+  compressed_options.compressed = true;
+  ASSERT_TRUE(WriteCkgGraph(graph, plain_path).ok());
+  ASSERT_TRUE(WriteCkgGraph(graph, compressed_path, compressed_options).ok());
+  const Result<CkgInfo> plain = ReadCkgInfo(plain_path);
+  const Result<CkgInfo> compressed = ReadCkgInfo(compressed_path);
+  ASSERT_TRUE(plain.ok() && compressed.ok());
+  EXPECT_LT(compressed->payload_bytes, plain->payload_bytes);
+}
+
+TEST(CkgFormatTest, InfoReportsBothFlavors) {
+  const Graph graph = testing::Fig2Graph();
+  for (const bool compressed : {false, true}) {
+    const std::string path = TempPath("info");
+    CkgWriteOptions options;
+    options.compressed = compressed;
+    ASSERT_TRUE(WriteCkgGraph(graph, path, options).ok());
+    const Result<CkgInfo> info = ReadCkgInfo(path);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->compressed, compressed);
+    EXPECT_EQ(info->num_vertices, graph.NumVertices());
+    EXPECT_EQ(info->num_edges, graph.NumEdges());
+    EXPECT_GT(info->payload_bytes, 0u);
+  }
+}
+
+TEST(CkgFormatTest, EmptyAndEdgelessGraphsRoundTrip) {
+  const Graph empty = GraphBuilder::FromEdges(0, {});
+  const Graph edgeless = GraphBuilder::FromEdges(5, {});
+  for (const Graph* graph : {&empty, &edgeless}) {
+    for (const bool compressed : {false, true}) {
+      const std::string path = TempPath("degenerate");
+      CkgWriteOptions options;
+      options.compressed = compressed;
+      ASSERT_TRUE(WriteCkgGraph(*graph, path, options).ok());
+      const Result<Graph> loaded = ReadCkgGraph(path);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      ExpectSameGraph(*loaded, *graph);
+    }
+  }
+}
+
+TEST(CkgFormatTest, ReadCkgCompressedYieldsDecodableView) {
+  const Graph graph = testing::Fig2Graph();
+  const std::string path = TempPath("compressed_view");
+  CkgWriteOptions options;
+  options.compressed = true;
+  ASSERT_TRUE(WriteCkgGraph(graph, path, options).ok());
+  const Result<CompressedCsr> csr = ReadCkgCompressed(path);
+  ASSERT_TRUE(csr.ok()) << csr.status().ToString();
+  EXPECT_EQ(csr->NumVertices(), graph.NumVertices());
+  EXPECT_EQ(csr->NumEdges(), graph.NumEdges());
+  std::vector<VertexId> neighbors;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    csr->DecodeNeighbors(v, &neighbors);
+    EXPECT_TRUE(std::ranges::equal(neighbors, graph.Neighbors(v))) << v;
+  }
+}
+
+TEST(CkgFormatTest, ReadCkgCompressedRejectsPlainFile) {
+  const std::string path = TempPath("plain_for_compressed");
+  ASSERT_TRUE(WriteCkgGraph(testing::Fig2Graph(), path).ok());
+  const Result<CompressedCsr> csr = ReadCkgCompressed(path);
+  EXPECT_FALSE(csr.ok());
+  EXPECT_EQ(csr.status().code(), StatusCode::kCorruption);
+  // The plain read of the same file still works.
+  EXPECT_TRUE(ReadCkgGraph(path).ok());
+}
+
+TEST(CkgFormatTest, MissingFileIsIoError) {
+  const Result<Graph> graph = ReadCkgGraph(TempPath("does_not_exist"));
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kIoError);
+}
+
+// ---- Corruption battery -------------------------------------------------
+
+class CkgCorruptionTest : public ::testing::Test {
+ protected:
+  // Writes Fig2 in the requested flavor and returns the raw bytes. The
+  // path carries the test name: each TEST_F runs as its own ctest process,
+  // and a shared file would race under `ctest -j`.
+  std::string WriteAndSlurp(bool compressed) {
+    path_ = TempPath(
+        std::string("corrupt_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    CkgWriteOptions options;
+    options.compressed = compressed;
+    EXPECT_TRUE(WriteCkgGraph(testing::Fig2Graph(), path_, options).ok());
+    return ReadFileBytes(path_);
+  }
+
+  void ExpectTamperRejected(std::string bytes) {
+    WriteBytes(path_, bytes);
+    ExpectCorruption(path_);
+  }
+
+  std::string path_;
+};
+
+TEST_F(CkgCorruptionTest, TruncatedHeader) {
+  const std::string bytes = WriteAndSlurp(/*compressed=*/false);
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{8}, std::size_t{63}}) {
+    ExpectTamperRejected(bytes.substr(0, keep));
+  }
+}
+
+TEST_F(CkgCorruptionTest, BadMagic) {
+  std::string bytes = WriteAndSlurp(false);
+  bytes[0] = 'X';
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, UnsupportedVersion) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, std::size_t{8}, std::uint32_t{2});
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, UnknownFlags) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kFlagsOffset, std::uint32_t{0x80000002u});
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, VertexCountOverflow) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kNumVerticesOffset, std::uint64_t{1} << 32);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, OddDirectedCount) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kNumDirectedOffset, std::uint64_t{37});
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, LyingPayloadBytes) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kPayloadBytesOffset,
+        std::uint64_t{bytes.size() - kHeaderBytes + 8});
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, TruncatedPayload) {
+  const std::string bytes = WriteAndSlurp(false);
+  ExpectTamperRejected(bytes.substr(0, bytes.size() - 1));
+  ExpectTamperRejected(bytes.substr(0, kHeaderBytes));
+}
+
+TEST_F(CkgCorruptionTest, AppendedGarbage) {
+  std::string bytes = WriteAndSlurp(false);
+  bytes += "extra";
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, ChecksumMismatch) {
+  std::string bytes = WriteAndSlurp(false);
+  bytes[bytes.size() - 1] =
+      static_cast<char>(static_cast<unsigned char>(bytes.back()) ^ 0xFF);
+  ExpectTamperRejected(bytes);  // checksum no longer matches payload
+}
+
+// Header count lies that keep the checksum valid (payload untouched)
+// must be caught by the cross-checks between header and payload sizes.
+TEST_F(CkgCorruptionTest, LyingVertexCount) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kNumVerticesOffset, std::uint64_t{13});
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, LyingDirectedCount) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kNumDirectedOffset, std::uint64_t{40});
+  ExpectTamperRejected(bytes);
+}
+
+// Structural lies hidden behind a forged (recomputed) checksum: the
+// CSR validators are the last line of defense.  Fig2 plain layout:
+// offsets[13] x u64 at payload offset 0, neighbors[38] x u32 at 104.
+TEST_F(CkgCorruptionTest, PlainNonZeroFirstOffset) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kHeaderBytes + 0, std::uint64_t{1});
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, PlainNonMonotoneOffsets) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kHeaderBytes + 8, std::uint64_t{200});  // offsets[1] > 2m
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, PlainNeighborOutOfRange) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kHeaderBytes + 104, std::uint32_t{12});  // id == n
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, PlainSelfLoop) {
+  std::string bytes = WriteAndSlurp(false);
+  Store(&bytes, kHeaderBytes + 104, std::uint32_t{0});  // v0 -> v0
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, PlainUnsortedAdjacency) {
+  std::string bytes = WriteAndSlurp(false);
+  // v0's list becomes {1, 1, 3}: duplicate, not strictly increasing.
+  Store(&bytes, kHeaderBytes + 108, std::uint32_t{1});
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+// Fig2 compressed layout: byte_offsets[13] x u64 at payload offset 0,
+// degrees[12] x u32 at 104, blob at 152.
+TEST_F(CkgCorruptionTest, CompressedNonMonotoneByteOffsets) {
+  std::string bytes = WriteAndSlurp(/*compressed=*/true);
+  Store(&bytes, kHeaderBytes + 8, std::uint64_t{1} << 40);
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, CompressedDegreeSumMismatch) {
+  std::string bytes = WriteAndSlurp(true);
+  Store(&bytes, kHeaderBytes + 104, std::uint32_t{100});  // degrees[0]
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, CompressedUndecodableStream) {
+  std::string bytes = WriteAndSlurp(true);
+  // Keep the degree sum intact but move a neighbor from v0 to v1: v0's
+  // byte range no longer decodes exactly degrees[0] values.
+  Store(&bytes, kHeaderBytes + 104, std::uint32_t{2});  // degrees[0]: 3 -> 2
+  Store(&bytes, kHeaderBytes + 108, std::uint32_t{4});  // degrees[1]: 3 -> 4
+  FixChecksum(&bytes);
+  ExpectTamperRejected(bytes);
+}
+
+TEST_F(CkgCorruptionTest, RandomBitFlipsNeverCrash) {
+  const std::string plain = WriteAndSlurp(false);
+  const std::string compressed = WriteAndSlurp(true);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (const std::string* original : {&plain, &compressed}) {
+    for (int trial = 0; trial < 60; ++trial) {
+      std::string bytes = *original;
+      const std::size_t pos = next() % bytes.size();
+      bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                     (1u << (next() % 8)));
+      WriteBytes(path_, bytes);
+      // A flip may hit an ignored byte (e.g. reserved words) and still
+      // load fine; the requirement is no crash and, on success, a
+      // structurally valid graph.
+      const Result<Graph> loaded = ReadCkgGraph(path_);
+      if (loaded.ok()) {
+        EXPECT_EQ(loaded->NumVertices(), 12u);
+      } else {
+        EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corekit

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -118,8 +119,8 @@ TEST_F(EdgeListIoTest, BinaryRoundTripIsExact) {
   ASSERT_TRUE(reloaded.ok());
   EXPECT_EQ(reloaded->NumVertices(), original.NumVertices());
   EXPECT_EQ(reloaded->NumEdges(), original.NumEdges());
-  EXPECT_EQ(reloaded->Offsets(), original.Offsets());
-  EXPECT_EQ(reloaded->NeighborArray(), original.NeighborArray());
+  EXPECT_TRUE(std::ranges::equal(reloaded->Offsets(), original.Offsets()));
+  EXPECT_TRUE(std::ranges::equal(reloaded->NeighborArray(), original.NeighborArray()));
 }
 
 TEST_F(EdgeListIoTest, BinaryRejectsWrongMagic) {

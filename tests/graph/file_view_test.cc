@@ -1,0 +1,67 @@
+// FileView: the mmap path and the stdio fallback must expose identical
+// bytes, and failures must surface as Status errors.
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corekit/graph/file_view.h"
+#include "corekit/util/status.h"
+
+namespace corekit {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/corekit_fileview_" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string AsString(const FileView& view) {
+  return std::string(view.data(), view.size());
+}
+
+TEST(FileViewTest, MappedAndFallbackSeeTheSameBytes) {
+  const std::string path = TempPath("parity");
+  std::string payload = "corekit file view parity\n";
+  for (int i = 0; i < 200; ++i) payload += static_cast<char>(i % 256);
+  WriteBytes(path, payload);
+
+  FileView mapped;
+  ASSERT_TRUE(FileView::Open(path, /*force_fallback=*/false, &mapped).ok());
+  FileView copied;
+  ASSERT_TRUE(FileView::Open(path, /*force_fallback=*/true, &copied).ok());
+
+  EXPECT_FALSE(copied.is_mapped());
+  EXPECT_EQ(AsString(mapped), payload);
+  EXPECT_EQ(AsString(copied), payload);
+#if defined(COREKIT_HAVE_MMAP)
+  EXPECT_TRUE(mapped.is_mapped());
+#endif
+}
+
+TEST(FileViewTest, EmptyFile) {
+  const std::string path = TempPath("empty");
+  WriteBytes(path, "");
+  for (const bool force_fallback : {false, true}) {
+    FileView view;
+    ASSERT_TRUE(FileView::Open(path, force_fallback, &view).ok());
+    EXPECT_EQ(view.size(), 0u);
+  }
+}
+
+TEST(FileViewTest, MissingFileIsIoError) {
+  FileView view;
+  const Status status =
+      FileView::Open(TempPath("does_not_exist"), false, &view);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace corekit

@@ -7,6 +7,7 @@
 
 #include "corekit/graph/parallel_edge_list.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -55,8 +56,8 @@ class ParallelEdgeListTest : public ::testing::Test {
           ASSERT_EQ(parallel.ok(), serial.ok());
           if (serial.ok()) {
             EXPECT_EQ(parallel->NumVertices(), serial->NumVertices());
-            EXPECT_EQ(parallel->Offsets(), serial->Offsets());
-            EXPECT_EQ(parallel->NeighborArray(), serial->NeighborArray());
+            EXPECT_TRUE(std::ranges::equal(parallel->Offsets(), serial->Offsets()));
+            EXPECT_TRUE(std::ranges::equal(parallel->NeighborArray(), serial->NeighborArray()));
           } else {
             EXPECT_EQ(parallel.status().ToString(),
                       serial.status().ToString());
@@ -266,8 +267,8 @@ TEST_F(ParallelEdgeListTest, DifferentialZooAgainstSerial) {
       const Result<Graph> parallel =
           ReadSnapEdgeListParallel(path, pool, options);
       ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
-      EXPECT_EQ(parallel->Offsets(), serial->Offsets());
-      EXPECT_EQ(parallel->NeighborArray(), serial->NeighborArray());
+      EXPECT_TRUE(std::ranges::equal(parallel->Offsets(), serial->Offsets()));
+      EXPECT_TRUE(std::ranges::equal(parallel->NeighborArray(), serial->NeighborArray()));
     }
     std::remove(path.c_str());
   }

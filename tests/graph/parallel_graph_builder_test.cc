@@ -6,6 +6,7 @@
 
 #include "corekit/graph/parallel_graph_builder.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,8 +30,8 @@ void ExpectBitwiseEqual(VertexId num_vertices, const EdgeList& edges) {
     const Graph parallel = BuildGraphParallel(num_vertices, edges, pool);
     EXPECT_EQ(parallel.NumVertices(), serial.NumVertices());
     EXPECT_EQ(parallel.NumEdges(), serial.NumEdges());
-    EXPECT_EQ(parallel.Offsets(), serial.Offsets());
-    EXPECT_EQ(parallel.NeighborArray(), serial.NeighborArray());
+    EXPECT_TRUE(std::ranges::equal(parallel.Offsets(), serial.Offsets()));
+    EXPECT_TRUE(std::ranges::equal(parallel.NeighborArray(), serial.NeighborArray()));
   }
 }
 
@@ -95,8 +96,8 @@ TEST(ParallelGraphBuilderTest, GeneratedGraphEdgesRoundTrip) {
   ThreadPool pool(4);
   const Graph rebuilt =
       BuildGraphParallel(original.NumVertices(), edges, pool);
-  EXPECT_EQ(rebuilt.Offsets(), original.Offsets());
-  EXPECT_EQ(rebuilt.NeighborArray(), original.NeighborArray());
+  EXPECT_TRUE(std::ranges::equal(rebuilt.Offsets(), original.Offsets()));
+  EXPECT_TRUE(std::ranges::equal(rebuilt.NeighborArray(), original.NeighborArray()));
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "corekit/graph/subgraph.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,8 +58,8 @@ TEST(SubgraphTest, FullSelectionIsIsomorphicCopy) {
   for (VertexId v = 0; v < g.NumVertices(); ++v) all[v] = v;
   const InducedSubgraph sub = ExtractInducedSubgraph(g, all);
   EXPECT_EQ(sub.graph.NumEdges(), g.NumEdges());
-  EXPECT_EQ(sub.graph.Offsets(), g.Offsets());
-  EXPECT_EQ(sub.graph.NeighborArray(), g.NeighborArray());
+  EXPECT_TRUE(std::ranges::equal(sub.graph.Offsets(), g.Offsets()));
+  EXPECT_TRUE(std::ranges::equal(sub.graph.NeighborArray(), g.NeighborArray()));
 }
 
 TEST(SubgraphDeathTest, DuplicateVertexAborts) {

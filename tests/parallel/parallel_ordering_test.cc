@@ -56,6 +56,16 @@ void ExpectOrderingIdentical(const Graph& graph) {
       ASSERT_EQ(parallel.TagSame(v), serial.TagSame(v)) << v;
       ASSERT_EQ(parallel.TagPlus(v), serial.TagPlus(v)) << v;
       ASSERT_EQ(parallel.TagHigh(v), serial.TagHigh(v)) << v;
+
+      // The rank arrays behind the intersection kernels.
+      ASSERT_EQ(parallel.RankOf(v), serial.RankOf(v)) << v;
+      const auto serial_ranks = serial.NeighborRanks(v);
+      const auto parallel_ranks = parallel.NeighborRanks(v);
+      ASSERT_EQ(parallel_ranks.size(), serial_ranks.size()) << v;
+      for (std::size_t i = 0; i < serial_ranks.size(); ++i) {
+        ASSERT_EQ(parallel_ranks[i], serial_ranks[i])
+            << "v=" << v << " slot=" << i;
+      }
     }
   }
 }

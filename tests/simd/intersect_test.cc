@@ -1,0 +1,200 @@
+// Differential tests for the sorted-set intersection kernels: the
+// scalar merge/gallop path, the AVX2 block-scan path, and the runtime
+// dispatcher must all agree bit-for-bit with std::set_intersection on
+// every input, including the skew regimes that flip the gallop branch.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corekit/simd/dispatch.h"
+#include "corekit/simd/intersect.h"
+#include "corekit/util/random.h"
+
+namespace corekit::simd {
+namespace {
+
+using U32List = std::vector<std::uint32_t>;
+
+// Oracle: |a ∩ b| via the standard library.
+std::size_t OracleCount(const U32List& a, const U32List& b) {
+  U32List out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+// Strictly increasing list of `count` values drawn from [0, universe).
+U32List RandomSorted(Rng& rng, std::size_t count, std::uint32_t universe) {
+  U32List values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(static_cast<std::uint32_t>(rng.NextBounded(universe)));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+// Runs every kernel variant on (a, b) and both argument orders, and
+// asserts all of them match the oracle.
+void ExpectAllKernelsAgree(const U32List& a, const U32List& b) {
+  const std::size_t expected = OracleCount(a, b);
+  EXPECT_EQ(IntersectCountScalar(a, b), expected);
+  EXPECT_EQ(IntersectCountScalar(b, a), expected);
+  EXPECT_EQ(IntersectCount(a, b), expected);
+  EXPECT_EQ(IntersectCount(b, a), expected);
+  if (CpuSupportsAvx2()) {
+    EXPECT_EQ(IntersectCountAvx2(a, b), expected);
+    EXPECT_EQ(IntersectCountAvx2(b, a), expected);
+  }
+}
+
+TEST(IntersectTest, EmptyInputs) {
+  const U32List empty;
+  const U32List some = {1, 2, 3};
+  ExpectAllKernelsAgree(empty, empty);
+  ExpectAllKernelsAgree(empty, some);
+  ExpectAllKernelsAgree(some, empty);
+}
+
+TEST(IntersectTest, SingletonAndSmallLists) {
+  ExpectAllKernelsAgree({5}, {5});
+  ExpectAllKernelsAgree({5}, {6});
+  ExpectAllKernelsAgree({0}, {0, 1, 2, 3});
+  ExpectAllKernelsAgree({3}, {0, 1, 2, 3});
+  ExpectAllKernelsAgree({1, 3, 5, 7}, {2, 4, 6, 8});
+  ExpectAllKernelsAgree({1, 2, 3, 4}, {1, 2, 3, 4});
+}
+
+TEST(IntersectTest, DisjointRanges) {
+  U32List low, high;
+  for (std::uint32_t i = 0; i < 100; ++i) low.push_back(i);
+  for (std::uint32_t i = 1000; i < 1100; ++i) high.push_back(i);
+  ExpectAllKernelsAgree(low, high);
+}
+
+TEST(IntersectTest, IdenticalLists) {
+  Rng rng(7);
+  const U32List a = RandomSorted(rng, 500, 10000);
+  ExpectAllKernelsAgree(a, a);
+}
+
+TEST(IntersectTest, BoundaryValues) {
+  const std::uint32_t max = 0xFFFFFFFFu;
+  ExpectAllKernelsAgree({0, max}, {0, 1, max - 1, max});
+  ExpectAllKernelsAgree({max}, {max});
+  ExpectAllKernelsAgree({max - 7, max - 5, max - 3, max - 1},
+                        {max - 8, max - 7, max - 6, max - 5, max - 4, max - 3,
+                         max - 2, max - 1, max});
+}
+
+// Sizes straddling the 8-lane block boundary of the AVX2 kernel: the
+// scalar tail past the last full block must be exercised for every
+// remainder 0..7.
+TEST(IntersectTest, BlockBoundarySizes) {
+  Rng rng(11);
+  for (std::size_t b_size = 1; b_size <= 24; ++b_size) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const U32List a = RandomSorted(rng, 16, 64);
+      const U32List b = RandomSorted(rng, b_size, 64);
+      ExpectAllKernelsAgree(a, b);
+    }
+  }
+}
+
+// Heavy size skew (ratio >= kGallopRatio) flips both paths into
+// galloping search; the answer must not change.
+TEST(IntersectTest, GallopRegime) {
+  Rng rng(13);
+  const U32List large = RandomSorted(rng, 4096, 1u << 20);
+  for (const std::size_t small_size : {std::size_t{1}, std::size_t{3},
+                                       std::size_t{17}, std::size_t{64}}) {
+    ASSERT_GE(large.size() / small_size, kGallopRatio);
+    // Half the probes hit (sampled from `large`), half are random.
+    U32List small;
+    for (std::size_t i = 0; i < small_size; ++i) {
+      if (i % 2 == 0 && !large.empty()) {
+        small.push_back(large[rng.NextBounded(large.size())]);
+      } else {
+        small.push_back(static_cast<std::uint32_t>(rng.NextBounded(1u << 20)));
+      }
+    }
+    std::sort(small.begin(), small.end());
+    small.erase(std::unique(small.begin(), small.end()), small.end());
+    ExpectAllKernelsAgree(small, large);
+  }
+}
+
+// Probes past the end of the larger list (every probe value above
+// large.back()) stress the gallop window clamp.
+TEST(IntersectTest, ProbesBeyondEnd) {
+  U32List large;
+  for (std::uint32_t i = 0; i < 2048; ++i) large.push_back(i);
+  const U32List past = {3000, 4000, 5000};
+  ExpectAllKernelsAgree(past, large);
+  const U32List straddle = {2046, 2047, 2048, 9000};
+  ExpectAllKernelsAgree(straddle, large);
+}
+
+TEST(IntersectTest, RandomizedDifferential) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t a_size = rng.NextBounded(300);
+    const std::size_t b_size = rng.NextBounded(300);
+    // Mix dense (small universe, many collisions) and sparse draws.
+    const std::uint32_t universe =
+        trial % 2 == 0 ? 256 : (1u << 16);
+    const U32List a = RandomSorted(rng, a_size, universe);
+    const U32List b = RandomSorted(rng, b_size, universe);
+    ExpectAllKernelsAgree(a, b);
+  }
+}
+
+TEST(IntersectTest, DispatchFollowsTestingOverride) {
+  Rng rng(31);
+  const U32List a = RandomSorted(rng, 200, 1000);
+  const U32List b = RandomSorted(rng, 300, 1000);
+  const std::size_t expected = OracleCount(a, b);
+
+  SetIsaForTesting(IsaLevel::kScalar);
+  EXPECT_EQ(ActiveIsa(), IsaLevel::kScalar);
+  EXPECT_EQ(IntersectCount(a, b), expected);
+
+  if (CpuSupportsAvx2()) {
+    SetIsaForTesting(IsaLevel::kAvx2);
+    EXPECT_EQ(ActiveIsa(), IsaLevel::kAvx2);
+    EXPECT_EQ(IntersectCount(a, b), expected);
+  }
+
+  ResetIsaForTesting();
+  // After re-detection the level is whatever the machine supports; the
+  // count is ISA-independent either way.
+  EXPECT_EQ(IntersectCount(a, b), expected);
+}
+
+TEST(IntersectTest, IsaNames) {
+  EXPECT_STREQ(IsaName(IsaLevel::kScalar), "scalar");
+  EXPECT_STREQ(IsaName(IsaLevel::kAvx2), "avx2");
+}
+
+TEST(SortedContainsTest, MatchesLinearScan) {
+  Rng rng(41);
+  const U32List values = RandomSorted(rng, 400, 2000);
+  for (std::uint32_t probe = 0; probe < 2000; probe += 7) {
+    const bool expected =
+        std::find(values.begin(), values.end(), probe) != values.end();
+    EXPECT_EQ(SortedContains(values, probe), expected) << probe;
+  }
+  EXPECT_FALSE(SortedContains({}, 0));
+  const U32List max_only = {0xFFFFFFFFu};
+  EXPECT_TRUE(SortedContains(max_only, 0xFFFFFFFFu));
+}
+
+}  // namespace
+}  // namespace corekit::simd

@@ -312,6 +312,29 @@ TEST(LayeringTest, EngineMayIncludeDynamicButNotViceVersa) {
       1);
 }
 
+TEST(LayeringTest, SimdSitsBelowGraph) {
+  // The SIMD kernels speak raw uint32 spans so graph, core, and
+  // parallel may all call them...
+  for (const char* includer :
+       {"src/corekit/graph/graph.cc", "src/corekit/core/triangle_scoring.cc",
+        "src/corekit/parallel/frontier_truss.cc"}) {
+    EXPECT_EQ(CountRule(LintContent(includer,
+                                    "#include \"corekit/simd/intersect.h\"\n"),
+                        "layering"),
+              0)
+        << includer;
+  }
+  // ...but simd itself may only see util — never graph types.
+  EXPECT_EQ(CountRule(LintContent("src/corekit/simd/intersect.cc",
+                                  "#include \"corekit/util/status.h\"\n"),
+                      "layering"),
+            0);
+  EXPECT_EQ(CountRule(LintContent("src/corekit/simd/intersect.cc",
+                                  "#include \"corekit/graph/graph.h\"\n"),
+                      "layering"),
+            1);
+}
+
 TEST(LayeringTest, ParallelMayIncludeTrussButNotViceVersa) {
   // The frontier truss peel: parallel depends on truss for the shared
   // edge-slot/support helpers...

@@ -78,8 +78,8 @@ TEST(WeightedGraphTest, SkeletonMatchesStructure) {
   const Graph base = corekit::testing::Fig2Graph();
   const WeightedGraph weighted = RandomlyWeighted(base, 5.0, 42);
   const Graph skeleton = weighted.Skeleton();
-  EXPECT_EQ(skeleton.Offsets(), base.Offsets());
-  EXPECT_EQ(skeleton.NeighborArray(), base.NeighborArray());
+  EXPECT_TRUE(std::ranges::equal(skeleton.Offsets(), base.Offsets()));
+  EXPECT_TRUE(std::ranges::equal(skeleton.NeighborArray(), base.NeighborArray()));
 }
 
 TEST(RandomlyWeightedTest, DeterministicPositiveBounded) {

@@ -22,12 +22,22 @@
 //   corekit_cli anomalies <graph>             mirror-pattern outliers [53]
 //   corekit_cli report <graph>                full best-k analysis
 //   corekit_cli engine-stats <graph> [metric] pipeline StageStats as JSON
-//   corekit_cli convert <graph> <out.bin>     text -> binary snapshot
+//   corekit_cli convert <graph> <out>         text -> binary snapshot
+//                                             (.ckg = versioned format,
+//                                             .bin = legacy)
 //   corekit_cli generate <kind> <out> [n] [m] synthetic graph (er, ba,
 //                                             rmat, ws, onion)
 //
-// <graph> is a SNAP text edge list, or a corekit binary snapshot when the
-// path ends in ".bin".  Metrics: ad, den, cr, con, mod, cc.
+// <graph> is a SNAP text edge list, a legacy corekit binary snapshot
+// when the path ends in ".bin", or a versioned .ckg binary graph (plain
+// payloads load zero-copy via mmap; see graph/ckg_format.h) when the
+// path ends in ".ckg" or --load-bin is given.  Metrics: ad, den, cr,
+// con, mod, cc.
+//
+// --save-bin PATH (anywhere on the command line) writes the loaded
+// (and, with --churn, patched) graph as a .ckg snapshot before the
+// command runs; add --compress for the delta/group-varint compressed
+// payload (fewer bytes/edge, loads decode instead of mmap'ing).
 //
 // --threads N (anywhere on the command line) switches every stage that
 // has a parallel implementation — ingestion, CSR build, peeling,
@@ -73,11 +83,14 @@ int Usage() {
       "          densest | best-s | distributed | semi-external |\n"
       "          cluster | resilience | hierarchy-dot <out.dot> |\n"
       "          fingerprint <out.svg> | color | anomalies | report |\n"
-      "          engine-stats | convert <out.bin> |\n"
+      "          engine-stats | convert <out.bin|out.ckg> |\n"
       "          generate <kind> <out> [n] [m]\n"
       "metrics:  ad den cr con mod cc (default ad)\n"
       "--threads N: run parallel ingest/peel/order/triangles on N workers\n"
       "             (0 = hardware concurrency)\n"
+      "--save-bin PATH [--compress]: snapshot the loaded graph as a .ckg\n"
+      "             binary (compressed = delta/group-varint payload)\n"
+      "--load-bin:  treat <graph> as a .ckg binary regardless of extension\n"
       "--churn FILE: replay an edge update trace (+ u v / - u v, '---'\n"
       "             between batches, '#' comments) through ApplyBatch\n"
       "             before the command runs; prints per-batch patch\n"
@@ -449,6 +462,9 @@ int main(int argc, char** argv) {
   bool threads_given = false;
   std::uint32_t threads = 0;
   std::string churn_path;
+  std::string save_bin_path;
+  bool compress = false;
+  bool load_bin = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -480,6 +496,26 @@ int main(int argc, char** argv) {
       churn_path = argv[i] + 8;
       continue;
     }
+    if (arg == "--save-bin") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --save-bin\n");
+        return 2;
+      }
+      save_bin_path = argv[++i];
+      continue;
+    }
+    if (arg.substr(0, 11) == "--save-bin=") {
+      save_bin_path = argv[i] + 11;
+      continue;
+    }
+    if (arg == "--compress") {
+      compress = true;
+      continue;
+    }
+    if (arg == "--load-bin") {
+      load_bin = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   argc = static_cast<int>(args.size());
@@ -507,7 +543,15 @@ int main(int argc, char** argv) {
   // deserialize straight into a CSR.
   const std::string path = argv[2];
   std::unique_ptr<CoreEngine> engine;
-  if (IsBinaryPath(path)) {
+  if (load_bin || HasCkgExtension(path)) {
+    Result<std::unique_ptr<CoreEngine>> loaded =
+        CoreEngine::FromBinaryFile(path, options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(*loaded);
+  } else if (IsBinaryPath(path)) {
     Result<Graph> graph = ReadBinaryGraph(path);
     if (!graph.ok()) {
       std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
@@ -529,6 +573,33 @@ int main(int argc, char** argv) {
   if (!churn_path.empty()) {
     const int code = ReplayChurnTrace(*engine, churn_path);
     if (code != 0) return code;
+  }
+
+  // Snapshot after any churn so the file captures the graph the command
+  // is about to answer on.
+  if (!save_bin_path.empty()) {
+    CkgWriteOptions write_options;
+    write_options.compressed = compress;
+    const Status status =
+        WriteCkgGraph(engine->graph(), save_bin_path, write_options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    const Result<CkgInfo> info = ReadCkgInfo(save_bin_path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    const double per_edge =
+        info->num_edges == 0 ? 0.0
+                             : static_cast<double>(info->payload_bytes) /
+                                   static_cast<double>(info->num_edges);
+    std::printf("wrote %s (%s payload, %llu bytes, %.2f bytes/edge)\n",
+                save_bin_path.c_str(),
+                info->compressed ? "compressed" : "plain",
+                static_cast<unsigned long long>(info->payload_bytes),
+                per_edge);
   }
 
   if (command == "stats") return CmdStats(engine->graph());
@@ -567,12 +638,22 @@ int main(int argc, char** argv) {
   }
   if (command == "convert") {
     if (argc < 4) return Usage();
-    const Status status = WriteBinaryGraph(engine->graph(), argv[3]);
+    // .ckg targets use the versioned checksummed format (respecting
+    // --compress); .bin targets keep the legacy headerless snapshot.
+    const std::string out = argv[3];
+    Status status;
+    if (HasCkgExtension(out)) {
+      CkgWriteOptions write_options;
+      write_options.compressed = compress;
+      status = WriteCkgGraph(engine->graph(), out, write_options);
+    } else {
+      status = WriteBinaryGraph(engine->graph(), out);
+    }
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %s\n", argv[3]);
+    std::printf("wrote %s\n", out.c_str());
     return 0;
   }
   return Usage();

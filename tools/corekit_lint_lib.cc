@@ -372,14 +372,18 @@ void CheckLayering(const std::string& path, const std::string& content,
   // lint failure until its place in the stack is decided.
   static const std::map<std::string, std::set<std::string>> kAllowed = {
       {"util", {}},
-      {"graph", {"util"}},
+      // simd is the ISA-dispatched kernel layer: it speaks raw uint32
+      // spans (no graph types), so it sits just above util and below
+      // graph; nothing in simd may reach upward.
+      {"simd", {"util"}},
+      {"graph", {"simd", "util"}},
       {"gen", {"graph", "util"}},
-      {"core", {"graph", "util"}},
+      {"core", {"simd", "graph", "util"}},
       {"truss", {"core", "graph", "util"}},
       // parallel -> truss is the frontier truss peel (support peeling
       // shares the slot/edge mapping); truss must NOT include parallel
       // (the serial peel stays the dependency-free oracle).
-      {"parallel", {"truss", "core", "graph", "util"}},
+      {"parallel", {"simd", "truss", "core", "graph", "util"}},
       {"analysis", {"truss", "core", "graph", "util"}},
       {"dynamic", {"core", "graph", "util"}},
       {"external", {"graph", "util"}},
